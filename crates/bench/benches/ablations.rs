@@ -1,0 +1,104 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! hash-indexed vs naive graph union, memoized vs unmemoized query
+//! matching, and hash- vs sort-based dataframe grouping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thicket_dataframe::{Column, DataFrame, GroupBy, Index};
+use thicket_graph::{Frame, Graph, GraphUnion};
+use thicket_query::{pred, Query};
+
+/// A wide tree: one root with `width` children, each with `depth` chained
+/// descendants — the worst case for the naive sibling scan.
+fn wide_tree(width: usize, depth: usize, offset: usize) -> Graph {
+    let mut g = Graph::new();
+    let root = g.add_root(Frame::named("root"));
+    for i in 0..width {
+        let mut cur = g.add_child(root, Frame::named(format!("k{}", i + offset)));
+        for d in 0..depth {
+            cur = g.add_child(cur, Frame::named(format!("d{d}")));
+        }
+    }
+    g
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_union");
+    for &width in &[50usize, 200, 800] {
+        let a = wide_tree(width, 3, 0);
+        let b = wide_tree(width, 3, width / 2); // half-overlapping
+        group.bench_with_input(
+            BenchmarkId::new("indexed", width),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| GraphUnion::build(&[a, b])),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", width),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| GraphUnion::build_naive(&[a, b])),
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_memo(c: &mut Criterion) {
+    // A bushy tree where "*" patterns fan out heavily.
+    fn bushy(depth: usize) -> Graph {
+        let mut g = Graph::new();
+        let root = g.add_root(Frame::named("root"));
+        let mut frontier = vec![root];
+        for d in 0..depth {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for i in 0..3 {
+                    next.push(g.add_child(node, Frame::named(format!("n{d}_{i}"))));
+                }
+            }
+            frontier = next;
+        }
+        g
+    }
+    let g = bushy(7);
+    let q = Query::builder()
+        .node(".", pred::name_eq("root"))
+        .any("*")
+        .node(".", pred::name_starts_with("n6"))
+        .build();
+    let mut group = c.benchmark_group("ablate_query");
+    group.bench_function("memoized", |b| b.iter(|| q.apply(&g)));
+    group.bench_function("unmemoized", |b| b.iter(|| q.apply_unmemoized(&g)));
+    group.finish();
+}
+
+fn bench_groupby_strategy(c: &mut Criterion) {
+    // 50k rows, 100 groups.
+    let n = 50_000usize;
+    let keys: Vec<i64> = (0..n).map(|i| (i % 100) as i64).collect();
+    let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut df = DataFrame::new(Index::single("k", keys));
+    df.insert("x", Column::from_f64(vals)).unwrap();
+
+    let mut group = c.benchmark_group("ablate_groupby");
+    group.bench_function("hashmap", |b| {
+        b.iter(|| GroupBy::by_levels(&df, &["k"]).unwrap().len())
+    });
+    group.bench_function("sort_scan", |b| {
+        b.iter(|| {
+            // Sort-based grouping: argsort the index, then scan runs.
+            let order = df.index().argsort();
+            let mut groups = 0usize;
+            let mut prev: Option<&thicket_dataframe::Key> = None;
+            for &row in &order {
+                let key = df.index().key(row);
+                if prev != Some(key) {
+                    groups += 1;
+                    prev = Some(key);
+                }
+            }
+            groups
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_union, bench_query_memo, bench_groupby_strategy);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks timing each figure/table regeneration — one
+//! bench per paper artifact, so `cargo bench` exercises the complete
+//! evaluation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thicket_bench::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    // Keep the heavyweight generators at modest sample counts.
+    group.sample_size(10);
+    group.bench_function("fig02_components", |b| b.iter(figures::fig02));
+    group.bench_function("fig03_er_keys", |b| b.iter(figures::fig03));
+    group.bench_function("fig04_composed_table", |b| b.iter(figures::fig04));
+    group.bench_function("fig05_metadata_table", |b| b.iter(figures::fig05));
+    group.bench_function("fig06_filter_metadata", |b| b.iter(figures::fig06));
+    group.bench_function("fig07_groupby", |b| b.iter(figures::fig07));
+    group.bench_function("fig08_query", |b| b.iter(figures::fig08));
+    group.bench_function("fig09_stats", |b| b.iter(figures::fig09));
+    group.bench_function("fig10_kmeans", |b| b.iter(figures::fig10));
+    group.bench_function("fig11_extrap", |b| b.iter(figures::fig11));
+    group.bench_function("fig12_heatmap_hist", |b| b.iter(figures::fig12));
+    group.bench_function("fig13_config_table", |b| b.iter(figures::fig13));
+    group.bench_function("fig14_topdown", |b| b.iter(figures::fig14));
+    group.bench_function("fig15_speedup_table", |b| b.iter(figures::fig15));
+    group.bench_function("fig16_marbl_table", |b| b.iter(figures::fig16));
+    group.bench_function("fig17_scaling", |b| b.iter(figures::fig17));
+    group.bench_function("fig18_pcp", |b| b.iter(figures::fig18));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

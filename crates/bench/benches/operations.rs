@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the core thicket operations at increasing
+//! ensemble scale: composition, metadata filtering, grouping, querying,
+//! and aggregated statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thicket_bench::data;
+use thicket_core::Thicket;
+use thicket_dataframe::{AggFn, ColKey};
+use thicket_query::{pred, Query};
+
+fn bench_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose_scale");
+    for &n in &[10u64, 50, 200] {
+        let profiles = data::quartz_runs(n, 1_048_576);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profiles, |b, profiles| {
+            b.iter(|| Thicket::from_profiles(profiles).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_metadata(c: &mut Criterion) {
+    let profiles = data::quartz_runs(100, 1_048_576);
+    let tk = Thicket::from_profiles(&profiles).unwrap();
+    c.bench_function("filter_metadata_100", |b| {
+        b.iter(|| tk.filter_metadata(|r| r.get("seed").as_i64().unwrap_or(0) % 2 == 0));
+    });
+}
+
+fn bench_groupby(c: &mut Criterion) {
+    let profiles = data::figure13_profiles();
+    let cpu_only: Vec<_> = profiles
+        .iter()
+        .filter(|p| p.metadata("variant").unwrap().as_str() != Some("CUDA"))
+        .cloned()
+        .collect();
+    let tk = Thicket::from_profiles(&cpu_only).unwrap();
+    c.bench_function("groupby_compiler_size_400", |b| {
+        b.iter(|| {
+            tk.groupby(&[ColKey::new("compiler"), ColKey::new("problem size")])
+                .unwrap()
+        });
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let profiles = data::quartz_runs(50, 1_048_576);
+    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let q = Query::builder()
+        .any("*")
+        .node(".", pred::name_starts_with("Stream_"))
+        .build();
+    c.bench_function("query_streams_50", |b| {
+        b.iter(|| tk.query(&q).unwrap());
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let profiles = data::quartz_runs(100, 1_048_576);
+    let tk = Thicket::from_profiles(&profiles).unwrap();
+    c.bench_function("compute_stats_100", |b| {
+        b.iter(|| {
+            let mut t = tk.clone();
+            t.compute_stats(&[(
+                ColKey::new("time (exc)"),
+                vec![AggFn::Mean, AggFn::Std, AggFn::Min, AggFn::Max],
+            )])
+            .unwrap();
+            t
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compose,
+    bench_filter_metadata,
+    bench_groupby,
+    bench_query,
+    bench_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the individual substrates: dataframe joins,
+//! JSON parsing, k-means, and PMNF model fitting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thicket_dataframe::{join, Column, DataFrame, Index, JoinHow};
+use thicket_learn::{kmeans, KMeansConfig};
+use thicket_model::fit_model;
+use thicket_perfsim::{simulate_cpu_run, CpuRunConfig, Json, Profile};
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataframe_join");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let keys: Vec<i64> = (0..n as i64).collect();
+        let mut a = DataFrame::new(Index::single("k", keys.clone()));
+        a.insert("x", Column::from_f64((0..n).map(|i| i as f64).collect()))
+            .unwrap();
+        let mut b = DataFrame::new(Index::single("k", keys));
+        b.insert("y", Column::from_f64((0..n).map(|i| i as f64 * 2.0).collect()))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| join(a, b, JoinHow::Inner).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_json(c: &mut Criterion) {
+    let profile = simulate_cpu_run(&CpuRunConfig::quartz_default());
+    let text = profile.to_string_pretty();
+    c.bench_function("json_parse_profile", |b| {
+        b.iter(|| Json::parse(&text).unwrap())
+    });
+    c.bench_function("profile_parse", |b| b.iter(|| Profile::parse(&text).unwrap()));
+    c.bench_function("profile_serialize", |b| b.iter(|| profile.to_string_pretty()));
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    // 300 samples, 3 features, 3 well-separated blobs.
+    let samples: Vec<Vec<f64>> = (0..300)
+        .map(|i| {
+            let blob = (i % 3) as f64 * 10.0;
+            vec![
+                blob + (i % 7) as f64 * 0.1,
+                blob - (i % 5) as f64 * 0.1,
+                (i % 11) as f64 * 0.05,
+            ]
+        })
+        .collect();
+    c.bench_function("kmeans_300x3_k3", |b| {
+        b.iter(|| kmeans(&samples, &KMeansConfig::new(3).with_seed(1)))
+    });
+}
+
+fn bench_model_fit(c: &mut Criterion) {
+    let p: Vec<f64> = (1..=30).map(|i| 36.0 * i as f64).collect();
+    let y: Vec<f64> = p.iter().map(|p| 200.0 - 18.0 * p.powf(1.0 / 3.0)).collect();
+    c.bench_function("pmnf_fit_30pts", |b| b.iter(|| fit_model(&p, &y).unwrap()));
+}
+
+criterion_group!(benches, bench_join, bench_json, bench_kmeans, bench_model_fit);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! Writes text artifacts and SVGs under `target/figures/` and prints a
+//! summary. `cargo run -p thicket-bench --bin figures --release`.
+
+use std::path::PathBuf;
+use thicket_bench::figures::all_figures;
+use thicket_viz::HtmlReport;
+
+fn main() {
+    let out_dir = PathBuf::from(
+        std::env::var("THICKET_FIGURE_DIR").unwrap_or_else(|_| "target/figures".into()),
+    );
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let mut report = HtmlReport::new(
+        "Thicket reproduction — regenerated paper figures (HPDC '23)",
+    );
+    for fig in all_figures() {
+        report.section(format!("{} — {}", fig.id, fig.title));
+        report.pre(&fig.text);
+        for (_, svg) in &fig.svgs {
+            report.svg(svg.clone());
+        }
+        let txt_path = out_dir.join(format!("{}.txt", fig.id));
+        std::fs::write(&txt_path, &fig.text).expect("write text artifact");
+        for (name, svg) in &fig.svgs {
+            std::fs::write(out_dir.join(name), svg).expect("write svg artifact");
+        }
+        println!("==== {} — {} ====", fig.id, fig.title);
+        println!("{}", fig.text);
+        if !fig.svgs.is_empty() {
+            let names: Vec<&str> = fig.svgs.iter().map(|(n, _)| n.as_str()).collect();
+            println!("(svg: {})", names.join(", "));
+        }
+        println!();
+    }
+    std::fs::write(out_dir.join("report.html"), report.render()).expect("write report");
+    println!("artifacts written to {} (report.html bundles everything)", out_dir.display());
+}

@@ -1,0 +1,18 @@
+//! # thicket-bench
+//!
+//! The reproduction's benchmark harness: workload generators matching the
+//! paper's experiment configurations ([`data`]), one regenerator per
+//! table/figure of the evaluation ([`figures`]), and criterion benchmarks
+//! (under `benches/`) timing the core operations and the design-choice
+//! ablations DESIGN.md calls out.
+//!
+//! Regenerate everything with:
+//!
+//! ```sh
+//! cargo run -p thicket-bench --bin figures --release
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod figures;

@@ -1,0 +1,349 @@
+//! Hierarchical (column-axis) composition of thickets (paper §3.2.2,
+//! Figures 4 and 15): joining multiple thickets' performance data
+//! side-by-side under a new top-level column index.
+
+use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
+use std::collections::HashSet;
+use thicket_dataframe::{join_many, DataFrame, Index, JoinHow, Value};
+use thicket_graph::GraphUnion;
+
+/// How call-tree nodes are matched across the composed thickets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeMatch {
+    /// Match by full call path (structural union) — the default when the
+    /// inputs come from the same code shape.
+    Path,
+    /// Match by node *name* — needed when different tools produce
+    /// different tree shapes around the same kernels (the paper's
+    /// CPU-Caliper vs GPU-NCU composition, Figure 15). Node names must
+    /// be unique within each input.
+    Name,
+}
+
+impl Thicket {
+    /// Replace the profile index with the values of a metadata column
+    /// (e.g. `problem size`), as the paper does before composing CPU and
+    /// GPU thickets on a shared secondary index (Figure 4). The column's
+    /// values must be unique across profiles.
+    pub fn reindex_profiles_by(
+        &self,
+        column: &thicket_dataframe::ColKey,
+    ) -> Result<Thicket, ThicketError> {
+        let map = self.metadata_column(column)?;
+        {
+            let mut seen = HashSet::new();
+            for v in map.values() {
+                if !seen.insert(v.clone()) {
+                    return Err(ThicketError::Invalid(format!(
+                        "metadata column {column} is not unique across profiles"
+                    )));
+                }
+            }
+        }
+        let remap = |old: &Value| -> Value { map.get(old).cloned().unwrap_or(Value::Null) };
+
+        let perf_keys: Vec<Vec<Value>> = self
+            .perf_data
+            .index()
+            .keys()
+            .iter()
+            .map(|k| vec![k[0].clone(), remap(&k[1])])
+            .collect();
+        let perf_index = Index::new([NODE_LEVEL, PROFILE_LEVEL], perf_keys)?;
+        let mut perf_data = DataFrame::new(perf_index);
+        for (k, c) in self.perf_data.columns() {
+            perf_data.insert(k.clone(), c.clone())?;
+        }
+
+        let meta_keys: Vec<Vec<Value>> = self
+            .metadata
+            .index()
+            .keys()
+            .iter()
+            .map(|k| vec![remap(&k[0])])
+            .collect();
+        let meta_index = Index::new([PROFILE_LEVEL], meta_keys)?;
+        let mut metadata = DataFrame::new(meta_index);
+        for (k, c) in self.metadata.columns() {
+            metadata.insert(k.clone(), c.clone())?;
+        }
+
+        Thicket::from_components(
+            self.graph.clone(),
+            perf_data.sort_by_index(),
+            metadata,
+            DataFrame::new(Index::empty([NODE_LEVEL])),
+        )
+    }
+}
+
+/// Compose thickets along the column axis: each input's performance-data
+/// and metadata columns appear under its group label; rows are the
+/// `(node, profile)` pairs present in **all** inputs (inner join — the
+/// paper's intersection semantics).
+pub fn concat_thickets(
+    inputs: &[(&str, &Thicket)],
+    match_on: NodeMatch,
+) -> Result<Thicket, ThicketError> {
+    if inputs.is_empty() {
+        return Err(ThicketError::Invalid("concat_thickets of nothing".into()));
+    }
+    {
+        let mut seen = HashSet::new();
+        for (label, _) in inputs {
+            if !seen.insert(*label) {
+                return Err(ThicketError::Invalid(format!(
+                    "duplicate group label {label:?}"
+                )));
+            }
+        }
+    }
+
+    // Build each input's perf frame with re-keyed node level + grouped
+    // columns.
+    let mut perf_frames: Vec<DataFrame> = Vec::with_capacity(inputs.len());
+    let result_graph = match match_on {
+        NodeMatch::Path => {
+            let graphs: Vec<&thicket_graph::Graph> =
+                inputs.iter().map(|(_, t)| t.graph()).collect();
+            let union = GraphUnion::build(&graphs);
+            for ((label, tk), mapping) in inputs.iter().zip(union.mappings.iter()) {
+                let keys: Vec<Vec<Value>> = tk
+                    .perf_data
+                    .index()
+                    .keys()
+                    .iter()
+                    .map(|k| {
+                        let old = tk.node_of_value(&k[0]).ok_or(())?;
+                        let new = mapping.get(&old).ok_or(())?;
+                        Ok(vec![Value::Int(new.index() as i64), k[1].clone()])
+                    })
+                    .collect::<Result<_, ()>>()
+                    .map_err(|_| {
+                        ThicketError::Invalid("perf row references unknown node".into())
+                    })?;
+                perf_frames.push(rekey(&tk.perf_data, keys, label)?);
+            }
+            union.graph
+        }
+        NodeMatch::Name => {
+            for (label, tk) in inputs {
+                let keys: Vec<Vec<Value>> = tk
+                    .perf_data
+                    .index()
+                    .keys()
+                    .iter()
+                    .map(|k| vec![Value::from(tk.node_name(&k[0]).as_str()), k[1].clone()])
+                    .collect();
+                let frame = rekey(&tk.perf_data, keys, label)?;
+                if !frame.index().is_unique() {
+                    return Err(ThicketError::Invalid(format!(
+                        "node names are not unique in input {label:?}; use NodeMatch::Path"
+                    )));
+                }
+                perf_frames.push(frame);
+            }
+            inputs[0].1.graph().clone()
+        }
+    };
+
+    let refs: Vec<&DataFrame> = perf_frames.iter().collect();
+    let perf_data = join_many(&refs, JoinHow::Inner)?;
+
+    // Metadata composes the same way (outer join keeps every profile).
+    let meta_frames: Vec<DataFrame> = inputs
+        .iter()
+        .map(|(label, tk)| tk.metadata.with_column_group(label))
+        .collect();
+    let mrefs: Vec<&DataFrame> = meta_frames.iter().collect();
+    let metadata = join_many(&mrefs, JoinHow::Outer)?;
+
+    // In Name mode the node level holds names, not arena ids; keep the
+    // graph for display but note lookups go through names.
+    Thicket::from_components(
+        result_graph,
+        perf_data.sort_by_index(),
+        metadata,
+        DataFrame::new(Index::empty([NODE_LEVEL])),
+    )
+}
+
+fn rekey(
+    frame: &DataFrame,
+    keys: Vec<Vec<Value>>,
+    group: &str,
+) -> Result<DataFrame, ThicketError> {
+    let index = Index::new([NODE_LEVEL, PROFILE_LEVEL], keys)?;
+    let mut out = DataFrame::new(index);
+    for (k, c) in frame.columns() {
+        out.insert(k.under(group), c.clone())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_dataframe::ColKey;
+    use thicket_perfsim::{
+        simulate_cpu_run, simulate_gpu_run, CpuRunConfig, GpuRunConfig,
+    };
+
+    fn cpu_thicket() -> Thicket {
+        let profiles: Vec<_> = [1_048_576u64, 4_194_304]
+            .iter()
+            .map(|&size| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.problem_size = size;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        Thicket::from_profiles(&profiles)
+            .unwrap()
+            .reindex_profiles_by(&ColKey::new("problem size"))
+            .unwrap()
+    }
+
+    fn gpu_thicket() -> Thicket {
+        let profiles: Vec<_> = [1_048_576u64, 4_194_304]
+            .iter()
+            .map(|&size| {
+                let mut cfg = GpuRunConfig::lassen_default();
+                cfg.problem_size = size;
+                simulate_gpu_run(&cfg)
+            })
+            .collect();
+        Thicket::from_profiles(&profiles)
+            .unwrap()
+            .reindex_profiles_by(&ColKey::new("problem size"))
+            .unwrap()
+    }
+
+    #[test]
+    fn reindex_replaces_profile_level() {
+        let tk = cpu_thicket();
+        assert_eq!(
+            tk.profiles(),
+            vec![Value::Int(1_048_576), Value::Int(4_194_304)]
+        );
+        // Perf rows carry the new index too.
+        let sizes: HashSet<Value> = tk
+            .perf_data()
+            .index()
+            .keys()
+            .iter()
+            .map(|k| k[1].clone())
+            .collect();
+        assert_eq!(sizes.len(), 2);
+        assert!(sizes.contains(&Value::Int(1_048_576)));
+    }
+
+    #[test]
+    fn reindex_requires_unique_values() {
+        let profiles: Vec<_> = (0..2)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        let tk = Thicket::from_profiles(&profiles).unwrap();
+        // Both runs share the same problem size.
+        assert!(tk.reindex_profiles_by(&ColKey::new("problem size")).is_err());
+    }
+
+    #[test]
+    fn figure4_cpu_gpu_composition() {
+        let composed =
+            concat_thickets(&[("CPU", &cpu_thicket()), ("GPU", &gpu_thicket())], NodeMatch::Name)
+                .unwrap();
+        // Grouped columns from both sides.
+        assert!(composed
+            .perf_data()
+            .has_column(&ColKey::grouped("CPU", "time (exc)")));
+        assert!(composed
+            .perf_data()
+            .has_column(&ColKey::grouped("GPU", "time (gpu)")));
+        assert!(composed
+            .perf_data()
+            .has_column(&ColKey::grouped("GPU", "gpu__dram_throughput")));
+        // Rows exist only for shared (kernel, size) pairs; every row has
+        // both CPU and GPU values.
+        assert!(!composed.perf_data().is_empty());
+        let cpu_col = composed
+            .perf_data()
+            .column(&ColKey::grouped("CPU", "time (exc)"))
+            .unwrap();
+        let gpu_col = composed
+            .perf_data()
+            .column(&ColKey::grouped("GPU", "time (gpu)"))
+            .unwrap();
+        for row in 0..composed.perf_data().len() {
+            assert!(!cpu_col.is_null_at(row));
+            assert!(!gpu_col.is_null_at(row));
+        }
+        // Two rows (problem sizes) per shared kernel node (Figure 4).
+        let dot_rows = composed
+            .perf_data()
+            .index()
+            .keys()
+            .iter()
+            .filter(|k| k[0] == Value::from("Stream_DOT"))
+            .count();
+        assert_eq!(dot_rows, 2);
+        // Metadata composed with group labels.
+        assert!(composed
+            .metadata()
+            .has_column(&ColKey::grouped("CPU", "compiler")));
+        assert!(composed
+            .metadata()
+            .has_column(&ColKey::grouped("GPU", "cuda compiler")));
+    }
+
+    #[test]
+    fn path_mode_requires_shared_paths() {
+        // CPU trees share paths with themselves: compose two CPU thickets.
+        let a = cpu_thicket();
+        let b = cpu_thicket();
+        let composed = concat_thickets(&[("A", &a), ("B", &b)], NodeMatch::Path).unwrap();
+        assert!(composed
+            .perf_data()
+            .has_column(&ColKey::grouped("A", "time (exc)")));
+        assert_eq!(composed.perf_data().len(), a.perf_data().len());
+        // CPU vs GPU trees diverge below the root → path intersection has
+        // no measured common rows.
+        let cross =
+            concat_thickets(&[("CPU", &a), ("GPU", &gpu_thicket())], NodeMatch::Path).unwrap();
+        assert_eq!(cross.perf_data().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let a = cpu_thicket();
+        assert!(concat_thickets(&[("X", &a), ("X", &a)], NodeMatch::Name).is_err());
+        assert!(concat_thickets(&[], NodeMatch::Name).is_err());
+    }
+
+    #[test]
+    fn figure15_derived_speedup() {
+        let mut composed =
+            concat_thickets(&[("CPU", &cpu_thicket()), ("GPU", &gpu_thicket())], NodeMatch::Name)
+                .unwrap();
+        composed
+            .add_derived_column(ColKey::grouped("Derived", "speedup"), |r| {
+                match (
+                    r.f64(ColKey::grouped("CPU", "time (exc)")),
+                    r.f64(ColKey::grouped("GPU", "time (gpu)")),
+                ) {
+                    (Some(c), Some(g)) if g > 0.0 => Value::Float(c / g),
+                    _ => Value::Null,
+                }
+            })
+            .unwrap();
+        let speedup = composed
+            .perf_data()
+            .column(&ColKey::grouped("Derived", "speedup"))
+            .unwrap();
+        assert!(speedup.numeric_values().iter().all(|v| *v > 0.0));
+    }
+}

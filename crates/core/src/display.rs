@@ -1,0 +1,192 @@
+//! Built-in visualization methods (paper §4.3.1): `display_heatmap` and
+//! `display_histogram`, mirroring Thicket's Python API where these are
+//! methods on the thicket object. Each returns both a terminal (text)
+//! rendering and an SVG document.
+
+use crate::thicket::{Thicket, ThicketError};
+use thicket_dataframe::ColKey;
+use thicket_graph::NodeId;
+use thicket_stats::histogram;
+
+impl Thicket {
+    /// Heatmap of aggregated-statistics columns (rows = call-tree nodes,
+    /// per-column normalization, Figure 12). Requires
+    /// [`Thicket::compute_stats`] to have run; `columns` must exist in
+    /// the statsframe. Returns `(text, svg)`.
+    pub fn display_heatmap(&self, columns: &[ColKey]) -> Result<(String, String), ThicketError> {
+        if self.statsframe().is_empty() {
+            return Err(ThicketError::Invalid(
+                "no aggregated statistics; call compute_stats first".into(),
+            ));
+        }
+        let cols: Vec<_> = columns
+            .iter()
+            .map(|k| self.statsframe().column(k))
+            .collect::<Result<_, _>>()?;
+        let row_labels: Vec<String> = self
+            .statsframe()
+            .index()
+            .keys()
+            .iter()
+            .map(|k| self.node_name(&k[0]))
+            .collect();
+        let col_labels: Vec<String> = columns.iter().map(|k| k.name.to_string()).collect();
+        let values: Vec<Vec<f64>> = (0..self.statsframe().len())
+            .map(|r| cols.iter().map(|c| c.get_f64(r).unwrap_or(f64::NAN)).collect())
+            .collect();
+        let text = thicket_viz::text_heatmap(&row_labels, &col_labels, &values);
+        let svg = thicket_viz::heatmap_chart(
+            &row_labels,
+            &col_labels,
+            &values,
+            "aggregated statistics heatmap",
+        );
+        Ok((text, svg))
+    }
+
+    /// Histogram of one metric's distribution across profiles at one
+    /// node (Figure 12's insets). Returns `(text, svg)`.
+    pub fn display_histogram(
+        &self,
+        node: NodeId,
+        metric: &ColKey,
+        bins: usize,
+    ) -> Result<(String, String), ThicketError> {
+        let values: Vec<f64> = self
+            .metric_series(node, metric)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        let hist = histogram(&values, bins).ok_or_else(|| {
+            ThicketError::Invalid(format!(
+                "no data to bin for {metric} at {}",
+                self.graph().node(node).name()
+            ))
+        })?;
+        let name = self.graph().node(node).name();
+        let text = format!(
+            "histogram of {metric} at {name} ({} samples):\n{}",
+            values.len(),
+            thicket_viz::text_histogram(&hist, 30)
+        );
+        let svg = thicket_viz::histogram_chart(&hist, name, &metric.name);
+        Ok((text, svg))
+    }
+
+    /// Flame graph of one profile's call tree, widths proportional to an
+    /// inclusive metric (`time (inc)` typically). Returns the SVG.
+    pub fn display_flame_graph(
+        &self,
+        profile: &thicket_dataframe::Value,
+        metric: &ColKey,
+    ) -> Result<String, ThicketError> {
+        self.perf_data().column(metric)?;
+        Ok(thicket_viz::flame_graph(
+            self.graph(),
+            |id| self.metric_at(id, profile, metric),
+            &format!("{metric} — profile {profile}"),
+        ))
+    }
+
+    /// Box plots of one metric across profiles for a set of nodes
+    /// (an ensemble-variation overview). Returns the SVG.
+    pub fn display_boxplot(
+        &self,
+        nodes: &[NodeId],
+        metric: &ColKey,
+    ) -> Result<String, ThicketError> {
+        self.perf_data().column(metric)?;
+        let groups: Vec<(String, Vec<f64>)> = nodes
+            .iter()
+            .map(|&n| {
+                (
+                    self.graph().node(n).name().to_string(),
+                    self.metric_series(n, metric)
+                        .into_iter()
+                        .map(|(_, v)| v)
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(thicket_viz::box_plot(
+            &groups,
+            &format!("{metric} across {} profiles", self.profiles().len()),
+            &metric.name,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_dataframe::AggFn;
+    use thicket_perfsim::{simulate_cpu_run, CpuRunConfig};
+
+    fn ensemble() -> Thicket {
+        let profiles: Vec<_> = (0..8)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        Thicket::from_profiles(&profiles).unwrap()
+    }
+
+    #[test]
+    fn heatmap_requires_stats() {
+        let tk = ensemble();
+        assert!(tk.display_heatmap(&[ColKey::new("x")]).is_err());
+        let mut tk = tk;
+        tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Std])])
+            .unwrap();
+        let (text, svg) = tk.display_heatmap(&[ColKey::new("time (exc)_std")]).unwrap();
+        assert!(text.contains("time (exc)_std"));
+        assert!(text.contains("Apps_VOL3D"));
+        assert!(svg.starts_with("<svg"));
+        // Unknown column still errors.
+        assert!(tk.display_heatmap(&[ColKey::new("zzz")]).is_err());
+    }
+
+    #[test]
+    fn histogram_bins_all_profiles() {
+        let tk = ensemble();
+        let node = tk.find_node("Stream_DOT").unwrap();
+        let (text, svg) = tk
+            .display_histogram(node, &ColKey::new("time (exc)"), 4)
+            .unwrap();
+        assert!(text.contains("8 samples"));
+        assert!(svg.contains("<rect"));
+        // A metric the node does not carry fails.
+        assert!(tk
+            .display_histogram(node, &ColKey::new("nope"), 4)
+            .is_err());
+    }
+
+    #[test]
+    fn flame_graph_from_profile() {
+        let tk = ensemble();
+        let profile = tk.profiles()[0].clone();
+        let svg = tk
+            .display_flame_graph(&profile, &ColKey::new("time (inc)"))
+            .unwrap();
+        assert!(svg.contains(">Base_Seq</text>"));
+        assert!(svg.contains("<rect"));
+        assert!(tk
+            .display_flame_graph(&profile, &ColKey::new("nope"))
+            .is_err());
+    }
+
+    #[test]
+    fn boxplot_covers_nodes() {
+        let tk = ensemble();
+        let nodes = [
+            tk.find_node("Apps_VOL3D").unwrap(),
+            tk.find_node("Lcals_HYDRO_1D").unwrap(),
+        ];
+        let svg = tk.display_boxplot(&nodes, &ColKey::new("time (exc)")).unwrap();
+        assert!(svg.contains(">Apps_VOL3D</text>"));
+        assert!(svg.contains(">Lcals_HYDRO_1D</text>"));
+        assert!(tk.display_boxplot(&nodes, &ColKey::new("nope")).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Pivot the performance data into a wide node×profile matrix for one
+//! metric — the natural input shape for heatmaps and clustering over an
+//! ensemble.
+
+use crate::thicket::{Thicket, ThicketError, NODE_LEVEL};
+use std::collections::HashMap;
+use thicket_dataframe::{ColKey, ColumnBuilder, DataFrame, Index, Value};
+
+impl Thicket {
+    /// Wide view of one metric: one row per call-tree node (index level
+    /// `node`, rendered as arena id), one column per profile (named by
+    /// the profile id). Cells missing in a profile are null. Rows follow
+    /// the graph's pre-order; columns follow metadata order.
+    pub fn pivot_metric(&self, metric: &ColKey) -> Result<DataFrame, ThicketError> {
+        let col = self.perf_data().column(metric)?;
+        // (node, profile) -> value
+        let mut cells: HashMap<(Value, Value), f64> = HashMap::new();
+        for (row, key) in self.perf_data().index().keys().iter().enumerate() {
+            if let Some(v) = col.get_f64(row) {
+                cells.insert((key[0].clone(), key[1].clone()), v);
+            }
+        }
+        let profiles = self.profiles();
+        // Keep only nodes with at least one measurement, in pre-order.
+        let nodes: Vec<Value> = self
+            .graph()
+            .preorder()
+            .into_iter()
+            .map(|id| self.value_of_node(id))
+            .filter(|n| profiles.iter().any(|p| cells.contains_key(&(n.clone(), p.clone()))))
+            .collect();
+
+        let index = Index::new(
+            [NODE_LEVEL],
+            nodes.iter().map(|n| vec![n.clone()]).collect(),
+        )?;
+        let mut out = DataFrame::new(index);
+        for p in &profiles {
+            let mut b = ColumnBuilder::with_capacity(nodes.len());
+            for n in &nodes {
+                b.push(
+                    cells
+                        .get(&(n.clone(), p.clone()))
+                        .map(|v| Value::Float(*v))
+                        .unwrap_or(Value::Null),
+                )?;
+            }
+            out.insert(ColKey::new(p.display_cell()), b.finish())?;
+        }
+        Ok(out)
+    }
+
+    /// The pivot as a dense row-major matrix with labels: `(node names,
+    /// profile labels, values)`; missing cells become NaN.
+    #[allow(clippy::type_complexity)]
+    pub fn pivot_matrix(
+        &self,
+        metric: &ColKey,
+    ) -> Result<(Vec<String>, Vec<String>, Vec<Vec<f64>>), ThicketError> {
+        let wide = self.pivot_metric(metric)?;
+        let rows: Vec<String> = wide
+            .index()
+            .keys()
+            .iter()
+            .map(|k| self.node_name(&k[0]))
+            .collect();
+        let cols: Vec<String> = wide
+            .column_keys()
+            .iter()
+            .map(|k| k.name.to_string())
+            .collect();
+        let values: Vec<Vec<f64>> = (0..wide.len())
+            .map(|r| {
+                wide.columns()
+                    .map(|(_, c)| c.get_f64(r).unwrap_or(f64::NAN))
+                    .collect()
+            })
+            .collect();
+        Ok((rows, cols, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_perfsim::{simulate_cpu_run, CpuRunConfig};
+
+    fn sample() -> Thicket {
+        let profiles: Vec<_> = (0..3)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        Thicket::from_profiles_indexed(
+            &profiles,
+            &(0..3i64).map(Value::Int).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pivot_shape() {
+        let tk = sample();
+        let wide = tk.pivot_metric(&ColKey::new("time (exc)")).unwrap();
+        assert_eq!(wide.ncols(), 3); // one column per profile
+        // 13 kernels carry time (exc); interior nodes only carry inc.
+        assert_eq!(wide.len(), 13);
+        assert!(tk.pivot_metric(&ColKey::new("nope")).is_err());
+    }
+
+    #[test]
+    fn pivot_values_match_lookup() {
+        let tk = sample();
+        let wide = tk.pivot_metric(&ColKey::new("time (exc)")).unwrap();
+        let node = tk.find_node("Stream_DOT").unwrap();
+        let row = wide
+            .index()
+            .keys()
+            .iter()
+            .position(|k| k[0] == tk.value_of_node(node))
+            .unwrap();
+        for p in 0..3i64 {
+            let direct = tk
+                .metric_at(node, &Value::Int(p), &ColKey::new("time (exc)"))
+                .unwrap();
+            let cell = wide
+                .column(&ColKey::new(p.to_string()))
+                .unwrap()
+                .get_f64(row)
+                .unwrap();
+            assert_eq!(direct, cell);
+        }
+    }
+
+    #[test]
+    fn matrix_labels_and_nan_fill() {
+        let tk = sample();
+        let (rows, cols, values) = tk.pivot_matrix(&ColKey::new("time (exc)")).unwrap();
+        assert_eq!(rows.len(), values.len());
+        assert_eq!(cols.len(), 3);
+        assert!(rows.contains(&"Apps_VOL3D".to_string()));
+        assert!(values.iter().flatten().all(|v| v.is_finite()));
+        // The inclusive metric exists only on interior nodes.
+        let (rows_inc, _, vals_inc) = tk.pivot_matrix(&ColKey::new("time (inc)")).unwrap();
+        assert_eq!(rows_inc.len(), 6);
+        assert!(vals_inc.iter().flatten().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Row-axis (index) concatenation of thickets: pooling several ensembles
+//! into one larger ensemble — the counterpart of the column-axis
+//! composition in [`crate::concat_thickets`]. Thicket's Python API calls
+//! this `concat_thickets(axis="index")`.
+
+use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
+use std::collections::HashSet;
+use thicket_dataframe::{DataFrame, FrameBuilder, Index, Value};
+use thicket_graph::GraphUnion;
+
+/// Pool the profiles of several thickets into one thicket: call graphs
+/// are structurally unified, performance rows re-keyed onto the unified
+/// node ids, and metadata rows concatenated (missing columns null-fill).
+/// Profile ids must be globally unique across inputs.
+pub fn concat_thickets_rows(inputs: &[&Thicket]) -> Result<Thicket, ThicketError> {
+    if inputs.is_empty() {
+        return Err(ThicketError::Invalid("concat_thickets_rows of nothing".into()));
+    }
+    {
+        let mut seen: HashSet<Value> = HashSet::new();
+        for tk in inputs {
+            for p in tk.profiles() {
+                if !seen.insert(p.clone()) {
+                    return Err(ThicketError::Invalid(format!(
+                        "profile id {p} appears in more than one input"
+                    )));
+                }
+            }
+        }
+    }
+
+    let graphs: Vec<&thicket_graph::Graph> = inputs.iter().map(|t| t.graph()).collect();
+    let union = GraphUnion::build(&graphs);
+
+    // Perf rows: re-key node level through each input's mapping. The
+    // FrameBuilder null-fills metric columns one input lacks.
+    let mut fb = FrameBuilder::new([NODE_LEVEL, PROFILE_LEVEL]);
+    for (tk, mapping) in inputs.iter().zip(union.mappings.iter()) {
+        for (row, key) in tk.perf_data().index().keys().iter().enumerate() {
+            let old = tk
+                .node_of_value(&key[0])
+                .ok_or_else(|| ThicketError::Invalid("perf row references unknown node".into()))?;
+            let new = mapping[&old];
+            fb.push_row(
+                vec![Value::Int(new.index() as i64), key[1].clone()],
+                tk.perf_data()
+                    .columns()
+                    .map(|(k, c)| (k.clone(), c.get(row))),
+            )?;
+        }
+    }
+    let perf_data = fb.finish()?.sort_by_index();
+
+    // Metadata rows concatenate; columns union with null fill.
+    let mut mb = FrameBuilder::new([PROFILE_LEVEL]);
+    for tk in inputs {
+        for (row, key) in tk.metadata().index().keys().iter().enumerate() {
+            mb.push_row(
+                vec![key[0].clone()],
+                tk.metadata()
+                    .columns()
+                    .map(|(k, c)| (k.clone(), c.get(row))),
+            )?;
+        }
+    }
+    let metadata = mb.finish()?;
+
+    Thicket::from_components(
+        union.graph,
+        perf_data,
+        metadata,
+        DataFrame::new(Index::empty([NODE_LEVEL])),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_dataframe::ColKey;
+    use thicket_perfsim::{simulate_cpu_run, simulate_gpu_run, CpuRunConfig, GpuRunConfig};
+
+    fn cpu(seed: u64) -> Thicket {
+        let mut cfg = CpuRunConfig::quartz_default();
+        cfg.seed = seed;
+        Thicket::from_profiles(&[simulate_cpu_run(&cfg)]).unwrap()
+    }
+
+    #[test]
+    fn pools_profiles_and_unifies_graphs() {
+        let a = cpu(1);
+        let b = cpu(2);
+        let pooled = concat_thickets_rows(&[&a, &b]).unwrap();
+        assert_eq!(pooled.profiles().len(), 2);
+        // Same tree shape → same unified size.
+        assert_eq!(pooled.graph().len(), a.graph().len());
+        assert_eq!(
+            pooled.perf_data().len(),
+            a.perf_data().len() + b.perf_data().len()
+        );
+        // Metric values preserved under re-keying.
+        let dot_a = a.find_node("Stream_DOT").unwrap();
+        let dot_p = pooled.find_node("Stream_DOT").unwrap();
+        let profile = a.profiles()[0].clone();
+        assert_eq!(
+            a.metric_at(dot_a, &profile, &ColKey::new("time (exc)")),
+            pooled.metric_at(dot_p, &profile, &ColKey::new("time (exc)"))
+        );
+    }
+
+    #[test]
+    fn mixed_tools_null_fill() {
+        let cpu_tk = cpu(1);
+        let gpu_tk =
+            Thicket::from_profiles(&[simulate_gpu_run(&GpuRunConfig::lassen_default())]).unwrap();
+        let pooled = concat_thickets_rows(&[&cpu_tk, &gpu_tk]).unwrap();
+        assert_eq!(pooled.profiles().len(), 2);
+        // Graph is the union of the two shapes.
+        assert!(pooled.graph().len() > cpu_tk.graph().len());
+        // CPU metric exists but is null on GPU rows and vice versa.
+        let cpu_col = pooled.perf_data().column(&ColKey::new("time (exc)")).unwrap();
+        let gpu_col = pooled.perf_data().column(&ColKey::new("time (gpu)")).unwrap();
+        assert!(cpu_col.count_valid() > 0);
+        assert!(gpu_col.count_valid() > 0);
+        // No row carries both: the two tools measured disjoint trees.
+        for row in 0..pooled.perf_data().len() {
+            assert!(cpu_col.is_null_at(row) || gpu_col.is_null_at(row));
+        }
+        // Metadata columns from both sides.
+        assert!(pooled.metadata().has_column(&ColKey::new("compiler")));
+        assert!(pooled.metadata().has_column(&ColKey::new("cuda compiler")));
+    }
+
+    #[test]
+    fn duplicate_profile_ids_rejected() {
+        let a = cpu(1);
+        assert!(concat_thickets_rows(&[&a, &a]).is_err());
+        assert!(concat_thickets_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn stats_work_after_pooling() {
+        let a = cpu(1);
+        let b = cpu(2);
+        let mut pooled = concat_thickets_rows(&[&a, &b]).unwrap();
+        pooled
+            .compute_stats(&[(ColKey::new("time (exc)"), vec![thicket_dataframe::AggFn::Std])])
+            .unwrap();
+        // Two runs → std defined on every kernel node.
+        let col = pooled
+            .statsframe()
+            .column(&ColKey::new("time (exc)_std"))
+            .unwrap();
+        assert!(col.count_valid() > 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Aggregated statistics (paper §4.2.1): reduce each metric across all
+//! profiles of each call-tree node into the node-indexed statsframe.
+
+use crate::thicket::{Thicket, ThicketError, NODE_LEVEL};
+use thicket_dataframe::{AggFn, ColKey, GroupBy};
+
+/// A `(metric column, aggregations)` request.
+pub type StatSpec = (ColKey, Vec<AggFn>);
+
+impl Thicket {
+    /// Compute aggregated statistics for the given metric columns and
+    /// reductions, replacing the statsframe. Output columns follow the
+    /// paper's `<metric>_<agg>` naming (Figure 9: `time (exc)_std`).
+    pub fn compute_stats(&mut self, specs: &[StatSpec]) -> Result<(), ThicketError> {
+        let groups = GroupBy::by_levels(&self.perf_data, &[NODE_LEVEL])?;
+        self.statsframe = groups.agg_columns(specs)?;
+        Ok(())
+    }
+
+    /// Compute one reduction over *every* numeric perf-data column.
+    pub fn compute_stats_all(&mut self, func: AggFn) -> Result<(), ThicketError> {
+        let specs: Vec<StatSpec> = self
+            .perf_data
+            .columns()
+            .filter(|(_, c)| c.dtype().is_numeric())
+            .map(|(k, _)| (k.clone(), vec![func]))
+            .collect();
+        self.compute_stats(&specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_dataframe::Value;
+    use thicket_perfsim::{simulate_cpu_run, CpuRunConfig};
+
+    fn ensemble(n: u64) -> Thicket {
+        let profiles: Vec<_> = (0..n)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        Thicket::from_profiles(&profiles).unwrap()
+    }
+
+    #[test]
+    fn std_columns_created() {
+        let mut tk = ensemble(10);
+        tk.compute_stats(&[
+            (ColKey::new("Retiring"), vec![AggFn::Std]),
+            (ColKey::new("Backend bound"), vec![AggFn::Std]),
+            (ColKey::new("time (exc)"), vec![AggFn::Std]),
+        ])
+        .unwrap();
+        let sf = tk.statsframe();
+        assert!(sf.has_column(&ColKey::new("Retiring_std")));
+        assert!(sf.has_column(&ColKey::new("Backend bound_std")));
+        assert!(sf.has_column(&ColKey::new("time (exc)_std")));
+        // One row per node that has perf data.
+        assert!(!sf.is_empty());
+        assert_eq!(sf.index().names(), &[NODE_LEVEL.to_string()]);
+    }
+
+    #[test]
+    fn stats_match_manual_computation() {
+        let mut tk = ensemble(8);
+        tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Mean, AggFn::Var])])
+            .unwrap();
+        let node = tk.find_node("Stream_DOT").unwrap();
+        let series: Vec<f64> = tk
+            .metric_series(node, &ColKey::new("time (exc)"))
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(series.len(), 8);
+        let manual_mean = thicket_stats::mean(&series).unwrap();
+        let manual_var = thicket_stats::variance(&series).unwrap();
+        // Find the statsframe row for this node.
+        let node_v = tk.value_of_node(node);
+        let row = tk
+            .statsframe()
+            .index()
+            .keys()
+            .iter()
+            .position(|k| k[0] == node_v)
+            .unwrap();
+        let got_mean = tk
+            .statsframe()
+            .column(&ColKey::new("time (exc)_mean"))
+            .unwrap()
+            .get_f64(row)
+            .unwrap();
+        let got_var = tk
+            .statsframe()
+            .column(&ColKey::new("time (exc)_var"))
+            .unwrap()
+            .get_f64(row)
+            .unwrap();
+        assert!((got_mean - manual_mean).abs() < 1e-12);
+        assert!((got_var - manual_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_stats_all_covers_numeric_columns() {
+        let mut tk = ensemble(5);
+        tk.compute_stats_all(AggFn::Mean).unwrap();
+        assert!(tk.statsframe().has_column(&ColKey::new("time (exc)_mean")));
+        assert!(tk.statsframe().has_column(&ColKey::new("Retiring_mean")));
+    }
+
+    #[test]
+    fn single_profile_std_is_null() {
+        let mut tk = ensemble(1);
+        tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Std])])
+            .unwrap();
+        let col = tk
+            .statsframe()
+            .column(&ColKey::new("time (exc)_std"))
+            .unwrap();
+        assert_eq!(col.count_valid(), 0);
+    }
+
+    #[test]
+    fn missing_metric_errors() {
+        let mut tk = ensemble(2);
+        assert!(tk
+            .compute_stats(&[(ColKey::new("nope"), vec![AggFn::Mean])])
+            .is_err());
+    }
+
+    #[test]
+    fn statsframe_named_uses_node_names() {
+        let mut tk = ensemble(3);
+        tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Mean])])
+            .unwrap();
+        let named = tk.statsframe_named();
+        let names: Vec<String> = named
+            .index()
+            .keys()
+            .iter()
+            .map(|k| k[0].as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"Apps_VOL3D".to_string()));
+        assert!(!names.contains(&Value::Int(0).display_cell().into_owned()));
+    }
+}

@@ -1,0 +1,522 @@
+//! The [`Thicket`] struct: construction from profile ensembles and
+//! component access.
+
+use std::collections::HashMap;
+use std::fmt;
+use thicket_dataframe::{
+    ColKey, DataFrame, DfError, FrameBuilder, Index, Value,
+};
+use thicket_graph::{Graph, GraphUnion, NodeId};
+use thicket_perfsim::Profile;
+
+/// Name of the call-tree-node index level.
+pub(crate) const NODE_LEVEL: &str = "node";
+/// Name of the profile index level.
+pub(crate) const PROFILE_LEVEL: &str = "profile";
+
+/// Errors raised by thicket operations.
+#[derive(Debug)]
+pub enum ThicketError {
+    /// Underlying dataframe failure.
+    Df(DfError),
+    /// Invalid construction input.
+    Invalid(String),
+}
+
+impl fmt::Display for ThicketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThicketError::Df(e) => write!(f, "dataframe: {e}"),
+            ThicketError::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ThicketError {}
+
+impl From<DfError> for ThicketError {
+    fn from(e: DfError) -> Self {
+        ThicketError::Df(e)
+    }
+}
+
+/// A unified, multi-run performance dataset (paper Figure 3).
+#[derive(Debug, Clone)]
+pub struct Thicket {
+    /// The unified call graph of the ensemble.
+    pub(crate) graph: Graph,
+    /// `(node, profile)`-indexed metric table.
+    pub(crate) perf_data: DataFrame,
+    /// `profile`-indexed metadata table.
+    pub(crate) metadata: DataFrame,
+    /// `node`-indexed aggregated statistics (empty until computed).
+    pub(crate) statsframe: DataFrame,
+}
+
+impl Thicket {
+    /// Compose an ensemble of profiles into one thicket (paper §3.2.1).
+    ///
+    /// Profile indices are the deterministic metadata hashes
+    /// ([`Profile::profile_hash`]); use [`Thicket::from_profiles_indexed`]
+    /// to supply study-relevant indices (e.g. the problem size).
+    pub fn from_profiles(profiles: &[Profile]) -> Result<Thicket, ThicketError> {
+        let ids: Vec<Value> = profiles
+            .iter()
+            .map(|p| Value::Int(p.profile_hash()))
+            .collect();
+        Self::from_profiles_indexed(profiles, &ids)
+    }
+
+    /// Compose profiles with caller-chosen profile index values.
+    pub fn from_profiles_indexed(
+        profiles: &[Profile],
+        profile_ids: &[Value],
+    ) -> Result<Thicket, ThicketError> {
+        if profiles.is_empty() {
+            return Err(ThicketError::Invalid(
+                "cannot build a thicket from zero profiles".into(),
+            ));
+        }
+        if profiles.len() != profile_ids.len() {
+            return Err(ThicketError::Invalid(format!(
+                "{} profiles but {} profile ids",
+                profiles.len(),
+                profile_ids.len()
+            )));
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for id in profile_ids {
+                if !seen.insert(id) {
+                    return Err(ThicketError::Invalid(format!(
+                        "duplicate profile id {id}"
+                    )));
+                }
+            }
+        }
+
+        // Unify the call trees (the paper's call-tree matching).
+        let graphs: Vec<&Graph> = profiles.iter().map(|p| p.graph()).collect();
+        let union = GraphUnion::build(&graphs);
+
+        // Performance data: one row per (unified node, profile) that the
+        // profile actually measured. Distinct source nodes can merge into
+        // one unified node (duplicate sibling frames, as a call-tree
+        // profiler would have merged); their metrics are summed.
+        let mut fb = FrameBuilder::new([NODE_LEVEL, PROFILE_LEVEL]);
+        for ((profile, pid), mapping) in profiles
+            .iter()
+            .zip(profile_ids.iter())
+            .zip(union.mappings.iter())
+        {
+            let mut merged: std::collections::BTreeMap<
+                NodeId,
+                std::collections::BTreeMap<String, f64>,
+            > = std::collections::BTreeMap::new();
+            for old_id in profile.graph().ids() {
+                let metrics = profile.node_metrics(old_id);
+                if metrics.is_empty() {
+                    continue;
+                }
+                let slot = merged.entry(mapping[&old_id]).or_default();
+                for (k, v) in metrics {
+                    *slot.entry(k.clone()).or_insert(0.0) += v;
+                }
+            }
+            for (new_id, metrics) in merged {
+                fb.push_row(
+                    vec![Value::Int(new_id.index() as i64), pid.clone()],
+                    metrics
+                        .into_iter()
+                        .map(|(k, v)| (ColKey::new(&k), Value::Float(v))),
+                )?;
+            }
+        }
+        let perf_data = fb.finish()?.sort_by_index();
+
+        // Metadata: one row per profile.
+        let mut mb = FrameBuilder::new([PROFILE_LEVEL]);
+        for (profile, pid) in profiles.iter().zip(profile_ids.iter()) {
+            mb.push_row(
+                vec![pid.clone()],
+                profile
+                    .metadata_iter()
+                    .map(|(k, v)| (ColKey::new(k), v.clone())),
+            )?;
+        }
+        let metadata = mb.finish()?;
+
+        Ok(Thicket {
+            graph: union.graph,
+            perf_data,
+            metadata,
+            statsframe: DataFrame::new(Index::empty([NODE_LEVEL])),
+        })
+    }
+
+    /// Assemble a thicket from raw components (used by composition and
+    /// the EDA operations; validates index level names).
+    pub fn from_components(
+        graph: Graph,
+        perf_data: DataFrame,
+        metadata: DataFrame,
+        statsframe: DataFrame,
+    ) -> Result<Thicket, ThicketError> {
+        if perf_data.index().names() != [NODE_LEVEL, PROFILE_LEVEL] {
+            return Err(ThicketError::Invalid(format!(
+                "perf_data index must be (node, profile), got {:?}",
+                perf_data.index().names()
+            )));
+        }
+        if metadata.index().names() != [PROFILE_LEVEL] {
+            return Err(ThicketError::Invalid(
+                "metadata index must be (profile)".into(),
+            ));
+        }
+        if statsframe.index().names() != [NODE_LEVEL] {
+            return Err(ThicketError::Invalid(
+                "statsframe index must be (node)".into(),
+            ));
+        }
+        Ok(Thicket {
+            graph,
+            perf_data,
+            metadata,
+            statsframe,
+        })
+    }
+
+    /// The unified call graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The `(node, profile)`-indexed performance-data table.
+    pub fn perf_data(&self) -> &DataFrame {
+        &self.perf_data
+    }
+
+    /// The profile-indexed metadata table.
+    pub fn metadata(&self) -> &DataFrame {
+        &self.metadata
+    }
+
+    /// The node-indexed aggregated-statistics table (empty until
+    /// [`crate::Thicket::compute_stats`] runs).
+    pub fn statsframe(&self) -> &DataFrame {
+        &self.statsframe
+    }
+
+    /// Profile index values, in metadata order.
+    pub fn profiles(&self) -> Vec<Value> {
+        self.metadata
+            .index()
+            .keys()
+            .iter()
+            .map(|k| k[0].clone())
+            .collect()
+    }
+
+    /// The `NodeId` a perf-data node index value refers to.
+    pub fn node_of_value(&self, v: &Value) -> Option<NodeId> {
+        let idx = v.as_i64()?;
+        self.graph
+            .ids()
+            .find(|id| id.index() as i64 == idx)
+    }
+
+    /// The node index value for a `NodeId`.
+    pub fn value_of_node(&self, id: NodeId) -> Value {
+        Value::Int(id.index() as i64)
+    }
+
+    /// Node name for a node index value (for display).
+    pub fn node_name(&self, v: &Value) -> String {
+        match self.node_of_value(v) {
+            Some(id) => self.graph.node(id).name().to_string(),
+            None => v.display_cell().into_owned(),
+        }
+    }
+
+    /// First node id whose name matches (pre-order).
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.graph.find_by_name(name)
+    }
+
+    /// One metric value for `(node, profile)`, if measured.
+    pub fn metric_at(&self, node: NodeId, profile: &Value, metric: &ColKey) -> Option<f64> {
+        let col = self.perf_data.column(metric).ok()?;
+        let node_v = self.value_of_node(node);
+        for (row, key) in self.perf_data.index().keys().iter().enumerate() {
+            if key[0] == node_v && &key[1] == profile {
+                return col.get_f64(row);
+            }
+        }
+        None
+    }
+
+    /// All `(profile, value)` pairs of one metric at one node, in
+    /// perf-data order.
+    pub fn metric_series(&self, node: NodeId, metric: &ColKey) -> Vec<(Value, f64)> {
+        let node_v = self.value_of_node(node);
+        let Ok(col) = self.perf_data.column(metric) else {
+            return Vec::new();
+        };
+        self.perf_data
+            .index()
+            .keys()
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k[0] == node_v)
+            .filter_map(|(row, k)| col.get_f64(row).map(|v| (k[1].clone(), v)))
+            .collect()
+    }
+
+    /// A metadata attribute per profile, as a map.
+    pub fn metadata_column(&self, key: &ColKey) -> Result<HashMap<Value, Value>, ThicketError> {
+        let col = self.metadata.column(key)?;
+        Ok(self
+            .metadata
+            .index()
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(row, k)| (k[0].clone(), col.get(row)))
+            .collect())
+    }
+
+    /// Copy of the perf-data table with the node level rendered as node
+    /// *names* — the human-readable form the paper's tables print.
+    pub fn perf_data_named(&self) -> DataFrame {
+        let keys: Vec<Vec<Value>> = self
+            .perf_data
+            .index()
+            .keys()
+            .iter()
+            .map(|k| {
+                let mut nk = k.clone();
+                nk[0] = Value::from(self.node_name(&k[0]).as_str());
+                nk
+            })
+            .collect();
+        let index = Index::new(
+            self.perf_data.index().names().to_vec(),
+            keys,
+        )
+        .expect("same arity");
+        let mut df = DataFrame::new(index);
+        for (k, c) in self.perf_data.columns() {
+            df.insert(k.clone(), c.clone()).expect("unique keys");
+        }
+        df
+    }
+
+    /// Copy of the statsframe with node names (Figure 9 display form).
+    pub fn statsframe_named(&self) -> DataFrame {
+        let keys: Vec<Vec<Value>> = self
+            .statsframe
+            .index()
+            .keys()
+            .iter()
+            .map(|k| vec![Value::from(self.node_name(&k[0]).as_str())])
+            .collect();
+        let index = Index::new(vec![NODE_LEVEL.to_string()], keys).expect("same arity");
+        let mut df = DataFrame::new(index);
+        for (k, c) in self.statsframe.columns() {
+            df.insert(k.clone(), c.clone()).expect("unique keys");
+        }
+        df
+    }
+
+    /// Render the call tree annotated with one metric from one profile
+    /// (Figure 8's display).
+    pub fn tree(&self, metric: &ColKey, profile: &Value) -> String {
+        thicket_viz::render_tree(&self.graph, |id| self.metric_at(id, profile, metric))
+    }
+
+    /// Extract a row-major sample matrix from perf-data columns for
+    /// data-science routines (k-means, PCA). Rows with any null are
+    /// dropped; returns the kept `(node, profile)` keys alongside.
+    #[allow(clippy::type_complexity)]
+    pub fn to_samples(
+        &self,
+        columns: &[ColKey],
+    ) -> Result<(Vec<Vec<f64>>, Vec<Vec<Value>>), ThicketError> {
+        let cols: Vec<_> = columns
+            .iter()
+            .map(|k| self.perf_data.column(k))
+            .collect::<Result<_, _>>()?;
+        let mut samples = Vec::new();
+        let mut keys = Vec::new();
+        for row in 0..self.perf_data.len() {
+            let vals: Option<Vec<f64>> = cols.iter().map(|c| c.get_f64(row)).collect();
+            if let Some(v) = vals {
+                samples.push(v);
+                keys.push(self.perf_data.index().key(row).clone());
+            }
+        }
+        Ok((samples, keys))
+    }
+
+    /// Add a derived perf-data column computed from each row (the paper's
+    /// Figure 15 `speedup` column under the `Derived` header).
+    pub fn add_derived_column<F>(
+        &mut self,
+        key: impl Into<ColKey>,
+        f: F,
+    ) -> Result<(), ThicketError>
+    where
+        F: Fn(thicket_dataframe::RowRef<'_>) -> Value,
+    {
+        let values: Vec<Value> = (0..self.perf_data.len())
+            .map(|row| f(self.perf_data.row(row)))
+            .collect();
+        self.perf_data.insert_values(key, values)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Thicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Thicket: {} nodes, {} profiles, {} perf rows, {} metrics",
+            self.graph.len(),
+            self.metadata.len(),
+            self.perf_data.len(),
+            self.perf_data.ncols(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_graph::Frame;
+
+    fn profile(run: i64, extra_node: bool) -> Profile {
+        let mut g = Graph::new();
+        let main = g.add_root(Frame::named("MAIN"));
+        let foo = g.add_child(main, Frame::named("FOO"));
+        let bar = g.add_child(main, Frame::named("BAR"));
+        let mut nodes = vec![main, foo, bar];
+        if extra_node {
+            nodes.push(g.add_child(foo, Frame::named("BAZ")));
+        }
+        let mut p = Profile::new(g);
+        p.set_metadata("cluster", "quartz");
+        p.set_metadata("run", run);
+        for (i, id) in nodes.into_iter().enumerate() {
+            p.set_metric(id, "time", (i as f64 + 1.0) * run as f64);
+        }
+        p
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let tk = Thicket::from_profiles(&[profile(1, false), profile(2, false)]).unwrap();
+        assert_eq!(tk.graph().len(), 3);
+        assert_eq!(tk.metadata().len(), 2);
+        assert_eq!(tk.perf_data().len(), 6);
+        assert_eq!(tk.profiles().len(), 2);
+        assert!(tk.perf_data().has_column(&ColKey::new("time")));
+    }
+
+    #[test]
+    fn divergent_trees_union_with_nulls() {
+        let tk = Thicket::from_profiles(&[profile(1, false), profile(2, true)]).unwrap();
+        assert_eq!(tk.graph().len(), 4); // MAIN FOO BAR BAZ
+        // BAZ has a row only for profile 2: 3 + 4 = 7 rows.
+        assert_eq!(tk.perf_data().len(), 7);
+    }
+
+    #[test]
+    fn custom_profile_index() {
+        let tk = Thicket::from_profiles_indexed(
+            &[profile(1, false), profile(2, false)],
+            &[Value::Int(1048576), Value::Int(4194304)],
+        )
+        .unwrap();
+        assert_eq!(tk.profiles(), vec![Value::Int(1048576), Value::Int(4194304)]);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(Thicket::from_profiles(&[]).is_err());
+        assert!(Thicket::from_profiles_indexed(
+            &[profile(1, false)],
+            &[Value::Int(1), Value::Int(2)]
+        )
+        .is_err());
+        // Duplicate ids rejected.
+        assert!(Thicket::from_profiles_indexed(
+            &[profile(1, false), profile(2, false)],
+            &[Value::Int(5), Value::Int(5)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let tk = Thicket::from_profiles_indexed(
+            &[profile(1, false), profile(3, false)],
+            &[Value::Int(10), Value::Int(30)],
+        )
+        .unwrap();
+        let foo = tk.find_node("FOO").unwrap();
+        assert_eq!(tk.metric_at(foo, &Value::Int(10), &ColKey::new("time")), Some(2.0));
+        assert_eq!(tk.metric_at(foo, &Value::Int(30), &ColKey::new("time")), Some(6.0));
+        assert_eq!(tk.metric_at(foo, &Value::Int(99), &ColKey::new("time")), None);
+        let series = tk.metric_series(foo, &ColKey::new("time"));
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn named_tables_show_node_names() {
+        let tk = Thicket::from_profiles(&[profile(1, false)]).unwrap();
+        let named = tk.perf_data_named();
+        let first = named.index().key(0);
+        assert_eq!(first[0], Value::from("MAIN"));
+    }
+
+    #[test]
+    fn tree_rendering() {
+        let tk = Thicket::from_profiles_indexed(&[profile(1, false)], &[Value::Int(7)]).unwrap();
+        let s = tk.tree(&ColKey::new("time"), &Value::Int(7));
+        assert!(s.contains("MAIN"));
+        assert!(s.contains("├─") || s.contains("└─"));
+        assert!(s.contains("1.000"));
+    }
+
+    #[test]
+    fn to_samples_drops_nulls() {
+        let tk = Thicket::from_profiles(&[profile(1, false), profile(2, true)]).unwrap();
+        let (samples, keys) = tk.to_samples(&[ColKey::new("time")]).unwrap();
+        assert_eq!(samples.len(), 7);
+        assert_eq!(keys.len(), 7);
+        assert!(tk.to_samples(&[ColKey::new("nope")]).is_err());
+    }
+
+    #[test]
+    fn derived_column() {
+        let mut tk = Thicket::from_profiles(&[profile(2, false)]).unwrap();
+        tk.add_derived_column("time2x", |r| {
+            Value::Float(r.f64("time").unwrap_or(f64::NAN) * 2.0)
+        })
+        .unwrap();
+        let col = tk.perf_data().column(&ColKey::new("time2x")).unwrap();
+        assert_eq!(col.get_f64(0), Some(tk.perf_data().column(&ColKey::new("time")).unwrap().get_f64(0).unwrap() * 2.0));
+    }
+
+    #[test]
+    fn metadata_column_map() {
+        let tk = Thicket::from_profiles_indexed(
+            &[profile(1, false), profile(2, false)],
+            &[Value::Int(1), Value::Int(2)],
+        )
+        .unwrap();
+        let m = tk.metadata_column(&ColKey::new("run")).unwrap();
+        assert_eq!(m[&Value::Int(1)], Value::Int(1));
+        assert_eq!(m[&Value::Int(2)], Value::Int(2));
+    }
+}

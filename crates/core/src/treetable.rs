@@ -1,0 +1,179 @@
+//! The tree + table paradigm (paper §4.3.2 / Figure 14): the call tree
+//! rendered alongside per-profile metric columns, so ensemble-wide trends
+//! line up with the node they belong to. Plus the classic flat hot-spot
+//! profile.
+
+use crate::thicket::{Thicket, ThicketError};
+use thicket_dataframe::{ColKey, ColumnBuilder, DataFrame, Index, Value};
+
+impl Thicket {
+    /// Render the call tree with one aligned column of `metric` per
+    /// profile — a text rendition of the paper's tree+table views.
+    /// Missing cells print blank.
+    pub fn tree_table(&self, metric: &ColKey) -> Result<String, ThicketError> {
+        self.perf_data().column(metric)?;
+        let profiles = self.profiles();
+
+        // Tree column first: a local walk that records which node each
+        // line belongs to (a DAG node with several parents appears on
+        // one line per incoming path, correctly re-annotated each time).
+        let mut tree_lines: Vec<String> = Vec::new();
+        let mut order: Vec<thicket_graph::NodeId> = Vec::new();
+        fn walk(
+            g: &thicket_graph::Graph,
+            id: thicket_graph::NodeId,
+            prefix: &str,
+            is_last: bool,
+            is_root: bool,
+            lines: &mut Vec<String>,
+            order: &mut Vec<thicket_graph::NodeId>,
+        ) {
+            let line = if is_root {
+                g.node(id).name().to_string()
+            } else {
+                format!("{prefix}{} {}", if is_last { "└─" } else { "├─" }, g.node(id).name())
+            };
+            lines.push(line);
+            order.push(id);
+            let child_prefix = if is_root {
+                prefix.to_string()
+            } else {
+                format!("{prefix}{}", if is_last { "   " } else { "│  " })
+            };
+            let children = g.node(id).children();
+            for (i, &c) in children.iter().enumerate() {
+                walk(g, c, &child_prefix, i + 1 == children.len(), false, lines, order);
+            }
+        }
+        for &root in self.graph().roots() {
+            walk(self.graph(), root, "", true, true, &mut tree_lines, &mut order);
+        }
+
+        let tree_w = tree_lines.iter().map(String::len).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        out.push_str(&format!("{:<tree_w$}", "node"));
+        let col_w = 12usize;
+        for p in &profiles {
+            let label = p.display_cell();
+            let label = if label.len() > col_w { &label[..col_w] } else { &label };
+            out.push_str(&format!("  {label:>col_w$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat((tree_w + profiles.len() * (col_w + 2)).min(200)));
+        out.push('\n');
+        for (line, &id) in tree_lines.iter().zip(order.iter()) {
+            out.push_str(&format!("{line:<tree_w$}"));
+            for p in &profiles {
+                match self.metric_at(id, p, metric) {
+                    Some(v) => out.push_str(&format!("  {v:>col_w$.6}")),
+                    None => out.push_str(&format!("  {:>col_w$}", "")),
+                }
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Flat hot-spot profile: nodes ranked by one profile's metric,
+    /// descending, with the share of the profile's total — the classic
+    /// "where does the time go" table.
+    pub fn flat_profile(
+        &self,
+        metric: &ColKey,
+        profile: &Value,
+    ) -> Result<DataFrame, ThicketError> {
+        self.perf_data().column(metric)?;
+        let mut rows: Vec<(String, f64)> = self
+            .graph()
+            .preorder()
+            .into_iter()
+            .filter_map(|id| {
+                self.metric_at(id, profile, metric)
+                    .map(|v| (self.graph().node(id).name().to_string(), v))
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let total: f64 = rows.iter().map(|(_, v)| v).sum();
+
+        let index = Index::single("node", rows.iter().map(|(n, _)| Value::from(n.as_str())));
+        let mut out = DataFrame::new(index);
+        let mut vals = ColumnBuilder::with_capacity(rows.len());
+        let mut pct = ColumnBuilder::with_capacity(rows.len());
+        for (_, v) in &rows {
+            vals.push(Value::Float(*v)).expect("float");
+            pct.push(Value::Float(if total > 0.0 { v / total * 100.0 } else { 0.0 }))
+                .expect("float");
+        }
+        out.insert(metric.clone(), vals.finish())?;
+        out.insert(ColKey::new("% of total"), pct.finish())?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_perfsim::{simulate_cpu_run, CpuRunConfig};
+
+    fn sample() -> Thicket {
+        let profiles: Vec<_> = (0..2)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        Thicket::from_profiles_indexed(
+            &profiles,
+            &[Value::Int(10), Value::Int(20)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_table_layout() {
+        let tk = sample();
+        let s = tk.tree_table(&ColKey::new("time (exc)")).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + one line per node
+        assert_eq!(lines.len(), 2 + tk.graph().len());
+        assert!(lines[0].contains("10"));
+        assert!(lines[0].contains("20"));
+        // Kernel rows carry two numeric cells; group rows carry blanks.
+        let vol = lines.iter().find(|l| l.contains("Apps_VOL3D")).unwrap();
+        assert!(vol.matches('.').count() >= 2);
+        assert!(tk.tree_table(&ColKey::new("nope")).is_err());
+    }
+
+    #[test]
+    fn flat_profile_ranks_descending() {
+        let tk = sample();
+        let flat = tk
+            .flat_profile(&ColKey::new("time (exc)"), &Value::Int(10))
+            .unwrap();
+        let vals = flat
+            .column(&ColKey::new("time (exc)"))
+            .unwrap()
+            .numeric_values();
+        assert!(vals.windows(2).all(|w| w[0] >= w[1]));
+        // Percentages sum to 100.
+        let pct: f64 = flat
+            .column(&ColKey::new("% of total"))
+            .unwrap()
+            .numeric_values()
+            .iter()
+            .sum();
+        assert!((pct - 100.0).abs() < 1e-9);
+        // 13 kernels carry exclusive time.
+        assert_eq!(flat.len(), 13);
+    }
+
+    #[test]
+    fn flat_profile_unknown_profile_is_empty() {
+        let tk = sample();
+        let flat = tk
+            .flat_profile(&ColKey::new("time (exc)"), &Value::Int(999))
+            .unwrap();
+        assert_eq!(flat.len(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Aggregation functions used by group-by reductions and the thicket
+//! aggregated-statistics table.
+
+use std::fmt;
+
+/// A reduction over the non-null numeric values of a column slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggFn {
+    /// Arithmetic mean.
+    Mean,
+    /// Median (midpoint of the two middle values for even counts).
+    Median,
+    /// Sample variance (n−1 denominator, matching pandas).
+    Var,
+    /// Sample standard deviation.
+    Std,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Count of non-null values.
+    Count,
+    /// Linear-interpolated percentile in `[0, 100]`.
+    Percentile(f64),
+}
+
+impl AggFn {
+    /// Column-name suffix used when materializing aggregated columns,
+    /// matching the paper's `<metric>_std` style (Figure 9).
+    pub fn suffix(&self) -> String {
+        match self {
+            AggFn::Mean => "mean".into(),
+            AggFn::Median => "median".into(),
+            AggFn::Var => "var".into(),
+            AggFn::Std => "std".into(),
+            AggFn::Min => "min".into(),
+            AggFn::Max => "max".into(),
+            AggFn::Sum => "sum".into(),
+            AggFn::Count => "count".into(),
+            AggFn::Percentile(p) => format!("p{}", crate::value::Value::Float(*p).display_cell()),
+        }
+    }
+
+    /// Apply the reduction to already-collected non-null values.
+    /// Returns `None` when undefined (empty input; variance of one value).
+    pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return if *self == AggFn::Count { Some(0.0) } else { None };
+        }
+        match self {
+            AggFn::Mean => Some(mean(values)),
+            AggFn::Median => Some(percentile(values, 50.0)),
+            AggFn::Var => variance(values),
+            AggFn::Std => variance(values).map(f64::sqrt),
+            AggFn::Min => values.iter().copied().reduce(f64::min),
+            AggFn::Max => values.iter().copied().reduce(f64::max),
+            AggFn::Sum => Some(values.iter().sum()),
+            AggFn::Count => Some(values.len() as f64),
+            AggFn::Percentile(p) => Some(percentile(values, *p)),
+        }
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.suffix())
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn variance(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values);
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / (values.len() - 1) as f64)
+}
+
+/// Linear-interpolated percentile of unsorted data; `p` in `[0, 100]`.
+fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [f64; 5] = [2.0, 4.0, 4.0, 4.0, 6.0];
+
+    #[test]
+    fn basic_reductions() {
+        assert_eq!(AggFn::Mean.apply(&DATA), Some(4.0));
+        assert_eq!(AggFn::Sum.apply(&DATA), Some(20.0));
+        assert_eq!(AggFn::Min.apply(&DATA), Some(2.0));
+        assert_eq!(AggFn::Max.apply(&DATA), Some(6.0));
+        assert_eq!(AggFn::Count.apply(&DATA), Some(5.0));
+        assert_eq!(AggFn::Median.apply(&DATA), Some(4.0));
+    }
+
+    #[test]
+    fn sample_variance_matches_pandas() {
+        // pandas: [2,4,4,4,6].var() == 2.0 (ddof=1)
+        assert_eq!(AggFn::Var.apply(&DATA), Some(2.0));
+        let std = AggFn::Std.apply(&DATA).unwrap();
+        assert!((std - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(AggFn::Mean.apply(&[]), None);
+        assert_eq!(AggFn::Count.apply(&[]), Some(0.0));
+        assert_eq!(AggFn::Var.apply(&[3.0]), None);
+        assert_eq!(AggFn::Std.apply(&[3.0]), None);
+        assert_eq!(AggFn::Min.apply(&[3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(AggFn::Percentile(0.0).apply(&v), Some(1.0));
+        assert_eq!(AggFn::Percentile(100.0).apply(&v), Some(4.0));
+        assert_eq!(AggFn::Percentile(50.0).apply(&v), Some(2.5));
+        assert_eq!(AggFn::Percentile(25.0).apply(&v), Some(1.75));
+        assert_eq!(AggFn::Percentile(50.0).apply(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(AggFn::Std.suffix(), "std");
+        assert_eq!(AggFn::Percentile(25.0).suffix(), "p25.0");
+    }
+}

@@ -1,0 +1,113 @@
+//! Hierarchical column keys.
+//!
+//! The paper's composed thickets carry a two-level column index (Figure 4:
+//! a `CPU` / `GPU` top level over metric names). A [`ColKey`] is a metric
+//! name plus an optional group label; ungrouped frames simply leave the
+//! group empty.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A (group, name) column identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColKey {
+    /// Optional top-level label (e.g. `"CPU"` after column-axis composition).
+    pub group: Option<Arc<str>>,
+    /// Column (metric) name.
+    pub name: Arc<str>,
+}
+
+impl ColKey {
+    /// Ungrouped column key.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ColKey {
+            group: None,
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    /// Grouped column key (`group` is the top index level).
+    pub fn grouped(group: impl AsRef<str>, name: impl AsRef<str>) -> Self {
+        ColKey {
+            group: Some(Arc::from(group.as_ref())),
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    /// This key re-labelled under `group`.
+    pub fn under(&self, group: impl AsRef<str>) -> Self {
+        ColKey {
+            group: Some(Arc::from(group.as_ref())),
+            name: self.name.clone(),
+        }
+    }
+
+    /// This key with the group label removed.
+    pub fn ungrouped(&self) -> Self {
+        ColKey {
+            group: None,
+            name: self.name.clone(),
+        }
+    }
+
+    /// The group label, if any.
+    pub fn group_str(&self) -> Option<&str> {
+        self.group.as_deref()
+    }
+}
+
+impl fmt::Display for ColKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.group {
+            Some(g) => write!(f, "({g}, {})", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+impl From<&str> for ColKey {
+    fn from(name: &str) -> Self {
+        ColKey::new(name)
+    }
+}
+
+impl From<String> for ColKey {
+    fn from(name: String) -> Self {
+        ColKey::new(name)
+    }
+}
+
+impl From<(&str, &str)> for ColKey {
+    fn from((group, name): (&str, &str)) -> Self {
+        ColKey::grouped(group, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let k = ColKey::new("time (exc)");
+        assert_eq!(k.to_string(), "time (exc)");
+        let g = k.under("CPU");
+        assert_eq!(g.to_string(), "(CPU, time (exc))");
+        assert_eq!(g.group_str(), Some("CPU"));
+        assert_eq!(g.ungrouped(), k);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ColKey::from("x"), ColKey::new("x"));
+        assert_eq!(ColKey::from(("GPU", "time")), ColKey::grouped("GPU", "time"));
+    }
+
+    #[test]
+    fn ordering_groups_first() {
+        let a = ColKey::new("z");
+        let b = ColKey::grouped("CPU", "a");
+        // Ungrouped (None) sorts before grouped (Some).
+        assert!(a < b);
+    }
+}

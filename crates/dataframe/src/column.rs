@@ -1,0 +1,438 @@
+//! Typed column storage with a validity mask.
+//!
+//! Bulk data stays in monomorphic `Vec`s (`Vec<f64>`, `Vec<i64>`, ...) so
+//! numeric reductions run over contiguous memory; [`Value`] only appears at
+//! the cell-access boundary. Missing cells are tracked by an optional
+//! validity mask — `None` means "all valid", which keeps fully-dense columns
+//! (the common case for performance metrics) mask-free.
+
+use crate::error::{DfError, Result};
+use crate::value::{DType, Value};
+use std::sync::Arc;
+
+/// Typed backing storage for a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// All-null column of a given length.
+    Null(usize),
+    /// Boolean column.
+    Bool(Vec<bool>),
+    /// Integer column.
+    Int(Vec<i64>),
+    /// Float column.
+    Float(Vec<f64>),
+    /// String column.
+    Str(Vec<Arc<str>>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Null(n) => *n,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    fn dtype(&self) -> DType {
+        match self {
+            ColumnData::Null(_) => DType::Null,
+            ColumnData::Bool(_) => DType::Bool,
+            ColumnData::Int(_) => DType::Int,
+            ColumnData::Float(_) => DType::Float,
+            ColumnData::Str(_) => DType::Str,
+        }
+    }
+}
+
+/// A single dataframe column: typed data plus an optional validity mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    /// `None` = every cell valid; otherwise `valid[i]` says cell `i` is
+    /// non-null. Always the same length as `data`.
+    valid: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// Build a dense float column.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column {
+            data: ColumnData::Float(values),
+            valid: None,
+        }
+    }
+
+    /// Build a dense integer column.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column {
+            data: ColumnData::Int(values),
+            valid: None,
+        }
+    }
+
+    /// Build a dense boolean column.
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        Column {
+            data: ColumnData::Bool(values),
+            valid: None,
+        }
+    }
+
+    /// Build a dense string column.
+    pub fn from_strs<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
+        Column {
+            data: ColumnData::Str(values.into_iter().map(|s| Arc::from(s.as_ref())).collect()),
+            valid: None,
+        }
+    }
+
+    /// Build a column from dynamic values, inferring the narrowest common
+    /// dtype (`Int` + `Float` promotes to `Float`; incompatible mixes fail).
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Result<Self> {
+        let mut b = ColumnBuilder::new();
+        for v in values {
+            b.push(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Number of cells (including nulls).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's dtype.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Count of non-null cells.
+    pub fn count_valid(&self) -> usize {
+        match &self.valid {
+            None => self.len(),
+            Some(mask) => mask.iter().filter(|v| **v).count(),
+        }
+    }
+
+    /// `true` if cell `i` is null. Panics if out of bounds.
+    pub fn is_null_at(&self, i: usize) -> bool {
+        assert!(i < self.len(), "column index {i} out of bounds");
+        match &self.valid {
+            None => matches!(self.data, ColumnData::Null(_)),
+            Some(mask) => !mask[i],
+        }
+    }
+
+    /// Cell access as a dynamic [`Value`]. Panics if out of bounds.
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null_at(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Null(_) => Value::Null,
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Numeric view of cell `i` (`None` for null or non-numeric).
+    pub fn get_f64(&self, i: usize) -> Option<f64> {
+        if self.is_null_at(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            _ => None,
+        }
+    }
+
+    /// Borrow the raw float storage if this is a dense float column.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match (&self.data, &self.valid) {
+            (ColumnData::Float(v), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Collect the non-null numeric values of the column.
+    pub fn numeric_values(&self) -> Vec<f64> {
+        (0..self.len()).filter_map(|i| self.get_f64(i)).collect()
+    }
+
+    /// Iterate cells as dynamic values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// New column containing `rows` (in order, duplicates allowed).
+    pub fn take(&self, rows: &[usize]) -> Column {
+        let mut b = ColumnBuilder::new();
+        for &r in rows {
+            b.push(self.get(r)).expect("take preserves dtype");
+        }
+        let mut out = b.finish();
+        // An all-null selection from a typed column keeps the dtype.
+        if out.dtype() == DType::Null && self.dtype() != DType::Null {
+            out = Column::nulls_of(self.dtype(), rows.len());
+        }
+        out
+    }
+
+    /// An all-null column of dtype `dt` and length `n`.
+    pub fn nulls_of(dt: DType, n: usize) -> Column {
+        let data = match dt {
+            DType::Null => ColumnData::Null(n),
+            DType::Bool => ColumnData::Bool(vec![false; n]),
+            DType::Int => ColumnData::Int(vec![0; n]),
+            DType::Float => ColumnData::Float(vec![f64::NAN; n]),
+            DType::Str => ColumnData::Str(vec![Arc::from(""); n]),
+        };
+        Column {
+            data,
+            valid: Some(vec![false; n]),
+        }
+    }
+
+    /// Append the cells of `other`, promoting dtypes when needed.
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        let combined = self
+            .dtype()
+            .promote(other.dtype())
+            .ok_or_else(|| DfError::type_error(self.dtype(), other.dtype()))?;
+        let mut b = ColumnBuilder::new();
+        for v in self.iter().chain(other.iter()) {
+            b.push(v)?;
+        }
+        let mut out = b.finish();
+        if out.dtype() == DType::Null && combined != DType::Null {
+            out = Column::nulls_of(combined, self.len() + other.len());
+        }
+        *self = out;
+        Ok(())
+    }
+
+    /// Cast a numeric column to float (no-op for float columns).
+    pub fn cast_float(&self) -> Result<Column> {
+        match self.dtype() {
+            DType::Float => Ok(self.clone()),
+            DType::Int | DType::Null => {
+                let vals: Vec<Value> = self
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => Value::Float(i as f64),
+                        other => other,
+                    })
+                    .collect();
+                let mut c = Column::from_values(vals)?;
+                if c.dtype() == DType::Null {
+                    c = Column::nulls_of(DType::Float, self.len());
+                }
+                Ok(c)
+            }
+            other => Err(DfError::type_error(DType::Float, other)),
+        }
+    }
+}
+
+/// Incremental builder that infers and promotes dtypes as values arrive.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    values: Vec<Value>,
+    dtype: DType,
+    has_null: bool,
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        ColumnBuilder {
+            values: Vec::new(),
+            dtype: DType::Null,
+            has_null: false,
+        }
+    }
+
+    /// New empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ColumnBuilder {
+            values: Vec::with_capacity(cap),
+            dtype: DType::Null,
+            has_null: false,
+        }
+    }
+
+    /// Append one value, promoting the running dtype.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        let dt = v.dtype();
+        if dt == DType::Null {
+            self.has_null = true;
+        } else {
+            self.dtype = self
+                .dtype
+                .promote(dt)
+                .ok_or_else(|| DfError::type_error(self.dtype, dt))?;
+        }
+        self.values.push(v);
+        Ok(())
+    }
+
+    /// Number of values pushed so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Materialize the typed column.
+    pub fn finish(self) -> Column {
+        let n = self.values.len();
+        let valid: Option<Vec<bool>> = if self.has_null {
+            Some(self.values.iter().map(|v| !v.is_null()).collect())
+        } else {
+            None
+        };
+        let data = match self.dtype {
+            DType::Null => ColumnData::Null(n),
+            DType::Bool => ColumnData::Bool(
+                self.values
+                    .iter()
+                    .map(|v| v.as_bool().unwrap_or(false))
+                    .collect(),
+            ),
+            DType::Int => ColumnData::Int(
+                self.values
+                    .iter()
+                    .map(|v| v.as_i64().unwrap_or(0))
+                    .collect(),
+            ),
+            DType::Float => ColumnData::Float(
+                self.values
+                    .iter()
+                    .map(|v| v.as_f64().unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            DType::Str => ColumnData::Str(
+                self.values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s.clone(),
+                        _ => Arc::from(""),
+                    })
+                    .collect(),
+            ),
+        };
+        Column { data, valid }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_constructors() {
+        let c = Column::from_f64(vec![1.0, 2.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dtype(), DType::Float);
+        assert_eq!(c.count_valid(), 2);
+        assert_eq!(c.get(1), Value::Float(2.0));
+        assert_eq!(c.as_f64_slice(), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn builder_promotes_int_to_float() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Float(2.5)]).unwrap();
+        assert_eq!(c.dtype(), DType::Float);
+        assert_eq!(c.get(0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn builder_rejects_mixed_str_num() {
+        let err = Column::from_values(vec![Value::Int(1), Value::from("x")]).unwrap_err();
+        assert!(err.to_string().contains("type"));
+    }
+
+    #[test]
+    fn nulls_tracked_by_mask() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Null, Value::Int(3)]).unwrap();
+        assert_eq!(c.dtype(), DType::Int);
+        assert_eq!(c.count_valid(), 2);
+        assert!(c.is_null_at(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.numeric_values(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn take_reorders_and_duplicates() {
+        let c = Column::from_i64(vec![10, 20, 30]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![
+            Value::Int(30),
+            Value::Int(10),
+            Value::Int(10)
+        ]);
+    }
+
+    #[test]
+    fn take_all_nulls_keeps_dtype() {
+        let c = Column::from_values(vec![Value::Null, Value::Int(5)]).unwrap();
+        let t = c.take(&[0, 0]);
+        assert_eq!(t.dtype(), DType::Int);
+        assert_eq!(t.count_valid(), 0);
+    }
+
+    #[test]
+    fn append_promotes() {
+        let mut a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_f64(vec![0.5]);
+        a.append(&b).unwrap();
+        assert_eq!(a.dtype(), DType::Float);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(2), Value::Float(0.5));
+    }
+
+    #[test]
+    fn append_incompatible_fails() {
+        let mut a = Column::from_i64(vec![1]);
+        let b = Column::from_strs(["x"]);
+        assert!(a.append(&b).is_err());
+    }
+
+    #[test]
+    fn cast_float() {
+        let c = Column::from_i64(vec![1, 2]).cast_float().unwrap();
+        assert_eq!(c.dtype(), DType::Float);
+        assert!(Column::from_strs(["a"]).cast_float().is_err());
+        let n = Column::nulls_of(DType::Null, 2).cast_float().unwrap();
+        assert_eq!(n.dtype(), DType::Float);
+        assert_eq!(n.count_valid(), 0);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c = Column::nulls_of(DType::Float, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.count_valid(), 0);
+        assert!(c.numeric_values().is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! CSV parsing back into a [`DataFrame`] — the inverse of
+//! [`crate::to_csv`], with RFC-4180 quoting and dtype inference
+//! (int → float → string promotion per column; empty cells are null).
+
+use crate::colkey::ColKey;
+use crate::column::ColumnBuilder;
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::index::Index;
+use crate::value::Value;
+
+/// Parse CSV text into a frame. The first `index_levels` header columns
+/// become the (multi-)index; remaining headers become data columns.
+/// Headers of the form `group.name` reconstruct grouped column keys.
+pub fn from_csv(text: &str, index_levels: usize) -> Result<DataFrame> {
+    if index_levels == 0 {
+        return Err(DfError::Other("need at least one index level".into()));
+    }
+    let mut rows = parse_rows(text)?;
+    if rows.is_empty() {
+        return Err(DfError::Empty("from_csv"));
+    }
+    let header = rows.remove(0);
+    if header.len() < index_levels + 1 {
+        return Err(DfError::Other(format!(
+            "header has {} fields; need {} index levels plus data",
+            header.len(),
+            index_levels
+        )));
+    }
+    let level_names: Vec<String> = header[..index_levels].to_vec();
+    let col_keys: Vec<ColKey> = header[index_levels..]
+        .iter()
+        .map(|h| match h.split_once('.') {
+            // Only treat "a.b" as grouped when both halves are non-empty
+            // and the name itself is not dotted further.
+            Some((g, n)) if !g.is_empty() && !n.is_empty() && !n.contains('.') => {
+                ColKey::grouped(g, n)
+            }
+            _ => ColKey::new(h),
+        })
+        .collect();
+
+    let mut keys: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    let mut builders: Vec<ColumnBuilder> =
+        (0..col_keys.len()).map(|_| ColumnBuilder::new()).collect();
+    for (lineno, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(DfError::Other(format!(
+                "row {} has {} fields, expected {}",
+                lineno + 2,
+                row.len(),
+                header.len()
+            )));
+        }
+        keys.push(row[..index_levels].iter().map(|c| infer(c)).collect());
+        for (b, cell) in builders.iter_mut().zip(row[index_levels..].iter()) {
+            b.push(infer(cell))?;
+        }
+    }
+    let index = Index::new(level_names, keys)?;
+    let mut df = DataFrame::new(index);
+    for (key, b) in col_keys.into_iter().zip(builders) {
+        df.insert(key, b.finish())?;
+    }
+    Ok(df)
+}
+
+/// Infer a cell's value: empty → null, else int, else float, else string.
+fn infer(cell: &str) -> Value {
+    if cell.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = cell.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = cell.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match cell {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        other => Value::from(other),
+    }
+}
+
+/// Split CSV text into rows of unescaped fields (RFC-4180 quoting).
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DfError::Other(
+                            "quote inside unquoted CSV field".into(),
+                        ));
+                    }
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DfError::Other("unterminated CSV quote".into()));
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::display::to_csv;
+    use crate::value::DType;
+
+    fn sample() -> DataFrame {
+        let index = Index::pairs(("node", "profile"), vec![("MAIN", 1i64), ("FOO", 1)]);
+        let mut df = DataFrame::new(index);
+        df.insert("time", Column::from_f64(vec![1.5, 0.25])).unwrap();
+        df.insert("label", Column::from_strs(["a,b", "plain"])).unwrap();
+        df
+    }
+
+    #[test]
+    fn roundtrip_through_csv() {
+        let df = sample();
+        let csv = to_csv(&df);
+        let back = from_csv(&csv, 2).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.index().names(), df.index().names());
+        assert_eq!(
+            back.column(&ColKey::new("time")).unwrap().numeric_values(),
+            vec![1.5, 0.25]
+        );
+        assert_eq!(
+            back.column(&ColKey::new("label")).unwrap().get(0),
+            Value::from("a,b")
+        );
+    }
+
+    #[test]
+    fn grouped_headers_reconstructed() {
+        let df = sample()
+            .select(&[ColKey::new("time")])
+            .unwrap()
+            .with_column_group("CPU");
+        let back = from_csv(&to_csv(&df), 2).unwrap();
+        assert!(back.has_column(&ColKey::grouped("CPU", "time")));
+    }
+
+    #[test]
+    fn dtype_inference() {
+        let csv = "k,i,f,s,b,n\n1,5,2.5,hello,true,\n2,6,3.5,world,false,\n";
+        let df = from_csv(csv, 1).unwrap();
+        assert_eq!(df.column(&ColKey::new("i")).unwrap().dtype(), DType::Int);
+        assert_eq!(df.column(&ColKey::new("f")).unwrap().dtype(), DType::Float);
+        assert_eq!(df.column(&ColKey::new("s")).unwrap().dtype(), DType::Str);
+        assert_eq!(df.column(&ColKey::new("b")).unwrap().dtype(), DType::Bool);
+        assert_eq!(df.column(&ColKey::new("n")).unwrap().count_valid(), 0);
+    }
+
+    #[test]
+    fn quoted_fields_with_newlines() {
+        let csv = "k,x\n1,\"line1\nline2\"\n";
+        let df = from_csv(csv, 1).unwrap();
+        assert_eq!(
+            df.column(&ColKey::new("x")).unwrap().get(0),
+            Value::from("line1\nline2")
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_csv("", 1).is_err());
+        assert!(from_csv("a,b\n1\n", 1).is_err()); // short row
+        assert!(from_csv("a,b\n1,\"unterminated\n", 1).is_err());
+        assert!(from_csv("only_index\n1\n", 1).is_err()); // no data column
+        assert!(from_csv("a,b\n1,2\n", 0).is_err());
+        assert!(from_csv("a,b\n1,x\"y\n", 1).is_err()); // stray quote
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let df = from_csv("k,x\r\n1,2\r\n3,4\r\n", 1).unwrap();
+        assert_eq!(df.len(), 2);
+        assert_eq!(df.column(&ColKey::new("x")).unwrap().numeric_values(), vec![2.0, 4.0]);
+    }
+}

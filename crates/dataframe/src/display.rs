@@ -1,0 +1,179 @@
+//! Plain-text table rendering, including two-level column headers for
+//! composed frames (Figure 4/15 style) and CSV export.
+
+use crate::frame::DataFrame;
+use std::fmt;
+
+/// Render `df` as an aligned text table.
+///
+/// When any column carries a group label, a first header row shows the
+/// groups (spanning their columns) above the metric-name row — matching the
+/// paper's `CPU | GPU` two-level headers.
+pub fn render(df: &DataFrame) -> String {
+    let nlev = df.index().nlevels();
+    let has_groups = df.columns().any(|(k, _)| k.group.is_some());
+
+    // Column text matrix: first index-level columns, then data columns.
+    let mut headers: Vec<String> = df.index().names().to_vec();
+    let mut groups: Vec<String> = vec![String::new(); nlev];
+    for (k, _) in df.columns() {
+        headers.push(k.name.to_string());
+        groups.push(k.group_str().unwrap_or("").to_string());
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(df.len());
+    for r in 0..df.len() {
+        let mut row: Vec<String> = df.index().key(r)
+            .iter()
+            .map(|v| v.display_cell().into_owned())
+            .collect();
+        for (_, c) in df.columns() {
+            row.push(c.get(r).display_cell().into_owned());
+        }
+        rows.push(row);
+    }
+
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    if has_groups {
+        for (w, g) in widths.iter_mut().zip(groups.iter()) {
+            *w = (*w).max(g.len());
+        }
+    }
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, width) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{cell:<width$}"));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    if has_groups {
+        write_row(&mut out, &groups);
+    }
+    write_row(&mut out, &headers);
+    let sep: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(sep.min(160)));
+    out.push('\n');
+    for row in &rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Render `df` as CSV (group labels joined into the header as `group.name`).
+pub fn to_csv(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let mut headers: Vec<String> = df.index().names().to_vec();
+    for (k, _) in df.columns() {
+        headers.push(match k.group_str() {
+            Some(g) => format!("{g}.{}", k.name),
+            None => k.name.to_string(),
+        });
+    }
+    out.push_str(&headers.iter().map(|h| csv_escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for r in 0..df.len() {
+        let mut cells: Vec<String> = df.index().key(r)
+            .iter()
+            .map(|v| csv_escape(&v.display_cell()))
+            .collect();
+        for (_, c) in df.columns() {
+            cells.push(csv_escape(&c.get(r).display_cell()));
+        }
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::index::Index;
+
+    fn sample() -> DataFrame {
+        let index = Index::single("profile", vec![-58107i64, 87514]);
+        let mut df = DataFrame::new(index);
+        df.insert("problem size", Column::from_i64(vec![1048576, 4194304]))
+            .unwrap();
+        df.insert("compiler", Column::from_strs(["clang-9.0.0", "clang-9.0.0"]))
+            .unwrap();
+        df
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("profile"));
+        assert!(lines[0].contains("problem size"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("-58107"));
+        assert!(lines[3].contains("clang-9.0.0"));
+    }
+
+    #[test]
+    fn render_two_level_header() {
+        let df = sample().with_column_group("CPU");
+        let s = render(&df);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("CPU"));
+        assert!(lines[1].contains("compiler"));
+    }
+
+    #[test]
+    fn csv_round_values() {
+        let csv = to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "profile,problem size,compiler");
+        assert_eq!(lines[1], "-58107,1048576,clang-9.0.0");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn csv_grouped_headers_join_with_dot() {
+        let df = sample().with_column_group("GPU");
+        let csv = to_csv(&df);
+        assert!(csv.lines().next().unwrap().contains("GPU.compiler"));
+    }
+
+    #[test]
+    fn display_trait_matches_render() {
+        let df = sample();
+        assert_eq!(format!("{df}"), render(&df));
+    }
+}

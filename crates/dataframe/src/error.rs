@@ -1,0 +1,84 @@
+//! Error type shared by all dataframe operations.
+
+use crate::colkey::ColKey;
+use crate::value::DType;
+use std::fmt;
+
+/// Alias for results of dataframe operations.
+pub type Result<T> = std::result::Result<T, DfError>;
+
+/// Errors raised by dataframe construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfError {
+    /// A column's length does not match the frame's index length.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Length actually provided.
+        actual: usize,
+    },
+    /// A column with this key already exists.
+    DuplicateColumn(ColKey),
+    /// No column with this key exists.
+    MissingColumn(ColKey),
+    /// Incompatible dtypes for an operation.
+    TypeError {
+        /// Dtype the operation expected (or the left-hand dtype).
+        expected: DType,
+        /// Dtype encountered.
+        actual: DType,
+    },
+    /// Two frames' indices are incompatible for the requested operation.
+    IndexMismatch(String),
+    /// An index level name was not found.
+    MissingLevel(String),
+    /// The operation is undefined for an empty input.
+    Empty(&'static str),
+    /// Anything else (parse failures, invalid arguments).
+    Other(String),
+}
+
+impl DfError {
+    pub(crate) fn type_error(expected: DType, actual: DType) -> Self {
+        DfError::TypeError { expected, actual }
+    }
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::LengthMismatch { expected, actual } => {
+                write!(f, "column length {actual} does not match index length {expected}")
+            }
+            DfError::DuplicateColumn(k) => write!(f, "column {k} already exists"),
+            DfError::MissingColumn(k) => write!(f, "no column named {k}"),
+            DfError::TypeError { expected, actual } => {
+                write!(f, "incompatible types: expected {expected}, got {actual}")
+            }
+            DfError::IndexMismatch(msg) => write!(f, "index mismatch: {msg}"),
+            DfError::MissingLevel(name) => write!(f, "no index level named {name:?}"),
+            DfError::Empty(op) => write!(f, "{op} is undefined on an empty input"),
+            DfError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DfError::LengthMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert_eq!(e.to_string(), "column length 2 does not match index length 3");
+        assert!(DfError::MissingColumn(ColKey::new("time"))
+            .to_string()
+            .contains("time"));
+        assert!(DfError::MissingLevel("node".into()).to_string().contains("node"));
+    }
+}

@@ -1,0 +1,574 @@
+//! The [`DataFrame`]: a multi-indexed, column-oriented table.
+
+use crate::colkey::ColKey;
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{DfError, Result};
+use crate::index::{Index, Key};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A column-oriented table with a hierarchical row index and (optionally)
+/// grouped column keys. This is the pandas-DataFrame stand-in that backs all
+/// three thicket components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    index: Index,
+    cols: Vec<(ColKey, Column)>,
+    lookup: HashMap<ColKey, usize>,
+}
+
+impl DataFrame {
+    /// An empty frame over `index` (no columns yet).
+    pub fn new(index: Index) -> Self {
+        DataFrame {
+            index,
+            cols: Vec::new(),
+            lookup: HashMap::new(),
+        }
+    }
+
+    /// Build a frame from an index and columns, validating lengths.
+    pub fn from_columns(
+        index: Index,
+        cols: impl IntoIterator<Item = (ColKey, Column)>,
+    ) -> Result<Self> {
+        let mut df = DataFrame::new(index);
+        for (k, c) in cols {
+            df.insert(k, c)?;
+        }
+        Ok(df)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The row index.
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+
+    /// Column keys in insertion order.
+    pub fn column_keys(&self) -> Vec<ColKey> {
+        self.cols.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// `true` if a column with this key exists.
+    pub fn has_column(&self, key: &ColKey) -> bool {
+        self.lookup.contains_key(key)
+    }
+
+    /// Insert a column; fails on duplicate key or length mismatch.
+    pub fn insert(&mut self, key: impl Into<ColKey>, col: Column) -> Result<()> {
+        let key = key.into();
+        if self.lookup.contains_key(&key) {
+            return Err(DfError::DuplicateColumn(key));
+        }
+        if col.len() != self.len() {
+            return Err(DfError::LengthMismatch {
+                expected: self.len(),
+                actual: col.len(),
+            });
+        }
+        self.lookup.insert(key.clone(), self.cols.len());
+        self.cols.push((key, col));
+        Ok(())
+    }
+
+    /// Insert a column built from dynamic values.
+    pub fn insert_values(
+        &mut self,
+        key: impl Into<ColKey>,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Result<()> {
+        self.insert(key, Column::from_values(values)?)
+    }
+
+    /// Replace an existing column (or insert if missing).
+    pub fn upsert(&mut self, key: impl Into<ColKey>, col: Column) -> Result<()> {
+        let key = key.into();
+        if col.len() != self.len() {
+            return Err(DfError::LengthMismatch {
+                expected: self.len(),
+                actual: col.len(),
+            });
+        }
+        match self.lookup.get(&key) {
+            Some(&i) => {
+                self.cols[i].1 = col;
+                Ok(())
+            }
+            None => self.insert(key, col),
+        }
+    }
+
+    /// Borrow a column.
+    pub fn column(&self, key: &ColKey) -> Result<&Column> {
+        self.lookup
+            .get(key)
+            .map(|&i| &self.cols[i].1)
+            .ok_or_else(|| DfError::MissingColumn(key.clone()))
+    }
+
+    /// Borrow a column by bare name, ignoring group labels; fails if the
+    /// name is ambiguous across groups.
+    pub fn column_named(&self, name: &str) -> Result<&Column> {
+        let mut found: Option<&Column> = None;
+        for (k, c) in &self.cols {
+            if k.name.as_ref() == name {
+                if found.is_some() {
+                    return Err(DfError::Other(format!(
+                        "column name {name:?} is ambiguous across groups"
+                    )));
+                }
+                found = Some(c);
+            }
+        }
+        found.ok_or_else(|| DfError::MissingColumn(ColKey::new(name)))
+    }
+
+    /// Cell access.
+    pub fn value(&self, row: usize, key: &ColKey) -> Result<Value> {
+        Ok(self.column(key)?.get(row))
+    }
+
+    /// Iterate `(key, column)` pairs in order.
+    pub fn columns(&self) -> impl Iterator<Item = (&ColKey, &Column)> {
+        self.cols.iter().map(|(k, c)| (k, c))
+    }
+
+    /// A read-only view of one row.
+    pub fn row(&self, row: usize) -> RowRef<'_> {
+        RowRef { df: self, row }
+    }
+
+    /// New frame with only the requested columns (in the given order).
+    pub fn select(&self, keys: &[ColKey]) -> Result<DataFrame> {
+        let mut df = DataFrame::new(self.index.clone());
+        for k in keys {
+            df.insert(k.clone(), self.column(k)?.clone())?;
+        }
+        Ok(df)
+    }
+
+    /// New frame without the given columns (missing keys are ignored).
+    pub fn drop_columns(&self, keys: &[ColKey]) -> DataFrame {
+        let mut df = DataFrame::new(self.index.clone());
+        for (k, c) in &self.cols {
+            if !keys.contains(k) {
+                df.insert(k.clone(), c.clone()).expect("unique keys");
+            }
+        }
+        df
+    }
+
+    /// New frame containing the given row positions (in order).
+    pub fn take(&self, rows: &[usize]) -> DataFrame {
+        let mut df = DataFrame::new(self.index.take(rows));
+        for (k, c) in &self.cols {
+            df.insert(k.clone(), c.take(rows)).expect("lengths match");
+        }
+        df
+    }
+
+    /// Keep only rows where `pred` holds.
+    pub fn filter<F: FnMut(RowRef<'_>) -> bool>(&self, mut pred: F) -> DataFrame {
+        let rows: Vec<usize> = (0..self.len())
+            .filter(|&i| pred(RowRef { df: self, row: i }))
+            .collect();
+        self.take(&rows)
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let rows: Vec<usize> = (0..self.len().min(n)).collect();
+        self.take(&rows)
+    }
+
+    /// New frame sorted by the row index (stable).
+    pub fn sort_by_index(&self) -> DataFrame {
+        self.take(&self.index.argsort())
+    }
+
+    /// New frame sorted by a column (stable; nulls last when ascending).
+    pub fn sort_by(&self, key: &ColKey, ascending: bool) -> Result<DataFrame> {
+        let col = self.column(key)?;
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            let va = col.get(a);
+            let vb = col.get(b);
+            // Nulls always sort to the end regardless of direction.
+            match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => {
+                    if ascending {
+                        va.cmp(&vb)
+                    } else {
+                        vb.cmp(&va)
+                    }
+                }
+            }
+        });
+        Ok(self.take(&order))
+    }
+
+    /// Distinct values of one column, in first-seen order.
+    pub fn unique(&self, key: &ColKey) -> Result<Vec<Value>> {
+        let col = self.column(key)?;
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for v in col.iter() {
+            if seen.insert(v.clone()) {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// New frame with every column key re-labelled under `group`
+    /// (used when composing thickets along the column axis).
+    pub fn with_column_group(&self, group: &str) -> DataFrame {
+        let mut df = DataFrame::new(self.index.clone());
+        for (k, c) in &self.cols {
+            df.insert(k.under(group), c.clone()).expect("unique keys");
+        }
+        df
+    }
+
+    /// New frame with one column renamed.
+    pub fn rename(&self, from: &ColKey, to: impl Into<ColKey>) -> Result<DataFrame> {
+        let to = to.into();
+        if !self.has_column(from) {
+            return Err(DfError::MissingColumn(from.clone()));
+        }
+        let mut df = DataFrame::new(self.index.clone());
+        for (k, c) in &self.cols {
+            let nk = if k == from { to.clone() } else { k.clone() };
+            df.insert(nk, c.clone())?;
+        }
+        Ok(df)
+    }
+
+    /// Vertically concatenate frames sharing identical level names and
+    /// column keys (columns are matched by key; dtypes promote).
+    pub fn concat_rows(frames: &[&DataFrame]) -> Result<DataFrame> {
+        let first = frames.first().ok_or(DfError::Empty("concat_rows"))?;
+        let names = first.index.names().to_vec();
+        let keys = first.column_keys();
+        let mut index = Index::empty(names.clone());
+        for f in frames {
+            if f.index.names() != names.as_slice() {
+                return Err(DfError::IndexMismatch(format!(
+                    "level names {:?} vs {:?}",
+                    f.index.names(),
+                    names
+                )));
+            }
+            for k in f.index.keys() {
+                index.push(k.clone())?;
+            }
+        }
+        let mut df = DataFrame::new(index);
+        for key in &keys {
+            let mut col = first.column(key)?.clone();
+            for f in &frames[1..] {
+                col.append(f.column(key)?)?;
+            }
+            df.insert(key.clone(), col)?;
+        }
+        Ok(df)
+    }
+
+    /// Collect one column per key-group of the index: for each distinct
+    /// index key (in first-seen order) return the rows carrying it.
+    pub fn rows_by_index_key(&self) -> (Vec<Key>, Vec<Vec<usize>>) {
+        self.index.group_positions()
+    }
+
+}
+
+/// Read-only view of one dataframe row, used by filter predicates.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    df: &'a DataFrame,
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// Position of this row in the frame.
+    pub fn position(&self) -> usize {
+        self.row
+    }
+
+    /// Value of an index level (`Null` if the level does not exist).
+    pub fn level(&self, name: &str) -> Value {
+        self.df.index.get(self.row, name).unwrap_or(Value::Null)
+    }
+
+    /// Cell value (`Null` if the column does not exist).
+    pub fn get(&self, key: impl Into<ColKey>) -> Value {
+        let key = key.into();
+        self.df
+            .column(&key)
+            .map(|c| c.get(self.row))
+            .unwrap_or(Value::Null)
+    }
+
+    /// Numeric cell value.
+    pub fn f64(&self, key: impl Into<ColKey>) -> Option<f64> {
+        self.get(key).as_f64()
+    }
+
+    /// String cell value.
+    pub fn str(&self, key: impl Into<ColKey>) -> Option<String> {
+        self.get(key).as_str().map(str::to_owned)
+    }
+}
+
+/// Build a [`DataFrame`] row by row when the shape isn't known up front.
+pub struct FrameBuilder {
+    names: Vec<String>,
+    keys: Vec<Key>,
+    col_order: Vec<ColKey>,
+    builders: HashMap<ColKey, ColumnBuilder>,
+}
+
+impl FrameBuilder {
+    /// New builder over the given index level names.
+    pub fn new(level_names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        FrameBuilder {
+            names: level_names.into_iter().map(Into::into).collect(),
+            keys: Vec::new(),
+            col_order: Vec::new(),
+            builders: HashMap::new(),
+        }
+    }
+
+    /// Append one row: an index key plus `(column, value)` cells. Columns
+    /// unseen so far are created and back-filled with nulls; columns absent
+    /// from this row get null.
+    pub fn push_row(
+        &mut self,
+        key: Key,
+        cells: impl IntoIterator<Item = (ColKey, Value)>,
+    ) -> Result<()> {
+        if key.len() != self.names.len() {
+            return Err(DfError::IndexMismatch(format!(
+                "key has {} values but the index has {} levels",
+                key.len(),
+                self.names.len()
+            )));
+        }
+        let row = self.keys.len();
+        self.keys.push(key);
+        let mut filled: std::collections::HashSet<ColKey> = std::collections::HashSet::new();
+        for (ck, v) in cells {
+            if !self.builders.contains_key(&ck) {
+                let mut b = ColumnBuilder::new();
+                for _ in 0..row {
+                    b.push(Value::Null).expect("null always accepted");
+                }
+                self.builders.insert(ck.clone(), b);
+                self.col_order.push(ck.clone());
+            }
+            self.builders
+                .get_mut(&ck)
+                .expect("just inserted")
+                .push(v)?;
+            filled.insert(ck);
+        }
+        // Null-pad columns this row did not mention.
+        for ck in &self.col_order {
+            if !filled.contains(ck) {
+                let b = self.builders.get_mut(ck).unwrap();
+                if b.len() == row {
+                    b.push(Value::Null).expect("null always accepted");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize the frame.
+    pub fn finish(self) -> Result<DataFrame> {
+        let index = Index::new(self.names, self.keys)?;
+        let mut builders = self.builders;
+        let mut df = DataFrame::new(index);
+        for ck in self.col_order {
+            let b = builders.remove(&ck).expect("builder exists");
+            df.insert(ck, b.finish())?;
+        }
+        Ok(df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        let index = Index::pairs(
+            ("node", "profile"),
+            vec![(1i64, 10i64), (1, 20), (2, 10), (2, 20)],
+        );
+        let mut df = DataFrame::new(index);
+        df.insert("time", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        df.insert("reps", Column::from_i64(vec![100, 100, 200, 200]))
+            .unwrap();
+        df.insert("variant", Column::from_strs(["seq", "omp", "seq", "omp"]))
+            .unwrap();
+        df
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut df = sample();
+        assert!(matches!(
+            df.insert("time", Column::from_f64(vec![0.0; 4])),
+            Err(DfError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            df.insert("short", Column::from_f64(vec![0.0])),
+            Err(DfError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn select_and_drop() {
+        let df = sample();
+        let s = df.select(&[ColKey::new("reps")]).unwrap();
+        assert_eq!(s.ncols(), 1);
+        assert_eq!(s.len(), 4);
+        let d = df.drop_columns(&[ColKey::new("reps")]);
+        assert_eq!(d.ncols(), 2);
+        assert!(df.select(&[ColKey::new("nope")]).is_err());
+    }
+
+    #[test]
+    fn filter_by_row_view() {
+        let df = sample();
+        let f = df.filter(|r| r.str("variant").as_deref() == Some("omp"));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.index().key(0), &vec![Value::Int(1), Value::Int(20)]);
+    }
+
+    #[test]
+    fn filter_on_index_level() {
+        let df = sample();
+        let f = df.filter(|r| r.level("node") == Value::Int(2));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.column(&ColKey::new("time")).unwrap().numeric_values(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn sort_by_column_desc_nulls_last() {
+        let index = Index::single("i", vec![0i64, 1, 2]);
+        let mut df = DataFrame::new(index);
+        df.insert_values(
+            "x",
+            vec![Value::Float(1.0), Value::Null, Value::Float(5.0)],
+        )
+        .unwrap();
+        let sorted = df.sort_by(&ColKey::new("x"), false).unwrap();
+        let vals: Vec<Value> = sorted.column(&ColKey::new("x")).unwrap().iter().collect();
+        assert_eq!(vals, vec![Value::Float(5.0), Value::Float(1.0), Value::Null]);
+    }
+
+    #[test]
+    fn unique_first_seen_order() {
+        let df = sample();
+        assert_eq!(
+            df.unique(&ColKey::new("variant")).unwrap(),
+            vec![Value::from("seq"), Value::from("omp")]
+        );
+    }
+
+    #[test]
+    fn column_group_relabel() {
+        let df = sample().with_column_group("CPU");
+        assert!(df.has_column(&ColKey::grouped("CPU", "time")));
+        assert!(!df.has_column(&ColKey::new("time")));
+    }
+
+    #[test]
+    fn concat_rows_matches_columns() {
+        let a = sample();
+        let b = sample();
+        let c = DataFrame::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.ncols(), 3);
+    }
+
+    #[test]
+    fn concat_rows_rejects_mismatched_levels() {
+        let a = sample();
+        let idx = Index::single("other", vec![1i64]);
+        let mut b = DataFrame::new(idx);
+        b.insert("time", Column::from_f64(vec![0.0])).unwrap();
+        assert!(DataFrame::concat_rows(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn frame_builder_backfills_nulls() {
+        let mut fb = FrameBuilder::new(["profile"]);
+        fb.push_row(
+            vec![Value::Int(1)],
+            vec![(ColKey::new("a"), Value::Int(10))],
+        )
+        .unwrap();
+        fb.push_row(
+            vec![Value::Int(2)],
+            vec![
+                (ColKey::new("a"), Value::Int(20)),
+                (ColKey::new("b"), Value::from("x")),
+            ],
+        )
+        .unwrap();
+        fb.push_row(vec![Value::Int(3)], vec![]).unwrap();
+        let df = fb.finish().unwrap();
+        assert_eq!(df.len(), 3);
+        let b = df.column(&ColKey::new("b")).unwrap();
+        assert!(b.is_null_at(0));
+        assert_eq!(b.get(1), Value::from("x"));
+        assert!(b.is_null_at(2));
+    }
+
+    #[test]
+    fn rename_column() {
+        let df = sample();
+        let r = df.rename(&ColKey::new("time"), "time (exc)").unwrap();
+        assert!(r.has_column(&ColKey::new("time (exc)")));
+        assert!(df.rename(&ColKey::new("zzz"), "w").is_err());
+    }
+
+    #[test]
+    fn head_truncates() {
+        let df = sample();
+        assert_eq!(df.head(2).len(), 2);
+        assert_eq!(df.head(10).len(), 4);
+    }
+
+    #[test]
+    fn column_named_resolves_unambiguous() {
+        let df = sample().with_column_group("CPU");
+        assert!(df.column_named("time").is_ok());
+        let mut both = df.clone();
+        both.insert(ColKey::grouped("GPU", "time"), Column::from_f64(vec![0.0; 4]))
+            .unwrap();
+        assert!(both.column_named("time").is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Group-by: split a frame into groups by column values or index levels,
+//! then aggregate each group (the engine behind `Thicket::groupby` and the
+//! aggregated-statistics table).
+
+use crate::agg::AggFn;
+use crate::colkey::ColKey;
+use crate::column::ColumnBuilder;
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::index::Index;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// The result of splitting a frame: group keys (first-seen order) and the
+/// member row positions of each group.
+#[derive(Debug, Clone)]
+pub struct GroupBy<'a> {
+    frame: &'a DataFrame,
+    /// Names of the grouping dimensions (column names or level names).
+    by: Vec<String>,
+    keys: Vec<Vec<Value>>,
+    groups: Vec<Vec<usize>>,
+}
+
+impl<'a> GroupBy<'a> {
+    /// Split by one or more *columns*.
+    pub fn by_columns(frame: &'a DataFrame, cols: &[ColKey]) -> Result<Self> {
+        let columns: Vec<_> = cols
+            .iter()
+            .map(|k| frame.column(k))
+            .collect::<Result<_>>()?;
+        let key_of = |row: usize| -> Vec<Value> { columns.iter().map(|c| c.get(row)).collect() };
+        Ok(Self::split(
+            frame,
+            cols.iter().map(|k| k.name.to_string()).collect(),
+            key_of,
+        ))
+    }
+
+    /// Split by one or more *index levels*.
+    pub fn by_levels(frame: &'a DataFrame, levels: &[&str]) -> Result<Self> {
+        let pos: Vec<usize> = levels
+            .iter()
+            .map(|l| frame.index().level_pos(l))
+            .collect::<Result<_>>()?;
+        let key_of =
+            |row: usize| -> Vec<Value> { pos.iter().map(|&p| frame.index().key(row)[p].clone()).collect() };
+        Ok(Self::split(
+            frame,
+            levels.iter().map(|s| s.to_string()).collect(),
+            key_of,
+        ))
+    }
+
+    fn split(
+        frame: &'a DataFrame,
+        by: Vec<String>,
+        key_of: impl Fn(usize) -> Vec<Value>,
+    ) -> Self {
+        let mut seen: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut keys = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for row in 0..frame.len() {
+            let k = key_of(row);
+            match seen.get(&k) {
+                Some(&g) => groups[g].push(row),
+                None => {
+                    seen.insert(k.clone(), keys.len());
+                    keys.push(k);
+                    groups.push(vec![row]);
+                }
+            }
+        }
+        GroupBy {
+            frame,
+            by,
+            keys,
+            groups,
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if the input had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Group keys in first-seen order.
+    pub fn keys(&self) -> &[Vec<Value>] {
+        &self.keys
+    }
+
+    /// The grouping dimension names.
+    pub fn by(&self) -> &[String] {
+        &self.by
+    }
+
+    /// Iterate `(key, sub-frame)` pairs; each sub-frame keeps the original
+    /// index and columns of its member rows.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, DataFrame)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.groups.iter())
+            .map(|(k, rows)| (k, self.frame.take(rows)))
+    }
+
+    /// Member row positions per group, aligned with [`GroupBy::keys`].
+    pub fn group_rows(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Reduce every numeric column with `func`, producing one row per group
+    /// indexed by the group key. Non-numeric columns are dropped.
+    pub fn agg(&self, func: AggFn) -> Result<DataFrame> {
+        self.agg_columns(
+            &self
+                .frame
+                .columns()
+                .filter(|(_, c)| c.dtype().is_numeric())
+                .map(|(k, _)| (k.clone(), vec![func]))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Reduce selected columns, each with its own list of aggregations.
+    /// Output columns are named `<name>_<agg>` (paper style: `time (exc)_std`)
+    /// unless only one aggregation is requested for that column set with
+    /// `rename: false` semantics — here we always suffix for predictability.
+    pub fn agg_columns(&self, specs: &[(ColKey, Vec<AggFn>)]) -> Result<DataFrame> {
+        let index = Index::new(
+            self.by.clone(),
+            self.keys.clone(),
+        )?;
+        let mut out = DataFrame::new(index);
+        for (ck, funcs) in specs {
+            let col = self.frame.column(ck)?;
+            if !col.dtype().is_numeric() && col.dtype() != crate::value::DType::Null {
+                return Err(DfError::type_error(crate::value::DType::Float, col.dtype()));
+            }
+            for func in funcs {
+                let mut b = ColumnBuilder::with_capacity(self.groups.len());
+                for rows in &self.groups {
+                    let vals: Vec<f64> = rows.iter().filter_map(|&r| col.get_f64(r)).collect();
+                    b.push(func.apply(&vals).map(Value::Float).unwrap_or(Value::Null))?;
+                }
+                let name = format!("{}_{}", ck.name, func.suffix());
+                let key = match &ck.group {
+                    Some(g) => ColKey::grouped(g.as_ref(), &name),
+                    None => ColKey::new(&name),
+                };
+                out.insert(key, b.finish())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> DataFrame {
+        let index = Index::pairs(
+            ("node", "profile"),
+            vec![(1i64, 10i64), (1, 20), (2, 10), (2, 20), (2, 30)],
+        );
+        let mut df = DataFrame::new(index);
+        df.insert("time", Column::from_f64(vec![1.0, 3.0, 10.0, 20.0, 30.0]))
+            .unwrap();
+        df.insert(
+            "compiler",
+            Column::from_strs(["clang", "gcc", "clang", "gcc", "gcc"]),
+        )
+        .unwrap();
+        df
+    }
+
+    #[test]
+    fn groupby_column_splits() {
+        let df = sample();
+        let g = GroupBy::by_columns(&df, &[ColKey::new("compiler")]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.keys()[0], vec![Value::from("clang")]);
+        let subframes: Vec<_> = g.iter().map(|(_, f)| f.len()).collect();
+        assert_eq!(subframes, vec![2, 3]);
+    }
+
+    #[test]
+    fn groupby_level_aggregates() {
+        let df = sample();
+        let g = GroupBy::by_levels(&df, &["node"]).unwrap();
+        let agg = g.agg(AggFn::Mean).unwrap();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg.index().names(), &["node".to_string()]);
+        let col = agg.column(&ColKey::new("time_mean")).unwrap();
+        assert_eq!(col.numeric_values(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn agg_columns_multiple_functions() {
+        let df = sample();
+        let g = GroupBy::by_levels(&df, &["node"]).unwrap();
+        let agg = g
+            .agg_columns(&[(ColKey::new("time"), vec![AggFn::Min, AggFn::Max, AggFn::Std])])
+            .unwrap();
+        assert_eq!(agg.ncols(), 3);
+        assert_eq!(
+            agg.column(&ColKey::new("time_min")).unwrap().numeric_values(),
+            vec![1.0, 10.0]
+        );
+        assert_eq!(
+            agg.column(&ColKey::new("time_max")).unwrap().numeric_values(),
+            vec![3.0, 30.0]
+        );
+    }
+
+    #[test]
+    fn agg_rejects_string_columns() {
+        let df = sample();
+        let g = GroupBy::by_levels(&df, &["node"]).unwrap();
+        assert!(g
+            .agg_columns(&[(ColKey::new("compiler"), vec![AggFn::Mean])])
+            .is_err());
+    }
+
+    #[test]
+    fn agg_skips_string_columns_in_blanket_mode() {
+        let df = sample();
+        let g = GroupBy::by_levels(&df, &["node"]).unwrap();
+        let agg = g.agg(AggFn::Mean).unwrap();
+        assert_eq!(agg.ncols(), 1); // only "time"
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let df = sample();
+        let g = GroupBy::by_levels(&df, &["node", "profile"]).unwrap();
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn missing_level_errors() {
+        let df = sample();
+        assert!(GroupBy::by_levels(&df, &["nope"]).is_err());
+        assert!(GroupBy::by_columns(&df, &[ColKey::new("nope")]).is_err());
+    }
+
+    #[test]
+    fn empty_frame_groups_to_nothing() {
+        let df = DataFrame::new(Index::empty(["k"]));
+        let g = GroupBy::by_levels(&df, &["k"]).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.agg(AggFn::Mean).unwrap().len(), 0);
+    }
+}

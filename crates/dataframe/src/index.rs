@@ -1,0 +1,280 @@
+//! Hierarchical (multi-level) row index.
+//!
+//! Thicket's performance-data table is keyed by the pair *(call-tree node,
+//! profile)* — a two-level index — while metadata and statistics tables use
+//! single-level indices (*profile* and *node* respectively). [`Index`]
+//! generalizes to any number of named levels whose entries are [`Value`]s.
+
+use crate::error::{DfError, Result};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One row's index entry: a tuple of per-level values.
+pub type Key = Vec<Value>;
+
+/// A named, multi-level row index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Index {
+    names: Vec<String>,
+    keys: Vec<Key>,
+}
+
+impl Index {
+    /// New index with the given level names and row keys.
+    ///
+    /// Every key must have exactly one value per level.
+    pub fn new(
+        names: impl IntoIterator<Item = impl Into<String>>,
+        keys: Vec<Key>,
+    ) -> Result<Self> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(DfError::Other("index needs at least one level".into()));
+        }
+        for (i, k) in keys.iter().enumerate() {
+            if k.len() != names.len() {
+                return Err(DfError::IndexMismatch(format!(
+                    "key {i} has {} values but the index has {} levels",
+                    k.len(),
+                    names.len()
+                )));
+            }
+        }
+        Ok(Index { names, keys })
+    }
+
+    /// Single-level index from scalar values.
+    pub fn single(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> Self {
+        Index {
+            names: vec![name.into()],
+            keys: values.into_iter().map(|v| vec![v.into()]).collect(),
+        }
+    }
+
+    /// Two-level index from value pairs.
+    pub fn pairs(
+        names: (impl Into<String>, impl Into<String>),
+        values: impl IntoIterator<Item = (impl Into<Value>, impl Into<Value>)>,
+    ) -> Self {
+        Index {
+            names: vec![names.0.into(), names.1.into()],
+            keys: values
+                .into_iter()
+                .map(|(a, b)| vec![a.into(), b.into()])
+                .collect(),
+        }
+    }
+
+    /// An empty index with the given level names.
+    pub fn empty(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Index {
+            names: names.into_iter().map(Into::into).collect(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of levels.
+    pub fn nlevels(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Level names, in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// All row keys, in order.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// The key of row `i`.
+    pub fn key(&self, i: usize) -> &Key {
+        &self.keys[i]
+    }
+
+    /// Position of the level called `name`.
+    pub fn level_pos(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| DfError::MissingLevel(name.to_string()))
+    }
+
+    /// The values of one level across all rows.
+    pub fn level_values(&self, name: &str) -> Result<Vec<Value>> {
+        let p = self.level_pos(name)?;
+        Ok(self.keys.iter().map(|k| k[p].clone()).collect())
+    }
+
+    /// Value of level `name` at row `i`.
+    pub fn get(&self, i: usize, name: &str) -> Result<Value> {
+        let p = self.level_pos(name)?;
+        Ok(self.keys[i][p].clone())
+    }
+
+    /// Append one row key.
+    pub fn push(&mut self, key: Key) -> Result<()> {
+        if key.len() != self.names.len() {
+            return Err(DfError::IndexMismatch(format!(
+                "key has {} values but the index has {} levels",
+                key.len(),
+                self.names.len()
+            )));
+        }
+        self.keys.push(key);
+        Ok(())
+    }
+
+    /// New index with only the given row positions (in order).
+    pub fn take(&self, rows: &[usize]) -> Index {
+        Index {
+            names: self.names.clone(),
+            keys: rows.iter().map(|&r| self.keys[r].clone()).collect(),
+        }
+    }
+
+    /// First positions of each distinct key, preserving first-seen order,
+    /// plus the rows carrying each key.
+    pub fn group_positions(&self) -> (Vec<Key>, Vec<Vec<usize>>) {
+        let mut order: Vec<Key> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut seen: HashMap<&Key, usize> = HashMap::new();
+        for (i, k) in self.keys.iter().enumerate() {
+            if let Some(&g) = seen.get(k) {
+                groups[g].push(i);
+            } else {
+                seen.insert(k, order.len());
+                order.push(k.clone());
+                groups.push(vec![i]);
+            }
+        }
+        (order, groups)
+    }
+
+    /// Map from key to all row positions carrying it.
+    pub fn positions_by_key(&self) -> HashMap<Key, Vec<usize>> {
+        let mut m: HashMap<Key, Vec<usize>> = HashMap::new();
+        for (i, k) in self.keys.iter().enumerate() {
+            m.entry(k.clone()).or_default().push(i);
+        }
+        m
+    }
+
+    /// `true` if every key appears exactly once.
+    pub fn is_unique(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.keys.iter().all(|k| seen.insert(k))
+    }
+
+    /// Row positions sorted by key (stable; ties keep original order).
+    pub fn argsort(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| self.keys[a].cmp(&self.keys[b]));
+        order
+    }
+
+    /// Render one key for display (multi-level keys comma-joined).
+    pub fn format_key(&self, i: usize) -> String {
+        let parts: Vec<String> = self.keys[i]
+            .iter()
+            .map(|v| v.display_cell().into_owned())
+            .collect();
+        parts.join(", ")
+    }
+}
+
+impl fmt::Display for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Index[{}; {} rows]", self.names.join(", "), self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> Index {
+        Index::pairs(
+            ("node", "profile"),
+            vec![(1i64, 100i64), (1, 200), (2, 100), (2, 200)],
+        )
+    }
+
+    #[test]
+    fn construction_validates_arity() {
+        let bad = Index::new(["a", "b"], vec![vec![Value::Int(1)]]);
+        assert!(bad.is_err());
+        let ok = Index::new(["a"], vec![vec![Value::Int(1)]]).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(Index::new(Vec::<String>::new(), vec![]).is_err());
+    }
+
+    #[test]
+    fn level_access() {
+        let i = idx();
+        assert_eq!(i.nlevels(), 2);
+        assert_eq!(
+            i.level_values("profile").unwrap(),
+            vec![
+                Value::Int(100),
+                Value::Int(200),
+                Value::Int(100),
+                Value::Int(200)
+            ]
+        );
+        assert_eq!(i.get(2, "node").unwrap(), Value::Int(2));
+        assert!(i.level_values("nope").is_err());
+    }
+
+    #[test]
+    fn grouping_preserves_first_seen_order() {
+        let i = Index::single("k", vec!["b", "a", "b", "c"]);
+        let (keys, groups) = i.group_positions();
+        assert_eq!(keys, vec![Value::from("b"), Value::from("a"), Value::from("c")]
+            .into_iter()
+            .map(|v| vec![v])
+            .collect::<Vec<_>>());
+        assert_eq!(groups, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn uniqueness_and_argsort() {
+        let i = idx();
+        assert!(i.is_unique());
+        let dup = Index::single("k", vec![1i64, 1]);
+        assert!(!dup.is_unique());
+        let unsorted = Index::single("k", vec![3i64, 1, 2]);
+        assert_eq!(unsorted.argsort(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn take_and_push() {
+        let mut i = idx();
+        let t = i.take(&[3, 0]);
+        assert_eq!(t.key(0), &vec![Value::Int(2), Value::Int(200)]);
+        i.push(vec![Value::Int(9), Value::Int(1)]).unwrap();
+        assert_eq!(i.len(), 5);
+        assert!(i.push(vec![Value::Int(9)]).is_err());
+    }
+
+    #[test]
+    fn format_key_joins_levels() {
+        let i = idx();
+        assert_eq!(i.format_key(0), "1, 100");
+    }
+}

@@ -1,0 +1,200 @@
+//! Index-aligned joins between frames — the primitive behind composing
+//! multiple thicket objects along the column axis (paper §3.2.2).
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::index::{Index, Key};
+use std::collections::HashSet;
+
+/// Join strategy over row-index keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinHow {
+    /// Keep only keys present in *both* frames (the paper's hierarchical
+    /// composition keeps `(node, profile)` pairs present in all inputs).
+    Inner,
+    /// Keep keys from either frame, null-filling the missing side.
+    Outer,
+    /// Keep the left frame's keys.
+    Left,
+}
+
+/// Join two frames on their (identically named) row indices.
+///
+/// Both indices must be unique; colliding column keys are an error (label
+/// the sides with [`DataFrame::with_column_group`] first, as thicket's
+/// column-axis composition does).
+pub fn join(left: &DataFrame, right: &DataFrame, how: JoinHow) -> Result<DataFrame> {
+    if left.index().names() != right.index().names() {
+        return Err(DfError::IndexMismatch(format!(
+            "level names {:?} vs {:?}",
+            left.index().names(),
+            right.index().names()
+        )));
+    }
+    if !left.index().is_unique() || !right.index().is_unique() {
+        return Err(DfError::IndexMismatch(
+            "join requires unique indices on both sides".into(),
+        ));
+    }
+    let lkeys: HashSet<&Key> = left.index().keys().iter().collect();
+    let rpos = right.index().positions_by_key();
+
+    // Decide the output key order: left order first, then (for Outer)
+    // right-only keys in right order.
+    let mut out_keys: Vec<Key> = Vec::new();
+    match how {
+        JoinHow::Inner => {
+            for k in left.index().keys() {
+                if rpos.contains_key(k) {
+                    out_keys.push(k.clone());
+                }
+            }
+        }
+        JoinHow::Left => out_keys = left.index().keys().to_vec(),
+        JoinHow::Outer => {
+            out_keys = left.index().keys().to_vec();
+            for k in right.index().keys() {
+                if !lkeys.contains(k) {
+                    out_keys.push(k.clone());
+                }
+            }
+        }
+    }
+
+    let lpos = left.index().positions_by_key();
+    let index = Index::new(left.index().names().to_vec(), out_keys.clone())?;
+    let mut out = DataFrame::new(index);
+
+    let gather = |src: &DataFrame,
+                  pos: &std::collections::HashMap<Key, Vec<usize>>,
+                  col: &Column|
+     -> Result<Column> {
+        let mut b = ColumnBuilder::with_capacity(out_keys.len());
+        for k in &out_keys {
+            match pos.get(k) {
+                Some(rows) => b.push(col.get(rows[0]))?,
+                None => b.push(crate::value::Value::Null)?,
+            }
+        }
+        let mut c = b.finish();
+        if c.dtype() == crate::value::DType::Null && col.dtype() != crate::value::DType::Null {
+            c = Column::nulls_of(col.dtype(), out_keys.len());
+        }
+        let _ = src;
+        Ok(c)
+    };
+
+    for (k, c) in left.columns() {
+        if right.has_column(k) {
+            return Err(DfError::DuplicateColumn(k.clone()));
+        }
+        out.insert(k.clone(), gather(left, &lpos, c)?)?;
+    }
+    for (k, c) in right.columns() {
+        out.insert(k.clone(), gather(right, &rpos, c)?)?;
+    }
+    Ok(out)
+}
+
+/// Join many frames left-to-right with the same strategy.
+pub fn join_many(frames: &[&DataFrame], how: JoinHow) -> Result<DataFrame> {
+    let mut it = frames.iter();
+    let first = it.next().ok_or(DfError::Empty("join_many"))?;
+    let mut acc = (*first).clone();
+    for f in it {
+        acc = join(&acc, f, how)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colkey::ColKey;
+    use crate::value::Value;
+
+    fn frame(keys: Vec<i64>, col: &str, vals: Vec<f64>) -> DataFrame {
+        let index = Index::single("k", keys);
+        let mut df = DataFrame::new(index);
+        df.insert(col, Column::from_f64(vals)).unwrap();
+        df
+    }
+
+    #[test]
+    fn inner_join_intersects() {
+        let a = frame(vec![1, 2, 3], "x", vec![1.0, 2.0, 3.0]);
+        let b = frame(vec![2, 3, 4], "y", vec![20.0, 30.0, 40.0]);
+        let j = join(&a, &b, JoinHow::Inner).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.column(&ColKey::new("x")).unwrap().numeric_values(), vec![2.0, 3.0]);
+        assert_eq!(j.column(&ColKey::new("y")).unwrap().numeric_values(), vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn outer_join_null_fills() {
+        let a = frame(vec![1, 2], "x", vec![1.0, 2.0]);
+        let b = frame(vec![2, 3], "y", vec![20.0, 30.0]);
+        let j = join(&a, &b, JoinHow::Outer).unwrap();
+        assert_eq!(j.len(), 3);
+        let y = j.column(&ColKey::new("y")).unwrap();
+        assert!(y.is_null_at(0));
+        assert_eq!(y.get(1), Value::Float(20.0));
+        let x = j.column(&ColKey::new("x")).unwrap();
+        assert!(x.is_null_at(2));
+    }
+
+    #[test]
+    fn left_join_keeps_left_keys() {
+        let a = frame(vec![1, 2], "x", vec![1.0, 2.0]);
+        let b = frame(vec![2], "y", vec![20.0]);
+        let j = join(&a, &b, JoinHow::Left).unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.column(&ColKey::new("y")).unwrap().is_null_at(0));
+    }
+
+    #[test]
+    fn column_collision_rejected() {
+        let a = frame(vec![1], "x", vec![1.0]);
+        let b = frame(vec![1], "x", vec![2.0]);
+        assert!(matches!(
+            join(&a, &b, JoinHow::Inner),
+            Err(DfError::DuplicateColumn(_))
+        ));
+        // Grouping the sides resolves the collision.
+        let j = join(
+            &a.with_column_group("CPU"),
+            &b.with_column_group("GPU"),
+            JoinHow::Inner,
+        )
+        .unwrap();
+        assert!(j.has_column(&ColKey::grouped("CPU", "x")));
+        assert!(j.has_column(&ColKey::grouped("GPU", "x")));
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let a = frame(vec![1, 1], "x", vec![1.0, 2.0]);
+        let b = frame(vec![1], "y", vec![3.0]);
+        assert!(join(&a, &b, JoinHow::Inner).is_err());
+    }
+
+    #[test]
+    fn mismatched_level_names_rejected() {
+        let a = frame(vec![1], "x", vec![1.0]);
+        let mut b = DataFrame::new(Index::single("other", vec![1i64]));
+        b.insert("y", Column::from_f64(vec![2.0])).unwrap();
+        assert!(join(&a, &b, JoinHow::Inner).is_err());
+    }
+
+    #[test]
+    fn join_many_chains() {
+        let a = frame(vec![1, 2, 3], "x", vec![1.0, 2.0, 3.0]);
+        let b = frame(vec![2, 3], "y", vec![20.0, 30.0]);
+        let c = frame(vec![3], "z", vec![300.0]);
+        let j = join_many(&[&a, &b, &c], JoinHow::Inner).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.ncols(), 3);
+        assert!(join_many(&[], JoinHow::Inner).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Frame-level summaries: pandas' `describe()` analogue over all numeric
+//! columns.
+
+use crate::agg::AggFn;
+use crate::colkey::ColKey;
+use crate::column::ColumnBuilder;
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::index::Index;
+use crate::value::Value;
+
+impl DataFrame {
+    /// Summarize every numeric column: one row per statistic
+    /// (`count`, `mean`, `std`, `min`, `p25`, `median`, `p75`, `max`),
+    /// one column per numeric input column — pandas' `describe()`.
+    pub fn describe(&self) -> Result<DataFrame> {
+        let stats = [
+            AggFn::Count,
+            AggFn::Mean,
+            AggFn::Std,
+            AggFn::Min,
+            AggFn::Percentile(25.0),
+            AggFn::Median,
+            AggFn::Percentile(75.0),
+            AggFn::Max,
+        ];
+        let labels = ["count", "mean", "std", "min", "25%", "50%", "75%", "max"];
+        let index = Index::single("stat", labels.iter().map(|s| Value::from(*s)));
+        let mut out = DataFrame::new(index);
+        for (key, col) in self.columns() {
+            if !col.dtype().is_numeric() {
+                continue;
+            }
+            let values = col.numeric_values();
+            let mut b = ColumnBuilder::with_capacity(stats.len());
+            for stat in &stats {
+                b.push(stat.apply(&values).map(Value::Float).unwrap_or(Value::Null))?;
+            }
+            out.insert(key.clone(), b.finish())?;
+        }
+        Ok(out)
+    }
+
+    /// Sum of one numeric column's non-null cells.
+    pub fn column_sum(&self, key: &ColKey) -> Result<f64> {
+        Ok(self.column(key)?.numeric_values().iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> DataFrame {
+        let mut df = DataFrame::new(Index::single("i", 0..4i64));
+        df.insert("x", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        df.insert("label", Column::from_strs(["a", "b", "c", "d"]))
+            .unwrap();
+        df
+    }
+
+    #[test]
+    fn describe_shape_and_values() {
+        let d = sample().describe().unwrap();
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.ncols(), 1); // string column skipped
+        let x = d.column(&ColKey::new("x")).unwrap();
+        assert_eq!(x.get_f64(0), Some(4.0)); // count
+        assert_eq!(x.get_f64(1), Some(2.5)); // mean
+        assert_eq!(x.get_f64(3), Some(1.0)); // min
+        assert_eq!(x.get_f64(5), Some(2.5)); // median
+        assert_eq!(x.get_f64(7), Some(4.0)); // max
+    }
+
+    #[test]
+    fn describe_with_nulls() {
+        let mut df = DataFrame::new(Index::single("i", 0..3i64));
+        df.insert_values(
+            "x",
+            vec![Value::Float(2.0), Value::Null, Value::Float(4.0)],
+        )
+        .unwrap();
+        let d = df.describe().unwrap();
+        let x = d.column(&ColKey::new("x")).unwrap();
+        assert_eq!(x.get_f64(0), Some(2.0)); // non-null count
+        assert_eq!(x.get_f64(1), Some(3.0)); // mean of {2, 4}
+    }
+
+    #[test]
+    fn column_sum() {
+        let df = sample();
+        assert_eq!(df.column_sum(&ColKey::new("x")).unwrap(), 10.0);
+        assert!(df.column_sum(&ColKey::new("nope")).is_err());
+    }
+}

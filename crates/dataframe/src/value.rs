@@ -1,0 +1,405 @@
+//! Scalar values and data types used throughout the dataframe.
+//!
+//! A [`Value`] is the dynamically-typed scalar that crosses API boundaries
+//! (index keys, predicates, cell access); bulk storage inside a column stays
+//! typed (see [`crate::column`]). `Value` implements a *total* order and a
+//! consistent `Hash`, so it can serve as a grouping/join key even when it
+//! wraps a float (NaN is normalized to a single bit pattern and sorts after
+//! every other float, mirroring pandas' `sort_values(na_position="last")`).
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The logical type of a column or scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Missing-only column (no non-null value seen yet).
+    Null,
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::Null => "null",
+            DType::Bool => "bool",
+            DType::Int => "int",
+            DType::Float => "float",
+            DType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DType {
+    /// `true` if values of this type can participate in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::Int | DType::Float)
+    }
+
+    /// The common supertype two column types promote to when mixed, if any.
+    ///
+    /// Promotion mirrors pandas: `Int + Float -> Float`, anything with
+    /// `Null` keeps the non-null type, all else is incompatible.
+    pub fn promote(self, other: DType) -> Option<DType> {
+        use DType::*;
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Null, b) => Some(b),
+            (a, Null) => Some(a),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+}
+
+/// A dynamically typed scalar cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A missing value (pandas `NaN`/`None`).
+    Null,
+    /// Boolean scalar.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Float scalar. `NaN` is allowed and treated as a *value* (not null);
+    /// it compares equal to itself so grouping on it is stable.
+    Float(f64),
+    /// String scalar; `Arc` so repeated values (node names, cluster names)
+    /// are cheap to clone across tables.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// The [`DType`] of this value.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Value::Null => DType::Null,
+            Value::Bool(_) => DType::Bool,
+            Value::Int(_) => DType::Int,
+            Value::Float(_) => DType::Float,
+            Value::Str(_) => DType::Str,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value (`Int` and `Float` only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value (`Int` only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view of the value (`Str` only).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value (`Bool` only).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render the value the way a table cell shows it (`Null` -> empty).
+    pub fn display_cell(&self) -> Cow<'static, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Bool(b) => Cow::Owned(b.to_string()),
+            Value::Int(v) => Cow::Owned(v.to_string()),
+            Value::Float(v) => Cow::Owned(format_float(*v)),
+            Value::Str(s) => Cow::Owned(s.to_string()),
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // ints and floats compare numerically
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+/// Format a float like pandas' default: up to six significant decimals,
+/// trailing zeros trimmed, but always at least one decimal digit.
+pub(crate) fn format_float(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{:.1}", v);
+    }
+    let s = format!("{:.6}", v);
+    let trimmed = s.trim_end_matches('0');
+    let trimmed = if trimmed.ends_with('.') {
+        &s[..trimmed.len() + 1]
+    } else {
+        trimmed
+    };
+    trimmed.to_string()
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: `Null < Bool < numeric < Str`; numerics compare across
+    /// `Int`/`Float`; float comparison uses `total_cmp` with NaN greatest.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).unwrap(),
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Ints and floats must hash consistently with their cross-type
+            // equality: hash integral floats as the integer they equal.
+            Value::Int(v) => {
+                state.write_u8(2);
+                state.write_i64(*v);
+            }
+            Value::Float(v) => {
+                if v.is_nan() {
+                    state.write_u8(3);
+                } else if *v == v.trunc() && v.abs() < 9.0e18 {
+                    state.write_u8(2);
+                    state.write_i64(*v as i64);
+                } else {
+                    state.write_u8(4);
+                    state.write_u64(v.to_bits());
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            other => f.write_str(&other.display_cell()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn dtype_of_values() {
+        assert_eq!(Value::Null.dtype(), DType::Null);
+        assert_eq!(Value::Bool(true).dtype(), DType::Bool);
+        assert_eq!(Value::Int(3).dtype(), DType::Int);
+        assert_eq!(Value::Float(1.5).dtype(), DType::Float);
+        assert_eq!(Value::from("x").dtype(), DType::Str);
+    }
+
+    #[test]
+    fn promotion_rules() {
+        assert_eq!(DType::Int.promote(DType::Float), Some(DType::Float));
+        assert_eq!(DType::Null.promote(DType::Str), Some(DType::Str));
+        assert_eq!(DType::Bool.promote(DType::Bool), Some(DType::Bool));
+        assert_eq!(DType::Int.promote(DType::Str), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(4), Value::Float(4.0));
+        assert_ne!(Value::Int(4), Value::Float(4.5));
+        assert_eq!(hash_of(&Value::Int(4)), hash_of(&Value::Float(4.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_and_sorts_last() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(hash_of(&nan), hash_of(&nan.clone()));
+        assert!(Value::Float(1e308) < nan);
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vals = vec![
+            Value::from("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+            Value::from("a"),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::from("a"),
+                Value::from("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_cells() {
+        assert_eq!(Value::Null.display_cell(), "");
+        assert_eq!(Value::Int(7).display_cell(), "7");
+        assert_eq!(Value::Float(0.5).display_cell(), "0.5");
+        assert_eq!(Value::Float(2.0).display_cell(), "2.0");
+        assert_eq!(Value::Float(0.123456789).display_cell(), "0.123457");
+        assert_eq!(Value::from("hi").display_cell(), "hi");
+    }
+
+    #[test]
+    fn float_formatting_edge_cases() {
+        assert_eq!(format_float(f64::NAN), "NaN");
+        assert_eq!(format_float(f64::INFINITY), "inf");
+        assert_eq!(format_float(f64::NEG_INFINITY), "-inf");
+        assert_eq!(format_float(-0.25), "-0.25");
+        assert_eq!(format_float(1e16), "10000000000000000.0");
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for dataframe invariants.
+
+use proptest::prelude::*;
+use thicket_dataframe::{
+    join, AggFn, ColKey, Column, DataFrame, GroupBy, Index, JoinHow, Value,
+};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(|s| Value::from(s.as_str())),
+    ]
+}
+
+fn float_frame(keys: Vec<i64>, vals: Vec<f64>) -> DataFrame {
+    let mut df = DataFrame::new(Index::single("k", keys));
+    df.insert("x", Column::from_f64(vals)).unwrap();
+    df
+}
+
+proptest! {
+    /// Value ordering is a total order: antisymmetric and transitive over
+    /// random triples.
+    #[test]
+    fn value_total_order(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Equal values hash equally (required for grouping keys).
+    #[test]
+    fn value_hash_consistent_with_eq(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| { let mut s = DefaultHasher::new(); v.hash(&mut s); s.finish() };
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Column round-trips dynamic values through typed storage.
+    #[test]
+    fn column_roundtrip(vals in proptest::collection::vec(
+        prop_oneof![Just(Value::Null), (-100i64..100).prop_map(Value::Int)], 0..40)) {
+        let col = Column::from_values(vals.clone()).unwrap();
+        let back: Vec<Value> = col.iter().collect();
+        prop_assert_eq!(back, vals);
+    }
+
+    /// filter + take preserve row content and order.
+    #[test]
+    fn filter_preserves_rows(vals in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let keys: Vec<i64> = (0..vals.len() as i64).collect();
+        let df = float_frame(keys, vals.clone());
+        let pos = df.filter(|r| r.f64("x").unwrap() >= 0.0);
+        let expected: Vec<f64> = vals.iter().copied().filter(|v| *v >= 0.0).collect();
+        prop_assert_eq!(pos.column(&ColKey::new("x")).unwrap().numeric_values(), expected);
+    }
+
+    /// Sorting by a column yields monotone values and preserves multiset.
+    #[test]
+    fn sort_is_permutation_and_monotone(vals in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let keys: Vec<i64> = (0..vals.len() as i64).collect();
+        let df = float_frame(keys, vals.clone());
+        let sorted = df.sort_by(&ColKey::new("x"), true).unwrap();
+        let got = sorted.column(&ColKey::new("x")).unwrap().numeric_values();
+        let mut expected = vals.clone();
+        expected.sort_by(f64::total_cmp);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Group sizes partition the frame and the group mean matches a naive
+    /// computation.
+    #[test]
+    fn groupby_partitions(pairs in proptest::collection::vec((0i64..5, -100.0f64..100.0), 1..60)) {
+        let keys: Vec<i64> = pairs.iter().map(|(k, _)| *k).collect();
+        let vals: Vec<f64> = pairs.iter().map(|(_, v)| *v).collect();
+        let df = float_frame(keys.clone(), vals.clone());
+        let g = GroupBy::by_levels(&df, &["k"]).unwrap();
+        let total: usize = g.group_rows().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, df.len());
+        let agg = g.agg(AggFn::Mean).unwrap();
+        for (i, gk) in g.keys().iter().enumerate() {
+            let k = gk[0].as_i64().unwrap();
+            let members: Vec<f64> = pairs.iter().filter(|(kk, _)| *kk == k).map(|(_, v)| *v).collect();
+            let naive = members.iter().sum::<f64>() / members.len() as f64;
+            let got = agg.column(&ColKey::new("x_mean")).unwrap().get_f64(i).unwrap();
+            prop_assert!((got - naive).abs() < 1e-9);
+        }
+    }
+
+    /// Inner join keeps exactly the key intersection, in left order.
+    #[test]
+    fn inner_join_is_intersection(
+        lk in proptest::collection::hash_set(0i64..30, 1..20),
+        rk in proptest::collection::hash_set(0i64..30, 1..20),
+    ) {
+        let mut lk: Vec<i64> = lk.into_iter().collect();
+        let mut rk: Vec<i64> = rk.into_iter().collect();
+        lk.sort_unstable();
+        rk.sort_unstable();
+        let lvals: Vec<f64> = lk.iter().map(|k| *k as f64).collect();
+        let rvals: Vec<f64> = rk.iter().map(|k| *k as f64 * 10.0).collect();
+        let a = float_frame(lk.clone(), lvals);
+        let mut b = DataFrame::new(Index::single("k", rk.clone()));
+        b.insert("y", Column::from_f64(rvals)).unwrap();
+        let j = join(&a, &b, JoinHow::Inner).unwrap();
+        let expected: Vec<i64> = lk.iter().copied().filter(|k| rk.contains(k)).collect();
+        let got: Vec<i64> = j.index().keys().iter().map(|k| k[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+        // Joined cells align: y == 10 * x on every row.
+        for r in 0..j.len() {
+            let x = j.column(&ColKey::new("x")).unwrap().get_f64(r).unwrap();
+            let y = j.column(&ColKey::new("y")).unwrap().get_f64(r).unwrap();
+            prop_assert!((y - 10.0 * x).abs() < 1e-9);
+        }
+    }
+
+    /// Outer join covers the key union with nulls exactly where a side is
+    /// missing.
+    #[test]
+    fn outer_join_is_union(
+        lk in proptest::collection::hash_set(0i64..20, 1..12),
+        rk in proptest::collection::hash_set(0i64..20, 1..12),
+    ) {
+        let lk: Vec<i64> = lk.into_iter().collect();
+        let rk: Vec<i64> = rk.into_iter().collect();
+        let a = float_frame(lk.clone(), lk.iter().map(|k| *k as f64).collect());
+        let mut b = DataFrame::new(Index::single("k", rk.clone()));
+        b.insert("y", Column::from_f64(rk.iter().map(|k| *k as f64).collect())).unwrap();
+        let j = join(&a, &b, JoinHow::Outer).unwrap();
+        let union: std::collections::HashSet<i64> = lk.iter().chain(rk.iter()).copied().collect();
+        prop_assert_eq!(j.len(), union.len());
+        for r in 0..j.len() {
+            let key = j.index().key(r)[0].as_i64().unwrap();
+            prop_assert_eq!(j.column(&ColKey::new("x")).unwrap().is_null_at(r), !lk.contains(&key));
+            prop_assert_eq!(j.column(&ColKey::new("y")).unwrap().is_null_at(r), !rk.contains(&key));
+        }
+    }
+
+    /// CSV export emits one line per row plus a header.
+    #[test]
+    fn csv_line_count(vals in proptest::collection::vec(-10.0f64..10.0, 0..30)) {
+        let keys: Vec<i64> = (0..vals.len() as i64).collect();
+        let df = float_frame(keys, vals);
+        let csv = thicket_dataframe::to_csv(&df);
+        prop_assert_eq!(csv.lines().count(), df.len() + 1);
+    }
+}
+
+proptest! {
+    /// CSV export/import round-trips numeric frames (values and index).
+    #[test]
+    fn csv_roundtrip(rows in proptest::collection::vec((-1e6f64..1e6, -1000i64..1000), 1..40)) {
+        let keys: Vec<i64> = (0..rows.len() as i64).collect();
+        let mut df = DataFrame::new(Index::single("k", keys));
+        // Round to avoid display-precision loss; the CSV writer prints 6
+        // significant decimals.
+        df.insert("x", Column::from_f64(rows.iter().map(|(f, _)| (f * 1e3).round() / 1e3).collect())).unwrap();
+        df.insert("i", Column::from_i64(rows.iter().map(|(_, i)| *i).collect())).unwrap();
+        let back = thicket_dataframe::from_csv(&thicket_dataframe::to_csv(&df), 1).unwrap();
+        prop_assert_eq!(back.len(), df.len());
+        let xa = df.column(&ColKey::new("x")).unwrap().numeric_values();
+        let xb = back.column(&ColKey::new("x")).unwrap().numeric_values();
+        for (a, b) in xa.iter().zip(xb.iter()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+        prop_assert_eq!(
+            df.column(&ColKey::new("i")).unwrap().iter().collect::<Vec<_>>(),
+            back.column(&ColKey::new("i")).unwrap().iter().collect::<Vec<_>>()
+        );
+    }
+}

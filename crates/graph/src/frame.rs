@@ -1,0 +1,136 @@
+//! Node identity frames.
+//!
+//! Following Hatchet, every call-tree node carries a *frame*: a small
+//! ordered map of identifying attributes (at minimum `name`, usually also
+//! `type`). Two nodes in different profiles represent the same source
+//! construct exactly when their frames are equal — frame equality is what
+//! drives the call-tree matching ("graph isomorphism") when composing
+//! profiles (paper §3.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use thicket_dataframe::Value;
+
+/// An ordered attribute map identifying a call-tree node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Frame {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl Frame {
+    /// Frame with just a `name` attribute (the common case for annotated
+    /// source regions).
+    pub fn named(name: impl AsRef<str>) -> Self {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("name".to_string(), Value::from(name.as_ref()));
+        Frame { attrs }
+    }
+
+    /// Frame with `name` and `type` attributes (e.g. `function`, `region`,
+    /// `loop`, `kernel`).
+    pub fn with_type(name: impl AsRef<str>, node_type: impl AsRef<str>) -> Self {
+        let mut f = Frame::named(name);
+        f.attrs
+            .insert("type".to_string(), Value::from(node_type.as_ref()));
+        f
+    }
+
+    /// Build from arbitrary attributes.
+    pub fn from_attrs(attrs: impl IntoIterator<Item = (String, Value)>) -> Self {
+        Frame {
+            attrs: attrs.into_iter().collect(),
+        }
+    }
+
+    /// Attribute lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.attrs.get(key)
+    }
+
+    /// Set (or replace) an attribute, returning self for chaining.
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// The `name` attribute, or `"<unknown>"`.
+    pub fn name(&self) -> &str {
+        self.attrs
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// The `type` attribute, if present.
+    pub fn node_type(&self) -> Option<&str> {
+        self.attrs.get("type").and_then(Value::as_str)
+    }
+
+    /// Iterate attributes in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` if the frame has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_frame() {
+        let f = Frame::named("MAIN");
+        assert_eq!(f.name(), "MAIN");
+        assert_eq!(f.node_type(), None);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn typed_frame_and_chaining() {
+        let f = Frame::with_type("foo", "function").set("file", "a.c");
+        assert_eq!(f.node_type(), Some("function"));
+        assert_eq!(f.get("file"), Some(&Value::from("a.c")));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn equality_is_attribute_equality() {
+        assert_eq!(Frame::named("x"), Frame::named("x"));
+        assert_ne!(Frame::named("x"), Frame::named("y"));
+        assert_ne!(Frame::named("x"), Frame::with_type("x", "function"));
+    }
+
+    #[test]
+    fn display_is_ordered() {
+        let f = Frame::with_type("foo", "loop");
+        assert_eq!(f.to_string(), "{name: foo, type: loop}");
+    }
+
+    #[test]
+    fn unknown_name_fallback() {
+        let f = Frame::from_attrs(vec![("file".to_string(), Value::from("a.c"))]);
+        assert_eq!(f.name(), "<unknown>");
+    }
+}

@@ -1,0 +1,397 @@
+//! The call graph: an arena of frame-identified nodes with parent/child
+//! edges. Call trees are the common case, but multiple parents (DAGs, as
+//! produced by call-path profilers collapsing recursion) are supported.
+
+use crate::frame::Frame;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Stable handle to a node inside one [`Graph`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One call-graph node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    frame: Frame,
+    children: Vec<NodeId>,
+    parents: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's identity frame.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Child node ids in insertion order.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Parent node ids (empty for roots).
+    pub fn parents(&self) -> &[NodeId] {
+        &self.parents
+    }
+
+    /// Shorthand for `frame().name()`.
+    pub fn name(&self) -> &str {
+        self.frame.name()
+    }
+}
+
+/// A call graph (arena representation).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    roots: Vec<NodeId>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Root node ids in insertion order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids in arena order (parents always precede the children
+    /// added under them, since `add_child` appends).
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Add a root node.
+    pub fn add_root(&mut self, frame: Frame) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            frame,
+            children: Vec::new(),
+            parents: Vec::new(),
+        });
+        self.roots.push(id);
+        id
+    }
+
+    /// Add a child under `parent`.
+    pub fn add_child(&mut self, parent: NodeId, frame: Frame) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            frame,
+            children: Vec::new(),
+            parents: vec![parent],
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Add an extra edge `parent -> child` (turning the tree into a DAG).
+    /// No-op if the edge already exists; panics on self-edges.
+    pub fn add_edge(&mut self, parent: NodeId, child: NodeId) {
+        assert_ne!(parent, child, "self-edges are not allowed");
+        if !self.nodes[parent.index()].children.contains(&child) {
+            self.nodes[parent.index()].children.push(child);
+            self.nodes[child.index()].parents.push(parent);
+        }
+    }
+
+    /// Find the child of `parent` with this frame, if any.
+    pub fn child_with_frame(&self, parent: NodeId, frame: &Frame) -> Option<NodeId> {
+        self.node(parent)
+            .children
+            .iter()
+            .copied()
+            .find(|c| self.node(*c).frame() == frame)
+    }
+
+    /// Find the root with this frame, if any.
+    pub fn root_with_frame(&self, frame: &Frame) -> Option<NodeId> {
+        self.roots
+            .iter()
+            .copied()
+            .find(|r| self.node(*r).frame() == frame)
+    }
+
+    /// All node ids in depth-first pre-order from the roots. Nodes with
+    /// multiple parents are visited once (first encounter).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<NodeId> = self.roots.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            out.push(id);
+            for &c in self.node(id).children.iter().rev() {
+                if !seen[c.index()] {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Depth of a node: 0 for roots, else 1 + min parent depth.
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut depth = 0;
+        let mut cur = id;
+        let mut guard = 0;
+        while let Some(&p) = self.node(cur).parents.first() {
+            depth += 1;
+            cur = p;
+            guard += 1;
+            assert!(
+                guard <= self.len(),
+                "cycle detected while computing depth of {id}"
+            );
+        }
+        depth
+    }
+
+    /// One root-to-node call path (via first parents).
+    pub fn path_to(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(&p) = self.node(cur).parents.first() {
+            path.push(p);
+            cur = p;
+            assert!(path.len() <= self.len(), "cycle detected in path_to({id})");
+        }
+        path.reverse();
+        path
+    }
+
+    /// Every root-to-leaf path (paths enumerated over child edges; nodes
+    /// with multiple parents appear on multiple paths).
+    pub fn root_to_leaf_paths(&self) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<Vec<NodeId>> = self.roots.iter().map(|&r| vec![r]).collect();
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("non-empty path");
+            let children = self.node(last).children();
+            if children.is_empty() {
+                out.push(path);
+            } else {
+                for &c in children.iter().rev() {
+                    if path.contains(&c) {
+                        continue; // defensive: never loop on malformed input
+                    }
+                    let mut next = path.clone();
+                    next.push(c);
+                    stack.push(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if every non-root node has exactly one parent and every node
+    /// is reachable from a root.
+    pub fn is_tree(&self) -> bool {
+        let reach: HashSet<NodeId> = self.preorder().into_iter().collect();
+        reach.len() == self.len()
+            && self.nodes.iter().enumerate().all(|(i, n)| {
+                let is_root = self.roots.contains(&NodeId(i as u32));
+                (is_root && n.parents.is_empty()) || (!is_root && n.parents.len() == 1)
+            })
+    }
+
+    /// Map from frame to all node ids carrying it (frames are unique per
+    /// *sibling set*, not globally — e.g. `MPI_Allreduce` under many
+    /// parents).
+    pub fn nodes_by_frame(&self) -> HashMap<&Frame, Vec<NodeId>> {
+        let mut m: HashMap<&Frame, Vec<NodeId>> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            m.entry(&n.frame).or_default().push(NodeId(i as u32));
+        }
+        m
+    }
+
+    /// First node (in pre-order) whose name equals `name`.
+    pub fn find_by_name(&self, name: &str) -> Option<NodeId> {
+        self.preorder()
+            .into_iter()
+            .find(|&id| self.node(id).name() == name)
+    }
+
+    /// All node ids whose name satisfies `pred`, in pre-order.
+    pub fn find_all<F: Fn(&Node) -> bool>(&self, pred: F) -> Vec<NodeId> {
+        self.preorder()
+            .into_iter()
+            .filter(|&id| pred(self.node(id)))
+            .collect()
+    }
+
+    /// Build the subgraph induced by `keep`, preserving ancestry: a kept
+    /// node's parent in the new graph is its nearest kept ancestor.
+    /// Returns the new graph and the old→new id mapping. This implements
+    /// the query language's "filtered call tree" result (Figure 8).
+    pub fn induced_subgraph(&self, keep: &HashSet<NodeId>) -> (Graph, HashMap<NodeId, NodeId>) {
+        let mut out = Graph::new();
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        // Walk in pre-order so ancestors are mapped before descendants.
+        for id in self.preorder() {
+            if !keep.contains(&id) {
+                continue;
+            }
+            // Nearest kept ancestor along first-parent chain.
+            let mut anc = self.node(id).parents.first().copied();
+            while let Some(a) = anc {
+                if map.contains_key(&a) {
+                    break;
+                }
+                anc = self.node(a).parents.first().copied();
+            }
+            let new_id = match anc.and_then(|a| map.get(&a)) {
+                Some(&p) => out.add_child(p, self.node(id).frame().clone()),
+                None => out.add_root(self.node(id).frame().clone()),
+            };
+            map.insert(id, new_id);
+        }
+        (out, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// MAIN -> {FOO -> {BAZ}, BAR}
+    fn sample() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let main = g.add_root(Frame::named("MAIN"));
+        let foo = g.add_child(main, Frame::named("FOO"));
+        let bar = g.add_child(main, Frame::named("BAR"));
+        let baz = g.add_child(foo, Frame::named("BAZ"));
+        (g, main, foo, bar, baz)
+    }
+
+    #[test]
+    fn construction_and_edges() {
+        let (g, main, foo, bar, baz) = sample();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.roots(), &[main]);
+        assert_eq!(g.node(main).children(), &[foo, bar]);
+        assert_eq!(g.node(baz).parents(), &[foo]);
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn preorder_visits_depth_first() {
+        let (g, main, foo, bar, baz) = sample();
+        assert_eq!(g.preorder(), vec![main, foo, baz, bar]);
+    }
+
+    #[test]
+    fn depth_and_paths() {
+        let (g, main, foo, _bar, baz) = sample();
+        assert_eq!(g.depth(main), 0);
+        assert_eq!(g.depth(baz), 2);
+        assert_eq!(g.path_to(baz), vec![main, foo, baz]);
+        let paths = g.root_to_leaf_paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![main, foo, baz]));
+    }
+
+    #[test]
+    fn dag_edges() {
+        let (mut g, _main, foo, bar, baz) = sample();
+        g.add_edge(bar, baz);
+        assert!(!g.is_tree());
+        assert_eq!(g.node(baz).parents(), &[foo, bar]);
+        // Duplicate edge is a no-op.
+        g.add_edge(bar, baz);
+        assert_eq!(g.node(bar).children().len(), 1);
+        // Pre-order still visits each node once.
+        assert_eq!(g.preorder().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edges")]
+    fn self_edge_panics() {
+        let (mut g, main, ..) = sample();
+        g.add_edge(main, main);
+    }
+
+    #[test]
+    fn frame_lookup() {
+        let (g, main, foo, ..) = sample();
+        assert_eq!(g.child_with_frame(main, &Frame::named("FOO")), Some(foo));
+        assert_eq!(g.child_with_frame(main, &Frame::named("NOPE")), None);
+        assert_eq!(g.root_with_frame(&Frame::named("MAIN")), Some(main));
+        assert_eq!(g.find_by_name("BAZ"), Some(NodeId(3)));
+        assert_eq!(g.find_by_name("NOPE"), None);
+    }
+
+    #[test]
+    fn find_all_matches() {
+        let (g, ..) = sample();
+        let hits = g.find_all(|n| n.name().starts_with("B"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_bridges_gaps() {
+        let (g, main, _foo, _bar, baz) = sample();
+        // Keep MAIN and BAZ: BAZ's kept parent becomes MAIN (FOO dropped).
+        let keep: HashSet<NodeId> = [main, baz].into_iter().collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.len(), 2);
+        let new_baz = map[&baz];
+        assert_eq!(sub.node(new_baz).name(), "BAZ");
+        assert_eq!(sub.path_to(new_baz).len(), 2);
+        assert!(sub.is_tree());
+    }
+
+    #[test]
+    fn induced_subgraph_orphan_becomes_root() {
+        let (g, _main, foo, ..) = sample();
+        let keep: HashSet<NodeId> = [foo].into_iter().collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.roots().len(), 1);
+        assert_eq!(sub.node(map[&foo]).name(), "FOO");
+    }
+
+    #[test]
+    fn multi_root_graphs() {
+        let mut g = Graph::new();
+        let a = g.add_root(Frame::named("A"));
+        let b = g.add_root(Frame::named("B"));
+        assert_eq!(g.roots(), &[a, b]);
+        assert_eq!(g.preorder(), vec![a, b]);
+        assert!(g.is_tree());
+    }
+}

@@ -1,0 +1,164 @@
+//! DBSCAN density-based clustering (Ester et al. 1996; scikit-learn's
+//! `DBSCAN`) — useful for performance ensembles where the number of
+//! clusters is unknown and outlier runs should be flagged as noise
+//! rather than forced into a cluster.
+
+/// Cluster label assigned by DBSCAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbscanLabel {
+    /// Member of cluster `n` (0-based).
+    Cluster(usize),
+    /// Noise point (no dense neighbourhood).
+    Noise,
+}
+
+impl DbscanLabel {
+    /// Cluster index, `None` for noise.
+    pub fn cluster(self) -> Option<usize> {
+        match self {
+            DbscanLabel::Cluster(c) => Some(c),
+            DbscanLabel::Noise => None,
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Run DBSCAN with radius `eps` and density threshold `min_pts` (a point
+/// is *core* when at least `min_pts` points — itself included — lie
+/// within `eps`). Returns one label per sample. Panics on ragged input
+/// or non-positive `eps`.
+pub fn dbscan(samples: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<DbscanLabel> {
+    assert!(eps > 0.0, "eps must be positive");
+    let n = samples.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = samples[0].len();
+    assert!(samples.iter().all(|s| s.len() == d), "ragged sample matrix");
+    let eps2 = eps * eps;
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| sq_dist(&samples[i], &samples[j]) <= eps2)
+            .collect()
+    };
+
+    let mut labels = vec![None::<DbscanLabel>; n];
+    let mut cluster = 0usize;
+    for i in 0..n {
+        if labels[i].is_some() {
+            continue;
+        }
+        let nbrs = neighbours(i);
+        if nbrs.len() < min_pts {
+            labels[i] = Some(DbscanLabel::Noise);
+            continue;
+        }
+        // Start a new cluster and expand it breadth-first.
+        labels[i] = Some(DbscanLabel::Cluster(cluster));
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            match labels[j] {
+                Some(DbscanLabel::Noise) => {
+                    // Border point reached from a core: adopt it.
+                    labels[j] = Some(DbscanLabel::Cluster(cluster));
+                }
+                Some(_) => continue,
+                None => {
+                    labels[j] = Some(DbscanLabel::Cluster(cluster));
+                    let jn = neighbours(j);
+                    if jn.len() >= min_pts {
+                        queue.extend(jn);
+                    }
+                }
+            }
+        }
+        cluster += 1;
+    }
+    labels.into_iter().map(|l| l.expect("all labelled")).collect()
+}
+
+/// Number of clusters found (ignoring noise).
+pub fn n_clusters(labels: &[DbscanLabel]) -> usize {
+    labels
+        .iter()
+        .filter_map(|l| l.cluster())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0)] {
+            for i in 0..6 {
+                let d = (i as f64 - 2.5) * 0.1;
+                pts.push(vec![cx + d, cy - d]);
+            }
+        }
+        pts.push(vec![50.0, 50.0]); // an outlier
+        pts
+    }
+
+    #[test]
+    fn finds_two_blobs_and_noise() {
+        let labels = dbscan(&blobs(), 1.0, 3);
+        assert_eq!(n_clusters(&labels), 2);
+        assert_eq!(labels[12], DbscanLabel::Noise);
+        // All members of each blob share a label.
+        assert!(labels[..6].iter().all(|l| *l == labels[0]));
+        assert!(labels[6..12].iter().all(|l| *l == labels[6]));
+        assert_ne!(labels[0], labels[6]);
+    }
+
+    #[test]
+    fn everything_noise_when_eps_tiny() {
+        let labels = dbscan(&blobs(), 1e-6, 3);
+        assert!(labels.iter().all(|l| *l == DbscanLabel::Noise));
+        assert_eq!(n_clusters(&labels), 0);
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let labels = dbscan(&blobs(), 1e3, 3);
+        assert_eq!(n_clusters(&labels), 1);
+        assert!(labels.iter().all(|l| l.cluster() == Some(0)));
+    }
+
+    #[test]
+    fn min_pts_gates_core_points() {
+        // Two points within eps of each other but below min_pts.
+        let pts = vec![vec![0.0], vec![0.1]];
+        let labels = dbscan(&pts, 1.0, 3);
+        assert!(labels.iter().all(|l| *l == DbscanLabel::Noise));
+        let labels2 = dbscan(&pts, 1.0, 2);
+        assert_eq!(n_clusters(&labels2), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(&[], 1.0, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn bad_eps_panics() {
+        dbscan(&[vec![0.0]], 0.0, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dbscan(&blobs(), 1.0, 3);
+        let b = dbscan(&blobs(), 1.0, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,280 @@
+//! Lloyd's K-means with k-means++ initialization (scikit-learn's
+//! `KMeans`), used by the Figure 10 clustering study.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Independent restarts; best inertia wins (scikit default: 10).
+    pub n_init: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Convergence threshold on centroid movement (squared distance).
+    pub tol: f64,
+    /// RNG seed for reproducible clustering.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Config with `k` clusters and scikit-learn-like defaults.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            n_init: 10,
+            max_iter: 300,
+            tol: 1e-8,
+            seed: 0,
+        }
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A fitted K-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster label of each input sample.
+    pub labels: Vec<usize>,
+    /// Sum of squared distances of samples to their centroid.
+    pub inertia: f64,
+    /// Lloyd iterations used by the winning restart.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(point, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to the
+/// squared distance from the nearest chosen centroid.
+fn kmeanspp_init(samples: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(samples[rng.gen_range(0..samples.len())].clone());
+    let mut d2: Vec<f64> = samples
+        .iter()
+        .map(|s| sq_dist(s, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick any.
+            rng.gen_range(0..samples.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = 0;
+            for (i, w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        centroids.push(samples[next].clone());
+        for (dist, s) in d2.iter_mut().zip(samples.iter()) {
+            let nd = sq_dist(s, centroids.last().expect("just pushed"));
+            if nd < *dist {
+                *dist = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Run K-means. Panics on empty input, ragged rows, `k == 0`, or
+/// `k > n_samples`.
+pub fn kmeans(samples: &[Vec<f64>], config: &KMeansConfig) -> KMeans {
+    assert!(!samples.is_empty(), "kmeans on empty input");
+    let d = samples[0].len();
+    assert!(samples.iter().all(|r| r.len() == d), "ragged sample matrix");
+    assert!(config.k > 0, "k must be positive");
+    assert!(
+        config.k <= samples.len(),
+        "k = {} exceeds sample count {}",
+        config.k,
+        samples.len()
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<KMeans> = None;
+
+    for _ in 0..config.n_init.max(1) {
+        let mut centroids = kmeanspp_init(samples, config.k, &mut rng);
+        let mut labels = vec![0usize; samples.len()];
+        let mut iterations = 0;
+        for it in 0..config.max_iter {
+            iterations = it + 1;
+            // Assignment step.
+            for (l, s) in labels.iter_mut().zip(samples.iter()) {
+                *l = nearest(s, &centroids).0;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; d]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (l, s) in labels.iter().zip(samples.iter()) {
+                counts[*l] += 1;
+                for (acc, v) in sums[*l].iter_mut().zip(s.iter()) {
+                    *acc += v;
+                }
+            }
+            let mut moved = 0.0;
+            for (c, (sum, count)) in centroids
+                .iter_mut()
+                .zip(sums.into_iter().zip(counts))
+            {
+                if count == 0 {
+                    // Empty cluster: re-seed at the farthest sample.
+                    let far = samples
+                        .iter()
+                        .max_by(|a, b| {
+                            nearest(a, std::slice::from_ref(c))
+                                .1
+                                .total_cmp(&nearest(b, std::slice::from_ref(c)).1)
+                        })
+                        .expect("non-empty samples");
+                    moved += sq_dist(c, far);
+                    *c = far.clone();
+                    continue;
+                }
+                let new: Vec<f64> = sum.iter().map(|v| v / count as f64).collect();
+                moved += sq_dist(c, &new);
+                *c = new;
+            }
+            if moved <= config.tol {
+                break;
+            }
+        }
+        // Final assignment + inertia.
+        let mut inertia = 0.0;
+        for (l, s) in labels.iter_mut().zip(samples.iter()) {
+            let (c, dist) = nearest(s, &centroids);
+            *l = c;
+            inertia += dist;
+        }
+        let candidate = KMeans {
+            centroids,
+            labels,
+            inertia,
+            iterations,
+        };
+        if best.as_ref().is_none_or(|b| candidate.inertia < b.inertia) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs, 5 points each.
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, (cx, cy)) in centers.iter().enumerate() {
+            for i in 0..5 {
+                let dx = (i as f64 - 2.0) * 0.1;
+                pts.push(vec![cx + dx, cy - dx]);
+                truth.push(ci);
+            }
+        }
+        (pts, truth)
+    }
+
+    /// Labels may be permuted; compare partitions.
+    fn same_partition(a: &[usize], b: &[usize]) -> bool {
+        let n = a.len();
+        (0..n).all(|i| (0..n).all(|j| (a[i] == a[j]) == (b[i] == b[j])))
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (pts, truth) = blobs();
+        let km = kmeans(&pts, &KMeansConfig::new(3).with_seed(42));
+        assert!(same_partition(&km.labels, &truth));
+        assert!(km.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (pts, _) = blobs();
+        let a = kmeans(&pts, &KMeansConfig::new(3).with_seed(7));
+        let b = kmeans(&pts, &KMeansConfig::new(3).with_seed(7));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn centroids_are_cluster_means() {
+        let (pts, _) = blobs();
+        let km = kmeans(&pts, &KMeansConfig::new(3).with_seed(1));
+        for (c, centroid) in km.centroids.iter().enumerate() {
+            let members: Vec<&Vec<f64>> = pts
+                .iter()
+                .zip(km.labels.iter())
+                .filter(|(_, l)| **l == c)
+                .map(|(p, _)| p)
+                .collect();
+            assert!(!members.is_empty());
+            for j in 0..2 {
+                let mean = members.iter().map(|p| p[j]).sum::<f64>() / members.len() as f64;
+                assert!((centroid[j] - mean).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let km = kmeans(&pts, &KMeansConfig::new(3).with_seed(3));
+        assert!(km.inertia < 1e-12);
+        let mut ls = km.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        assert_eq!(ls.len(), 3);
+    }
+
+    #[test]
+    fn k_one_single_cluster() {
+        let (pts, _) = blobs();
+        let km = kmeans(&pts, &KMeansConfig::new(1).with_seed(5));
+        assert!(km.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![vec![1.0, 1.0]; 6];
+        let km = kmeans(&pts, &KMeansConfig::new(2).with_seed(9));
+        assert_eq!(km.labels.len(), 6);
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds sample count")]
+    fn k_larger_than_n_panics() {
+        kmeans(&[vec![1.0]], &KMeansConfig::new(2));
+    }
+}

@@ -1,0 +1,24 @@
+//! # thicket-learn
+//!
+//! The scikit-learn stand-in for the Thicket reproduction (paper §4.2.2):
+//! feature scaling, K-means clustering with k-means++ initialization,
+//! silhouette analysis for choosing `k`, and PCA via a Jacobi
+//! eigensolver. Everything operates on row-major sample matrices
+//! (`&[Vec<f64>]`), which is how the thicket hands its performance data to
+//! "external" data-science routines.
+
+#![warn(missing_docs)]
+
+mod dbscan;
+mod kmeans;
+mod linalg;
+mod pca;
+mod scale;
+mod silhouette;
+
+pub use dbscan::{dbscan, n_clusters, DbscanLabel};
+pub use kmeans::{kmeans, KMeans, KMeansConfig};
+pub use linalg::Matrix;
+pub use pca::{pca, Pca};
+pub use scale::StandardScaler;
+pub use silhouette::{silhouette_samples, silhouette_score};

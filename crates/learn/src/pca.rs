@@ -1,0 +1,165 @@
+//! Principal component analysis via the covariance matrix and the Jacobi
+//! eigensolver (scikit-learn's `PCA` for the small feature counts the
+//! paper's studies use).
+
+use crate::linalg::Matrix;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature means subtracted before projection.
+    pub means: Vec<f64>,
+    /// Principal axes, one row per component (descending variance).
+    pub components: Vec<Vec<f64>>,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f64>,
+    /// Fraction of total variance explained by each component.
+    pub explained_variance_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Project samples onto the principal axes.
+    pub fn transform(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples
+            .iter()
+            .map(|row| {
+                self.components
+                    .iter()
+                    .map(|axis| {
+                        axis.iter()
+                            .zip(row.iter().zip(self.means.iter()))
+                            .map(|(a, (v, m))| a * (v - m))
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Fit PCA with `n_components` components (clamped to the feature count).
+/// Panics on empty or ragged input or fewer than two samples.
+pub fn pca(samples: &[Vec<f64>], n_components: usize) -> Pca {
+    assert!(samples.len() >= 2, "pca needs at least two samples");
+    let d = samples[0].len();
+    assert!(samples.iter().all(|r| r.len() == d), "ragged sample matrix");
+    let n = samples.len() as f64;
+    let mut means = vec![0.0; d];
+    for row in samples {
+        for (m, v) in means.iter_mut().zip(row.iter()) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    // Sample covariance (n−1 denominator, matching scikit-learn).
+    let mut cov = Matrix::zeros(d, d);
+    for row in samples {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            for j in i..d {
+                let dj = row[j] - means[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] / (n - 1.0);
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    let (vals, vecs) = cov.symmetric_eigen();
+    let total: f64 = vals.iter().map(|v| v.max(0.0)).sum();
+    let k = n_components.min(d);
+    let explained_variance: Vec<f64> = vals[..k].iter().map(|v| v.max(0.0)).collect();
+    let explained_variance_ratio = explained_variance
+        .iter()
+        .map(|v| if total > 0.0 { v / total } else { 0.0 })
+        .collect();
+    Pca {
+        means,
+        components: vecs[..k].to_vec(),
+        explained_variance,
+        explained_variance_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along the line y = 2x with small orthogonal jitter.
+    fn line_data() -> Vec<Vec<f64>> {
+        (0..20)
+            .map(|i| {
+                let t = i as f64 * 0.5;
+                let jitter = if i % 2 == 0 { 0.05 } else { -0.05 };
+                // Orthogonal direction to (1,2)/√5 is (-2,1)/√5.
+                vec![t - 2.0 * jitter, 2.0 * t + jitter]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_follows_the_line() {
+        let p = pca(&line_data(), 2);
+        let c = &p.components[0];
+        // Direction ∝ (1, 2)/√5 (sign-free).
+        let norm = (c[0] * c[0] + c[1] * c[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        let ratio = (c[1] / c[0]).abs();
+        assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+        assert!(p.explained_variance_ratio[0] > 0.99);
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        let p = pca(&line_data(), 2);
+        let sum: f64 = p.explained_variance_ratio.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(p.explained_variance[0] >= p.explained_variance[1]);
+    }
+
+    #[test]
+    fn transform_decorrelates() {
+        let p = pca(&line_data(), 2);
+        let z = p.transform(&line_data());
+        let x: Vec<f64> = z.iter().map(|r| r[0]).collect();
+        let y: Vec<f64> = z.iter().map(|r| r[1]).collect();
+        let mx = x.iter().sum::<f64>() / x.len() as f64;
+        let my = y.iter().sum::<f64>() / y.len() as f64;
+        let cov: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(a, b)| (a - mx) * (b - my))
+            .sum::<f64>()
+            / (x.len() - 1) as f64;
+        assert!(cov.abs() < 1e-6);
+    }
+
+    #[test]
+    fn component_clamping() {
+        let p = pca(&line_data(), 10);
+        assert_eq!(p.components.len(), 2);
+    }
+
+    #[test]
+    fn projection_variance_matches_eigenvalue() {
+        let p = pca(&line_data(), 1);
+        let z = p.transform(&line_data());
+        let x: Vec<f64> = z.iter().map(|r| r[0]).collect();
+        let mx = x.iter().sum::<f64>() / x.len() as f64;
+        let var: f64 =
+            x.iter().map(|v| (v - mx) * (v - mx)).sum::<f64>() / (x.len() - 1) as f64;
+        assert!((var - p.explained_variance[0]).abs() / var < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn single_sample_panics() {
+        pca(&[vec![1.0, 2.0]], 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Feature standardization (scikit-learn's `StandardScaler`).
+
+/// Per-feature standardizer: `z = (x − mean) / std`.
+///
+/// Uses the *population* standard deviation (ddof = 0), matching
+/// scikit-learn. Zero-variance features pass through centred but
+/// unscaled (scikit-learn's behaviour: scale 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    /// Per-feature means.
+    pub means: Vec<f64>,
+    /// Per-feature scales (population std; 1.0 where variance is zero).
+    pub scales: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit a scaler to row-major samples. Panics on empty input or ragged
+    /// rows.
+    pub fn fit(samples: &[Vec<f64>]) -> Self {
+        assert!(!samples.is_empty(), "StandardScaler::fit on empty input");
+        let d = samples[0].len();
+        assert!(
+            samples.iter().all(|r| r.len() == d),
+            "ragged sample matrix"
+        );
+        let n = samples.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in samples {
+            for (m, v) in means.iter_mut().zip(row.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut scales = vec![0.0; d];
+        for row in samples {
+            for ((s, v), m) in scales.iter_mut().zip(row.iter()).zip(means.iter()) {
+                let dlt = v - m;
+                *s += dlt * dlt;
+            }
+        }
+        for s in &mut scales {
+            *s = (*s / n).sqrt();
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        StandardScaler { means, scales }
+    }
+
+    /// Transform samples with the fitted parameters.
+    pub fn transform(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(self.means.iter().zip(self.scales.iter()))
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(samples: &[Vec<f64>]) -> (Self, Vec<Vec<f64>>) {
+        let scaler = Self::fit(samples);
+        let out = scaler.transform(samples);
+        (scaler, out)
+    }
+
+    /// Invert the transformation.
+    pub fn inverse_transform(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(self.means.iter().zip(self.scales.iter()))
+                    .map(|(z, (m, s))| z * s + m)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ]
+    }
+
+    #[test]
+    fn standardized_moments() {
+        let (_, z) = StandardScaler::fit_transform(&samples());
+        for j in 0..2 {
+            let col: Vec<f64> = z.iter().map(|r| r[j]).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let var = col.iter().map(|v| v * v).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = samples();
+        let (scaler, z) = StandardScaler::fit_transform(&s);
+        let back = scaler.inverse_transform(&z);
+        for (a, b) in s.iter().flatten().zip(back.iter().flatten()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_centred_not_scaled() {
+        let s = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let (scaler, z) = StandardScaler::fit_transform(&s);
+        assert_eq!(scaler.scales[0], 1.0);
+        assert!(z.iter().all(|r| r[0].abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_input_panics() {
+        StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

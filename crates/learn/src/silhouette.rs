@@ -1,0 +1,134 @@
+//! Silhouette analysis (Rousseeuw 1987), used by the paper to pick the
+//! number of K-means clusters for Figure 10.
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Per-sample silhouette coefficients `s(i) = (b − a) / max(a, b)` where
+/// `a` is the mean intra-cluster distance and `b` the mean distance to the
+/// nearest other cluster. Samples in singleton clusters get 0 (scikit
+/// convention). Returns `None` when there are fewer than 2 clusters or
+/// labels/samples mismatch.
+pub fn silhouette_samples(samples: &[Vec<f64>], labels: &[usize]) -> Option<Vec<f64>> {
+    if samples.len() != labels.len() || samples.is_empty() {
+        return None;
+    }
+    let k = labels.iter().copied().max()? + 1;
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    if counts.iter().filter(|c| **c > 0).count() < 2 {
+        return None;
+    }
+    let n = samples.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        if counts[labels[i]] <= 1 {
+            out[i] = 0.0;
+            continue;
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(&samples[i], &samples[j]);
+            }
+        }
+        let a = sums[labels[i]] / (counts[labels[i]] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != labels[i] && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        out[i] = if denom > 0.0 { (b - a) / denom } else { 0.0 };
+    }
+    Some(out)
+}
+
+/// Mean silhouette coefficient over all samples.
+pub fn silhouette_score(samples: &[Vec<f64>], labels: &[usize]) -> Option<f64> {
+    let s = silhouette_samples(samples, labels)?;
+    Some(s.iter().sum::<f64>() / s.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        let mut pts = Vec::new();
+        for (cx, cy) in centers {
+            for i in 0..5 {
+                let dx = (i as f64 - 2.0) * 0.1;
+                pts.push(vec![cx + dx, cy - dx]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let pts = blobs();
+        let labels: Vec<usize> = (0..15).map(|i| i / 5).collect();
+        let score = silhouette_score(&pts, &labels).unwrap();
+        assert!(score > 0.95, "score = {score}");
+    }
+
+    #[test]
+    fn wrong_labels_score_lower() {
+        let pts = blobs();
+        let good: Vec<usize> = (0..15).map(|i| i / 5).collect();
+        let bad: Vec<usize> = (0..15).map(|i| i % 3).collect();
+        assert!(
+            silhouette_score(&pts, &good).unwrap() > silhouette_score(&pts, &bad).unwrap()
+        );
+    }
+
+    #[test]
+    fn silhouette_selects_true_k() {
+        // The paper's workflow: scan k, keep the best silhouette.
+        let pts = blobs();
+        let mut best = (0usize, f64::MIN);
+        for k in 2..=5 {
+            let km = kmeans(&pts, &KMeansConfig::new(k).with_seed(11));
+            let s = silhouette_score(&pts, &km.labels).unwrap();
+            if s > best.1 {
+                best = (k, s);
+            }
+        }
+        assert_eq!(best.0, 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(silhouette_score(&[], &[]).is_none());
+        assert!(silhouette_score(&[vec![1.0]], &[0]).is_none()); // one cluster
+        assert!(silhouette_score(&[vec![1.0], vec![2.0]], &[0]).is_none()); // mismatch
+    }
+
+    #[test]
+    fn singleton_cluster_zero() {
+        let pts = vec![vec![0.0], vec![0.1], vec![10.0]];
+        let labels = vec![0, 0, 1];
+        let s = silhouette_samples(&pts, &labels).unwrap();
+        assert_eq!(s[2], 0.0);
+        assert!(s[0] > 0.9);
+    }
+
+    #[test]
+    fn coefficients_bounded() {
+        let pts = blobs();
+        let labels: Vec<usize> = (0..15).map(|i| i % 3).collect();
+        for s in silhouette_samples(&pts, &labels).unwrap() {
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+}

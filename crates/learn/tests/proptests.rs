@@ -1,0 +1,118 @@
+//! Property tests for the learn crate.
+
+use proptest::prelude::*;
+use thicket_learn::{kmeans, pca, silhouette_samples, KMeansConfig, StandardScaler};
+
+fn samples() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..5).prop_flat_map(|d| {
+        proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, d..=d),
+            4..30,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// StandardScaler round-trips through inverse_transform.
+    #[test]
+    fn scaler_roundtrip(s in samples()) {
+        let (scaler, z) = StandardScaler::fit_transform(&s);
+        let back = scaler.inverse_transform(&z);
+        for (a, b) in s.iter().flatten().zip(back.iter().flatten()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Scaled features have mean ~0 and population variance ~1 (unless the
+    /// feature was constant).
+    #[test]
+    fn scaler_moments(s in samples()) {
+        let (scaler, z) = StandardScaler::fit_transform(&s);
+        let d = s[0].len();
+        let n = s.len() as f64;
+        for j in 0..d {
+            let col: Vec<f64> = z.iter().map(|r| r[j]).collect();
+            let mean = col.iter().sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-7);
+            let was_constant = s.iter().all(|r| r[j] == s[0][j]);
+            if !was_constant && scaler.scales[j] > 1e-9 {
+                let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                prop_assert!((var - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// K-means invariants: every sample gets the *nearest* centroid, and
+    /// inertia equals the sum of those distances.
+    #[test]
+    fn kmeans_assignment_optimal(s in samples(), k in 1usize..4, seed in any::<u64>()) {
+        prop_assume!(k <= s.len());
+        let km = kmeans(&s, &KMeansConfig::new(k).with_seed(seed));
+        let mut inertia = 0.0;
+        for (row, &label) in s.iter().zip(km.labels.iter()) {
+            let dists: Vec<f64> = km.centroids.iter()
+                .map(|c| row.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+                .collect();
+            let best = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(dists[label] <= best + 1e-9);
+            inertia += dists[label];
+        }
+        prop_assert!((inertia - km.inertia).abs() < 1e-6 * (1.0 + inertia));
+    }
+
+    /// More clusters never increase the best-found inertia by much
+    /// (k+1 clusters can always reproduce k's solution plus one split).
+    #[test]
+    fn kmeans_inertia_monotone_in_k(s in samples(), seed in any::<u64>()) {
+        prop_assume!(s.len() >= 4);
+        let k1 = kmeans(&s, &KMeansConfig::new(1).with_seed(seed));
+        let k3 = kmeans(&s, &KMeansConfig::new(3).with_seed(seed));
+        prop_assert!(k3.inertia <= k1.inertia + 1e-6);
+    }
+
+    /// Silhouette coefficients stay within [-1, 1].
+    #[test]
+    fn silhouette_bounded(s in samples(), seed in any::<u64>()) {
+        prop_assume!(s.len() >= 4);
+        let km = kmeans(&s, &KMeansConfig::new(2).with_seed(seed));
+        if let Some(coeffs) = silhouette_samples(&s, &km.labels) {
+            for c in coeffs {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+            }
+        }
+    }
+
+    /// PCA explained-variance ratios are non-negative, descending, and sum
+    /// to ≤ 1.
+    #[test]
+    fn pca_ratio_invariants(s in samples()) {
+        let d = s[0].len();
+        let p = pca(&s, d);
+        let mut prev = f64::INFINITY;
+        let mut total = 0.0;
+        for &r in &p.explained_variance_ratio {
+            prop_assert!(r >= -1e-12);
+            prop_assert!(r <= prev + 1e-12);
+            prev = r;
+            total += r;
+        }
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+
+    /// PCA components are orthonormal.
+    #[test]
+    fn pca_components_orthonormal(s in samples()) {
+        let d = s[0].len();
+        let p = pca(&s, d);
+        for a in 0..p.components.len() {
+            for b in 0..p.components.len() {
+                let dot: f64 = p.components[a].iter().zip(p.components[b].iter())
+                    .map(|(x, y)| x * y).sum();
+                let expect = if a == b { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-6);
+            }
+        }
+    }
+}

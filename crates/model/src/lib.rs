@@ -1,0 +1,512 @@
+//! # thicket-model
+//!
+//! An Extra-P-style empirical performance modeler (paper §4.2.3).
+//!
+//! Extra-P fits analytical scaling functions to ensembles of measurements
+//! taken at a few parameter values (e.g. MPI rank counts) so performance
+//! can be extrapolated to larger scales. Its model family is the
+//! *Performance Model Normal Form* (PMNF); like Extra-P's default
+//! single-term search, we fit hypotheses of the shape
+//!
+//! ```text
+//! f(p) = c₀ + c₁ · p^(i/d) · log₂(p)^j
+//! ```
+//!
+//! over a lattice of rational exponents `i/d` and log powers `j`, solving
+//! each hypothesis by ordinary least squares on the transformed predictor
+//! and keeping the hypothesis with the smallest residual (tie-broken by
+//! adjusted R², preferring simpler terms). The paper's Figure 11 model,
+//! `200.23 + (−18.28)·p^(1/3)`, is inside this space.
+//!
+//! ```
+//! use thicket_model::fit_model;
+//!
+//! let p = [36.0f64, 72.0, 144.0, 288.0, 576.0, 1152.0];
+//! let y: Vec<f64> = p.iter().map(|p| 200.0 - 18.0 * p.powf(1.0 / 3.0)).collect();
+//! let m = fit_model(&p, &y).unwrap();
+//! assert_eq!(m.term.to_string(), "p^(1/3)");
+//! assert!((m.c0 - 200.0).abs() < 1e-6);
+//! assert!((m.c1 + 18.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod multiparam;
+
+pub use multiparam::{fit_model2, fit_model2_in, Model2};
+
+use std::fmt;
+use thicket_stats::linear_fit;
+
+/// A rational exponent `num/den` in lowest terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fraction {
+    /// Numerator (may be zero).
+    pub num: i32,
+    /// Denominator (always positive).
+    pub den: i32,
+}
+
+impl Fraction {
+    /// New fraction, reduced to lowest terms. Panics on zero denominator.
+    pub fn new(num: i32, den: i32) -> Self {
+        assert!(den != 0, "fraction denominator must be nonzero");
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()).max(1) as i32;
+        num /= g;
+        den /= g;
+        Fraction { num, den }
+    }
+
+    /// Floating-point value.
+    pub fn value(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `true` for 0/1.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// One PMNF term `p^(i/d) · log₂(p)^j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// Rational exponent of `p`.
+    pub exponent: Fraction,
+    /// Power of `log₂(p)`.
+    pub log_power: u32,
+}
+
+impl Term {
+    /// Evaluate the term at `p` (`p` must be positive).
+    pub fn eval(&self, p: f64) -> f64 {
+        let poly = p.powf(self.exponent.value());
+        let log = if self.log_power == 0 {
+            1.0
+        } else {
+            p.log2().powi(self.log_power as i32)
+        };
+        poly * log
+    }
+
+    /// Complexity used for tie-breaking: prefer lower log powers and
+    /// smaller |exponent|.
+    fn complexity(&self) -> (u32, f64) {
+        (self.log_power, self.exponent.value().abs())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if !self.exponent.is_zero() {
+            if self.exponent.den == 1 {
+                parts.push(format!("p^{}", self.exponent.num));
+            } else {
+                parts.push(format!("p^({})", self.exponent));
+            }
+        }
+        if self.log_power == 1 {
+            parts.push("log2(p)".to_string());
+        } else if self.log_power > 1 {
+            parts.push(format!("log2(p)^{}", self.log_power));
+        }
+        if parts.is_empty() {
+            f.write_str("1")
+        } else {
+            f.write_str(&parts.join(" * "))
+        }
+    }
+}
+
+/// The hypothesis lattice to search.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Candidate exponents of `p`.
+    pub exponents: Vec<Fraction>,
+    /// Candidate powers of `log₂(p)`.
+    pub log_powers: Vec<u32>,
+}
+
+impl Default for SearchSpace {
+    /// Extra-P's default single-parameter search space: exponents
+    /// `{0, 1/4, 1/3, 1/2, 2/3, 3/4, 1, 5/4, 4/3, 3/2, 5/3, 7/4, 2, 9/4,
+    /// 7/3, 5/2, 8/3, 11/4, 3}` and log powers `{0, 1, 2}`.
+    fn default() -> Self {
+        let fracs = [
+            (0, 1),
+            (1, 4),
+            (1, 3),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (1, 1),
+            (5, 4),
+            (4, 3),
+            (3, 2),
+            (5, 3),
+            (7, 4),
+            (2, 1),
+            (9, 4),
+            (7, 3),
+            (5, 2),
+            (8, 3),
+            (11, 4),
+            (3, 1),
+        ];
+        SearchSpace {
+            exponents: fracs.iter().map(|&(n, d)| Fraction::new(n, d)).collect(),
+            log_powers: vec![0, 1, 2],
+        }
+    }
+}
+
+impl SearchSpace {
+    /// All candidate terms, excluding the degenerate constant term
+    /// (exponent 0, log power 0), which the intercept already covers.
+    pub fn terms(&self) -> Vec<Term> {
+        let mut out = Vec::new();
+        for &e in &self.exponents {
+            for &j in &self.log_powers {
+                if e.is_zero() && j == 0 {
+                    continue;
+                }
+                out.push(Term {
+                    exponent: e,
+                    log_power: j,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A fitted two-coefficient PMNF model `c₀ + c₁ · term(p)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Constant coefficient.
+    pub c0: f64,
+    /// Term coefficient.
+    pub c1: f64,
+    /// The selected PMNF term.
+    pub term: Term,
+    /// Residual sum of squares of the winning fit.
+    pub rss: f64,
+    /// Adjusted R² of the winning fit.
+    pub adjusted_r2: f64,
+    /// SMAPE (symmetric mean absolute percentage error, %) on the
+    /// training points — the accuracy measure Extra-P reports.
+    pub smape: f64,
+}
+
+impl Model {
+    /// Evaluate the model at parameter value `p`.
+    pub fn eval(&self, p: f64) -> f64 {
+        self.c0 + self.c1 * self.term.eval(p)
+    }
+
+    /// Human-readable formula, e.g.
+    /// `200.231242 + -18.278533 * p^(1/3)` (Figure 11 style).
+    pub fn formula(&self) -> String {
+        format!("{:.6} + {:.6} * {}", self.c0, self.c1, self.term)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.formula())
+    }
+}
+
+/// Errors from model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// x/y lengths differ.
+    LengthMismatch,
+    /// Need at least three distinct parameter values.
+    TooFewPoints,
+    /// Parameter values must be positive (log/fractional powers).
+    NonPositiveParameter(f64),
+    /// No hypothesis produced a valid fit.
+    NoFit,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::LengthMismatch => f.write_str("parameter/measurement length mismatch"),
+            ModelError::TooFewPoints => {
+                f.write_str("need at least three distinct parameter values")
+            }
+            ModelError::NonPositiveParameter(p) => {
+                write!(f, "parameter value {p} is not positive")
+            }
+            ModelError::NoFit => f.write_str("no hypothesis produced a valid fit"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Fit the best single-term PMNF model with the default search space.
+pub fn fit_model(params: &[f64], measurements: &[f64]) -> Result<Model, ModelError> {
+    fit_model_in(params, measurements, &SearchSpace::default())
+}
+
+/// Fit the best single-term PMNF model within `space`.
+pub fn fit_model_in(
+    params: &[f64],
+    measurements: &[f64],
+    space: &SearchSpace,
+) -> Result<Model, ModelError> {
+    if params.len() != measurements.len() {
+        return Err(ModelError::LengthMismatch);
+    }
+    if let Some(&bad) = params.iter().find(|p| **p <= 0.0) {
+        return Err(ModelError::NonPositiveParameter(bad));
+    }
+    let mut distinct: Vec<f64> = params.to_vec();
+    distinct.sort_by(f64::total_cmp);
+    distinct.dedup();
+    if distinct.len() < 3 {
+        return Err(ModelError::TooFewPoints);
+    }
+
+    let mut best: Option<Model> = None;
+    for term in space.terms() {
+        let x: Vec<f64> = params.iter().map(|&p| term.eval(p)).collect();
+        // log2(1) == 0 can zero the predictor; linear_fit rejects the
+        // degenerate case for us.
+        let Some(fit) = linear_fit(&x, measurements) else {
+            continue;
+        };
+        if !fit.rss.is_finite() {
+            continue;
+        }
+        let candidate = Model {
+            c0: fit.intercept,
+            c1: fit.slope,
+            term,
+            rss: fit.rss,
+            adjusted_r2: fit.adjusted_r2(),
+            smape: smape(
+                measurements,
+                &params.iter().map(|&p| fit.predict(term.eval(p))).collect::<Vec<_>>(),
+            ),
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                // Primary: RSS. Within a relative whisker, prefer the
+                // simpler term (Extra-P's bias against overfitting).
+                let close = (candidate.rss - b.rss).abs()
+                    <= 1e-9 * (1.0 + b.rss.abs());
+                if close {
+                    candidate.term.complexity() < b.term.complexity()
+                } else {
+                    candidate.rss < b.rss
+                }
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.ok_or(ModelError::NoFit)
+}
+
+/// Symmetric mean absolute percentage error, in percent.
+pub fn smape(actual: &[f64], predicted: &[f64]) -> f64 {
+    if actual.is_empty() {
+        return f64::NAN;
+    }
+    let mut acc = 0.0;
+    for (a, p) in actual.iter().zip(predicted.iter()) {
+        let denom = a.abs() + p.abs();
+        if denom > 0.0 {
+            acc += (a - p).abs() / denom;
+        }
+    }
+    200.0 * acc / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_reduction_and_display() {
+        assert_eq!(Fraction::new(2, 4), Fraction::new(1, 2));
+        assert_eq!(Fraction::new(3, -4), Fraction::new(-3, 4));
+        assert_eq!(Fraction::new(1, 3).to_string(), "1/3");
+        assert_eq!(Fraction::new(2, 1).to_string(), "2");
+        assert!((Fraction::new(1, 3).value() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        Fraction::new(1, 0);
+    }
+
+    #[test]
+    fn term_display_forms() {
+        let t = Term {
+            exponent: Fraction::new(1, 3),
+            log_power: 0,
+        };
+        assert_eq!(t.to_string(), "p^(1/3)");
+        let t2 = Term {
+            exponent: Fraction::new(2, 1),
+            log_power: 1,
+        };
+        assert_eq!(t2.to_string(), "p^2 * log2(p)");
+        let t3 = Term {
+            exponent: Fraction::new(0, 1),
+            log_power: 2,
+        };
+        assert_eq!(t3.to_string(), "log2(p)^2");
+    }
+
+    #[test]
+    fn search_space_excludes_constant() {
+        let terms = SearchSpace::default().terms();
+        assert!(!terms
+            .iter()
+            .any(|t| t.exponent.is_zero() && t.log_power == 0));
+        assert_eq!(terms.len(), 19 * 3 - 1);
+    }
+
+    #[test]
+    fn recovers_cube_root_model() {
+        // The Figure 11 family: y = 200.23 - 18.28 * p^(1/3).
+        let p = [36.0f64, 72.0, 144.0, 288.0, 576.0, 1152.0];
+        let y: Vec<f64> = p
+            .iter()
+            .map(|p| 200.231242693312 - 18.278533682209932 * p.powf(1.0 / 3.0))
+            .collect();
+        let m = fit_model(&p, &y).unwrap();
+        assert_eq!(m.term.exponent, Fraction::new(1, 3));
+        assert_eq!(m.term.log_power, 0);
+        assert!((m.c0 - 200.231242693312).abs() < 1e-6);
+        assert!((m.c1 + 18.278533682209932).abs() < 1e-6);
+        assert!(m.smape < 1e-6);
+        assert!(m.formula().contains("p^(1/3)"));
+    }
+
+    #[test]
+    fn recovers_linear_and_nlogn() {
+        let p = [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let lin: Vec<f64> = p.iter().map(|p| 5.0 + 0.75 * p).collect();
+        let m = fit_model(&p, &lin).unwrap();
+        assert_eq!(m.term.exponent, Fraction::new(1, 1));
+        assert_eq!(m.term.log_power, 0);
+
+        let nlogn: Vec<f64> = p.iter().map(|p| 1.0 + 2.0 * p * p.log2()).collect();
+        let m2 = fit_model(&p, &nlogn).unwrap();
+        assert_eq!(m2.term.exponent, Fraction::new(1, 1));
+        assert_eq!(m2.term.log_power, 1);
+    }
+
+    #[test]
+    fn recovers_log_only_model() {
+        let p = [2.0f64, 4.0, 8.0, 16.0, 32.0];
+        let y: Vec<f64> = p.iter().map(|p| 3.0 + 4.0 * p.log2()).collect();
+        let m = fit_model(&p, &y).unwrap();
+        assert!(m.term.exponent.is_zero());
+        assert_eq!(m.term.log_power, 1);
+    }
+
+    #[test]
+    fn noisy_fit_still_close() {
+        let p = [36.0f64, 72.0, 144.0, 288.0, 576.0, 1152.0];
+        // Deterministic ±0.5% "noise".
+        let y: Vec<f64> = p
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let clean = 150.0 - 14.0 * p.powf(1.0 / 3.0);
+                clean * (1.0 + 0.005 * if i % 2 == 0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let m = fit_model(&p, &y).unwrap();
+        assert!(m.smape < 2.0);
+        let pred = m.eval(2304.0);
+        let truth = 150.0 - 14.0 * 2304f64.powf(1.0 / 3.0);
+        assert!((pred - truth).abs() / truth.abs() < 0.2);
+    }
+
+    #[test]
+    fn error_conditions() {
+        assert_eq!(
+            fit_model(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            ModelError::LengthMismatch
+        );
+        assert_eq!(
+            fit_model(&[1.0, 2.0], &[1.0, 2.0]).unwrap_err(),
+            ModelError::TooFewPoints
+        );
+        assert_eq!(
+            fit_model(&[1.0, 1.0, 1.0, 2.0], &[1.0; 4]).unwrap_err(),
+            ModelError::TooFewPoints
+        );
+        assert!(matches!(
+            fit_model(&[0.0, 1.0, 2.0], &[1.0; 3]),
+            Err(ModelError::NonPositiveParameter(_))
+        ));
+    }
+
+    #[test]
+    fn constant_measurements_pick_simplest_term() {
+        let p = [2.0, 4.0, 8.0, 16.0];
+        let y = [5.0, 5.0, 5.0, 5.0];
+        let m = fit_model(&p, &y).unwrap();
+        // Any term fits exactly with c1 = 0; the complexity tie-break
+        // should keep a log-free, low-exponent term.
+        assert!((m.c1).abs() < 1e-9);
+        assert!((m.eval(1024.0) - 5.0).abs() < 1e-6);
+        assert_eq!(m.term.log_power, 0);
+    }
+
+    #[test]
+    fn smape_basics() {
+        assert!(smape(&[], &[]).is_nan());
+        assert_eq!(smape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let s = smape(&[100.0], &[110.0]);
+        assert!((s - 200.0 * 10.0 / 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_parameter_values_ok() {
+        // Five runs per rank count (the paper averages five MARBL runs).
+        let mut p = Vec::new();
+        let mut y = Vec::new();
+        for &ranks in &[36.0f64, 144.0, 576.0] {
+            for rep in 0..5 {
+                p.push(ranks);
+                y.push(100.0 - 9.0 * ranks.powf(1.0 / 3.0) + 0.01 * rep as f64);
+            }
+        }
+        let m = fit_model(&p, &y).unwrap();
+        assert_eq!(m.term.exponent, Fraction::new(1, 3));
+    }
+}

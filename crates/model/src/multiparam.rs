@@ -1,0 +1,349 @@
+//! Multi-parameter performance modeling.
+//!
+//! Extra-P supports models over several parameters (e.g. MPI ranks *and*
+//! problem size). Following its multi-parameter approach, we search
+//! additive two-parameter hypotheses
+//!
+//! ```text
+//! f(p, q) = c₀ + c₁·t₁(p) + c₂·t₂(q) [+ c₃·t₁(p)·t₂(q)]
+//! ```
+//!
+//! where `t₁`, `t₂` range over the single-parameter PMNF term lattice and
+//! the optional product term captures interaction. Each hypothesis is an
+//! ordinary linear least-squares problem solved via normal equations;
+//! selection is by RSS with a complexity tie-break (no-interaction
+//! preferred).
+
+use crate::{smape, ModelError, SearchSpace, Term};
+use std::fmt;
+
+/// A fitted two-parameter model.
+#[derive(Debug, Clone)]
+pub struct Model2 {
+    /// Constant coefficient.
+    pub c0: f64,
+    /// Coefficient of the first parameter's term.
+    pub c1: f64,
+    /// First parameter's term (in `p`).
+    pub term_p: Term,
+    /// Coefficient of the second parameter's term.
+    pub c2: f64,
+    /// Second parameter's term (in `q`).
+    pub term_q: Term,
+    /// Interaction coefficient (0 when the additive model was selected).
+    pub c3: f64,
+    /// Whether the interaction term is part of the model.
+    pub has_interaction: bool,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// SMAPE (%) on the training points.
+    pub smape: f64,
+}
+
+impl Model2 {
+    /// Evaluate at `(p, q)`.
+    pub fn eval(&self, p: f64, q: f64) -> f64 {
+        let tp = self.term_p.eval(p);
+        let tq = self.term_q.eval(q);
+        self.c0 + self.c1 * tp + self.c2 * tq + self.c3 * tp * tq
+    }
+
+    /// Human-readable formula.
+    pub fn formula(&self) -> String {
+        let mut s = format!(
+            "{:.6} + {:.6} * {} + {:.6} * {}",
+            self.c0,
+            self.c1,
+            self.term_p,
+            self.c2,
+            term_in(&self.term_q, 'q'),
+        );
+        if self.has_interaction {
+            s.push_str(&format!(
+                " + {:.6} * {} * {}",
+                self.c3,
+                self.term_p,
+                term_in(&self.term_q, 'q')
+            ));
+        }
+        s
+    }
+}
+
+fn term_in(term: &Term, var: char) -> String {
+    term.to_string().replace('p', &var.to_string())
+}
+
+impl fmt::Display for Model2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.formula())
+    }
+}
+
+/// Solve the normal equations `(XᵀX) β = Xᵀy` for a small design matrix
+/// (rows of `x` are feature vectors). Returns `None` when the system is
+/// singular.
+fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let k = x.first()?.len();
+    let n = x.len();
+    if n < k {
+        return None;
+    }
+    // Build XᵀX (k×k) and Xᵀy (k).
+    let mut a = vec![vec![0.0; k + 1]; k];
+    for i in 0..k {
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..k {
+            let mut acc = 0.0;
+            for row in x {
+                acc += row[i] * row[j];
+            }
+            a[i][j] = acc;
+        }
+        let mut acc = 0.0;
+        for (row, yy) in x.iter().zip(y.iter()) {
+            acc += row[i] * yy;
+        }
+        a[i][k] = acc;
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..k {
+        let pivot = (col..k).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        let div = a[col][col];
+        for v in a[col].iter_mut() {
+            *v /= div;
+        }
+        for row in 0..k {
+            if row != col {
+                let factor = a[row][col];
+                if factor != 0.0 {
+                    let pivot_row = a[col].clone();
+                    for (cell, p) in a[row].iter_mut().zip(pivot_row.iter()) {
+                        *cell -= factor * p;
+                    }
+                }
+            }
+        }
+    }
+    Some(a.iter().map(|row| row[k]).collect())
+}
+
+/// Fit the best two-parameter model to `(p, q) → y` observations using
+/// the default search space for both parameters.
+pub fn fit_model2(params: &[(f64, f64)], measurements: &[f64]) -> Result<Model2, ModelError> {
+    fit_model2_in(params, measurements, &SearchSpace::default())
+}
+
+/// Fit the best two-parameter model within `space` (used for both
+/// parameters).
+pub fn fit_model2_in(
+    params: &[(f64, f64)],
+    measurements: &[f64],
+    space: &SearchSpace,
+) -> Result<Model2, ModelError> {
+    if params.len() != measurements.len() {
+        return Err(ModelError::LengthMismatch);
+    }
+    if let Some(&(p, q)) = params.iter().find(|(p, q)| *p <= 0.0 || *q <= 0.0) {
+        return Err(ModelError::NonPositiveParameter(if p <= 0.0 { p } else { q }));
+    }
+    let distinct = |vals: Vec<f64>| {
+        let mut v = vals;
+        v.sort_by(f64::total_cmp);
+        v.dedup();
+        v.len()
+    };
+    if distinct(params.iter().map(|(p, _)| *p).collect()) < 3
+        || distinct(params.iter().map(|(_, q)| *q).collect()) < 3
+    {
+        return Err(ModelError::TooFewPoints);
+    }
+
+    let terms = space.terms();
+    let mut best: Option<Model2> = None;
+    for tp in &terms {
+        let xp: Vec<f64> = params.iter().map(|(p, _)| tp.eval(*p)).collect();
+        for tq in &terms {
+            let xq: Vec<f64> = params.iter().map(|(_, q)| tq.eval(*q)).collect();
+            for interaction in [false, true] {
+                let rows: Vec<Vec<f64>> = xp
+                    .iter()
+                    .zip(xq.iter())
+                    .map(|(&a, &b)| {
+                        if interaction {
+                            vec![1.0, a, b, a * b]
+                        } else {
+                            vec![1.0, a, b]
+                        }
+                    })
+                    .collect();
+                let Some(beta) = least_squares(&rows, measurements) else {
+                    continue;
+                };
+                let predicted: Vec<f64> = rows
+                    .iter()
+                    .map(|r| r.iter().zip(beta.iter()).map(|(a, b)| a * b).sum())
+                    .collect();
+                let rss: f64 = predicted
+                    .iter()
+                    .zip(measurements.iter())
+                    .map(|(p, y)| (p - y) * (p - y))
+                    .sum();
+                if !rss.is_finite() {
+                    continue;
+                }
+                let candidate = Model2 {
+                    c0: beta[0],
+                    c1: beta[1],
+                    term_p: *tp,
+                    c2: beta[2],
+                    term_q: *tq,
+                    c3: if interaction { beta[3] } else { 0.0 },
+                    has_interaction: interaction,
+                    rss,
+                    smape: smape(measurements, &predicted),
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        let close = (candidate.rss - b.rss).abs() <= 1e-6 * (1.0 + b.rss.abs());
+                        if close {
+                            // Prefer additive (simpler) hypotheses.
+                            !candidate.has_interaction && b.has_interaction
+                        } else {
+                            candidate.rss < b.rss
+                        }
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+    }
+    best.ok_or(ModelError::NoFit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fraction;
+
+    fn grid() -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for p in [2.0f64, 4.0, 8.0, 16.0, 32.0] {
+            for q in [16.0f64, 64.0, 256.0, 1024.0] {
+                out.push((p, q));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_additive_model() {
+        // y = 10 + 3·p + 0.5·√q
+        let params = grid();
+        let y: Vec<f64> = params
+            .iter()
+            .map(|(p, q)| 10.0 + 3.0 * p + 0.5 * q.sqrt())
+            .collect();
+        let m = fit_model2(&params, &y).unwrap();
+        assert_eq!(m.term_p.exponent, Fraction::new(1, 1));
+        assert_eq!(m.term_q.exponent, Fraction::new(1, 2));
+        assert!(!m.has_interaction);
+        assert!((m.c0 - 10.0).abs() < 1e-6);
+        assert!((m.c1 - 3.0).abs() < 1e-8);
+        assert!((m.c2 - 0.5).abs() < 1e-8);
+        assert!(m.smape < 1e-6);
+        assert!(m.formula().contains("q^(1/2)"));
+    }
+
+    #[test]
+    fn recovers_interaction_model() {
+        // y = 1 + 2·p·log2(q): dominated by the cross term. The additive
+        // family cannot represent it; the interaction must win.
+        let params = grid();
+        let y: Vec<f64> = params
+            .iter()
+            .map(|(p, q)| 1.0 + 2.0 * p * q.log2())
+            .collect();
+        let m = fit_model2(&params, &y).unwrap();
+        assert!(m.has_interaction);
+        let err = (m.eval(64.0, 4096.0) - (1.0 + 2.0 * 64.0 * 12.0)).abs();
+        assert!(err < 1e-3, "extrapolation error {err}");
+    }
+
+    #[test]
+    fn eval_matches_formula_components() {
+        let params = grid();
+        let y: Vec<f64> = params.iter().map(|(p, q)| 5.0 + p + q).collect();
+        let m = fit_model2(&params, &y).unwrap();
+        for &(p, q) in &params {
+            assert!((m.eval(p, q) - (5.0 + p + q)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn error_conditions() {
+        assert_eq!(
+            fit_model2(&[(1.0, 1.0)], &[1.0, 2.0]).unwrap_err(),
+            ModelError::LengthMismatch
+        );
+        assert!(matches!(
+            fit_model2(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)], &[1.0; 3]),
+            Err(ModelError::NonPositiveParameter(_))
+        ));
+        // Too few distinct q values.
+        let params: Vec<(f64, f64)> = vec![(1.0, 2.0), (2.0, 2.0), (4.0, 2.0), (8.0, 2.0)];
+        assert_eq!(
+            fit_model2(&params, &[1.0; 4]).unwrap_err(),
+            ModelError::TooFewPoints
+        );
+    }
+
+    #[test]
+    fn least_squares_solves_known_system() {
+        // y = 2 + 3a - b over a few points.
+        let x = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        let y = vec![2.0, 5.0, 1.0, 5.0];
+        let beta = least_squares(&x, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+        assert!((beta[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_singular_returns_none() {
+        // Second column is all zeros.
+        let x = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(least_squares(&x, &y).is_none());
+    }
+
+    #[test]
+    fn noisy_additive_fit_close() {
+        let params = grid();
+        let y: Vec<f64> = params
+            .iter()
+            .enumerate()
+            .map(|(i, (p, q))| {
+                let clean = 4.0 + 0.2 * p * p + 1.5 * q.log2();
+                clean * (1.0 + 0.004 * if i % 2 == 0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let m = fit_model2(&params, &y).unwrap();
+        assert!(m.smape < 2.0);
+        let truth = 4.0 + 0.2 * 64.0 * 64.0 + 1.5 * 11.0;
+        let pred = m.eval(64.0, 2048.0);
+        assert!((pred - truth).abs() / truth < 0.25, "pred {pred} vs {truth}");
+    }
+}

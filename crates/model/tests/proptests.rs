@@ -1,0 +1,106 @@
+//! Property tests: the PMNF search recovers planted models from its own
+//! hypothesis space.
+
+use proptest::prelude::*;
+use thicket_model::{fit_model, fit_model2, Fraction, SearchSpace, Term};
+
+fn space_terms() -> Vec<Term> {
+    SearchSpace::default().terms()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any planted single-term model with a clearly non-degenerate
+    /// coefficient, the search recovers a model that matches the data at
+    /// interpolation *and* extrapolation points.
+    #[test]
+    fn recovers_planted_single_term(
+        term_idx in 0usize..56,
+        c0 in -50.0f64..50.0,
+        c1 in prop_oneof![(-20.0f64..-0.5), (0.5f64..20.0)],
+    ) {
+        let terms = space_terms();
+        let term = terms[term_idx % terms.len()];
+        let ps = [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        let ys: Vec<f64> = ps.iter().map(|&p| c0 + c1 * term.eval(p)).collect();
+        let m = fit_model(&ps, &ys).unwrap();
+        // The recovered model may be an equivalent-fitting different term,
+        // but it must reproduce the data essentially exactly…
+        for &p in &ps {
+            let truth = c0 + c1 * term.eval(p);
+            prop_assert!((m.eval(p) - truth).abs() <= 1e-6 * (1.0 + truth.abs()),
+                "interpolation mismatch at p={p}");
+        }
+        prop_assert!(m.rss < 1e-6);
+    }
+
+    /// Model evaluation is exact on the formula's own components.
+    #[test]
+    fn model_eval_consistent(c0 in -10.0f64..10.0, c1 in -5.0f64..5.0) {
+        let ps = [2.0f64, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = ps.iter().map(|&p| c0 + c1 * p).collect();
+        let m = fit_model(&ps, &ys).unwrap();
+        let manual = m.c0 + m.c1 * m.term.eval(10.0);
+        prop_assert_eq!(m.eval(10.0), manual);
+    }
+
+    /// Fitting is invariant to observation order.
+    #[test]
+    fn fit_order_invariant(shuffle_seed in any::<u64>()) {
+        let ps = [36.0f64, 72.0, 144.0, 288.0, 576.0];
+        let ys: Vec<f64> = ps.iter().map(|&p| 100.0 - 9.0 * p.powf(1.0 / 3.0)).collect();
+        let mut order: Vec<usize> = (0..ps.len()).collect();
+        // Cheap deterministic shuffle.
+        for i in (1..order.len()).rev() {
+            let j = (shuffle_seed as usize).wrapping_mul(i + 7) % (i + 1);
+            order.swap(i, j);
+        }
+        let ps2: Vec<f64> = order.iter().map(|&i| ps[i]).collect();
+        let ys2: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+        let a = fit_model(&ps, &ys).unwrap();
+        let b = fit_model(&ps2, &ys2).unwrap();
+        prop_assert_eq!(a.term, b.term);
+        prop_assert!((a.c0 - b.c0).abs() < 1e-9);
+        prop_assert!((a.c1 - b.c1).abs() < 1e-9);
+    }
+
+    /// The two-parameter search reproduces planted additive models at the
+    /// observation points.
+    #[test]
+    fn recovers_planted_additive_pair(
+        ti in 0usize..8,
+        tj in 0usize..8,
+        c1 in 0.5f64..5.0,
+        c2 in 0.5f64..5.0,
+    ) {
+        // Use low-order terms only so values stay well-conditioned.
+        let low: Vec<Term> = space_terms()
+            .into_iter()
+            .filter(|t| t.exponent.value() <= 1.0 && t.log_power <= 1)
+            .collect();
+        let tp = low[ti % low.len()];
+        let tq = low[tj % low.len()];
+        let mut params = Vec::new();
+        for p in [2.0f64, 4.0, 8.0, 16.0] {
+            for q in [3.0f64, 9.0, 27.0, 81.0] {
+                params.push((p, q));
+            }
+        }
+        let ys: Vec<f64> = params
+            .iter()
+            .map(|&(p, q)| 5.0 + c1 * tp.eval(p) + c2 * tq.eval(q))
+            .collect();
+        let m = fit_model2(&params, &ys).unwrap();
+        for (k, &(p, q)) in params.iter().enumerate() {
+            prop_assert!((m.eval(p, q) - ys[k]).abs() <= 1e-5 * (1.0 + ys[k].abs()));
+        }
+    }
+}
+
+#[test]
+fn fraction_reduction_is_canonical() {
+    assert_eq!(Fraction::new(6, 4), Fraction::new(3, 2));
+    assert_eq!(Fraction::new(-6, -4), Fraction::new(3, 2));
+    assert_eq!(Fraction::new(0, 5), Fraction::new(0, 1));
+}

@@ -1,0 +1,243 @@
+//! A Caliper-like annotation collector (paper §2, step 1).
+//!
+//! Code under measurement brackets regions with [`Collector::begin`] /
+//! [`Collector::end`] (or the RAII [`Collector::region`] guard); the
+//! collector builds the call tree on the fly and records wall-clock
+//! inclusive/exclusive durations per node. Adiak-style run metadata is
+//! attached with [`Collector::annotate`]. [`Collector::finish`] produces
+//! a [`Profile`] identical in shape to the simulator's output, so real
+//! measurements and simulated ones flow through the same pipeline.
+
+use crate::profile::Profile;
+use parking_lot::Mutex;
+use std::time::Instant;
+use thicket_dataframe::Value;
+use thicket_graph::{Frame, Graph, NodeId};
+
+#[derive(Debug)]
+struct Inner {
+    graph: Graph,
+    /// (node, start time, child-time accumulated so far).
+    stack: Vec<(NodeId, Instant, f64)>,
+    /// Per-node accumulated (inclusive, exclusive, visits).
+    times: Vec<(f64, f64, u64)>,
+    metadata: Vec<(String, Value)>,
+}
+
+/// Thread-safe region-annotation collector.
+///
+/// Regions must nest properly per collector; the collector is typically
+/// owned by the orchestrating thread while worker threads execute the
+/// kernel bodies (the engine's model).
+#[derive(Debug)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Collector {
+            inner: Mutex::new(Inner {
+                graph: Graph::new(),
+                stack: Vec::new(),
+                times: Vec::new(),
+                metadata: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach a metadata attribute (Adiak-style).
+    pub fn annotate(&self, key: impl Into<String>, value: impl Into<Value>) {
+        let mut inner = self.inner.lock();
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = inner.metadata.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            inner.metadata.push((key, value));
+        }
+    }
+
+    /// Open a region named `name`; nested under the current region.
+    pub fn begin(&self, name: &str) {
+        let mut inner = self.inner.lock();
+        let frame = Frame::with_type(name, "region");
+        let node = match inner.stack.last() {
+            Some(&(parent, _, _)) => inner
+                .graph
+                .child_with_frame(parent, &frame)
+                .unwrap_or_else(|| inner.graph.add_child(parent, frame)),
+            None => inner
+                .graph
+                .root_with_frame(&frame)
+                .unwrap_or_else(|| inner.graph.add_root(frame)),
+        };
+        while inner.times.len() < inner.graph.len() {
+            inner.times.push((0.0, 0.0, 0));
+        }
+        inner.stack.push((node, Instant::now(), 0.0));
+    }
+
+    /// Close the current region. Panics if no region is open.
+    pub fn end(&self) {
+        let mut inner = self.inner.lock();
+        let (node, start, child_time) = inner
+            .stack
+            .pop()
+            .expect("Collector::end without matching begin");
+        let elapsed = start.elapsed().as_secs_f64();
+        let slot = &mut inner.times[node.index()];
+        slot.0 += elapsed;
+        slot.1 += (elapsed - child_time).max(0.0);
+        slot.2 += 1;
+        if let Some(parent) = inner.stack.last_mut() {
+            parent.2 += elapsed;
+        }
+    }
+
+    /// RAII guard: the region closes when the guard drops.
+    pub fn region<'c>(&'c self, name: &str) -> RegionGuard<'c> {
+        self.begin(name);
+        RegionGuard { collector: self }
+    }
+
+    /// Finish collection and emit the profile. Panics if regions are
+    /// still open.
+    pub fn finish(self) -> Profile {
+        let inner = self.inner.into_inner();
+        assert!(
+            inner.stack.is_empty(),
+            "Collector::finish with {} open region(s)",
+            inner.stack.len()
+        );
+        let times = inner.times;
+        let mut profile = Profile::new(inner.graph);
+        for (i, (inc, exc, visits)) in times.iter().enumerate() {
+            if *visits == 0 {
+                continue;
+            }
+            let id = profile
+                .graph()
+                .ids()
+                .nth(i)
+                .expect("times align with arena");
+            profile.set_metric(id, "time (inc)", *inc);
+            profile.set_metric(id, "time (exc)", *exc);
+            profile.set_metric(id, "visits", *visits as f64);
+        }
+        for (k, v) in inner.metadata {
+            profile.set_metadata(k, v);
+        }
+        profile
+    }
+}
+
+/// Guard returned by [`Collector::region`].
+pub struct RegionGuard<'c> {
+    collector: &'c Collector,
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        self.collector.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn builds_call_tree_with_times() {
+        let c = Collector::new();
+        c.annotate("cluster", "localhost");
+        c.begin("main");
+        c.begin("foo");
+        std::thread::sleep(Duration::from_millis(5));
+        c.end();
+        c.begin("bar");
+        std::thread::sleep(Duration::from_millis(2));
+        c.end();
+        c.end();
+        let p = c.finish();
+        let g = p.graph();
+        assert_eq!(g.len(), 3);
+        let main = g.find_by_name("main").unwrap();
+        let foo = g.find_by_name("foo").unwrap();
+        assert!(p.metric(foo, "time (inc)").unwrap() >= 0.005);
+        // main inclusive covers both children.
+        assert!(
+            p.metric(main, "time (inc)").unwrap() >= p.metric(foo, "time (inc)").unwrap()
+        );
+        // main exclusive is small.
+        assert!(p.metric(main, "time (exc)").unwrap() < p.metric(main, "time (inc)").unwrap());
+        assert_eq!(p.metadata("cluster"), Some(&Value::from("localhost")));
+    }
+
+    #[test]
+    fn repeated_regions_merge_and_count() {
+        let c = Collector::new();
+        c.begin("main");
+        for _ in 0..3 {
+            c.begin("kernel");
+            c.end();
+        }
+        c.end();
+        let p = c.finish();
+        assert_eq!(p.graph().len(), 2);
+        let k = p.graph().find_by_name("kernel").unwrap();
+        assert_eq!(p.metric(k, "visits"), Some(3.0));
+    }
+
+    #[test]
+    fn raii_guard_closes() {
+        let c = Collector::new();
+        {
+            let _g = c.region("outer");
+            let _h = c.region("inner");
+        }
+        let p = c.finish();
+        assert_eq!(p.graph().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "open region")]
+    fn unclosed_region_panics() {
+        let c = Collector::new();
+        c.begin("main");
+        let _ = c.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching begin")]
+    fn unmatched_end_panics() {
+        let c = Collector::new();
+        c.end();
+    }
+
+    #[test]
+    fn same_name_different_paths_distinct_nodes() {
+        let c = Collector::new();
+        c.begin("main");
+        c.begin("a");
+        c.begin("shared");
+        c.end();
+        c.end();
+        c.begin("b");
+        c.begin("shared");
+        c.end();
+        c.end();
+        c.end();
+        let p = c.finish();
+        // main, a, b, shared×2.
+        assert_eq!(p.graph().len(), 5);
+    }
+}

@@ -1,0 +1,236 @@
+//! Real parallel kernel execution.
+//!
+//! Besides the analytic simulator, the reproduction can *actually run*
+//! the Stream-class kernels on the host machine: data-parallel loops over
+//! `f64` buffers executed by crossbeam scoped threads, timed with the
+//! [`crate::collector::Collector`]. This proves the whole pipeline —
+//! collection, composition, EDA — also works on genuine measurements,
+//! not only synthetic ones.
+
+use crate::collector::Collector;
+use crate::profile::Profile;
+
+/// Chunked data-parallel map over disjoint slices of `out`, reading `f`
+/// per index. Uses crossbeam scoped threads; `threads == 1` runs inline.
+pub fn parallel_for<F>(out: &mut [f64], threads: usize, f: F)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || out.len() < 2 * threads {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let n = out.len();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, piece) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = t * chunk;
+                for (i, slot) in piece.iter_mut().enumerate() {
+                    *slot = f(base + i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Chunked parallel sum-reduction of `f(i)` over `0..n`.
+pub fn parallel_reduce<F>(n: usize, threads: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || n < 2 * threads {
+        return (0..n).map(&f).sum();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials = vec![0.0; threads];
+    crossbeam::thread::scope(|scope| {
+        for (t, slot) in partials.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                *slot = (lo..hi).map(f).sum();
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    partials.iter().sum()
+}
+
+/// Configuration for a real Stream-kernel run.
+#[derive(Debug, Clone)]
+pub struct StreamRunConfig {
+    /// Elements per array.
+    pub n: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Kernel repetitions.
+    pub reps: u32,
+}
+
+impl Default for StreamRunConfig {
+    fn default() -> Self {
+        StreamRunConfig {
+            n: 1 << 20,
+            threads: 4,
+            reps: 5,
+        }
+    }
+}
+
+/// Execute the five Stream kernels (COPY, MUL, ADD, TRIAD, DOT) for real,
+/// collecting wall-clock times into a profile with the familiar
+/// `Base_Host → Stream → Stream_*` call tree. Returns the profile and the
+/// final DOT value (so the computation cannot be optimized away and can
+/// be checked).
+pub fn run_stream_suite(cfg: &StreamRunConfig) -> (Profile, f64) {
+    let n = cfg.n;
+    let scalar = 3.0f64;
+    let mut a: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 0.5).collect();
+    let mut b: Vec<f64> = (0..n).map(|i| (i % 89) as f64 * 0.25).collect();
+    let mut c: Vec<f64> = vec![0.0; n];
+
+    let collector = Collector::new();
+    collector.annotate("cluster", "localhost");
+    collector.annotate("variant", "Host");
+    collector.annotate("problem size", n as i64);
+    collector.annotate("omp num threads", cfg.threads as i64);
+
+    collector.begin("Base_Host");
+    collector.begin("Stream");
+
+    collector.begin("Stream_COPY");
+    for _ in 0..cfg.reps {
+        let src = &a;
+        parallel_for(&mut c, cfg.threads, |i| src[i]);
+    }
+    collector.end();
+
+    collector.begin("Stream_MUL");
+    for _ in 0..cfg.reps {
+        let src = &c;
+        parallel_for(&mut b, cfg.threads, |i| scalar * src[i]);
+    }
+    collector.end();
+
+    collector.begin("Stream_ADD");
+    for _ in 0..cfg.reps {
+        let (x, y) = (&a, &b);
+        parallel_for(&mut c, cfg.threads, |i| x[i] + y[i]);
+    }
+    collector.end();
+
+    collector.begin("Stream_TRIAD");
+    for _ in 0..cfg.reps {
+        let (x, y) = (&b, &c);
+        parallel_for(&mut a, cfg.threads, |i| x[i] + scalar * y[i]);
+    }
+    collector.end();
+
+    collector.begin("Stream_DOT");
+    let mut dot = 0.0;
+    for _ in 0..cfg.reps {
+        let (x, y) = (&a, &b);
+        dot = parallel_reduce(n, cfg.threads, |i| x[i] * y[i]);
+    }
+    collector.end();
+
+    collector.end(); // Stream
+    collector.end(); // Base_Host
+    (collector.finish(), dot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_matches_serial() {
+        let n = 10_001;
+        let mut par = vec![0.0; n];
+        let mut ser = vec![0.0; n];
+        parallel_for(&mut par, 4, |i| (i as f64).sqrt() + 1.0);
+        parallel_for(&mut ser, 1, |i| (i as f64).sqrt() + 1.0);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_serial() {
+        let n = 100_003;
+        let par = parallel_reduce(n, 8, |i| (i % 7) as f64);
+        let ser: f64 = (0..n).map(|i| (i % 7) as f64).sum();
+        assert!((par - ser).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduce_small_input_inline() {
+        assert_eq!(parallel_reduce(3, 16, |i| i as f64), 3.0);
+        assert_eq!(parallel_reduce(0, 4, |i| i as f64), 0.0);
+    }
+
+    #[test]
+    fn stream_suite_produces_real_profile() {
+        let cfg = StreamRunConfig {
+            n: 1 << 16,
+            threads: 2,
+            reps: 2,
+        };
+        let (p, dot) = run_stream_suite(&cfg);
+        // DOT is a genuine dot product of the final arrays.
+        assert!(dot.is_finite() && dot > 0.0);
+        let g = p.graph();
+        for name in [
+            "Base_Host",
+            "Stream",
+            "Stream_COPY",
+            "Stream_MUL",
+            "Stream_ADD",
+            "Stream_TRIAD",
+            "Stream_DOT",
+        ] {
+            let id = g.find_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(p.metric(id, "time (inc)").unwrap() >= 0.0);
+        }
+        assert_eq!(
+            p.metadata("problem size").unwrap().as_i64(),
+            Some(1 << 16)
+        );
+    }
+
+    #[test]
+    fn stream_dot_value_is_correct() {
+        // With reps=1 the arrays follow one deterministic pass; verify
+        // DOT against a direct recomputation.
+        let cfg = StreamRunConfig {
+            n: 4096,
+            threads: 3,
+            reps: 1,
+        };
+        let (_, dot) = run_stream_suite(&cfg);
+        // Recompute the same pipeline serially.
+        let n = cfg.n;
+        let scalar = 3.0f64;
+        let mut a: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 0.5).collect();
+        let mut b: Vec<f64> = (0..n).map(|i| (i % 89) as f64 * 0.25).collect();
+        let mut c: Vec<f64> = vec![0.0; n];
+        c.copy_from_slice(&a);
+        for i in 0..n {
+            b[i] = scalar * c[i];
+        }
+        for i in 0..n {
+            c[i] = a[i] + b[i];
+        }
+        for i in 0..n {
+            a[i] = b[i] + scalar * c[i];
+        }
+        let expect: f64 = (0..n).map(|i| a[i] * b[i]).sum();
+        assert!((dot - expect).abs() / expect.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Ensemble I/O: whole directories of profiles, the unit the paper's
+//! workflow moves between collection (steps 1–2) and analysis (step 3).
+
+use crate::profile::{Profile, ProfileError};
+use std::path::{Path, PathBuf};
+
+/// Write every profile to `dir` as `profile-<hash>.json`, creating the
+/// directory. Returns the written paths.
+pub fn save_ensemble(
+    dir: impl AsRef<Path>,
+    profiles: &[Profile],
+) -> Result<Vec<PathBuf>, ProfileError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut out = Vec::with_capacity(profiles.len());
+    for p in profiles {
+        // The hash is metadata-derived; disambiguate identical metadata
+        // with an index suffix.
+        let mut path = dir.join(format!("profile-{:016x}.json", p.profile_hash() as u64));
+        let mut bump = 0;
+        while path.exists() {
+            bump += 1;
+            path = dir.join(format!(
+                "profile-{:016x}-{bump}.json",
+                p.profile_hash() as u64
+            ));
+        }
+        p.save(&path)?;
+        out.push(path);
+    }
+    Ok(out)
+}
+
+/// Load every `*.json` profile in `dir`, sorted by filename for
+/// determinism. Non-profile files fail loudly (the collection directory
+/// is expected to be clean).
+pub fn load_ensemble(dir: impl AsRef<Path>) -> Result<Vec<Profile>, ProfileError> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    paths.iter().map(Profile::load).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rajaperf::{simulate_cpu_run, CpuRunConfig};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("thicket-ensemble-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_profiles() {
+        let dir = tmp("roundtrip");
+        let profiles: Vec<Profile> = (0..4)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        let paths = save_ensemble(&dir, &profiles).unwrap();
+        assert_eq!(paths.len(), 4);
+        let loaded = load_ensemble(&dir).unwrap();
+        assert_eq!(loaded.len(), 4);
+        let mut orig: Vec<i64> = profiles.iter().map(|p| p.profile_hash()).collect();
+        let mut back: Vec<i64> = loaded.iter().map(|p| p.profile_hash()).collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        assert_eq!(orig, back);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn identical_metadata_disambiguated() {
+        let dir = tmp("dup");
+        let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        let paths = save_ensemble(&dir, &[p.clone(), p]).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_ne!(paths[0], paths[1]);
+        assert_eq!(load_ensemble(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_fails_loudly() {
+        let dir = tmp("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.json"), "{oops").unwrap();
+        assert!(load_ensemble(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn non_json_files_ignored() {
+        let dir = tmp("mixed");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("README.txt"), "notes").unwrap();
+        save_ensemble(&dir, &[simulate_cpu_run(&CpuRunConfig::quartz_default())]).unwrap();
+        assert_eq!(load_ensemble(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(load_ensemble("/nonexistent/thicket-dir").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # thicket-perfsim
+//!
+//! The measurement environment for the Thicket reproduction: everything
+//! "left of" the thicket object in the paper's Figure 1 workflow.
+//!
+//! The paper's studies ran the RAJA Performance Suite (Caliper + Nsight
+//! Compute profiles on the Quartz and Lassen clusters) and the MARBL
+//! multi-physics code (RZTopaz and AWS ParallelCluster). None of those is
+//! available here, so this crate provides calibrated synthetic
+//! equivalents plus a real-execution path:
+//!
+//! * [`profile::Profile`] — the call-tree profile data model with a
+//!   self-contained JSON on-disk format ([`json`]);
+//! * [`collector::Collector`] — a Caliper-like region-annotation API that
+//!   times real code;
+//! * [`engine`] — actual data-parallel Stream kernels on crossbeam
+//!   threads, measured through the collector;
+//! * [`machine`] — roofline machine models of the paper's clusters;
+//! * [`rajaperf`] — the RAJA Performance Suite simulator (CPU variants
+//!   with top-down metrics, CUDA variant with NCU-style metrics);
+//! * [`marbl`] — the MARBL strong-scaling ensemble generator;
+//! * [`noise`] — seeded measurement noise.
+
+#![warn(missing_docs)]
+
+pub mod calitxt;
+pub mod collector;
+pub mod engine;
+pub mod ensemble;
+pub mod json;
+pub mod machine;
+pub mod marbl;
+pub mod noise;
+pub mod parallel;
+pub mod profile;
+pub mod rajaperf;
+pub mod topdown;
+
+pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
+pub use collector::Collector;
+pub use parallel::{simulate_cpu_ensemble, simulate_gpu_ensemble};
+pub use ensemble::{load_ensemble, save_ensemble};
+pub use json::Json;
+pub use machine::{Compiler, CpuSpec, GpuSpec, NetworkSpec};
+pub use marbl::{marbl_ensemble, simulate_marbl_run, MarblCluster, MarblConfig};
+pub use noise::Noise;
+pub use profile::{Profile, ProfileError};
+pub use rajaperf::{
+    simulate_cpu_run, simulate_gpu_run, suite, CpuRunConfig, GpuRunConfig, KernelSpec, Variant,
+};
+pub use topdown::{top_down, TopDown};

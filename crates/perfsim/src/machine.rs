@@ -1,0 +1,279 @@
+//! Parameterized machine models for the clusters the paper's studies ran
+//! on. These numbers shape the *relative* behaviour (roofline ridge
+//! points, cache capacities, scaling) that the case-study figures depend
+//! on; absolute agreement with the real machines is not the goal.
+
+/// A CPU node model (per-node aggregates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Cluster name as it appears in metadata (`quartz`, `lassen`, ...).
+    pub cluster: String,
+    /// System type string (`toss_3_x86_64_ib`, ...).
+    pub systype: String,
+    /// Physical cores per node.
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Peak double-precision flops per cycle per core (vector + FMA).
+    pub flops_per_cycle: f64,
+    /// Last-level cache capacity in bytes (per node).
+    pub llc_bytes: u64,
+    /// Aggregate cache bandwidth, GB/s.
+    pub cache_bw_gbs: f64,
+    /// Aggregate DRAM bandwidth, GB/s.
+    pub dram_bw_gbs: f64,
+}
+
+impl CpuSpec {
+    /// Peak node compute rate in flop/s when `threads` threads are active.
+    pub fn peak_flops(&self, threads: u32) -> f64 {
+        let active = threads.min(self.cores).max(1) as f64;
+        active * self.freq_ghz * 1e9 * self.flops_per_cycle
+    }
+
+    /// Sustainable memory bandwidth (bytes/s) for a working set of
+    /// `ws_bytes`: cache bandwidth when resident, DRAM bandwidth when
+    /// streaming, with a smooth transition around the LLC capacity.
+    /// Single-threaded runs reach only a fraction of node bandwidth.
+    pub fn mem_bw(&self, ws_bytes: f64, threads: u32) -> f64 {
+        let llc = self.llc_bytes as f64;
+        // Logistic blend in log-space around the cache capacity.
+        let x = (ws_bytes.max(1.0) / llc).ln();
+        let dram_share = 1.0 / (1.0 + (-2.0 * x).exp());
+        let bw = self.cache_bw_gbs + (self.dram_bw_gbs - self.cache_bw_gbs) * dram_share;
+        // Few threads cannot saturate the memory system.
+        let t = threads.min(self.cores).max(1) as f64;
+        let concurrency = (t / 8.0).clamp(0.4, 1.0);
+        bw * 1e9 * concurrency
+    }
+}
+
+/// A GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name (`V100`).
+    pub name: String,
+    /// Peak double-precision flop/s.
+    pub peak_flops: f64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub dram_bw_gbs: f64,
+    /// Kernel launch latency, seconds.
+    pub launch_overhead_s: f64,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+}
+
+impl GpuSpec {
+    /// Efficiency factor for a CUDA thread-block size; 256 is the sweet
+    /// spot on Volta-class parts, small blocks under-occupy, huge blocks
+    /// limit scheduling flexibility.
+    pub fn block_efficiency(&self, block_size: u32) -> f64 {
+        match block_size {
+            0..=64 => 0.55,
+            65..=128 => 0.88,
+            129..=256 => 1.0,
+            257..=512 => 0.97,
+            513..=1024 => 0.90,
+            _ => 0.75,
+        }
+    }
+
+    /// Occupancy proxy (%) used for the `sm__warps_active` NCU metric.
+    pub fn occupancy(&self, block_size: u32) -> f64 {
+        match block_size {
+            0..=64 => 30.0,
+            65..=128 => 55.0,
+            129..=256 => 95.0,
+            257..=512 => 90.0,
+            _ => 75.0,
+        }
+    }
+}
+
+/// An interconnect model for MPI scaling studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Fabric name (`omnipath`, `efa`).
+    pub name: String,
+    /// Point-to-point latency, seconds.
+    pub latency_s: f64,
+    /// Per-node injection bandwidth, GB/s.
+    pub bw_gbs: f64,
+}
+
+/// Quartz: Intel Xeon E5-2695 v4 (Broadwell), 36 cores, 128 GB
+/// (paper §5.1).
+pub fn quartz() -> CpuSpec {
+    CpuSpec {
+        cluster: "quartz".into(),
+        systype: "toss_3_x86_64_ib".into(),
+        cores: 36,
+        freq_ghz: 2.1,
+        flops_per_cycle: 16.0,
+        llc_bytes: 90 * 1024 * 1024,
+        cache_bw_gbs: 900.0,
+        dram_bw_gbs: 130.0,
+    }
+}
+
+/// Lassen CPU side: IBM Power9, 44 cores, 256 GB (paper §5.1).
+pub fn lassen_cpu() -> CpuSpec {
+    CpuSpec {
+        cluster: "lassen".into(),
+        systype: "blueos_3_ppc64le_ib_p9".into(),
+        cores: 44,
+        freq_ghz: 3.5,
+        flops_per_cycle: 8.0,
+        llc_bytes: 120 * 1024 * 1024,
+        cache_bw_gbs: 1100.0,
+        dram_bw_gbs: 270.0,
+    }
+}
+
+/// Lassen GPU side: NVIDIA V100 (16 GB, NVLINK2).
+pub fn lassen_gpu() -> GpuSpec {
+    GpuSpec {
+        name: "V100".into(),
+        peak_flops: 7.0e12,
+        dram_bw_gbs: 900.0,
+        launch_overhead_s: 4.0e-6,
+        sms: 80,
+    }
+}
+
+/// RZTopaz: Intel Xeon E5-2695 v4 CTS-1 cluster (paper §5.2).
+pub fn rztopaz() -> CpuSpec {
+    let mut m = quartz();
+    m.cluster = "rztopaz".into();
+    m
+}
+
+/// RZTopaz Omni-Path interconnect.
+pub fn rztopaz_network() -> NetworkSpec {
+    NetworkSpec {
+        name: "omnipath".into(),
+        latency_s: 1.6e-6,
+        bw_gbs: 12.5,
+    }
+}
+
+/// AWS ParallelCluster: C5n.18xlarge (Skylake 8124M, 36 cores, 192 GB).
+pub fn aws_parallelcluster() -> CpuSpec {
+    CpuSpec {
+        cluster: "aws-parallelcluster".into(),
+        systype: "c5n.18xlarge".into(),
+        cores: 36,
+        freq_ghz: 3.0,
+        flops_per_cycle: 32.0,
+        llc_bytes: 50 * 1024 * 1024,
+        cache_bw_gbs: 1000.0,
+        dram_bw_gbs: 180.0,
+    }
+}
+
+/// AWS Elastic Fabric Adapter.
+pub fn aws_network() -> NetworkSpec {
+    NetworkSpec {
+        name: "efa".into(),
+        latency_s: 15.0e-6,
+        bw_gbs: 12.5,
+    }
+}
+
+/// A compiler description plus its optimization behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiler {
+    /// Full versioned name as metadata shows it (`clang-9.0.0`).
+    pub name: String,
+    /// Relative code-quality factor per `-O` level, indexed 0..=3.
+    /// (−O0 is dramatically slower; −O2 is the best level on the paper's
+    /// "Stream" study, Figure 10.)
+    pub opt_factors: [f64; 4],
+}
+
+impl Compiler {
+    /// clang 9.0.0 (Quartz study).
+    pub fn clang9() -> Compiler {
+        Compiler {
+            name: "clang-9.0.0".into(),
+            opt_factors: [0.09, 0.62, 1.0, 0.91],
+        }
+    }
+
+    /// gcc 8.3.1 (Quartz study).
+    pub fn gcc8() -> Compiler {
+        Compiler {
+            name: "g++-8.3.1".into(),
+            opt_factors: [0.11, 0.58, 1.0, 0.93],
+        }
+    }
+
+    /// IBM XL 16.1.1.12 (Lassen CPU compiler).
+    pub fn xl16() -> Compiler {
+        Compiler {
+            name: "xlc-16.1.1.12".into(),
+            opt_factors: [0.10, 0.55, 1.0, 0.92],
+        }
+    }
+
+    /// The factor for `-O<level>`; levels above 3 behave like 3.
+    pub fn opt_factor(&self, level: u32) -> f64 {
+        self.opt_factors[level.min(3) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_scales_with_threads_up_to_cores() {
+        let m = quartz();
+        assert_eq!(m.peak_flops(72), m.peak_flops(36));
+        assert!((m.peak_flops(36) / m.peak_flops(1) - 36.0).abs() < 1e-9);
+        assert!(m.peak_flops(0) > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_transitions_at_cache_capacity() {
+        let m = quartz();
+        let small = m.mem_bw(1.0e6, 36);
+        let large = m.mem_bw(4.0e9, 36);
+        assert!(small > large * 2.0, "cache-resident should be much faster");
+        // Streaming converges to DRAM bandwidth.
+        assert!((large / 1e9 - m.dram_bw_gbs).abs() / m.dram_bw_gbs < 0.1);
+    }
+
+    #[test]
+    fn single_thread_bandwidth_limited() {
+        let m = quartz();
+        assert!(m.mem_bw(4.0e9, 1) < m.mem_bw(4.0e9, 36));
+    }
+
+    #[test]
+    fn gpu_block_sweet_spot() {
+        let g = lassen_gpu();
+        assert!(g.block_efficiency(256) > g.block_efficiency(128));
+        assert!(g.block_efficiency(256) >= g.block_efficiency(1024));
+        assert!(g.occupancy(256) > g.occupancy(128));
+    }
+
+    #[test]
+    fn opt_levels_order() {
+        for c in [Compiler::clang9(), Compiler::gcc8(), Compiler::xl16()] {
+            assert!(c.opt_factor(0) < c.opt_factor(1));
+            assert!(c.opt_factor(1) < c.opt_factor(2));
+            // -O2 is the best level (paper's Stream finding).
+            assert!(c.opt_factor(2) >= c.opt_factor(3));
+            assert_eq!(c.opt_factor(9), c.opt_factor(3));
+        }
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        assert_ne!(quartz(), aws_parallelcluster());
+        assert_eq!(rztopaz().cores, quartz().cores);
+        assert_ne!(rztopaz_network().name, aws_network().name);
+        assert!(aws_network().latency_s > rztopaz_network().latency_s);
+    }
+}

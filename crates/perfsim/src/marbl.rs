@@ -1,0 +1,333 @@
+//! The MARBL multi-physics scaling simulator (paper §5.2).
+//!
+//! MARBL itself is closed to us, but every MARBL figure depends only on
+//! the shape of its strong-scaling behaviour on two clusters:
+//!
+//! * Figure 17 — near-ideal node-to-node strong scaling of
+//!   `timeStepLoop` up to ~16 nodes, AWS ParallelCluster consistently
+//!   faster than RZTopaz;
+//! * Figure 11 — the solver's average time/rank following the family
+//!   `c₀ + c₁·p^(1/3)` with negative `c₁` (less per-rank work as ranks
+//!   grow), AWS below CTS;
+//! * Figure 18 — metadata correlations (more ranks ↔ lower walltime,
+//!   fewer elements/rank).
+//!
+//! The simulator generates profile ensembles with exactly these
+//! properties: per-rank compute ∝ zones/ranks, a 3-D surface-to-volume
+//! communication term, cluster-specific rates, and seeded noise.
+
+use crate::machine::{CpuSpec, NetworkSpec};
+use crate::noise::Noise;
+use crate::profile::Profile;
+use thicket_graph::{Frame, Graph};
+
+/// Which cluster a MARBL run executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarblCluster {
+    /// RZTopaz — the CTS-1 commodity cluster (Intel MPI in the study is
+    /// on AWS; RZTopaz ran OpenMPI).
+    RzTopaz,
+    /// AWS ParallelCluster with C5n.18xlarge nodes and EFA.
+    AwsParallelCluster,
+}
+
+impl MarblCluster {
+    /// Metadata cluster string.
+    pub fn cluster_name(self) -> &'static str {
+        match self {
+            MarblCluster::RzTopaz => "rztopaz",
+            MarblCluster::AwsParallelCluster => "ip-10-0-0-1",
+        }
+    }
+
+    /// Architecture label used for coloring in Figure 18.
+    pub fn arch(self) -> &'static str {
+        match self {
+            MarblCluster::RzTopaz => "CTS1",
+            MarblCluster::AwsParallelCluster => "C5n.18xlarge",
+        }
+    }
+
+    /// MPI implementation used in the study.
+    pub fn mpi(self) -> &'static str {
+        match self {
+            MarblCluster::RzTopaz => "openmpi",
+            MarblCluster::AwsParallelCluster => "impi",
+        }
+    }
+
+    /// Machine model.
+    pub fn machine(self) -> CpuSpec {
+        match self {
+            MarblCluster::RzTopaz => crate::machine::rztopaz(),
+            MarblCluster::AwsParallelCluster => crate::machine::aws_parallelcluster(),
+        }
+    }
+
+    /// Network model.
+    pub fn network(self) -> NetworkSpec {
+        match self {
+            MarblCluster::RzTopaz => crate::machine::rztopaz_network(),
+            MarblCluster::AwsParallelCluster => crate::machine::aws_network(),
+        }
+    }
+
+    /// Per-zone-cycle compute cost (seconds per zone per rank-cycle).
+    /// Calibrated so AWS (newer Skylake cores) beats CTS-1 Broadwell —
+    /// the consistent gap Figures 17/18 show.
+    fn zone_cost(self) -> f64 {
+        match self {
+            MarblCluster::RzTopaz => 9.5e-7,
+            MarblCluster::AwsParallelCluster => 7.3e-7,
+        }
+    }
+
+    /// Solver model constants `(c0, c1)` for avg time/rank ≈
+    /// `c0 + c1·p^(1/3)` — the family the paper's Figure 11 fits.
+    fn solver_constants(self) -> (f64, f64) {
+        match self {
+            MarblCluster::RzTopaz => (200.231242693312, -18.278533682209932),
+            MarblCluster::AwsParallelCluster => (154.8848323145599, -14.012557071778664),
+        }
+    }
+}
+
+/// One MARBL run configuration.
+#[derive(Debug, Clone)]
+pub struct MarblConfig {
+    /// Target cluster.
+    pub cluster: MarblCluster,
+    /// Compute nodes.
+    pub nodes: u32,
+    /// MPI ranks per node (the study used 36).
+    pub ranks_per_node: u32,
+    /// Total zones of the 3-D triple-point mesh.
+    pub zones: u64,
+    /// Simulated time-step cycles.
+    pub cycles: u32,
+    /// Noise seed (vary for ensembles).
+    pub seed: u64,
+}
+
+impl MarblConfig {
+    /// The paper's 3-D triple-point benchmark on a given cluster and node
+    /// count.
+    pub fn triple_point(cluster: MarblCluster, nodes: u32, seed: u64) -> Self {
+        MarblConfig {
+            cluster,
+            nodes,
+            ranks_per_node: 36,
+            zones: 13_824_000,
+            cycles: 320,
+            seed,
+        }
+    }
+
+    /// Total MPI ranks.
+    pub fn ranks(&self) -> u32 {
+        self.nodes * self.ranks_per_node
+    }
+}
+
+/// Per-cycle `timeStepLoop` time (seconds) under the scaling model.
+pub fn time_per_cycle(cfg: &MarblConfig) -> f64 {
+    let p = cfg.ranks() as f64;
+    let zones_per_rank = cfg.zones as f64 / p;
+    let compute = zones_per_rank * cfg.cluster.zone_cost();
+    // 3-D halo exchange: surface ∝ (zones/rank)^(2/3); 8 bytes/value,
+    // ~20 fields, 6 faces.
+    let net = cfg.cluster.network();
+    let halo_bytes = zones_per_rank.powf(2.0 / 3.0) * 8.0 * 20.0 * 6.0;
+    let comm = halo_bytes / (net.bw_gbs * 1e9 / cfg.ranks_per_node as f64)
+        + net.latency_s * (p.log2().max(1.0)) * 3.0;
+    compute + comm
+}
+
+/// Simulate one MARBL run, producing a profile with the call tree
+/// `main → timeStepLoop → {LagrangeLeapFrog → {M_solver->Mult,
+/// ForceCalc}, MPI_Allreduce, Remap}` and the Caliper-style aggregate
+/// metrics Thicket's MARBL study reads.
+pub fn simulate_marbl_run(cfg: &MarblConfig) -> Profile {
+    let mut noise = Noise::new(cfg.seed ^ (cfg.nodes as u64) << 32 ^ cfg.cluster as u64);
+    let p = cfg.ranks() as f64;
+
+    let per_cycle = time_per_cycle(cfg) * noise.lognormal(0.025);
+    let loop_time = per_cycle * cfg.cycles as f64;
+
+    // Component split inside the step loop.
+    let (c0, c1) = cfg.cluster.solver_constants();
+    let solver_avg_rank = (c0 + c1 * p.powf(1.0 / 3.0)).max(5.0) * noise.lognormal(0.02);
+    let comm_time = loop_time * 0.12 * noise.lognormal(0.05);
+    let remap_time = loop_time * 0.18 * noise.lognormal(0.04);
+    let force_time = loop_time * 0.25 * noise.lognormal(0.03);
+    let startup = 6.0 * noise.lognormal(0.1);
+    let walltime = loop_time + startup;
+
+    let mut g = Graph::new();
+    let main = g.add_root(Frame::with_type("main", "function"));
+    let step = g.add_child(main, Frame::with_type("timeStepLoop", "region"));
+    let lag = g.add_child(step, Frame::with_type("LagrangeLeapFrog", "region"));
+    let solver = g.add_child(lag, Frame::with_type("M_solver->Mult", "function"));
+    let force = g.add_child(lag, Frame::with_type("ForceCalc", "function"));
+    let allreduce = g.add_child(step, Frame::with_type("MPI_Allreduce", "mpi"));
+    let remap = g.add_child(step, Frame::with_type("Remap", "region"));
+
+    let mut profile = Profile::new(g);
+    // Caliper-style aggregated inclusive duration metrics (Figure 18 uses
+    // min/avg/sum variants).
+    let put = |node, avg: f64, profile: &mut Profile, noise: &mut Noise| {
+        let spread = noise.lognormal(0.03);
+        profile.set_metric(node, "avg#inclusive#sum#time.duration", avg);
+        profile.set_metric(node, "min#inclusive#sum#time.duration", avg / spread * 0.92);
+        profile.set_metric(node, "max#inclusive#sum#time.duration", avg * spread * 1.08);
+        profile.set_metric(node, "sum#inclusive#sum#time.duration", avg * p);
+    };
+    put(main, walltime, &mut profile, &mut noise);
+    put(step, loop_time, &mut profile, &mut noise);
+    put(
+        lag,
+        solver_avg_rank + force_time,
+        &mut profile,
+        &mut noise,
+    );
+    put(solver, solver_avg_rank, &mut profile, &mut noise);
+    put(force, force_time, &mut profile, &mut noise);
+    put(allreduce, comm_time, &mut profile, &mut noise);
+    put(remap, remap_time, &mut profile, &mut noise);
+    // Per-cycle figure-of-merit for the scaling plot.
+    profile.set_metric(step, "time per cycle", per_cycle);
+
+    let machine = cfg.cluster.machine();
+    profile.set_metadata("cluster", cfg.cluster.cluster_name());
+    profile.set_metadata("arch", cfg.cluster.arch());
+    profile.set_metadata(
+        "ccompiler",
+        "/usr/tce/packages/clang/clang-9.0.0",
+    );
+    profile.set_metadata("mpi", cfg.cluster.mpi());
+    profile.set_metadata(
+        "version",
+        match cfg.cluster {
+            MarblCluster::RzTopaz => "v1.1.0-201-g891eaf1",
+            MarblCluster::AwsParallelCluster => "v1.1.0-203-gcb0efb3",
+        },
+    );
+    profile.set_metadata("numhosts", cfg.nodes as i64);
+    profile.set_metadata("mpi.world.size", cfg.ranks() as i64);
+    profile.set_metadata("systype", machine.systype.as_str());
+    profile.set_metadata("walltime", walltime);
+    profile.set_metadata("num_elems_max_per_rank", (cfg.zones as f64 / p * 1.04) as i64);
+    profile.set_metadata("problem", "Triple-Pt-3D");
+    profile.set_metadata("seed", cfg.seed as i64);
+    profile
+}
+
+/// Generate the paper's full MARBL study ensemble: both clusters × the
+/// given node counts × `runs` repetitions (Figure 16: 1–32 nodes,
+/// 5 runs each → 30 profiles per cluster).
+pub fn marbl_ensemble(node_counts: &[u32], runs: u32) -> Vec<Profile> {
+    let mut out = Vec::new();
+    for cluster in [MarblCluster::RzTopaz, MarblCluster::AwsParallelCluster] {
+        for &nodes in node_counts {
+            for run in 0..runs {
+                let cfg = MarblConfig::triple_point(cluster, nodes, run as u64 * 7919 + 13);
+                out.push(simulate_marbl_run(&cfg));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_structure() {
+        let p = simulate_marbl_run(&MarblConfig::triple_point(MarblCluster::RzTopaz, 4, 0));
+        let g = p.graph();
+        assert!(g.find_by_name("timeStepLoop").is_some());
+        let solver = g.find_by_name("M_solver->Mult").unwrap();
+        assert!(p.metric(solver, "avg#inclusive#sum#time.duration").unwrap() > 0.0);
+        assert_eq!(p.metadata("mpi.world.size").unwrap().as_i64(), Some(144));
+        assert_eq!(p.metadata("numhosts").unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn strong_scaling_near_ideal_to_16_nodes() {
+        for cluster in [MarblCluster::RzTopaz, MarblCluster::AwsParallelCluster] {
+            let t1 = time_per_cycle(&MarblConfig::triple_point(cluster, 1, 0));
+            let t16 = time_per_cycle(&MarblConfig::triple_point(cluster, 16, 0));
+            let speedup = t1 / t16;
+            assert!(
+                speedup > 10.0 && speedup <= 16.5,
+                "{cluster:?}: 16-node speedup {speedup}"
+            );
+        }
+    }
+
+    #[test]
+    fn aws_faster_than_cts() {
+        for nodes in [1, 4, 16, 32] {
+            let cts = time_per_cycle(&MarblConfig::triple_point(MarblCluster::RzTopaz, nodes, 0));
+            let aws = time_per_cycle(&MarblConfig::triple_point(
+                MarblCluster::AwsParallelCluster,
+                nodes,
+                0,
+            ));
+            assert!(aws < cts, "AWS should be faster at {nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn solver_follows_cube_root_family() {
+        // Generating function is c0 + c1 p^(1/3): check monotone decrease.
+        let mut prev = f64::INFINITY;
+        for nodes in [1u32, 2, 4, 8, 16, 32] {
+            let cfg = MarblConfig::triple_point(MarblCluster::RzTopaz, nodes, 0);
+            let p = simulate_marbl_run(&cfg);
+            let solver = p.graph().find_by_name("M_solver->Mult").unwrap();
+            let t = p.metric(solver, "avg#inclusive#sum#time.duration").unwrap();
+            assert!(t < prev, "solver time/rank should fall with ranks");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn walltime_inverse_to_ranks() {
+        let few = simulate_marbl_run(&MarblConfig::triple_point(MarblCluster::RzTopaz, 1, 0));
+        let many = simulate_marbl_run(&MarblConfig::triple_point(MarblCluster::RzTopaz, 32, 0));
+        let wf = few.metadata("walltime").unwrap().as_f64().unwrap();
+        let wm = many.metadata("walltime").unwrap().as_f64().unwrap();
+        assert!(wf > wm * 5.0);
+    }
+
+    #[test]
+    fn ensemble_shape() {
+        let e = marbl_ensemble(&[1, 2, 4, 8, 16, 32], 5);
+        assert_eq!(e.len(), 60);
+        // 30 profiles per cluster (Figure 16).
+        let cts = e
+            .iter()
+            .filter(|p| p.metadata("arch").unwrap().as_str() == Some("CTS1"))
+            .count();
+        assert_eq!(cts, 30);
+        // Distinct hashes.
+        let mut hashes: Vec<i64> = e.iter().map(|p| p.profile_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 60);
+    }
+
+    #[test]
+    fn runs_vary_with_seed() {
+        let a = simulate_marbl_run(&MarblConfig::triple_point(MarblCluster::RzTopaz, 4, 1));
+        let b = simulate_marbl_run(&MarblConfig::triple_point(MarblCluster::RzTopaz, 4, 2));
+        let sa = a.graph().find_by_name("timeStepLoop").unwrap();
+        let sb = b.graph().find_by_name("timeStepLoop").unwrap();
+        assert_ne!(
+            a.metric(sa, "time per cycle"),
+            b.metric(sb, "time per cycle")
+        );
+    }
+}

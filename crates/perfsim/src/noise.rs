@@ -1,0 +1,87 @@
+//! Deterministic measurement noise.
+//!
+//! Real profiles vary run to run; the paper's aggregated statistics and
+//! histograms (Figures 9 and 12) are only meaningful over such variation.
+//! [`Noise`] produces seeded, reproducible multiplicative jitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded noise source for simulated measurements.
+#[derive(Debug, Clone)]
+pub struct Noise {
+    rng: StdRng,
+}
+
+impl Noise {
+    /// New source with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Noise {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Multiplicative log-normal factor with standard deviation `sigma`
+    /// in log space (≈ relative std for small `sigma`). Always positive,
+    /// mean ≈ 1.
+    pub fn lognormal(&mut self, sigma: f64) -> f64 {
+        (self.normal() * sigma).exp()
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Noise::new(7);
+        let mut b = Noise::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.lognormal(0.1), b.lognormal(0.1));
+        }
+        let mut c = Noise::new(8);
+        assert_ne!(Noise::new(7).lognormal(0.1), c.lognormal(0.1));
+    }
+
+    #[test]
+    fn lognormal_positive_and_centred() {
+        let mut n = Noise::new(42);
+        let samples: Vec<f64> = (0..4000).map(|_| n.lognormal(0.05)).collect();
+        assert!(samples.iter().all(|v| *v > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut n = Noise::new(1);
+        let samples: Vec<f64> = (0..8000).map(|_| n.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var = {var}");
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut n = Noise::new(3);
+        for _ in 0..100 {
+            let v = n.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Parallel ensemble generation: simulate many runs on worker threads.
+//!
+//! The Figure 13 study alone is 560 profiles; generating ensembles is
+//! embarrassingly parallel, so this module fans configurations out over
+//! crossbeam scoped threads while keeping the output order deterministic
+//! (result `i` always corresponds to input `i`).
+
+use crate::profile::Profile;
+use crate::rajaperf::{simulate_cpu_run, simulate_gpu_run, CpuRunConfig, GpuRunConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `job` over every item on `threads` workers, preserving order.
+pub fn generate_parallel<T, F>(items: &[T], threads: usize, job: F) -> Vec<Profile>
+where
+    T: Sync,
+    F: Fn(&T) -> Profile + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(&job).collect();
+    }
+    let mut out: Vec<Option<Profile>> = (0..items.len()).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<&mut Option<Profile>>> =
+        out.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let profile = job(&items[i]);
+                **slots[i].lock() = Some(profile);
+            });
+        }
+    })
+    .expect("generator thread panicked");
+    drop(slots);
+    out.into_iter().map(|p| p.expect("every slot filled")).collect()
+}
+
+/// Simulate many CPU runs in parallel (order preserved).
+pub fn simulate_cpu_ensemble(configs: &[CpuRunConfig], threads: usize) -> Vec<Profile> {
+    generate_parallel(configs, threads, simulate_cpu_run)
+}
+
+/// Simulate many GPU runs in parallel (order preserved).
+pub fn simulate_gpu_ensemble(configs: &[GpuRunConfig], threads: usize) -> Vec<Profile> {
+    generate_parallel(configs, threads, simulate_gpu_run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configs(n: u64) -> Vec<CpuRunConfig> {
+        (0..n)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                cfg
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_order_and_values() {
+        let cfgs = configs(12);
+        let serial = simulate_cpu_ensemble(&cfgs, 1);
+        let parallel = simulate_cpu_ensemble(&cfgs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.profile_hash(), p.profile_hash());
+            let ns = s.graph().find_by_name("Stream_DOT").unwrap();
+            let np = p.graph().find_by_name("Stream_DOT").unwrap();
+            assert_eq!(s.metric(ns, "time (exc)"), p.metric(np, "time (exc)"));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let cfgs = configs(2);
+        let out = simulate_cpu_ensemble(&cfgs, 16);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(simulate_cpu_ensemble(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn gpu_ensemble_parallel() {
+        let cfgs: Vec<GpuRunConfig> = (0..6)
+            .map(|seed| {
+                let mut cfg = GpuRunConfig::lassen_default();
+                cfg.seed = seed;
+                cfg
+            })
+            .collect();
+        let out = simulate_gpu_ensemble(&cfgs, 3);
+        assert_eq!(out.len(), 6);
+        for (i, p) in out.iter().enumerate() {
+            assert_eq!(p.metadata("seed").unwrap().as_i64(), Some(i as i64));
+        }
+    }
+}

@@ -1,0 +1,709 @@
+//! The RAJA Performance Suite simulator (paper §5.1).
+//!
+//! Each suite kernel is described by its arithmetic intensity (flops and
+//! bytes per element per repetition); execution on a [`CpuSpec`] or
+//! [`GpuSpec`] follows a roofline model with a cache-capacity bandwidth
+//! transition, compiler-optimization code-quality factors, and seeded
+//! multiplicative noise. The simulator emits full [`Profile`]s with the
+//! same call-tree shape, metrics, and metadata the paper's Caliper + NCU
+//! profiles carry.
+
+use crate::machine::{Compiler, CpuSpec, GpuSpec};
+use crate::noise::Noise;
+use crate::profile::Profile;
+use crate::topdown::top_down;
+use thicket_graph::{Frame, Graph, NodeId};
+
+/// RAJA Performance Suite execution variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// `Base_Seq`: sequential CPU.
+    Sequential,
+    /// `Base_OpenMP`: threaded CPU.
+    OpenMp,
+    /// `Base_CUDA`: GPU.
+    Cuda,
+}
+
+impl Variant {
+    /// Variant name as it appears in metadata/trees.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Sequential => "Sequential",
+            Variant::OpenMp => "OpenMP",
+            Variant::Cuda => "CUDA",
+        }
+    }
+
+    /// Call-tree root node name (`Base_Seq`, `Base_OMP`, `Base_CUDA`).
+    pub fn root_name(self) -> &'static str {
+        match self {
+            Variant::Sequential => "Base_Seq",
+            Variant::OpenMp => "Base_OMP",
+            Variant::Cuda => "Base_CUDA",
+        }
+    }
+}
+
+/// Static description of one suite kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Kernel name (`Apps_VOL3D`).
+    pub name: &'static str,
+    /// Suite group (`Apps`, `Lcals`, `Stream`, `Polybench`, `Algorithm`).
+    pub group: &'static str,
+    /// Double-precision flops per element per rep.
+    pub flops_per_elem: f64,
+    /// Bytes moved per element per rep.
+    pub bytes_per_elem: f64,
+    /// Kernel repetitions per pass (Figure 4's `Reps` column).
+    pub reps: u32,
+    /// Fraction of peak vector throughput the kernel's code reaches at
+    /// `-O2` (irregular kernels vectorize poorly).
+    pub vec_efficiency: f64,
+}
+
+/// The simulated subset of the RAJA Performance Suite: every kernel the
+/// paper's figures reference.
+pub fn suite() -> Vec<KernelSpec> {
+    vec![
+        KernelSpec {
+            name: "Apps_NODAL_ACCUMULATION_3D",
+            group: "Apps",
+            flops_per_elem: 9.0,
+            bytes_per_elem: 96.0,
+            reps: 100,
+            vec_efficiency: 0.30,
+        },
+        KernelSpec {
+            name: "Apps_VOL3D",
+            group: "Apps",
+            flops_per_elem: 72.0,
+            bytes_per_elem: 88.0,
+            reps: 100,
+            vec_efficiency: 0.55,
+        },
+        KernelSpec {
+            name: "Lcals_HYDRO_1D",
+            group: "Lcals",
+            flops_per_elem: 5.0,
+            bytes_per_elem: 40.0,
+            reps: 1000,
+            vec_efficiency: 0.80,
+        },
+        KernelSpec {
+            name: "Polybench_GESUMMV",
+            group: "Polybench",
+            flops_per_elem: 4.0,
+            bytes_per_elem: 24.0,
+            reps: 100,
+            vec_efficiency: 0.70,
+        },
+        KernelSpec {
+            name: "Stream_ADD",
+            group: "Stream",
+            flops_per_elem: 1.0,
+            bytes_per_elem: 24.0,
+            reps: 1000,
+            vec_efficiency: 0.92,
+        },
+        KernelSpec {
+            name: "Stream_COPY",
+            group: "Stream",
+            flops_per_elem: 0.0,
+            bytes_per_elem: 16.0,
+            reps: 1000,
+            vec_efficiency: 0.95,
+        },
+        KernelSpec {
+            name: "Stream_DOT",
+            group: "Stream",
+            // sum += a*b is one FMA per element.
+            flops_per_elem: 1.0,
+            bytes_per_elem: 16.0,
+            reps: 2000,
+            vec_efficiency: 0.85,
+        },
+        KernelSpec {
+            name: "Stream_MUL",
+            group: "Stream",
+            flops_per_elem: 1.0,
+            bytes_per_elem: 16.0,
+            reps: 1000,
+            vec_efficiency: 0.85,
+        },
+        KernelSpec {
+            name: "Stream_TRIAD",
+            group: "Stream",
+            // a = b + s*c is one FMA per element.
+            flops_per_elem: 1.0,
+            bytes_per_elem: 24.0,
+            reps: 1000,
+            vec_efficiency: 0.92,
+        },
+        KernelSpec {
+            name: "Algorithm_MEMCPY",
+            group: "Algorithm",
+            flops_per_elem: 0.0,
+            bytes_per_elem: 16.0,
+            reps: 100,
+            vec_efficiency: 0.98,
+        },
+        KernelSpec {
+            name: "Algorithm_MEMSET",
+            group: "Algorithm",
+            flops_per_elem: 0.0,
+            bytes_per_elem: 8.0,
+            reps: 100,
+            vec_efficiency: 0.98,
+        },
+        KernelSpec {
+            name: "Algorithm_REDUCE_SUM",
+            group: "Algorithm",
+            flops_per_elem: 1.0,
+            bytes_per_elem: 8.0,
+            reps: 100,
+            vec_efficiency: 0.85,
+        },
+        KernelSpec {
+            name: "Algorithm_SCAN",
+            group: "Algorithm",
+            flops_per_elem: 2.0,
+            bytes_per_elem: 16.0,
+            reps: 100,
+            vec_efficiency: 0.60,
+        },
+    ]
+}
+
+/// Look up a kernel spec by name.
+pub fn kernel(name: &str) -> Option<KernelSpec> {
+    suite().into_iter().find(|k| k.name == name)
+}
+
+/// One CPU run configuration of the suite.
+#[derive(Debug, Clone)]
+pub struct CpuRunConfig {
+    /// Target machine.
+    pub machine: CpuSpec,
+    /// Compiler used to build the executable.
+    pub compiler: Compiler,
+    /// `-O` level, 0..=3.
+    pub opt_level: u32,
+    /// OpenMP threads (1 == sequential variant).
+    pub threads: u32,
+    /// Elements per kernel.
+    pub problem_size: u64,
+    /// Execution variant recorded in metadata.
+    pub variant: Variant,
+    /// Noise seed (vary per run to get an ensemble).
+    pub seed: u64,
+    /// User recorded in metadata.
+    pub user: String,
+    /// Launch date string recorded in metadata.
+    pub launchdate: String,
+}
+
+impl CpuRunConfig {
+    /// A Quartz sequential clang `-O2` run — a sensible default to tweak.
+    pub fn quartz_default() -> Self {
+        CpuRunConfig {
+            machine: crate::machine::quartz(),
+            compiler: Compiler::clang9(),
+            opt_level: 2,
+            threads: 1,
+            problem_size: 1_048_576,
+            variant: Variant::Sequential,
+            seed: 0,
+            user: "John".into(),
+            launchdate: "2022-11-30 02:09:27".into(),
+        }
+    }
+}
+
+/// Analytic kernel timing on a CPU (seconds, per full kernel pass).
+pub fn cpu_kernel_time(spec: &KernelSpec, cfg: &CpuRunConfig) -> (f64, f64, f64) {
+    let n = cfg.problem_size as f64;
+    let opt = cfg.compiler.opt_factor(cfg.opt_level);
+    let compute_rate = cfg.machine.peak_flops(cfg.threads) * opt * spec.vec_efficiency;
+    let ws = n * spec.bytes_per_elem;
+    // Unoptimized builds also waste memory traffic (spills, no unrolling).
+    let traffic = ws * (1.0 + 0.4 * (1.0 - opt));
+    let bw = cfg.machine.mem_bw(ws, cfg.threads);
+    let t_flops = if spec.flops_per_elem > 0.0 {
+        n * spec.flops_per_elem / compute_rate
+    } else {
+        // Pure-copy kernels still retire load/store instructions.
+        n * 0.5 / compute_rate
+    };
+    let t_mem = traffic / bw;
+    let t_pass = t_flops.max(t_mem) + 1.0e-6;
+    (t_pass * spec.reps as f64, t_flops, t_mem)
+}
+
+/// Simulate one CPU run of the whole suite, producing a profile whose
+/// call tree is `Base_*` → group → kernel with `time (exc)`, `Reps`,
+/// `Bytes/Rep`, `Flops/Rep`, and top-down metric columns.
+pub fn simulate_cpu_run(cfg: &CpuRunConfig) -> Profile {
+    let kernels = suite();
+    let mut graph = Graph::new();
+    let root = graph.add_root(Frame::with_type(cfg.variant.root_name(), "variant"));
+    let mut group_nodes: Vec<(&'static str, NodeId)> = Vec::new();
+    let mut kernel_nodes: Vec<(usize, NodeId)> = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        let gnode = match group_nodes.iter().find(|(g, _)| *g == k.group) {
+            Some(&(_, id)) => id,
+            None => {
+                let id = graph.add_child(root, Frame::with_type(k.group, "group"));
+                group_nodes.push((k.group, id));
+                id
+            }
+        };
+        let id = graph.add_child(gnode, Frame::with_type(k.name, "kernel"));
+        kernel_nodes.push((i, id));
+    }
+
+    let mut profile = Profile::new(graph);
+    let mut noise = Noise::new(cfg.seed ^ 0x5f4dcc3b);
+    let mut total = 0.0;
+    for (i, id) in kernel_nodes {
+        let spec = &kernels[i];
+        let (t, t_flops, t_mem) = cpu_kernel_time(spec, cfg);
+        let t = t * noise.lognormal(0.015);
+        total += t;
+        let td = top_down(t_flops, t_mem, &mut noise);
+        profile.set_metric(id, "time (exc)", t);
+        profile.set_metric(id, "Reps", spec.reps as f64);
+        profile.set_metric(
+            id,
+            "Bytes/Rep",
+            spec.bytes_per_elem * cfg.problem_size as f64,
+        );
+        profile.set_metric(
+            id,
+            "Flops/Rep",
+            spec.flops_per_elem * cfg.problem_size as f64,
+        );
+        profile.set_metric(id, "Retiring", td.retiring);
+        profile.set_metric(id, "Frontend bound", td.frontend_bound);
+        profile.set_metric(id, "Backend bound", td.backend_bound);
+        profile.set_metric(id, "Bad speculation", td.bad_speculation);
+    }
+    // Inclusive time on interior nodes.
+    let g = profile.graph().clone();
+    for id in g.preorder() {
+        if !g.node(id).children().is_empty() {
+            let inc: f64 = descendant_sum(&g, id, &profile);
+            profile.set_metric(id, "time (inc)", inc);
+        }
+    }
+    let _ = total;
+
+    profile.set_metadata("cluster", cfg.machine.cluster.as_str());
+    profile.set_metadata("systype", cfg.machine.systype.as_str());
+    profile.set_metadata("problem size", cfg.problem_size as i64);
+    profile.set_metadata("compiler", cfg.compiler.name.as_str());
+    profile.set_metadata("compiler optimization", format!("-O{}", cfg.opt_level));
+    profile.set_metadata("omp num threads", cfg.threads as i64);
+    profile.set_metadata("raja version", "2022.03.0");
+    profile.set_metadata("variant", cfg.variant.name());
+    profile.set_metadata("launchdate", cfg.launchdate.as_str());
+    profile.set_metadata("user", cfg.user.as_str());
+    profile.set_metadata("seed", cfg.seed as i64);
+    profile
+}
+
+fn descendant_sum(g: &thicket_graph::Graph, id: NodeId, p: &Profile) -> f64 {
+    let mut acc = p.metric(id, "time (exc)").unwrap_or(0.0);
+    for &c in g.node(id).children() {
+        acc += descendant_sum(g, c, p);
+    }
+    acc
+}
+
+/// One GPU (CUDA) run configuration.
+#[derive(Debug, Clone)]
+pub struct GpuRunConfig {
+    /// Host machine (Lassen).
+    pub machine: CpuSpec,
+    /// GPU model.
+    pub gpu: GpuSpec,
+    /// Host compiler.
+    pub compiler: Compiler,
+    /// CUDA compiler version string.
+    pub cuda_compiler: String,
+    /// CUDA thread-block size.
+    pub block_size: u32,
+    /// Elements per kernel.
+    pub problem_size: u64,
+    /// Noise seed.
+    pub seed: u64,
+    /// User recorded in metadata.
+    pub user: String,
+    /// Launch date string.
+    pub launchdate: String,
+}
+
+impl GpuRunConfig {
+    /// A Lassen CUDA block-256 run.
+    pub fn lassen_default() -> Self {
+        GpuRunConfig {
+            machine: crate::machine::lassen_cpu(),
+            gpu: crate::machine::lassen_gpu(),
+            compiler: Compiler::xl16(),
+            cuda_compiler: "nvcc-11.2.152".into(),
+            block_size: 256,
+            problem_size: 1_048_576,
+            seed: 0,
+            user: "Jane".into(),
+            launchdate: "2022-11-16 00:45:08".into(),
+        }
+    }
+}
+
+/// GPU kernel timing (seconds per full pass) plus utilization shares.
+pub fn gpu_kernel_time(spec: &KernelSpec, cfg: &GpuRunConfig) -> (f64, f64, f64) {
+    let n = cfg.problem_size as f64;
+    let eff = cfg.gpu.block_efficiency(cfg.block_size);
+    let t_mem = n * spec.bytes_per_elem / (cfg.gpu.dram_bw_gbs * 1e9 * eff);
+    let t_flops = n * spec.flops_per_elem / (cfg.gpu.peak_flops * eff * 0.5);
+    let t_pass = t_mem.max(t_flops) + cfg.gpu.launch_overhead_s;
+    (t_pass * spec.reps as f64, t_flops, t_mem)
+}
+
+/// Simulate one CUDA run of the suite: tree `Base_CUDA` → group → kernel →
+/// `<kernel>.block_<N>` leaf, with `time (gpu)` and NCU-style metrics.
+pub fn simulate_gpu_run(cfg: &GpuRunConfig) -> Profile {
+    let kernels = suite();
+    let mut graph = Graph::new();
+    let root = graph.add_root(Frame::with_type("Base_CUDA", "variant"));
+    let mut group_nodes: Vec<(&'static str, NodeId)> = Vec::new();
+    let mut leaves: Vec<(usize, NodeId, NodeId)> = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        let gnode = match group_nodes.iter().find(|(g, _)| *g == k.group) {
+            Some(&(_, id)) => id,
+            None => {
+                let id = graph.add_child(root, Frame::with_type(k.group, "group"));
+                group_nodes.push((k.group, id));
+                id
+            }
+        };
+        let knode = graph.add_child(gnode, Frame::with_type(k.name, "kernel"));
+        let leaf = graph.add_child(
+            knode,
+            Frame::with_type(format!("{}.block_{}", k.name, cfg.block_size), "kernel"),
+        );
+        leaves.push((i, knode, leaf));
+    }
+
+    let mut profile = Profile::new(graph);
+    let mut noise = Noise::new(cfg.seed ^ 0x9e3779b9);
+    for (i, knode, leaf) in leaves {
+        let spec = &kernels[i];
+        let (t, t_flops, t_mem) = gpu_kernel_time(spec, cfg);
+        let t = t * noise.lognormal(0.04);
+        let busy = t_mem.max(t_flops).max(1e-12);
+        let mem_util = (t_mem / busy * 100.0 * 0.92).min(99.0);
+        let sm_util = (t_flops / busy * 100.0 * 0.75).clamp(2.0, 99.0);
+        for id in [knode, leaf] {
+            profile.set_metric(id, "time (gpu)", t);
+            profile.set_metric(id, "Reps", spec.reps as f64);
+            profile.set_metric(
+                id,
+                "gpu__compute_memory_throughput",
+                (mem_util * noise.lognormal(0.02)).min(99.9),
+            );
+            profile.set_metric(
+                id,
+                "gpu__dram_throughput",
+                (mem_util * 0.93 * noise.lognormal(0.02)).min(99.9),
+            );
+            profile.set_metric(id, "sm__throughput", sm_util * noise.lognormal(0.02));
+            profile.set_metric(
+                id,
+                "sm__warps_active",
+                cfg.gpu.occupancy(cfg.block_size) * noise.lognormal(0.03),
+            );
+            // A few of NCU's "hundreds of detailed metrics" (§5.1.2):
+            // transferred bytes, issue activity, launch geometry, raw time.
+            let n = cfg.problem_size as f64;
+            profile.set_metric(id, "dram__bytes.sum", n * spec.bytes_per_elem);
+            profile.set_metric(
+                id,
+                "l1tex__t_bytes.sum",
+                n * spec.bytes_per_elem * 1.18 * noise.lognormal(0.02),
+            );
+            profile.set_metric(
+                id,
+                "sm__issue_active.avg.pct_of_peak_sustained_elapsed",
+                (sm_util * 1.4 * noise.lognormal(0.02)).min(99.0),
+            );
+            profile.set_metric(id, "launch__block_size", cfg.block_size as f64);
+            profile.set_metric(
+                id,
+                "launch__grid_size",
+                (n / cfg.block_size as f64).ceil(),
+            );
+            profile.set_metric(id, "gpu__time_duration.sum", t);
+        }
+    }
+
+    profile.set_metadata("cluster", cfg.machine.cluster.as_str());
+    profile.set_metadata("systype", cfg.machine.systype.as_str());
+    profile.set_metadata("problem size", cfg.problem_size as i64);
+    profile.set_metadata("compiler", cfg.compiler.name.as_str());
+    profile.set_metadata("cuda compiler", cfg.cuda_compiler.as_str());
+    profile.set_metadata("block size", cfg.block_size as i64);
+    profile.set_metadata("raja version", "2022.03.0");
+    profile.set_metadata("variant", "CUDA");
+    profile.set_metadata("launchdate", cfg.launchdate.as_str());
+    profile.set_metadata("user", cfg.user.as_str());
+    profile.set_metadata("seed", cfg.seed as i64);
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_paper_kernels() {
+        let names: Vec<&str> = suite().iter().map(|k| k.name).collect();
+        for needed in [
+            "Apps_NODAL_ACCUMULATION_3D",
+            "Apps_VOL3D",
+            "Lcals_HYDRO_1D",
+            "Polybench_GESUMMV",
+            "Stream_ADD",
+            "Stream_COPY",
+            "Stream_DOT",
+            "Stream_MUL",
+            "Stream_TRIAD",
+            "Algorithm_MEMCPY",
+        ] {
+            assert!(names.contains(&needed), "missing {needed}");
+        }
+        assert!(kernel("Apps_VOL3D").is_some());
+        assert!(kernel("nope").is_none());
+    }
+
+    #[test]
+    fn cpu_profile_structure() {
+        let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        let g = p.graph();
+        assert_eq!(g.roots().len(), 1);
+        assert_eq!(g.node(g.roots()[0]).name(), "Base_Seq");
+        let vol3d = g.find_by_name("Apps_VOL3D").unwrap();
+        assert!(p.metric(vol3d, "time (exc)").unwrap() > 0.0);
+        assert_eq!(p.metric(vol3d, "Reps"), Some(100.0));
+        // Top-down categories sum to ~1.
+        let sum = p.metric(vol3d, "Retiring").unwrap()
+            + p.metric(vol3d, "Frontend bound").unwrap()
+            + p.metric(vol3d, "Backend bound").unwrap()
+            + p.metric(vol3d, "Bad speculation").unwrap();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        let b = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        let n = a.graph().find_by_name("Stream_DOT").unwrap();
+        assert_eq!(a.metric(n, "time (exc)"), b.metric(n, "time (exc)"));
+        let mut cfg = CpuRunConfig::quartz_default();
+        cfg.seed = 1;
+        let c = simulate_cpu_run(&cfg);
+        assert_ne!(a.metric(n, "time (exc)"), c.metric(n, "time (exc)"));
+    }
+
+    #[test]
+    fn bigger_problems_take_longer() {
+        let mut small = CpuRunConfig::quartz_default();
+        small.problem_size = 1_048_576;
+        let mut big = small.clone();
+        big.problem_size = 8_388_608;
+        let ps = simulate_cpu_run(&small);
+        let pb = simulate_cpu_run(&big);
+        let n = ps.graph().find_by_name("Lcals_HYDRO_1D").unwrap();
+        let nb = pb.graph().find_by_name("Lcals_HYDRO_1D").unwrap();
+        let ts = ps.metric(n, "time (exc)").unwrap();
+        let tb = pb.metric(nb, "time (exc)").unwrap();
+        assert!(tb > ts * 4.0, "8x data should be >4x slower ({ts} -> {tb})");
+    }
+
+    #[test]
+    fn o0_much_slower_than_o2() {
+        let mut o0 = CpuRunConfig::quartz_default();
+        o0.opt_level = 0;
+        let mut o2 = CpuRunConfig::quartz_default();
+        o2.opt_level = 2;
+        let p0 = simulate_cpu_run(&o0);
+        let p2 = simulate_cpu_run(&o2);
+        let k0 = p0.graph().find_by_name("Apps_VOL3D").unwrap();
+        let k2 = p2.graph().find_by_name("Apps_VOL3D").unwrap();
+        let speedup = p0.metric(k0, "time (exc)").unwrap() / p2.metric(k2, "time (exc)").unwrap();
+        assert!(speedup > 2.0, "speedup over -O0 = {speedup}");
+    }
+
+    #[test]
+    fn vol3d_more_retiring_than_hydro() {
+        let mut cfg = CpuRunConfig::quartz_default();
+        cfg.problem_size = 8_388_608;
+        let p = simulate_cpu_run(&cfg);
+        let vol = p.graph().find_by_name("Apps_VOL3D").unwrap();
+        let hyd = p.graph().find_by_name("Lcals_HYDRO_1D").unwrap();
+        assert!(p.metric(vol, "Retiring").unwrap() > p.metric(hyd, "Retiring").unwrap());
+        assert!(p.metric(hyd, "Backend bound").unwrap() > 0.6);
+    }
+
+    #[test]
+    fn backend_bound_grows_with_problem_size() {
+        let mut small = CpuRunConfig::quartz_default();
+        small.problem_size = 1_048_576;
+        let mut big = small.clone();
+        big.problem_size = 8_388_608;
+        let ps = simulate_cpu_run(&small);
+        let pb = simulate_cpu_run(&big);
+        for name in ["Apps_NODAL_ACCUMULATION_3D", "Lcals_HYDRO_1D", "Stream_DOT"] {
+            let ns = ps.graph().find_by_name(name).unwrap();
+            let nb = pb.graph().find_by_name(name).unwrap();
+            assert!(
+                pb.metric(nb, "Backend bound").unwrap()
+                    >= ps.metric(ns, "Backend bound").unwrap() - 0.02,
+                "{name} backend bound should grow with size"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_profile_structure_and_speedup() {
+        let mut cpu = CpuRunConfig::quartz_default();
+        cpu.problem_size = 8_388_608;
+        let mut gpu = GpuRunConfig::lassen_default();
+        gpu.problem_size = 8_388_608;
+        let pc = simulate_cpu_run(&cpu);
+        let pg = simulate_gpu_run(&gpu);
+        // Tree has block-size leaves.
+        assert!(pg
+            .graph()
+            .find_by_name("Apps_VOL3D.block_256")
+            .is_some());
+        // Both paper kernels are faster on the GPU, and VOL3D gains more.
+        let mut speedups = Vec::new();
+        for name in ["Apps_VOL3D", "Lcals_HYDRO_1D"] {
+            let nc = pc.graph().find_by_name(name).unwrap();
+            let ng = pg.graph().find_by_name(name).unwrap();
+            let s = pc.metric(nc, "time (exc)").unwrap() / pg.metric(ng, "time (gpu)").unwrap();
+            assert!(s > 1.0, "{name} should speed up on the GPU, got {s}");
+            speedups.push(s);
+        }
+        assert!(
+            speedups[0] > speedups[1],
+            "VOL3D speedup {} should beat HYDRO_1D {}",
+            speedups[0],
+            speedups[1]
+        );
+        // NCU metrics present and bounded.
+        let n = pg.graph().find_by_name("Lcals_HYDRO_1D.block_256").unwrap();
+        let dram = pg.metric(n, "gpu__dram_throughput").unwrap();
+        assert!(dram > 50.0 && dram < 100.0, "dram = {dram}");
+        let sm = pg.metric(n, "sm__throughput").unwrap();
+        assert!(sm < 30.0, "memory-bound kernel sm = {sm}");
+    }
+
+    #[test]
+    fn block_256_beats_128() {
+        let mut b128 = GpuRunConfig::lassen_default();
+        b128.block_size = 128;
+        let b256 = GpuRunConfig::lassen_default();
+        let p1 = simulate_gpu_run(&b128);
+        let p2 = simulate_gpu_run(&b256);
+        let n1 = p1.graph().find_by_name("Stream_TRIAD.block_128").unwrap();
+        let n2 = p2.graph().find_by_name("Stream_TRIAD.block_256").unwrap();
+        assert!(p1.metric(n1, "time (gpu)").unwrap() > p2.metric(n2, "time (gpu)").unwrap());
+    }
+
+    #[test]
+    fn openmp_scales_on_large_problems() {
+        let mut seq = CpuRunConfig::quartz_default();
+        seq.problem_size = 8_388_608;
+        let mut omp = seq.clone();
+        omp.threads = 36;
+        omp.variant = Variant::OpenMp;
+        let ps = simulate_cpu_run(&seq);
+        let po = simulate_cpu_run(&omp);
+        assert_eq!(po.graph().node(po.graph().roots()[0]).name(), "Base_OMP");
+        for name in ["Apps_VOL3D", "Lcals_HYDRO_1D", "Stream_TRIAD"] {
+            let ns = ps.graph().find_by_name(name).unwrap();
+            let no = po.graph().find_by_name(name).unwrap();
+            let speedup =
+                ps.metric(ns, "time (exc)").unwrap() / po.metric(no, "time (exc)").unwrap();
+            assert!(speedup > 1.5, "{name}: OMP speedup {speedup}");
+        }
+        // Compute-bound kernels scale further than bandwidth-bound ones.
+        let sp = |p: &Profile, n: &str| {
+            let id = p.graph().find_by_name(n).unwrap();
+            p.metric(id, "time (exc)").unwrap()
+        };
+        let vol = sp(&ps, "Apps_VOL3D") / sp(&po, "Apps_VOL3D");
+        let copy = sp(&ps, "Stream_COPY") / sp(&po, "Stream_COPY");
+        assert!(vol > copy, "VOL3D {vol} should out-scale COPY {copy}");
+    }
+
+    #[test]
+    fn extended_ncu_metrics_present() {
+        let p = simulate_gpu_run(&GpuRunConfig::lassen_default());
+        let n = p.graph().find_by_name("Stream_TRIAD.block_256").unwrap();
+        for metric in [
+            "dram__bytes.sum",
+            "l1tex__t_bytes.sum",
+            "sm__issue_active.avg.pct_of_peak_sustained_elapsed",
+            "launch__block_size",
+            "launch__grid_size",
+            "gpu__time_duration.sum",
+        ] {
+            assert!(p.metric(n, metric).is_some(), "missing {metric}");
+        }
+        assert_eq!(p.metric(n, "launch__block_size"), Some(256.0));
+        // l1tex traffic exceeds dram traffic (cache hits add up).
+        assert!(
+            p.metric(n, "l1tex__t_bytes.sum").unwrap()
+                > p.metric(n, "dram__bytes.sum").unwrap()
+        );
+    }
+
+    #[test]
+    fn metadata_complete() {
+        let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        for key in [
+            "cluster",
+            "systype",
+            "problem size",
+            "compiler",
+            "raja version",
+            "variant",
+            "launchdate",
+            "user",
+        ] {
+            assert!(p.metadata(key).is_some(), "missing metadata {key}");
+        }
+        let g = simulate_gpu_run(&GpuRunConfig::lassen_default());
+        assert!(g.metadata("cuda compiler").is_some());
+        assert!(g.metadata("block size").is_some());
+    }
+
+    #[test]
+    fn inclusive_time_present_on_interior_nodes() {
+        let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        let root = p.graph().roots()[0];
+        let inc = p.metric(root, "time (inc)").unwrap();
+        // Root inclusive equals the sum of all kernel exclusive times.
+        let total: f64 = p
+            .graph()
+            .preorder()
+            .into_iter()
+            .filter_map(|id| p.metric(id, "time (exc)"))
+            .sum();
+        assert!((inc - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Top-down CPU pipeline metric synthesis (Yasin 2014; paper §5.1.1).
+//!
+//! The real methodology derives four top-level categories — retiring,
+//! frontend bound, backend bound, bad speculation — from hardware
+//! counters. The simulator derives them from the roofline decomposition:
+//! memory pressure (the share of time the kernel is bandwidth-limited)
+//! shifts cycles from *retiring* into *backend bound*, which is exactly
+//! the qualitative behaviour the paper's Figure 14 discusses.
+
+use crate::noise::Noise;
+
+/// Top-level top-down category shares; always sums to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopDown {
+    /// Useful work actually retired.
+    pub retiring: f64,
+    /// Stalls on instruction fetch/decode.
+    pub frontend_bound: f64,
+    /// Stalls on data/memory/execution resources.
+    pub backend_bound: f64,
+    /// Work thrown away on mispredicted paths.
+    pub bad_speculation: f64,
+}
+
+/// Derive top-down shares from the compute-time / memory-time split of a
+/// kernel pass. `t_flops` and `t_mem` are the roofline components.
+pub fn top_down(t_flops: f64, t_mem: f64, noise: &mut Noise) -> TopDown {
+    let total = (t_flops + t_mem).max(1e-15);
+    let mem_pressure = t_mem / total;
+    // Small, kernel-independent fixed costs.
+    let frontend_bound = (0.02 + 0.03 * noise.uniform(0.0, 1.0)).min(0.08);
+    let bad_speculation = (0.005 + 0.02 * noise.uniform(0.0, 1.0)).min(0.04);
+    let remaining = 1.0 - frontend_bound - bad_speculation;
+    // Memory pressure converts retiring slots into backend stalls.
+    let backend_bound = remaining * (0.28 + 0.68 * mem_pressure);
+    let retiring = remaining - backend_bound;
+    TopDown {
+        retiring,
+        frontend_bound,
+        backend_bound,
+        bad_speculation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut n = Noise::new(1);
+        for (f, m) in [(1.0, 0.1), (0.1, 1.0), (0.5, 0.5), (0.0, 1.0)] {
+            let td = top_down(f, m, &mut n);
+            let sum = td.retiring + td.frontend_bound + td.backend_bound + td.bad_speculation;
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(td.retiring > 0.0);
+            assert!(td.backend_bound > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_backend_bound() {
+        let mut n = Noise::new(2);
+        let streaming = top_down(0.05, 1.0, &mut n);
+        let compute = top_down(1.0, 0.3, &mut n);
+        assert!(streaming.backend_bound > 0.75);
+        assert!(compute.retiring > streaming.retiring);
+        assert!(compute.backend_bound < streaming.backend_bound);
+    }
+
+    #[test]
+    fn minor_categories_stay_small() {
+        let mut n = Noise::new(3);
+        for _ in 0..50 {
+            let td = top_down(0.7, 0.7, &mut n);
+            assert!(td.frontend_bound < 0.1);
+            assert!(td.bad_speculation < 0.05);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: JSON round-trips, profile round-trips, and simulator
+//! invariants.
+
+use proptest::prelude::*;
+use thicket_perfsim::json::Json;
+use thicket_perfsim::{simulate_cpu_run, CpuRunConfig, Profile};
+use thicket_graph::{Frame, Graph};
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1e9f64..1e9).prop_map(|v| Json::Num((v * 1e3).round() / 1e3)),
+        "[a-zA-Z0-9 _\\-\"\\\\\n\t]{0,12}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Json::Arr),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..5)
+                .prop_map(|m| Json::Obj(m.into_iter().collect())),
+        ]
+    })
+}
+
+proptest! {
+    /// Arbitrary JSON documents survive a write→parse round trip.
+    #[test]
+    fn json_roundtrip(v in json_strategy()) {
+        let text = v.to_string_compact();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Random trees with random metrics survive the profile round trip.
+    #[test]
+    fn profile_roundtrip(
+        parents in proptest::collection::vec(any::<usize>(), 1..20),
+        metrics in proptest::collection::vec((0usize..20, -1e6f64..1e6), 0..40),
+        meta_val in -1e15f64..1e15,
+    ) {
+        let mut g = Graph::new();
+        let mut ids = Vec::new();
+        for (i, &p) in parents.iter().enumerate() {
+            let id = if i == 0 {
+                g.add_root(Frame::named(format!("n{i}")))
+            } else {
+                g.add_child(ids[p % i], Frame::named(format!("n{i}")))
+            };
+            ids.push(id);
+        }
+        let mut profile = Profile::new(g);
+        profile.set_metadata("x", meta_val);
+        profile.set_metadata("cluster", "prop");
+        for (slot, v) in &metrics {
+            let id = ids[slot % ids.len()];
+            profile.set_metric(id, "m", (v * 1e3).round() / 1e3);
+        }
+        let text = profile.to_string_pretty();
+        let back = Profile::parse(&text).unwrap();
+        prop_assert_eq!(back.graph().len(), profile.graph().len());
+        prop_assert_eq!(back.profile_hash(), profile.profile_hash());
+        for id in profile.graph().ids() {
+            prop_assert_eq!(back.metric(id, "m"), profile.metric(id, "m"));
+        }
+    }
+
+    /// Simulated kernel times are positive and monotone in problem size.
+    #[test]
+    fn cpu_times_positive_and_monotone(scale in 1u64..16) {
+        let mut small = CpuRunConfig::quartz_default();
+        small.problem_size = 262_144 * scale;
+        let mut big = small.clone();
+        big.problem_size = small.problem_size * 4;
+        let ps = simulate_cpu_run(&small);
+        let pb = simulate_cpu_run(&big);
+        for id in ps.graph().ids() {
+            if let Some(t) = ps.metric(id, "time (exc)") {
+                prop_assert!(t > 0.0);
+                let name = ps.graph().node(id).name().to_string();
+                let idb = pb.graph().find_by_name(&name).unwrap();
+                prop_assert!(pb.metric(idb, "time (exc)").unwrap() > t * 1.5,
+                    "{name}: 4x data should be well over 1.5x slower");
+            }
+        }
+    }
+
+    /// Top-down shares always form a distribution on every kernel.
+    #[test]
+    fn topdown_is_distribution(seed in any::<u64>()) {
+        let mut cfg = CpuRunConfig::quartz_default();
+        cfg.seed = seed;
+        let p = simulate_cpu_run(&cfg);
+        for id in p.graph().ids() {
+            if let Some(r) = p.metric(id, "Retiring") {
+                let sum = r
+                    + p.metric(id, "Frontend bound").unwrap()
+                    + p.metric(id, "Backend bound").unwrap()
+                    + p.metric(id, "Bad speculation").unwrap();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+                prop_assert!(r > 0.0 && r < 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! The string dialect of the Call Path Query Language.
+//!
+//! Hatchet offers both an object-based dialect (the builder API in this
+//! crate) and a string-based dialect; this module provides the latter.
+//! A query is a `->`-separated chain of query nodes, each a quantifier
+//! plus an optional predicate expression:
+//!
+//! ```text
+//! (".", name == "Base_CUDA") -> ("*") -> (".", name endswith "block_128")
+//! ```
+//!
+//! Predicates support `==`, `!=`, `<`, `<=`, `>`, `>=` on frame
+//! attributes, the string operators `startswith`, `endswith`,
+//! `contains`, and the combinators `and`, `or`, `not`, with parentheses.
+//! Bare identifiers (`name`, `type`, or any frame attribute key) appear
+//! on the left of an operator; literals are double-quoted strings,
+//! numbers, `true`, or `false`.
+
+use crate::{pred, Predicate, Query, QueryBuilder, QueryError};
+use std::fmt;
+use std::sync::Arc;
+use thicket_dataframe::Value;
+
+/// Errors from parsing the string dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<QueryError> for ParseError {
+    fn from(e: QueryError) -> Self {
+        ParseError {
+            offset: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    LParen,
+    RParen,
+    Comma,
+    Arrow,
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Op(String), // == != < <= > >=
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            let start = self.pos;
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'(' => {
+                    out.push((start, Token::LParen));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((start, Token::RParen));
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((start, Token::Comma));
+                    self.pos += 1;
+                }
+                b'-' if self.bytes.get(self.pos + 1) == Some(&b'>') => {
+                    out.push((start, Token::Arrow));
+                    self.pos += 2;
+                }
+                b'=' | b'!' | b'<' | b'>' => {
+                    let mut op = String::new();
+                    op.push(c as char);
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        op.push('=');
+                        self.pos += 1;
+                    }
+                    if op == "=" || op == "!" {
+                        return Err(self.err(format!("incomplete operator {op:?}")));
+                    }
+                    out.push((start, Token::Op(op)));
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let mut s = String::new();
+                    loop {
+                        match self.bytes.get(self.pos) {
+                            None => return Err(self.err("unterminated string literal")),
+                            Some(b'"') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(b'\\') => {
+                                self.pos += 1;
+                                match self.bytes.get(self.pos) {
+                                    Some(b'"') => s.push('"'),
+                                    Some(b'\\') => s.push('\\'),
+                                    _ => return Err(self.err("bad escape in string literal")),
+                                }
+                                self.pos += 1;
+                            }
+                            Some(_) => {
+                                let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                                    .map_err(|_| self.err("invalid UTF-8"))?;
+                                let ch = rest.chars().next().expect("non-empty");
+                                s.push(ch);
+                                self.pos += ch.len_utf8();
+                            }
+                        }
+                    }
+                    out.push((start, Token::Str(s)));
+                }
+                c if c.is_ascii_digit() => {
+                    let mut end = self.pos;
+                    while end < self.bytes.len()
+                        && (self.bytes[end].is_ascii_digit() || self.bytes[end] == b'.')
+                    {
+                        end += 1;
+                    }
+                    let text = std::str::from_utf8(&self.bytes[self.pos..end]).unwrap();
+                    let n: f64 = text
+                        .parse()
+                        .map_err(|_| self.err(format!("bad number {text:?}")))?;
+                    out.push((start, Token::Num(n)));
+                    self.pos = end;
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' || c == b'.' || c == b'*' || c == b'+' => {
+                    // Identifiers; also the bare quantifier tokens . * +
+                    // when they stand alone.
+                    if c == b'.' || c == b'*' || c == b'+' {
+                        out.push((start, Token::Ident((c as char).to_string())));
+                        self.pos += 1;
+                        continue;
+                    }
+                    let mut end = self.pos;
+                    while end < self.bytes.len()
+                        && (self.bytes[end].is_ascii_alphanumeric()
+                            || self.bytes[end] == b'_'
+                            || self.bytes[end] == b'.')
+                    {
+                        end += 1;
+                    }
+                    let text = std::str::from_utf8(&self.bytes[self.pos..end]).unwrap();
+                    out.push((start, Token::Ident(text.to_string())));
+                    self.pos = end;
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {:?}", other as char)))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err_at(&self, message: impl Into<String>) -> ParseError {
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or_else(|| self.tokens.last().map(|(o, _)| *o + 1).unwrap_or(0));
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err_at(format!("expected {want:?}, found {other:?}"))),
+        }
+    }
+
+    /// query := group ( "->" group )*
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let mut builder = Query::builder();
+        builder = self.group(builder)?;
+        while self.peek() == Some(&Token::Arrow) {
+            self.pos += 1;
+            builder = self.group(builder)?;
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.err_at("trailing tokens after query"));
+        }
+        Ok(builder.try_build()?)
+    }
+
+    /// group := "(" quant ( "," expr )? ")"
+    fn group(&mut self, builder: QueryBuilder) -> Result<QueryBuilder, ParseError> {
+        self.expect(&Token::LParen)?;
+        let quant = match self.next() {
+            Some(Token::Str(s)) | Some(Token::Ident(s)) => s,
+            Some(Token::Num(n)) if n == n.trunc() && n >= 0.0 => format!("{}", n as u64),
+            other => return Err(self.err_at(format!("expected quantifier, found {other:?}"))),
+        };
+        let predicate = if self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            self.expr()?
+        } else {
+            pred::any()
+        };
+        self.expect(&Token::RParen)?;
+        builder
+            .try_node(&quant, predicate)
+            .map_err(|e| ParseError {
+                offset: 0,
+                message: e.to_string(),
+            })
+    }
+
+    /// expr := term ( "or" term )*
+    fn expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut acc = self.term()?;
+        while matches!(self.peek(), Some(Token::Ident(w)) if w == "or") {
+            self.pos += 1;
+            let rhs = self.term()?;
+            acc = pred::or(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    /// term := factor ( "and" factor )*
+    fn term(&mut self) -> Result<Predicate, ParseError> {
+        let mut acc = self.factor()?;
+        while matches!(self.peek(), Some(Token::Ident(w)) if w == "and") {
+            self.pos += 1;
+            let rhs = self.factor()?;
+            acc = pred::and(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    /// factor := "not" factor | "(" expr ")" | comparison
+    fn factor(&mut self) -> Result<Predicate, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(w)) if w == "not" => {
+                self.pos += 1;
+                Ok(pred::not(self.factor()?))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    /// comparison := IDENT op value
+    fn comparison(&mut self) -> Result<Predicate, ParseError> {
+        let key = match self.next() {
+            Some(Token::Ident(k)) => k,
+            other => return Err(self.err_at(format!("expected attribute name, found {other:?}"))),
+        };
+        let op = match self.next() {
+            Some(Token::Op(op)) => op,
+            Some(Token::Ident(w))
+                if matches!(w.as_str(), "startswith" | "endswith" | "contains") =>
+            {
+                w
+            }
+            other => return Err(self.err_at(format!("expected operator, found {other:?}"))),
+        };
+        let value = match self.next() {
+            Some(Token::Str(s)) => Value::from(s.as_str()),
+            Some(Token::Num(n)) => Value::Float(n),
+            Some(Token::Ident(w)) if w == "true" => Value::Bool(true),
+            Some(Token::Ident(w)) if w == "false" => Value::Bool(false),
+            other => return Err(self.err_at(format!("expected literal, found {other:?}"))),
+        };
+        build_comparison(&key, &op, value).map_err(|m| self.err_at(m))
+    }
+}
+
+fn build_comparison(key: &str, op: &str, value: Value) -> Result<Predicate, String> {
+    let key = key.to_string();
+    let get = move |node: &thicket_graph::Node, key: &str| -> Option<Value> {
+        if key == "name" {
+            Some(Value::from(node.name()))
+        } else {
+            node.frame().get(key).cloned()
+        }
+    };
+    match op {
+        "==" => Ok(Arc::new(move |n| get(n, &key) == Some(value.clone()))),
+        "!=" => Ok(Arc::new(move |n| {
+            get(n, &key).map(|v| v != value).unwrap_or(false)
+        })),
+        "<" | "<=" | ">" | ">=" => {
+            let op = op.to_string();
+            Ok(Arc::new(move |n| {
+                let Some(v) = get(n, &key) else { return false };
+                match op.as_str() {
+                    "<" => v < value,
+                    "<=" => v <= value,
+                    ">" => v > value,
+                    _ => v >= value,
+                }
+            }))
+        }
+        "startswith" | "endswith" | "contains" => {
+            let Some(needle) = value.as_str().map(str::to_owned) else {
+                return Err(format!("{op} needs a string literal"));
+            };
+            let op = op.to_string();
+            Ok(Arc::new(move |n| {
+                let Some(v) = get(n, &key) else { return false };
+                let Some(s) = v.as_str() else { return false };
+                match op.as_str() {
+                    "startswith" => s.starts_with(&needle),
+                    "endswith" => s.ends_with(&needle),
+                    _ => s.contains(&needle),
+                }
+            }))
+        }
+        other => Err(format!("unknown operator {other:?}")),
+    }
+}
+
+impl Query {
+    /// Parse the string dialect, e.g.
+    /// `(".", name == "Base_CUDA") -> ("*") -> (".", name endswith "block_128")`.
+    pub fn parse(input: &str) -> Result<Query, ParseError> {
+        let tokens = Lexer {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+        .tokens()?;
+        Parser { tokens, pos: 0 }.query()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_graph::{Frame, Graph};
+
+    fn cuda_tree() -> Graph {
+        let mut g = Graph::new();
+        let root = g.add_root(Frame::named("Base_CUDA"));
+        let alg = g.add_child(root, Frame::named("Algorithm"));
+        let memcpy = g.add_child(alg, Frame::with_type("Algorithm_MEMCPY", "kernel"));
+        g.add_child(memcpy, Frame::named("Algorithm_MEMCPY.block_128"));
+        g.add_child(memcpy, Frame::named("Algorithm_MEMCPY.block_256"));
+        g
+    }
+
+    fn names(g: &Graph, ids: &std::collections::HashSet<thicket_graph::NodeId>) -> Vec<String> {
+        let mut v: Vec<String> = ids.iter().map(|&i| g.node(i).name().to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn paper_query_string_form() {
+        let g = cuda_tree();
+        let q = Query::parse(
+            r#"(".", name == "Base_CUDA") -> ("*") -> (".", name endswith "block_128")"#,
+        )
+        .unwrap();
+        let hits = q.apply(&g);
+        assert_eq!(
+            names(&g, &hits),
+            vec![
+                "Algorithm",
+                "Algorithm_MEMCPY",
+                "Algorithm_MEMCPY.block_128",
+                "Base_CUDA"
+            ]
+        );
+    }
+
+    #[test]
+    fn string_matches_builder_semantics() {
+        let g = cuda_tree();
+        let s = Query::parse(r#"("*") -> (".", name contains "MEMCPY")"#).unwrap();
+        let b = Query::builder()
+            .any("*")
+            .node(".", pred::name_contains("MEMCPY"))
+            .build();
+        assert_eq!(s.apply(&g), b.apply(&g));
+    }
+
+    #[test]
+    fn attribute_and_combinators() {
+        let g = cuda_tree();
+        let q = Query::parse(r#"(".", type == "kernel" and not name endswith "256")"#).unwrap();
+        assert_eq!(names(&g, &q.apply(&g)), vec!["Algorithm_MEMCPY"]);
+        let q2 = Query::parse(
+            r#"(".", name == "Algorithm" or name == "Base_CUDA")"#,
+        )
+        .unwrap();
+        assert_eq!(q2.apply(&g).len(), 2);
+    }
+
+    #[test]
+    fn parenthesized_expressions() {
+        let g = cuda_tree();
+        let q = Query::parse(
+            r#"(".", (name startswith "Algorithm" or name == "Base_CUDA") and not name contains "block")"#,
+        )
+        .unwrap();
+        assert_eq!(
+            names(&g, &q.apply(&g)),
+            vec!["Algorithm", "Algorithm_MEMCPY", "Base_CUDA"]
+        );
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let mut g = Graph::new();
+        let r = g.add_root(Frame::named("root").set("depth", 0i64));
+        g.add_child(r, Frame::named("deep").set("depth", 5i64));
+        let q = Query::parse(r#"(".", depth >= 3)"#).unwrap();
+        assert_eq!(names(&g, &q.apply(&g)), vec!["deep"]);
+        let q2 = Query::parse(r#"(".", depth < 3)"#).unwrap();
+        assert_eq!(names(&g, &q2.apply(&g)), vec!["root"]);
+    }
+
+    #[test]
+    fn exact_count_quantifier_in_dialect() {
+        let g = cuda_tree();
+        let q = Query::parse(r#"(".", name == "Base_CUDA") -> (2) -> (".")"#).unwrap();
+        // Base_CUDA -> Algorithm, MEMCPY -> block leaf: full depth-4 paths.
+        assert_eq!(q.apply(&g).len(), 5);
+    }
+
+    #[test]
+    fn quantifier_token_forms() {
+        for q in [r#"(".")"#, r#"("*")"#, r#"("+")"#, "(.)", "(*)", "(+)", "(2)"] {
+            assert!(Query::parse(q).is_ok(), "should parse {q}");
+        }
+    }
+
+    #[test]
+    fn missing_attribute_never_matches() {
+        let g = cuda_tree();
+        let q = Query::parse(r#"(".", missing == "x")"#).unwrap();
+        assert!(q.apply(&g).is_empty());
+        // != on a missing attribute is also false (three-valued logic).
+        let q2 = Query::parse(r#"(".", missing != "x")"#).unwrap();
+        assert!(q2.apply(&g).is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "(",
+            r#"(".") -> "#,
+            r#"(".", name = "x")"#,
+            r#"(".", name == )"#,
+            r#"(".", name startswith 5)"#,
+            r#"(".", == "x")"#,
+            r#"("?")"#,
+            r#"(".") extra"#,
+            r#"(".", name == "unterminated)"#,
+        ] {
+            assert!(Query::parse(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn escaped_strings() {
+        let mut g = Graph::new();
+        g.add_root(Frame::named("weird\"name"));
+        let q = Query::parse(r#"(".", name == "weird\"name")"#).unwrap();
+        assert_eq!(q.apply(&g).len(), 1);
+    }
+}

@@ -1,0 +1,617 @@
+//! # thicket-query
+//!
+//! The Call Path Query Language (paper §4.1.3, after Hatchet/Lumsden et
+//! al.): a query is a sequence of *query nodes*, each a **quantifier**
+//! (how many call-tree nodes to match) plus a **predicate** (what a
+//! matching node must satisfy). Applying a query to a call graph finds
+//! every descending path that matches the whole sequence and returns the
+//! union of nodes on matching paths — which the thicket then turns into a
+//! filtered call tree and performance-data subset (Figure 8).
+//!
+//! ```
+//! use thicket_graph::{Frame, Graph};
+//! use thicket_query::{Query, pred};
+//!
+//! let mut g = Graph::new();
+//! let root = g.add_root(Frame::named("Base_CUDA"));
+//! let alg = g.add_child(root, Frame::named("Algorithm"));
+//! let memcpy = g.add_child(alg, Frame::named("Algorithm_MEMCPY"));
+//! g.add_child(memcpy, Frame::named("Algorithm_MEMCPY.block_128"));
+//! g.add_child(memcpy, Frame::named("Algorithm_MEMCPY.block_256"));
+//!
+//! // QueryMatcher().match(".", name == Base_CUDA).rel("*")
+//! //               .rel(".", name ends with block_128)
+//! let q = Query::builder()
+//!     .node(".", pred::name_eq("Base_CUDA"))
+//!     .any("*")
+//!     .node(".", pred::name_ends_with("block_128"))
+//!     .build();
+//! let hits = q.apply(&g);
+//! assert_eq!(hits.len(), 4); // root, Algorithm, MEMCPY, block_128 leaf
+//! ```
+
+#![warn(missing_docs)]
+
+mod dialect;
+
+pub use dialect::ParseError;
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use thicket_graph::{Graph, Node, NodeId};
+
+/// How many consecutive call-tree nodes one query node matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `"."` — exactly one node.
+    One,
+    /// `"*"` — zero or more nodes.
+    ZeroOrMore,
+    /// `"+"` — one or more nodes.
+    OneOrMore,
+    /// An integer — exactly that many nodes.
+    Exactly(usize),
+}
+
+impl Quantifier {
+    /// Parse the string dialect used by Hatchet: `"."`, `"*"`, `"+"`, or a
+    /// decimal count.
+    pub fn parse(s: &str) -> Result<Quantifier, QueryError> {
+        match s {
+            "." => Ok(Quantifier::One),
+            "*" => Ok(Quantifier::ZeroOrMore),
+            "+" => Ok(Quantifier::OneOrMore),
+            other => other
+                .parse::<usize>()
+                .map(Quantifier::Exactly)
+                .map_err(|_| QueryError::BadQuantifier(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::One => f.write_str("."),
+            Quantifier::ZeroOrMore => f.write_str("*"),
+            Quantifier::OneOrMore => f.write_str("+"),
+            Quantifier::Exactly(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Errors from query construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Unrecognized quantifier token.
+    BadQuantifier(String),
+    /// A query must contain at least one query node.
+    EmptyQuery,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::BadQuantifier(s) => write!(f, "unrecognized quantifier {s:?}"),
+            QueryError::EmptyQuery => f.write_str("query has no query nodes"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A node predicate: decides whether one call-tree node can match.
+pub type Predicate = Arc<dyn Fn(&Node) -> bool + Send + Sync>;
+
+/// Ready-made predicates over node frames.
+pub mod pred {
+    use super::Predicate;
+    use std::sync::Arc;
+    use thicket_dataframe::Value;
+
+    /// Matches every node (`rel("*")` with no condition).
+    pub fn any() -> Predicate {
+        Arc::new(|_| true)
+    }
+
+    /// `name == s`.
+    pub fn name_eq(s: impl Into<String>) -> Predicate {
+        let s = s.into();
+        Arc::new(move |n| n.name() == s)
+    }
+
+    /// `name.starts_with(s)`.
+    pub fn name_starts_with(s: impl Into<String>) -> Predicate {
+        let s = s.into();
+        Arc::new(move |n| n.name().starts_with(&s))
+    }
+
+    /// `name.ends_with(s)` — the paper's `.block_128` example.
+    pub fn name_ends_with(s: impl Into<String>) -> Predicate {
+        let s = s.into();
+        Arc::new(move |n| n.name().ends_with(&s))
+    }
+
+    /// `name.contains(s)`.
+    pub fn name_contains(s: impl Into<String>) -> Predicate {
+        let s = s.into();
+        Arc::new(move |n| n.name().contains(&s))
+    }
+
+    /// Frame attribute equality, e.g. `attr_eq("type", "kernel")`.
+    pub fn attr_eq(key: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        let key = key.into();
+        let value = value.into();
+        Arc::new(move |n| n.frame().get(&key) == Some(&value))
+    }
+
+    /// Conjunction of two predicates.
+    pub fn and(a: Predicate, b: Predicate) -> Predicate {
+        Arc::new(move |n| a(n) && b(n))
+    }
+
+    /// Disjunction of two predicates.
+    pub fn or(a: Predicate, b: Predicate) -> Predicate {
+        Arc::new(move |n| a(n) || b(n))
+    }
+
+    /// Negation of a predicate.
+    pub fn not(a: Predicate) -> Predicate {
+        Arc::new(move |n| !a(n))
+    }
+}
+
+/// One query node: quantifier + predicate.
+#[derive(Clone)]
+pub struct QueryNode {
+    /// How many call-tree nodes this query node consumes.
+    pub quantifier: Quantifier,
+    /// Condition a consumed node must satisfy.
+    pub predicate: Predicate,
+}
+
+impl fmt::Debug for QueryNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QueryNode({})", self.quantifier)
+    }
+}
+
+/// Compiled internal form: `Exactly(n)` expands to `n` singles and
+/// `OneOrMore` to a single followed by a star, leaving only two atom kinds.
+#[derive(Clone)]
+enum Atom {
+    Single(Predicate),
+    Star(Predicate),
+}
+
+/// A call-path query.
+#[derive(Clone)]
+pub struct Query {
+    nodes: Vec<QueryNode>,
+    atoms: Vec<Atom>,
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pat: Vec<String> = self.nodes.iter().map(|n| n.quantifier.to_string()).collect();
+        write!(f, "Query[{}]", pat.join(" "))
+    }
+}
+
+impl Query {
+    /// Start building a query.
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder { nodes: Vec::new() }
+    }
+
+    /// The query-node sequence.
+    pub fn nodes(&self) -> &[QueryNode] {
+        &self.nodes
+    }
+
+    fn compile(nodes: &[QueryNode]) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        for qn in nodes {
+            match qn.quantifier {
+                Quantifier::One => atoms.push(Atom::Single(qn.predicate.clone())),
+                Quantifier::ZeroOrMore => atoms.push(Atom::Star(qn.predicate.clone())),
+                Quantifier::OneOrMore => {
+                    atoms.push(Atom::Single(qn.predicate.clone()));
+                    atoms.push(Atom::Star(qn.predicate.clone()));
+                }
+                Quantifier::Exactly(n) => {
+                    for _ in 0..n {
+                        atoms.push(Atom::Single(qn.predicate.clone()));
+                    }
+                }
+            }
+        }
+        atoms
+    }
+
+    /// Apply the query: the set of all nodes lying on any matching
+    /// descending path. Uses memoized reachability to prune the path
+    /// enumeration.
+    pub fn apply(&self, graph: &Graph) -> HashSet<NodeId> {
+        self.apply_impl(graph, true)
+    }
+
+    /// Reference implementation without memoization (exponential in the
+    /// worst case); kept as the `ablate_query` baseline and test oracle.
+    pub fn apply_unmemoized(&self, graph: &Graph) -> HashSet<NodeId> {
+        self.apply_impl(graph, false)
+    }
+
+    fn apply_impl(&self, graph: &Graph, memoize: bool) -> HashSet<NodeId> {
+        let mut result = HashSet::new();
+        if self.atoms.is_empty() {
+            return result;
+        }
+        let mut memo: HashMap<(NodeId, usize), bool> = HashMap::new();
+        let mut path: Vec<NodeId> = Vec::new();
+        for start in graph.preorder() {
+            self.walk(graph, start, 0, &mut path, &mut result, &mut memo, memoize);
+        }
+        result
+    }
+
+    /// `true` if every atom from `s` on is a star (the match may stop here).
+    fn all_skippable(&self, s: usize) -> bool {
+        self.atoms[s..].iter().all(|a| matches!(a, Atom::Star(_)))
+    }
+
+    /// Can a path starting at `node` match atoms `s..`? (memoized)
+    fn can_match(
+        &self,
+        graph: &Graph,
+        node: NodeId,
+        s: usize,
+        memo: &mut HashMap<(NodeId, usize), bool>,
+        memoize: bool,
+    ) -> bool {
+        if s == self.atoms.len() {
+            return false;
+        }
+        if memoize {
+            if let Some(&v) = memo.get(&(node, s)) {
+                return v;
+            }
+        }
+        let n = graph.node(node);
+        let ok = match &self.atoms[s] {
+            Atom::Single(p) => {
+                p(n)
+                    && (self.all_skippable(s + 1)
+                        || n.children()
+                            .iter()
+                            .any(|&c| self.can_match(graph, c, s + 1, memo, memoize)))
+            }
+            Atom::Star(p) => {
+                // Skip the star entirely…
+                self.can_match(graph, node, s + 1, memo, memoize)
+                    // …or consume this node and continue in the star (or
+                    // stop if everything after is skippable).
+                    || (p(n)
+                        && (self.all_skippable(s + 1)
+                            || n.children()
+                                .iter()
+                                .any(|&c| self.can_match(graph, c, s, memo, memoize))
+                            || n.children()
+                                .iter()
+                                .any(|&c| self.can_match(graph, c, s + 1, memo, memoize))))
+            }
+        };
+        if memoize {
+            memo.insert((node, s), ok);
+        }
+        ok
+    }
+
+    /// Enumerate matching paths from (`node`, state `s`), collecting every
+    /// node of every complete match into `result`.
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        graph: &Graph,
+        node: NodeId,
+        s: usize,
+        path: &mut Vec<NodeId>,
+        result: &mut HashSet<NodeId>,
+        memo: &mut HashMap<(NodeId, usize), bool>,
+        memoize: bool,
+    ) {
+        if s == self.atoms.len() {
+            return;
+        }
+        if memoize && !self.can_match(graph, node, s, memo, memoize) {
+            return;
+        }
+        let n = graph.node(node);
+        match &self.atoms[s] {
+            Atom::Single(p) => {
+                if !p(n) {
+                    return;
+                }
+                path.push(node);
+                if self.all_skippable(s + 1) {
+                    result.extend(path.iter().copied());
+                }
+                for &c in n.children() {
+                    self.walk(graph, c, s + 1, path, result, memo, memoize);
+                }
+                path.pop();
+            }
+            Atom::Star(p) => {
+                // Skip the star without consuming.
+                self.walk(graph, node, s + 1, path, result, memo, memoize);
+                // Consume this node within the star.
+                if p(n) {
+                    path.push(node);
+                    if self.all_skippable(s + 1) {
+                        result.extend(path.iter().copied());
+                    }
+                    for &c in n.children() {
+                        self.walk(graph, c, s, path, result, memo, memoize);
+                    }
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Fluent builder mirroring Hatchet's `QueryMatcher().match(...).rel(...)`.
+pub struct QueryBuilder {
+    nodes: Vec<QueryNode>,
+}
+
+impl QueryBuilder {
+    /// Append a query node with an explicit predicate. `quantifier` uses
+    /// the string dialect (`"."`, `"*"`, `"+"`, `"3"`); panics on an
+    /// unrecognized token (use [`QueryBuilder::try_node`] to handle it).
+    pub fn node(mut self, quantifier: &str, predicate: Predicate) -> Self {
+        let q = Quantifier::parse(quantifier).expect("valid quantifier token");
+        self.nodes.push(QueryNode {
+            quantifier: q,
+            predicate,
+        });
+        self
+    }
+
+    /// Append a query node matching *any* node (`rel("*")`-style).
+    pub fn any(self, quantifier: &str) -> Self {
+        self.node(quantifier, pred::any())
+    }
+
+    /// Fallible version of [`QueryBuilder::node`].
+    pub fn try_node(mut self, quantifier: &str, predicate: Predicate) -> Result<Self, QueryError> {
+        let q = Quantifier::parse(quantifier)?;
+        self.nodes.push(QueryNode {
+            quantifier: q,
+            predicate,
+        });
+        Ok(self)
+    }
+
+    /// Finish the query. Panics on an empty builder (use
+    /// [`QueryBuilder::try_build`] to handle it).
+    pub fn build(self) -> Query {
+        self.try_build().expect("non-empty query")
+    }
+
+    /// Fallible version of [`QueryBuilder::build`].
+    pub fn try_build(self) -> Result<Query, QueryError> {
+        if self.nodes.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let atoms = Query::compile(&self.nodes);
+        Ok(Query {
+            nodes: self.nodes,
+            atoms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_graph::Frame;
+
+    /// Base_CUDA -> Algorithm -> {MEMCPY -> {block_128, block_256},
+    ///                            MEMSET -> {block_128}}
+    fn cuda_tree() -> Graph {
+        let mut g = Graph::new();
+        let root = g.add_root(Frame::named("Base_CUDA"));
+        let alg = g.add_child(root, Frame::named("Algorithm"));
+        let memcpy = g.add_child(alg, Frame::named("Algorithm_MEMCPY"));
+        g.add_child(memcpy, Frame::named("Algorithm_MEMCPY.block_128"));
+        g.add_child(memcpy, Frame::named("Algorithm_MEMCPY.block_256"));
+        let memset = g.add_child(alg, Frame::named("Algorithm_MEMSET"));
+        g.add_child(memset, Frame::named("Algorithm_MEMSET.block_128"));
+        g
+    }
+
+    fn names(g: &Graph, ids: &HashSet<NodeId>) -> Vec<String> {
+        let mut v: Vec<String> = ids.iter().map(|&i| g.node(i).name().to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn paper_block_128_query() {
+        let g = cuda_tree();
+        let q = Query::builder()
+            .node(".", pred::name_eq("Base_CUDA"))
+            .any("*")
+            .node(".", pred::name_ends_with("block_128"))
+            .build();
+        let hits = q.apply(&g);
+        assert_eq!(
+            names(&g, &hits),
+            vec![
+                "Algorithm",
+                "Algorithm_MEMCPY",
+                "Algorithm_MEMCPY.block_128",
+                "Algorithm_MEMSET",
+                "Algorithm_MEMSET.block_128",
+                "Base_CUDA",
+            ]
+        );
+    }
+
+    #[test]
+    fn single_node_query_matches_anywhere() {
+        let g = cuda_tree();
+        let q = Query::builder()
+            .node(".", pred::name_contains("MEMSET"))
+            .build();
+        assert_eq!(
+            names(&g, &q.apply(&g)),
+            vec!["Algorithm_MEMSET", "Algorithm_MEMSET.block_128"]
+        );
+    }
+
+    #[test]
+    fn star_matches_empty_sequence() {
+        let g = cuda_tree();
+        // "." Base_CUDA then "*": star may be empty, so the root alone
+        // matches, plus every descending extension.
+        let q = Query::builder()
+            .node(".", pred::name_eq("Base_CUDA"))
+            .any("*")
+            .build();
+        let hits = q.apply(&g);
+        assert_eq!(hits.len(), g.len());
+    }
+
+    #[test]
+    fn one_or_more_requires_at_least_one() {
+        let mut g = Graph::new();
+        g.add_root(Frame::named("only"));
+        let q = Query::builder()
+            .node(".", pred::name_eq("only"))
+            .any("+")
+            .build();
+        // "only" has no children: "+" cannot consume anything.
+        assert!(q.apply(&g).is_empty());
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let g = cuda_tree();
+        // Exactly 2 nodes below the root then a block_256 leaf:
+        // Base_CUDA -> Algorithm -> MEMCPY -> block_256.
+        let q = Query::builder()
+            .node(".", pred::name_eq("Base_CUDA"))
+            .any("2")
+            .node(".", pred::name_ends_with("block_256"))
+            .build();
+        assert_eq!(q.apply(&g).len(), 4);
+        // Exactly 1 intermediate is too short.
+        let q1 = Query::builder()
+            .node(".", pred::name_eq("Base_CUDA"))
+            .any("1")
+            .node(".", pred::name_ends_with("block_256"))
+            .build();
+        assert!(q1.apply(&g).is_empty());
+    }
+
+    #[test]
+    fn predicate_combinators() {
+        let g = cuda_tree();
+        let q = Query::builder()
+            .node(
+                ".",
+                pred::and(
+                    pred::name_starts_with("Algorithm_"),
+                    pred::not(pred::name_contains("block")),
+                ),
+            )
+            .build();
+        assert_eq!(
+            names(&g, &q.apply(&g)),
+            vec!["Algorithm_MEMCPY", "Algorithm_MEMSET"]
+        );
+    }
+
+    #[test]
+    fn or_combinator() {
+        let g = cuda_tree();
+        let q = Query::builder()
+            .node(
+                ".",
+                pred::or(pred::name_eq("Algorithm"), pred::name_eq("Base_CUDA")),
+            )
+            .build();
+        assert_eq!(names(&g, &q.apply(&g)), vec!["Algorithm", "Base_CUDA"]);
+    }
+
+    #[test]
+    fn attr_predicate() {
+        let mut g = Graph::new();
+        let r = g.add_root(Frame::with_type("main", "function"));
+        g.add_child(r, Frame::with_type("k1", "kernel"));
+        g.add_child(r, Frame::with_type("r1", "region"));
+        let q = Query::builder().node(".", pred::attr_eq("type", "kernel")).build();
+        assert_eq!(names(&g, &q.apply(&g)), vec!["k1"]);
+    }
+
+    #[test]
+    fn quantifier_parsing() {
+        assert_eq!(Quantifier::parse(".").unwrap(), Quantifier::One);
+        assert_eq!(Quantifier::parse("*").unwrap(), Quantifier::ZeroOrMore);
+        assert_eq!(Quantifier::parse("+").unwrap(), Quantifier::OneOrMore);
+        assert_eq!(Quantifier::parse("7").unwrap(), Quantifier::Exactly(7));
+        assert!(Quantifier::parse("what").is_err());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(matches!(
+            Query::builder().try_build(),
+            Err(QueryError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn memoized_matches_unmemoized() {
+        let g = cuda_tree();
+        for q in [
+            Query::builder()
+                .node(".", pred::name_eq("Base_CUDA"))
+                .any("*")
+                .node(".", pred::name_ends_with("block_128"))
+                .build(),
+            Query::builder().any("+").build(),
+            Query::builder()
+                .any("*")
+                .node(".", pred::name_contains("block"))
+                .build(),
+        ] {
+            assert_eq!(q.apply(&g), q.apply_unmemoized(&g));
+        }
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let g = cuda_tree();
+        let q = Query::builder().node(".", pred::name_eq("nope")).build();
+        assert!(q.apply(&g).is_empty());
+    }
+
+    #[test]
+    fn star_then_single_anchors_anywhere() {
+        let g = cuda_tree();
+        let q = Query::builder()
+            .any("*")
+            .node(".", pred::name_eq("Algorithm_MEMCPY"))
+            .build();
+        // Matching paths: [MEMCPY], [Algorithm, MEMCPY],
+        // [Base_CUDA, Algorithm, MEMCPY] — union covers 3 nodes.
+        assert_eq!(
+            names(&g, &q.apply(&g)),
+            vec!["Algorithm", "Algorithm_MEMCPY", "Base_CUDA"]
+        );
+    }
+}

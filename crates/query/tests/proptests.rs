@@ -1,0 +1,145 @@
+//! Property tests: the memoized query engine against a brute-force oracle
+//! that enumerates every descending path and regex-matches it directly.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use thicket_graph::{Frame, Graph, NodeId};
+use thicket_query::{pred, Predicate, Query};
+
+fn tree_from(parents: &[usize], names: &[u8]) -> Graph {
+    let mut g = Graph::new();
+    let mut ids = Vec::new();
+    for (i, &p) in parents.iter().enumerate() {
+        let name = format!("f{}", names[i % names.len()] % 5);
+        let id = if i == 0 {
+            g.add_root(Frame::named(&name))
+        } else {
+            g.add_child(ids[p % i], Frame::named(&name))
+        };
+        ids.push(id);
+    }
+    g
+}
+
+/// Oracle: enumerate all descending paths (start anywhere, stop anywhere)
+/// and match against the expanded atom sequence by brute-force regex
+/// recursion on the *path*, then union the nodes of matching paths.
+fn oracle(g: &Graph, atoms: &[(bool, Predicate)]) -> HashSet<NodeId> {
+    // Enumerate paths.
+    let mut paths: Vec<Vec<NodeId>> = Vec::new();
+    let mut stack: Vec<Vec<NodeId>> = g.preorder().into_iter().map(|n| vec![n]).collect();
+    while let Some(p) = stack.pop() {
+        paths.push(p.clone());
+        let last = *p.last().unwrap();
+        for &c in g.node(last).children() {
+            let mut q = p.clone();
+            q.push(c);
+            stack.push(q);
+        }
+    }
+    fn matches(g: &Graph, path: &[NodeId], atoms: &[(bool, Predicate)]) -> bool {
+        match (path.is_empty(), atoms.is_empty()) {
+            (true, true) => true,
+            (true, false) => atoms.iter().all(|(star, _)| *star),
+            (false, true) => false,
+            (false, false) => {
+                let (star, p) = &atoms[0];
+                if *star {
+                    // Skip the star, or consume one node and stay.
+                    matches(g, path, &atoms[1..])
+                        || (p(g.node(path[0])) && matches(g, &path[1..], atoms))
+                } else {
+                    p(g.node(path[0])) && matches(g, &path[1..], &atoms[1..])
+                }
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    for p in paths {
+        if !p.is_empty() && matches(g, &p, atoms) {
+            out.extend(p);
+        }
+    }
+    out
+}
+
+/// A small pool of predicates, index-selectable so proptest can shrink.
+fn predicate(i: u8) -> Predicate {
+    match i % 4 {
+        0 => pred::any(),
+        1 => pred::name_eq("f0"),
+        2 => pred::name_contains("1"),
+        _ => pred::name_starts_with("f"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine (memoized and not) agrees with the path-enumeration
+    /// oracle on random trees and random 1–3 node queries.
+    #[test]
+    fn engine_matches_oracle(
+        parents in proptest::collection::vec(any::<usize>(), 1..14),
+        names in proptest::collection::vec(any::<u8>(), 1..6),
+        quants in proptest::collection::vec(0u8..3, 1..4),
+        preds in proptest::collection::vec(any::<u8>(), 1..4),
+    ) {
+        let g = tree_from(&parents, &names);
+        let mut builder = Query::builder();
+        let mut atoms: Vec<(bool, Predicate)> = Vec::new();
+        for (i, q) in quants.iter().enumerate() {
+            let p = predicate(preds[i % preds.len()]);
+            let tok = match q { 0 => ".", 1 => "*", _ => "+" };
+            builder = builder.node(tok, p.clone());
+            match q {
+                0 => atoms.push((false, p)),
+                1 => atoms.push((true, p)),
+                _ => {
+                    atoms.push((false, p.clone()));
+                    atoms.push((true, p));
+                }
+            }
+        }
+        let query = builder.build();
+        let expect = oracle(&g, &atoms);
+        prop_assert_eq!(query.apply(&g), expect.clone());
+        prop_assert_eq!(query.apply_unmemoized(&g), expect);
+    }
+
+    /// An all-`.` query of length k matches exactly the nodes lying on
+    /// descending chains of length k.
+    #[test]
+    fn dot_chain_counts(
+        parents in proptest::collection::vec(any::<usize>(), 1..14),
+        k in 1usize..4,
+    ) {
+        let g = tree_from(&parents, &[0]);
+        let mut b = Query::builder();
+        for _ in 0..k {
+            b = b.any(".");
+        }
+        let hits = b.build().apply(&g);
+        // Oracle: nodes on some chain of exactly k nodes.
+        let mut expect: HashSet<NodeId> = HashSet::new();
+        for start in g.preorder() {
+            let mut chains = vec![vec![start]];
+            for _ in 1..k {
+                let mut next = Vec::new();
+                for c in chains {
+                    let last = *c.last().unwrap();
+                    for &ch in g.node(last).children() {
+                        let mut d = c.clone();
+                        d.push(ch);
+                        next.push(d);
+                    }
+                }
+                chains = next;
+            }
+            for c in chains {
+                expect.extend(c);
+            }
+        }
+        prop_assert_eq!(hits, expect);
+    }
+}

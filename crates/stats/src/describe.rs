@@ -1,0 +1,186 @@
+//! Descriptive statistics over `&[f64]` slices.
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean of strictly positive values; `None` on empty input or if
+/// any value is non-positive.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Sample variance (n−1 denominator); `None` with fewer than two samples.
+pub fn variance(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / (values.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` with fewer than two samples.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Minimum; `None` on empty input. NaNs are ignored.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .reduce(f64::min)
+}
+
+/// Maximum; `None` on empty input. NaNs are ignored.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .reduce(f64::max)
+}
+
+/// Median (linear interpolation); `None` on empty input.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`; `None` on empty
+/// input. Matches numpy's default (`linear`) interpolation.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    Some(if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    })
+}
+
+/// Five-number-plus summary of a sample (pandas `describe()` analogue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation (NaN for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample; `None` on empty input.
+pub fn describe(values: &[f64]) -> Option<Summary> {
+    Some(Summary {
+        count: values.len(),
+        mean: mean(values)?,
+        std: std_dev(values).unwrap_or(f64::NAN),
+        min: min(values)?,
+        p25: percentile(values, 25.0)?,
+        median: median(values)?,
+        p75: percentile(values, 75.0)?,
+        max: max(values)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [f64; 6] = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+
+    #[test]
+    fn basic_moments() {
+        assert_eq!(mean(&DATA), Some(23.0 / 6.0));
+        // statistics.variance([3,1,4,1,5,9]) == 8.966666666666667
+        let v = variance(&DATA).unwrap();
+        assert!((v - 8.966666666666667).abs() < 1e-12);
+        assert!((std_dev(&DATA).unwrap() - v.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn extrema_and_median() {
+        assert_eq!(min(&DATA), Some(1.0));
+        assert_eq!(max(&DATA), Some(9.0));
+        assert_eq!(median(&DATA), Some(3.5));
+        assert_eq!(median(&[2.0, 4.0, 6.0]), Some(4.0));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+        assert!(describe(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_match_numpy() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 25.0), Some(1.75));
+        assert_eq!(percentile(&v, 75.0), Some(3.25));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&v, 150.0), Some(4.0));
+    }
+
+    #[test]
+    fn nan_ignored_by_extrema() {
+        let v = [f64::NAN, 2.0, 5.0];
+        assert_eq!(min(&v), Some(2.0));
+        assert_eq!(max(&v), Some(5.0));
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let g = geomean(&[1.0, 4.0, 16.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn describe_summary() {
+        let s = describe(&DATA).unwrap();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 3.5);
+        let one = describe(&[5.0]).unwrap();
+        assert!(one.std.is_nan());
+    }
+}

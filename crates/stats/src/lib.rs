@@ -1,0 +1,25 @@
+//! # thicket-stats
+//!
+//! Descriptive statistics, correlation, histogram binning, and simple
+//! linear regression — the numerical kernel behind Thicket's aggregated
+//! statistics table (paper §4.2.1: variance, standard deviation,
+//! max/min, percentiles, correlation coefficient, mean, median) and the
+//! least-squares fits inside the Extra-P-style modeler.
+//!
+//! All functions operate on plain `&[f64]` slices, are allocation-light,
+//! and define their edge cases explicitly (empty input, single sample,
+//! zero variance).
+
+#![warn(missing_docs)]
+
+mod corr;
+mod describe;
+mod hist;
+mod outliers;
+mod regress;
+
+pub use corr::{pearson, spearman};
+pub use describe::{describe, geomean, max, mean, median, min, percentile, std_dev, variance, Summary};
+pub use hist::{histogram, Histogram};
+pub use outliers::{iqr_outliers, zscore_outliers, zscores};
+pub use regress::{linear_fit, LinearFit};

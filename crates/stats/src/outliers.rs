@@ -1,0 +1,91 @@
+//! Outlier detection helpers backing the paper's Figure 12 workflow
+//! ("the heatmap identifies two nodes as outliers…").
+
+use crate::describe::{mean, percentile, std_dev};
+
+/// Z-scores of each sample: `(x − mean) / std`. `None` when the standard
+/// deviation is undefined or zero.
+pub fn zscores(values: &[f64]) -> Option<Vec<f64>> {
+    let m = mean(values)?;
+    let s = std_dev(values)?;
+    if s == 0.0 {
+        return None;
+    }
+    Some(values.iter().map(|v| (v - m) / s).collect())
+}
+
+/// Indices of samples outside the Tukey fences `[Q1 − k·IQR, Q3 + k·IQR]`
+/// (`k = 1.5` is the conventional whisker). `None` on empty input.
+pub fn iqr_outliers(values: &[f64], k: f64) -> Option<Vec<usize>> {
+    let q1 = percentile(values, 25.0)?;
+    let q3 = percentile(values, 75.0)?;
+    let iqr = q3 - q1;
+    let lo = q1 - k * iqr;
+    let hi = q3 + k * iqr;
+    Some(
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v < lo || **v > hi)
+            .map(|(i, _)| i)
+            .collect(),
+    )
+}
+
+/// Indices whose |z-score| exceeds `threshold` (e.g. 3.0). `None` when
+/// z-scores are undefined.
+pub fn zscore_outliers(values: &[f64], threshold: f64) -> Option<Vec<usize>> {
+    let z = zscores(values)?;
+    Some(
+        z.iter()
+            .enumerate()
+            .filter(|(_, z)| z.abs() > threshold)
+            .map(|(i, _)| i)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscores_standardize() {
+        let v = [10.0, 20.0, 30.0];
+        let z = zscores(&v).unwrap();
+        assert!((z[1]).abs() < 1e-12);
+        assert!((z[0] + z[2]).abs() < 1e-12);
+        assert_eq!(zscores(&[5.0, 5.0]), None); // zero std
+        assert_eq!(zscores(&[1.0]), None);
+    }
+
+    #[test]
+    fn iqr_flags_extremes() {
+        let mut v = vec![1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02];
+        v.push(10.0);
+        let out = iqr_outliers(&v, 1.5).unwrap();
+        assert_eq!(out, vec![7]);
+        // Tight data with no extremes.
+        assert!(iqr_outliers(&v[..7], 1.5).unwrap().is_empty());
+        assert_eq!(iqr_outliers(&[], 1.5), None);
+    }
+
+    #[test]
+    fn zscore_outliers_threshold() {
+        let mut v = vec![0.0; 20];
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = (i % 5) as f64 * 0.1;
+        }
+        v.push(50.0);
+        let out = zscore_outliers(&v, 3.0).unwrap();
+        assert_eq!(out, vec![20]);
+    }
+
+    #[test]
+    fn wider_fence_flags_fewer() {
+        let v = [1.0, 1.2, 0.8, 1.1, 0.9, 3.0];
+        let strict = iqr_outliers(&v, 1.0).unwrap();
+        let loose = iqr_outliers(&v, 5.0).unwrap();
+        assert!(strict.len() >= loose.len());
+    }
+}

@@ -1,0 +1,117 @@
+//! Simple linear least squares — the fitting kernel under the
+//! Extra-P-style modeler (each PMNF hypothesis reduces to a linear fit on
+//! a transformed predictor).
+
+/// Result of fitting `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// Intercept (`c₀`).
+    pub intercept: f64,
+    /// Slope (`c₁`).
+    pub slope: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Adjusted R² for a two-parameter model; NaN when n ≤ 2.
+    pub fn adjusted_r2(&self) -> f64 {
+        if self.n <= 2 {
+            return f64::NAN;
+        }
+        1.0 - (1.0 - self.r2) * (self.n as f64 - 1.0) / (self.n as f64 - 2.0)
+    }
+}
+
+/// Ordinary least squares for `y = intercept + slope · x`.
+///
+/// `None` for mismatched lengths, fewer than two points, or a degenerate
+/// (constant-x) predictor. Constant `y` fits exactly with slope 0 and
+/// `r2 = 1` by convention (the model explains all — zero — variance).
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut rss = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let e = b - (intercept + slope * a);
+        rss += e * e;
+    }
+    let r2 = if syy == 0.0 { 1.0 } else { 1.0 - rss / syy };
+    Some(LinearFit {
+        intercept,
+        slope,
+        rss,
+        r2,
+        n: x.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 + 2.0 * v).collect();
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!(f.rss < 1e-20);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_r2_below_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!(f.r2 > 0.99 && f.r2 < 1.0);
+        assert!(f.adjusted_r2() < f.r2);
+        assert!((f.slope - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0], &[1.0, 2.0]).is_none()); // constant x
+    }
+
+    #[test]
+    fn constant_y_fits_flat() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!((f.slope).abs() < 1e-12);
+        assert!((f.intercept - 5.0).abs() < 1e-12);
+        assert_eq!(f.r2, 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the statistics kernel.
+
+use proptest::prelude::*;
+use thicket_stats as ts;
+
+fn data() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, 2..60)
+}
+
+proptest! {
+    /// min ≤ p25 ≤ median ≤ p75 ≤ max, and mean lies within [min, max].
+    #[test]
+    fn summary_ordering(v in data()) {
+        let s = ts::describe(&v).unwrap();
+        prop_assert!(s.min <= s.p25 + 1e-12);
+        prop_assert!(s.p25 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.p75 + 1e-12);
+        prop_assert!(s.p75 <= s.max + 1e-12);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    /// Variance is non-negative and shift-invariant.
+    #[test]
+    fn variance_properties(v in data(), shift in -100.0f64..100.0) {
+        let var = ts::variance(&v).unwrap();
+        prop_assert!(var >= 0.0);
+        let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+        let var2 = ts::variance(&shifted).unwrap();
+        prop_assert!((var - var2).abs() < 1e-6 * (1.0 + var.abs()));
+    }
+
+    /// Scaling data by c scales std by |c|.
+    #[test]
+    fn std_scales(v in data(), c in -10.0f64..10.0) {
+        prop_assume!(ts::std_dev(&v).unwrap() > 1e-9);
+        let scaled: Vec<f64> = v.iter().map(|x| x * c).collect();
+        let lhs = ts::std_dev(&scaled).unwrap();
+        let rhs = c.abs() * ts::std_dev(&v).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs));
+    }
+
+    /// Pearson is bounded in [-1, 1] and symmetric.
+    #[test]
+    fn pearson_bounds(v in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..40)) {
+        let x: Vec<f64> = v.iter().map(|(a, _)| *a).collect();
+        let y: Vec<f64> = v.iter().map(|(_, b)| *b).collect();
+        if let Some(r) = ts::pearson(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = ts::pearson(&y, &x).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    /// Pearson is invariant under positive affine transforms of x.
+    #[test]
+    fn pearson_affine_invariant(v in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..40),
+                                a in 0.1f64..10.0, b in -50.0f64..50.0) {
+        let x: Vec<f64> = v.iter().map(|(p, _)| *p).collect();
+        let y: Vec<f64> = v.iter().map(|(_, q)| *q).collect();
+        if let Some(r) = ts::pearson(&x, &y) {
+            let xt: Vec<f64> = x.iter().map(|p| a * p + b).collect();
+            let rt = ts::pearson(&xt, &y).unwrap();
+            prop_assert!((r - rt).abs() < 1e-6);
+        }
+    }
+
+    /// Histogram counts all non-NaN samples exactly once.
+    #[test]
+    fn histogram_conserves_mass(v in data(), bins in 1usize..20) {
+        let h = ts::histogram(&v, bins).unwrap();
+        prop_assert_eq!(h.total(), v.len());
+        prop_assert_eq!(h.edges.len(), h.counts.len() + 1);
+    }
+
+    /// Linear fit on exact lines recovers the coefficients.
+    #[test]
+    fn linear_fit_recovers(intercept in -100.0f64..100.0, slope in -10.0f64..10.0,
+                           xs in proptest::collection::hash_set(-1000i32..1000, 3..30)) {
+        let x: Vec<f64> = xs.iter().map(|v| *v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| intercept + slope * v).collect();
+        let f = ts::linear_fit(&x, &y).unwrap();
+        prop_assert!((f.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+    }
+
+    /// The OLS fit minimizes RSS: any perturbed line does no better.
+    #[test]
+    fn ols_is_optimal(v in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..30),
+                      da in -1.0f64..1.0, db in -1.0f64..1.0) {
+        let x: Vec<f64> = v.iter().map(|(a, _)| *a).collect();
+        let y: Vec<f64> = v.iter().map(|(_, b)| *b).collect();
+        if let Some(f) = ts::linear_fit(&x, &y) {
+            let rss_perturbed: f64 = x.iter().zip(y.iter())
+                .map(|(a, b)| {
+                    let e = b - ((f.intercept + da) + (f.slope + db) * a);
+                    e * e
+                })
+                .sum();
+            prop_assert!(f.rss <= rss_perturbed + 1e-6);
+        }
+    }
+
+    /// Percentile is monotone in p.
+    #[test]
+    fn percentile_monotone(v in data(), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = ts::percentile(&v, lo).unwrap();
+        let b = ts::percentile(&v, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+}

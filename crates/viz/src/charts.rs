@@ -1,0 +1,725 @@
+//! Chart constructors over the SVG canvas: every figure type the paper's
+//! evaluation uses.
+
+use crate::svg::{palette, tick_label, ticks, Scale, SvgCanvas};
+use thicket_stats::Histogram;
+
+/// Axis transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Plain linear axis.
+    Linear,
+    /// log₂ axis (the paper's strong-scaling plots, Figure 17).
+    Log2,
+}
+
+impl AxisScale {
+    fn fwd(self, v: f64) -> f64 {
+        match self {
+            AxisScale::Linear => v,
+            AxisScale::Log2 => v.max(1e-300).log2(),
+        }
+    }
+}
+
+/// Shared chart options.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Title above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Pixel width.
+    pub width: f64,
+    /// Pixel height.
+    pub height: f64,
+    /// X-axis transform.
+    pub x_scale: AxisScale,
+    /// Y-axis transform.
+    pub y_scale: AxisScale,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 640.0,
+            height: 420.0,
+            x_scale: AxisScale::Linear,
+            y_scale: AxisScale::Linear,
+        }
+    }
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Draw dashed (the scaling plots' "ideal" reference lines).
+    pub dashed: bool,
+}
+
+impl Series {
+    /// A solid series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            dashed: false,
+        }
+    }
+
+    /// A dashed series.
+    pub fn dashed(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            dashed: true,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+struct Frame2D {
+    canvas: SvgCanvas,
+    xs: Scale,
+    ys: Scale,
+    x_axis: AxisScale,
+    y_axis: AxisScale,
+}
+
+fn frame(series: &[Series], opts: &ChartOptions) -> Frame2D {
+    let mut canvas = SvgCanvas::new(opts.width, opts.height);
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .map(|&(x, y)| (opts.x_scale.fwd(x), opts.y_scale.fwd(y)))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let (mut xlo, mut xhi) = bounds(pts.iter().map(|p| p.0));
+    let (mut ylo, mut yhi) = bounds(pts.iter().map(|p| p.1));
+    pad(&mut xlo, &mut xhi);
+    pad(&mut ylo, &mut yhi);
+    let xs = Scale::new(xlo, xhi, MARGIN_L, opts.width - MARGIN_R);
+    let ys = Scale::new(ylo, yhi, opts.height - MARGIN_B, MARGIN_T);
+
+    // Axis lines.
+    canvas.line(
+        MARGIN_L,
+        opts.height - MARGIN_B,
+        opts.width - MARGIN_R,
+        opts.height - MARGIN_B,
+        "#333333",
+        1.0,
+    );
+    canvas.line(MARGIN_L, MARGIN_T, MARGIN_L, opts.height - MARGIN_B, "#333333", 1.0);
+
+    // Ticks and grid.
+    for t in ticks(xlo, xhi, 6) {
+        let px = xs.map(t);
+        canvas.line(px, opts.height - MARGIN_B, px, opts.height - MARGIN_B + 4.0, "#333333", 1.0);
+        canvas.line(px, MARGIN_T, px, opts.height - MARGIN_B, "#eeeeee", 0.5);
+        let label = match opts.x_scale {
+            AxisScale::Linear => tick_label(t),
+            AxisScale::Log2 => format!("2^{}", tick_label(t)),
+        };
+        canvas.text(px, opts.height - MARGIN_B + 16.0, &label, 10.0, "middle", "#333333");
+    }
+    for t in ticks(ylo, yhi, 6) {
+        let py = ys.map(t);
+        canvas.line(MARGIN_L - 4.0, py, MARGIN_L, py, "#333333", 1.0);
+        canvas.line(MARGIN_L, py, opts.width - MARGIN_R, py, "#eeeeee", 0.5);
+        let label = match opts.y_scale {
+            AxisScale::Linear => tick_label(t),
+            AxisScale::Log2 => format!("2^{}", tick_label(t)),
+        };
+        canvas.text(MARGIN_L - 7.0, py + 3.0, &label, 10.0, "end", "#333333");
+    }
+
+    // Labels and title.
+    canvas.text(opts.width / 2.0, 20.0, &opts.title, 13.0, "middle", "#000000");
+    canvas.text(
+        (MARGIN_L + opts.width - MARGIN_R) / 2.0,
+        opts.height - 14.0,
+        &opts.x_label,
+        11.0,
+        "middle",
+        "#000000",
+    );
+    canvas.vtext(16.0, opts.height / 2.0, &opts.y_label, 11.0, "middle", "#000000");
+
+    Frame2D {
+        canvas,
+        xs,
+        ys,
+        x_axis: opts.x_scale,
+        y_axis: opts.y_scale,
+    }
+}
+
+fn bounds(vals: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn pad(lo: &mut f64, hi: &mut f64) {
+    let span = (*hi - *lo).max(1e-12);
+    *lo -= span * 0.05;
+    *hi += span * 0.05;
+}
+
+fn legend(canvas: &mut SvgCanvas, series: &[Series]) {
+    let x = canvas.width() - 180.0;
+    let mut y = MARGIN_T + 8.0;
+    for (i, s) in series.iter().enumerate() {
+        if s.dashed {
+            canvas.dashed_line(x, y - 4.0, x + 22.0, y - 4.0, palette(i), 2.0);
+        } else {
+            canvas.line(x, y - 4.0, x + 22.0, y - 4.0, palette(i), 2.0);
+        }
+        canvas.text(x + 28.0, y, &s.name, 10.0, "start", "#000000");
+        y += 15.0;
+    }
+}
+
+/// Scatter plot of one or more series (Figures 10 and 18's scatterplots).
+pub fn scatter_chart(series: &[Series], opts: &ChartOptions) -> String {
+    let mut f = frame(series, opts);
+    for (i, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            f.canvas.circle(
+                f.xs.map(f.x_axis.fwd(x)),
+                f.ys.map(f.y_axis.fwd(y)),
+                3.5,
+                palette(i),
+            );
+        }
+    }
+    legend(&mut f.canvas, series);
+    f.canvas.finish()
+}
+
+/// Line chart with per-series markers (Figures 11 and 17).
+pub fn line_chart(series: &[Series], opts: &ChartOptions) -> String {
+    let mut f = frame(series, opts);
+    for (i, s) in series.iter().enumerate() {
+        let mut pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .map(|&(x, y)| (f.xs.map(f.x_axis.fwd(x)), f.ys.map(f.y_axis.fwd(y))))
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if s.dashed {
+            for w in pts.windows(2) {
+                f.canvas
+                    .dashed_line(w[0].0, w[0].1, w[1].0, w[1].1, palette(i), 1.5);
+            }
+        } else {
+            f.canvas.polyline(&pts, palette(i), 2.0);
+            for &(px, py) in &pts {
+                f.canvas.circle(px, py, 3.0, palette(i));
+            }
+        }
+    }
+    legend(&mut f.canvas, series);
+    f.canvas.finish()
+}
+
+/// Histogram bar chart (Figure 12 insets).
+pub fn histogram_chart(hist: &Histogram, title: &str, x_label: &str) -> String {
+    let opts = ChartOptions {
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        y_label: "count".to_string(),
+        ..ChartOptions::default()
+    };
+    let max_count = hist.counts.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let series = vec![Series::new(
+        "counts",
+        vec![
+            (hist.edges[0], 0.0),
+            (*hist.edges.last().expect("non-empty edges"), max_count),
+        ],
+    )];
+    let mut f = frame(&series, &opts);
+    for (i, &count) in hist.counts.iter().enumerate() {
+        let x0 = f.xs.map(hist.edges[i]);
+        let x1 = f.xs.map(hist.edges[i + 1]);
+        let y0 = f.ys.map(0.0);
+        let y1 = f.ys.map(count as f64);
+        f.canvas.rect(
+            x0,
+            y1,
+            (x1 - x0).max(1.0),
+            (y0 - y1).max(0.0),
+            palette(0),
+            Some("#ffffff"),
+        );
+    }
+    f.canvas.finish()
+}
+
+/// Labelled heatmap with per-column normalization (Figure 12).
+pub fn heatmap_chart(
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+    title: &str,
+) -> String {
+    let cell_w = 110.0;
+    let cell_h = 28.0;
+    let left = 220.0;
+    let top = 60.0;
+    let width = left + cell_w * col_labels.len() as f64 + 20.0;
+    let height = top + cell_h * row_labels.len() as f64 + 20.0;
+    let mut canvas = SvgCanvas::new(width, height);
+    canvas.text(width / 2.0, 24.0, title, 13.0, "middle", "#000000");
+
+    // Per-column normalization (metrics have very different scales).
+    let ncols = col_labels.len();
+    let mut lo = vec![f64::INFINITY; ncols];
+    let mut hi = vec![f64::NEG_INFINITY; ncols];
+    for row in values {
+        for (j, v) in row.iter().enumerate() {
+            if v.is_finite() {
+                lo[j] = lo[j].min(*v);
+                hi[j] = hi[j].max(*v);
+            }
+        }
+    }
+    for (j, cl) in col_labels.iter().enumerate() {
+        canvas.text(
+            left + cell_w * (j as f64 + 0.5),
+            top - 10.0,
+            cl,
+            10.0,
+            "middle",
+            "#000000",
+        );
+    }
+    for (i, rl) in row_labels.iter().enumerate() {
+        let y = top + cell_h * i as f64;
+        canvas.text(left - 8.0, y + cell_h / 2.0 + 3.0, rl, 10.0, "end", "#000000");
+        for (j, v) in values[i].iter().enumerate() {
+            let norm = if hi[j] > lo[j] {
+                ((v - lo[j]) / (hi[j] - lo[j])).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            let shade = (255.0 - norm * 180.0) as u8;
+            let fill = format!("#{0:02x}{0:02x}ff", shade);
+            let x = left + cell_w * j as f64;
+            canvas.rect(x, y, cell_w - 2.0, cell_h - 2.0, &fill, Some("#cccccc"));
+            canvas.text(
+                x + cell_w / 2.0,
+                y + cell_h / 2.0 + 3.0,
+                &format!("{v:.4}"),
+                9.0,
+                "middle",
+                "#000000",
+            );
+        }
+    }
+    canvas.finish()
+}
+
+/// One stacked bar: a label plus one value per segment category.
+#[derive(Debug, Clone)]
+pub struct BarStack {
+    /// Bar label (below the bar).
+    pub label: String,
+    /// One value per segment (same order as the category list).
+    pub segments: Vec<f64>,
+}
+
+/// Grouped stacked-bar chart — the top-down visualization of Figure 14.
+/// `groups` pairs a group title (e.g. kernel name) with its bars (e.g.
+/// one per problem size); `categories` names the stacked segments
+/// (retiring / frontend / backend / bad speculation).
+pub fn stacked_bars(
+    categories: &[String],
+    groups: &[(String, Vec<BarStack>)],
+    title: &str,
+) -> String {
+    let bar_w = 34.0;
+    let bar_h = 150.0;
+    let gap = 10.0;
+    let group_gap = 40.0;
+    let left = 60.0;
+    let top = 70.0;
+    let total_bars: usize = groups.iter().map(|(_, bars)| bars.len()).sum();
+    let width = left
+        + total_bars as f64 * (bar_w + gap)
+        + groups.len() as f64 * group_gap
+        + 180.0;
+    let height = top + bar_h + 80.0;
+    let mut canvas = SvgCanvas::new(width, height);
+    canvas.text(width / 2.0, 24.0, title, 13.0, "middle", "#000000");
+
+    // Legend.
+    let mut lx = left;
+    for (i, cat) in categories.iter().enumerate() {
+        canvas.rect(lx, 36.0, 12.0, 12.0, palette(i), None);
+        canvas.text(lx + 16.0, 46.0, cat, 10.0, "start", "#000000");
+        lx += 16.0 + cat.len() as f64 * 6.5 + 18.0;
+    }
+
+    let mut x = left;
+    for (gname, bars) in groups {
+        let gx0 = x;
+        for bar in bars {
+            let total: f64 = bar.segments.iter().sum();
+            let mut y = top + bar_h;
+            for (i, seg) in bar.segments.iter().enumerate() {
+                let h = if total > 0.0 { seg / total * bar_h } else { 0.0 };
+                y -= h;
+                canvas.rect(x, y, bar_w, h, palette(i), Some("#ffffff"));
+            }
+            canvas.text(
+                x + bar_w / 2.0,
+                top + bar_h + 14.0,
+                &bar.label,
+                8.0,
+                "middle",
+                "#333333",
+            );
+            x += bar_w + gap;
+        }
+        canvas.text(
+            (gx0 + x - gap) / 2.0,
+            top + bar_h + 34.0,
+            gname,
+            10.0,
+            "middle",
+            "#000000",
+        );
+        x += group_gap;
+    }
+    canvas.finish()
+}
+
+/// One parallel-coordinates axis.
+#[derive(Debug, Clone)]
+pub struct PcpAxis {
+    /// Axis name (metadata column).
+    pub name: String,
+    /// One value per profile (line).
+    pub values: Vec<f64>,
+}
+
+/// Parallel coordinate plot (Figure 18): one vertical axis per metadata
+/// variable, one polyline per profile; `color_class[i]` picks the line
+/// color (e.g. 0 = CTS, 1 = AWS).
+pub fn parallel_coordinates(axes: &[PcpAxis], color_class: &[usize], title: &str) -> String {
+    assert!(!axes.is_empty(), "parallel_coordinates needs axes");
+    let n = axes[0].values.len();
+    assert!(
+        axes.iter().all(|a| a.values.len() == n),
+        "all axes need one value per profile"
+    );
+    assert_eq!(color_class.len(), n, "one color class per profile");
+
+    let width = 160.0 * axes.len() as f64 + 80.0;
+    let height = 380.0;
+    let top = 60.0;
+    let bottom = height - 50.0;
+    let mut canvas = SvgCanvas::new(width, height);
+    canvas.text(width / 2.0, 24.0, title, 13.0, "middle", "#000000");
+
+    let axis_x: Vec<f64> = (0..axes.len()).map(|i| 80.0 + 160.0 * i as f64).collect();
+    let scales: Vec<Scale> = axes
+        .iter()
+        .map(|a| {
+            let (lo, hi) = bounds(a.values.iter().copied().filter(|v| v.is_finite()));
+            Scale::new(lo, hi, bottom, top)
+        })
+        .collect();
+
+    // Axes with min/max labels.
+    for (i, a) in axes.iter().enumerate() {
+        canvas.line(axis_x[i], top, axis_x[i], bottom, "#333333", 1.0);
+        canvas.text(axis_x[i], top - 10.0, &a.name, 10.0, "middle", "#000000");
+        canvas.text(
+            axis_x[i],
+            bottom + 14.0,
+            &tick_label(scales[i].lo),
+            9.0,
+            "middle",
+            "#666666",
+        );
+        canvas.text(
+            axis_x[i],
+            top - 0.0 + 10.0,
+            &tick_label(scales[i].hi),
+            9.0,
+            "middle",
+            "#666666",
+        );
+    }
+
+    // Profile polylines.
+    for (row, &class) in color_class.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = axes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (axis_x[i], scales[i].map(a.values[row])))
+            .collect();
+        canvas.polyline(&pts, palette(class), 1.2);
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_stats::histogram;
+
+    fn opts() -> ChartOptions {
+        ChartOptions {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            ..ChartOptions::default()
+        }
+    }
+
+    #[test]
+    fn scatter_renders_all_points() {
+        let s = vec![
+            Series::new("a", vec![(1.0, 2.0), (3.0, 4.0)]),
+            Series::new("b", vec![(2.0, 1.0)]),
+        ];
+        let svg = scatter_chart(&s, &opts());
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn line_chart_sorts_and_marks() {
+        let s = vec![Series::new("run", vec![(4.0, 1.0), (1.0, 4.0), (2.0, 2.0)])];
+        let svg = line_chart(&s, &opts());
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn dashed_ideal_lines() {
+        let s = vec![
+            Series::new("measured", vec![(1.0, 8.0), (2.0, 5.0)]),
+            Series::dashed("ideal", vec![(1.0, 8.0), (2.0, 4.0)]),
+        ];
+        let svg = line_chart(&s, &opts());
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn log2_tick_labels() {
+        let s = vec![Series::new(
+            "scaling",
+            vec![(1.0, 32.0), (2.0, 16.0), (4.0, 8.0), (64.0, 1.0)],
+        )];
+        let o = ChartOptions {
+            x_scale: AxisScale::Log2,
+            y_scale: AxisScale::Log2,
+            ..opts()
+        };
+        let svg = line_chart(&s, &o);
+        assert!(svg.contains("2^"));
+    }
+
+    #[test]
+    fn histogram_chart_bar_count() {
+        let h = histogram(&[0.0, 0.5, 1.0, 1.5, 2.0], 4).unwrap();
+        let svg = histogram_chart(&h, "dist", "time");
+        // 4 bars + background rect.
+        assert_eq!(svg.matches("<rect").count(), 5);
+    }
+
+    #[test]
+    fn heatmap_cells_and_labels() {
+        let svg = heatmap_chart(
+            &["r1".into(), "r2".into()],
+            &["c1".into(), "c2".into(), "c3".into()],
+            &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            "hm",
+        );
+        // 6 cells + background.
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains(">r1</text>"));
+        assert!(svg.contains(">c3</text>"));
+    }
+
+    #[test]
+    fn stacked_bars_segments() {
+        let cats = vec!["Retiring".to_string(), "Backend".to_string()];
+        let groups = vec![(
+            "Apps_VOL3D".to_string(),
+            vec![
+                BarStack {
+                    label: "1M".into(),
+                    segments: vec![0.4, 0.6],
+                },
+                BarStack {
+                    label: "4M".into(),
+                    segments: vec![0.3, 0.7],
+                },
+            ],
+        )];
+        let svg = stacked_bars(&cats, &groups, "top-down");
+        // background + 2 legend swatches + 4 segments.
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains("Apps_VOL3D"));
+    }
+
+    #[test]
+    fn pcp_one_line_per_profile() {
+        let axes = vec![
+            PcpAxis {
+                name: "ranks".into(),
+                values: vec![36.0, 72.0, 144.0],
+            },
+            PcpAxis {
+                name: "walltime".into(),
+                values: vec![100.0, 60.0, 35.0],
+            },
+        ];
+        let svg = parallel_coordinates(&axes, &[0, 0, 1], "meta");
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains(">ranks</text>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one color class")]
+    fn pcp_color_mismatch_panics() {
+        let axes = vec![PcpAxis {
+            name: "a".into(),
+            values: vec![1.0],
+        }];
+        parallel_coordinates(&axes, &[], "x");
+    }
+
+    #[test]
+    fn empty_series_render() {
+        let svg = scatter_chart(&[Series::new("none", vec![])], &opts());
+        assert!(svg.contains("<svg"));
+    }
+}
+
+/// Box-and-whisker plot: one box per labelled sample (quartiles, median,
+/// 1.5·IQR whiskers, outlier dots) — handy for comparing run-time
+/// distributions across ensemble configurations.
+pub fn box_plot(groups: &[(String, Vec<f64>)], title: &str, y_label: &str) -> String {
+    let box_w = 46.0;
+    let gap = 30.0;
+    let left = 80.0;
+    let top = 50.0;
+    let plot_h = 280.0;
+    let width = left + groups.len() as f64 * (box_w + gap) + 40.0;
+    let height = top + plot_h + 60.0;
+    let mut canvas = SvgCanvas::new(width, height);
+    canvas.text(width / 2.0, 24.0, title, 13.0, "middle", "#000000");
+    canvas.vtext(18.0, top + plot_h / 2.0, y_label, 11.0, "middle", "#000000");
+
+    let all: Vec<f64> = groups
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    let (lo, hi) = bounds(all.iter().copied());
+    let ys = Scale::new(lo - (hi - lo).max(1e-12) * 0.05, hi + (hi - lo).max(1e-12) * 0.05,
+                        top + plot_h, top);
+
+    // Y axis with ticks.
+    canvas.line(left - 10.0, top, left - 10.0, top + plot_h, "#333333", 1.0);
+    for t in ticks(lo, hi, 5) {
+        let py = ys.map(t);
+        canvas.line(left - 14.0, py, left - 10.0, py, "#333333", 1.0);
+        canvas.text(left - 17.0, py + 3.0, &tick_label(t), 9.0, "end", "#333333");
+    }
+
+    for (i, (label, values)) in groups.iter().enumerate() {
+        let x = left + i as f64 * (box_w + gap);
+        let cx = x + box_w / 2.0;
+        canvas.text(cx, top + plot_h + 18.0, label, 10.0, "middle", "#000000");
+        let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if clean.is_empty() {
+            continue;
+        }
+        let q1 = thicket_stats::percentile(&clean, 25.0).expect("non-empty");
+        let q2 = thicket_stats::percentile(&clean, 50.0).expect("non-empty");
+        let q3 = thicket_stats::percentile(&clean, 75.0).expect("non-empty");
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisk_lo = clean.iter().copied().filter(|v| *v >= lo_fence).fold(f64::INFINITY, f64::min);
+        let whisk_hi = clean.iter().copied().filter(|v| *v <= hi_fence).fold(f64::NEG_INFINITY, f64::max);
+
+        // Whiskers.
+        canvas.line(cx, ys.map(whisk_lo), cx, ys.map(q1), "#333333", 1.0);
+        canvas.line(cx, ys.map(q3), cx, ys.map(whisk_hi), "#333333", 1.0);
+        canvas.line(cx - 10.0, ys.map(whisk_lo), cx + 10.0, ys.map(whisk_lo), "#333333", 1.0);
+        canvas.line(cx - 10.0, ys.map(whisk_hi), cx + 10.0, ys.map(whisk_hi), "#333333", 1.0);
+        // Box + median.
+        canvas.rect(
+            x,
+            ys.map(q3),
+            box_w,
+            (ys.map(q1) - ys.map(q3)).max(1.0),
+            palette(i),
+            Some("#333333"),
+        );
+        canvas.line(x, ys.map(q2), x + box_w, ys.map(q2), "#000000", 1.5);
+        // Outliers.
+        for &v in clean.iter().filter(|v| **v < lo_fence || **v > hi_fence) {
+            canvas.circle(cx, ys.map(v), 2.5, "#666666");
+        }
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod box_tests {
+    use super::*;
+
+    #[test]
+    fn box_plot_draws_boxes_and_outliers() {
+        let groups = vec![
+            ("CTS".to_string(), vec![1.0, 1.1, 1.2, 1.3, 1.25, 5.0]), // 5.0 outlier
+            ("AWS".to_string(), vec![0.8, 0.9, 0.95, 1.0]),
+        ];
+        let svg = box_plot(&groups, "walltime by cluster", "seconds");
+        // Background + 2 boxes.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        // The outlier dot.
+        assert!(svg.matches("<circle").count() >= 1);
+        assert!(svg.contains(">CTS</text>"));
+    }
+
+    #[test]
+    fn box_plot_handles_empty_group() {
+        let groups = vec![("empty".to_string(), vec![]), ("one".to_string(), vec![2.0])];
+        let svg = box_plot(&groups, "t", "y");
+        assert!(svg.contains("<svg"));
+    }
+}

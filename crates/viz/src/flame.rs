@@ -1,0 +1,152 @@
+//! Flame-graph rendering of a single profile's call tree: node width ∝
+//! inclusive metric, depth stacked downward — the classic single-run
+//! hot-spot view complementing the ensemble charts.
+
+use crate::svg::{palette, SvgCanvas};
+use thicket_graph::{Graph, NodeId};
+
+/// Render a flame graph. `metric` must be *inclusive-like*: a node's
+/// value should be at least the sum of its children's (children are
+/// clamped into the parent's span otherwise). Nodes without a value take
+/// the sum of their children. Returns the SVG document.
+pub fn flame_graph<F>(graph: &Graph, metric: F, title: &str) -> String
+where
+    F: Fn(NodeId) -> Option<f64>,
+{
+    let width = 960.0;
+    let row_h = 22.0;
+    let top = 50.0;
+
+    // Effective inclusive value per node (fill gaps bottom-up).
+    let mut value = vec![0.0f64; graph.len()];
+    let order = graph.preorder();
+    for &id in order.iter().rev() {
+        let child_sum: f64 = graph.node(id).children().iter().map(|c| value[c.index()]).sum();
+        value[id.index()] = metric(id).unwrap_or(0.0).max(child_sum);
+    }
+    let total: f64 = graph.roots().iter().map(|r| value[r.index()]).sum();
+    let max_depth = order
+        .iter()
+        .map(|&id| graph.depth(id))
+        .max()
+        .unwrap_or(0);
+    let height = top + row_h * (max_depth + 1) as f64 + 30.0;
+    let mut canvas = SvgCanvas::new(width, height);
+    canvas.text(width / 2.0, 24.0, title, 13.0, "middle", "#000000");
+    if total <= 0.0 {
+        canvas.text(width / 2.0, top + 20.0, "(no data)", 11.0, "middle", "#666666");
+        return canvas.finish();
+    }
+
+    // Recursive layout: each node gets [x0, x1) within its parent.
+    #[allow(clippy::too_many_arguments)]
+    fn layout(
+        g: &Graph,
+        id: NodeId,
+        x0: f64,
+        x1: f64,
+        depth: usize,
+        value: &[f64],
+        canvas: &mut SvgCanvas,
+        row_h: f64,
+        top: f64,
+    ) {
+        let w = x1 - x0;
+        if w < 0.5 {
+            return; // sub-pixel: skip the whole subtree
+        }
+        let y = top + depth as f64 * row_h;
+        let color = palette(depth);
+        canvas.rect(x0, y, w - 0.5, row_h - 2.0, color, Some("#ffffff"));
+        // Label if it fits (~6.5 px/char at 10 px font).
+        let name = g.node(id).name();
+        let fit = (w / 6.5) as usize;
+        if fit >= 2 {
+            let label: String = if name.len() <= fit {
+                name.to_string()
+            } else {
+                format!("{}..", &name[..fit.saturating_sub(2).max(1)])
+            };
+            canvas.text(x0 + 3.0, y + row_h - 8.0, &label, 10.0, "start", "#ffffff");
+        }
+        // Children share the span proportionally, left-aligned.
+        let mine = value[id.index()].max(1e-300);
+        let mut cx = x0;
+        for &c in g.node(id).children() {
+            let cw = w * (value[c.index()] / mine).min(1.0);
+            layout(g, c, cx, cx + cw, depth + 1, value, canvas, row_h, top);
+            cx += cw;
+        }
+    }
+
+    let mut x = 20.0;
+    let usable = width - 40.0;
+    for &root in graph.roots() {
+        let w = usable * value[root.index()] / total;
+        layout(graph, root, x, x + w, 0, &value, &mut canvas, row_h, top);
+        x += w;
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_graph::Frame;
+
+    fn tree() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let main = g.add_root(Frame::named("main"));
+        let a = g.add_child(main, Frame::named("solve"));
+        let b = g.add_child(main, Frame::named("io"));
+        let c = g.add_child(a, Frame::named("kernel"));
+        (g, vec![main, a, b, c])
+    }
+
+    #[test]
+    fn renders_one_rect_per_visible_node() {
+        let (g, ids) = tree();
+        let vals = [10.0, 7.0, 3.0, 6.0];
+        let svg = flame_graph(
+            &g,
+            |id| ids.iter().position(|&x| x == id).map(|i| vals[i]),
+            "flame",
+        );
+        // Background + 4 node rects.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains(">main</text>"));
+        assert!(svg.contains(">solve</text>"));
+    }
+
+    #[test]
+    fn missing_values_fill_from_children() {
+        let (g, ids) = tree();
+        // Only the leaf has a value; ancestors inherit it.
+        let svg = flame_graph(
+            &g,
+            |id| if id == ids[3] { Some(5.0) } else { None },
+            "flame",
+        );
+        assert!(svg.contains(">main</text>"));
+        assert!(svg.contains(">kernel</text>"));
+        // io has zero width: not drawn.
+        assert!(!svg.contains(">io</text>"));
+    }
+
+    #[test]
+    fn empty_graph_no_data() {
+        let g = Graph::new();
+        let svg = flame_graph(&g, |_| None, "flame");
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn long_names_truncated() {
+        let mut g = Graph::new();
+        g.add_root(Frame::named(
+            "a_very_long_function_name_that_cannot_possibly_fit_in_its_box_at_any_reasonable_zoom_level_whatsoever_really_truly_honestly_it_will_not_fit_anywhere_nice",
+        ));
+        let svg = flame_graph(&g, |_| Some(1.0), "flame");
+        assert!(svg.contains(".."));
+    }
+}

@@ -1,0 +1,31 @@
+//! # thicket-viz
+//!
+//! Static visualization for the Thicket reproduction (paper §4.3): the
+//! metric-annotated call-tree renderer Hatchet users know (Figure 8),
+//! text heatmaps/histograms for terminal output (Figure 12), and an SVG
+//! backend for every chart type the case studies use — scatter plots,
+//! line charts (log₂ scaling plots, Figure 17), histograms, heatmaps,
+//! stacked top-down bars (Figure 14), and parallel coordinate plots
+//! (Figure 18).
+//!
+//! The paper's interactive Jupyter visualizations are out of scope by
+//! design; every figure is reproduced as a static artifact.
+
+#![warn(missing_docs)]
+
+mod charts;
+mod flame;
+mod report;
+mod svg;
+mod text;
+mod tree;
+
+pub use charts::{
+    box_plot, heatmap_chart, histogram_chart, line_chart, parallel_coordinates, scatter_chart,
+    stacked_bars, AxisScale, BarStack, ChartOptions, PcpAxis, Series,
+};
+pub use flame::flame_graph;
+pub use report::HtmlReport;
+pub use svg::{palette, SvgCanvas};
+pub use text::{text_heatmap, text_histogram};
+pub use tree::{render_tree, render_tree_with};

@@ -1,0 +1,262 @@
+//! A minimal SVG document builder: primitives, linear scales, and nice
+//! axis ticks — the drawing layer under [`crate::charts`].
+
+use std::fmt::Write as _;
+
+/// The default categorical palette (colorblind-friendly Okabe–Ito).
+pub fn palette(i: usize) -> &'static str {
+    const COLORS: [&str; 8] = [
+        "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+    ];
+    COLORS[i % COLORS.len()]
+}
+
+/// An SVG canvas with pixel coordinates.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// New canvas of the given pixel size with a white background.
+    pub fn new(width: f64, height: f64) -> Self {
+        let mut c = SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        };
+        c.rect(0.0, 0.0, width, height, "#ffffff", None);
+        c
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Filled (and optionally stroked) rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(" stroke=\"{s}\" stroke-width=\"1\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\"{stroke_attr}/>"
+        );
+    }
+
+    /// Line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>"
+        );
+    }
+
+    /// Dashed line segment.
+    pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width}\" stroke-dasharray=\"6 4\"/>"
+        );
+    }
+
+    /// Filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"/>"
+        );
+    }
+
+    /// Polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>",
+            pts.join(" ")
+        );
+    }
+
+    /// Text anchored at `(x, y)`. `anchor` is `start`, `middle`, or `end`.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size}\" text-anchor=\"{anchor}\" fill=\"{fill}\" font-family=\"sans-serif\">{}</text>",
+            escape(content)
+        );
+    }
+
+    /// Text rotated 90° counter-clockwise around its anchor.
+    pub fn vtext(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size}\" text-anchor=\"{anchor}\" fill=\"{fill}\" font-family=\"sans-serif\" transform=\"rotate(-90 {x:.2} {y:.2})\">{}</text>",
+            escape(content)
+        );
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// A linear map from data space `[lo, hi]` to pixel space `[p0, p1]`
+/// (pixel range may be inverted for y axes).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Data-space lower bound.
+    pub lo: f64,
+    /// Data-space upper bound.
+    pub hi: f64,
+    /// Pixel coordinate of `lo`.
+    pub p0: f64,
+    /// Pixel coordinate of `hi`.
+    pub p1: f64,
+}
+
+impl Scale {
+    /// Build a scale; degenerate data ranges are padded.
+    pub fn new(lo: f64, hi: f64, p0: f64, p1: f64) -> Scale {
+        let (lo, hi) = if (hi - lo).abs() < 1e-300 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        Scale { lo, hi, p0, p1 }
+    }
+
+    /// Map a data value to pixels.
+    pub fn map(&self, v: f64) -> f64 {
+        self.p0 + (v - self.lo) / (self.hi - self.lo) * (self.p1 - self.p0)
+    }
+}
+
+/// "Nice" tick positions covering `[lo, hi]` with about `n` ticks.
+pub fn ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo || n == 0 {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        // Snap tiny float error to zero.
+        out.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        t += step;
+    }
+    out
+}
+
+/// Format a tick label compactly.
+pub fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.1e}")
+    } else if v == v.trunc() {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_document_well_formed() {
+        let mut c = SvgCanvas::new(100.0, 50.0);
+        c.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0);
+        c.circle(5.0, 5.0, 2.0, "#f00");
+        c.text(1.0, 1.0, "a<b&c", 10.0, "start", "#000");
+        c.polyline(&[(0.0, 0.0), (1.0, 1.0)], "#00f", 1.5);
+        let s = c.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("a&lt;b&amp;c"));
+        assert_eq!(s.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn scale_maps_linearly() {
+        let s = Scale::new(0.0, 10.0, 100.0, 200.0);
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+        // Inverted pixel range (y axis).
+        let y = Scale::new(0.0, 1.0, 200.0, 0.0);
+        assert_eq!(y.map(1.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_scale_padded() {
+        let s = Scale::new(3.0, 3.0, 0.0, 100.0);
+        assert!(s.map(3.0).is_finite());
+        assert!((s.map(3.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tick_positions_nice() {
+        let t = ticks(0.0, 10.0, 5);
+        assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let t2 = ticks(0.0, 0.97, 4);
+        assert!(t2.contains(&0.0));
+        assert!(t2.len() >= 3);
+        assert_eq!(ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+
+    #[test]
+    fn tick_labels_compact() {
+        assert_eq!(tick_label(0.0), "0");
+        assert_eq!(tick_label(2.0), "2");
+        assert_eq!(tick_label(0.25), "0.25");
+        assert_eq!(tick_label(1.5e7), "1.5e7");
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(palette(0), palette(8));
+        assert_ne!(palette(0), palette(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Terminal (plain-text) heatmap and histogram renderers — the quick
+//! built-in visualizations of paper §4.3.1 in a non-graphical medium.
+
+use thicket_stats::Histogram;
+
+const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+/// Render a labelled matrix as a text heatmap. Values are normalized
+/// per-column (matching the paper's Figure 12, where each metric gets its
+/// own color scale because magnitudes differ).
+pub fn text_heatmap(row_labels: &[String], col_labels: &[String], values: &[Vec<f64>]) -> String {
+    assert_eq!(row_labels.len(), values.len(), "one row label per row");
+    assert!(
+        values.iter().all(|r| r.len() == col_labels.len()),
+        "ragged heatmap rows"
+    );
+    let label_w = row_labels.iter().map(String::len).max().unwrap_or(0);
+    let col_w = col_labels.iter().map(|c| c.len().max(9)).collect::<Vec<_>>();
+
+    // Per-column min/max.
+    let ncols = col_labels.len();
+    let mut lo = vec![f64::INFINITY; ncols];
+    let mut hi = vec![f64::NEG_INFINITY; ncols];
+    for row in values {
+        for (j, v) in row.iter().enumerate() {
+            if v.is_finite() {
+                lo[j] = lo[j].min(*v);
+                hi[j] = hi[j].max(*v);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&" ".repeat(label_w));
+    for (j, c) in col_labels.iter().enumerate() {
+        out.push_str(&format!("  {:>width$}", c, width = col_w[j]));
+    }
+    out.push('\n');
+    for (i, row) in values.iter().enumerate() {
+        out.push_str(&format!("{:<width$}", row_labels[i], width = label_w));
+        for (j, v) in row.iter().enumerate() {
+            let norm = if hi[j] > lo[j] {
+                (v - lo[j]) / (hi[j] - lo[j])
+            } else {
+                0.5
+            };
+            let shade = SHADES[((norm * 4.0).round() as usize).min(4)];
+            let cell = format!("{shade}{shade} {v:.4}");
+            out.push_str(&format!("  {:>width$}", cell, width = col_w[j]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a histogram as horizontal text bars.
+pub fn text_histogram(hist: &Histogram, width: usize) -> String {
+    let max_count = hist.counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (i, &count) in hist.counts.iter().enumerate() {
+        let bar_len = count * width / max_count;
+        out.push_str(&format!(
+            "[{:>10.4}, {:>10.4})  {:<width$} {}\n",
+            hist.edges[i],
+            hist.edges[i + 1],
+            "█".repeat(bar_len),
+            count,
+            width = width,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_stats::histogram;
+
+    #[test]
+    fn heatmap_layout() {
+        let s = text_heatmap(
+            &["Apps_VOL3D".into(), "Lcals_HYDRO_1D".into()],
+            &["std".into()],
+            &[vec![0.1], vec![0.9]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("std"));
+        assert!(lines[1].starts_with("Apps_VOL3D"));
+        // The max cell uses the darkest shade, the min the lightest.
+        assert!(lines[2].contains('█'));
+        assert!(!lines[1].contains('█'));
+    }
+
+    #[test]
+    fn heatmap_constant_column_mid_shade() {
+        let s = text_heatmap(
+            &["a".into(), "b".into()],
+            &["m".into()],
+            &[vec![2.0], vec![2.0]],
+        );
+        assert_eq!(s.matches('▒').count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row label")]
+    fn heatmap_label_mismatch_panics() {
+        text_heatmap(&["a".into()], &["m".into()], &[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn histogram_bars_scale() {
+        let h = histogram(&[0.0, 0.1, 0.2, 0.9], 2).unwrap();
+        let s = text_histogram(&h, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // First bin (3 samples) has the full-width bar.
+        assert_eq!(lines[0].matches('█').count(), 20);
+        assert!(lines[1].matches('█').count() < 20);
+        assert!(lines[0].ends_with('3'));
+    }
+}

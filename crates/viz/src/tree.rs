@@ -1,0 +1,133 @@
+//! Metric-annotated call-tree rendering (Hatchet's `tree()`, Figure 8).
+
+use thicket_graph::{Graph, NodeId};
+
+/// Render `graph` with each node annotated by `metric` (formatted to
+/// three decimals, blank when absent), in the paper's Figure 8 style:
+///
+/// ```text
+/// 0.001 Base_CUDA
+/// ├─ 0.000 Algorithm
+/// │  ├─ 0.002 Algorithm_MEMCPY.block_128
+/// │  └─ 0.009 Algorithm_MEMCPY.block_256
+/// └─ 0.000 Algorithm_MEMSET
+/// ```
+pub fn render_tree<F>(graph: &Graph, metric: F) -> String
+where
+    F: Fn(NodeId) -> Option<f64>,
+{
+    render_tree_with(graph, |id| match metric(id) {
+        Some(v) => format!("{v:.3} {}", graph.node(id).name()),
+        None => graph.node(id).name().to_string(),
+    })
+}
+
+/// Render `graph` with a fully custom per-node label.
+pub fn render_tree_with<F>(graph: &Graph, label: F) -> String
+where
+    F: Fn(NodeId) -> String,
+{
+    let mut out = String::new();
+    for &root in graph.roots() {
+        walk(graph, root, "", true, true, &label, &mut out);
+    }
+    out
+}
+
+fn walk<F>(
+    graph: &Graph,
+    id: NodeId,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    label: &F,
+    out: &mut String,
+) where
+    F: Fn(NodeId) -> String,
+{
+    if is_root {
+        out.push_str(&label(id));
+        out.push('\n');
+    } else {
+        out.push_str(prefix);
+        out.push_str(if is_last { "└─ " } else { "├─ " });
+        out.push_str(&label(id));
+        out.push('\n');
+    }
+    let children = graph.node(id).children();
+    let child_prefix = if is_root {
+        prefix.to_string()
+    } else {
+        format!("{prefix}{}", if is_last { "   " } else { "│  " })
+    };
+    for (i, &c) in children.iter().enumerate() {
+        walk(
+            graph,
+            c,
+            &child_prefix,
+            i + 1 == children.len(),
+            false,
+            label,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_graph::Frame;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let root = g.add_root(Frame::named("Base_CUDA"));
+        let alg = g.add_child(root, Frame::named("Algorithm"));
+        g.add_child(alg, Frame::named("MEMCPY"));
+        g.add_child(alg, Frame::named("MEMSET"));
+        g.add_child(root, Frame::named("Stream"));
+        g
+    }
+
+    #[test]
+    fn shape_and_connectors() {
+        let g = sample();
+        let s = render_tree(&g, |_| None);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "Base_CUDA");
+        assert_eq!(lines[1], "├─ Algorithm");
+        assert_eq!(lines[2], "│  ├─ MEMCPY");
+        assert_eq!(lines[3], "│  └─ MEMSET");
+        assert_eq!(lines[4], "└─ Stream");
+    }
+
+    #[test]
+    fn metric_annotations() {
+        let g = sample();
+        let s = render_tree(&g, |id| Some(id.index() as f64 / 100.0));
+        assert!(s.contains("0.000 Base_CUDA"));
+        assert!(s.contains("0.020 MEMCPY"));
+    }
+
+    #[test]
+    fn custom_labels() {
+        let g = sample();
+        let s = render_tree_with(&g, |id| format!("<{}>", g.node(id).name()));
+        assert!(s.starts_with("<Base_CUDA>"));
+    }
+
+    #[test]
+    fn multi_root_forest() {
+        let mut g = Graph::new();
+        g.add_root(Frame::named("A"));
+        g.add_root(Frame::named("B"));
+        let s = render_tree(&g, |_| None);
+        assert_eq!(s, "A\nB\n");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(render_tree(&g, |_| None), "");
+    }
+}

@@ -1,0 +1,104 @@
+//! The paper's second case study (§5.2): MARBL strong scaling on an HPC
+//! cluster (RZTopaz / CTS-1) vs AWS ParallelCluster, with Extra-P-style
+//! scaling models (Figures 11, 16, 17).
+//!
+//! ```sh
+//! cargo run --example marbl_scaling
+//! ```
+
+use thicket::prelude::*;
+use thicket_dataframe::AggFn;
+
+fn main() {
+    // Figure 16's configurations: both clusters, 1..32 nodes, 5 runs each.
+    let nodes = [1u32, 2, 4, 8, 16, 32];
+    let profiles = marbl_ensemble(&nodes, 5);
+    let tk = Thicket::from_profiles(&profiles).expect("compose ensemble");
+    println!("{tk}");
+
+    // ---- Figure 17: node-to-node strong scaling of timeStepLoop --------
+    println!("strong scaling, time per cycle (s):");
+    println!("{:<16} {:>6} {:>12} {:>12}", "arch", "nodes", "mean", "std");
+    for arch in ["CTS1", "C5n.18xlarge"] {
+        let sub = tk.filter_metadata(|r| r.str("arch").as_deref() == Some(arch));
+        let step = sub.find_node("timeStepLoop").expect("timeStepLoop");
+        let hosts = sub.metadata_column(&ColKey::new("numhosts")).unwrap();
+        for &n in &nodes {
+            let samples: Vec<f64> = sub
+                .metric_series(step, &ColKey::new("time per cycle"))
+                .into_iter()
+                .filter(|(p, _)| hosts.get(p).and_then(|v| v.as_i64()) == Some(n as i64))
+                .map(|(_, v)| v)
+                .collect();
+            let mean = thicket_stats::mean(&samples).unwrap();
+            let std = thicket_stats::std_dev(&samples).unwrap_or(0.0);
+            println!("{arch:<16} {n:>6} {mean:>12.4} {std:>12.4}");
+        }
+    }
+
+    // Scaling efficiency at 16 nodes (the paper: "both scale well up to
+    // 16 nodes").
+    for arch in ["CTS1", "C5n.18xlarge"] {
+        let sub = tk.filter_metadata(|r| r.str("arch").as_deref() == Some(arch));
+        let step = sub.find_node("timeStepLoop").unwrap();
+        let hosts = sub.metadata_column(&ColKey::new("numhosts")).unwrap();
+        let mean_at = |n: i64| -> f64 {
+            let v: Vec<f64> = sub
+                .metric_series(step, &ColKey::new("time per cycle"))
+                .into_iter()
+                .filter(|(p, _)| hosts.get(p).and_then(|x| x.as_i64()) == Some(n))
+                .map(|(_, v)| v)
+                .collect();
+            thicket_stats::mean(&v).unwrap()
+        };
+        let eff = mean_at(1) / (16.0 * mean_at(16));
+        println!("{arch}: 16-node strong-scaling efficiency = {:.0}%", eff * 100.0);
+    }
+
+    // ---- Figure 11: Extra-P models of M_solver->Mult --------------------
+    println!("\nExtra-P models (avg time/rank of M_solver->Mult):");
+    for arch in ["CTS1", "C5n.18xlarge"] {
+        let sub = tk.filter_metadata(|r| r.str("arch").as_deref() == Some(arch));
+        let models = model_metric(
+            &sub,
+            &ColKey::new("avg#inclusive#sum#time.duration"),
+            &ColKey::new("mpi.world.size"),
+        )
+        .expect("bulk modeling");
+        let solver = models
+            .iter()
+            .find(|m| m.name == "M_solver->Mult")
+            .expect("solver model");
+        println!(
+            "  {arch:<14} {}   (SMAPE {:.2}%, adj. R² {:.4})",
+            solver.model.formula(),
+            solver.model.smape,
+            solver.model.adjusted_r2
+        );
+        println!(
+            "    extrapolated to 2304 ranks: {:.1} s",
+            solver.model.eval(2304.0)
+        );
+    }
+
+    // ---- Figure 18's metadata relationships ------------------------------
+    // Walltime vs ranks: inverse correlation (criss-crossing PCP lines).
+    let walltime: Vec<f64> = (0..tk.metadata().len())
+        .filter_map(|i| tk.metadata().row(i).f64("walltime"))
+        .collect();
+    let ranks: Vec<f64> = (0..tk.metadata().len())
+        .filter_map(|i| tk.metadata().row(i).f64("mpi.world.size"))
+        .collect();
+    let corr = thicket_stats::spearman(&ranks, &walltime).unwrap();
+    println!("\nspearman(mpi.world.size, walltime) = {corr:.3} (inverse, as in the PCP)");
+
+    // Per-node aggregated stats across the whole ensemble.
+    let mut both = tk.clone();
+    both.compute_stats(&[(
+        ColKey::new("avg#inclusive#sum#time.duration"),
+        vec![AggFn::Mean, AggFn::Min, AggFn::Max],
+    )])
+    .expect("stats");
+    println!("\nper-function time/rank statistics across the ensemble:");
+    println!("{}", both.statsframe_named());
+}

@@ -1,0 +1,66 @@
+//! Multi-parameter performance modeling (paper §4.2.3: Extra-P covers
+//! "one or more modeling parameters"): a MARBL *weak-scaling* sweep over
+//! both the MPI rank count and the zones-per-rank load, modeled as
+//! `f(p, q) = c0 + c1·t1(p) + c2·t2(q)`.
+//!
+//! The simulator's per-cycle cost is compute (∝ zones/rank) plus a 3-D
+//! halo exchange (∝ (zones/rank)^(2/3)) plus a log-depth collective —
+//! so the planted truth is additive in `log2(p)` and `q^(2/3)`/`q`, and
+//! the fitted model should land in that family.
+//!
+//! ```sh
+//! cargo run --example multiparam_model
+//! ```
+
+use thicket::prelude::*;
+use thicket_model::fit_model2;
+use thicket_perfsim::marbl::time_per_cycle;
+
+fn main() {
+    // Weak scaling grid: nodes × zones-per-rank.
+    let node_counts = [1u32, 2, 4, 8, 16, 32];
+    let zones_per_rank = [96_000u64, 192_000, 384_000, 768_000];
+
+    let mut params = Vec::new();
+    let mut times = Vec::new();
+    println!(
+        "{:>6} {:>6} {:>12} {:>14}",
+        "nodes", "ranks", "zones/rank", "time/cycle(s)"
+    );
+    for &nodes in &node_counts {
+        for &zpr in &zones_per_rank {
+            let mut cfg = MarblConfig::triple_point(MarblCluster::RzTopaz, nodes, 0);
+            cfg.zones = zpr * cfg.ranks() as u64;
+            let t = time_per_cycle(&cfg);
+            println!(
+                "{nodes:>6} {:>6} {zpr:>12} {t:>14.4}",
+                cfg.ranks()
+            );
+            params.push((cfg.ranks() as f64, zpr as f64));
+            times.push(t);
+        }
+    }
+
+    let model = fit_model2(&params, &times).expect("two-parameter fit");
+    println!("\nfitted model (p = ranks, q = zones/rank):");
+    println!("  f(p, q) = {}", model.formula());
+    println!("  SMAPE = {:.3} %", model.smape);
+
+    // Extrapolate to a configuration outside the sweep.
+    let big = model.eval(64.0 * 36.0, 1_536_000.0);
+    println!("\nextrapolated time/cycle at 64 nodes, 1.54M zones/rank: {big:.3} s");
+
+    // Sanity: model tracks the simulator on held-out points.
+    let mut worst = 0.0f64;
+    for &nodes in &[3u32, 12, 24] {
+        for &zpr in &[128_000u64, 512_000] {
+            let mut cfg = MarblConfig::triple_point(MarblCluster::RzTopaz, nodes, 0);
+            cfg.zones = zpr * cfg.ranks() as u64;
+            let truth = time_per_cycle(&cfg);
+            let pred = model.eval(cfg.ranks() as f64, zpr as f64);
+            worst = worst.max((pred - truth).abs() / truth);
+        }
+    }
+    println!("worst relative error on held-out grid points: {:.2} %", worst * 100.0);
+    assert!(worst < 0.15, "model should generalize on the weak-scaling grid");
+}

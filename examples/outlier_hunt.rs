@@ -1,0 +1,134 @@
+//! Outlier hunting across an ensemble (the Figure 12 workflow, extended):
+//! pivot a metric into a node×profile matrix, flag outlier runs per node
+//! with Tukey fences and z-scores, and render box plots per kernel.
+//!
+//! ```sh
+//! cargo run --example outlier_hunt
+//! ```
+
+use thicket::prelude::*;
+use thicket_learn::{dbscan, DbscanLabel, StandardScaler};
+use thicket_stats::{iqr_outliers, zscore_outliers};
+use thicket_viz::box_plot;
+
+fn main() {
+    // A 20-run ensemble with one deliberately perturbed run (e.g. a node
+    // with a noisy neighbour): run 13 is 30 % slower across the board.
+    let mut profiles: Vec<Profile> = (0..20)
+        .map(|seed| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.problem_size = 4_194_304;
+            cfg.seed = seed;
+            simulate_cpu_run(&cfg)
+        })
+        .collect();
+    {
+        let slow = &mut profiles[13];
+        let g = slow.graph().clone();
+        for id in g.preorder() {
+            if let Some(t) = slow.metric(id, "time (exc)") {
+                slow.set_metric(id, "time (exc)", t * 1.3);
+            }
+        }
+    }
+
+    let tk = Thicket::from_profiles_indexed(
+        &profiles,
+        &(0..20i64).map(Value::Int).collect::<Vec<_>>(),
+    )
+    .expect("compose");
+
+    // Node × profile matrix of exclusive times.
+    let (node_names, profile_labels, matrix) = tk
+        .pivot_matrix(&ColKey::new("time (exc)"))
+        .expect("pivot");
+    println!(
+        "pivoted {} nodes × {} profiles of time (exc)\n",
+        node_names.len(),
+        profile_labels.len()
+    );
+
+    // Per-node outlier runs via Tukey fences.
+    println!("per-kernel outlier runs (IQR fences, k = 1.5):");
+    let mut votes = vec![0usize; profile_labels.len()];
+    for (name, row) in node_names.iter().zip(matrix.iter()) {
+        if let Some(outliers) = iqr_outliers(row, 1.5) {
+            if !outliers.is_empty() {
+                let labels: Vec<&str> =
+                    outliers.iter().map(|&i| profile_labels[i].as_str()).collect();
+                println!("  {name:<28} runs {labels:?}");
+                for &i in &outliers {
+                    votes[i] += 1;
+                }
+            }
+        }
+    }
+    let culprit = votes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, v)| **v)
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    println!(
+        "\nmost-flagged run: profile {} ({} kernels agree)",
+        profile_labels[culprit], votes[culprit]
+    );
+    assert_eq!(profile_labels[culprit], "13");
+
+    // Cross-check with z-scores on the whole-run totals.
+    let totals: Vec<f64> = tk
+        .profile_totals(&ColKey::new("time (exc)"))
+        .expect("totals")
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let z_out = zscore_outliers(&totals, 3.0).unwrap_or_default();
+    println!("z-score (>3σ) outliers on run totals: {z_out:?}");
+
+    // And with DBSCAN over standardized per-run feature vectors
+    // (total time, mean backend bound): the slow run becomes noise.
+    let backend: Vec<f64> = (0..20i64)
+        .map(|p| {
+            let node = tk.find_node("Lcals_HYDRO_1D").unwrap();
+            tk.metric_at(node, &Value::Int(p), &ColKey::new("Backend bound"))
+                .unwrap()
+        })
+        .collect();
+    let features: Vec<Vec<f64>> = totals
+        .iter()
+        .zip(backend.iter())
+        .map(|(&t, &b)| vec![t, b])
+        .collect();
+    let (_, scaled) = StandardScaler::fit_transform(&features);
+    let labels = dbscan(&scaled, 1.0, 4);
+    let noise: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l == DbscanLabel::Noise)
+        .map(|(i, _)| i)
+        .collect();
+    println!("DBSCAN noise points (eps = 1.0, min_pts = 4): {noise:?}");
+
+    // Box plots of the four headline kernels across the ensemble.
+    let groups: Vec<(String, Vec<f64>)> = [
+        "Apps_NODAL_ACCUMULATION_3D",
+        "Apps_VOL3D",
+        "Lcals_HYDRO_1D",
+        "Stream_DOT",
+    ]
+    .iter()
+    .map(|kernel| {
+        let node = tk.find_node(kernel).unwrap();
+        let values: Vec<f64> = tk
+            .metric_series(node, &ColKey::new("time (exc)"))
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        (kernel.to_string(), values)
+    })
+    .collect();
+    let svg = box_plot(&groups, "time (exc) across 20 runs", "seconds");
+    let out = std::env::temp_dir().join("thicket-outlier-boxplot.svg");
+    std::fs::write(&out, svg).expect("write svg");
+    println!("\nbox plot written to {}", out.display());
+}

@@ -1,0 +1,82 @@
+//! Quickstart: collect an ensemble, compose a thicket, and run the three
+//! basic EDA moves — inspect metadata, filter, and aggregate statistics.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use thicket::prelude::*;
+use thicket_perfsim::Compiler;
+
+fn main() {
+    // --- Step 1+2 of the paper's Figure 1 workflow: run the application
+    // under a measurement tool, producing call-tree profiles. Here: the
+    // simulated RAJA Performance Suite on two compilers × two problem
+    // sizes (the Figure 5 ensemble).
+    let mut profiles = Vec::new();
+    for compiler in [Compiler::clang9(), Compiler::xl16()] {
+        for size in [1_048_576u64, 4_194_304] {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.compiler = compiler.clone();
+            cfg.problem_size = size;
+            cfg.seed = size ^ compiler.name.len() as u64;
+            profiles.push(simulate_cpu_run(&cfg));
+        }
+    }
+
+    // --- Step 3: load the ensemble into a thicket object.
+    let mut tk = Thicket::from_profiles(&profiles).expect("compose profiles");
+    println!("{tk}");
+
+    // --- Step 4: EDA. Start from the metadata overview…
+    println!("metadata table:");
+    println!(
+        "{}",
+        tk.metadata()
+            .select(&[
+                ColKey::new("problem size"),
+                ColKey::new("compiler"),
+                ColKey::new("cluster"),
+                ColKey::new("user"),
+            ])
+            .expect("metadata columns")
+    );
+
+    // …filter to the clang runs (Figure 6)…
+    let clang = tk.filter_metadata(|r| r.str("compiler").as_deref() == Some("clang-9.0.0"));
+    println!(
+        "after filter_metadata(compiler == clang-9.0.0): {} profiles",
+        clang.profiles().len()
+    );
+
+    // …group by (compiler, problem size) (Figure 7)…
+    let groups = tk
+        .groupby(&[ColKey::new("compiler"), ColKey::new("problem size")])
+        .expect("groupby");
+    println!("{} thickets created...", groups.len());
+    for (key, sub) in &groups {
+        println!(
+            "  ({}, {}) -> {} profile(s)",
+            key[0], key[1],
+            sub.profiles().len()
+        );
+    }
+
+    // …and aggregate statistics across the ensemble (Figure 9).
+    tk.compute_stats(&[
+        (ColKey::new("time (exc)"), vec![AggFn::Mean, AggFn::Std]),
+        (ColKey::new("Backend bound"), vec![AggFn::Std]),
+    ])
+    .expect("compute stats");
+    println!("aggregated statistics (first rows):");
+    println!("{}", tk.statsframe_named().head(8));
+
+    // The tree+table view: every profile's metric aligned with its node.
+    println!("tree + table (time (exc) across the ensemble):");
+    println!("{}", tk.tree_table(&ColKey::new("time (exc)")).expect("tree table"));
+
+    // Bonus: the annotated call tree of one profile.
+    let first = tk.profiles()[0].clone();
+    println!("call tree (time (exc), profile {first}):");
+    print!("{}", tk.tree(&ColKey::new("time (exc)"), &first));
+}

@@ -1,0 +1,74 @@
+//! End-to-end with *real* measurements: execute the Stream kernels on
+//! actual threads (crossbeam), collect wall-clock call-tree profiles with
+//! the Caliper-like collector, write them to disk in the profile format,
+//! read them back, and analyze the ensemble with the thicket — proving
+//! the pipeline is not simulation-only.
+//!
+//! ```sh
+//! cargo run --release --example real_measurements
+//! ```
+
+use thicket::prelude::*;
+use thicket_dataframe::AggFn;
+use thicket_perfsim::engine::{run_stream_suite, StreamRunConfig};
+
+fn main() {
+    let dir = std::env::temp_dir().join("thicket-real-profiles");
+    std::fs::create_dir_all(&dir).expect("create profile dir");
+
+    // Run the suite at several thread counts, several runs each.
+    let mut paths = Vec::new();
+    for threads in [1usize, 2, 4] {
+        for run in 0..3 {
+            let cfg = StreamRunConfig {
+                n: 1 << 20,
+                threads,
+                reps: 3,
+            };
+            let (mut profile, dot) = run_stream_suite(&cfg);
+            profile.set_metadata("run", run as i64);
+            assert!(dot.is_finite());
+            let path = dir.join(format!("stream-t{threads}-r{run}.json"));
+            profile.save(&path).expect("save profile");
+            paths.push(path);
+        }
+    }
+    println!("wrote {} real profiles to {}", paths.len(), dir.display());
+
+    // Read the on-disk ensemble back (the paper's "load data into
+    // Thicket" step) and compose.
+    let profiles: Vec<Profile> = paths
+        .iter()
+        .map(|p| Profile::load(p).expect("load profile"))
+        .collect();
+    let mut tk = Thicket::from_profiles(&profiles).expect("compose");
+    println!("{tk}");
+
+    tk.compute_stats(&[(ColKey::new("time (inc)"), vec![AggFn::Mean, AggFn::Std])])
+        .expect("stats");
+    println!("mean/std wall-clock time per region across all runs:");
+    println!("{}", tk.statsframe_named());
+
+    // Does more parallelism help on this host? Compare per-thread-count
+    // means of the whole Stream region.
+    let stream = tk.find_node("Stream").expect("Stream region");
+    let threads_of = tk.metadata_column(&ColKey::new("omp num threads")).unwrap();
+    for t in [1i64, 2, 4] {
+        let samples: Vec<f64> = tk
+            .metric_series(stream, &ColKey::new("time (inc)"))
+            .into_iter()
+            .filter(|(p, _)| threads_of.get(p).and_then(|v| v.as_i64()) == Some(t))
+            .map(|(_, v)| v)
+            .collect();
+        println!(
+            "threads = {t}: mean Stream time = {:.4} s over {} runs",
+            thicket_stats::mean(&samples).unwrap(),
+            samples.len()
+        );
+    }
+
+    // Clean up the temp profiles.
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,286 @@
+//! Shape checks for every paper figure the reproduction regenerates:
+//! the qualitative findings of each figure, asserted as tests (the
+//! DESIGN.md experiment index's acceptance criteria).
+
+use thicket::prelude::*;
+use thicket_dataframe::AggFn;
+use thicket_learn::{kmeans, silhouette_score, KMeansConfig, StandardScaler};
+use thicket_model::Fraction;
+use thicket_perfsim::marbl::time_per_cycle;
+
+/// Figure 10: k-means on (speedup vs −O0, retiring, backend bound) for
+/// the Stream kernels separates −O0 runs from optimized runs, and −O2 is
+/// the best level for every kernel.
+#[test]
+fn fig10_stream_clusters() {
+    let mut profiles = Vec::new();
+    for opt in 0..=3u32 {
+        let mut cfg = CpuRunConfig::quartz_default();
+        cfg.problem_size = 8_388_608;
+        cfg.opt_level = opt;
+        cfg.seed = 40 + opt as u64;
+        profiles.push(simulate_cpu_run(&cfg));
+    }
+    let tk = Thicket::from_profiles_indexed(
+        &profiles,
+        &(0..4i64).map(Value::Int).collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    let kernels = ["Stream_ADD", "Stream_COPY", "Stream_DOT", "Stream_MUL", "Stream_TRIAD"];
+    let mut labels_by_row: Vec<(String, i64)> = Vec::new();
+    let mut features = Vec::new();
+    for kernel in kernels {
+        let node = tk.find_node(kernel).unwrap();
+        let t0 = tk
+            .metric_at(node, &Value::Int(0), &ColKey::new("time (exc)"))
+            .unwrap();
+        for opt in 0..4i64 {
+            let p = Value::Int(opt);
+            let t = tk.metric_at(node, &p, &ColKey::new("time (exc)")).unwrap();
+            let ret = tk.metric_at(node, &p, &ColKey::new("Retiring")).unwrap();
+            let be = tk.metric_at(node, &p, &ColKey::new("Backend bound")).unwrap();
+            features.push(vec![t0 / t, ret, be]);
+            labels_by_row.push((kernel.to_string(), opt));
+
+            // −O2 must be the fastest level for every kernel.
+            if opt == 2 {
+                for other in [0i64, 1, 3] {
+                    let to = tk
+                        .metric_at(node, &Value::Int(other), &ColKey::new("time (exc)"))
+                        .unwrap();
+                    assert!(t < to, "{kernel}: -O2 should beat -O{other}");
+                }
+            }
+        }
+    }
+
+    let (_, scaled) = StandardScaler::fit_transform(&features);
+    let km = kmeans(&scaled, &KMeansConfig::new(3).with_seed(5));
+    assert!(silhouette_score(&scaled, &km.labels).unwrap() > 0.3);
+
+    // All −O0 rows share a cluster, and no optimized row joins it
+    // (the paper's Cluster 1).
+    let o0_cluster = km.labels[labels_by_row.iter().position(|(_, o)| *o == 0).unwrap()];
+    for ((_, opt), &label) in labels_by_row.iter().zip(km.labels.iter()) {
+        if *opt == 0 {
+            assert_eq!(label, o0_cluster, "-O0 rows should cluster together");
+        } else {
+            assert_ne!(label, o0_cluster, "optimized rows leave the -O0 cluster");
+        }
+    }
+}
+
+/// Figure 11: the Extra-P fit of the MARBL solver is `c0 + c1·p^(1/3)`
+/// with `c1 < 0` on both clusters, and the AWS curve sits below CTS over
+/// the measured range.
+#[test]
+fn fig11_extrap_models() {
+    let profiles = marbl_ensemble(&[1, 2, 4, 8, 16, 32], 5);
+    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let mut evals = Vec::new();
+    for arch in ["CTS1", "C5n.18xlarge"] {
+        let sub = tk.filter_metadata(|r| r.str("arch").as_deref() == Some(arch));
+        let models = model_metric(
+            &sub,
+            &ColKey::new("avg#inclusive#sum#time.duration"),
+            &ColKey::new("mpi.world.size"),
+        )
+        .unwrap();
+        let solver = models.iter().find(|m| m.name == "M_solver->Mult").unwrap();
+        assert_eq!(solver.model.term.exponent, Fraction::new(1, 3), "{arch}");
+        assert_eq!(solver.model.term.log_power, 0, "{arch}");
+        assert!(solver.model.c1 < 0.0, "{arch}");
+        evals.push(solver.model.eval(576.0));
+    }
+    assert!(evals[1] < evals[0], "AWS solver below CTS");
+}
+
+/// Figure 14: VOL3D is the most retiring-heavy kernel; the memory-bound
+/// kernels become more backend bound as the problem size scales.
+#[test]
+fn fig14_topdown_shapes() {
+    let sizes = [1_048_576u64, 2_097_152, 4_194_304, 8_388_608];
+    let mut by_size = Vec::new();
+    for &size in &sizes {
+        let mut cfg = CpuRunConfig::quartz_default();
+        cfg.problem_size = size;
+        cfg.seed = size;
+        by_size.push(simulate_cpu_run(&cfg));
+    }
+    let tk = Thicket::from_profiles_indexed(
+        &by_size,
+        &sizes.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    let ret = |kernel: &str, size: u64| {
+        let n = tk.find_node(kernel).unwrap();
+        tk.metric_at(n, &Value::Int(size as i64), &ColKey::new("Retiring"))
+            .unwrap()
+    };
+    let backend = |kernel: &str, size: u64| {
+        let n = tk.find_node(kernel).unwrap();
+        tk.metric_at(n, &Value::Int(size as i64), &ColKey::new("Backend bound"))
+            .unwrap()
+    };
+
+    for size in sizes {
+        // VOL3D more compute-bound than the others.
+        for other in ["Apps_NODAL_ACCUMULATION_3D", "Lcals_HYDRO_1D", "Stream_DOT"] {
+            assert!(
+                ret("Apps_VOL3D", size) > ret(other, size),
+                "VOL3D retiring should exceed {other} at {size}"
+            );
+        }
+    }
+    // Backend bound grows with problem size (data saturation).
+    for kernel in ["Apps_NODAL_ACCUMULATION_3D", "Lcals_HYDRO_1D", "Stream_DOT"] {
+        assert!(
+            backend(kernel, 8_388_608) > backend(kernel, 1_048_576),
+            "{kernel} backend bound should grow with size"
+        );
+        assert!(backend(kernel, 8_388_608) > 0.6);
+    }
+}
+
+/// Figure 15: at size 8388608, both kernels gain on the GPU, VOL3D gains
+/// more, and HYDRO_1D is far more backend bound than VOL3D.
+#[test]
+fn fig15_speedup_shape() {
+    let mut cpu_cfg = CpuRunConfig::quartz_default();
+    cpu_cfg.problem_size = 8_388_608;
+    let mut gpu_cfg = GpuRunConfig::lassen_default();
+    gpu_cfg.problem_size = 8_388_608;
+    let cpu = simulate_cpu_run(&cpu_cfg);
+    let gpu = simulate_gpu_run(&gpu_cfg);
+
+    let speedup = |kernel: &str| {
+        let nc = cpu.graph().find_by_name(kernel).unwrap();
+        let ng = gpu.graph().find_by_name(kernel).unwrap();
+        cpu.metric(nc, "time (exc)").unwrap() / gpu.metric(ng, "time (gpu)").unwrap()
+    };
+    let s_vol = speedup("Apps_VOL3D");
+    let s_hyd = speedup("Lcals_HYDRO_1D");
+    assert!(s_vol > 1.0 && s_hyd > 1.0);
+    assert!(s_vol > s_hyd, "VOL3D {s_vol} vs HYDRO {s_hyd}");
+
+    let nc = cpu.graph().find_by_name("Lcals_HYDRO_1D").unwrap();
+    let nv = cpu.graph().find_by_name("Apps_VOL3D").unwrap();
+    // HYDRO_1D is strongly backend bound, far beyond VOL3D, which keeps
+    // a much larger retiring share (paper: ≈90 % vs 54 %/37 %).
+    assert!(cpu.metric(nc, "Backend bound").unwrap() > 0.7);
+    assert!(
+        cpu.metric(nc, "Backend bound").unwrap()
+            > cpu.metric(nv, "Backend bound").unwrap() + 0.15
+    );
+    assert!(cpu.metric(nv, "Retiring").unwrap() > 0.3);
+}
+
+/// Figure 17: near-ideal strong scaling (slope ≈ −1 in log2) through 16
+/// nodes on both clusters, with AWS consistently faster.
+#[test]
+fn fig17_strong_scaling() {
+    for cluster in [MarblCluster::RzTopaz, MarblCluster::AwsParallelCluster] {
+        let t1 = time_per_cycle(&MarblConfig::triple_point(cluster, 1, 0));
+        let t16 = time_per_cycle(&MarblConfig::triple_point(cluster, 16, 0));
+        let slope = (t16 / t1).log2() / (16f64 / 1.0).log2();
+        assert!(
+            (-1.05..=-0.8).contains(&slope),
+            "{cluster:?} log-log slope {slope}"
+        );
+    }
+    for nodes in [1, 2, 4, 8, 16, 32] {
+        let cts = time_per_cycle(&MarblConfig::triple_point(MarblCluster::RzTopaz, nodes, 0));
+        let aws = time_per_cycle(&MarblConfig::triple_point(
+            MarblCluster::AwsParallelCluster,
+            nodes,
+            0,
+        ));
+        assert!(aws < cts);
+    }
+}
+
+/// Figure 18: walltime is inversely rank-correlated with MPI world size,
+/// and AWS walltimes sit below CTS at matched node counts.
+#[test]
+fn fig18_metadata_relationships() {
+    let profiles = marbl_ensemble(&[1, 2, 4, 8, 16, 32], 3);
+    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let meta = tk.metadata();
+    let ranks: Vec<f64> = (0..meta.len())
+        .filter_map(|i| meta.row(i).f64("mpi.world.size"))
+        .collect();
+    let wall: Vec<f64> = (0..meta.len())
+        .filter_map(|i| meta.row(i).f64("walltime"))
+        .collect();
+    let rho = thicket_stats::spearman(&ranks, &wall).unwrap();
+    assert!(rho < -0.9, "spearman(ranks, walltime) = {rho}");
+
+    for nodes in [1i64, 4, 16] {
+        let mean_wall = |arch: &str| {
+            let v: Vec<f64> = (0..meta.len())
+                .filter(|&i| {
+                    meta.row(i).str("arch").as_deref() == Some(arch)
+                        && meta.row(i).get("numhosts").as_i64() == Some(nodes)
+                })
+                .filter_map(|i| meta.row(i).f64("walltime"))
+                .collect();
+            thicket_stats::mean(&v).unwrap()
+        };
+        assert!(mean_wall("C5n.18xlarge") < mean_wall("CTS1"));
+    }
+}
+
+/// Figures 9 & 12: the aggregated statistics pipeline over a 10-run
+/// ensemble produces positive stds and histograms that bin every run.
+#[test]
+fn fig09_12_stats_and_histograms() {
+    let profiles: Vec<_> = (0..10)
+        .map(|seed| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = seed;
+            simulate_cpu_run(&cfg)
+        })
+        .collect();
+    let mut tk = Thicket::from_profiles(&profiles).unwrap();
+    tk.compute_stats(&[
+        (ColKey::new("Retiring"), vec![AggFn::Std]),
+        (ColKey::new("Backend bound"), vec![AggFn::Std]),
+        (ColKey::new("time (exc)"), vec![AggFn::Std]),
+    ])
+    .unwrap();
+
+    let node = tk.find_node("Lcals_HYDRO_1D").unwrap();
+    let node_v = tk.value_of_node(node);
+    let row = tk
+        .statsframe()
+        .index()
+        .keys()
+        .iter()
+        .position(|k| k[0] == node_v)
+        .unwrap();
+    for col in ["Retiring_std", "Backend bound_std", "time (exc)_std"] {
+        let v = tk
+            .statsframe()
+            .column(&ColKey::new(col))
+            .unwrap()
+            .get_f64(row)
+            .unwrap();
+        assert!(v > 0.0, "{col} should be positive over a noisy ensemble");
+    }
+
+    let times: Vec<f64> = tk
+        .metric_series(node, &ColKey::new("time (exc)"))
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let hist = thicket_stats::histogram(&times, 5).unwrap();
+    assert_eq!(hist.total(), 10);
+    // Filtering the stats table narrows to the two Apps kernels (Fig 9).
+    let filtered = tk.filter_stats(|r| {
+        let name = tk.node_name(&r.level("node"));
+        name == "Apps_NODAL_ACCUMULATION_3D" || name == "Apps_VOL3D"
+    });
+    assert_eq!(filtered.statsframe().len(), 2);
+}
