@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the ingest fast path: serial vs parallel
+//! `from_profiles` row assembly, and the pairwise-chain vs single-pass
+//! k-way join kernel, at 10/100/560-profile scale (560 is the Figure 13
+//! study size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thicket_bench::data;
+use thicket_core::Thicket;
+use thicket_dataframe::{join_many, join_many_pairwise, Column, DataFrame, Index, JoinHow, Value};
+use thicket_perfsim::default_threads;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    for &n in &[10u64, 100, 560] {
+        let profiles = data::quartz_runs(n, 1_048_576);
+        let ids: Vec<Value> = (0..profiles.len() as i64).map(Value::Int).collect();
+        let input = (profiles, ids);
+        group.bench_with_input(
+            BenchmarkId::new("serial", n),
+            &input,
+            |b, (profiles, ids)| {
+                b.iter(|| Thicket::from_profiles_indexed_threads(profiles, ids, 1).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", n),
+            &input,
+            |b, (profiles, ids)| {
+                // Force the threaded path even on a single-core host so
+                // the bench always measures it (overhead there, speedup
+                // on multicore) instead of silently re-running serial.
+                let threads = default_threads(profiles.len()).max(2);
+                b.iter(|| Thicket::from_profiles_indexed_threads(profiles, ids, threads).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One float frame per profile, all keyed by the same node-id level —
+/// the shape `concat_thickets` feeds the join kernel.
+fn metric_frames(n_frames: usize, n_rows: usize) -> Vec<DataFrame> {
+    (0..n_frames)
+        .map(|f| {
+            // Stagger key sets so Outer has genuine novel keys per frame.
+            let keys: Vec<i64> = (0..n_rows as i64).map(|r| r + f as i64).collect();
+            let vals: Vec<f64> = keys.iter().map(|k| *k as f64 + f as f64 * 0.5).collect();
+            let mut df = DataFrame::new(Index::single("node", keys));
+            df.insert(format!("m{f}"), Column::from_f64(vals)).unwrap();
+            df
+        })
+        .collect()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_many");
+    for &n in &[10usize, 100, 560] {
+        let frames = metric_frames(n, 600);
+        let refs: Vec<&DataFrame> = frames.iter().collect();
+        group.bench_with_input(BenchmarkId::new("pairwise", n), &refs, |b, refs| {
+            b.iter(|| join_many_pairwise(refs, JoinHow::Outer).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("kway", n), &refs, |b, refs| {
+            b.iter(|| join_many(refs, JoinHow::Outer).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_join);
+criterion_main!(benches);

@@ -40,15 +40,24 @@ impl Thicket {
                 }
             }
         }
-        let remap = |old: &Value| -> Value { map.get(old).cloned().unwrap_or(Value::Null) };
+        // A perf row whose profile id has no metadata row cannot be
+        // re-keyed; silently mapping it to null would corrupt the index.
+        let remap = |old: &Value| -> Result<Value, ThicketError> {
+            map.get(old).cloned().ok_or_else(|| {
+                ThicketError::Invalid(format!(
+                    "perf data references profile {old} which has no metadata row; \
+                     cannot reindex by {column}"
+                ))
+            })
+        };
 
         let perf_keys: Vec<Vec<Value>> = self
             .perf_data
             .index()
             .keys()
             .iter()
-            .map(|k| vec![k[0].clone(), remap(&k[1])])
-            .collect();
+            .map(|k| Ok(vec![k[0].clone(), remap(&k[1])?]))
+            .collect::<Result<_, ThicketError>>()?;
         let perf_index = Index::new([NODE_LEVEL, PROFILE_LEVEL], perf_keys)?;
         let mut perf_data = DataFrame::new(perf_index);
         for (k, c) in self.perf_data.columns() {
@@ -60,8 +69,8 @@ impl Thicket {
             .index()
             .keys()
             .iter()
-            .map(|k| vec![remap(&k[0])])
-            .collect();
+            .map(|k| Ok(vec![remap(&k[0])?]))
+            .collect::<Result<_, ThicketError>>()?;
         let meta_index = Index::new([PROFILE_LEVEL], meta_keys)?;
         let mut metadata = DataFrame::new(meta_index);
         for (k, c) in self.metadata.columns() {
@@ -81,9 +90,24 @@ impl Thicket {
 /// and metadata columns appear under its group label; rows are the
 /// `(node, profile)` pairs present in **all** inputs (inner join — the
 /// paper's intersection semantics).
+///
+/// Per-input frame preparation fans out over worker threads; see
+/// [`concat_thickets_threads`] for an explicit count.
 pub fn concat_thickets(
     inputs: &[(&str, &Thicket)],
     match_on: NodeMatch,
+) -> Result<Thicket, ThicketError> {
+    concat_thickets_threads(inputs, match_on, thicket_perfsim::default_threads(inputs.len()))
+}
+
+/// [`concat_thickets`] with an explicit worker count. Each input's
+/// re-keyed, column-grouped perf frame is built on its own worker; the
+/// frames then meet in one k-way inner join, so the result is identical
+/// for any `threads ≥ 1`.
+pub fn concat_thickets_threads(
+    inputs: &[(&str, &Thicket)],
+    match_on: NodeMatch,
+    threads: usize,
 ) -> Result<Thicket, ThicketError> {
     if inputs.is_empty() {
         return Err(ThicketError::Invalid("concat_thickets of nothing".into()));
@@ -99,15 +123,15 @@ pub fn concat_thickets(
         }
     }
 
-    // Build each input's perf frame with re-keyed node level + grouped
-    // columns.
-    let mut perf_frames: Vec<DataFrame> = Vec::with_capacity(inputs.len());
-    let result_graph = match match_on {
+    // Build each input's perf frame (re-keyed node level + grouped
+    // columns) on the workers, in input order.
+    let (perf_frames, result_graph) = match match_on {
         NodeMatch::Path => {
             let graphs: Vec<&thicket_graph::Graph> =
                 inputs.iter().map(|(_, t)| t.graph()).collect();
             let union = GraphUnion::build(&graphs);
-            for ((label, tk), mapping) in inputs.iter().zip(union.mappings.iter()) {
+            let items: Vec<_> = inputs.iter().zip(union.mappings.iter()).collect();
+            let frames = thicket_perfsim::parallel_map(&items, threads, |((label, tk), mapping)| {
                 let keys: Vec<Vec<Value>> = tk
                     .perf_data
                     .index()
@@ -122,12 +146,14 @@ pub fn concat_thickets(
                     .map_err(|_| {
                         ThicketError::Invalid("perf row references unknown node".into())
                     })?;
-                perf_frames.push(rekey(&tk.perf_data, keys, label)?);
-            }
-            union.graph
+                rekey(&tk.perf_data, keys, label)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+            (frames, union.graph)
         }
         NodeMatch::Name => {
-            for (label, tk) in inputs {
+            let frames = thicket_perfsim::parallel_map(inputs, threads, |(label, tk)| {
                 let keys: Vec<Vec<Value>> = tk
                     .perf_data
                     .index()
@@ -141,9 +167,11 @@ pub fn concat_thickets(
                         "node names are not unique in input {label:?}; use NodeMatch::Path"
                     )));
                 }
-                perf_frames.push(frame);
-            }
-            inputs[0].1.graph().clone()
+                Ok(frame)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, ThicketError>>()?;
+            (frames, inputs[0].1.graph().clone())
         }
     };
 
@@ -250,6 +278,49 @@ mod tests {
         let tk = Thicket::from_profiles(&profiles).unwrap();
         // Both runs share the same problem size.
         assert!(tk.reindex_profiles_by(&ColKey::new("problem size")).is_err());
+    }
+
+    #[test]
+    fn reindex_rejects_orphaned_perf_profile() {
+        // Hand-build a thicket whose perf data references a profile id
+        // that has no metadata row.
+        let tk = cpu_thicket();
+        let mut perf = tk.perf_data().clone();
+        let orphan = Value::Int(999_999);
+        let mut keys: Vec<Vec<Value>> = perf.index().keys().to_vec();
+        keys[0][1] = orphan.clone();
+        let index = Index::new(["node", "profile"], keys).unwrap();
+        let mut rekeyed = DataFrame::new(index);
+        for (k, c) in perf.columns() {
+            rekeyed.insert(k.clone(), c.clone()).unwrap();
+        }
+        perf = rekeyed;
+        let broken = Thicket::from_components(
+            tk.graph().clone(),
+            perf,
+            tk.metadata().clone(),
+            DataFrame::new(Index::empty(["node"])),
+        )
+        .unwrap();
+        let err = broken
+            .reindex_profiles_by(&ColKey::new("problem size"))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("999999"),
+            "error should name the orphaned profile: {err}"
+        );
+        assert!(err.to_string().contains("no metadata row"), "{err}");
+    }
+
+    #[test]
+    fn threads_variant_matches_default() {
+        let a = cpu_thicket();
+        let b = gpu_thicket();
+        let inputs = [("CPU", &a), ("GPU", &b)];
+        let one = concat_thickets_threads(&inputs, NodeMatch::Name, 1).unwrap();
+        let many = concat_thickets_threads(&inputs, NodeMatch::Name, 8).unwrap();
+        assert_eq!(one.perf_data(), many.perf_data());
+        assert_eq!(one.metadata(), many.metadata());
     }
 
     #[test]

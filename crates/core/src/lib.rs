@@ -43,8 +43,8 @@ mod stats;
 mod thicket;
 mod treetable;
 
-pub use compose::{concat_thickets, NodeMatch};
-pub use rowconcat::concat_thickets_rows;
+pub use compose::{concat_thickets, concat_thickets_threads, NodeMatch};
+pub use rowconcat::{concat_thickets_rows, concat_thickets_rows_threads};
 pub use model_glue::{model_metric, NodeModel};
 pub use stats::StatSpec;
 pub use thicket::{Thicket, ThicketError};

@@ -5,14 +5,28 @@
 
 use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
 use std::collections::HashSet;
-use thicket_dataframe::{DataFrame, FrameBuilder, Index, Value};
+use thicket_dataframe::{ColKey, DataFrame, FrameBuilder, Index, Key, Value};
 use thicket_graph::GraphUnion;
 
 /// Pool the profiles of several thickets into one thicket: call graphs
 /// are structurally unified, performance rows re-keyed onto the unified
 /// node ids, and metadata rows concatenated (missing columns null-fill).
 /// Profile ids must be globally unique across inputs.
+///
+/// Per-input row batches are extracted on worker threads; see
+/// [`concat_thickets_rows_threads`] for an explicit count.
 pub fn concat_thickets_rows(inputs: &[&Thicket]) -> Result<Thicket, ThicketError> {
+    concat_thickets_rows_threads(inputs, thicket_perfsim::default_threads(inputs.len()))
+}
+
+/// [`concat_thickets_rows`] with an explicit worker count. Each input's
+/// re-keyed row batch is built on its own worker; batches merge into the
+/// frame serially in input order, so the result is identical for any
+/// `threads ≥ 1`.
+pub fn concat_thickets_rows_threads(
+    inputs: &[&Thicket],
+    threads: usize,
+) -> Result<Thicket, ThicketError> {
     if inputs.is_empty() {
         return Err(ThicketError::Invalid("concat_thickets_rows of nothing".into()));
     }
@@ -32,21 +46,39 @@ pub fn concat_thickets_rows(inputs: &[&Thicket]) -> Result<Thicket, ThicketError
     let graphs: Vec<&thicket_graph::Graph> = inputs.iter().map(|t| t.graph()).collect();
     let union = GraphUnion::build(&graphs);
 
-    // Perf rows: re-key node level through each input's mapping. The
-    // FrameBuilder null-fills metric columns one input lacks.
+    // Perf rows: re-key node level through each input's mapping, one
+    // batch per input on the workers. The serial FrameBuilder merge
+    // below null-fills metric columns one input lacks and keeps row
+    // order independent of the thread count.
+    type RowBatch = Vec<(Key, Vec<(ColKey, Value)>)>;
+    let items: Vec<_> = inputs.iter().zip(union.mappings.iter()).collect();
+    let batches: Vec<Result<RowBatch, ThicketError>> =
+        thicket_perfsim::parallel_map(&items, threads, |(tk, mapping)| {
+            tk.perf_data()
+                .index()
+                .keys()
+                .iter()
+                .enumerate()
+                .map(|(row, key)| {
+                    let old = tk.node_of_value(&key[0]).ok_or_else(|| {
+                        ThicketError::Invalid("perf row references unknown node".into())
+                    })?;
+                    let new = mapping[&old];
+                    Ok((
+                        vec![Value::Int(new.index() as i64), key[1].clone()],
+                        tk.perf_data()
+                            .columns()
+                            .map(|(k, c)| (k.clone(), c.get(row)))
+                            .collect(),
+                    ))
+                })
+                .collect()
+        });
+
     let mut fb = FrameBuilder::new([NODE_LEVEL, PROFILE_LEVEL]);
-    for (tk, mapping) in inputs.iter().zip(union.mappings.iter()) {
-        for (row, key) in tk.perf_data().index().keys().iter().enumerate() {
-            let old = tk
-                .node_of_value(&key[0])
-                .ok_or_else(|| ThicketError::Invalid("perf row references unknown node".into()))?;
-            let new = mapping[&old];
-            fb.push_row(
-                vec![Value::Int(new.index() as i64), key[1].clone()],
-                tk.perf_data()
-                    .columns()
-                    .map(|(k, c)| (k.clone(), c.get(row))),
-            )?;
+    for batch in batches {
+        for (key, cells) in batch? {
+            fb.push_row(key, cells)?;
         }
     }
     let perf_data = fb.finish()?.sort_by_index();

@@ -68,9 +68,31 @@ impl Thicket {
     }
 
     /// Compose profiles with caller-chosen profile index values.
+    ///
+    /// Per-profile row assembly fans out over worker threads (see
+    /// [`Thicket::from_profiles_indexed_threads`] to pick the count);
+    /// the result is bit-identical regardless of thread count.
     pub fn from_profiles_indexed(
         profiles: &[Profile],
         profile_ids: &[Value],
+    ) -> Result<Thicket, ThicketError> {
+        Self::from_profiles_indexed_threads(
+            profiles,
+            profile_ids,
+            thicket_perfsim::default_threads(profiles.len()),
+        )
+    }
+
+    /// [`Thicket::from_profiles_indexed`] with an explicit worker count.
+    ///
+    /// Each profile's `(node, metrics)` rows are assembled independently
+    /// on `threads` workers; the per-profile batches are then merged into
+    /// the frame serially in input order, so the output is deterministic
+    /// for any `threads ≥ 1`.
+    pub fn from_profiles_indexed_threads(
+        profiles: &[Profile],
+        profile_ids: &[Value],
+        threads: usize,
     ) -> Result<Thicket, ThicketError> {
         if profiles.is_empty() {
             return Err(ThicketError::Invalid(
@@ -103,29 +125,43 @@ impl Thicket {
         // profile actually measured. Distinct source nodes can merge into
         // one unified node (duplicate sibling frames, as a call-tree
         // profiler would have merged); their metrics are summed.
+        //
+        // Assembly is per-profile independent, so it fans out over the
+        // workers; only the final FrameBuilder merge below is serial,
+        // which keeps row order (and hence the whole thicket) identical
+        // to a single-threaded build.
+        type ProfileRows = Vec<(i64, Vec<(String, f64)>)>;
+        let items: Vec<(&Profile, &std::collections::HashMap<NodeId, NodeId>)> =
+            profiles.iter().zip(union.mappings.iter()).collect();
+        let batches: Vec<ProfileRows> =
+            thicket_perfsim::parallel_map(&items, threads, |(profile, mapping)| {
+                let mut merged: std::collections::BTreeMap<
+                    NodeId,
+                    std::collections::BTreeMap<String, f64>,
+                > = std::collections::BTreeMap::new();
+                for old_id in profile.graph().ids() {
+                    let metrics = profile.node_metrics(old_id);
+                    if metrics.is_empty() {
+                        continue;
+                    }
+                    let slot = merged.entry(mapping[&old_id]).or_default();
+                    for (k, v) in metrics {
+                        *slot.entry(k.clone()).or_insert(0.0) += v;
+                    }
+                }
+                merged
+                    .into_iter()
+                    .map(|(new_id, metrics)| {
+                        (new_id.index() as i64, metrics.into_iter().collect())
+                    })
+                    .collect()
+            });
+
         let mut fb = FrameBuilder::new([NODE_LEVEL, PROFILE_LEVEL]);
-        for ((profile, pid), mapping) in profiles
-            .iter()
-            .zip(profile_ids.iter())
-            .zip(union.mappings.iter())
-        {
-            let mut merged: std::collections::BTreeMap<
-                NodeId,
-                std::collections::BTreeMap<String, f64>,
-            > = std::collections::BTreeMap::new();
-            for old_id in profile.graph().ids() {
-                let metrics = profile.node_metrics(old_id);
-                if metrics.is_empty() {
-                    continue;
-                }
-                let slot = merged.entry(mapping[&old_id]).or_default();
-                for (k, v) in metrics {
-                    *slot.entry(k.clone()).or_insert(0.0) += v;
-                }
-            }
-            for (new_id, metrics) in merged {
+        for (batch, pid) in batches.into_iter().zip(profile_ids.iter()) {
+            for (node, metrics) in batch {
                 fb.push_row(
-                    vec![Value::Int(new_id.index() as i64), pid.clone()],
+                    vec![Value::Int(node), pid.clone()],
                     metrics
                         .into_iter()
                         .map(|(k, v)| (ColKey::new(&k), Value::Float(v))),
@@ -243,16 +279,14 @@ impl Thicket {
         self.graph.find_by_name(name)
     }
 
-    /// One metric value for `(node, profile)`, if measured.
+    /// One metric value for `(node, profile)`, if measured. O(1)
+    /// amortized: the lookup goes through the index's cached
+    /// key → position map instead of scanning every row.
     pub fn metric_at(&self, node: NodeId, profile: &Value, metric: &ColKey) -> Option<f64> {
         let col = self.perf_data.column(metric).ok()?;
-        let node_v = self.value_of_node(node);
-        for (row, key) in self.perf_data.index().keys().iter().enumerate() {
-            if key[0] == node_v && &key[1] == profile {
-                return col.get_f64(row);
-            }
-        }
-        None
+        let key = vec![self.value_of_node(node), profile.clone()];
+        let row = self.perf_data.index().position_of(&key)?;
+        col.get_f64(row)
     }
 
     /// All `(profile, value)` pairs of one metric at one node, in

@@ -1,0 +1,60 @@
+//! Property-based tests for thicket ingest: the parallel assembly path
+//! must be bit-identical to the serial one for any thread count, and
+//! row-axis pooling must be order-deterministic too.
+
+use proptest::prelude::*;
+use thicket_core::{concat_thickets_rows_threads, Thicket};
+use thicket_dataframe::Value;
+use thicket_perfsim::{simulate_cpu_run, CpuRunConfig};
+
+fn profiles_for(seeds: &[u64]) -> Vec<thicket_perfsim::Profile> {
+    seeds
+        .iter()
+        .map(|s| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = *s;
+            simulate_cpu_run(&cfg)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `from_profiles_indexed_threads` produces the same thicket —
+    /// every frame, every cell, same row order — for threads ∈ {1, 2, 8}
+    /// over random ensembles.
+    #[test]
+    fn parallel_ingest_matches_serial(seeds in proptest::collection::hash_set(0u64..64, 1..6)) {
+        let mut seeds: Vec<u64> = seeds.into_iter().collect();
+        seeds.sort_unstable();
+        let profiles = profiles_for(&seeds);
+        let ids: Vec<Value> = (0..profiles.len() as i64).map(Value::Int).collect();
+        let serial = Thicket::from_profiles_indexed_threads(&profiles, &ids, 1).unwrap();
+        for threads in [2usize, 8] {
+            let par = Thicket::from_profiles_indexed_threads(&profiles, &ids, threads).unwrap();
+            prop_assert_eq!(serial.perf_data(), par.perf_data(), "perf mismatch at {} threads", threads);
+            prop_assert_eq!(serial.metadata(), par.metadata(), "metadata mismatch at {} threads", threads);
+            prop_assert_eq!(serial.graph().len(), par.graph().len());
+        }
+    }
+
+    /// Row-axis pooling of single-profile thickets is thread-count
+    /// invariant as well.
+    #[test]
+    fn parallel_row_concat_matches_serial(seeds in proptest::collection::hash_set(0u64..64, 2..5)) {
+        let mut seeds: Vec<u64> = seeds.into_iter().collect();
+        seeds.sort_unstable();
+        let thickets: Vec<Thicket> = profiles_for(&seeds)
+            .iter()
+            .map(|p| Thicket::from_profiles(std::slice::from_ref(p)).unwrap())
+            .collect();
+        let refs: Vec<&Thicket> = thickets.iter().collect();
+        let serial = concat_thickets_rows_threads(&refs, 1).unwrap();
+        for threads in [2usize, 8] {
+            let par = concat_thickets_rows_threads(&refs, threads).unwrap();
+            prop_assert_eq!(serial.perf_data(), par.perf_data(), "perf mismatch at {} threads", threads);
+            prop_assert_eq!(serial.metadata(), par.metadata(), "metadata mismatch at {} threads", threads);
+        }
+    }
+}

@@ -48,13 +48,28 @@ impl ColumnData {
 }
 
 /// A single dataframe column: typed data plus an optional validity mask.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Column {
     data: ColumnData,
     /// `None` = every cell valid; otherwise `valid[i]` says cell `i` is
     /// non-null. Always the same length as `data`.
     valid: Option<Vec<bool>>,
 }
+
+impl PartialEq for Column {
+    /// Mask-aware, total equality. Cells compare through [`Column::get`],
+    /// so masked cells are equal regardless of the storage beneath them
+    /// (masked float cells hold `NaN`, which would poison a raw storage
+    /// compare), and valid floats follow `Value`'s total order, where
+    /// `NaN == NaN`.
+    fn eq(&self, other: &Self) -> bool {
+        self.dtype() == other.dtype()
+            && self.len() == other.len()
+            && (0..self.len()).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+impl Eq for Column {}
 
 impl Column {
     /// Build a dense float column.
@@ -187,6 +202,49 @@ impl Column {
             out = Column::nulls_of(self.dtype(), rows.len());
         }
         out
+    }
+
+    /// Gather with gaps: cell `i` of the result is the source cell at
+    /// `rows[i]`, or null where `rows[i]` is `None`. Dtype is preserved
+    /// and the typed storage is copied directly — no per-cell [`Value`]
+    /// boxing — which is what makes single-pass joins cheap.
+    pub fn take_opt(&self, rows: &[Option<usize>]) -> Column {
+        let n = rows.len();
+        let valid: Vec<bool> = rows
+            .iter()
+            .map(|r| match r {
+                Some(i) => !self.is_null_at(*i),
+                None => false,
+            })
+            .collect();
+        let data = match &self.data {
+            ColumnData::Null(_) => ColumnData::Null(n),
+            ColumnData::Bool(v) => ColumnData::Bool(
+                rows.iter().map(|r| r.map(|i| v[i]).unwrap_or(false)).collect(),
+            ),
+            ColumnData::Int(v) => ColumnData::Int(
+                rows.iter().map(|r| r.map(|i| v[i]).unwrap_or(0)).collect(),
+            ),
+            ColumnData::Float(v) => ColumnData::Float(
+                rows.iter()
+                    .map(|r| r.map(|i| v[i]).unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            ColumnData::Str(v) => ColumnData::Str(
+                rows.iter()
+                    .map(|r| match r {
+                        Some(i) => v[*i].clone(),
+                        None => Arc::from(""),
+                    })
+                    .collect(),
+            ),
+        };
+        let valid = if valid.iter().all(|&b| b) {
+            None
+        } else {
+            Some(valid)
+        };
+        Column { data, valid }
     }
 
     /// An all-null column of dtype `dt` and length `n`.
@@ -391,6 +449,48 @@ mod tests {
             Value::Int(10),
             Value::Int(10)
         ]);
+    }
+
+    #[test]
+    fn take_opt_gathers_with_gaps() {
+        let c = Column::from_i64(vec![10, 20, 30]);
+        let t = c.take_opt(&[Some(2), None, Some(0)]);
+        assert_eq!(t.dtype(), DType::Int);
+        assert_eq!(t.get(0), Value::Int(30));
+        assert!(t.is_null_at(1));
+        assert_eq!(t.get(2), Value::Int(10));
+        // Source nulls stay null through the gather.
+        let m = Column::from_values(vec![Value::Int(1), Value::Null]).unwrap();
+        let g = m.take_opt(&[Some(1), Some(0)]);
+        assert!(g.is_null_at(0));
+        assert_eq!(g.get(1), Value::Int(1));
+        // Gap-free gathers of dense columns stay mask-free.
+        let d = c.take_opt(&[Some(0), Some(1)]);
+        assert_eq!(d.count_valid(), 2);
+        assert_eq!(d.as_f64_slice(), None); // int column
+        // All-gap gather of a typed column keeps the dtype.
+        let all_null = c.take_opt(&[None, None]);
+        assert_eq!(all_null.dtype(), DType::Int);
+        assert_eq!(all_null.count_valid(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_storage_under_mask() {
+        // Masked float cells hold NaN in raw storage; equality must not
+        // compare that garbage (and NaN != NaN would reject even a column
+        // compared against itself).
+        let a = Column::from_values(vec![Value::Float(1.0), Value::Null]).unwrap();
+        let b = Column::from_values(vec![Value::Float(1.0), Value::Null]).unwrap();
+        assert_eq!(a, a);
+        assert_eq!(a, b);
+        // Valid NaN cells compare equal under Value's total order.
+        let n = Column::from_f64(vec![f64::NAN]);
+        assert_eq!(n, Column::from_f64(vec![f64::NAN]));
+        assert_ne!(n, Column::from_f64(vec![0.0]));
+        // Dtype still distinguishes: all-null Int vs all-null Float.
+        let ni = Column::from_i64(vec![7]).take_opt(&[None]);
+        let nf = Column::from_f64(vec![7.0]).take_opt(&[None]);
+        assert_ne!(ni, nf);
     }
 
     #[test]

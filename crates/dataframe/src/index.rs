@@ -9,16 +9,50 @@ use crate::error::{DfError, Result};
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// One row's index entry: a tuple of per-level values.
 pub type Key = Vec<Value>;
 
+/// Lazily-built lookup structures over an index's keys. Built once on
+/// first use, shared by every subsequent lookup, and discarded whenever
+/// the key set mutates ([`Index::push`]) or the index is cloned.
+#[derive(Debug)]
+struct PositionCache {
+    /// Key → all row positions carrying it, in row order.
+    positions: HashMap<Key, Vec<usize>>,
+    /// First key that occurs more than once, if any (`None` ⇔ unique).
+    duplicate: Option<Key>,
+}
+
 /// A named, multi-level row index.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Index {
     names: Vec<String>,
     keys: Vec<Key>,
+    cache: OnceLock<PositionCache>,
 }
+
+// The cache is derived state: equality, cloning, and hashing consider
+// only `names` and `keys`. A clone starts with a cold cache rather than
+// paying to copy the maps.
+impl Clone for Index {
+    fn clone(&self) -> Self {
+        Index {
+            names: self.names.clone(),
+            keys: self.keys.clone(),
+            cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Index {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names && self.keys == other.keys
+    }
+}
+
+impl Eq for Index {}
 
 impl Index {
     /// New index with the given level names and row keys.
@@ -41,7 +75,7 @@ impl Index {
                 )));
             }
         }
-        Ok(Index { names, keys })
+        Ok(Index { names, keys, cache: OnceLock::new() })
     }
 
     /// Single-level index from scalar values.
@@ -52,6 +86,7 @@ impl Index {
         Index {
             names: vec![name.into()],
             keys: values.into_iter().map(|v| vec![v.into()]).collect(),
+            cache: OnceLock::new(),
         }
     }
 
@@ -66,6 +101,7 @@ impl Index {
                 .into_iter()
                 .map(|(a, b)| vec![a.into(), b.into()])
                 .collect(),
+            cache: OnceLock::new(),
         }
     }
 
@@ -74,6 +110,7 @@ impl Index {
         Index {
             names: names.into_iter().map(Into::into).collect(),
             keys: Vec::new(),
+            cache: OnceLock::new(),
         }
     }
 
@@ -127,7 +164,7 @@ impl Index {
         Ok(self.keys[i][p].clone())
     }
 
-    /// Append one row key.
+    /// Append one row key. Invalidates the position cache.
     pub fn push(&mut self, key: Key) -> Result<()> {
         if key.len() != self.names.len() {
             return Err(DfError::IndexMismatch(format!(
@@ -137,6 +174,7 @@ impl Index {
             )));
         }
         self.keys.push(key);
+        self.cache.take();
         Ok(())
     }
 
@@ -145,40 +183,90 @@ impl Index {
         Index {
             names: self.names.clone(),
             keys: rows.iter().map(|&r| self.keys[r].clone()).collect(),
+            cache: OnceLock::new(),
         }
+    }
+
+    /// The lazily-built lookup cache (one pass over the keys, amortized
+    /// over every subsequent join / point lookup / group operation).
+    fn cache(&self) -> &PositionCache {
+        self.cache.get_or_init(|| {
+            let mut positions: HashMap<Key, Vec<usize>> =
+                HashMap::with_capacity(self.keys.len());
+            let mut duplicate = None;
+            for (i, k) in self.keys.iter().enumerate() {
+                let slot = positions.entry(k.clone()).or_default();
+                if !slot.is_empty() && duplicate.is_none() {
+                    duplicate = Some(k.clone());
+                }
+                slot.push(i);
+            }
+            PositionCache {
+                positions,
+                duplicate,
+            }
+        })
+    }
+
+    /// Cached key → row-positions map (built on first use; every
+    /// subsequent lookup borrows the same map).
+    pub fn positions(&self) -> &HashMap<Key, Vec<usize>> {
+        &self.cache().positions
+    }
+
+    /// Map from key to all row positions carrying it (owned copy of the
+    /// cached map; prefer [`Index::positions`] to avoid the clone).
+    pub fn positions_by_key(&self) -> HashMap<Key, Vec<usize>> {
+        self.positions().clone()
+    }
+
+    /// First row position carrying `key`, if any (O(1) amortized).
+    pub fn position_of(&self, key: &Key) -> Option<usize> {
+        self.positions().get(key).map(|rows| rows[0])
     }
 
     /// First positions of each distinct key, preserving first-seen order,
     /// plus the rows carrying each key.
     pub fn group_positions(&self) -> (Vec<Key>, Vec<Vec<usize>>) {
+        let positions = self.positions();
         let mut order: Vec<Key> = Vec::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut seen: HashMap<&Key, usize> = HashMap::new();
-        for (i, k) in self.keys.iter().enumerate() {
-            if let Some(&g) = seen.get(k) {
-                groups[g].push(i);
-            } else {
-                seen.insert(k, order.len());
+        let mut seen = std::collections::HashSet::new();
+        for k in &self.keys {
+            if seen.insert(k) {
                 order.push(k.clone());
-                groups.push(vec![i]);
+                groups.push(positions[k].clone());
             }
         }
         (order, groups)
     }
 
-    /// Map from key to all row positions carrying it.
-    pub fn positions_by_key(&self) -> HashMap<Key, Vec<usize>> {
-        let mut m: HashMap<Key, Vec<usize>> = HashMap::new();
-        for (i, k) in self.keys.iter().enumerate() {
-            m.entry(k.clone()).or_default().push(i);
+    /// A lookup view guaranteed to map each key to a *single* row.
+    /// Errors (naming the offending key) when any key occurs more than
+    /// once — obtaining the view is the uniqueness proof, so callers
+    /// never have to pick among duplicate rows.
+    pub fn unique_positions(&self) -> Result<UniquePositions<'_>> {
+        let cache = self.cache();
+        match &cache.duplicate {
+            Some(dup) => {
+                let shown: Vec<String> = dup
+                    .iter()
+                    .map(|v| v.display_cell().into_owned())
+                    .collect();
+                Err(DfError::IndexMismatch(format!(
+                    "index key ({}) occurs more than once",
+                    shown.join(", ")
+                )))
+            }
+            None => Ok(UniquePositions {
+                map: &cache.positions,
+            }),
         }
-        m
     }
 
     /// `true` if every key appears exactly once.
     pub fn is_unique(&self) -> bool {
-        let mut seen = std::collections::HashSet::new();
-        self.keys.iter().all(|k| seen.insert(k))
+        self.cache().duplicate.is_none()
     }
 
     /// Row positions sorted by key (stable; ties keep original order).
@@ -201,6 +289,39 @@ impl Index {
 impl fmt::Display for Index {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Index[{}; {} rows]", self.names.join(", "), self.len())
+    }
+}
+
+/// Borrowed lookup view over a **unique** index: every key maps to
+/// exactly one row. Only obtainable through [`Index::unique_positions`],
+/// which rejects duplicated keys — so "which of the duplicate rows?" is
+/// unrepresentable for holders of this view.
+#[derive(Debug, Clone, Copy)]
+pub struct UniquePositions<'a> {
+    map: &'a HashMap<Key, Vec<usize>>,
+}
+
+impl UniquePositions<'_> {
+    /// The single row position carrying `key`, if present.
+    pub fn get(&self, key: &Key) -> Option<usize> {
+        // `[0]` is total here: the uniqueness check at construction
+        // guarantees every entry holds exactly one position.
+        self.map.get(key).map(|rows| rows[0])
+    }
+
+    /// `true` if the index contains `key`.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of distinct keys (= number of rows, by uniqueness).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if the index has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -276,5 +397,52 @@ mod tests {
     fn format_key_joins_levels() {
         let i = idx();
         assert_eq!(i.format_key(0), "1, 100");
+    }
+
+    #[test]
+    fn position_lookups_hit_cache() {
+        let i = idx();
+        let key = vec![Value::Int(2), Value::Int(100)];
+        assert_eq!(i.position_of(&key), Some(2));
+        assert_eq!(i.position_of(&vec![Value::Int(9), Value::Int(9)]), None);
+        // Repeated lookups borrow the same map.
+        let p1 = i.positions() as *const _;
+        let p2 = i.positions() as *const _;
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn push_invalidates_position_cache() {
+        let mut i = idx();
+        assert_eq!(i.position_of(&vec![Value::Int(7), Value::Int(7)]), None);
+        i.push(vec![Value::Int(7), Value::Int(7)]).unwrap();
+        assert_eq!(i.position_of(&vec![Value::Int(7), Value::Int(7)]), Some(4));
+        assert!(i.is_unique());
+        i.push(vec![Value::Int(7), Value::Int(7)]).unwrap();
+        assert!(!i.is_unique());
+        assert_eq!(i.positions()[&vec![Value::Int(7), Value::Int(7)]], vec![4, 5]);
+    }
+
+    #[test]
+    fn unique_positions_rejects_duplicates_by_name() {
+        let dup = Index::single("k", vec![1i64, 2, 1]);
+        let err = dup.unique_positions().unwrap_err();
+        assert!(err.to_string().contains('1'), "error names the key: {err}");
+        let ok = idx();
+        let view = ok.unique_positions().unwrap();
+        assert_eq!(view.len(), 4);
+        assert!(!view.is_empty());
+        assert_eq!(view.get(&vec![Value::Int(1), Value::Int(200)]), Some(1));
+        assert!(view.contains(&vec![Value::Int(2), Value::Int(200)]));
+        assert!(!view.contains(&vec![Value::Int(3), Value::Int(100)]));
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_cache_state() {
+        let a = idx();
+        let _ = a.positions(); // warm a's cache
+        let b = a.clone();
+        assert_eq!(a, b); // cold-cache clone still equal
+        assert_eq!(b.position_of(a.key(3)), Some(3));
     }
 }

@@ -1,7 +1,13 @@
 //! Index-aligned joins between frames — the primitive behind composing
 //! multiple thicket objects along the column axis (paper §3.2.2).
+//!
+//! [`join_many`] is a single-pass k-way hash join: the output key set is
+//! computed once over all inputs, then every input's columns are gathered
+//! directly into the result through one precomputed row map per frame.
+//! The older pairwise formulation survives as [`join_many_pairwise`] — it
+//! materializes (and re-hashes, and re-copies) an intermediate frame per
+//! input, which is what the k-way path exists to avoid.
 
-use crate::column::{Column, ColumnBuilder};
 use crate::error::{DfError, Result};
 use crate::frame::DataFrame;
 use crate::index::{Index, Key};
@@ -10,12 +16,12 @@ use std::collections::HashSet;
 /// Join strategy over row-index keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinHow {
-    /// Keep only keys present in *both* frames (the paper's hierarchical
+    /// Keep only keys present in *all* frames (the paper's hierarchical
     /// composition keeps `(node, profile)` pairs present in all inputs).
     Inner,
-    /// Keep keys from either frame, null-filling the missing side.
+    /// Keep keys from any frame, null-filling the missing sides.
     Outer,
-    /// Keep the left frame's keys.
+    /// Keep the first (left-most) frame's keys.
     Left,
 }
 
@@ -25,80 +31,76 @@ pub enum JoinHow {
 /// the sides with [`DataFrame::with_column_group`] first, as thicket's
 /// column-axis composition does).
 pub fn join(left: &DataFrame, right: &DataFrame, how: JoinHow) -> Result<DataFrame> {
-    if left.index().names() != right.index().names() {
-        return Err(DfError::IndexMismatch(format!(
-            "level names {:?} vs {:?}",
-            left.index().names(),
-            right.index().names()
-        )));
-    }
-    if !left.index().is_unique() || !right.index().is_unique() {
-        return Err(DfError::IndexMismatch(
-            "join requires unique indices on both sides".into(),
-        ));
-    }
-    let lkeys: HashSet<&Key> = left.index().keys().iter().collect();
-    let rpos = right.index().positions_by_key();
+    join_many(&[left, right], how)
+}
 
-    // Decide the output key order: left order first, then (for Outer)
-    // right-only keys in right order.
-    let mut out_keys: Vec<Key> = Vec::new();
-    match how {
-        JoinHow::Inner => {
-            for k in left.index().keys() {
-                if rpos.contains_key(k) {
-                    out_keys.push(k.clone());
-                }
-            }
+/// Join many frames on their row indices in one pass.
+///
+/// Equivalent to folding [`join`] left-to-right but without the
+/// intermediate frames: the output key order matches the pairwise chain
+/// exactly (first frame's order first; under [`JoinHow::Outer`] each
+/// later frame appends its novel keys in its own order).
+pub fn join_many(frames: &[&DataFrame], how: JoinHow) -> Result<DataFrame> {
+    let first = *frames.first().ok_or(DfError::Empty("join_many"))?;
+    let names = first.index().names();
+    for f in &frames[1..] {
+        if f.index().names() != names {
+            return Err(DfError::IndexMismatch(format!(
+                "level names {:?} vs {:?}",
+                names,
+                f.index().names()
+            )));
         }
-        JoinHow::Left => out_keys = left.index().keys().to_vec(),
+    }
+
+    // One unique-position view per frame. Duplicate keys fail here, so
+    // the gathers below never face an ambiguous source row.
+    let pos = frames
+        .iter()
+        .map(|f| f.index().unique_positions())
+        .collect::<Result<Vec<_>>>()?;
+
+    let out_keys: Vec<Key> = match how {
+        JoinHow::Inner => first
+            .index()
+            .keys()
+            .iter()
+            .filter(|k| pos[1..].iter().all(|p| p.contains(k)))
+            .cloned()
+            .collect(),
+        JoinHow::Left => first.index().keys().to_vec(),
         JoinHow::Outer => {
-            out_keys = left.index().keys().to_vec();
-            for k in right.index().keys() {
-                if !lkeys.contains(k) {
-                    out_keys.push(k.clone());
+            let mut keys = first.index().keys().to_vec();
+            let mut seen: HashSet<&Key> = first.index().keys().iter().collect();
+            for f in &frames[1..] {
+                for k in f.index().keys() {
+                    if seen.insert(k) {
+                        keys.push(k.clone());
+                    }
                 }
             }
+            keys
         }
-    }
-
-    let lpos = left.index().positions_by_key();
-    let index = Index::new(left.index().names().to_vec(), out_keys.clone())?;
-    let mut out = DataFrame::new(index);
-
-    let gather = |src: &DataFrame,
-                  pos: &std::collections::HashMap<Key, Vec<usize>>,
-                  col: &Column|
-     -> Result<Column> {
-        let mut b = ColumnBuilder::with_capacity(out_keys.len());
-        for k in &out_keys {
-            match pos.get(k) {
-                Some(rows) => b.push(col.get(rows[0]))?,
-                None => b.push(crate::value::Value::Null)?,
-            }
-        }
-        let mut c = b.finish();
-        if c.dtype() == crate::value::DType::Null && col.dtype() != crate::value::DType::Null {
-            c = Column::nulls_of(col.dtype(), out_keys.len());
-        }
-        let _ = src;
-        Ok(c)
     };
 
-    for (k, c) in left.columns() {
-        if right.has_column(k) {
-            return Err(DfError::DuplicateColumn(k.clone()));
+    let index = Index::new(names.to_vec(), out_keys.clone())?;
+    let mut out = DataFrame::new(index);
+    for (f, p) in frames.iter().zip(&pos) {
+        // Output row → source row, computed once per frame and shared by
+        // all of that frame's columns.
+        let row_map: Vec<Option<usize>> = out_keys.iter().map(|k| p.get(k)).collect();
+        for (key, col) in f.columns() {
+            // `insert` rejects column-key collisions across inputs.
+            out.insert(key.clone(), col.take_opt(&row_map))?;
         }
-        out.insert(k.clone(), gather(left, &lpos, c)?)?;
-    }
-    for (k, c) in right.columns() {
-        out.insert(k.clone(), gather(right, &rpos, c)?)?;
     }
     Ok(out)
 }
 
-/// Join many frames left-to-right with the same strategy.
-pub fn join_many(frames: &[&DataFrame], how: JoinHow) -> Result<DataFrame> {
+/// The pre-k-way formulation: fold [`join`] left-to-right, cloning an
+/// accumulator frame per input. Kept as the comparison baseline for the
+/// benchmarks and the equivalence property tests.
+pub fn join_many_pairwise(frames: &[&DataFrame], how: JoinHow) -> Result<DataFrame> {
     let mut it = frames.iter();
     let first = it.next().ok_or(DfError::Empty("join_many"))?;
     let mut acc = (*first).clone();
@@ -112,6 +114,7 @@ pub fn join_many(frames: &[&DataFrame], how: JoinHow) -> Result<DataFrame> {
 mod tests {
     use super::*;
     use crate::colkey::ColKey;
+    use crate::column::Column;
     use crate::value::Value;
 
     fn frame(keys: Vec<i64>, col: &str, vals: Vec<f64>) -> DataFrame {
@@ -177,6 +180,8 @@ mod tests {
         let a = frame(vec![1, 1], "x", vec![1.0, 2.0]);
         let b = frame(vec![1], "y", vec![3.0]);
         assert!(join(&a, &b, JoinHow::Inner).is_err());
+        // Either side being duplicated is an error.
+        assert!(join(&b, &a, JoinHow::Inner).is_err());
     }
 
     #[test]
@@ -196,5 +201,24 @@ mod tests {
         assert_eq!(j.len(), 1);
         assert_eq!(j.ncols(), 3);
         assert!(join_many(&[], JoinHow::Inner).is_err());
+    }
+
+    #[test]
+    fn kway_matches_pairwise_on_every_strategy() {
+        let a = frame(vec![1, 2, 3, 5], "x", vec![1.0, 2.0, 3.0, 5.0]);
+        let b = frame(vec![5, 2, 7], "y", vec![50.0, 20.0, 70.0]);
+        let c = frame(vec![2, 9, 5], "z", vec![200.0, 900.0, 500.0]);
+        for how in [JoinHow::Inner, JoinHow::Left, JoinHow::Outer] {
+            let kway = join_many(&[&a, &b, &c], how).unwrap();
+            let pairwise = join_many_pairwise(&[&a, &b, &c], how).unwrap();
+            assert_eq!(kway, pairwise, "mismatch under {how:?}");
+        }
+    }
+
+    #[test]
+    fn single_frame_join_is_identity() {
+        let a = frame(vec![3, 1], "x", vec![3.0, 1.0]);
+        let j = join_many(&[&a], JoinHow::Inner).unwrap();
+        assert_eq!(j, a);
     }
 }

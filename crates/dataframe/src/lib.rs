@@ -53,6 +53,6 @@ pub use display::{render, to_csv};
 pub use error::{DfError, Result};
 pub use frame::{DataFrame, FrameBuilder, RowRef};
 pub use groupby::GroupBy;
-pub use index::{Index, Key};
-pub use join::{join, join_many, JoinHow};
+pub use index::{Index, Key, UniquePositions};
+pub use join::{join, join_many, join_many_pairwise, JoinHow};
 pub use value::{DType, Value};

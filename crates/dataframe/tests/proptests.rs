@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use thicket_dataframe::{
-    join, AggFn, ColKey, Column, DataFrame, GroupBy, Index, JoinHow, Value,
+    join, join_many, join_many_pairwise, AggFn, ColKey, Column, DataFrame, GroupBy, Index,
+    JoinHow, Value,
 };
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -141,6 +142,39 @@ proptest! {
             let key = j.index().key(r)[0].as_i64().unwrap();
             prop_assert_eq!(j.column(&ColKey::new("x")).unwrap().is_null_at(r), !lk.contains(&key));
             prop_assert_eq!(j.column(&ColKey::new("y")).unwrap().is_null_at(r), !rk.contains(&key));
+        }
+    }
+
+    /// The single-pass k-way join agrees with the pairwise-chain baseline
+    /// on random frames for every join strategy — key set, key order, and
+    /// every cell (including the null fill pattern).
+    #[test]
+    fn kway_join_matches_pairwise(
+        ka in proptest::collection::hash_set(0i64..25, 1..15),
+        kb in proptest::collection::hash_set(0i64..25, 1..15),
+        kc in proptest::collection::hash_set(0i64..25, 1..15),
+    ) {
+        let build = |col: &str, keys: &std::collections::HashSet<i64>, scale: f64| {
+            let keys: Vec<i64> = {
+                let mut k: Vec<i64> = keys.iter().copied().collect();
+                k.sort_unstable();
+                k
+            };
+            let vals: Vec<f64> = keys.iter().map(|k| *k as f64 * scale).collect();
+            let mut df = DataFrame::new(Index::single("k", keys));
+            df.insert(col, Column::from_f64(vals)).unwrap();
+            df
+        };
+        let a = build("x", &ka, 1.0);
+        let b = build("y", &kb, 10.0);
+        let c = build("z", &kc, 100.0);
+        for how in [JoinHow::Inner, JoinHow::Left, JoinHow::Outer] {
+            let kway = join_many(&[&a, &b, &c], how);
+            let pairwise = join_many_pairwise(&[&a, &b, &c], how);
+            match (kway, pairwise) {
+                (Ok(kw), Ok(pw)) => prop_assert_eq!(kw, pw, "mismatch under {:?}", how),
+                (kw, pw) => prop_assert!(false, "join failed: {:?} vs {:?}", kw.err(), pw.err()),
+            }
         }
     }
 

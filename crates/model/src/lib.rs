@@ -13,9 +13,19 @@
 //! ```
 //!
 //! over a lattice of rational exponents `i/d` and log powers `j`, solving
-//! each hypothesis by ordinary least squares on the transformed predictor
-//! and keeping the hypothesis with the smallest residual (tie-broken by
-//! adjusted R², preferring simpler terms). The paper's Figure 11 model,
+//! each hypothesis by ordinary least squares on the transformed predictor.
+//!
+//! Hypothesis selection has two regimes. Without repeated measurements
+//! the smallest residual wins (tie-broken toward simpler terms). With
+//! replicates — the common case for ensembles, e.g. five MARBL runs per
+//! rank count — the within-replicate scatter gives a model-free estimate
+//! of pure measurement error, and any hypothesis whose lack-of-fit is
+//! statistically consistent with that pure error is *adequate*; among
+//! adequate hypotheses the simplest term wins. This is the classical
+//! lack-of-fit decomposition, and it is what keeps near-degenerate pairs
+//! such as `p^(1/3)` vs `p^(1/4)·log₂(p)` from being decided by noise:
+//! both fit, so the simpler (log-free) form is reported, mirroring
+//! Extra-P's bias against overfitting. The paper's Figure 11 model,
 //! `200.23 + (−18.28)·p^(1/3)`, is inside this space.
 //!
 //! ```
@@ -291,6 +301,19 @@ pub fn fit_model_in(
         return Err(ModelError::TooFewPoints);
     }
 
+    match Replicates::estimate(params, measurements, distinct.len()) {
+        Some(reps) => fit_replicated(params, measurements, space, &reps),
+        None => fit_unreplicated(params, measurements, space),
+    }
+}
+
+/// Selection without repeated measurements: smallest RSS wins; within a
+/// relative whisker, prefer the simpler term (Extra-P's overfitting bias).
+fn fit_unreplicated(
+    params: &[f64],
+    measurements: &[f64],
+    space: &SearchSpace,
+) -> Result<Model, ModelError> {
     let mut best: Option<Model> = None;
     for term in space.terms() {
         let x: Vec<f64> = params.iter().map(|&p| term.eval(p)).collect();
@@ -302,24 +325,11 @@ pub fn fit_model_in(
         if !fit.rss.is_finite() {
             continue;
         }
-        let candidate = Model {
-            c0: fit.intercept,
-            c1: fit.slope,
-            term,
-            rss: fit.rss,
-            adjusted_r2: fit.adjusted_r2(),
-            smape: smape(
-                measurements,
-                &params.iter().map(|&p| fit.predict(term.eval(p))).collect::<Vec<_>>(),
-            ),
-        };
+        let candidate = model_from_fit(params, measurements, term, &fit);
         let better = match &best {
             None => true,
             Some(b) => {
-                // Primary: RSS. Within a relative whisker, prefer the
-                // simpler term (Extra-P's bias against overfitting).
-                let close = (candidate.rss - b.rss).abs()
-                    <= 1e-9 * (1.0 + b.rss.abs());
+                let close = (candidate.rss - b.rss).abs() <= 1e-9 * (1.0 + b.rss.abs());
                 if close {
                     candidate.term.complexity() < b.term.complexity()
                 } else {
@@ -332,6 +342,154 @@ pub fn fit_model_in(
         }
     }
     best.ok_or(ModelError::NoFit)
+}
+
+/// Selection with repeated measurements: fit each hypothesis by weighted
+/// least squares (weights `1/ȳ²` per replicate group, matching the
+/// multiplicative noise of real run-to-run variation), test its weighted
+/// lack-of-fit against the weighted pure error, and
+///
+/// * prefer any *adequate* hypothesis over any inadequate one,
+/// * among adequate ones take the fewest log factors, then the smallest
+///   weighted residual,
+/// * among inadequate ones fall back to the smallest weighted residual.
+fn fit_replicated(
+    params: &[f64],
+    measurements: &[f64],
+    space: &SearchSpace,
+    reps: &Replicates,
+) -> Result<Model, ModelError> {
+    let mut best: Option<(Model, bool, f64)> = None; // (model, adequate, wrss)
+    for term in space.terms() {
+        let x: Vec<f64> = params.iter().map(|&p| term.eval(p)).collect();
+        let Some(fit) = thicket_stats::weighted_linear_fit(&x, measurements, &reps.weights)
+        else {
+            continue;
+        };
+        if !fit.rss.is_finite() {
+            continue;
+        }
+        let wrss = fit.rss;
+        let adequate = reps.adequate(wrss);
+        let candidate = model_from_fit(params, measurements, term, &fit);
+        let better = match &best {
+            None => true,
+            Some((b, b_adequate, b_wrss)) => match (adequate, b_adequate) {
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => {
+                    (candidate.term.log_power, wrss) < (b.term.log_power, *b_wrss)
+                }
+                (false, false) => wrss < *b_wrss,
+            },
+        };
+        if better {
+            best = Some((candidate, adequate, wrss));
+        }
+    }
+    best.map(|(m, _, _)| m).ok_or(ModelError::NoFit)
+}
+
+/// Assemble a [`Model`] from a (possibly weighted) linear fit. `rss` is
+/// always reported unweighted so its units stay meaningful to callers;
+/// `adjusted_r2` comes from the fit's own metric.
+fn model_from_fit(
+    params: &[f64],
+    measurements: &[f64],
+    term: Term,
+    fit: &thicket_stats::LinearFit,
+) -> Model {
+    let predicted: Vec<f64> = params.iter().map(|&p| fit.predict(term.eval(p))).collect();
+    let rss: f64 = measurements
+        .iter()
+        .zip(&predicted)
+        .map(|(y, f)| (y - f) * (y - f))
+        .sum();
+    Model {
+        c0: fit.intercept,
+        c1: fit.slope,
+        term,
+        rss,
+        adjusted_r2: fit.adjusted_r2(),
+        smape: smape(measurements, &predicted),
+    }
+}
+
+/// Replicate structure of a measurement design: per-observation weights
+/// (`1/ȳ_g²` of the observation's replicate group) and the weighted
+/// pure-error sum of squares, for the classical lack-of-fit test under
+/// multiplicative noise.
+struct Replicates {
+    weights: Vec<f64>,
+    /// Weighted within-replicate sum of squares.
+    wsspe: f64,
+    /// Pure-error degrees of freedom (`n - m`).
+    df_pe: f64,
+    /// Lack-of-fit degrees of freedom (`m - 2` for a two-coefficient fit).
+    df_lof: f64,
+}
+
+impl Replicates {
+    /// Roughly the 95th percentile of the relevant F distributions for
+    /// small ensemble designs (F(4,24) ≈ 2.78, F(1,13) ≈ 4.67); a single
+    /// conservative constant keeps selection deterministic and simple.
+    const F_CRIT: f64 = 3.0;
+
+    /// `None` when the design has no usable replication (fewer than two
+    /// pure-error dof, or no lack-of-fit dof left to test).
+    fn estimate(params: &[f64], measurements: &[f64], m: usize) -> Option<Replicates> {
+        let n = params.len();
+        if n < m + 2 || m < 3 {
+            return None;
+        }
+        // Group mean per exact parameter value.
+        let mut groups: std::collections::HashMap<u64, (f64, f64)> =
+            std::collections::HashMap::with_capacity(m);
+        for (&p, &y) in params.iter().zip(measurements) {
+            let e = groups.entry(p.to_bits()).or_insert((0.0, 0.0));
+            e.0 += 1.0;
+            e.1 += y;
+        }
+        let scale = groups
+            .values()
+            .map(|&(cnt, sum)| (sum / cnt).abs())
+            .sum::<f64>()
+            / groups.len() as f64;
+        let weight_of = |mean: f64| {
+            if scale > 0.0 {
+                // Floor tiny group means so no single group dominates.
+                let floored = mean.abs().max(1e-6 * scale);
+                1.0 / (floored * floored)
+            } else {
+                1.0
+            }
+        };
+        let mut weights = Vec::with_capacity(n);
+        let mut wsspe = 0.0;
+        for (&p, &y) in params.iter().zip(measurements) {
+            let (cnt, sum) = groups[&p.to_bits()];
+            let mean = sum / cnt;
+            let w = weight_of(mean);
+            weights.push(w);
+            wsspe += w * (y - mean) * (y - mean);
+        }
+        Some(Replicates {
+            weights,
+            wsspe,
+            df_pe: (n - m) as f64,
+            df_lof: (m - 2) as f64,
+        })
+    }
+
+    /// Is a weighted residual this small consistent with pure measurement
+    /// error? `F = (SSLOF/df_lof) / (SSPE/df_pe) ≤ F_crit`, written
+    /// multiplication-only so an exact-fit SSPE of zero needs no special
+    /// case.
+    fn adequate(&self, wrss: f64) -> bool {
+        let wsslof = (wrss - self.wsspe).max(0.0);
+        wsslof * self.df_pe
+            <= Self::F_CRIT * self.df_lof * self.wsspe + 1e-12 * (1.0 + self.wsspe)
+    }
 }
 
 /// Symmetric mean absolute percentage error, in percent.
@@ -493,6 +651,61 @@ mod tests {
         assert_eq!(smape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
         let s = smape(&[100.0], &[110.0]);
         assert!((s - 200.0 * 10.0 / 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replicated_pure_scatter_recovers_exponent() {
+        // Group means sit exactly on the planted curve; scatter is purely
+        // within-group. The replicated path must report the planted term
+        // with no log factor.
+        let mut p = Vec::new();
+        let mut y = Vec::new();
+        for &ranks in &[36.0f64, 72.0, 144.0, 288.0, 576.0, 1152.0] {
+            let truth = 150.0 - 12.0 * ranks.powf(1.0 / 3.0);
+            for delta in [-0.02, -0.01, 0.0, 0.01, 0.02] {
+                p.push(ranks);
+                y.push(truth * (1.0 + delta));
+            }
+        }
+        let m = fit_model(&p, &y).unwrap();
+        assert_eq!(m.term.exponent, Fraction::new(1, 3));
+        assert_eq!(m.term.log_power, 0);
+        assert!((m.c0 - 150.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn replicated_multiplicative_noise_recovers_exponent() {
+        // Multiplicative (heteroscedastic) noise, the regime where plain
+        // RSS selection can latch onto a log-bearing near-twin such as
+        // p^(1/4)·log2(p). Deterministic LCG noise, several seeds.
+        for seed in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut next_unit = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut p = Vec::new();
+            let mut y = Vec::new();
+            for &ranks in &[36.0f64, 72.0, 144.0, 288.0, 576.0, 1152.0] {
+                let truth = 200.0 - 18.0 * ranks.powf(1.0 / 3.0);
+                for _ in 0..5 {
+                    // ~2% relative noise via a crude normal approximation.
+                    let z = next_unit() + next_unit() + next_unit() - 1.5;
+                    p.push(ranks);
+                    y.push(truth * (1.0 + 0.02 * z * 2.0));
+                }
+            }
+            let m = fit_model(&p, &y).unwrap();
+            assert_eq!(
+                m.term.exponent,
+                Fraction::new(1, 3),
+                "seed {seed}: fitted {}",
+                m.formula()
+            );
+            assert_eq!(m.term.log_power, 0, "seed {seed}");
+        }
     }
 
     #[test]

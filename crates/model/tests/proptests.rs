@@ -18,7 +18,7 @@ proptest! {
     fn recovers_planted_single_term(
         term_idx in 0usize..56,
         c0 in -50.0f64..50.0,
-        c1 in prop_oneof![(-20.0f64..-0.5), (0.5f64..20.0)],
+        c1 in prop_oneof![-20.0f64..-0.5, 0.5f64..20.0],
     ) {
         let terms = space_terms();
         let term = terms[term_idx % terms.len()];

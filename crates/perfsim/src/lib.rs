@@ -38,7 +38,7 @@ pub mod topdown;
 
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
 pub use collector::Collector;
-pub use parallel::{simulate_cpu_ensemble, simulate_gpu_ensemble};
+pub use parallel::{default_threads, parallel_map, simulate_cpu_ensemble, simulate_gpu_ensemble};
 pub use ensemble::{load_ensemble, save_ensemble};
 pub use json::Json;
 pub use machine::{Compiler, CpuSpec, GpuSpec, NetworkSpec};

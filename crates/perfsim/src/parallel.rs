@@ -1,27 +1,32 @@
-//! Parallel ensemble generation: simulate many runs on worker threads.
+//! Parallel fan-out over worker threads with deterministic output order.
 //!
-//! The Figure 13 study alone is 560 profiles; generating ensembles is
-//! embarrassingly parallel, so this module fans configurations out over
-//! crossbeam scoped threads while keeping the output order deterministic
-//! (result `i` always corresponds to input `i`).
+//! The Figure 13 study alone is 560 profiles; generating ensembles — and
+//! assembling their rows into a thicket — is embarrassingly parallel, so
+//! this module fans work items out over crossbeam scoped threads while
+//! keeping the output order deterministic (result `i` always corresponds
+//! to input `i`, regardless of thread count or scheduling).
 
 use crate::profile::Profile;
 use crate::rajaperf::{simulate_cpu_run, simulate_gpu_run, CpuRunConfig, GpuRunConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Run `job` over every item on `threads` workers, preserving order.
-pub fn generate_parallel<T, F>(items: &[T], threads: usize, job: F) -> Vec<Profile>
+/// Run `job` over every item on `threads` workers, preserving order:
+/// `out[i] == job(&items[i])` for all `i`. Work is handed out through an
+/// atomic cursor (dynamic load balancing — items can be wildly uneven,
+/// e.g. 10⁶- vs 10⁸-element simulated runs).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, job: F) -> Vec<R>
 where
     T: Sync,
-    F: Fn(&T) -> Profile + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
 {
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
         return items.iter().map(&job).collect();
     }
-    let mut out: Vec<Option<Profile>> = (0..items.len()).map(|_| None).collect();
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<Profile>>> =
+    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
         out.iter_mut().map(parking_lot::Mutex::new).collect();
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
@@ -30,14 +35,32 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let profile = job(&items[i]);
-                **slots[i].lock() = Some(profile);
+                let result = job(&items[i]);
+                **slots[i].lock() = Some(result);
             });
         }
     })
-    .expect("generator thread panicked");
+    .expect("worker thread panicked");
     drop(slots);
-    out.into_iter().map(|p| p.expect("every slot filled")).collect()
+    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// A sensible worker count for `n` items: the machine's available
+/// parallelism, capped by the item count (at least 1).
+pub fn default_threads(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1))
+}
+
+/// Run `job` over every item on `threads` workers, preserving order.
+pub fn generate_parallel<T, F>(items: &[T], threads: usize, job: F) -> Vec<Profile>
+where
+    T: Sync,
+    F: Fn(&T) -> Profile + Sync,
+{
+    parallel_map(items, threads, job)
 }
 
 /// Simulate many CPU runs in parallel (order preserved).
@@ -88,6 +111,28 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(simulate_cpu_ensemble(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_is_order_preserving_for_any_result_type() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(&items, 1, |x| x * x);
+        for threads in [2, 3, 8, 200] {
+            assert_eq!(parallel_map(&items, threads, |x| x * x), serial);
+        }
+        // Heterogeneous result sizes keep their slots too.
+        let nested = parallel_map(&items, 4, |x| vec![*x; (*x % 5) as usize]);
+        for (i, v) in nested.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|e| *e == i as u64));
+        }
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert_eq!(default_threads(0), 1);
+        assert_eq!(default_threads(1), 1);
+        assert!(default_threads(1_000_000) >= 1);
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub use corr::{pearson, spearman};
 pub use describe::{describe, geomean, max, mean, median, min, percentile, std_dev, variance, Summary};
 pub use hist::{histogram, Histogram};
 pub use outliers::{iqr_outliers, zscore_outliers, zscores};
-pub use regress::{linear_fit, LinearFit};
+pub use regress::{linear_fit, weighted_linear_fit, LinearFit};

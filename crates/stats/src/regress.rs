@@ -74,6 +74,56 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
     })
 }
 
+/// Weighted least squares for `y = intercept + slope · x` with
+/// non-negative observation weights (e.g. `1/σᵢ²` under heteroscedastic
+/// noise). `rss` and `r2` are reported in the weighted metric, so they
+/// reduce to [`linear_fit`]'s values when all weights are 1.
+///
+/// `None` under the same degeneracies as [`linear_fit`], or when weights
+/// are negative, non-finite, or sum to zero.
+pub fn weighted_linear_fit(x: &[f64], y: &[f64], w: &[f64]) -> Option<LinearFit> {
+    if x.len() != y.len() || x.len() != w.len() || x.len() < 2 {
+        return None;
+    }
+    if w.iter().any(|&wi| wi < 0.0 || !wi.is_finite()) {
+        return None;
+    }
+    let sw: f64 = w.iter().sum();
+    if sw <= 0.0 {
+        return None;
+    }
+    let mx = x.iter().zip(w).map(|(a, wi)| a * wi).sum::<f64>() / sw;
+    let my = y.iter().zip(w).map(|(b, wi)| b * wi).sum::<f64>() / sw;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for ((a, b), wi) in x.iter().zip(y.iter()).zip(w) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxx += wi * dx * dx;
+        sxy += wi * dx * dy;
+        syy += wi * dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut rss = 0.0;
+    for ((a, b), wi) in x.iter().zip(y.iter()).zip(w) {
+        let e = b - (intercept + slope * a);
+        rss += wi * e * e;
+    }
+    let r2 = if syy == 0.0 { 1.0 } else { 1.0 - rss / syy };
+    Some(LinearFit {
+        intercept,
+        slope,
+        rss,
+        r2,
+        n: x.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +163,41 @@ mod tests {
         assert!((f.slope).abs() < 1e-12);
         assert!((f.intercept - 5.0).abs() < 1e-12);
         assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn weighted_matches_plain_under_unit_weights() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let plain = linear_fit(&x, &y).unwrap();
+        let weighted = weighted_linear_fit(&x, &y, &[1.0; 5]).unwrap();
+        assert!((plain.intercept - weighted.intercept).abs() < 1e-12);
+        assert!((plain.slope - weighted.slope).abs() < 1e-12);
+        assert!((plain.rss - weighted.rss).abs() < 1e-12);
+        assert!((plain.r2 - weighted.r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_pull_the_fit() {
+        // Three colinear points plus an outlier; weighting the outlier to
+        // zero recovers the exact line through the rest.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 100.0];
+        let f = weighted_linear_fit(&x, &y, &[1.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-9);
+        assert!((f.intercept - 1.0).abs() < 1e-9);
+        assert!(f.rss < 1e-18);
+    }
+
+    #[test]
+    fn weighted_degenerate_inputs() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0];
+        assert!(weighted_linear_fit(&x, &y, &[1.0, 1.0]).is_none()); // length
+        assert!(weighted_linear_fit(&x, &y, &[0.0, 0.0, 0.0]).is_none()); // zero mass
+        assert!(weighted_linear_fit(&x, &y, &[1.0, -1.0, 1.0]).is_none()); // negative
+        assert!(weighted_linear_fit(&x, &y, &[1.0, f64::NAN, 1.0]).is_none());
+        // All weight on a single x: degenerate predictor.
+        assert!(weighted_linear_fit(&[3.0, 3.0, 5.0], &y, &[1.0, 1.0, 0.0]).is_none());
     }
 }

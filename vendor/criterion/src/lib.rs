@@ -1,0 +1,277 @@
+//! Offline shim for the `criterion` API subset used by this workspace.
+//!
+//! Real wall-clock measurement with warmup, fixed-sample statistics
+//! (mean / median / min), and plain-text reporting — but none of
+//! upstream's adaptive sampling, outlier analysis, or HTML reports.
+//! `cargo test` passes `--test` to harness-less bench binaries; in that
+//! mode every benchmark body runs exactly once as a smoke test. A
+//! positional CLI argument acts as a substring filter on benchmark ids.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like upstream.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Full timing run.
+    Measure,
+    /// `--test`: one iteration per benchmark, no timing output.
+    Smoke,
+}
+
+/// Top-level driver handed to every `criterion_group!` target function.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Smoke,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { mode, filter, sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a single closure under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), sample_size, |b| f(b));
+        self
+    }
+
+    fn skip(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => !id.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.skip(&id) {
+            return;
+        }
+        match self.mode {
+            Mode::Smoke => {
+                let mut b = Bencher { mode: Mode::Smoke, samples: Vec::new() };
+                f(&mut b);
+                println!("test {id} ... ok");
+            }
+            Mode::Measure => {
+                // Warmup: run the body untimed for ~3 iterations or 200ms.
+                let mut b = Bencher { mode: Mode::Smoke, samples: Vec::new() };
+                let warm_start = Instant::now();
+                for _ in 0..3 {
+                    f(&mut b);
+                    if warm_start.elapsed() > Duration::from_millis(200) {
+                        break;
+                    }
+                }
+                let mut b = Bencher { mode: Mode::Measure, samples: Vec::with_capacity(sample_size) };
+                while b.samples.len() < sample_size {
+                    f(&mut b);
+                    // Keep any single benchmark under ~3s of sampling.
+                    if b.samples.iter().sum::<Duration>() > Duration::from_secs(3)
+                        && b.samples.len() >= 10
+                    {
+                        break;
+                    }
+                }
+                report(&id, &b.samples);
+            }
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(full, n, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that borrows a fixed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(full, n, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim reports
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Collects timed iterations of a benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `body` (or run it once untimed in smoke
+    /// mode). The closure's return value is passed through `black_box`
+    /// so results are not optimized away.
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(body());
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                black_box(body());
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    println!(
+        "{id:<48} mean {:>12} median {:>12} min {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        fmt_duration(min),
+        sorted.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher { mode: Mode::Measure, samples: Vec::new() };
+        for _ in 0..5 {
+            b.iter(|| black_box(1 + 1));
+        }
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("join", 10).0, "join/10");
+        assert_eq!(BenchmarkId::from_parameter(560).0, "560");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline shim for the `crossbeam` API subset used by this workspace:
+//! `crossbeam::thread::scope` with scoped `spawn`, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of [`scope`]: `Err` carries a child panic payload. With the
+    /// `std` backing, a child panic propagates out of the scope itself, so
+    /// in practice this is always `Ok` — callers `.expect()` it either way.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// A scope in which threads borrowing the enclosing stack frame can
+    /// be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again so nested spawns are possible (crossbeam's
+        /// signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a [`Scope`]; returns once every spawned thread has
+    /// finished.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = [1u64, 2, 3, 4];
+        let mut partial = [0u64; 2];
+        super::thread::scope(|scope| {
+            let (a, b) = partial.split_at_mut(1);
+            let (lo, hi) = data.split_at(2);
+            scope.spawn(|_| a[0] = lo.iter().sum());
+            scope.spawn(|_| b[0] = hi.iter().sum());
+        })
+        .unwrap();
+        assert_eq!(partial[0] + partial[1], 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

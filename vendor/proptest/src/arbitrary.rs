@@ -1,0 +1,87 @@
+//! `any::<T>()` for the primitive types the workspace's tests draw
+//! without an explicit range.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    fn arbitrary() -> ArbFn<Self>;
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbFn<T> {
+    T::arbitrary()
+}
+
+/// Function-backed strategy used by [`any`].
+#[derive(Clone, Copy)]
+pub struct ArbFn<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for ArbFn<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbFn<$t> {
+                ArbFn(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> ArbFn<bool> {
+        ArbFn(TestRng::bool)
+    }
+}
+
+impl Arbitrary for f64 {
+    // Finite values only (a tame subset of upstream's domain).
+    fn arbitrary() -> ArbFn<f64> {
+        ArbFn(|rng| (rng.f64_unit() - 0.5) * 2e12)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary() -> ArbFn<f32> {
+        ArbFn(|rng| ((rng.f64_unit() - 0.5) * 2e6) as f32)
+    }
+}
+
+impl Arbitrary for char {
+    // Printable ASCII keeps generated text debuggable.
+    fn arbitrary() -> ArbFn<char> {
+        ArbFn(|rng| char::from_u32(rng.usize_in(0x20, 0x7e) as u32).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_domains() {
+        let mut rng = TestRng::for_test("arbitrary::unit");
+        let mut seen = [false; 256];
+        let s = any::<u8>();
+        for _ in 0..8000 {
+            seen[s.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 250);
+        let sb = any::<bool>();
+        let (mut t, mut f) = (false, false);
+        for _ in 0..100 {
+            if sb.new_value(&mut rng) { t = true } else { f = true }
+        }
+        assert!(t && f);
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline shim for the `proptest` API subset used by this workspace.
+//!
+//! Implements `proptest!` (with optional `#![proptest_config(...)]`),
+//! `prop_assert*`, `prop_assume!`, `prop_oneof!`, range/tuple/str
+//! strategies, `any::<T>()`, and `collection::{vec, hash_set}` on top of
+//! a deterministic per-test RNG. Differences from upstream: no
+//! shrinking (failures report the raw generated values) and seeds derive
+//! from the test path (override with `PROPTEST_SEED`; case count with
+//! `PROPTEST_CASES`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws inputs from the strategies and runs the
+/// body for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __cases = $crate::test_runner::resolved_cases(($cfg).cases);
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __cases.saturating_mul(20).max(1000);
+                while __accepted < __cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest: prop_assume! rejected too many cases in `{}` \
+                         ({} accepted of {} wanted after {} attempts)",
+                        stringify!($name),
+                        __accepted,
+                        __cases,
+                        __attempts,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                    )+
+                    // The immediately-called closure scopes `?`-style
+                    // rejection (prop_assume!) to this one case.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if __outcome.is_ok() {
+                        __accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Reject the current case unless the condition holds; the runner draws
+/// a replacement case instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn draws_respect_strategies(x in 0i64..10, v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(v.len() < 4);
+        }
+
+        fn assume_rejects_without_failing(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        fn oneof_and_str_strategies(tag in prop_oneof![Just(0u8), Just(1u8)], s in "[a-z]{1,3}") {
+            prop_assert!(tag < 2);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert_ne!(s.as_str(), "");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("same::name");
+        let mut b = crate::test_runner::TestRng::for_test("same::name");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Tiny regex-subset string generator backing the `&str` strategy.
+//!
+//! Supported syntax: literal characters, `[...]` character classes with
+//! ranges and `\`-escapes, and the repetition suffixes `{m}`, `{m,n}`,
+//! `?`, `*`, `+` (unbounded repeats are capped at 8). This covers the
+//! class-plus-count patterns the workspace's property tests use, e.g.
+//! `"[a-z]{0,6}"`.
+
+use crate::test_runner::TestRng;
+
+/// One pattern element: a set of `(lo, hi)` inclusive char ranges plus a
+/// repetition count range.
+struct Token {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Token> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    // `a-z` range (a trailing `-` is a literal dash).
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [class] in pattern {pattern:?}");
+                i += 1; // skip ']'
+                ranges
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![(c, c)]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .expect("unterminated {m,n} in pattern");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => {
+                            let m: usize = m.trim().parse().expect("bad {m,n}");
+                            let n: usize = n.trim().parse().expect("bad {m,n}");
+                            (m, n)
+                        }
+                        None => {
+                            let m: usize = body.trim().parse().expect("bad {m}");
+                            (m, m)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        tokens.push(Token { ranges, min, max });
+    }
+    tokens
+}
+
+fn pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+    let mut idx = rng.usize_in(0, total as usize - 1) as u32;
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if idx < span {
+            return char::from_u32(lo as u32 + idx).expect("range landed on a non-char");
+        }
+        idx -= span;
+    }
+    unreachable!("pick index exceeded range total")
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for tok in parse(pattern) {
+        let n = rng.usize_in(tok.min, tok.max);
+        for _ in 0..n {
+            out.push(pick(&tok.ranges, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen100(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::for_test("string::unit");
+        (0..100).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_count() {
+        for s in gen100("[a-z]{0,6}") {
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn escapes_and_literals() {
+        // The exact class used by the core round-trip tests.
+        let allowed = |c: char| {
+            c.is_ascii_alphanumeric() || " _-\"\\\n\t".contains(c)
+        };
+        for s in gen100("[a-zA-Z0-9 _\\-\"\\\\\n\t]{0,12}") {
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(allowed), "bad char in {s:?}");
+        }
+        assert!(gen100("ab{2}c").iter().all(|s| s == "abbc"));
+    }
+}

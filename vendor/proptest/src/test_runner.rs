@@ -1,0 +1,103 @@
+//! Case runner plumbing: configuration, the per-test RNG, and the
+//! rejection marker used by `prop_assume!`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Marker returned (via `Err`) when `prop_assume!` rejects a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Runner configuration. Only `cases` is consulted by the shim; the
+/// remaining knobs of upstream proptest are accepted-and-ignored through
+/// `Default`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Resolve the case count, honouring a `PROPTEST_CASES` env override.
+pub fn resolved_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Deterministic per-test random source. Seeded from the test's path so
+/// every run (and every machine) explores the same inputs; set
+/// `PROPTEST_SEED` to explore a different universe.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let base = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse().unwrap_or(0u64),
+            Err(_) => 0,
+        };
+        // FNV-1a over the test path, mixed with the optional user seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen_range(0u64..=u64::MAX)
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `i128` in `[lo, hi)` (wide enough for every int strategy).
+    pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u128;
+        let v = (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % span;
+        lo + v as i128
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen_range(0.0f64..1.0)
+    }
+
+    /// Uniform choice among `n` alternatives.
+    pub fn choice(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// Random bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
