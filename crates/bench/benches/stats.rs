@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the aggregated-statistics path (paper §4.4,
+//! Figure 9): node-level group-by over the perf-data table and the
+//! multi-reduction statsframe computation, at 10/100/560-profile scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thicket_bench::data;
+use thicket_core::Thicket;
+use thicket_dataframe::{AggFn, ColKey, GroupBy, Value};
+
+fn thicket_of(n: u64) -> Thicket {
+    let profiles = data::quartz_runs(n, 1_048_576);
+    let ids: Vec<Value> = (0..profiles.len() as i64).map(Value::Int).collect();
+    Thicket::from_profiles_indexed(&profiles, &ids).unwrap()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    for &n in &[10u64, 100, 560] {
+        let tk = thicket_of(n);
+        group.bench_with_input(BenchmarkId::new("compute", n), &tk, |b, tk| {
+            let mut tk = tk.clone();
+            let specs = [(
+                ColKey::new("time (exc)"),
+                vec![AggFn::Mean, AggFn::Std, AggFn::Min, AggFn::Max],
+            )];
+            b.iter(|| {
+                tk.compute_stats(&specs).unwrap();
+                tk.statsframe().len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("groupby_mean", n), &tk, |b, tk| {
+            b.iter(|| {
+                GroupBy::by_levels(tk.perf_data(), &["node"])
+                    .unwrap()
+                    .agg(AggFn::Mean)
+                    .unwrap()
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -190,7 +190,7 @@ pub fn concat_thickets_threads(
     // graph for display but note lookups go through names.
     Thicket::from_components(
         result_graph,
-        perf_data.sort_by_index(),
+        crate::order::sort_frame_by_index_threads(&perf_data, threads),
         metadata,
         DataFrame::new(Index::empty([NODE_LEVEL])),
     )

@@ -1,13 +1,140 @@
 //! Additional thicket operations beyond the paper's §4 core set:
-//! graph squashing (Hatchet's `squash`), node intersection across
-//! profiles, string-dialect querying, and CSV export.
+//! incremental ensemble growth ([`Thicket::extend`]), graph squashing
+//! (Hatchet's `squash`), node intersection across profiles,
+//! string-dialect querying, and CSV export.
 
-use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
+use crate::thicket::{profile_fragments, Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
 use std::collections::{HashMap, HashSet};
-use thicket_dataframe::{to_csv, ColKey, DataFrame, Index, Value};
+use thicket_dataframe::{
+    merge_fragments, to_csv, ColKey, ColumnFragments, DataFrame, FrameBuilder, Index, Key, Value,
+};
+use thicket_perfsim::Profile;
 use thicket_query::Query;
 
 impl Thicket {
+    /// Ingest additional profiles into this thicket in place — the
+    /// incremental counterpart of [`Thicket::from_profiles_indexed`].
+    ///
+    /// The existing performance data is *not* rebuilt from its source
+    /// profiles: it rides into the merge as one pre-typed column batch,
+    /// re-keyed through the graph union, alongside one freshly
+    /// assembled batch per new profile. The result equals rebuilding
+    /// from the full profile set whenever the existing thicket was
+    /// itself built by `from_profiles*`.
+    ///
+    /// Aggregated statistics are cleared: they described the old
+    /// ensemble.
+    pub fn extend(
+        &mut self,
+        profiles: &[Profile],
+        profile_ids: &[Value],
+    ) -> Result<(), ThicketError> {
+        self.extend_threads(
+            profiles,
+            profile_ids,
+            thicket_perfsim::default_threads(profiles.len()),
+        )
+    }
+
+    /// [`Thicket::extend`] with an explicit worker count; bit-identical
+    /// for any `threads ≥ 1`.
+    pub fn extend_threads(
+        &mut self,
+        profiles: &[Profile],
+        profile_ids: &[Value],
+        threads: usize,
+    ) -> Result<(), ThicketError> {
+        if profiles.len() != profile_ids.len() {
+            return Err(ThicketError::Invalid(format!(
+                "{} profiles but {} profile ids",
+                profiles.len(),
+                profile_ids.len()
+            )));
+        }
+        if profiles.is_empty() {
+            return Ok(());
+        }
+        {
+            let existing: HashSet<Value> = self.profiles().into_iter().collect();
+            let mut seen = HashSet::new();
+            for id in profile_ids {
+                if existing.contains(id) || !seen.insert(id) {
+                    return Err(ThicketError::Invalid(format!("duplicate profile id {id}")));
+                }
+            }
+        }
+
+        // Union the existing unified graph with the new call trees. The
+        // existing graph goes first, so `mappings[0]` re-keys the rows
+        // already in the thicket.
+        let mut graphs: Vec<&thicket_graph::Graph> = Vec::with_capacity(profiles.len() + 1);
+        graphs.push(&self.graph);
+        graphs.extend(profiles.iter().map(|p| p.graph()));
+        let union = thicket_graph::GraphUnion::build(&graphs);
+
+        // Existing perf rows as one pre-typed fragment batch.
+        let self_mapping = &union.mappings[0];
+        let keys: Vec<Key> = self
+            .perf_data
+            .index()
+            .keys()
+            .iter()
+            .map(|key| {
+                let old = self.node_of_value(&key[0]).ok_or_else(|| {
+                    ThicketError::Invalid("perf row references unknown node".into())
+                })?;
+                Ok(vec![
+                    Value::Int(self_mapping[&old].index() as i64),
+                    key[1].clone(),
+                ])
+            })
+            .collect::<Result<_, ThicketError>>()?;
+        let mut frags = Vec::with_capacity(profiles.len() + 1);
+        let mut base = ColumnFragments::with_keys([NODE_LEVEL, PROFILE_LEVEL], keys)?;
+        for (k, c) in self.perf_data.columns() {
+            base.push_column(k.clone(), c.clone())?;
+        }
+        frags.push(base);
+
+        // One typed batch per new profile, assembled on the workers.
+        frags.extend(profile_fragments(
+            profiles,
+            &union.mappings[1..],
+            profile_ids,
+            threads,
+        )?);
+        let perf_data =
+            crate::order::sort_frame_by_index_threads(&merge_fragments(&frags)?, threads);
+
+        // Metadata: existing rows as a fragment, new rows per profile.
+        let meta_keys: Vec<Key> = self
+            .metadata
+            .index()
+            .keys()
+            .iter()
+            .map(|key| vec![key[0].clone()])
+            .collect();
+        let mut meta_base = ColumnFragments::with_keys([PROFILE_LEVEL], meta_keys)?;
+        for (k, c) in self.metadata.columns() {
+            meta_base.push_column(k.clone(), c.clone())?;
+        }
+        let mut mb = FrameBuilder::new([PROFILE_LEVEL]);
+        for (profile, pid) in profiles.iter().zip(profile_ids.iter()) {
+            mb.push_row(
+                vec![pid.clone()],
+                profile
+                    .metadata_iter()
+                    .map(|(k, v)| (ColKey::new(k), v.clone())),
+            )?;
+        }
+        let metadata = merge_fragments(&[meta_base, mb.finish_fragments()])?;
+
+        self.graph = union.graph;
+        self.perf_data = perf_data;
+        self.metadata = metadata;
+        self.statsframe = DataFrame::new(Index::empty([NODE_LEVEL]));
+        Ok(())
+    }
     /// Remove call-graph nodes that carry no performance data (e.g.
     /// structural interior nodes another profile contributed), rebuilding
     /// ancestry through nearest kept ancestors — Hatchet's `squash`.
@@ -221,6 +348,84 @@ mod tests {
         let d = a.graph_diff(&b);
         assert!(d.is_identical());
         assert_eq!(d.similarity(), 1.0);
+    }
+
+    #[test]
+    fn extend_matches_full_rebuild() {
+        let profiles: Vec<Profile> = (1..=4)
+            .map(|run| profile_with_structure(run, run % 2 == 0))
+            .collect();
+        let ids: Vec<Value> = (0..4i64).map(Value::Int).collect();
+        let full = Thicket::from_profiles_indexed(&profiles, &ids).unwrap();
+
+        let mut grown = Thicket::from_profiles_indexed(&profiles[..2], &ids[..2]).unwrap();
+        grown.extend(&profiles[2..], &ids[2..]).unwrap();
+        assert_eq!(grown.perf_data(), full.perf_data());
+        assert_eq!(grown.metadata(), full.metadata());
+        assert_eq!(grown.graph().len(), full.graph().len());
+        assert!(grown.statsframe().is_empty());
+
+        // Thread count does not change the result.
+        let mut one = Thicket::from_profiles_indexed(&profiles[..2], &ids[..2]).unwrap();
+        one.extend_threads(&profiles[2..], &ids[2..], 1).unwrap();
+        let mut eight = Thicket::from_profiles_indexed(&profiles[..2], &ids[..2]).unwrap();
+        eight.extend_threads(&profiles[2..], &ids[2..], 8).unwrap();
+        assert_eq!(one.perf_data(), eight.perf_data());
+        assert_eq!(one.metadata(), eight.metadata());
+    }
+
+    #[test]
+    fn extend_unions_divergent_trees() {
+        let base = profile_with_structure(1, false);
+        let mut g = Graph::new();
+        let main = g.add_root(Frame::named("main"));
+        let wrapper = g.add_child(main, Frame::named("wrapper"));
+        let kernel = g.add_child(wrapper, Frame::named("kernel"));
+        let extra = g.add_child(wrapper, Frame::named("leaf2"));
+        let mut divergent = Profile::new(g);
+        divergent.set_metadata("run", 2i64);
+        divergent.set_metric(kernel, "time", 2.0);
+        divergent.set_metric(extra, "time", 7.0);
+
+        let mut tk = Thicket::from_profiles_indexed(&[base], &[Value::Int(0)]).unwrap();
+        assert_eq!(tk.graph().len(), 3);
+        tk.extend(&[divergent], &[Value::Int(1)]).unwrap();
+        assert_eq!(tk.graph().len(), 4);
+        assert_eq!(tk.profiles().len(), 2);
+        let leaf2 = tk.find_node("leaf2").unwrap();
+        assert_eq!(
+            tk.metric_at(leaf2, &Value::Int(1), &ColKey::new("time")),
+            Some(7.0)
+        );
+        // The old profile never measured the new node.
+        assert_eq!(tk.metric_at(leaf2, &Value::Int(0), &ColKey::new("time")), None);
+    }
+
+    #[test]
+    fn extend_validates_ids_and_handles_empty() {
+        let mut tk =
+            Thicket::from_profiles_indexed(&[profile_with_structure(1, false)], &[Value::Int(0)])
+                .unwrap();
+        // Colliding with an existing profile id.
+        assert!(tk
+            .extend(&[profile_with_structure(2, false)], &[Value::Int(0)])
+            .is_err());
+        // Duplicated within the new batch.
+        assert!(tk
+            .extend(
+                &[profile_with_structure(2, false), profile_with_structure(3, false)],
+                &[Value::Int(1), Value::Int(1)]
+            )
+            .is_err());
+        // Arity mismatch.
+        assert!(tk
+            .extend(&[profile_with_structure(2, false)], &[])
+            .is_err());
+        // Empty extension is a no-op.
+        let before = tk.perf_data().clone();
+        tk.extend(&[], &[]).unwrap();
+        assert_eq!(tk.perf_data(), &before);
+        assert_eq!(tk.profiles().len(), 1);
     }
 
     #[test]

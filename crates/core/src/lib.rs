@@ -37,6 +37,7 @@ mod display;
 mod extend;
 mod model_glue;
 mod ops;
+mod order;
 mod pivot;
 mod rowconcat;
 mod stats;

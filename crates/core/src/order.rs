@@ -1,0 +1,76 @@
+//! Parallel index ordering: the last serial stage of ingest.
+//!
+//! After the columnar merge, every construction path ends with "sort the
+//! perf-data rows by `(node, profile)` key". For 560-profile ensembles
+//! that stable sort was the remaining serial tail, so it fans out here:
+//! workers stable-sort disjoint contiguous chunks via
+//! [`Index::argsort_range`], and one serial k-way merge
+//! ([`Index::merge_argsort_runs`]) stitches the runs, resolving ties to
+//! the earliest chunk. The result is bit-identical to
+//! [`Index::argsort`] for any thread count.
+
+use thicket_dataframe::{DataFrame, Index};
+
+/// Chunked parallel stable argsort of `index`, identical to
+/// `index.argsort()` for every `threads ≥ 1`.
+pub(crate) fn parallel_argsort(index: &Index, threads: usize) -> Vec<usize> {
+    let n = index.len();
+    if threads <= 1 || n < 2 {
+        return index.argsort();
+    }
+    let chunks = threads.min(n);
+    let step = n.div_ceil(chunks);
+    let ranges: Vec<(usize, usize)> = (0..n).step_by(step).map(|lo| (lo, lo + step)).collect();
+    let runs = thicket_perfsim::parallel_map(&ranges, threads, |&(lo, hi)| {
+        index.argsort_range(lo, hi)
+    });
+    index.merge_argsort_runs(&runs)
+}
+
+/// `df.sort_by_index()` with the argsort fanned out over `threads`
+/// workers; bit-identical to the serial sort.
+pub(crate) fn sort_frame_by_index_threads(df: &DataFrame, threads: usize) -> DataFrame {
+    df.take(&parallel_argsort(df.index(), threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thicket_dataframe::Value;
+
+    #[test]
+    fn parallel_argsort_matches_serial() {
+        // Many duplicate keys to stress merge stability.
+        let vals: Vec<i64> = (0..257).map(|i| (i * 31 + 7) % 13).collect();
+        let index = Index::single("k", vals);
+        let serial = index.argsort();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(parallel_argsort(&index, threads), serial, "threads={threads}");
+        }
+        // Tiny inputs fall back to the serial path.
+        let one = Index::single("k", vec![5i64]);
+        assert_eq!(parallel_argsort(&one, 8), vec![0]);
+        let empty = Index::new(["k"], Vec::new()).unwrap();
+        assert!(parallel_argsort(&empty, 8).is_empty());
+    }
+
+    #[test]
+    fn sort_frame_matches_serial() {
+        let index = Index::pairs(
+            ("node", "profile"),
+            (0..100i64).map(|i| (i % 7, 99 - i)).collect::<Vec<_>>(),
+        );
+        let mut df = DataFrame::new(index);
+        df.insert(
+            "x",
+            thicket_dataframe::Column::from_f64((0..100).map(|i| i as f64).collect()),
+        )
+        .unwrap();
+        let serial = df.sort_by_index();
+        for threads in [1, 2, 8] {
+            assert_eq!(sort_frame_by_index_threads(&df, threads), serial);
+        }
+        // Keys actually ordered.
+        assert_eq!(serial.index().key(0), &vec![Value::Int(0), Value::Int(1)]);
+    }
+}

@@ -5,7 +5,7 @@
 
 use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
 use std::collections::HashSet;
-use thicket_dataframe::{ColKey, DataFrame, FrameBuilder, Index, Key, Value};
+use thicket_dataframe::{merge_fragments, ColumnFragments, DataFrame, Index, Key, Value};
 use thicket_graph::GraphUnion;
 
 /// Pool the profiles of several thickets into one thicket: call graphs
@@ -46,56 +46,57 @@ pub fn concat_thickets_rows_threads(
     let graphs: Vec<&thicket_graph::Graph> = inputs.iter().map(|t| t.graph()).collect();
     let union = GraphUnion::build(&graphs);
 
-    // Perf rows: re-key node level through each input's mapping, one
-    // batch per input on the workers. The serial FrameBuilder merge
-    // below null-fills metric columns one input lacks and keeps row
-    // order independent of the thread count.
-    type RowBatch = Vec<(Key, Vec<(ColKey, Value)>)>;
+    // Perf rows: each worker re-keys its input's node level through the
+    // graph mapping and emits a typed column batch — the index fragment
+    // plus the input's columns, cloned whole (inputs are already
+    // columnar, so no per-cell boxing). `merge_fragments` then
+    // null-fills metric columns an input lacks in one schema-union
+    // pass, keeping row order independent of the thread count.
     let items: Vec<_> = inputs.iter().zip(union.mappings.iter()).collect();
-    let batches: Vec<Result<RowBatch, ThicketError>> =
+    let frags: Vec<Result<ColumnFragments, ThicketError>> =
         thicket_perfsim::parallel_map(&items, threads, |(tk, mapping)| {
-            tk.perf_data()
+            let keys: Vec<Key> = tk
+                .perf_data()
                 .index()
                 .keys()
                 .iter()
-                .enumerate()
-                .map(|(row, key)| {
+                .map(|key| {
                     let old = tk.node_of_value(&key[0]).ok_or_else(|| {
                         ThicketError::Invalid("perf row references unknown node".into())
                     })?;
-                    let new = mapping[&old];
-                    Ok((
-                        vec![Value::Int(new.index() as i64), key[1].clone()],
-                        tk.perf_data()
-                            .columns()
-                            .map(|(k, c)| (k.clone(), c.get(row)))
-                            .collect(),
-                    ))
+                    Ok(vec![
+                        Value::Int(mapping[&old].index() as i64),
+                        key[1].clone(),
+                    ])
                 })
-                .collect()
+                .collect::<Result<_, ThicketError>>()?;
+            let mut frag = ColumnFragments::with_keys([NODE_LEVEL, PROFILE_LEVEL], keys)?;
+            for (k, c) in tk.perf_data().columns() {
+                frag.push_column(k.clone(), c.clone())?;
+            }
+            Ok(frag)
         });
+    let frags: Vec<ColumnFragments> = frags.into_iter().collect::<Result<_, _>>()?;
+    let perf_data =
+        crate::order::sort_frame_by_index_threads(&merge_fragments(&frags)?, threads);
 
-    let mut fb = FrameBuilder::new([NODE_LEVEL, PROFILE_LEVEL]);
-    for batch in batches {
-        for (key, cells) in batch? {
-            fb.push_row(key, cells)?;
-        }
-    }
-    let perf_data = fb.finish()?.sort_by_index();
-
-    // Metadata rows concatenate; columns union with null fill.
-    let mut mb = FrameBuilder::new([PROFILE_LEVEL]);
+    // Metadata rows concatenate the same way; columns union, null fill.
+    let mut meta_frags: Vec<ColumnFragments> = Vec::with_capacity(inputs.len());
     for tk in inputs {
-        for (row, key) in tk.metadata().index().keys().iter().enumerate() {
-            mb.push_row(
-                vec![key[0].clone()],
-                tk.metadata()
-                    .columns()
-                    .map(|(k, c)| (k.clone(), c.get(row))),
-            )?;
+        let keys: Vec<Key> = tk
+            .metadata()
+            .index()
+            .keys()
+            .iter()
+            .map(|key| vec![key[0].clone()])
+            .collect();
+        let mut frag = ColumnFragments::with_keys([PROFILE_LEVEL], keys)?;
+        for (k, c) in tk.metadata().columns() {
+            frag.push_column(k.clone(), c.clone())?;
         }
+        meta_frags.push(frag);
     }
-    let metadata = mb.finish()?;
+    let metadata = merge_fragments(&meta_frags)?;
 
     Thicket::from_components(
         union.graph,

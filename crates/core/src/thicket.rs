@@ -4,7 +4,8 @@
 use std::collections::HashMap;
 use std::fmt;
 use thicket_dataframe::{
-    ColKey, DataFrame, DfError, FrameBuilder, Index, Value,
+    merge_fragments, ColKey, Column, ColumnFragments, DataFrame, DfError, FrameBuilder, Index,
+    Value,
 };
 use thicket_graph::{Graph, GraphUnion, NodeId};
 use thicket_perfsim::Profile;
@@ -126,49 +127,15 @@ impl Thicket {
         // one unified node (duplicate sibling frames, as a call-tree
         // profiler would have merged); their metrics are summed.
         //
-        // Assembly is per-profile independent, so it fans out over the
-        // workers; only the final FrameBuilder merge below is serial,
-        // which keeps row order (and hence the whole thicket) identical
-        // to a single-threaded build.
-        type ProfileRows = Vec<(i64, Vec<(String, f64)>)>;
-        let items: Vec<(&Profile, &std::collections::HashMap<NodeId, NodeId>)> =
-            profiles.iter().zip(union.mappings.iter()).collect();
-        let batches: Vec<ProfileRows> =
-            thicket_perfsim::parallel_map(&items, threads, |(profile, mapping)| {
-                let mut merged: std::collections::BTreeMap<
-                    NodeId,
-                    std::collections::BTreeMap<String, f64>,
-                > = std::collections::BTreeMap::new();
-                for old_id in profile.graph().ids() {
-                    let metrics = profile.node_metrics(old_id);
-                    if metrics.is_empty() {
-                        continue;
-                    }
-                    let slot = merged.entry(mapping[&old_id]).or_default();
-                    for (k, v) in metrics {
-                        *slot.entry(k.clone()).or_insert(0.0) += v;
-                    }
-                }
-                merged
-                    .into_iter()
-                    .map(|(new_id, metrics)| {
-                        (new_id.index() as i64, metrics.into_iter().collect())
-                    })
-                    .collect()
-            });
-
-        let mut fb = FrameBuilder::new([NODE_LEVEL, PROFILE_LEVEL]);
-        for (batch, pid) in batches.into_iter().zip(profile_ids.iter()) {
-            for (node, metrics) in batch {
-                fb.push_row(
-                    vec![Value::Int(node), pid.clone()],
-                    metrics
-                        .into_iter()
-                        .map(|(k, v)| (ColKey::new(&k), Value::Float(v))),
-                )?;
-            }
-        }
-        let perf_data = fb.finish()?.sort_by_index();
+        // Each worker assembles a typed per-profile column batch
+        // ([`ColumnFragments`]): index keys plus one `f64` fragment per
+        // metric it saw. The serial tail is then a single schema-union
+        // pass and per-column `Vec` concatenation (`merge_fragments`)
+        // instead of re-hashing every cell through a row builder — and
+        // stays bit-identical to the serial build for any `threads ≥ 1`.
+        let frags = profile_fragments(profiles, &union.mappings, profile_ids, threads)?;
+        let perf_data =
+            crate::order::sort_frame_by_index_threads(&merge_fragments(&frags)?, threads);
 
         // Metadata: one row per profile.
         let mut mb = FrameBuilder::new([PROFILE_LEVEL]);
@@ -408,6 +375,99 @@ impl Thicket {
         self.perf_data.insert_values(key, values)?;
         Ok(())
     }
+}
+
+/// Assemble one typed [`ColumnFragments`] batch per profile on `threads`
+/// workers: index keys `(unified node, profile id)` in node order, plus
+/// one `f64` column fragment per metric the profile measured (duplicate
+/// source nodes merging into one unified node have their metrics
+/// summed). Batch order follows `profiles`, so downstream merges are
+/// deterministic for any thread count.
+pub(crate) fn profile_fragments(
+    profiles: &[Profile],
+    mappings: &[HashMap<NodeId, NodeId>],
+    profile_ids: &[Value],
+    threads: usize,
+) -> Result<Vec<ColumnFragments>, DfError> {
+    let items: Vec<(&Profile, &HashMap<NodeId, NodeId>, &Value)> = profiles
+        .iter()
+        .zip(mappings.iter())
+        .zip(profile_ids.iter())
+        .map(|((p, m), id)| (p, m, id))
+        .collect();
+    // One row's merged metric view. The overwhelmingly common case — a
+    // source node that maps alone onto its unified node — borrows the
+    // profile's own metric map; only genuinely merged duplicates pay for
+    // an owned sum map.
+    enum Metrics<'a> {
+        Borrowed(&'a std::collections::BTreeMap<String, f64>),
+        Owned(std::collections::BTreeMap<String, f64>),
+    }
+    impl Metrics<'_> {
+        fn map(&self) -> &std::collections::BTreeMap<String, f64> {
+            match self {
+                Metrics::Borrowed(m) => m,
+                Metrics::Owned(m) => m,
+            }
+        }
+    }
+
+    let frags: Vec<Result<ColumnFragments, DfError>> =
+        thicket_perfsim::parallel_map(&items, threads, |(profile, mapping, pid)| {
+            // Measured source nodes keyed by their unified node id, in
+            // unified-node order (stable sort keeps duplicate groups in
+            // source order, so their sums are deterministic).
+            let mut pairs: Vec<(i64, NodeId)> = profile
+                .graph()
+                .ids()
+                .filter(|id| !profile.node_metrics(*id).is_empty())
+                .map(|old| (mapping[&old].index() as i64, old))
+                .collect();
+            pairs.sort_by_key(|&(new, _)| new);
+
+            let mut rows: Vec<(i64, Metrics<'_>)> = Vec::with_capacity(pairs.len());
+            let mut i = 0;
+            while i < pairs.len() {
+                let (node, first) = pairs[i];
+                let mut j = i + 1;
+                while j < pairs.len() && pairs[j].0 == node {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    rows.push((node, Metrics::Borrowed(profile.node_metrics(first))));
+                } else {
+                    let mut sum = profile.node_metrics(first).clone();
+                    for &(_, old) in &pairs[i + 1..j] {
+                        for (k, v) in profile.node_metrics(old) {
+                            *sum.entry(k.clone()).or_insert(0.0) += v;
+                        }
+                    }
+                    rows.push((node, Metrics::Owned(sum)));
+                }
+                i = j;
+            }
+
+            let mut frag = ColumnFragments::new([NODE_LEVEL, PROFILE_LEVEL]);
+            let mut names: Vec<&str> = Vec::new();
+            let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+            for (node, metrics) in &rows {
+                frag.push_key(vec![Value::Int(*node), (*pid).clone()])?;
+                for k in metrics.map().keys() {
+                    if seen.insert(k.as_str()) {
+                        names.push(k.as_str());
+                    }
+                }
+            }
+            for name in names {
+                let vals: Vec<Option<f64>> = rows
+                    .iter()
+                    .map(|(_, m)| m.map().get(name).copied())
+                    .collect();
+                frag.push_column(ColKey::new(name), Column::from_opt_f64(&vals))?;
+            }
+            Ok(frag)
+        });
+    frags.into_iter().collect()
 }
 
 impl fmt::Display for Thicket {

@@ -5,11 +5,22 @@
 //! name plus an optional group label; ungrouped frames simply leave the
 //! group empty.
 
+use crate::intern::intern;
+use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
 /// A (group, name) column identifier.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Construction goes through the global [`crate::intern`] table, so every
+/// spelling of a name shares one `Arc<str>`; equality and ordering between
+/// interned keys short-circuit on pointer identity before falling back to
+/// a character compare (which keeps keys built around foreign, uninterned
+/// arcs fully interoperable).
+#[derive(Debug, Clone, Eq, Hash)]
+// The manual `PartialEq` below is the derived content equality plus a
+// pointer-identity shortcut, so it stays consistent with derived `Hash`.
+#[allow(clippy::derived_hash_with_manual_eq)]
 pub struct ColKey {
     /// Optional top-level label (e.g. `"CPU"` after column-axis composition).
     pub group: Option<Arc<str>>,
@@ -17,27 +28,72 @@ pub struct ColKey {
     pub name: Arc<str>,
 }
 
+/// Pointer-identity fast path: interned strings of equal spelling share
+/// one allocation, so the common case never touches the characters.
+fn arc_str_eq(a: &Arc<str>, b: &Arc<str>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
+fn arc_str_cmp(a: &Arc<str>, b: &Arc<str>) -> Ordering {
+    if Arc::ptr_eq(a, b) {
+        Ordering::Equal
+    } else {
+        a.cmp(b)
+    }
+}
+
+// Manual `PartialEq`/`Ord` to exploit the interner's pointer sharing.
+// `Hash` stays derived (it hashes the string contents), so the manual
+// equality is consistent with it: pointer-equal ⇒ content-equal.
+impl PartialEq for ColKey {
+    fn eq(&self, other: &Self) -> bool {
+        (match (&self.group, &other.group) {
+            (None, None) => true,
+            (Some(a), Some(b)) => arc_str_eq(a, b),
+            _ => false,
+        }) && arc_str_eq(&self.name, &other.name)
+    }
+}
+
+impl Ord for ColKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let by_group = match (&self.group, &other.group) {
+            (None, None) => Ordering::Equal,
+            (None, Some(_)) => Ordering::Less,
+            (Some(_), None) => Ordering::Greater,
+            (Some(a), Some(b)) => arc_str_cmp(a, b),
+        };
+        by_group.then_with(|| arc_str_cmp(&self.name, &other.name))
+    }
+}
+
+impl PartialOrd for ColKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl ColKey {
     /// Ungrouped column key.
     pub fn new(name: impl AsRef<str>) -> Self {
         ColKey {
             group: None,
-            name: Arc::from(name.as_ref()),
+            name: intern(name.as_ref()),
         }
     }
 
     /// Grouped column key (`group` is the top index level).
     pub fn grouped(group: impl AsRef<str>, name: impl AsRef<str>) -> Self {
         ColKey {
-            group: Some(Arc::from(group.as_ref())),
-            name: Arc::from(name.as_ref()),
+            group: Some(intern(group.as_ref())),
+            name: intern(name.as_ref()),
         }
     }
 
     /// This key re-labelled under `group`.
     pub fn under(&self, group: impl AsRef<str>) -> Self {
         ColKey {
-            group: Some(Arc::from(group.as_ref())),
+            group: Some(intern(group.as_ref())),
             name: self.name.clone(),
         }
     }
@@ -109,5 +165,31 @@ mod tests {
         let b = ColKey::grouped("CPU", "a");
         // Ungrouped (None) sorts before grouped (Some).
         assert!(a < b);
+        assert!(ColKey::grouped("CPU", "a") < ColKey::grouped("CPU", "b"));
+        assert!(ColKey::grouped("CPU", "x") < ColKey::grouped("GPU", "a"));
+        assert_eq!(
+            ColKey::grouped("CPU", "a").cmp(&ColKey::grouped("CPU", "a")),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn construction_interns_names() {
+        let a = ColKey::new("interned-metric");
+        let b = ColKey::new("interned-metric");
+        assert!(Arc::ptr_eq(&a.name, &b.name));
+        assert_eq!(a, b);
+        // Keys around foreign (uninterned) arcs still compare by content.
+        let foreign = ColKey {
+            group: None,
+            name: Arc::from("interned-metric"),
+        };
+        assert!(!Arc::ptr_eq(&a.name, &foreign.name));
+        assert_eq!(a, foreign);
+        assert_eq!(a.cmp(&foreign), std::cmp::Ordering::Equal);
+        // Hash consistency: equal keys land in the same bucket.
+        let mut set = std::collections::HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&foreign));
     }
 }

@@ -104,6 +104,22 @@ impl Column {
         }
     }
 
+    /// Build a float column from optional values (`None` = null) without
+    /// per-cell [`Value`] boxing — the fast path for assembling metric
+    /// column fragments during ingest.
+    pub fn from_opt_f64(values: &[Option<f64>]) -> Self {
+        let data: Vec<f64> = values.iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+        let valid: Option<Vec<bool>> = if values.iter().any(|v| v.is_none()) {
+            Some(values.iter().map(|v| v.is_some()).collect())
+        } else {
+            None
+        };
+        Column {
+            data: ColumnData::Float(data),
+            valid,
+        }
+    }
+
     /// Build a column from dynamic values, inferring the narrowest common
     /// dtype (`Int` + `Float` promotes to `Float`; incompatible mixes fail).
     pub fn from_values(values: impl IntoIterator<Item = Value>) -> Result<Self> {
@@ -191,17 +207,29 @@ impl Column {
     }
 
     /// New column containing `rows` (in order, duplicates allowed).
+    /// Dtype is preserved and the typed storage is gathered directly —
+    /// no per-cell [`Value`] boxing — so reordering a whole frame (e.g.
+    /// `sort_by_index` after an ingest merge) is a set of `Vec` gathers.
     pub fn take(&self, rows: &[usize]) -> Column {
-        let mut b = ColumnBuilder::new();
-        for &r in rows {
-            b.push(self.get(r)).expect("take preserves dtype");
-        }
-        let mut out = b.finish();
-        // An all-null selection from a typed column keeps the dtype.
-        if out.dtype() == DType::Null && self.dtype() != DType::Null {
-            out = Column::nulls_of(self.dtype(), rows.len());
-        }
-        out
+        let any_null = match &self.valid {
+            None => matches!(self.data, ColumnData::Null(_)) && !rows.is_empty(),
+            Some(mask) => rows.iter().any(|&r| !mask[r]),
+        };
+        let valid = if any_null {
+            Some(rows.iter().map(|&r| !self.is_null_at(r)).collect())
+        } else {
+            None
+        };
+        let data = match &self.data {
+            ColumnData::Null(_) => ColumnData::Null(rows.len()),
+            ColumnData::Bool(v) => ColumnData::Bool(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(rows.iter().map(|&r| v[r].clone()).collect())
+            }
+        };
+        Column { data, valid }
     }
 
     /// Gather with gaps: cell `i` of the result is the source cell at
@@ -262,22 +290,151 @@ impl Column {
         }
     }
 
+    /// The dtype this column contributes to a concatenation: an all-null
+    /// column is dtype-neutral (`Null`) regardless of its storage, exactly
+    /// as its cells would read back through [`Column::get`]. This is what
+    /// keeps the typed concat kernels below byte-identical to the
+    /// cell-by-cell [`ColumnBuilder`] path they replaced.
+    pub(crate) fn effective_dtype(&self) -> DType {
+        if self.count_valid() == 0 {
+            DType::Null
+        } else {
+            self.dtype()
+        }
+    }
+
+    /// Append `n` nulls, keeping the dtype.
+    pub fn push_nulls(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let old_len = self.len();
+        match &mut self.data {
+            ColumnData::Null(k) => *k += n,
+            ColumnData::Bool(v) => v.extend(std::iter::repeat_n(false, n)),
+            ColumnData::Int(v) => v.extend(std::iter::repeat_n(0, n)),
+            ColumnData::Float(v) => v.extend(std::iter::repeat_n(f64::NAN, n)),
+            ColumnData::Str(v) => v.extend(std::iter::repeat_n(Arc::from(""), n)),
+        }
+        if !matches!(self.data, ColumnData::Null(_)) {
+            let valid = self.valid.get_or_insert_with(|| vec![true; old_len]);
+            valid.extend(std::iter::repeat_n(false, n));
+        }
+    }
+
     /// Append the cells of `other`, promoting dtypes when needed.
+    ///
+    /// Runs as a typed `Vec` concatenation (`Int` casts to `Float` when
+    /// promoting) rather than re-boxing every cell through [`Value`];
+    /// the result is cell-for-cell identical to the old builder path.
     pub fn append(&mut self, other: &Column) -> Result<()> {
         let combined = self
             .dtype()
             .promote(other.dtype())
             .ok_or_else(|| DfError::type_error(self.dtype(), other.dtype()))?;
-        let mut b = ColumnBuilder::new();
-        for v in self.iter().chain(other.iter()) {
-            b.push(v)?;
-        }
-        let mut out = b.finish();
-        if out.dtype() == DType::Null && combined != DType::Null {
-            out = Column::nulls_of(combined, self.len() + other.len());
-        }
-        *self = out;
+        // Cell-level dtype: all-null sides are neutral, so e.g. a masked-out
+        // Float column + an Int column concatenates to Int (what a builder
+        // over the cells would infer), not the column-level Float.
+        let target = match self
+            .effective_dtype()
+            .promote(other.effective_dtype())
+        {
+            Some(DType::Null) | None => combined,
+            Some(t) => t,
+        };
+        *self = Column::concat_parts(target, &[ConcatPart::Col(self), ConcatPart::Col(other)]);
         Ok(())
+    }
+
+    /// Concatenate `parts` into one column of dtype `target` in a single
+    /// allocation per buffer — the merge kernel behind
+    /// [`crate::merge_fragments`] and [`Column::append`].
+    ///
+    /// Every `Col` part must either be all-null (any storage dtype; it
+    /// contributes a null run) or have a dtype that promotes into
+    /// `target` (`Int` casts into a `Float` target). Callers resolve
+    /// `target` from the parts' [`Column::effective_dtype`]s first.
+    pub(crate) fn concat_parts(target: DType, parts: &[ConcatPart<'_>]) -> Column {
+        use std::iter::repeat_n;
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let n_valid: usize = parts.iter().map(|p| p.count_valid()).sum();
+
+        let valid: Option<Vec<bool>> = if target == DType::Null || n_valid == total {
+            // All-null columns keep the builder convention: an explicit
+            // all-false mask when non-empty, no mask when empty.
+            (target == DType::Null && total > 0).then(|| vec![false; total])
+        } else {
+            let mut mask = Vec::with_capacity(total);
+            for p in parts {
+                match p {
+                    ConcatPart::Nulls(n) => mask.extend(repeat_n(false, *n)),
+                    ConcatPart::Col(c) => match &c.valid {
+                        Some(v) => mask.extend_from_slice(v),
+                        None => mask.extend(repeat_n(
+                            !matches!(c.data, ColumnData::Null(_)),
+                            c.len(),
+                        )),
+                    },
+                }
+            }
+            Some(mask)
+        };
+
+        macro_rules! gather {
+            ($variant:ident, $ty:ty, $default:expr, $cast:expr) => {{
+                let mut v: Vec<$ty> = Vec::with_capacity(total);
+                for p in parts {
+                    match p {
+                        ConcatPart::Nulls(n) => v.extend(repeat_n($default, *n)),
+                        ConcatPart::Col(c) => {
+                            if c.effective_dtype() == DType::Null {
+                                v.extend(repeat_n($default, c.len()));
+                            } else {
+                                #[allow(clippy::redundant_closure_call)]
+                                ($cast)(&mut v, &c.data);
+                            }
+                        }
+                    }
+                }
+                ColumnData::$variant(v)
+            }};
+        }
+
+        let data = match target {
+            DType::Null => ColumnData::Null(total),
+            DType::Bool => gather!(Bool, bool, false, |v: &mut Vec<bool>,
+                                                       d: &ColumnData| {
+                match d {
+                    ColumnData::Bool(s) => v.extend_from_slice(s),
+                    _ => unreachable!("part dtype checked against target"),
+                }
+            }),
+            DType::Int => gather!(Int, i64, 0, |v: &mut Vec<i64>, d: &ColumnData| {
+                match d {
+                    ColumnData::Int(s) => v.extend_from_slice(s),
+                    _ => unreachable!("part dtype checked against target"),
+                }
+            }),
+            DType::Float => gather!(Float, f64, f64::NAN, |v: &mut Vec<f64>,
+                                                           d: &ColumnData| {
+                match d {
+                    ColumnData::Float(s) => v.extend_from_slice(s),
+                    // Int promotes into a Float target.
+                    ColumnData::Int(s) => v.extend(s.iter().map(|&i| i as f64)),
+                    _ => unreachable!("part dtype checked against target"),
+                }
+            }),
+            DType::Str => gather!(Str, Arc<str>, Arc::from(""), |v: &mut Vec<
+                Arc<str>,
+            >,
+                                                                 d: &ColumnData| {
+                match d {
+                    ColumnData::Str(s) => v.extend_from_slice(s),
+                    _ => unreachable!("part dtype checked against target"),
+                }
+            }),
+        };
+        Column { data, valid }
     }
 
     /// Cast a numeric column to float (no-op for float columns).
@@ -299,6 +456,32 @@ impl Column {
                 Ok(c)
             }
             other => Err(DfError::type_error(DType::Float, other)),
+        }
+    }
+}
+
+/// One input to [`Column::concat_parts`]: either a borrowed source column
+/// or a run of nulls (a fragment that never saw the column).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ConcatPart<'a> {
+    /// A source column, appended cell-for-cell.
+    Col(&'a Column),
+    /// `n` nulls.
+    Nulls(usize),
+}
+
+impl ConcatPart<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ConcatPart::Col(c) => c.len(),
+            ConcatPart::Nulls(n) => *n,
+        }
+    }
+
+    fn count_valid(&self) -> usize {
+        match self {
+            ConcatPart::Col(c) => c.count_valid(),
+            ConcatPart::Nulls(_) => 0,
         }
     }
 }
@@ -526,6 +709,71 @@ mod tests {
         let n = Column::nulls_of(DType::Null, 2).cast_float().unwrap();
         assert_eq!(n.dtype(), DType::Float);
         assert_eq!(n.count_valid(), 0);
+    }
+
+    #[test]
+    fn from_opt_f64_matches_builder() {
+        let dense = Column::from_opt_f64(&[Some(1.0), Some(2.0)]);
+        assert_eq!(dense, Column::from_f64(vec![1.0, 2.0]));
+        assert_eq!(dense.as_f64_slice(), Some(&[1.0, 2.0][..]));
+        let gappy = Column::from_opt_f64(&[Some(1.0), None, Some(3.0)]);
+        assert_eq!(
+            gappy,
+            Column::from_values(vec![Value::Float(1.0), Value::Null, Value::Float(3.0)])
+                .unwrap()
+        );
+        assert!(gappy.is_null_at(1));
+    }
+
+    #[test]
+    fn push_nulls_extends_with_mask() {
+        let mut c = Column::from_i64(vec![1, 2]);
+        c.push_nulls(0);
+        assert_eq!(c.count_valid(), 2);
+        c.push_nulls(2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.dtype(), DType::Int);
+        assert_eq!(c.count_valid(), 2);
+        assert!(c.is_null_at(2) && c.is_null_at(3));
+        assert_eq!(c.get(1), Value::Int(2));
+        // All-null storage stays dtype-less.
+        let mut n = Column::nulls_of(DType::Null, 1);
+        n.push_nulls(3);
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.dtype(), DType::Null);
+    }
+
+    #[test]
+    fn append_uses_cell_level_dtype_like_builder() {
+        // A fully masked Float column is dtype-neutral cell-wise: the old
+        // builder path inferred Int here, and the typed path must agree.
+        let mut masked_float = Column::from_f64(vec![7.0]).take_opt(&[None]);
+        assert_eq!(masked_float.dtype(), DType::Float);
+        masked_float.append(&Column::from_i64(vec![5])).unwrap();
+        assert_eq!(masked_float.dtype(), DType::Int);
+        assert!(masked_float.is_null_at(0));
+        assert_eq!(masked_float.get(1), Value::Int(5));
+        // Both sides all-null: dtype falls back to the column-level promote.
+        let mut a = Column::from_i64(vec![1]).take_opt(&[None]);
+        a.append(&Column::from_f64(vec![1.0]).take_opt(&[None])).unwrap();
+        assert_eq!(a.dtype(), DType::Float);
+        assert_eq!(a.count_valid(), 0);
+    }
+
+    #[test]
+    fn append_preserves_masks_and_values() {
+        let mut a = Column::from_values(vec![Value::Int(1), Value::Null]).unwrap();
+        let b = Column::from_values(vec![Value::Null, Value::Int(4)]).unwrap();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Null, Value::Null, Value::Int(4)]
+        );
+        // Dense + dense stays mask-free.
+        let mut d = Column::from_strs(["x"]);
+        d.append(&Column::from_strs(["y"])).unwrap();
+        assert_eq!(d.count_valid(), 2);
     }
 
     #[test]

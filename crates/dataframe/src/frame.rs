@@ -1,20 +1,47 @@
 //! The [`DataFrame`]: a multi-indexed, column-oriented table.
 
 use crate::colkey::ColKey;
-use crate::column::{Column, ColumnBuilder};
+use crate::column::{Column, ColumnBuilder, ConcatPart};
 use crate::error::{DfError, Result};
 use crate::index::{Index, Key};
-use crate::value::Value;
+use crate::value::{DType, Value};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// A column-oriented table with a hierarchical row index and (optionally)
 /// grouped column keys. This is the pandas-DataFrame stand-in that backs all
 /// three thicket components.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct DataFrame {
     index: Index,
     cols: Vec<(ColKey, Column)>,
     lookup: HashMap<ColKey, usize>,
+    /// Column-axis position cache: bare name → column positions carrying
+    /// it, so [`DataFrame::column_named`] on wide composed frames (560
+    /// grouped profile columns) is an O(1) amortized lookup instead of a
+    /// scan. Same rules as the row-index cache in [`Index`]: built once on
+    /// first use, discarded when the column set mutates, cold on clone.
+    name_cache: OnceLock<HashMap<Arc<str>, Vec<usize>>>,
+}
+
+// The name cache is derived state: equality and cloning consider only
+// the index and the columns (`lookup` is itself derived from `cols`,
+// so comparing it adds nothing).
+impl Clone for DataFrame {
+    fn clone(&self) -> Self {
+        DataFrame {
+            index: self.index.clone(),
+            cols: self.cols.clone(),
+            lookup: self.lookup.clone(),
+            name_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for DataFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.cols == other.cols
+    }
 }
 
 impl DataFrame {
@@ -24,6 +51,7 @@ impl DataFrame {
             index,
             cols: Vec::new(),
             lookup: HashMap::new(),
+            name_cache: OnceLock::new(),
         }
     }
 
@@ -83,6 +111,7 @@ impl DataFrame {
         }
         self.lookup.insert(key.clone(), self.cols.len());
         self.cols.push((key, col));
+        self.name_cache.take();
         Ok(())
     }
 
@@ -121,21 +150,30 @@ impl DataFrame {
             .ok_or_else(|| DfError::MissingColumn(key.clone()))
     }
 
-    /// Borrow a column by bare name, ignoring group labels; fails if the
-    /// name is ambiguous across groups.
-    pub fn column_named(&self, name: &str) -> Result<&Column> {
-        let mut found: Option<&Column> = None;
-        for (k, c) in &self.cols {
-            if k.name.as_ref() == name {
-                if found.is_some() {
-                    return Err(DfError::Other(format!(
-                        "column name {name:?} is ambiguous across groups"
-                    )));
-                }
-                found = Some(c);
+    /// The lazily-built name → column-positions map (one pass over the
+    /// column keys, amortized over every subsequent by-name lookup).
+    pub(crate) fn name_positions(&self) -> &HashMap<Arc<str>, Vec<usize>> {
+        self.name_cache.get_or_init(|| {
+            let mut map: HashMap<Arc<str>, Vec<usize>> =
+                HashMap::with_capacity(self.cols.len());
+            for (i, (k, _)) in self.cols.iter().enumerate() {
+                map.entry(k.name.clone()).or_default().push(i);
             }
+            map
+        })
+    }
+
+    /// Borrow a column by bare name, ignoring group labels; fails if the
+    /// name is ambiguous across groups. O(1) amortized through the
+    /// column-axis position cache.
+    pub fn column_named(&self, name: &str) -> Result<&Column> {
+        match self.name_positions().get(name).map(Vec::as_slice) {
+            Some([i]) => Ok(&self.cols[*i].1),
+            Some(_) => Err(DfError::Other(format!(
+                "column name {name:?} is ambiguous across groups"
+            ))),
+            None => Err(DfError::MissingColumn(ColKey::new(name))),
         }
-        found.ok_or_else(|| DfError::MissingColumn(ColKey::new(name)))
     }
 
     /// Cell access.
@@ -201,7 +239,8 @@ impl DataFrame {
         self.take(&self.index.argsort())
     }
 
-    /// New frame sorted by a column (stable; nulls last when ascending).
+    /// New frame sorted by a column (stable; nulls always sort last,
+    /// regardless of direction).
     pub fn sort_by(&self, key: &ColKey, ascending: bool) -> Result<DataFrame> {
         let col = self.column(key)?;
         let mut order: Vec<usize> = (0..self.len()).collect();
@@ -413,6 +452,190 @@ impl FrameBuilder {
         }
         Ok(df)
     }
+
+    /// Materialize a [`ColumnFragments`] batch instead of a frame — the
+    /// worker-side half of the columnar ingest merge.
+    pub fn finish_fragments(self) -> ColumnFragments {
+        let mut cols = HashMap::with_capacity(self.builders.len());
+        let mut builders = self.builders;
+        for ck in &self.col_order {
+            let b = builders.remove(ck).expect("builder exists");
+            cols.insert(ck.clone(), b.finish());
+        }
+        ColumnFragments {
+            names: self.names,
+            keys: self.keys,
+            order: self.col_order,
+            cols,
+        }
+    }
+}
+
+/// One worker's typed output batch during a columnar ingest merge: an
+/// index fragment (row keys) plus per-column typed fragments. Workers
+/// build these independently; [`merge_fragments`] concatenates them
+/// per column behind a single schema-union pass — no per-cell re-hashing
+/// through a row builder.
+#[derive(Debug, Clone)]
+pub struct ColumnFragments {
+    names: Vec<String>,
+    keys: Vec<Key>,
+    order: Vec<ColKey>,
+    cols: HashMap<ColKey, Column>,
+}
+
+impl ColumnFragments {
+    /// New empty fragment batch over the given index level names.
+    pub fn new(level_names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        ColumnFragments {
+            names: level_names.into_iter().map(Into::into).collect(),
+            keys: Vec::new(),
+            order: Vec::new(),
+            cols: HashMap::new(),
+        }
+    }
+
+    /// Fragment batch with its index fragment fixed up front (the shape
+    /// row-concat workers produce: re-keyed index + whole typed columns).
+    pub fn with_keys(
+        level_names: impl IntoIterator<Item = impl Into<String>>,
+        keys: Vec<Key>,
+    ) -> Result<Self> {
+        let mut f = ColumnFragments::new(level_names);
+        for (i, k) in keys.iter().enumerate() {
+            if k.len() != f.names.len() {
+                return Err(DfError::IndexMismatch(format!(
+                    "key {i} has {} values but the index has {} levels",
+                    k.len(),
+                    f.names.len()
+                )));
+            }
+        }
+        f.keys = keys;
+        Ok(f)
+    }
+
+    /// Build a fragment batch from row-oriented cells, with the same
+    /// column-creation order and null backfill as [`FrameBuilder`] — the
+    /// bridge for callers whose natural unit is still a row.
+    pub fn from_rows(
+        level_names: impl IntoIterator<Item = impl Into<String>>,
+        rows: impl IntoIterator<Item = (Key, Vec<(ColKey, Value)>)>,
+    ) -> Result<Self> {
+        let mut fb = FrameBuilder::new(level_names);
+        for (key, cells) in rows {
+            fb.push_row(key, cells)?;
+        }
+        Ok(fb.finish_fragments())
+    }
+
+    /// Append one index key.
+    pub fn push_key(&mut self, key: Key) -> Result<()> {
+        if key.len() != self.names.len() {
+            return Err(DfError::IndexMismatch(format!(
+                "key has {} values but the index has {} levels",
+                key.len(),
+                self.names.len()
+            )));
+        }
+        self.keys.push(key);
+        Ok(())
+    }
+
+    /// Append one whole column fragment; its length must match the index
+    /// fragment pushed so far.
+    pub fn push_column(&mut self, key: impl Into<ColKey>, col: Column) -> Result<()> {
+        let key = key.into();
+        if self.cols.contains_key(&key) {
+            return Err(DfError::DuplicateColumn(key));
+        }
+        if col.len() != self.keys.len() {
+            return Err(DfError::LengthMismatch {
+                expected: self.keys.len(),
+                actual: col.len(),
+            });
+        }
+        self.order.push(key.clone());
+        self.cols.insert(key, col);
+        Ok(())
+    }
+
+    /// Number of rows in this fragment batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if the fragment batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Column keys in creation order.
+    pub fn column_keys(&self) -> &[ColKey] {
+        &self.order
+    }
+}
+
+/// Merge worker fragment batches into one frame: one schema-union pass
+/// over the column keys (first-seen order across batches, matching what
+/// a serial [`FrameBuilder`] over the same rows would produce), then a
+/// typed per-column `Vec` concatenation with null runs for batches that
+/// never saw a column. Output is byte-identical to pushing every row
+/// through one `FrameBuilder` in batch order.
+pub fn merge_fragments(frags: &[ColumnFragments]) -> Result<DataFrame> {
+    let first = frags.first().ok_or(DfError::Empty("merge_fragments"))?;
+    for f in &frags[1..] {
+        if f.names != first.names {
+            return Err(DfError::IndexMismatch(format!(
+                "level names {:?} vs {:?}",
+                f.names, first.names
+            )));
+        }
+    }
+
+    let total: usize = frags.iter().map(|f| f.keys.len()).sum();
+    let mut keys: Vec<Key> = Vec::with_capacity(total);
+    for f in frags {
+        keys.extend(f.keys.iter().cloned());
+    }
+    let index = Index::new(first.names.clone(), keys)?;
+
+    // Schema union: first-seen column order across batches.
+    let mut order: Vec<ColKey> = Vec::new();
+    {
+        let mut seen: std::collections::HashSet<&ColKey> = std::collections::HashSet::new();
+        for f in frags {
+            for k in &f.order {
+                if seen.insert(k) {
+                    order.push(k.clone());
+                }
+            }
+        }
+    }
+
+    let mut df = DataFrame::new(index);
+    for key in order {
+        let parts: Vec<ConcatPart<'_>> = frags
+            .iter()
+            .map(|f| match f.cols.get(&key) {
+                Some(c) => ConcatPart::Col(c),
+                None => ConcatPart::Nulls(f.keys.len()),
+            })
+            .collect();
+        // Cell-level dtype resolution: all-null fragments are neutral,
+        // mirroring how a row builder only sees their cells as nulls.
+        let mut target = DType::Null;
+        for p in &parts {
+            if let ConcatPart::Col(c) = p {
+                let eff = c.effective_dtype();
+                target = target
+                    .promote(eff)
+                    .ok_or_else(|| DfError::type_error(target, eff))?;
+            }
+        }
+        df.insert(key, Column::concat_parts(target, &parts))?;
+    }
+    Ok(df)
 }
 
 #[cfg(test)]
@@ -570,5 +793,161 @@ mod tests {
         both.insert(ColKey::grouped("GPU", "time"), Column::from_f64(vec![0.0; 4]))
             .unwrap();
         assert!(both.column_named("time").is_err());
+    }
+
+    #[test]
+    fn sort_by_column_asc_nulls_last() {
+        let index = Index::single("i", vec![0i64, 1, 2, 3]);
+        let mut df = DataFrame::new(index);
+        df.insert_values(
+            "x",
+            vec![Value::Null, Value::Float(5.0), Value::Float(1.0), Value::Null],
+        )
+        .unwrap();
+        let sorted = df.sort_by(&ColKey::new("x"), true).unwrap();
+        let vals: Vec<Value> = sorted.column(&ColKey::new("x")).unwrap().iter().collect();
+        assert_eq!(
+            vals,
+            vec![Value::Float(1.0), Value::Float(5.0), Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
+    fn name_cache_built_once_and_invalidated_on_insert() {
+        let mut df = sample();
+        // First lookup builds the cache; the second must reuse the same map
+        // allocation (no O(columns) rescan).
+        let first = df.name_positions() as *const _;
+        assert!(df.column_named("time").is_ok());
+        let second = df.name_positions() as *const _;
+        assert_eq!(first, second);
+        // Mutating the column set discards the cache...
+        df.insert("extra", Column::from_i64(vec![0; 4])).unwrap();
+        assert!(df.name_cache.get().is_none());
+        // ...and the rebuilt cache sees the new column.
+        assert!(df.column_named("extra").is_ok());
+        // Clones start cold but still resolve.
+        let cl = df.clone();
+        assert!(cl.name_cache.get().is_none());
+        assert!(cl.column_named("extra").is_ok());
+    }
+
+    /// Rows from `sample()` split into two worker-style fragment batches.
+    fn sample_fragments() -> Vec<ColumnFragments> {
+        let rows = |range: std::ops::Range<usize>| {
+            let src = sample();
+            range
+                .map(|i| {
+                    let key = src.index().key(i).clone();
+                    let cells = src
+                        .column_keys()
+                        .into_iter()
+                        .map(|k| {
+                            let v = src.column(&k).unwrap().get(i);
+                            (k, v)
+                        })
+                        .collect();
+                    (key, cells)
+                })
+                .collect::<Vec<_>>()
+        };
+        vec![
+            ColumnFragments::from_rows(["node", "profile"], rows(0..2)).unwrap(),
+            ColumnFragments::from_rows(["node", "profile"], rows(2..4)).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn merge_fragments_matches_frame_builder() {
+        let merged = merge_fragments(&sample_fragments()).unwrap();
+        assert_eq!(merged, sample());
+    }
+
+    #[test]
+    fn merge_fragments_schema_union_backfills_nulls() {
+        // Fragment 1 only ever saw column `a`; fragment 2 only `b`. The
+        // union must null-fill each side, in first-seen column order.
+        let mut f1 = ColumnFragments::new(["profile"]);
+        f1.push_key(vec![Value::Int(1)]).unwrap();
+        f1.push_key(vec![Value::Int(2)]).unwrap();
+        f1.push_column("a", Column::from_i64(vec![10, 20])).unwrap();
+        let mut f2 = ColumnFragments::new(["profile"]);
+        f2.push_key(vec![Value::Int(3)]).unwrap();
+        f2.push_column("b", Column::from_strs(["x"])).unwrap();
+
+        let merged = merge_fragments(&[f1, f2]).unwrap();
+
+        let mut fb = FrameBuilder::new(["profile"]);
+        fb.push_row(vec![Value::Int(1)], vec![(ColKey::new("a"), Value::Int(10))])
+            .unwrap();
+        fb.push_row(vec![Value::Int(2)], vec![(ColKey::new("a"), Value::Int(20))])
+            .unwrap();
+        fb.push_row(
+            vec![Value::Int(3)],
+            vec![(ColKey::new("b"), Value::from("x"))],
+        )
+        .unwrap();
+        let serial = fb.finish().unwrap();
+
+        assert_eq!(merged, serial);
+        assert_eq!(merged.column_keys(), serial.column_keys());
+        assert_eq!(
+            merged.column(&ColKey::new("a")).unwrap().dtype(),
+            DType::Int
+        );
+        assert!(merged.column(&ColKey::new("b")).unwrap().is_null_at(0));
+    }
+
+    #[test]
+    fn merge_fragments_promotes_int_to_float() {
+        let mut f1 = ColumnFragments::new(["i"]);
+        f1.push_key(vec![Value::Int(0)]).unwrap();
+        f1.push_column("m", Column::from_i64(vec![3])).unwrap();
+        let mut f2 = ColumnFragments::new(["i"]);
+        f2.push_key(vec![Value::Int(1)]).unwrap();
+        f2.push_column("m", Column::from_f64(vec![0.5])).unwrap();
+        let merged = merge_fragments(&[f1, f2]).unwrap();
+        let m = merged.column(&ColKey::new("m")).unwrap();
+        assert_eq!(m.dtype(), DType::Float);
+        assert_eq!(m.numeric_values(), vec![3.0, 0.5]);
+    }
+
+    #[test]
+    fn merge_fragments_rejects_incompatible_dtypes() {
+        let mut f1 = ColumnFragments::new(["i"]);
+        f1.push_key(vec![Value::Int(0)]).unwrap();
+        f1.push_column("m", Column::from_i64(vec![3])).unwrap();
+        let mut f2 = ColumnFragments::new(["i"]);
+        f2.push_key(vec![Value::Int(1)]).unwrap();
+        f2.push_column("m", Column::from_strs(["oops"])).unwrap();
+        assert!(matches!(
+            merge_fragments(&[f1, f2]),
+            Err(DfError::TypeError { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_fragments_validates_inputs() {
+        assert!(matches!(merge_fragments(&[]), Err(DfError::Empty(_))));
+        let f1 = ColumnFragments::new(["a"]);
+        let f2 = ColumnFragments::new(["b"]);
+        assert!(matches!(
+            merge_fragments(&[f1, f2]),
+            Err(DfError::IndexMismatch(_))
+        ));
+        // push_column length must match the index fragment.
+        let mut f = ColumnFragments::new(["i"]);
+        f.push_key(vec![Value::Int(0)]).unwrap();
+        assert!(matches!(
+            f.push_column("m", Column::from_i64(vec![1, 2])),
+            Err(DfError::LengthMismatch { .. })
+        ));
+        f.push_column("m", Column::from_i64(vec![1])).unwrap();
+        assert!(matches!(
+            f.push_column("m", Column::from_i64(vec![2])),
+            Err(DfError::DuplicateColumn(_))
+        ));
+        // with_keys validates key arity.
+        assert!(ColumnFragments::with_keys(["i"], vec![vec![Value::Int(0), Value::Int(1)]]).is_err());
     }
 }

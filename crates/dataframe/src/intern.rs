@@ -1,0 +1,118 @@
+//! Global string interning for column and metric names.
+//!
+//! Ensemble ingest builds one [`crate::ColKey`] per *cell*, and a
+//! 560-profile thicket re-spells the same handful of metric names tens of
+//! thousands of times. Interning hands every spelling of a name the same
+//! shared `Arc<str>`, so (1) repeated key construction is a hash lookup +
+//! refcount bump instead of a fresh allocation, and (2) equality checks
+//! between interned keys can short-circuit on pointer identity (see the
+//! fast paths in `colkey.rs`).
+//!
+//! The table is append-only for the process lifetime: names are tiny and
+//! few (metric names, metadata attribute names, group labels), so there
+//! is no eviction. Callers that want an isolated table (tests, tools
+//! ingesting untrusted schemas) can hold their own [`Interner`].
+
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A thread-safe symbol table handing out shared `Arc<str>`s.
+///
+/// Lookups of already-interned names take only the read lock, so the
+/// steady state of ingest (every metric name seen long ago) is
+/// contention-free on the write path.
+#[derive(Debug, Default)]
+pub struct Interner {
+    table: RwLock<HashSet<Arc<str>>>,
+}
+
+impl Interner {
+    /// New empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared `Arc<str>` for `s`, allocating it on first sight.
+    pub fn intern(&self, s: &str) -> Arc<str> {
+        if let Some(hit) = self.table.read().expect("interner poisoned").get(s) {
+            return hit.clone();
+        }
+        let mut table = self.table.write().expect("interner poisoned");
+        // Re-check under the write lock: another thread may have won the
+        // race between our read unlock and write lock.
+        if let Some(hit) = table.get(s) {
+            return hit.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        table.insert(arc.clone());
+        arc
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.table.read().expect("interner poisoned").len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide interner used by [`crate::ColKey`] construction.
+fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(Interner::new)
+}
+
+/// Intern `s` in the process-wide table.
+pub fn intern(s: &str) -> Arc<str> {
+    global().intern(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_pointer() {
+        let a = intern("time (exc)");
+        let b = intern("time (exc)");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "time (exc)");
+    }
+
+    #[test]
+    fn distinct_names_distinct_pointers() {
+        let a = intern("alpha");
+        let b = intern("beta");
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn local_interner_is_isolated() {
+        let local = Interner::new();
+        assert!(local.is_empty());
+        let a = local.intern("gamma");
+        let b = local.intern("gamma");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(local.len(), 1);
+        // The global table hands out its own arc for the same spelling.
+        let g = intern("gamma");
+        assert!(!Arc::ptr_eq(&a, &g));
+        assert_eq!(&*a, &*g);
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let local = std::sync::Arc::new(Interner::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = local.clone();
+            handles.push(std::thread::spawn(move || l.intern("contended")));
+        }
+        let arcs: Vec<Arc<str>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(arcs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        assert_eq!(local.len(), 1);
+    }
+}

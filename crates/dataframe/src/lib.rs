@@ -41,6 +41,7 @@ mod error;
 mod frame;
 mod groupby;
 mod index;
+mod intern;
 mod summary;
 mod join;
 mod value;
@@ -51,8 +52,9 @@ pub use column::{Column, ColumnBuilder, ColumnData};
 pub use csv::from_csv;
 pub use display::{render, to_csv};
 pub use error::{DfError, Result};
-pub use frame::{DataFrame, FrameBuilder, RowRef};
+pub use frame::{merge_fragments, ColumnFragments, DataFrame, FrameBuilder, RowRef};
 pub use groupby::GroupBy;
 pub use index::{Index, Key, UniquePositions};
+pub use intern::{intern, Interner};
 pub use join::{join, join_many, join_many_pairwise, JoinHow};
 pub use value::{DType, Value};

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use thicket_dataframe::{
-    join, join_many, join_many_pairwise, AggFn, ColKey, Column, DataFrame, GroupBy, Index,
-    JoinHow, Value,
+    join, join_many, join_many_pairwise, merge_fragments, AggFn, ColKey, Column, ColumnFragments,
+    DataFrame, FrameBuilder, GroupBy, Index, JoinHow, Value,
 };
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -175,6 +175,91 @@ proptest! {
                 (Ok(kw), Ok(pw)) => prop_assert_eq!(kw, pw, "mismatch under {:?}", how),
                 (kw, pw) => prop_assert!(false, "join failed: {:?} vs {:?}", kw.err(), pw.err()),
             }
+        }
+    }
+
+    /// The column-chunked merge is byte-identical to a serial
+    /// [`FrameBuilder`] over the same rows for any chunking — the worker
+    /// batch boundaries must be invisible in the result (dtype
+    /// promotion, null backfill, and column order included).
+    #[test]
+    fn fragments_merge_matches_frame_builder(
+        rows in proptest::collection::vec(
+            (
+                0i64..1000,
+                // Negative / empty draws mean "cell absent", so every
+                // column has random coverage holes to null-backfill.
+                -100i64..100,
+                -1e3f64..1e3,
+                "[a-z]{0,4}",
+            ),
+            1..40,
+        ),
+        chunk in 1usize..10,
+    ) {
+        let cells = |r: &(i64, i64, f64, String)| {
+            let mut out = Vec::new();
+            if r.1 >= 0 { out.push((ColKey::new("a"), Value::Int(r.1))); }
+            if r.2 >= 0.0 { out.push((ColKey::new("b"), Value::Float(r.2))); }
+            if !r.3.is_empty() { out.push((ColKey::new("c"), Value::from(r.3.as_str()))); }
+            out
+        };
+        let mut fb = FrameBuilder::new(["k"]);
+        for r in &rows {
+            fb.push_row(vec![Value::Int(r.0)], cells(r)).unwrap();
+        }
+        let serial = fb.finish().unwrap();
+
+        let frags: Vec<ColumnFragments> = rows
+            .chunks(chunk)
+            .map(|ch| {
+                ColumnFragments::from_rows(
+                    ["k"],
+                    ch.iter().map(|r| (vec![Value::Int(r.0)], cells(r))),
+                )
+                .unwrap()
+            })
+            .collect();
+        let merged = merge_fragments(&frags).unwrap();
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.column_keys(), serial.column_keys());
+    }
+
+    /// Interned column keys are fully interchangeable with keys built
+    /// around fresh, uninterned strings: the frames compare equal and
+    /// resolve the same lookups.
+    #[test]
+    fn interned_frames_equal_fresh_strings(
+        names in proptest::collection::hash_set("[a-z]{1,6}", 1..8),
+        n in 1usize..20,
+    ) {
+        let names: Vec<String> = {
+            let mut v: Vec<String> = names.into_iter().collect();
+            v.sort();
+            v
+        };
+        let keys: Vec<i64> = (0..n as i64).collect();
+        let mut interned = DataFrame::new(Index::single("k", keys.clone()));
+        let mut fresh = DataFrame::new(Index::single("k", keys));
+        for (i, name) in names.iter().enumerate() {
+            let vals: Vec<f64> = (0..n).map(|r| (r + i) as f64).collect();
+            interned
+                .insert(ColKey::new(name.as_str()), Column::from_f64(vals.clone()))
+                .unwrap();
+            // Bypass the interner: a key around a foreign arc.
+            let foreign = ColKey {
+                group: None,
+                name: std::sync::Arc::from(name.as_str()),
+            };
+            fresh.insert(foreign, Column::from_f64(vals)).unwrap();
+        }
+        prop_assert_eq!(&interned, &fresh);
+        for name in &names {
+            prop_assert!(fresh.has_column(&ColKey::new(name.as_str())));
+            prop_assert_eq!(
+                interned.column_named(name).unwrap(),
+                fresh.column_named(name).unwrap()
+            );
         }
     }
 

@@ -2,30 +2,40 @@
 //! workflow moves between collection (steps 1–2) and analysis (step 3).
 
 use crate::profile::{Profile, ProfileError};
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 /// Write every profile to `dir` as `profile-<hash>.json`, creating the
 /// directory. Returns the written paths.
+///
+/// The hash is metadata-derived, so profiles with identical metadata
+/// collide; collisions are disambiguated with an index suffix chosen
+/// from an in-memory name set (deterministic for the batch, immune to
+/// the check-then-write race of probing the filesystem). Each file is
+/// written to a temporary name and atomically renamed into place, so a
+/// concurrent reader never observes a half-written profile; re-saving
+/// an ensemble replaces its previous files instead of accumulating
+/// bumped copies.
 pub fn save_ensemble(
     dir: impl AsRef<Path>,
     profiles: &[Profile],
 ) -> Result<Vec<PathBuf>, ProfileError> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
+    let mut taken: HashSet<String> = HashSet::with_capacity(profiles.len());
     let mut out = Vec::with_capacity(profiles.len());
-    for p in profiles {
-        // The hash is metadata-derived; disambiguate identical metadata
-        // with an index suffix.
-        let mut path = dir.join(format!("profile-{:016x}.json", p.profile_hash() as u64));
+    for (i, p) in profiles.iter().enumerate() {
+        let base = format!("profile-{:016x}", p.profile_hash() as u64);
+        let mut name = format!("{base}.json");
         let mut bump = 0;
-        while path.exists() {
+        while !taken.insert(name.clone()) {
             bump += 1;
-            path = dir.join(format!(
-                "profile-{:016x}-{bump}.json",
-                p.profile_hash() as u64
-            ));
+            name = format!("{base}-{bump}.json");
         }
-        p.save(&path)?;
+        let path = dir.join(&name);
+        let tmp = dir.join(format!(".{name}.tmp-{i}"));
+        p.save(&tmp)?;
+        std::fs::rename(&tmp, &path)?;
         out.push(path);
     }
     Ok(out)
@@ -34,7 +44,26 @@ pub fn save_ensemble(
 /// Load every `*.json` profile in `dir`, sorted by filename for
 /// determinism. Non-profile files fail loudly (the collection directory
 /// is expected to be clean).
+///
+/// Parsing fans out over worker threads (see [`load_ensemble_threads`]
+/// to pick the count); the returned order is always filename order.
 pub fn load_ensemble(dir: impl AsRef<Path>) -> Result<Vec<Profile>, ProfileError> {
+    let paths = ensemble_paths(dir)?;
+    load_paths(&paths, crate::parallel::default_threads(paths.len()))
+}
+
+/// [`load_ensemble`] with an explicit worker count. The result is
+/// identical for any `threads ≥ 1`: paths are sorted before the fan-out
+/// and errors surface in path order.
+pub fn load_ensemble_threads(
+    dir: impl AsRef<Path>,
+    threads: usize,
+) -> Result<Vec<Profile>, ProfileError> {
+    let paths = ensemble_paths(dir)?;
+    load_paths(&paths, threads)
+}
+
+fn ensemble_paths(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, ProfileError> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -42,7 +71,13 @@ pub fn load_ensemble(dir: impl AsRef<Path>) -> Result<Vec<Profile>, ProfileError
         .filter(|p| p.extension().is_some_and(|e| e == "json"))
         .collect();
     paths.sort();
-    paths.iter().map(Profile::load).collect()
+    Ok(paths)
+}
+
+fn load_paths(paths: &[PathBuf], threads: usize) -> Result<Vec<Profile>, ProfileError> {
+    crate::parallel::parallel_map(paths, threads, |p| Profile::load(p))
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -111,5 +146,43 @@ mod tests {
     #[test]
     fn missing_dir_errors() {
         assert!(load_ensemble("/nonexistent/thicket-dir").is_err());
+        assert!(load_ensemble_threads("/nonexistent/thicket-dir", 4).is_err());
+    }
+
+    #[test]
+    fn threaded_load_matches_serial() {
+        let dir = tmp("threads");
+        let profiles: Vec<Profile> = (0..6)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        save_ensemble(&dir, &profiles).unwrap();
+        let one = load_ensemble_threads(&dir, 1).unwrap();
+        let eight = load_ensemble_threads(&dir, 8).unwrap();
+        let hashes = |ps: &[Profile]| ps.iter().map(|p| p.profile_hash()).collect::<Vec<_>>();
+        assert_eq!(hashes(&one), hashes(&eight));
+        assert_eq!(one.len(), 6);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn resave_replaces_instead_of_accumulating() {
+        let dir = tmp("resave");
+        let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        let first = save_ensemble(&dir, &[p.clone()]).unwrap();
+        let second = save_ensemble(&dir, &[p]).unwrap();
+        assert_eq!(first, second);
+        // Still exactly one profile (and no leftover temp files).
+        assert_eq!(load_ensemble(&dir).unwrap().len(), 1);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -39,7 +39,7 @@ pub mod topdown;
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
 pub use collector::Collector;
 pub use parallel::{default_threads, parallel_map, simulate_cpu_ensemble, simulate_gpu_ensemble};
-pub use ensemble::{load_ensemble, save_ensemble};
+pub use ensemble::{load_ensemble, load_ensemble_threads, save_ensemble};
 pub use json::Json;
 pub use machine::{Compiler, CpuSpec, GpuSpec, NetworkSpec};
 pub use marbl::{marbl_ensemble, simulate_marbl_run, MarblCluster, MarblConfig};

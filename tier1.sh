@@ -5,5 +5,8 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+# Benches must at least compile (they are not run here: tier-1 stays fast).
+cargo bench -p thicket-bench --no-run
+# All targets: library code AND tests/benches/bins lint-clean.
+cargo clippy --all-targets -- -D warnings
 echo "tier1: OK"
