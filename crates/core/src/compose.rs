@@ -2,7 +2,7 @@
 //! Figures 4 and 15): joining multiple thickets' performance data
 //! side-by-side under a new top-level column index.
 
-use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
+use crate::thicket::{input_failure, Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
 use std::collections::HashSet;
 use thicket_dataframe::{join_many, DataFrame, Index, JoinHow, Value};
 use thicket_graph::GraphUnion;
@@ -131,29 +131,29 @@ pub fn concat_thickets_threads(
                 inputs.iter().map(|(_, t)| t.graph()).collect();
             let union = GraphUnion::build(&graphs);
             let items: Vec<_> = inputs.iter().zip(union.mappings.iter()).collect();
-            let frames = thicket_perfsim::parallel_map(&items, threads, |((label, tk), mapping)| {
-                let keys: Vec<Vec<Value>> = tk
-                    .perf_data
-                    .index()
-                    .keys()
-                    .iter()
-                    .map(|k| {
-                        let old = tk.node_of_value(&k[0]).ok_or(())?;
-                        let new = mapping.get(&old).ok_or(())?;
-                        Ok(vec![Value::Int(new.index() as i64), k[1].clone()])
-                    })
-                    .collect::<Result<_, ()>>()
-                    .map_err(|_| {
-                        ThicketError::Invalid("perf row references unknown node".into())
-                    })?;
-                rekey(&tk.perf_data, keys, label)
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
+            let frames =
+                thicket_perfsim::try_parallel_map(&items, threads, |((label, tk), mapping)| {
+                    let keys: Vec<Vec<Value>> = tk
+                        .perf_data
+                        .index()
+                        .keys()
+                        .iter()
+                        .map(|k| {
+                            let old = tk.node_of_value(&k[0]).ok_or(())?;
+                            let new = mapping.get(&old).ok_or(())?;
+                            Ok(vec![Value::Int(new.index() as i64), k[1].clone()])
+                        })
+                        .collect::<Result<_, ()>>()
+                        .map_err(|_| {
+                            ThicketError::Invalid("perf row references unknown node".into())
+                        })?;
+                    rekey(&tk.perf_data, keys, label)
+                })
+                .map_err(|e| input_failure(e, "input thicket"))?;
             (frames, union.graph)
         }
         NodeMatch::Name => {
-            let frames = thicket_perfsim::parallel_map(inputs, threads, |(label, tk)| {
+            let frames = thicket_perfsim::try_parallel_map(inputs, threads, |(label, tk)| {
                 let keys: Vec<Vec<Value>> = tk
                     .perf_data
                     .index()
@@ -169,8 +169,7 @@ pub fn concat_thickets_threads(
                 }
                 Ok(frame)
             })
-            .into_iter()
-            .collect::<Result<Vec<_>, ThicketError>>()?;
+            .map_err(|e| input_failure(e, "input thicket"))?;
             (frames, inputs[0].1.graph().clone())
         }
     };

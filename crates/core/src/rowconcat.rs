@@ -3,7 +3,7 @@
 //! composition in [`crate::concat_thickets`]. Thicket's Python API calls
 //! this `concat_thickets(axis="index")`.
 
-use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
+use crate::thicket::{input_failure, Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
 use std::collections::HashSet;
 use thicket_dataframe::{merge_fragments, ColumnFragments, DataFrame, Index, Key, Value};
 use thicket_graph::GraphUnion;
@@ -53,8 +53,8 @@ pub fn concat_thickets_rows_threads(
     // null-fills metric columns an input lacks in one schema-union
     // pass, keeping row order independent of the thread count.
     let items: Vec<_> = inputs.iter().zip(union.mappings.iter()).collect();
-    let frags: Vec<Result<ColumnFragments, ThicketError>> =
-        thicket_perfsim::parallel_map(&items, threads, |(tk, mapping)| {
+    let frags: Vec<ColumnFragments> =
+        thicket_perfsim::try_parallel_map(&items, threads, |(tk, mapping)| {
             let keys: Vec<Key> = tk
                 .perf_data()
                 .index()
@@ -75,8 +75,8 @@ pub fn concat_thickets_rows_threads(
                 frag.push_column(k.clone(), c.clone())?;
             }
             Ok(frag)
-        });
-    let frags: Vec<ColumnFragments> = frags.into_iter().collect::<Result<_, _>>()?;
+        })
+        .map_err(|e| input_failure(e, "input thicket"))?;
     let perf_data =
         crate::order::sort_frame_by_index_threads(&merge_fragments(&frags)?, threads);
 

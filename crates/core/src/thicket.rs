@@ -8,7 +8,7 @@ use thicket_dataframe::{
     Value,
 };
 use thicket_graph::{Graph, GraphUnion, NodeId};
-use thicket_perfsim::Profile;
+use thicket_perfsim::{IngestReport, Profile};
 
 /// Name of the call-tree-node index level.
 pub(crate) const NODE_LEVEL: &str = "node";
@@ -22,6 +22,15 @@ pub enum ThicketError {
     Df(DfError),
     /// Invalid construction input.
     Invalid(String),
+    /// A worker thread panicked while processing one source; the panic
+    /// was captured and isolated (it never crosses the API boundary as
+    /// an unwind).
+    Worker {
+        /// The source the worker was processing (a profile id).
+        source: String,
+        /// The captured panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for ThicketError {
@@ -29,6 +38,9 @@ impl fmt::Display for ThicketError {
         match self {
             ThicketError::Df(e) => write!(f, "dataframe: {e}"),
             ThicketError::Invalid(m) => f.write_str(m),
+            ThicketError::Worker { source, message } => {
+                write!(f, "worker panicked on {source}: {message}")
+            }
         }
     }
 }
@@ -155,6 +167,181 @@ impl Thicket {
             metadata,
             statsframe: DataFrame::new(Index::empty([NODE_LEVEL])),
         })
+    }
+
+    /// Lenient counterpart of [`Thicket::from_profiles`]: unhealthy
+    /// profiles (duplicate ids, non-finite metrics, panicking assembly
+    /// workers) are dropped and reported instead of failing the build.
+    ///
+    /// Returns the thicket over the healthy subset plus an
+    /// [`IngestReport`] with one typed diagnostic per dropped profile,
+    /// identical for any worker-thread count. Errs only when *no*
+    /// profile survives.
+    pub fn from_profiles_lenient(
+        profiles: &[Profile],
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        let ids: Vec<Value> = profiles
+            .iter()
+            .map(|p| Value::Int(p.profile_hash()))
+            .collect();
+        Self::from_profiles_indexed_lenient(profiles, &ids)
+    }
+
+    /// [`Thicket::from_profiles_lenient`] with caller-chosen profile
+    /// index values.
+    pub fn from_profiles_indexed_lenient(
+        profiles: &[Profile],
+        profile_ids: &[Value],
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        Self::from_profiles_indexed_lenient_threads(
+            profiles,
+            profile_ids,
+            thicket_perfsim::default_threads(profiles.len()),
+        )
+    }
+
+    /// [`Thicket::from_profiles_indexed_lenient`] with an explicit
+    /// worker count.
+    ///
+    /// Pre-validation (duplicate ids, non-finite metrics) runs serially
+    /// in input order; row assembly fans out with per-profile panic
+    /// capture. A panicking profile is dropped with a
+    /// [`thicket_perfsim::DiagKind::WorkerPanic`] diagnostic and the
+    /// build retries on the surviving subset, so a deterministic panic
+    /// converges (each round removes at least one profile) and the
+    /// report is identical for any `threads ≥ 1`.
+    pub fn from_profiles_indexed_lenient_threads(
+        profiles: &[Profile],
+        profile_ids: &[Value],
+        threads: usize,
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        use thicket_perfsim::{DiagKind, Diagnostic, JobFailure};
+
+        if profiles.is_empty() {
+            return Err(ThicketError::Invalid(
+                "cannot build a thicket from zero profiles".into(),
+            ));
+        }
+        if profiles.len() != profile_ids.len() {
+            return Err(ThicketError::Invalid(format!(
+                "{} profiles but {} profile ids",
+                profiles.len(),
+                profile_ids.len()
+            )));
+        }
+
+        // Serial pre-validation, in input order.
+        let mut diagnostics: Vec<(usize, Diagnostic)> = Vec::new();
+        let mut healthy: Vec<usize> = Vec::new();
+        let mut seen: HashMap<&Value, usize> = HashMap::new();
+        for (i, id) in profile_ids.iter().enumerate() {
+            if let Some(&first) = seen.get(id) {
+                diagnostics.push((
+                    i,
+                    Diagnostic {
+                        source: format!("profile {id}"),
+                        kind: DiagKind::DuplicateProfile {
+                            first: format!("profile {}", profile_ids[first]),
+                        },
+                    },
+                ));
+                continue;
+            }
+            if let Some((node, metric)) = first_non_finite(&profiles[i]) {
+                diagnostics.push((
+                    i,
+                    Diagnostic {
+                        source: format!("profile {id}"),
+                        kind: DiagKind::NonFiniteMetric { node, metric },
+                    },
+                ));
+                continue;
+            }
+            seen.insert(id, i);
+            healthy.push(i);
+        }
+
+        // Panic-isolated assembly. Any failure drops that profile and
+        // retries on the survivors (the graph union must be rebuilt
+        // without the dropped profile's call tree).
+        loop {
+            if healthy.is_empty() {
+                let report: Vec<String> = diagnostics
+                    .iter()
+                    .map(|(_, d)| d.to_string())
+                    .collect();
+                return Err(ThicketError::Invalid(format!(
+                    "every profile was dropped: {}",
+                    report.join("; ")
+                )));
+            }
+            let graphs: Vec<&Graph> = healthy.iter().map(|&i| profiles[i].graph()).collect();
+            let union = GraphUnion::build(&graphs);
+            let items: Vec<(usize, &HashMap<NodeId, NodeId>)> = healthy
+                .iter()
+                .copied()
+                .zip(union.mappings.iter())
+                .collect();
+            let results = thicket_perfsim::parallel_map_catch(&items, threads, |(i, mapping)| {
+                assemble_fragment(&profiles[*i], mapping, &profile_ids[*i])
+            });
+
+            let mut frags: Vec<ColumnFragments> = Vec::with_capacity(items.len());
+            let mut kept: Vec<usize> = Vec::with_capacity(items.len());
+            for ((i, _), r) in items.iter().zip(results) {
+                let kind = match r {
+                    Ok(frag) => {
+                        frags.push(frag);
+                        kept.push(*i);
+                        continue;
+                    }
+                    Err(JobFailure::Error(df)) => {
+                        DiagKind::Schema(format!("row assembly failed: {df}"))
+                    }
+                    Err(JobFailure::Panic(m)) => DiagKind::WorkerPanic(m),
+                };
+                diagnostics.push((
+                    *i,
+                    Diagnostic {
+                        source: format!("profile {}", profile_ids[*i]),
+                        kind,
+                    },
+                ));
+            }
+            if kept.len() < healthy.len() {
+                healthy = kept;
+                continue;
+            }
+
+            let perf_data =
+                crate::order::sort_frame_by_index_threads(&merge_fragments(&frags)?, threads);
+            let mut mb = FrameBuilder::new([PROFILE_LEVEL]);
+            for &i in &healthy {
+                mb.push_row(
+                    vec![profile_ids[i].clone()],
+                    profiles[i]
+                        .metadata_iter()
+                        .map(|(k, v)| (ColKey::new(k), v.clone())),
+                )?;
+            }
+            let metadata = mb.finish()?;
+
+            diagnostics.sort_by_key(|(i, _)| *i);
+            let report = IngestReport {
+                attempted: profiles.len(),
+                loaded: healthy.len(),
+                diagnostics: diagnostics.into_iter().map(|(_, d)| d).collect(),
+            };
+            return Ok((
+                Thicket {
+                    graph: union.graph,
+                    perf_data,
+                    metadata,
+                    statsframe: DataFrame::new(Index::empty([NODE_LEVEL])),
+                },
+                report,
+            ));
+        }
     }
 
     /// Assemble a thicket from raw components (used by composition and
@@ -377,24 +564,42 @@ impl Thicket {
     }
 }
 
-/// Assemble one typed [`ColumnFragments`] batch per profile on `threads`
-/// workers: index keys `(unified node, profile id)` in node order, plus
-/// one `f64` column fragment per metric the profile measured (duplicate
-/// source nodes merging into one unified node have their metrics
-/// summed). Batch order follows `profiles`, so downstream merges are
-/// deterministic for any thread count.
-pub(crate) fn profile_fragments(
-    profiles: &[Profile],
-    mappings: &[HashMap<NodeId, NodeId>],
-    profile_ids: &[Value],
-    threads: usize,
-) -> Result<Vec<ColumnFragments>, DfError> {
-    let items: Vec<(&Profile, &HashMap<NodeId, NodeId>, &Value)> = profiles
-        .iter()
-        .zip(mappings.iter())
-        .zip(profile_ids.iter())
-        .map(|((p, m), id)| (p, m, id))
-        .collect();
+/// Collapse a worker failure from a concat/compose fan-out into a
+/// [`ThicketError`]: plain errors pass through, captured panics become
+/// [`ThicketError::Worker`] naming the input by position.
+pub(crate) fn input_failure(
+    e: thicket_perfsim::JobError<ThicketError>,
+    what: &str,
+) -> ThicketError {
+    match e.failure {
+        thicket_perfsim::JobFailure::Error(inner) => inner,
+        thicket_perfsim::JobFailure::Panic(message) => ThicketError::Worker {
+            source: format!("{what} {}", e.index),
+            message,
+        },
+    }
+}
+
+/// First NaN/infinite metric value in `p`, as `(node index, metric
+/// name)` — pre-order node scan, alphabetical within a node.
+fn first_non_finite(p: &Profile) -> Option<(usize, String)> {
+    p.graph().ids().find_map(|id| {
+        p.node_metrics(id)
+            .iter()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(k, _)| (id.index(), k.clone()))
+    })
+}
+
+/// Assemble one profile's typed [`ColumnFragments`] batch: index keys
+/// `(unified node, profile id)` in node order, plus one `f64` column
+/// fragment per metric the profile measured (duplicate source nodes
+/// merging into one unified node have their metrics summed).
+fn assemble_fragment(
+    profile: &Profile,
+    mapping: &HashMap<NodeId, NodeId>,
+    pid: &Value,
+) -> Result<ColumnFragments, DfError> {
     // One row's merged metric view. The overwhelmingly common case — a
     // source node that maps alone onto its unified node — borrows the
     // profile's own metric map; only genuinely merged duplicates pay for
@@ -412,62 +617,88 @@ pub(crate) fn profile_fragments(
         }
     }
 
-    let frags: Vec<Result<ColumnFragments, DfError>> =
-        thicket_perfsim::parallel_map(&items, threads, |(profile, mapping, pid)| {
-            // Measured source nodes keyed by their unified node id, in
-            // unified-node order (stable sort keeps duplicate groups in
-            // source order, so their sums are deterministic).
-            let mut pairs: Vec<(i64, NodeId)> = profile
-                .graph()
-                .ids()
-                .filter(|id| !profile.node_metrics(*id).is_empty())
-                .map(|old| (mapping[&old].index() as i64, old))
-                .collect();
-            pairs.sort_by_key(|&(new, _)| new);
+    // Measured source nodes keyed by their unified node id, in
+    // unified-node order (stable sort keeps duplicate groups in
+    // source order, so their sums are deterministic).
+    let mut pairs: Vec<(i64, NodeId)> = profile
+        .graph()
+        .ids()
+        .filter(|id| !profile.node_metrics(*id).is_empty())
+        .map(|old| (mapping[&old].index() as i64, old))
+        .collect();
+    pairs.sort_by_key(|&(new, _)| new);
 
-            let mut rows: Vec<(i64, Metrics<'_>)> = Vec::with_capacity(pairs.len());
-            let mut i = 0;
-            while i < pairs.len() {
-                let (node, first) = pairs[i];
-                let mut j = i + 1;
-                while j < pairs.len() && pairs[j].0 == node {
-                    j += 1;
+    let mut rows: Vec<(i64, Metrics<'_>)> = Vec::with_capacity(pairs.len());
+    let mut i = 0;
+    while i < pairs.len() {
+        let (node, first) = pairs[i];
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == node {
+            j += 1;
+        }
+        if j == i + 1 {
+            rows.push((node, Metrics::Borrowed(profile.node_metrics(first))));
+        } else {
+            let mut sum = profile.node_metrics(first).clone();
+            for &(_, old) in &pairs[i + 1..j] {
+                for (k, v) in profile.node_metrics(old) {
+                    *sum.entry(k.clone()).or_insert(0.0) += v;
                 }
-                if j == i + 1 {
-                    rows.push((node, Metrics::Borrowed(profile.node_metrics(first))));
-                } else {
-                    let mut sum = profile.node_metrics(first).clone();
-                    for &(_, old) in &pairs[i + 1..j] {
-                        for (k, v) in profile.node_metrics(old) {
-                            *sum.entry(k.clone()).or_insert(0.0) += v;
-                        }
-                    }
-                    rows.push((node, Metrics::Owned(sum)));
-                }
-                i = j;
             }
+            rows.push((node, Metrics::Owned(sum)));
+        }
+        i = j;
+    }
 
-            let mut frag = ColumnFragments::new([NODE_LEVEL, PROFILE_LEVEL]);
-            let mut names: Vec<&str> = Vec::new();
-            let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
-            for (node, metrics) in &rows {
-                frag.push_key(vec![Value::Int(*node), (*pid).clone()])?;
-                for k in metrics.map().keys() {
-                    if seen.insert(k.as_str()) {
-                        names.push(k.as_str());
-                    }
-                }
+    let mut frag = ColumnFragments::new([NODE_LEVEL, PROFILE_LEVEL]);
+    let mut names: Vec<&str> = Vec::new();
+    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for (node, metrics) in &rows {
+        frag.push_key(vec![Value::Int(*node), pid.clone()])?;
+        for k in metrics.map().keys() {
+            if seen.insert(k.as_str()) {
+                names.push(k.as_str());
             }
-            for name in names {
-                let vals: Vec<Option<f64>> = rows
-                    .iter()
-                    .map(|(_, m)| m.map().get(name).copied())
-                    .collect();
-                frag.push_column(ColKey::new(name), Column::from_opt_f64(&vals))?;
-            }
-            Ok(frag)
-        });
-    frags.into_iter().collect()
+        }
+    }
+    for name in names {
+        let vals: Vec<Option<f64>> = rows
+            .iter()
+            .map(|(_, m)| m.map().get(name).copied())
+            .collect();
+        frag.push_column(ColKey::new(name), Column::from_opt_f64(&vals))?;
+    }
+    Ok(frag)
+}
+
+/// Assemble one [`ColumnFragments`] batch per profile on `threads`
+/// workers, failing fast: the first failing profile (lowest input index,
+/// deterministic for any thread count) aborts the build with an error
+/// naming its profile id, and a panicking worker is captured as
+/// [`ThicketError::Worker`] instead of unwinding through the API. Batch
+/// order follows `profiles`, so downstream merges are deterministic.
+pub(crate) fn profile_fragments(
+    profiles: &[Profile],
+    mappings: &[HashMap<NodeId, NodeId>],
+    profile_ids: &[Value],
+    threads: usize,
+) -> Result<Vec<ColumnFragments>, ThicketError> {
+    let items: Vec<(&Profile, &HashMap<NodeId, NodeId>, &Value)> = profiles
+        .iter()
+        .zip(mappings.iter())
+        .zip(profile_ids.iter())
+        .map(|((p, m), id)| (p, m, id))
+        .collect();
+    thicket_perfsim::try_parallel_map(&items, threads, |(profile, mapping, pid)| {
+        assemble_fragment(profile, mapping, pid)
+    })
+    .map_err(|e| match e.failure {
+        thicket_perfsim::JobFailure::Error(df) => ThicketError::Df(df),
+        thicket_perfsim::JobFailure::Panic(message) => ThicketError::Worker {
+            source: format!("profile {}", profile_ids[e.index]),
+            message,
+        },
+    })
 }
 
 impl fmt::Display for Thicket {
@@ -600,6 +831,58 @@ mod tests {
         .unwrap();
         let col = tk.perf_data().column(&ColKey::new("time2x")).unwrap();
         assert_eq!(col.get_f64(0), Some(tk.perf_data().column(&ColKey::new("time")).unwrap().get_f64(0).unwrap() * 2.0));
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_healthy_input() {
+        let profiles = [profile(1, false), profile(2, true)];
+        let strict = Thicket::from_profiles(&profiles).unwrap();
+        let (lenient, report) = Thicket::from_profiles_lenient(&profiles).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.attempted, 2);
+        assert_eq!(report.loaded, 2);
+        assert_eq!(strict.perf_data().len(), lenient.perf_data().len());
+        assert_eq!(strict.profiles(), lenient.profiles());
+    }
+
+    #[test]
+    fn lenient_drops_duplicates_and_non_finite() {
+        let mut poisoned = profile(3, false);
+        let foo = poisoned.graph().find_by_name("FOO").unwrap();
+        poisoned.set_metric(foo, "time", f64::NAN);
+        let profiles = [profile(1, false), profile(2, false), poisoned];
+        let ids = [Value::Int(10), Value::Int(10), Value::Int(30)];
+        let mut reports = Vec::new();
+        for threads in [1, 2, 8] {
+            let (tk, report) =
+                Thicket::from_profiles_indexed_lenient_threads(&profiles, &ids, threads)
+                    .unwrap();
+            assert_eq!(tk.profiles(), vec![Value::Int(10)], "threads={threads}");
+            assert_eq!(report.loaded, 1);
+            assert_eq!(report.dropped(), 2);
+            assert!(matches!(
+                report.diagnostics[0].kind,
+                thicket_perfsim::DiagKind::DuplicateProfile { .. }
+            ));
+            assert!(matches!(
+                report.diagnostics[1].kind,
+                thicket_perfsim::DiagKind::NonFiniteMetric { .. }
+            ));
+            reports.push(report);
+        }
+        // Byte-identical diagnostics regardless of worker count.
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+    }
+
+    #[test]
+    fn lenient_errs_when_nothing_survives() {
+        let mut bad = profile(3, false);
+        let main = bad.graph().find_by_name("MAIN").unwrap();
+        bad.set_metric(main, "time", f64::NAN);
+        let r = Thicket::from_profiles_indexed_lenient(&[bad], &[Value::Int(9)]);
+        assert!(r.is_err(), "sole poisoned profile must hard-error");
+        assert!(Thicket::from_profiles_lenient(&[]).is_err());
     }
 
     #[test]

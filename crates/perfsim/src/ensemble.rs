@@ -1,8 +1,16 @@
 //! Ensemble I/O: whole directories of profiles, the unit the paper's
 //! workflow moves between collection (steps 1–2) and analysis (step 3).
+//!
+//! Loads come in two contracts (see [`crate::ingest::Strictness`]): the
+//! strict [`load_ensemble`] family fails fast on the first unhealthy
+//! file (identified by path, deterministic for any thread count), while
+//! [`load_ensemble_lenient`] returns the healthy subset plus a
+//! per-file [`IngestReport`].
 
+use crate::ingest::{DiagKind, Diagnostic, IngestReport, Strictness};
+use crate::parallel::{parallel_map_catch, try_parallel_map, JobFailure};
 use crate::profile::{Profile, ProfileError};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// Write every profile to `dir` as `profile-<hash>.json`, creating the
@@ -16,6 +24,11 @@ use std::path::{Path, PathBuf};
 /// concurrent reader never observes a half-written profile; re-saving
 /// an ensemble replaces its previous files instead of accumulating
 /// bumped copies.
+///
+/// If a write fails partway through, the files this call already
+/// renamed into place are removed (best effort) along with the
+/// in-flight temporary, so a failed save never leaves a half-ensemble
+/// that a later [`load_ensemble`] would silently treat as complete.
 pub fn save_ensemble(
     dir: impl AsRef<Path>,
     profiles: &[Profile],
@@ -34,8 +47,18 @@ pub fn save_ensemble(
         }
         let path = dir.join(&name);
         let tmp = dir.join(format!(".{name}.tmp-{i}"));
-        p.save(&tmp)?;
-        std::fs::rename(&tmp, &path)?;
+        let result = p
+            .save(&tmp)
+            .and_then(|()| std::fs::rename(&tmp, &path).map_err(ProfileError::from));
+        if let Err(e) = result {
+            // Roll back this call's output: the failed temp plus every
+            // file already renamed into place.
+            let _ = std::fs::remove_file(&tmp);
+            for written in &out {
+                let _ = std::fs::remove_file(written);
+            }
+            return Err(e);
+        }
         out.push(path);
     }
     Ok(out)
@@ -43,7 +66,7 @@ pub fn save_ensemble(
 
 /// Load every `*.json` profile in `dir`, sorted by filename for
 /// determinism. Non-profile files fail loudly (the collection directory
-/// is expected to be clean).
+/// is expected to be clean); the error names the offending path.
 ///
 /// Parsing fans out over worker threads (see [`load_ensemble_threads`]
 /// to pick the count); the returned order is always filename order.
@@ -54,13 +77,110 @@ pub fn load_ensemble(dir: impl AsRef<Path>) -> Result<Vec<Profile>, ProfileError
 
 /// [`load_ensemble`] with an explicit worker count. The result is
 /// identical for any `threads ≥ 1`: paths are sorted before the fan-out
-/// and errors surface in path order.
+/// and the error, if any, is always the one for the first unhealthy
+/// path in filename order (remaining work is cancelled).
 pub fn load_ensemble_threads(
     dir: impl AsRef<Path>,
     threads: usize,
 ) -> Result<Vec<Profile>, ProfileError> {
     let paths = ensemble_paths(dir)?;
     load_paths(&paths, threads)
+}
+
+/// Lenient directory load: every `*.json` file is attempted; unhealthy
+/// files become typed [`Diagnostic`]s instead of failing the whole
+/// load. Returns the healthy profiles (filename order) plus the
+/// [`IngestReport`].
+///
+/// Beyond per-file health, the lenient contract also enforces what a
+/// downstream thicket build needs: a file whose profile *hash*
+/// duplicates an earlier file's is dropped with a
+/// [`DiagKind::DuplicateProfile`] diagnostic (the strict loader keeps
+/// duplicates and leaves the choice of profile ids to the caller).
+pub fn load_ensemble_lenient(
+    dir: impl AsRef<Path>,
+) -> Result<(Vec<Profile>, IngestReport), ProfileError> {
+    let paths = ensemble_paths(&dir)?;
+    load_ensemble_opts(
+        dir,
+        crate::parallel::default_threads(paths.len()),
+        Strictness::lenient(),
+    )
+}
+
+/// Directory load with an explicit worker count and [`Strictness`]
+/// contract — the general entry point behind [`load_ensemble`] (which
+/// is `FailFast`) and [`load_ensemble_lenient`].
+///
+/// Under `Lenient { max_errors }`, exceeding the error budget aborts
+/// with a hard error. The report's diagnostics are in filename order
+/// and byte-identical for any `threads ≥ 1`.
+pub fn load_ensemble_opts(
+    dir: impl AsRef<Path>,
+    threads: usize,
+    strictness: Strictness,
+) -> Result<(Vec<Profile>, IngestReport), ProfileError> {
+    let paths = ensemble_paths(&dir)?;
+    match strictness {
+        Strictness::FailFast => {
+            let profiles = load_paths(&paths, threads)?;
+            let report = IngestReport {
+                attempted: paths.len(),
+                loaded: profiles.len(),
+                diagnostics: Vec::new(),
+            };
+            Ok((profiles, report))
+        }
+        Strictness::Lenient { max_errors } => {
+            let results = parallel_map_catch(&paths, threads, |p| Profile::load(p));
+            let mut profiles = Vec::with_capacity(paths.len());
+            let mut diagnostics = Vec::new();
+            // Lenient output feeds straight into thicket construction,
+            // where profile ids (metadata hashes) must be unique: later
+            // files re-claiming a hash are dropped here with a typed
+            // diagnostic instead of exploding there.
+            let mut first_by_hash: HashMap<i64, &PathBuf> = HashMap::new();
+            for (path, result) in paths.iter().zip(results) {
+                let source = path.display().to_string();
+                match result {
+                    Ok(profile) => match first_by_hash.get(&profile.profile_hash()) {
+                        Some(first) => diagnostics.push(Diagnostic {
+                            source,
+                            kind: DiagKind::DuplicateProfile {
+                                first: first.display().to_string(),
+                            },
+                        }),
+                        None => {
+                            first_by_hash.insert(profile.profile_hash(), path);
+                            profiles.push(profile);
+                        }
+                    },
+                    Err(JobFailure::Error(e)) => diagnostics.push(Diagnostic {
+                        source,
+                        kind: DiagKind::from_profile_error(&e),
+                    }),
+                    Err(JobFailure::Panic(m)) => diagnostics.push(Diagnostic {
+                        source,
+                        kind: DiagKind::WorkerPanic(m),
+                    }),
+                }
+            }
+            if diagnostics.len() > max_errors {
+                return Err(ProfileError::Malformed(format!(
+                    "lenient load of {} aborted: {} unhealthy files exceed max_errors = {}",
+                    dir.as_ref().display(),
+                    diagnostics.len(),
+                    max_errors
+                )));
+            }
+            let report = IngestReport {
+                attempted: paths.len(),
+                loaded: profiles.len(),
+                diagnostics,
+            };
+            Ok((profiles, report))
+        }
+    }
 }
 
 fn ensemble_paths(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, ProfileError> {
@@ -74,10 +194,17 @@ fn ensemble_paths(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, ProfileError> {
     Ok(paths)
 }
 
+/// Strict load of sorted paths: the first failure in path order wins
+/// (worker panics included, captured as [`ProfileError::Panicked`]) and
+/// is annotated with the offending path.
 fn load_paths(paths: &[PathBuf], threads: usize) -> Result<Vec<Profile>, ProfileError> {
-    crate::parallel::parallel_map(paths, threads, |p| Profile::load(p))
-        .into_iter()
-        .collect()
+    try_parallel_map(paths, threads, |p| Profile::load(p)).map_err(|e| {
+        let path = &paths[e.index];
+        match e.failure {
+            JobFailure::Error(pe) => pe.in_file(path),
+            JobFailure::Panic(m) => ProfileError::Panicked(m).in_file(path),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -165,6 +292,117 @@ mod tests {
         let hashes = |ps: &[Profile]| ps.iter().map(|p| p.profile_hash()).collect::<Vec<_>>();
         assert_eq!(hashes(&one), hashes(&eight));
         assert_eq!(one.len(), 6);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn strict_error_names_offending_path() {
+        let dir = tmp("strict-path");
+        std::fs::create_dir_all(&dir).unwrap();
+        save_ensemble(&dir, &[simulate_cpu_run(&CpuRunConfig::quartz_default())]).unwrap();
+        std::fs::write(dir.join("aa-bad.json"), "{truncated").unwrap();
+        for threads in [1, 2, 8] {
+            let err = load_ensemble_threads(&dir, threads).unwrap_err();
+            assert_eq!(
+                err.path().map(|p| p.to_path_buf()),
+                Some(dir.join("aa-bad.json")),
+                "threads={threads}: {err}"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn lenient_load_keeps_healthy_subset() {
+        let dir = tmp("lenient");
+        let profiles: Vec<Profile> = (0..3)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        save_ensemble(&dir, &profiles).unwrap();
+        std::fs::write(dir.join("aa-corrupt.json"), "{nope").unwrap();
+        let (loaded, report) = load_ensemble_lenient(&dir).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(report.attempted, 4);
+        assert_eq!(report.loaded, 3);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(report.diagnostics[0].source.ends_with("aa-corrupt.json"));
+        assert!(matches!(
+            report.diagnostics[0].kind,
+            crate::ingest::DiagKind::Parse { .. }
+        ));
+        // Strict load of the same dir fails.
+        assert!(load_ensemble(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn lenient_drops_duplicate_hashes_with_diagnostic() {
+        let dir = tmp("lenient-dup");
+        let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        // Two files, identical metadata → identical hash.
+        save_ensemble(&dir, &[p.clone(), p]).unwrap();
+        let (loaded, report) = load_ensemble_lenient(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(report.diagnostics.len(), 1);
+        match &report.diagnostics[0].kind {
+            crate::ingest::DiagKind::DuplicateProfile { first } => {
+                assert!(first.ends_with(".json"));
+                assert_ne!(first, &report.diagnostics[0].source);
+            }
+            other => panic!("expected DuplicateProfile, got {other:?}"),
+        }
+        // Strict mode still tolerates duplicates (caller picks ids).
+        assert_eq!(load_ensemble(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn max_errors_budget_aborts() {
+        let dir = tmp("budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        save_ensemble(&dir, &[simulate_cpu_run(&CpuRunConfig::quartz_default())]).unwrap();
+        std::fs::write(dir.join("bad1.json"), "{").unwrap();
+        std::fs::write(dir.join("bad2.json"), "[").unwrap();
+        // Budget of 2 tolerates both; budget of 1 aborts.
+        let ok = load_ensemble_opts(&dir, 2, Strictness::Lenient { max_errors: 2 });
+        assert_eq!(ok.unwrap().1.dropped(), 2);
+        let err = load_ensemble_opts(&dir, 2, Strictness::Lenient { max_errors: 1 });
+        assert!(err.unwrap_err().to_string().contains("max_errors"));
+        // FailFast through the opts entry point behaves like load_ensemble.
+        assert!(load_ensemble_opts(&dir, 2, Strictness::FailFast).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn failed_save_rolls_back_partial_output() {
+        let dir = tmp("rollback");
+        let profiles: Vec<Profile> = (0..3)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        // Block the *second* profile's target name with a directory so
+        // its rename fails after the first file has landed.
+        let planned = save_ensemble(&dir, &profiles).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&planned[1]).unwrap();
+        let err = save_ensemble(&dir, &profiles);
+        assert!(err.is_err(), "rename onto a directory must fail");
+        // No profile files and no temps remain — only the blocking dir.
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(leftovers.is_empty(), "leftover files: {leftovers:?}");
         std::fs::remove_dir_all(dir).ok();
     }
 

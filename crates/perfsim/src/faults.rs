@@ -1,0 +1,377 @@
+//! Deterministic fault injection for ensemble directories.
+//!
+//! Robustness claims are only as good as the faults they were tested
+//! against, so this module provides seed-driven corruptors that mimic
+//! what real collection campaigns produce: truncated files (node died
+//! mid-write), mangled bytes (storage rot), schema drift (a collector
+//! that stopped emitting a member), duplicated profiles (a re-run job
+//! double-copied its output), non-finite metrics (counter overflow), and
+//! empty call trees (instrumentation produced nothing).
+//!
+//! Every corruptor is a pure function of `(directory contents, seed)`:
+//! the same seed always corrupts the same victim the same way, so tests
+//! exercising the lenient-ingest paths are reproducible. Each
+//! [`FaultKind`] maps onto the typed diagnostic it must surface as
+//! ([`FaultKind::matches`]) — the integration suite drives every kind
+//! through [`crate::load_ensemble_lenient`] and asserts the mapping.
+
+use crate::ingest::DiagKind;
+use crate::json::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One way an ensemble directory can go bad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Cut the file off at a seed-chosen byte (mid-write crash).
+    Truncate,
+    /// Mangle a byte inside the JSON text (storage corruption).
+    FlipByte,
+    /// Remove the `metrics` member from a node (schema drift).
+    DropMetrics,
+    /// Replace a metric value with an overflowing literal that parses
+    /// to `+inf` (counter overflow).
+    NonFinite,
+    /// Empty the call tree (`nodes`/`roots` both `[]`).
+    EmptyCallTree,
+    /// Copy a healthy profile to a second file with the same hash
+    /// (double-copied job output).
+    DuplicateProfile,
+    /// Create an unreadable directory entry with a `.json` name.
+    Unreadable,
+}
+
+impl FaultKind {
+    /// Every fault kind, in the order [`inject_all`] applies them.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Truncate,
+        FaultKind::FlipByte,
+        FaultKind::DropMetrics,
+        FaultKind::NonFinite,
+        FaultKind::EmptyCallTree,
+        FaultKind::DuplicateProfile,
+        FaultKind::Unreadable,
+    ];
+
+    /// Does `diag` have the type this fault must surface as?
+    pub fn matches(&self, diag: &DiagKind) -> bool {
+        match (self, diag) {
+            (FaultKind::Truncate, DiagKind::Parse { .. }) => true,
+            (FaultKind::FlipByte, DiagKind::Parse { .. }) => true,
+            (FaultKind::DropMetrics, DiagKind::Schema(m)) => m.contains("missing metrics"),
+            (FaultKind::NonFinite, DiagKind::NonFiniteMetric { .. }) => true,
+            (FaultKind::EmptyCallTree, DiagKind::Schema(m)) => m.contains("empty call tree"),
+            (FaultKind::DuplicateProfile, DiagKind::DuplicateProfile { .. }) => true,
+            (FaultKind::Unreadable, DiagKind::Io(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Sorted `*.json` paths of `dir` (the victim pool).
+fn victim_pool(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+fn no_victim(dir: &Path) -> io::Error {
+    io::Error::other(format!(
+        "no profile files to corrupt in {}",
+        dir.display()
+    ))
+}
+
+/// Inject one fault into `dir`, picking the victim deterministically
+/// from the seed (sorted filename order). Returns the path the fault
+/// lives at: the corrupted victim, or the newly created file for
+/// [`FaultKind::DuplicateProfile`] / [`FaultKind::Unreadable`].
+pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    if kind == FaultKind::Unreadable {
+        let path = dir.join(format!("zz-unreadable-{seed}.json"));
+        std::fs::create_dir_all(&path)?;
+        return Ok(path);
+    }
+    let pool = victim_pool(dir)?;
+    if pool.is_empty() {
+        return Err(no_victim(dir));
+    }
+    let victim = &pool[(seed % pool.len() as u64) as usize];
+    apply(victim, kind, seed)
+}
+
+/// Apply every [`FaultKind`] once, each to a *distinct* victim, with
+/// [`FaultKind::DuplicateProfile`] duplicating a file no other fault
+/// touched (so the duplicate's diagnostic is unambiguously
+/// "duplicate", not "parse error"). Requires at least 6 healthy
+/// profiles in `dir`. Returns `(kind, fault path)` pairs in
+/// [`FaultKind::ALL`] order.
+pub fn inject_all(dir: impl AsRef<Path>, seed: u64) -> io::Result<Vec<(FaultKind, PathBuf)>> {
+    let dir = dir.as_ref();
+    let pool = victim_pool(dir)?;
+    let corrupting: Vec<FaultKind> = FaultKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| !matches!(k, FaultKind::DuplicateProfile | FaultKind::Unreadable))
+        .collect();
+    if pool.len() < corrupting.len() + 1 {
+        return Err(io::Error::other(format!(
+            "need at least {} profiles in {}, found {}",
+            corrupting.len() + 1,
+            dir.display(),
+            pool.len()
+        )));
+    }
+    let offset = (seed % pool.len() as u64) as usize;
+    let mut out = Vec::with_capacity(FaultKind::ALL.len());
+    let mut used: Vec<usize> = Vec::new();
+    for (i, kind) in corrupting.iter().enumerate() {
+        let v = (offset + i) % pool.len();
+        used.push(v);
+        out.push((*kind, apply(&pool[v], *kind, seed)?));
+    }
+    // Duplicate a file untouched by the corruptors above.
+    let healthy = (0..pool.len())
+        .find(|i| !used.contains(i))
+        .expect("pool larger than corruptor count");
+    out.push((
+        FaultKind::DuplicateProfile,
+        apply(&pool[healthy], FaultKind::DuplicateProfile, seed)?,
+    ));
+    out.push((FaultKind::Unreadable, inject(dir, FaultKind::Unreadable, seed)?));
+    // Report in ALL order for callers that zip against it.
+    out.sort_by_key(|(k, _)| FaultKind::ALL.iter().position(|a| a == k));
+    Ok(out)
+}
+
+/// Corrupt one file in place (or derive a sibling file for
+/// [`FaultKind::DuplicateProfile`]).
+fn apply(victim: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
+    match kind {
+        FaultKind::Truncate => {
+            let bytes = std::fs::read(victim)?;
+            if bytes.len() < 2 {
+                return Err(io::Error::other("file too small to truncate"));
+            }
+            // Any proper prefix of a compact `{…}` document is invalid.
+            let cut = 1 + (seed % (bytes.len() as u64 - 1)) as usize;
+            std::fs::write(victim, &bytes[..cut])?;
+            Ok(victim.to_path_buf())
+        }
+        FaultKind::FlipByte => {
+            let mut bytes = std::fs::read(victim)?;
+            let quotes: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| **b == b'"')
+                .map(|(i, _)| i)
+                .collect();
+            if quotes.is_empty() {
+                return Err(io::Error::other("no string delimiters to mangle"));
+            }
+            // Knocking out a string delimiter guarantees a parse error
+            // while keeping the bytes valid UTF-8 (so the failure is a
+            // *parse* diagnostic, not an I/O decode error).
+            bytes[quotes[(seed % quotes.len() as u64) as usize]] = b'#';
+            std::fs::write(victim, &bytes)?;
+            Ok(victim.to_path_buf())
+        }
+        FaultKind::DropMetrics => edit_json(victim, |doc| {
+            let nodes = member_mut(doc, "nodes")?;
+            let Json::Arr(items) = nodes else {
+                return Err("nodes is not an array".into());
+            };
+            if items.is_empty() {
+                return Err("no nodes to strip".into());
+            }
+            let i = (seed % items.len() as u64) as usize;
+            let Json::Obj(members) = &mut items[i] else {
+                return Err("node is not an object".into());
+            };
+            members.retain(|(k, _)| k != "metrics");
+            Ok(())
+        }),
+        FaultKind::NonFinite => {
+            const MARKER: &str = "__THICKET_INF__";
+            edit_json(victim, |doc| {
+                let nodes = member_mut(doc, "nodes")?;
+                let Json::Arr(items) = nodes else {
+                    return Err("nodes is not an array".into());
+                };
+                // Nodes that actually carry a metric to poison.
+                let candidates: Vec<usize> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| {
+                        n.get("metrics")
+                            .and_then(Json::as_obj)
+                            .is_some_and(|m| !m.is_empty())
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    return Err("no measured nodes to poison".into());
+                }
+                let i = candidates[(seed % candidates.len() as u64) as usize];
+                let metrics = member_mut(&mut items[i], "metrics")?;
+                let Json::Obj(members) = metrics else {
+                    return Err("metrics is not an object".into());
+                };
+                members[0].1 = Json::Str(MARKER.into());
+                Ok(())
+            })?;
+            // `1e999` overflows to +inf on parse; no finite Json::Num can
+            // express that, so splice the literal in textually.
+            let text = std::fs::read_to_string(victim)?;
+            std::fs::write(victim, text.replace(&format!("\"{MARKER}\""), "1e999"))?;
+            Ok(victim.to_path_buf())
+        }
+        FaultKind::EmptyCallTree => edit_json(victim, |doc| {
+            *member_mut(doc, "nodes")? = Json::Arr(Vec::new());
+            *member_mut(doc, "roots")? = Json::Arr(Vec::new());
+            Ok(())
+        }),
+        FaultKind::DuplicateProfile => {
+            let name = victim
+                .file_name()
+                .ok_or_else(|| io::Error::other("victim has no file name"))?
+                .to_string_lossy()
+                .into_owned();
+            // `zz-` sorts after `profile-*`, so the *copy* is the one the
+            // lenient loader reports as the duplicate.
+            let dup = victim.with_file_name(format!("zz-duplicate-{name}"));
+            std::fs::copy(victim, &dup)?;
+            Ok(dup)
+        }
+        FaultKind::Unreadable => {
+            let dup = victim.with_file_name(format!("zz-unreadable-{seed}.json"));
+            std::fs::create_dir_all(&dup)?;
+            Ok(dup)
+        }
+    }
+}
+
+/// Parse → mutate → rewrite one JSON file.
+fn edit_json(
+    path: &Path,
+    mutate: impl FnOnce(&mut Json) -> Result<(), String>,
+) -> io::Result<PathBuf> {
+    let text = std::fs::read_to_string(path)?;
+    let mut doc = Json::parse(&text)
+        .map_err(|e| io::Error::other(format!("victim is not valid JSON: {e}")))?;
+    mutate(&mut doc).map_err(io::Error::other)?;
+    std::fs::write(path, doc.to_string_compact())?;
+    Ok(path.to_path_buf())
+}
+
+/// Mutable access to an object member.
+fn member_mut<'a>(doc: &'a mut Json, key: &str) -> Result<&'a mut Json, String> {
+    let Json::Obj(members) = doc else {
+        return Err("document is not an object".into());
+    };
+    members
+        .iter_mut()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing member {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{load_ensemble_lenient, save_ensemble};
+    use crate::rajaperf::{simulate_cpu_run, CpuRunConfig};
+
+    fn fresh_dir(name: &str, n: u64) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("thicket-faults-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profiles: Vec<_> = (0..n)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        save_ensemble(&dir, &profiles).unwrap();
+        dir
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let a = fresh_dir("det-a", 8);
+        let b = fresh_dir("det-b", 8);
+        let fa = inject_all(&a, 42).unwrap();
+        let fb = inject_all(&b, 42).unwrap();
+        let names = |v: &[(FaultKind, PathBuf)]| {
+            v.iter()
+                .map(|(k, p)| (*k, p.file_name().unwrap().to_string_lossy().into_owned()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&fa), names(&fb));
+        // And the corrupted bytes themselves match.
+        for ((_, pa), (_, pb)) in fa.iter().zip(fb.iter()) {
+            if pa.is_file() {
+                assert_eq!(std::fs::read(pa).unwrap(), std::fs::read(pb).unwrap());
+            }
+        }
+        std::fs::remove_dir_all(a).ok();
+        std::fs::remove_dir_all(b).ok();
+    }
+
+    #[test]
+    fn each_fault_surfaces_as_its_typed_diagnostic() {
+        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+            let dir = fresh_dir(&format!("kind-{i}"), 6);
+            let path = inject(&dir, *kind, 7).unwrap();
+            let (profiles, report) = load_ensemble_lenient(&dir).unwrap();
+            assert_eq!(
+                report.diagnostics.len(),
+                1,
+                "{kind:?}: expected exactly one diagnostic, got {report}"
+            );
+            let diag = &report.diagnostics[0];
+            assert!(
+                kind.matches(&diag.kind),
+                "{kind:?} produced mismatched diagnostic {:?}",
+                diag.kind
+            );
+            assert_eq!(diag.source, path.display().to_string(), "{kind:?}");
+            // Duplicate/unreadable faults add a file; the original
+            // profiles all survive. Corruptors knock one out.
+            let expected = match kind {
+                FaultKind::DuplicateProfile | FaultKind::Unreadable => 6,
+                _ => 5,
+            };
+            assert_eq!(profiles.len(), expected, "{kind:?}");
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn inject_all_requires_enough_victims() {
+        let dir = fresh_dir("small", 3);
+        assert!(inject_all(&dir, 0).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn truncation_diagnostic_reports_offset() {
+        let dir = fresh_dir("trunc", 6);
+        let path = inject(&dir, FaultKind::Truncate, 3).unwrap();
+        let cut_len = std::fs::read(&path).unwrap().len();
+        let (_, report) = load_ensemble_lenient(&dir).unwrap();
+        match &report.diagnostics[0].kind {
+            DiagKind::Parse { offset, .. } => {
+                assert!(*offset <= cut_len, "offset {offset} beyond cut {cut_len}")
+            }
+            other => panic!("expected parse diagnostic, got {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,233 @@
+//! The ingest failure model: strictness contracts and structured
+//! per-source diagnostics.
+//!
+//! Production campaigns (the paper's Figure 13 study joins 560 profiles
+//! collected across machines, tools, and scales) routinely contain
+//! truncated, corrupt, or schema-drifted profiles. Ingest therefore
+//! offers two contracts, chosen through [`Strictness`]:
+//!
+//! * **fail-fast** — the first unhealthy source aborts the whole load
+//!   with a typed error identifying the offending path/profile. The
+//!   "first" failure is deterministic (lowest source in path/input
+//!   order) for any worker-thread count.
+//! * **lenient** — every source is attempted; the healthy subset is
+//!   returned together with an [`IngestReport`] carrying one typed
+//!   [`Diagnostic`] per dropped source. The report is byte-identical
+//!   across thread counts, and an optional `max_errors` budget upgrades
+//!   a too-broken ensemble back into a hard error.
+//!
+//! Every failure path surfaces as a [`DiagKind`]; nothing panics and
+//! nothing is silently dropped.
+
+use crate::profile::ProfileError;
+use std::fmt;
+
+/// The ingest contract: what happens when a source is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strictness {
+    /// First unhealthy source aborts the load with a typed error.
+    FailFast,
+    /// Unhealthy sources are dropped and reported.
+    Lenient {
+        /// Maximum number of diagnostics tolerated before the load is
+        /// aborted anyway (an ensemble that is mostly corrupt is more
+        /// likely a caller bug than bit rot). `usize::MAX` ⇒ unlimited.
+        max_errors: usize,
+    },
+}
+
+impl Strictness {
+    /// Lenient with an unlimited error budget.
+    pub fn lenient() -> Strictness {
+        Strictness::Lenient {
+            max_errors: usize::MAX,
+        }
+    }
+}
+
+/// What went wrong with one source (a file path or an in-memory
+/// profile), classified for programmatic handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagKind {
+    /// The source could not be read.
+    Io(String),
+    /// The source is not valid JSON; `offset` is the failing byte.
+    Parse {
+        /// Byte offset of the parse failure.
+        offset: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// Valid JSON that does not satisfy the profile schema (missing or
+    /// mistyped members, bad tree shape, empty call tree, …).
+    Schema(String),
+    /// The source's profile id collides with an earlier source.
+    DuplicateProfile {
+        /// The earlier source that already claimed the id.
+        first: String,
+    },
+    /// A metric value is NaN or infinite.
+    NonFiniteMetric {
+        /// Node index carrying the bad value.
+        node: usize,
+        /// Metric name.
+        metric: String,
+    },
+    /// The worker processing this source panicked (captured, never
+    /// propagated); the panic message.
+    WorkerPanic(String),
+}
+
+impl DiagKind {
+    /// Classify a [`ProfileError`] (unwrapping file-context layers).
+    pub fn from_profile_error(e: &ProfileError) -> DiagKind {
+        match e.root_cause() {
+            ProfileError::Io(io) => DiagKind::Io(io.to_string()),
+            ProfileError::Json(j) => DiagKind::Parse {
+                offset: j.offset,
+                message: j.message.clone(),
+            },
+            ProfileError::Malformed(m) => DiagKind::Schema(m.clone()),
+            ProfileError::NonFinite { node, metric } => DiagKind::NonFiniteMetric {
+                node: *node,
+                metric: metric.clone(),
+            },
+            ProfileError::Panicked(m) => DiagKind::WorkerPanic(m.clone()),
+            ProfileError::InFile { .. } => unreachable!("root_cause unwraps InFile"),
+        }
+    }
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagKind::Io(m) => write!(f, "io error: {m}"),
+            DiagKind::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            DiagKind::Schema(m) => write!(f, "schema mismatch: {m}"),
+            DiagKind::DuplicateProfile { first } => {
+                write!(f, "duplicate profile id (first seen in {first})")
+            }
+            DiagKind::NonFiniteMetric { node, metric } => {
+                write!(f, "non-finite metric {metric:?} on node {node}")
+            }
+            DiagKind::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+/// One dropped source: where it came from and why it was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The source: a file path for directory loads, a profile id for
+    /// in-memory construction.
+    pub source: String,
+    /// The classified failure.
+    pub kind: DiagKind,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.source, self.kind)
+    }
+}
+
+/// The outcome of a lenient ingest: how many sources were attempted,
+/// how many made it, and one [`Diagnostic`] per source that did not.
+///
+/// Diagnostics are ordered by source (path order for directory loads,
+/// input order for in-memory construction) and are byte-identical for
+/// any worker-thread count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Number of sources attempted.
+    pub attempted: usize,
+    /// Number of sources successfully ingested.
+    pub loaded: usize,
+    /// One entry per dropped source, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl IngestReport {
+    /// True when every attempted source was ingested.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of sources dropped.
+    pub fn dropped(&self) -> usize {
+        self.diagnostics.len()
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ingest: {}/{} sources loaded, {} dropped",
+            self.loaded,
+            self.attempted,
+            self.dropped()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_unwraps_file_context() {
+        let e = ProfileError::NonFinite {
+            node: 3,
+            metric: "time".into(),
+        }
+        .in_file("/tmp/x.json");
+        assert_eq!(
+            DiagKind::from_profile_error(&e),
+            DiagKind::NonFiniteMetric {
+                node: 3,
+                metric: "time".into()
+            }
+        );
+        let io = ProfileError::Io(std::io::Error::other("nope"));
+        assert!(matches!(DiagKind::from_profile_error(&io), DiagKind::Io(_)));
+    }
+
+    #[test]
+    fn report_display_lists_diagnostics() {
+        let report = IngestReport {
+            attempted: 3,
+            loaded: 2,
+            diagnostics: vec![Diagnostic {
+                source: "a.json".into(),
+                kind: DiagKind::Parse {
+                    offset: 17,
+                    message: "unterminated object".into(),
+                },
+            }],
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.dropped(), 1);
+        let s = report.to_string();
+        assert!(s.contains("2/3"));
+        assert!(s.contains("a.json"));
+        assert!(s.contains("byte 17"));
+    }
+
+    #[test]
+    fn strictness_helpers() {
+        assert_eq!(
+            Strictness::lenient(),
+            Strictness::Lenient {
+                max_errors: usize::MAX
+            }
+        );
+        assert_ne!(Strictness::FailFast, Strictness::lenient());
+    }
+}

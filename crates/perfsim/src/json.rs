@@ -121,10 +121,17 @@ impl Json {
     }
 
     /// Parse a JSON document (must consume all non-whitespace input).
+    ///
+    /// The parser is total over arbitrary input: malformed bytes yield a
+    /// typed [`JsonError`] (with the failing byte offset and a
+    /// [`JsonErrorKind`] separating truncation from syntax errors), and
+    /// container nesting is capped at [`MAX_NESTING_DEPTH`] so
+    /// adversarial `[[[[…` input cannot overflow the stack.
     pub fn parse(input: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -161,6 +168,25 @@ fn write_str(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container (array/object) nesting depth [`Json::parse`]
+/// accepts. Real profiles nest a handful of levels; the cap exists so a
+/// hostile `[[[[…` document errors instead of overflowing the stack.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
+/// Classification of a [`JsonError`], for callers that branch on *why*
+/// parsing failed (e.g. ingest diagnostics distinguishing a truncated
+/// file from a syntactically mangled one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed content within complete input.
+    Syntax,
+    /// The input ended mid-document (truncated file); the offset is
+    /// where the usable bytes ran out.
+    Truncated,
+    /// Container nesting exceeded [`MAX_NESTING_DEPTH`].
+    TooDeep,
+}
+
 /// JSON parse error with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -168,6 +194,8 @@ pub struct JsonError {
     pub offset: usize,
     /// What went wrong.
     pub message: String,
+    /// Failure classification.
+    pub kind: JsonErrorKind,
 }
 
 impl fmt::Display for JsonError {
@@ -181,14 +209,43 @@ impl std::error::Error for JsonError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> JsonError {
+        self.err_kind(JsonErrorKind::Syntax, message)
+    }
+
+    /// A truncation error: the document ended where more was required.
+    fn err_eof(&self, message: &str) -> JsonError {
+        self.err_kind(JsonErrorKind::Truncated, message)
+    }
+
+    fn err_kind(&self, kind: JsonErrorKind, message: &str) -> JsonError {
         JsonError {
             offset: self.pos,
             message: message.to_string(),
+            kind,
         }
+    }
+
+    /// Bump the nesting depth on container entry (paired with
+    /// [`Parser::exit_container`] on the success path; error paths
+    /// abandon the parser wholesale, so no decrement is needed there).
+    fn enter_container(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err_kind(
+                JsonErrorKind::TooDeep,
+                &format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn exit_container(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<u8> {
@@ -202,11 +259,13 @@ impl<'a> Parser<'a> {
     }
 
     fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {:?}", b as char)))
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(self.err(&format!("expected {:?}", b as char))),
+            None => Err(self.err_eof(&format!("expected {:?}, found end of input", b as char))),
         }
     }
 
@@ -230,7 +289,7 @@ impl<'a> Parser<'a> {
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
-            None => Err(self.err("unexpected end of input")),
+            None => Err(self.err_eof("unexpected end of input")),
         }
     }
 
@@ -239,7 +298,7 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err(self.err("unterminated string")),
+                None => return Err(self.err_eof("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -257,7 +316,7 @@ impl<'a> Parser<'a> {
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
                             if self.pos + 4 >= self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
+                                return Err(self.err_eof("truncated \\u escape"));
                             }
                             let hex =
                                 std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
@@ -275,7 +334,7 @@ impl<'a> Parser<'a> {
                                     return Err(self.err("lone high surrogate"));
                                 }
                                 if self.pos + 4 >= self.bytes.len() {
-                                    return Err(self.err("truncated surrogate"));
+                                    return Err(self.err_eof("truncated surrogate"));
                                 }
                                 let hex2 = std::str::from_utf8(
                                     &self.bytes[self.pos + 1..self.pos + 5],
@@ -341,10 +400,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter_container()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.exit_container();
             return Ok(Json::Arr(items));
         }
         loop {
@@ -356,19 +417,23 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.exit_container();
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(self.err("expected ',' or ']'")),
+                Some(_) => return Err(self.err("expected ',' or ']'")),
+                None => return Err(self.err_eof("unterminated array")),
             }
         }
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter_container()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.exit_container();
             return Ok(Json::Obj(members));
         }
         loop {
@@ -385,9 +450,11 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.exit_container();
                     return Ok(Json::Obj(members));
                 }
-                _ => return Err(self.err("expected ',' or '}'")),
+                Some(_) => return Err(self.err("expected ',' or '}'")),
+                None => return Err(self.err_eof("unterminated object")),
             }
         }
     }
@@ -501,5 +568,43 @@ mod tests {
     fn get_on_non_object_is_none() {
         assert_eq!(Json::Num(1.0).get("x"), None);
         assert_eq!(Json::parse("[1]").unwrap().get("x"), None);
+    }
+
+    #[test]
+    fn truncated_inputs_flagged_with_offset() {
+        for text in [
+            "{\"a\": 1",        // unterminated object
+            "[1, 2",            // unterminated array
+            "\"unterminated",   // unterminated string
+            "{\"a\":",          // value missing at EOF
+            "",                 // empty input
+            "{\"a\": \"\\u00",  // truncated escape
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert_eq!(err.kind, JsonErrorKind::Truncated, "{text:?}: {err}");
+            assert!(err.offset <= text.len(), "{text:?}");
+        }
+        // Syntax errors within complete input are NOT truncation.
+        let err = Json::parse("{'a':1}").unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::Syntax);
+    }
+
+    #[test]
+    fn nesting_depth_capped_without_stack_overflow() {
+        // Way past any plausible stack budget if recursion were unbounded.
+        let hostile = "[".repeat(200_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+        let hostile_obj = "{\"k\":".repeat(200_000);
+        assert_eq!(Json::parse(&hostile_obj).unwrap_err().kind, JsonErrorKind::TooDeep);
+        // Depth counts *current* nesting, so a long flat sibling chain at
+        // shallow depth stays fine.
+        let flat = format!("[{}1]", "[1],".repeat(500));
+        assert!(Json::parse(&flat).is_ok());
+        // Exactly at the limit parses; one past fails.
+        let at_limit = format!("{}1{}", "[".repeat(MAX_NESTING_DEPTH), "]".repeat(MAX_NESTING_DEPTH));
+        assert!(Json::parse(&at_limit).is_ok());
+        let past = format!("{}1{}", "[".repeat(MAX_NESTING_DEPTH + 1), "]".repeat(MAX_NESTING_DEPTH + 1));
+        assert_eq!(Json::parse(&past).unwrap_err().kind, JsonErrorKind::TooDeep);
     }
 }

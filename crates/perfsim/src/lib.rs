@@ -27,6 +27,8 @@ pub mod calitxt;
 pub mod collector;
 pub mod engine;
 pub mod ensemble;
+pub mod faults;
+pub mod ingest;
 pub mod json;
 pub mod machine;
 pub mod marbl;
@@ -38,9 +40,17 @@ pub mod topdown;
 
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
 pub use collector::Collector;
-pub use parallel::{default_threads, parallel_map, simulate_cpu_ensemble, simulate_gpu_ensemble};
-pub use ensemble::{load_ensemble, load_ensemble_threads, save_ensemble};
+pub use ensemble::{
+    load_ensemble, load_ensemble_lenient, load_ensemble_opts, load_ensemble_threads,
+    save_ensemble,
+};
+pub use faults::{inject, inject_all, FaultKind};
+pub use ingest::{DiagKind, Diagnostic, IngestReport, Strictness};
 pub use json::Json;
+pub use parallel::{
+    default_threads, parallel_map, parallel_map_catch, simulate_cpu_ensemble,
+    simulate_gpu_ensemble, try_parallel_map, JobError, JobFailure,
+};
 pub use machine::{Compiler, CpuSpec, GpuSpec, NetworkSpec};
 pub use marbl::{marbl_ensemble, simulate_marbl_run, MarblCluster, MarblConfig};
 pub use noise::Noise;

@@ -1,48 +1,277 @@
-//! Parallel fan-out over worker threads with deterministic output order.
+//! Parallel fan-out over worker threads with deterministic output order
+//! and panic isolation.
 //!
 //! The Figure 13 study alone is 560 profiles; generating ensembles — and
 //! assembling their rows into a thicket — is embarrassingly parallel, so
 //! this module fans work items out over crossbeam scoped threads while
 //! keeping the output order deterministic (result `i` always corresponds
 //! to input `i`, regardless of thread count or scheduling).
+//!
+//! Every entry point routes through one panic-capturing core: a job that
+//! panics is caught on its worker (`catch_unwind`) and surfaces as a
+//! value, never as a cross-thread unwind. That closes the double-panic
+//! abort the previous implementation had, where a worker panic unwound
+//! through `std::thread::scope` while the caller's `expect` on the
+//! result panicked a second time mid-unwind.
+//!
+//! Three variants share the core:
+//!
+//! * [`parallel_map`] — infallible jobs. If a job panics anyway, the
+//!   panic of the **lowest-indexed** failing item is resumed on the
+//!   calling thread (deterministic for any thread count), after all
+//!   workers have parked.
+//! * [`try_parallel_map`] — fallible jobs. The first failure *in item
+//!   order* wins deterministically; remaining work is cancelled through
+//!   an atomic flag so a 560-profile ingest does not grind through 500
+//!   more profiles after profile 3 is found corrupt.
+//! * [`parallel_map_catch`] — fallible jobs, **no cancellation**: every
+//!   item runs to completion and the caller receives one
+//!   `Result<R, JobFailure<E>>` per item. This is the substrate for
+//!   lenient ingest, where per-item diagnostics must be complete and
+//!   byte-identical across thread counts.
 
 use crate::profile::Profile;
 use crate::rajaperf::{simulate_cpu_run, simulate_gpu_run, CpuRunConfig, GpuRunConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-/// Run `job` over every item on `threads` workers, preserving order:
-/// `out[i] == job(&items[i])` for all `i`. Work is handed out through an
-/// atomic cursor (dynamic load balancing — items can be wildly uneven,
-/// e.g. 10⁶- vs 10⁸-element simulated runs).
+/// Why one work item failed: its job returned an error, or panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure<E> {
+    /// The job returned `Err(E)`.
+    Error(E),
+    /// The job panicked; the payload's message, extracted on the worker.
+    Panic(String),
+}
+
+impl<E: fmt::Display> fmt::Display for JobFailure<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobFailure::Error(e) => e.fmt(f),
+            JobFailure::Panic(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+/// The deterministic "first" failure of a [`try_parallel_map`] run: the
+/// failing item with the lowest input index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError<E> {
+    /// Input index of the failing item.
+    pub index: usize,
+    /// What went wrong.
+    pub failure: JobFailure<E>,
+}
+
+impl<E: fmt::Display> fmt::Display for JobError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item {}: {}", self.index, self.failure)
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for JobError<E> {}
+
+/// Best-effort human-readable form of a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One slot of the shared output: what happened to item `i`.
+enum Slot<R, E> {
+    Done(R),
+    Failed(E),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The shared core: run `job` over every item on `threads` workers,
+/// catching panics on the worker. Work is handed out through an atomic
+/// cursor (dynamic load balancing — items can be wildly uneven, e.g.
+/// 10⁶- vs 10⁸-element simulated runs). When `cancel_on_failure` is set,
+/// the first failure any worker *observes* stops further hand-outs;
+/// items already picked up still run to completion, which is what makes
+/// the lowest-indexed failure deterministic (see [`try_parallel_map`]).
+fn run_jobs<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    cancel_on_failure: bool,
+    job: F,
+) -> Vec<Slot<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let run_one = |item: &T| -> Slot<R, E> {
+        match catch_unwind(AssertUnwindSafe(|| job(item))) {
+            Ok(Ok(r)) => Slot::Done(r),
+            Ok(Err(e)) => Slot::Failed(e),
+            Err(payload) => Slot::Panicked(payload),
+        }
+    };
+    if threads == 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let slot = run_one(item);
+            let failed = !matches!(slot, Slot::Done(_));
+            out.push(slot);
+            if failed && cancel_on_failure {
+                break;
+            }
+        }
+        return out;
+    }
+
+    let mut out: Vec<Option<Slot<R, E>>> = (0..items.len()).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let slots: Vec<parking_lot::Mutex<&mut Option<Slot<R, E>>>> =
+        out.iter_mut().map(parking_lot::Mutex::new).collect();
+    // The closure below never unwinds (the job runs under catch_unwind
+    // and slot storage cannot panic), so the scope join cannot observe a
+    // panicked child — the `expect` documents an impossibility instead
+    // of doubling a real panic.
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                if cancel_on_failure && cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let slot = run_one(&items[i]);
+                if !matches!(slot, Slot::Done(_)) {
+                    cancelled.store(true, Ordering::Relaxed);
+                }
+                **slots[i].lock() = Some(slot);
+            });
+        }
+    })
+    .expect("workers never unwind: jobs run under catch_unwind");
+    drop(slots);
+    // Under cancellation trailing slots may be unfilled; the serial
+    // fallback above produces the same shape (a prefix of filled slots).
+    out.into_iter().flatten().collect()
+}
+
+/// Pick the deterministic first failure out of a slot vector: the failed
+/// or panicked item with the lowest input index. `slots` may be shorter
+/// than the input under cancellation; indices still line up because the
+/// work cursor hands items out in input order.
+fn first_failure<R, E>(slots: Vec<Slot<R, E>>) -> Result<Vec<R>, (usize, Slot<R, E>)> {
+    // Scan for the minimum failing index first; only if none failed can
+    // the slots be unwrapped wholesale.
+    let mut failed_at: Option<usize> = None;
+    for (i, slot) in slots.iter().enumerate() {
+        if !matches!(slot, Slot::Done(_)) {
+            failed_at = Some(i);
+            break;
+        }
+    }
+    match failed_at {
+        None => Ok(slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Done(r) => r,
+                _ => unreachable!("scanned above"),
+            })
+            .collect()),
+        Some(i) => {
+            let slot = slots.into_iter().nth(i).expect("index in range");
+            Err((i, slot))
+        }
+    }
+}
+
+/// Run a fallible `job` over every item on `threads` workers.
+///
+/// On success the output preserves order: `out[i] == job(&items[i])`.
+/// On failure — a job returning `Err` *or panicking* — the failure of
+/// the lowest-indexed failing item is returned, and the remaining
+/// hand-outs are cancelled through an atomic flag. The winning failure
+/// is deterministic for any thread count: the work cursor hands items
+/// out in input order, so by the time any later item has been picked up,
+/// every earlier item (including the lowest failing one) has been picked
+/// up too and runs to completion.
+pub fn try_parallel_map<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    job: F,
+) -> Result<Vec<R>, JobError<E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    first_failure(run_jobs(items, threads, true, job)).map_err(|(index, slot)| JobError {
+        index,
+        failure: match slot {
+            Slot::Failed(e) => JobFailure::Error(e),
+            Slot::Panicked(p) => JobFailure::Panic(panic_message(p.as_ref())),
+            Slot::Done(_) => unreachable!("first_failure returns failures only"),
+        },
+    })
+}
+
+/// Run a fallible `job` over **every** item — no cancellation — and
+/// return one result per item, order-preserving. Panics are captured per
+/// item as [`JobFailure::Panic`]. This is the lenient-ingest substrate:
+/// the caller sees the complete per-item health picture, identical for
+/// any thread count.
+pub fn parallel_map_catch<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    job: F,
+) -> Vec<Result<R, JobFailure<E>>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    run_jobs(items, threads, false, job)
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(r) => Ok(r),
+            Slot::Failed(e) => Err(JobFailure::Error(e)),
+            Slot::Panicked(p) => Err(JobFailure::Panic(panic_message(p.as_ref()))),
+        })
+        .collect()
+}
+
+/// Run an infallible `job` over every item on `threads` workers,
+/// preserving order: `out[i] == job(&items[i])` for all `i`.
+///
+/// A thin wrapper over the fallible core. Should a job panic after all,
+/// the panic of the lowest-indexed failing item is resumed on the
+/// calling thread with its original payload — one deterministic panic,
+/// never a double-panic abort.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, job: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads == 1 {
-        return items.iter().map(&job).collect();
+    let slots = run_jobs(items, threads, true, |item| {
+        Ok::<R, std::convert::Infallible>(job(item))
+    });
+    match first_failure(slots) {
+        Ok(out) => out,
+        Err((_, Slot::Panicked(payload))) => resume_unwind(payload),
+        Err(_) => unreachable!("Infallible error type"),
     }
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = job(&items[i]);
-                **slots[i].lock() = Some(result);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    drop(slots);
-    out.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 /// A sensible worker count for `n` items: the machine's available
@@ -149,5 +378,140 @@ mod tests {
         for (i, p) in out.iter().enumerate() {
             assert_eq!(p.metadata("seed").unwrap().as_i64(), Some(i as i64));
         }
+    }
+
+    #[test]
+    fn try_parallel_map_success_matches_serial() {
+        let items: Vec<u64> = (0..200).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 8] {
+            let out = try_parallel_map(&items, threads, |x| Ok::<_, String>(x * 3)).unwrap();
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_first_error_is_lowest_index() {
+        // Items 37 and 150 both fail; 37 must win for every thread count.
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let err = try_parallel_map(&items, threads, |x| {
+                if *x == 37 || *x == 150 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(*x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 37, "threads={threads}");
+            assert_eq!(err.failure, JobFailure::Error("bad 37".to_string()));
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_captures_panics_as_errors() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let err = try_parallel_map(&items, threads, |x| {
+                if *x == 5 {
+                    panic!("poisoned item {x}");
+                }
+                Ok::<_, String>(*x)
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 5, "threads={threads}");
+            match err.failure {
+                JobFailure::Panic(msg) => assert!(msg.contains("poisoned item 5"), "{msg}"),
+                other => panic!("expected panic failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_panic_beats_later_error() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let err = try_parallel_map(&items, threads, |x| match *x {
+                3 => panic!("early panic"),
+                10 => Err("later error".to_string()),
+                _ => Ok(*x),
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 3, "threads={threads}");
+            assert!(matches!(err.failure, JobFailure::Panic(_)));
+        }
+    }
+
+    #[test]
+    fn parallel_map_catch_reports_every_item() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect = |i: u64| match i % 10 {
+            3 => Err(JobFailure::Error(format!("err {i}"))),
+            7 => Err(JobFailure::Panic(format!("panic {i}"))),
+            _ => Ok(i * 2),
+        };
+        let serial: Vec<_> = items.iter().map(|i| expect(*i)).collect();
+        for threads in [1, 2, 8] {
+            let out = parallel_map_catch(&items, threads, |i| match i % 10 {
+                3 => Err(format!("err {i}")),
+                7 => panic!("panic {i}"),
+                _ => Ok(i * 2),
+            });
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_resumes_first_panic_without_abort() {
+        // A panicking job must surface as exactly one unwind on the
+        // calling thread — the lowest-indexed one — not a process abort.
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(&items, threads, |x| {
+                    if *x == 9 || *x == 40 {
+                        panic!("boom {x}");
+                    }
+                    *x
+                })
+            }))
+            .unwrap_err();
+            assert_eq!(panic_message(caught.as_ref()), "boom 9", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_tail_work() {
+        // After the failure at item 0 is observed, the cursor stops
+        // handing out work: far fewer than all items run.
+        let ran = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..100_000).collect();
+        let err = try_parallel_map(&items, 4, |x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if *x == 0 {
+                Err("stop")
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(1));
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(
+            ran.load(Ordering::Relaxed) < items.len() / 2,
+            "cancellation should prevent most of the tail from running ({} ran)",
+            ran.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_edge_cases() {
+        assert!(try_parallel_map(&[] as &[u64], 8, |_| Ok::<_, ()>(0)).unwrap().is_empty());
+        assert!(parallel_map_catch(&[] as &[u64], 8, |_| Ok::<_, ()>(0)).is_empty());
+        let two = [1u64, 2];
+        assert_eq!(
+            try_parallel_map(&two, 64, |x| Ok::<_, ()>(*x)).unwrap(),
+            vec![1, 2]
+        );
     }
 }

@@ -5,7 +5,7 @@
 use crate::json::{Json, JsonError};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use thicket_dataframe::Value;
 use thicket_graph::{Frame, Graph, NodeId};
 
@@ -27,8 +27,53 @@ pub enum ProfileError {
     Json(JsonError),
     /// Structurally invalid profile document.
     Malformed(String),
+    /// A metric value is NaN or infinite — rejected on ingest so a
+    /// poisoned run cannot silently contaminate ensemble statistics.
+    NonFinite {
+        /// Node index carrying the bad value.
+        node: usize,
+        /// Metric name.
+        metric: String,
+    },
     /// Filesystem failure.
     Io(std::io::Error),
+    /// A worker thread processing this profile panicked; the captured
+    /// panic message.
+    Panicked(String),
+    /// An error annotated with the file it came from (ensemble loads).
+    InFile {
+        /// The offending file.
+        path: PathBuf,
+        /// The underlying failure.
+        source: Box<ProfileError>,
+    },
+}
+
+impl ProfileError {
+    /// Attach a file path to this error (idempotent-ish: nested paths
+    /// keep the innermost error reachable through `source`).
+    pub fn in_file(self, path: impl Into<PathBuf>) -> ProfileError {
+        ProfileError::InFile {
+            path: path.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The innermost error, unwrapping any [`ProfileError::InFile`] layers.
+    pub fn root_cause(&self) -> &ProfileError {
+        match self {
+            ProfileError::InFile { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+
+    /// The file this error is annotated with, if any.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            ProfileError::InFile { path, .. } => Some(path),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ProfileError {
@@ -36,7 +81,14 @@ impl fmt::Display for ProfileError {
         match self {
             ProfileError::Json(e) => write!(f, "profile JSON: {e}"),
             ProfileError::Malformed(m) => write!(f, "malformed profile: {m}"),
+            ProfileError::NonFinite { node, metric } => {
+                write!(f, "non-finite metric {metric:?} on node {node}")
+            }
             ProfileError::Io(e) => write!(f, "profile I/O: {e}"),
+            ProfileError::Panicked(m) => write!(f, "profile worker panicked: {m}"),
+            ProfileError::InFile { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -213,6 +265,11 @@ impl Profile {
             .and_then(Json::as_arr)
             .ok_or_else(|| ProfileError::Malformed("missing roots array".into()))?;
         let n = nodes.len();
+        if n == 0 {
+            return Err(ProfileError::Malformed(
+                "empty call tree (zero nodes)".into(),
+            ));
+        }
 
         // Parse node shells first.
         struct Shell {
@@ -246,14 +303,21 @@ impl Profile {
                         })
                 })
                 .collect::<Result<Vec<usize>, _>>()?;
+            let ms = nj.get("metrics").and_then(Json::as_obj).ok_or_else(|| {
+                ProfileError::Malformed(format!("node {i}: missing metrics object"))
+            })?;
             let mut metrics = BTreeMap::new();
-            if let Some(ms) = nj.get("metrics").and_then(Json::as_obj) {
-                for (k, v) in ms {
-                    let f = v.as_f64().ok_or_else(|| {
-                        ProfileError::Malformed(format!("node {i}: metric {k:?} not numeric"))
-                    })?;
-                    metrics.insert(k.clone(), f);
+            for (k, v) in ms {
+                let f = v.as_f64().ok_or_else(|| {
+                    ProfileError::Malformed(format!("node {i}: metric {k:?} not numeric"))
+                })?;
+                if !f.is_finite() {
+                    return Err(ProfileError::NonFinite {
+                        node: i,
+                        metric: k.clone(),
+                    });
                 }
+                metrics.insert(k.clone(), f);
             }
             shells.push(Shell {
                 frame,
@@ -525,6 +589,48 @@ mod tests {
         ] {
             assert!(Profile::parse(bad).is_err(), "should fail: {bad}");
         }
+    }
+
+    #[test]
+    fn non_finite_metrics_rejected_with_location() {
+        // 1e999 overflows f64 to +inf; the JSON layer accepts it, the
+        // profile layer must not.
+        let doc = r#"{"format": "thicket-profile-1",
+            "nodes": [{"frame": {"name": "a"}, "children": [], "metrics": {}},
+                      {"frame": {"name": "b"}, "children": [], "metrics": {"t": 1e999}}],
+            "roots": [0, 1]}"#;
+        match Profile::parse(doc).unwrap_err() {
+            ProfileError::NonFinite { node, metric } => {
+                assert_eq!(node, 1);
+                assert_eq!(metric, "t");
+            }
+            other => panic!("expected NonFinite, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_call_tree_and_missing_metrics_rejected() {
+        let empty = r#"{"format": "thicket-profile-1", "nodes": [], "roots": []}"#;
+        assert!(matches!(
+            Profile::parse(empty),
+            Err(ProfileError::Malformed(m)) if m.contains("empty call tree")
+        ));
+        let no_metrics = r#"{"format": "thicket-profile-1",
+            "nodes": [{"frame": {"name": "a"}, "children": []}],
+            "roots": [0]}"#;
+        assert!(matches!(
+            Profile::parse(no_metrics),
+            Err(ProfileError::Malformed(m)) if m.contains("missing metrics")
+        ));
+    }
+
+    #[test]
+    fn in_file_context_wraps_and_unwraps() {
+        let inner = ProfileError::Malformed("bad".into());
+        let wrapped = inner.in_file("/tmp/p.json");
+        assert_eq!(wrapped.path(), Some(Path::new("/tmp/p.json")));
+        assert!(matches!(wrapped.root_cause(), ProfileError::Malformed(_)));
+        assert!(wrapped.to_string().contains("/tmp/p.json"));
     }
 
     #[test]

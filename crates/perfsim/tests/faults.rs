@@ -1,0 +1,137 @@
+//! End-to-end fault-injection suite over the ensemble loader: a
+//! directory of N healthy profiles plus one injected fault of every
+//! kind must load exactly the healthy subset, emit one typed diagnostic
+//! per fault, and produce byte-identical reports for any worker-thread
+//! count. Strict mode must identify the offending path and never panic.
+
+use std::path::PathBuf;
+use thicket_perfsim::faults::{inject_all, FaultKind};
+use thicket_perfsim::{
+    load_ensemble, load_ensemble_opts, save_ensemble, simulate_cpu_run, CpuRunConfig, DiagKind,
+    Strictness,
+};
+
+const HEALTHY: u64 = 8;
+
+fn corrupted_dir(name: &str, seed: u64) -> (PathBuf, Vec<(FaultKind, PathBuf)>) {
+    let dir = std::env::temp_dir().join(format!("thicket-faults-e2e-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let profiles: Vec<_> = (0..HEALTHY)
+        .map(|s| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = s;
+            simulate_cpu_run(&cfg)
+        })
+        .collect();
+    save_ensemble(&dir, &profiles).unwrap();
+    let faults = inject_all(&dir, seed).unwrap();
+    (dir, faults)
+}
+
+#[test]
+fn mixed_health_dir_loads_healthy_subset_identically_across_threads() {
+    let (dir, faults) = corrupted_dir("mixed", 11);
+    // 5 corrupting faults knock out 5 of the 8 originals; duplicate and
+    // unreadable add 2 more unhealthy entries on top.
+    let corrupted = faults
+        .iter()
+        .filter(|(k, _)| !matches!(k, FaultKind::DuplicateProfile | FaultKind::Unreadable))
+        .count();
+    let expected_profiles = HEALTHY as usize - corrupted;
+    let expected_diags = faults.len();
+
+    let mut reports = Vec::new();
+    for threads in [1, 2, 8] {
+        let (profiles, report) =
+            load_ensemble_opts(&dir, threads, Strictness::lenient()).unwrap();
+        assert_eq!(profiles.len(), expected_profiles, "threads={threads}");
+        assert_eq!(report.dropped(), expected_diags, "threads={threads}");
+        assert_eq!(report.loaded, expected_profiles);
+        assert_eq!(
+            report.attempted,
+            HEALTHY as usize + 2,
+            "originals + duplicate + unreadable"
+        );
+        reports.push(report);
+    }
+    assert_eq!(reports[0], reports[1], "threads 1 vs 2");
+    assert_eq!(reports[1], reports[2], "threads 2 vs 8");
+
+    // Every injected fault kind surfaced as its own typed diagnostic at
+    // the path it was injected at.
+    let report = &reports[0];
+    for (kind, path) in &faults {
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.source == path.display().to_string())
+            .unwrap_or_else(|| panic!("{kind:?}: no diagnostic for {}", path.display()));
+        assert!(
+            kind.matches(&diag.kind),
+            "{kind:?} surfaced as {:?}",
+            diag.kind
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn strict_mode_identifies_offending_path_without_panicking() {
+    let (dir, faults) = corrupted_dir("strict", 3);
+    for threads in [1, 2, 8] {
+        let err = load_ensemble(&dir).map(|_| ()).unwrap_err();
+        let msg = err.to_string();
+        // The failing source is named; which fault wins is path order,
+        // but it must be one of the injected ones.
+        assert!(
+            faults.iter().any(|(_, p)| msg.contains(&p.display().to_string())),
+            "threads={threads}: error does not name an injected path: {msg}"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn fail_fast_strictness_matches_strict_loader() {
+    let (dir, _) = corrupted_dir("failfast", 5);
+    let strict = load_ensemble(&dir).map(|_| ()).unwrap_err();
+    let opts = load_ensemble_opts(&dir, 2, Strictness::FailFast)
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(strict.to_string(), opts.to_string());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn max_errors_budget_escalates_to_hard_error() {
+    let (dir, faults) = corrupted_dir("budget", 7);
+    // Budget below the fault count: hard error.
+    let r = load_ensemble_opts(&dir, 2, Strictness::Lenient { max_errors: 2 });
+    assert!(r.is_err(), "{} faults must blow a budget of 2", faults.len());
+    // Budget at the fault count: fine.
+    let r = load_ensemble_opts(
+        &dir,
+        2,
+        Strictness::Lenient {
+            max_errors: faults.len(),
+        },
+    );
+    assert!(r.is_ok());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn diagnostics_are_path_ordered() {
+    let (dir, _) = corrupted_dir("order", 13);
+    let (_, report) = load_ensemble_opts(&dir, 8, Strictness::lenient()).unwrap();
+    let sources: Vec<&String> = report.diagnostics.iter().map(|d| &d.source).collect();
+    let mut sorted = sources.clone();
+    sorted.sort();
+    assert_eq!(sources, sorted);
+    // And the parse diagnostics carry a usable byte offset.
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| matches!(d.kind, DiagKind::Parse { .. })));
+    std::fs::remove_dir_all(dir).ok();
+}

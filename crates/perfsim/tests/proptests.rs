@@ -101,4 +101,35 @@ proptest! {
             }
         }
     }
+
+    /// The parser never panics, whatever bytes it is fed — corrupt
+    /// profiles must always land in a typed `Err`.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+        let _ = Profile::parse(&text);
+    }
+
+    /// Nor on single-byte corruptions of otherwise valid documents —
+    /// the fault-injection shapes (truncation, byte flips) in bulk.
+    #[test]
+    fn parser_never_panics_on_mutated_documents(
+        v in json_strategy(),
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let mut text = v.to_string_compact().into_bytes();
+        if !text.is_empty() {
+            let i = pos % text.len();
+            text[i] = byte;
+            let s = String::from_utf8_lossy(&text);
+            let _ = Json::parse(&s);
+            // Truncation at the same point.
+            let cut = String::from_utf8_lossy(&text[..i]);
+            let _ = Json::parse(&cut);
+        }
+    }
 }

@@ -59,8 +59,9 @@ pub mod prelude {
     pub use thicket_learn::{dbscan, kmeans, pca, silhouette_score, KMeansConfig, StandardScaler};
     pub use thicket_model::{fit_model, fit_model2};
     pub use thicket_perfsim::{
-        load_ensemble, marbl_ensemble, save_ensemble, simulate_cpu_run, simulate_gpu_run,
-        Collector, CpuRunConfig, GpuRunConfig, MarblCluster, MarblConfig, Profile,
+        load_ensemble, load_ensemble_lenient, marbl_ensemble, save_ensemble, simulate_cpu_run,
+        simulate_gpu_run, Collector, CpuRunConfig, GpuRunConfig, IngestReport, MarblCluster,
+        MarblConfig, Profile, Strictness,
     };
     pub use thicket_query::{pred, Query};
 }

@@ -1,0 +1,124 @@
+//! Fault-tolerance end-to-end: a realistic campaign directory with a
+//! mix of healthy and corrupt profiles must flow through lenient load
+//! and lenient thicket construction without a panic, yielding a usable
+//! thicket over exactly the healthy subset plus a complete typed
+//! account of everything dropped.
+
+use thicket::prelude::*;
+use thicket_perfsim::faults::{inject, inject_all, FaultKind};
+use thicket_perfsim::{load_ensemble_opts, DiagKind};
+
+fn campaign_dir(name: &str, n: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("thicket-ft-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let profiles: Vec<_> = (0..n)
+        .map(|seed| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = seed;
+            simulate_cpu_run(&cfg)
+        })
+        .collect();
+    save_ensemble(&dir, &profiles).unwrap();
+    dir
+}
+
+/// Disk faults → lenient load → thicket → stats, never panicking.
+#[test]
+fn corrupt_campaign_still_yields_a_workable_thicket() {
+    let dir = campaign_dir("campaign", 10);
+    let faults = inject_all(&dir, 4).unwrap();
+    let corrupted = faults
+        .iter()
+        .filter(|(k, _)| !matches!(k, FaultKind::DuplicateProfile | FaultKind::Unreadable))
+        .count();
+
+    let (profiles, report) = load_ensemble_lenient(&dir).unwrap();
+    assert_eq!(profiles.len(), 10 - corrupted);
+    assert_eq!(report.dropped(), faults.len());
+    // The report renders a human-readable account.
+    let rendered = report.to_string();
+    assert!(rendered.contains(&format!("{} dropped", faults.len())), "{rendered}");
+
+    // The healthy subset composes and aggregates normally.
+    let (mut tk, build_report) = Thicket::from_profiles_lenient(&profiles).unwrap();
+    assert!(build_report.is_clean());
+    assert_eq!(tk.profiles().len(), profiles.len());
+    tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Mean])])
+        .unwrap();
+    assert!(tk.statsframe().has_column(&ColKey::new("time (exc)_mean")));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// The lenient pipeline is deterministic: same faults, same report,
+/// for every worker-thread count.
+#[test]
+fn lenient_pipeline_is_thread_count_invariant() {
+    let dir = campaign_dir("invariant", 9);
+    inject_all(&dir, 2).unwrap();
+    let baseline = load_ensemble_opts(&dir, 1, thicket_perfsim::Strictness::lenient()).unwrap();
+    for threads in [2, 8] {
+        let got =
+            load_ensemble_opts(&dir, threads, thicket_perfsim::Strictness::lenient()).unwrap();
+        assert_eq!(baseline.1, got.1, "report differs at threads={threads}");
+        assert_eq!(
+            baseline.0.len(),
+            got.0.len(),
+            "profile count differs at threads={threads}"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Strict mode surfaces the first fault as a typed error naming the
+/// offending file — the acceptance contract for fail-fast campaigns.
+#[test]
+fn strict_mode_error_names_the_corrupt_file() {
+    let dir = campaign_dir("strictpath", 6);
+    let victim = inject(&dir, FaultKind::Truncate, 1).unwrap();
+    let err = load_ensemble(&dir).map(|_| ()).unwrap_err();
+    assert!(
+        err.to_string().contains(&victim.display().to_string()),
+        "error {err} does not name {}",
+        victim.display()
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Every individual fault kind drives the full pipeline to a typed
+/// diagnostic — the per-kind acceptance matrix at the facade level.
+#[test]
+fn every_fault_kind_maps_to_its_diagnostic() {
+    for (i, kind) in FaultKind::ALL.iter().enumerate() {
+        let dir = campaign_dir(&format!("matrix-{i}"), 6);
+        inject(&dir, *kind, 9).unwrap();
+        let (profiles, report) = load_ensemble_lenient(&dir).unwrap();
+        assert_eq!(report.dropped(), 1, "{kind:?}");
+        assert!(
+            kind.matches(&report.diagnostics[0].kind),
+            "{kind:?} surfaced as {:?}",
+            report.diagnostics[0].kind
+        );
+        assert!(!profiles.is_empty());
+        // The lenient thicket build accepts whatever survived.
+        let (tk, r) = Thicket::from_profiles_lenient(&profiles).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(tk.profiles().len(), profiles.len());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// A duplicated file on disk surfaces the duplicate-id diagnostic with
+/// a pointer back to the first occurrence.
+#[test]
+fn duplicate_diagnostic_points_at_first_occurrence() {
+    let dir = campaign_dir("dup", 6);
+    inject(&dir, FaultKind::DuplicateProfile, 0).unwrap();
+    let (_, report) = load_ensemble_lenient(&dir).unwrap();
+    match &report.diagnostics[0].kind {
+        DiagKind::DuplicateProfile { first } => {
+            assert!(first.ends_with(".json"), "first occurrence is a path: {first}")
+        }
+        other => panic!("expected duplicate diagnostic, got {other:?}"),
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -5,6 +5,10 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+# Fault-injection smoke: corrupt ensembles must degrade into typed
+# diagnostics, never a panic (cheap: binaries already built above).
+cargo test -q --test fault_tolerance
+cargo test -q -p thicket-perfsim --test faults
 # Benches must at least compile (they are not run here: tier-1 stays fast).
 cargo bench -p thicket-bench --no-run
 # All targets: library code AND tests/benches/bins lint-clean.
