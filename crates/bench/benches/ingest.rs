@@ -67,5 +67,40 @@ fn bench_join(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_join);
+/// Sharded-store read path vs the JSON ensemble directory: full loads
+/// at equal profile counts, plus the metadata-pushdown read that skips
+/// whole shards (the predicate selects 10 of n profiles).
+fn bench_store(c: &mut Criterion) {
+    use thicket_perfsim::{load_ensemble, save_ensemble, Store};
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    for &n in &[100u64, 560] {
+        let profiles = data::quartz_runs(n, 1_048_576);
+        let json_dir = std::env::temp_dir().join(format!("thicket-bench-json-{n}"));
+        let store_dir = std::env::temp_dir().join(format!("thicket-bench-store-{n}"));
+        let _ = std::fs::remove_dir_all(&json_dir);
+        let _ = std::fs::remove_dir_all(&store_dir);
+        save_ensemble(&json_dir, &profiles).unwrap();
+        Store::save(&store_dir, &profiles).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("load_ensemble", n), &json_dir, |b, dir| {
+            b.iter(|| load_ensemble(dir).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("load_all", n), &store_dir, |b, dir| {
+            b.iter(|| Store::open(dir).unwrap().load_all().unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("load_where", n), &store_dir, |b, dir| {
+            b.iter(|| {
+                Store::open(dir)
+                    .unwrap()
+                    .load_where(|e| matches!(e.meta("seed"), Some(Value::Int(s)) if *s < 10))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_join, bench_store);
 criterion_main!(benches);

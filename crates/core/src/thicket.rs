@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use thicket_dataframe::{
     merge_fragments, ColKey, Column, ColumnFragments, DataFrame, DfError, FrameBuilder, Index,
     Value,
@@ -31,6 +32,8 @@ pub enum ThicketError {
         /// The captured panic message.
         message: String,
     },
+    /// The sharded on-disk store could not be opened or read.
+    Store(thicket_perfsim::StoreError),
 }
 
 impl fmt::Display for ThicketError {
@@ -41,6 +44,7 @@ impl fmt::Display for ThicketError {
             ThicketError::Worker { source, message } => {
                 write!(f, "worker panicked on {source}: {message}")
             }
+            ThicketError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -50,6 +54,12 @@ impl std::error::Error for ThicketError {}
 impl From<DfError> for ThicketError {
     fn from(e: DfError) -> Self {
         ThicketError::Df(e)
+    }
+}
+
+impl From<thicket_perfsim::StoreError> for ThicketError {
+    fn from(e: thicket_perfsim::StoreError) -> Self {
+        ThicketError::Store(e)
     }
 }
 
@@ -342,6 +352,65 @@ impl Thicket {
                 report,
             ));
         }
+    }
+
+    /// Build a thicket straight from a sharded on-disk store
+    /// ([`thicket_perfsim::Store`]): open the newest verified
+    /// generation, load every record, and compose the healthy subset.
+    ///
+    /// Corrupt records surface as typed diagnostics in the returned
+    /// [`IngestReport`] (checksum mismatches, torn shards) alongside
+    /// any composition diagnostics; the report is byte-identical for
+    /// any worker-thread count. Errs only when the store itself cannot
+    /// be opened or no profile survives.
+    pub fn from_store(dir: impl AsRef<Path>) -> Result<(Thicket, IngestReport), ThicketError> {
+        Self::from_store_filtered(dir, |_| true)
+    }
+
+    /// [`Thicket::from_store`] with metadata pushdown: `pred` is
+    /// evaluated against each profile's manifest index entry
+    /// ([`thicket_perfsim::StoreEntry`]) *before* any shard I/O, so
+    /// shards with no selected record are never opened and partially
+    /// selected shards are read only in the selected byte ranges.
+    ///
+    /// The resulting thicket equals filtering the same profiles after
+    /// a full load — it just parses strictly fewer bytes whenever the
+    /// predicate excludes anything.
+    pub fn from_store_filtered(
+        dir: impl AsRef<Path>,
+        pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        let reader = thicket_perfsim::Store::open(&dir)?;
+        let threads = thicket_perfsim::default_threads(reader.entries().len());
+        Self::compose_store_load(&reader, pred, threads)
+    }
+
+    /// [`Thicket::from_store_filtered`] with an explicit worker count
+    /// for both the payload-parse and row-assembly fan-outs. The
+    /// thicket and report are identical for any `threads ≥ 1`.
+    pub fn from_store_filtered_threads(
+        dir: impl AsRef<Path>,
+        pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
+        threads: usize,
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        let reader = thicket_perfsim::Store::open(&dir)?;
+        Self::compose_store_load(&reader, pred, threads)
+    }
+
+    fn compose_store_load(
+        reader: &thicket_perfsim::StoreReader,
+        pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
+        threads: usize,
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        let (profiles, mut report) = reader.load_where_threads(pred, threads)?;
+        let ids: Vec<Value> = profiles
+            .iter()
+            .map(|p| Value::Int(p.profile_hash()))
+            .collect();
+        let (thicket, build) =
+            Self::from_profiles_indexed_lenient_threads(&profiles, &ids, threads)?;
+        report.absorb(build);
+        Ok((thicket, report))
     }
 
     /// Assemble a thicket from raw components (used by composition and

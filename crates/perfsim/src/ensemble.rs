@@ -25,10 +25,16 @@ use std::path::{Path, PathBuf};
 /// an ensemble replaces its previous files instead of accumulating
 /// bumped copies.
 ///
-/// If a write fails partway through, the files this call already
-/// renamed into place are removed (best effort) along with the
-/// in-flight temporary, so a failed save never leaves a half-ensemble
-/// that a later [`load_ensemble`] would silently treat as complete.
+/// The save runs in two phases. Phase one stages every profile to a
+/// temporary name; a failure there removes only this call's temps and
+/// leaves the directory's existing files untouched. Phase two renames
+/// the staged temps into place; a failure there removes the not-yet-
+/// renamed temps but never deletes a destination file — when re-saving
+/// over a previous ensemble, the destinations still hold valid copies
+/// (old or freshly renamed), so an interrupted save degrades to a
+/// mixed-but-loadable directory instead of losing data. (An earlier
+/// revision rolled back by deleting already-renamed destinations,
+/// which destroyed the previous good copies on a re-save.)
 pub fn save_ensemble(
     dir: impl AsRef<Path>,
     profiles: &[Profile],
@@ -36,7 +42,7 @@ pub fn save_ensemble(
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let mut taken: HashSet<String> = HashSet::with_capacity(profiles.len());
-    let mut out = Vec::with_capacity(profiles.len());
+    let mut staged: Vec<(PathBuf, PathBuf)> = Vec::with_capacity(profiles.len());
     for (i, p) in profiles.iter().enumerate() {
         let base = format!("profile-{:016x}", p.profile_hash() as u64);
         let mut name = format!("{base}.json");
@@ -45,21 +51,25 @@ pub fn save_ensemble(
             bump += 1;
             name = format!("{base}-{bump}.json");
         }
-        let path = dir.join(&name);
         let tmp = dir.join(format!(".{name}.tmp-{i}"));
-        let result = p
-            .save(&tmp)
-            .and_then(|()| std::fs::rename(&tmp, &path).map_err(ProfileError::from));
-        if let Err(e) = result {
-            // Roll back this call's output: the failed temp plus every
-            // file already renamed into place.
+        if let Err(e) = p.save(&tmp) {
             let _ = std::fs::remove_file(&tmp);
-            for written in &out {
-                let _ = std::fs::remove_file(written);
+            for (t, _) in &staged {
+                let _ = std::fs::remove_file(t);
             }
             return Err(e);
         }
-        out.push(path);
+        staged.push((tmp, dir.join(&name)));
+    }
+    let mut out = Vec::with_capacity(staged.len());
+    for (idx, (tmp, path)) in staged.iter().enumerate() {
+        if let Err(e) = std::fs::rename(tmp, path) {
+            for (t, _) in &staged[idx..] {
+                let _ = std::fs::remove_file(t);
+            }
+            return Err(ProfileError::from(e).in_file(path));
+        }
+        out.push(path.clone());
     }
     Ok(out)
 }
@@ -395,14 +405,55 @@ mod tests {
         std::fs::create_dir_all(&planned[1]).unwrap();
         let err = save_ensemble(&dir, &profiles);
         assert!(err.is_err(), "rename onto a directory must fail");
-        // No profile files and no temps remain — only the blocking dir.
-        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        // Files renamed before the failure are complete, valid
+        // profiles and stay in place; temps are cleaned up.
+        let leftovers: Vec<PathBuf> = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())
             .filter(|e| e.path().is_file())
-            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .map(|e| e.path())
             .collect();
-        assert!(leftovers.is_empty(), "leftover files: {leftovers:?}");
+        assert_eq!(leftovers, vec![planned[0].clone()]);
+        Profile::load(&leftovers[0]).expect("surviving file is a valid profile");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn failed_save_never_deletes_previous_copies() {
+        let dir = tmp("rollback-resave");
+        let profiles: Vec<Profile> = (0..3)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        let planned = save_ensemble(&dir, &profiles).unwrap();
+
+        // Staging failure (temp name blocked by a directory): the
+        // previous ensemble must come through completely untouched.
+        std::fs::create_dir_all(dir.join(format!(
+            ".{}.tmp-1",
+            planned[1].file_name().unwrap().to_string_lossy()
+        )))
+        .unwrap();
+        assert!(save_ensemble(&dir, &profiles).is_err());
+        assert_eq!(load_ensemble(&dir).unwrap().len(), 3);
+
+        // Rename failure mid-way (destination replaced by a directory
+        // out from under us): the other destinations keep a valid copy
+        // — old or freshly renamed — and nothing is deleted.
+        std::fs::remove_dir_all(dir.join(format!(
+            ".{}.tmp-1",
+            planned[1].file_name().unwrap().to_string_lossy()
+        )))
+        .unwrap();
+        std::fs::remove_file(&planned[1]).unwrap();
+        std::fs::create_dir_all(&planned[1]).unwrap();
+        assert!(save_ensemble(&dir, &profiles).is_err());
+        for p in [&planned[0], &planned[2]] {
+            Profile::load(p).expect("previous copy must survive a failed re-save");
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -1,4 +1,5 @@
-//! Deterministic fault injection for ensemble directories.
+//! Deterministic fault injection for ensemble directories and sharded
+//! stores.
 //!
 //! Robustness claims are only as good as the faults they were tested
 //! against, so this module provides seed-driven corruptors that mimic
@@ -6,14 +7,18 @@
 //! mid-write), mangled bytes (storage rot), schema drift (a collector
 //! that stopped emitting a member), duplicated profiles (a re-run job
 //! double-copied its output), non-finite metrics (counter overflow), and
-//! empty call trees (instrumentation produced nothing).
+//! empty call trees (instrumentation produced nothing). For
+//! [`crate::store`] directories there are three more: torn shards
+//! (crash mid-append), bit rot inside a shard record, and a stale
+//! (unverifiable) newest manifest.
 //!
 //! Every corruptor is a pure function of `(directory contents, seed)`:
 //! the same seed always corrupts the same victim the same way, so tests
 //! exercising the lenient-ingest paths are reproducible. Each
 //! [`FaultKind`] maps onto the typed diagnostic it must surface as
-//! ([`FaultKind::matches`]) — the integration suite drives every kind
-//! through [`crate::load_ensemble_lenient`] and asserts the mapping.
+//! ([`FaultKind::matches`]) — the integration suites drive every
+//! ensemble kind through [`crate::load_ensemble_lenient`] and every
+//! store kind through [`crate::Store::fsck`] and assert the mapping.
 
 use crate::ingest::DiagKind;
 use crate::json::Json;
@@ -39,11 +44,36 @@ pub enum FaultKind {
     DuplicateProfile,
     /// Create an unreadable directory entry with a `.json` name.
     Unreadable,
+    /// Truncate a store shard mid-record (crash mid-append). Store
+    /// directories only.
+    TornShard,
+    /// Flip one bit inside a store shard record's payload (storage
+    /// rot). Store directories only.
+    BitRot,
+    /// Corrupt the newest store manifest so it no longer verifies
+    /// (torn or rotted commit record). Store directories only.
+    StaleManifest,
 }
 
 impl FaultKind {
-    /// Every fault kind, in the order [`inject_all`] applies them.
-    pub const ALL: [FaultKind; 7] = [
+    /// Every fault kind, ensemble-directory kinds first, then the
+    /// store-directory kinds.
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::Truncate,
+        FaultKind::FlipByte,
+        FaultKind::DropMetrics,
+        FaultKind::NonFinite,
+        FaultKind::EmptyCallTree,
+        FaultKind::DuplicateProfile,
+        FaultKind::Unreadable,
+        FaultKind::TornShard,
+        FaultKind::BitRot,
+        FaultKind::StaleManifest,
+    ];
+
+    /// The kinds that apply to a loose-JSON ensemble directory, in the
+    /// order [`inject_all`] applies them there.
+    pub const ENSEMBLE: [FaultKind; 7] = [
         FaultKind::Truncate,
         FaultKind::FlipByte,
         FaultKind::DropMetrics,
@@ -52,6 +82,23 @@ impl FaultKind {
         FaultKind::DuplicateProfile,
         FaultKind::Unreadable,
     ];
+
+    /// The kinds that apply to a [`crate::store`] directory, in the
+    /// order [`inject_all`] applies them there.
+    pub const STORE: [FaultKind; 3] = [
+        FaultKind::TornShard,
+        FaultKind::BitRot,
+        FaultKind::StaleManifest,
+    ];
+
+    /// True for the kinds that corrupt a sharded store rather than a
+    /// loose-JSON directory.
+    pub fn is_store_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::TornShard | FaultKind::BitRot | FaultKind::StaleManifest
+        )
+    }
 
     /// Does `diag` have the type this fault must surface as?
     pub fn matches(&self, diag: &DiagKind) -> bool {
@@ -63,6 +110,9 @@ impl FaultKind {
             (FaultKind::EmptyCallTree, DiagKind::Schema(m)) => m.contains("empty call tree"),
             (FaultKind::DuplicateProfile, DiagKind::DuplicateProfile { .. }) => true,
             (FaultKind::Unreadable, DiagKind::Io(_)) => true,
+            (FaultKind::TornShard, DiagKind::TornShard { .. }) => true,
+            (FaultKind::BitRot, DiagKind::ChecksumMismatch { .. }) => true,
+            (FaultKind::StaleManifest, DiagKind::StaleManifest { .. }) => true,
             _ => false,
         }
     }
@@ -80,6 +130,49 @@ fn victim_pool(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(paths)
 }
 
+/// Sorted shard (`*.tks`) paths of a store directory.
+fn shard_pool(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "tks"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Sorted manifest paths of a store directory.
+fn manifest_pool(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("MANIFEST-"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// `(payload offset, payload len)` of each record in a shard image.
+fn shard_record_ranges(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut pos = 4; // skip magic
+    while bytes.len().saturating_sub(pos) >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if bytes.len() - pos - 8 < len {
+            break;
+        }
+        out.push((pos + 8, len));
+        pos += 8 + len;
+    }
+    out
+}
+
 fn no_victim(dir: &Path) -> io::Error {
     io::Error::other(format!(
         "no profile files to corrupt in {}",
@@ -91,6 +184,10 @@ fn no_victim(dir: &Path) -> io::Error {
 /// from the seed (sorted filename order). Returns the path the fault
 /// lives at: the corrupted victim, or the newly created file for
 /// [`FaultKind::DuplicateProfile`] / [`FaultKind::Unreadable`].
+///
+/// Ensemble kinds pick their victim among the `*.json` profiles; store
+/// kinds ([`FaultKind::is_store_fault`]) pick among the `*.tks` shards
+/// ([`FaultKind::StaleManifest`] targets the newest manifest).
 pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
     let dir = dir.as_ref();
     if kind == FaultKind::Unreadable {
@@ -98,7 +195,21 @@ pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<P
         std::fs::create_dir_all(&path)?;
         return Ok(path);
     }
-    let pool = victim_pool(dir)?;
+    if kind == FaultKind::StaleManifest {
+        let pool = manifest_pool(dir)?;
+        let Some(newest) = pool.last() else {
+            return Err(io::Error::other(format!(
+                "no manifest to corrupt in {}",
+                dir.display()
+            )));
+        };
+        return apply(newest, kind, seed);
+    }
+    let pool = if kind.is_store_fault() {
+        shard_pool(dir)?
+    } else {
+        victim_pool(dir)?
+    };
     if pool.is_empty() {
         return Err(no_victim(dir));
     }
@@ -106,16 +217,29 @@ pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<P
     apply(victim, kind, seed)
 }
 
-/// Apply every [`FaultKind`] once, each to a *distinct* victim, with
-/// [`FaultKind::DuplicateProfile`] duplicating a file no other fault
-/// touched (so the duplicate's diagnostic is unambiguously
-/// "duplicate", not "parse error"). Requires at least 6 healthy
-/// profiles in `dir`. Returns `(kind, fault path)` pairs in
-/// [`FaultKind::ALL`] order.
+/// Apply every fault kind that fits the directory, each to a
+/// *distinct* victim.
+///
+/// For a store directory (it contains a `MANIFEST-*` file) the
+/// [`FaultKind::STORE`] kinds are applied: [`FaultKind::BitRot`] and
+/// [`FaultKind::TornShard`] to two *different* shards (≥ 2 shards
+/// required so each classifies unambiguously) and
+/// [`FaultKind::StaleManifest`] to the newest manifest. Returns pairs
+/// in [`FaultKind::STORE`] order.
+///
+/// For a loose-JSON ensemble directory the [`FaultKind::ENSEMBLE`]
+/// kinds are applied as before, with [`FaultKind::DuplicateProfile`]
+/// duplicating a file no other fault touched (so the duplicate's
+/// diagnostic is unambiguously "duplicate", not "parse error");
+/// requires at least 6 healthy profiles. Returns pairs in
+/// [`FaultKind::ENSEMBLE`] order.
 pub fn inject_all(dir: impl AsRef<Path>, seed: u64) -> io::Result<Vec<(FaultKind, PathBuf)>> {
     let dir = dir.as_ref();
+    if !manifest_pool(dir)?.is_empty() {
+        return inject_all_store(dir, seed);
+    }
     let pool = victim_pool(dir)?;
-    let corrupting: Vec<FaultKind> = FaultKind::ALL
+    let corrupting: Vec<FaultKind> = FaultKind::ENSEMBLE
         .iter()
         .copied()
         .filter(|k| !matches!(k, FaultKind::DuplicateProfile | FaultKind::Unreadable))
@@ -145,9 +269,35 @@ pub fn inject_all(dir: impl AsRef<Path>, seed: u64) -> io::Result<Vec<(FaultKind
         apply(&pool[healthy], FaultKind::DuplicateProfile, seed)?,
     ));
     out.push((FaultKind::Unreadable, inject(dir, FaultKind::Unreadable, seed)?));
-    // Report in ALL order for callers that zip against it.
-    out.sort_by_key(|(k, _)| FaultKind::ALL.iter().position(|a| a == k));
+    // Report in ENSEMBLE order for callers that zip against it.
+    out.sort_by_key(|(k, _)| FaultKind::ENSEMBLE.iter().position(|a| a == k));
     Ok(out)
+}
+
+/// [`inject_all`] for a store directory: bit rot and a torn shard on
+/// two distinct shards, plus a stale newest manifest.
+fn inject_all_store(dir: &Path, seed: u64) -> io::Result<Vec<(FaultKind, PathBuf)>> {
+    let pool = shard_pool(dir)?;
+    if pool.len() < 2 {
+        return Err(io::Error::other(format!(
+            "need at least 2 shards in {}, found {} (save with a smaller shard_bytes)",
+            dir.display(),
+            pool.len()
+        )));
+    }
+    let rot = (seed % pool.len() as u64) as usize;
+    let torn = (rot + 1) % pool.len();
+    Ok(vec![
+        (
+            FaultKind::TornShard,
+            apply(&pool[torn], FaultKind::TornShard, seed)?,
+        ),
+        (FaultKind::BitRot, apply(&pool[rot], FaultKind::BitRot, seed)?),
+        (
+            FaultKind::StaleManifest,
+            inject(dir, FaultKind::StaleManifest, seed)?,
+        ),
+    ])
 }
 
 /// Corrupt one file in place (or derive a sibling file for
@@ -254,6 +404,45 @@ fn apply(victim: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
             std::fs::create_dir_all(&dup)?;
             Ok(dup)
         }
+        FaultKind::TornShard => {
+            let bytes = std::fs::read(victim)?;
+            let ranges = shard_record_ranges(&bytes);
+            if ranges.is_empty() {
+                return Err(io::Error::other("shard has no records to tear"));
+            }
+            // Cut inside a seed-chosen record's payload, so the frame
+            // promises more bytes than the file holds.
+            let (start, len) = ranges[(seed % ranges.len() as u64) as usize];
+            let cut = start + len / 2;
+            std::fs::write(victim, &bytes[..cut])?;
+            Ok(victim.to_path_buf())
+        }
+        FaultKind::BitRot => {
+            let mut bytes = std::fs::read(victim)?;
+            let ranges = shard_record_ranges(&bytes);
+            if ranges.is_empty() {
+                return Err(io::Error::other("shard has no records to rot"));
+            }
+            // Flip one payload bit; CRC32C catches any single-bit flip.
+            let (start, len) = ranges[(seed % ranges.len() as u64) as usize];
+            if len == 0 {
+                return Err(io::Error::other("record payload is empty"));
+            }
+            let byte = start + (seed as usize / 8) % len;
+            bytes[byte] ^= 1 << (seed % 8);
+            std::fs::write(victim, &bytes)?;
+            Ok(victim.to_path_buf())
+        }
+        FaultKind::StaleManifest => {
+            // Tear the commit record in half: the self-CRC no longer
+            // verifies, so readers must fall back a generation.
+            let bytes = std::fs::read(victim)?;
+            if bytes.len() < 2 {
+                return Err(io::Error::other("manifest too small to tear"));
+            }
+            std::fs::write(victim, &bytes[..bytes.len() / 2])?;
+            Ok(victim.to_path_buf())
+        }
     }
 }
 
@@ -326,7 +515,7 @@ mod tests {
 
     #[test]
     fn each_fault_surfaces_as_its_typed_diagnostic() {
-        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+        for (i, kind) in FaultKind::ENSEMBLE.iter().enumerate() {
             let dir = fresh_dir(&format!("kind-{i}"), 6);
             let path = inject(&dir, *kind, 7).unwrap();
             let (profiles, report) = load_ensemble_lenient(&dir).unwrap();
@@ -356,6 +545,78 @@ mod tests {
     #[test]
     fn inject_all_requires_enough_victims() {
         let dir = fresh_dir("small", 3);
+        assert!(inject_all(&dir, 0).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    fn fresh_store(name: &str, n: u64) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("thicket-faults-store-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profiles: Vec<_> = (0..n)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        let opts = crate::StoreOptions {
+            shard_bytes: 1, // one record per shard: plenty of victims
+            ..crate::StoreOptions::default()
+        };
+        crate::Store::save_opts(&dir, &profiles, &opts).unwrap();
+        dir
+    }
+
+    #[test]
+    fn store_faults_classify_under_fsck() {
+        for (i, kind) in FaultKind::STORE.iter().enumerate() {
+            let dir = fresh_store(&format!("kind-{i}"), 4);
+            inject(&dir, *kind, 11).unwrap();
+            let fsck = crate::Store::fsck(&dir).unwrap();
+            assert!(!fsck.is_clean(), "{kind:?} left a clean store");
+            let findings: Vec<_> = fsck.findings().collect();
+            assert!(
+                findings.iter().any(|d| kind.matches(&d.kind)),
+                "{kind:?} produced findings {findings:?}"
+            );
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn store_inject_all_hits_distinct_victims() {
+        let dir = fresh_store("all", 5);
+        let faults = inject_all(&dir, 3).unwrap();
+        let kinds: Vec<FaultKind> = faults.iter().map(|(k, _)| *k).collect();
+        assert_eq!(kinds, FaultKind::STORE.to_vec());
+        // Torn shard and bit rot land on different files.
+        assert_ne!(faults[0].1, faults[1].1);
+        // With all three at once the manifest is stale, so fsck can
+        // only say that much; recover's salvage walk classifies the
+        // per-shard damage. Together every fault is accounted for.
+        let fsck = crate::Store::fsck(&dir).unwrap();
+        assert!(!fsck.is_clean());
+        let rec = crate::Store::recover(&dir).unwrap();
+        assert_eq!(rec.salvaged, 3, "two records lost to torn + rot");
+        for (kind, _) in &faults {
+            let classified = fsck.findings().any(|d| kind.matches(&d.kind))
+                || rec.report.diagnostics.iter().any(|d| kind.matches(&d.kind));
+            assert!(classified, "{kind:?} classified nowhere: {}", rec.report);
+        }
+        // The recovered store reloads clean.
+        let (loaded, rep) = crate::Store::open(&dir).unwrap().load_all().unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert!(rep.is_clean());
+        assert!(crate::Store::fsck(&dir).unwrap().is_clean());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn store_inject_all_requires_two_shards() {
+        let dir = std::env::temp_dir().join("thicket-faults-store-oneshard");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
+        crate::Store::save(&dir, &[p]).unwrap();
         assert!(inject_all(&dir, 0).is_err());
         std::fs::remove_dir_all(dir).ok();
     }

@@ -76,6 +76,26 @@ pub enum DiagKind {
     /// The worker processing this source panicked (captured, never
     /// propagated); the panic message.
     WorkerPanic(String),
+    /// A store shard record's payload does not match its CRC32C
+    /// checksum (bit rot, or a header corrupted into misframing).
+    ChecksumMismatch {
+        /// Shard file name carrying the bad record.
+        shard: String,
+        /// Zero-based record index within the shard.
+        record: usize,
+    },
+    /// A store shard ends mid-record: the framing promises more bytes
+    /// than the file holds (a write torn by a crash).
+    TornShard {
+        /// Shard file name that is torn.
+        shard: String,
+    },
+    /// A store manifest exists but cannot be verified (torn, corrupt,
+    /// or referencing shards that no longer check out).
+    StaleManifest {
+        /// Manifest file name that failed verification.
+        manifest: String,
+    },
 }
 
 impl DiagKind {
@@ -113,6 +133,31 @@ impl fmt::Display for DiagKind {
                 write!(f, "non-finite metric {metric:?} on node {node}")
             }
             DiagKind::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            DiagKind::ChecksumMismatch { shard, record } => {
+                write!(f, "checksum mismatch in {shard} record {record}")
+            }
+            DiagKind::TornShard { shard } => write!(f, "torn shard {shard}"),
+            DiagKind::StaleManifest { manifest } => {
+                write!(f, "stale manifest {manifest}")
+            }
+        }
+    }
+}
+
+impl DiagKind {
+    /// Short stable label for this kind (used by
+    /// [`IngestReport::summary`] counts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiagKind::Io(_) => "io",
+            DiagKind::Parse { .. } => "parse",
+            DiagKind::Schema(_) => "schema",
+            DiagKind::DuplicateProfile { .. } => "duplicate-profile",
+            DiagKind::NonFiniteMetric { .. } => "non-finite-metric",
+            DiagKind::WorkerPanic(_) => "worker-panic",
+            DiagKind::ChecksumMismatch { .. } => "checksum-mismatch",
+            DiagKind::TornShard { .. } => "torn-shard",
+            DiagKind::StaleManifest { .. } => "stale-manifest",
         }
     }
 }
@@ -158,6 +203,47 @@ impl IngestReport {
     /// Number of sources dropped.
     pub fn dropped(&self) -> usize {
         self.diagnostics.len()
+    }
+
+    /// One-line human-readable triage summary: totals plus a count per
+    /// [`DiagKind`] label, e.g.
+    /// `ingest: 7/10 loaded, 3 dropped (parse ×2, torn-shard ×1)`.
+    ///
+    /// Labels appear in first-seen diagnostic order, so the line is
+    /// deterministic for a deterministic report.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "ingest: {}/{} loaded, {} dropped",
+            self.loaded,
+            self.attempted,
+            self.dropped()
+        );
+        if !self.diagnostics.is_empty() {
+            let mut counts: Vec<(&'static str, usize)> = Vec::new();
+            for d in &self.diagnostics {
+                let label = d.kind.label();
+                match counts.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((label, 1)),
+                }
+            }
+            let parts: Vec<String> = counts
+                .iter()
+                .map(|(l, n)| format!("{l} \u{d7}{n}"))
+                .collect();
+            line.push_str(&format!(" ({})", parts.join(", ")));
+        }
+        line
+    }
+
+    /// Append another report's outcome onto this one (used when a load
+    /// pipeline has multiple accounting stages, e.g. store read followed
+    /// by thicket build): `attempted` stays this report's count, `loaded`
+    /// takes the later stage's count, and diagnostics concatenate in
+    /// stage order.
+    pub fn absorb(&mut self, later: IngestReport) {
+        self.loaded = later.loaded;
+        self.diagnostics.extend(later.diagnostics);
     }
 }
 
@@ -218,6 +304,75 @@ mod tests {
         assert!(s.contains("2/3"));
         assert!(s.contains("a.json"));
         assert!(s.contains("byte 17"));
+    }
+
+    #[test]
+    fn summary_counts_per_kind() {
+        let mut report = IngestReport {
+            attempted: 10,
+            loaded: 7,
+            diagnostics: vec![
+                Diagnostic {
+                    source: "a.json".into(),
+                    kind: DiagKind::Parse {
+                        offset: 1,
+                        message: "x".into(),
+                    },
+                },
+                Diagnostic {
+                    source: "shard-000001-0000.tks#2".into(),
+                    kind: DiagKind::TornShard {
+                        shard: "shard-000001-0000.tks".into(),
+                    },
+                },
+                Diagnostic {
+                    source: "b.json".into(),
+                    kind: DiagKind::Parse {
+                        offset: 9,
+                        message: "y".into(),
+                    },
+                },
+            ],
+        };
+        assert_eq!(
+            report.summary(),
+            "ingest: 7/10 loaded, 3 dropped (parse \u{d7}2, torn-shard \u{d7}1)"
+        );
+        // A clean report stays a bare one-liner.
+        report.diagnostics.clear();
+        report.loaded = 10;
+        assert_eq!(report.summary(), "ingest: 10/10 loaded, 0 dropped");
+    }
+
+    #[test]
+    fn absorb_chains_stage_accounting() {
+        let mut read = IngestReport {
+            attempted: 5,
+            loaded: 4,
+            diagnostics: vec![Diagnostic {
+                source: "s#0".into(),
+                kind: DiagKind::ChecksumMismatch {
+                    shard: "s".into(),
+                    record: 0,
+                },
+            }],
+        };
+        let build = IngestReport {
+            attempted: 4,
+            loaded: 3,
+            diagnostics: vec![Diagnostic {
+                source: "profile 9".into(),
+                kind: DiagKind::DuplicateProfile {
+                    first: "profile 1".into(),
+                },
+            }],
+        };
+        read.absorb(build);
+        assert_eq!(read.attempted, 5);
+        assert_eq!(read.loaded, 3);
+        assert_eq!(read.dropped(), 2);
+        assert_eq!(read.diagnostics[0].kind.label(), "checksum-mismatch");
+        assert_eq!(read.diagnostics[1].kind.label(), "duplicate-profile");
     }
 
     #[test]

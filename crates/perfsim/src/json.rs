@@ -356,13 +356,40 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = rest.chars().next().expect("non-empty rest");
+                Some(c) if c < 0x80 => {
+                    // Bulk-consume a run of plain ASCII (no quote, no
+                    // backslash): the common case, one validation per
+                    // run instead of per character.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c < 0x80 && c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("ASCII run is valid UTF-8"),
+                    );
+                }
+                Some(c) => {
+                    // Consume one multi-byte UTF-8 character, validating
+                    // only its own bytes (validating the whole remaining
+                    // input here would make string parsing quadratic).
+                    let width = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let end = self.pos + width;
+                    if end > self.bytes.len() {
+                        return Err(self.err_eof("truncated UTF-8 character"));
+                    }
+                    let ch = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?
+                        .chars()
+                        .next()
+                        .expect("non-empty slice");
                     out.push(ch);
-                    self.pos += ch.len_utf8();
+                    self.pos += width;
                 }
             }
         }

@@ -36,6 +36,7 @@ pub mod noise;
 pub mod parallel;
 pub mod profile;
 pub mod rajaperf;
+pub mod store;
 pub mod topdown;
 
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
@@ -55,6 +56,10 @@ pub use machine::{Compiler, CpuSpec, GpuSpec, NetworkSpec};
 pub use marbl::{marbl_ensemble, simulate_marbl_run, MarblCluster, MarblConfig};
 pub use noise::Noise;
 pub use profile::{Profile, ProfileError};
+pub use store::{
+    crc32c, FsckReport, Manifest, RecoverReport, Store, StoreEntry, StoreError, StoreOptions,
+    StoreReader, WriteReport,
+};
 pub use rajaperf::{
     simulate_cpu_run, simulate_gpu_run, suite, CpuRunConfig, GpuRunConfig, KernelSpec, Variant,
 };

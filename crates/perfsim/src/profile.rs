@@ -419,7 +419,7 @@ impl Profile {
 
 /// Map a Value into its JSON encoding. Integers beyond 2⁵³ are wrapped as
 /// `{"$i": "<decimal>"}` so profile hashes survive the float round trip.
-fn value_to_json(v: &Value) -> Json {
+pub(crate) fn value_to_json(v: &Value) -> Json {
     match v {
         Value::Null => Json::Null,
         Value::Bool(b) => Json::Bool(*b),
@@ -444,7 +444,7 @@ fn value_to_json(v: &Value) -> Json {
 }
 
 /// Inverse of [`value_to_json`].
-fn json_to_value(j: &Json) -> Value {
+pub(crate) fn json_to_value(j: &Json) -> Value {
     match j {
         Json::Null => Value::Null,
         Json::Bool(b) => Value::Bool(*b),

@@ -1,0 +1,1513 @@
+//! Crash-safe sharded ensemble store: the indexed on-disk layer beyond
+//! the loose-JSON-directory loader in [`crate::ensemble`].
+//!
+//! Profiles are packed into fixed-size **shards**, each record framed as
+//! `[u32 len][u32 crc32c(payload)][payload]`, and committed under a
+//! generation-numbered **manifest** (`MANIFEST-<gen>`, written via
+//! temp-file + rename). The manifest carries per-shard digests plus a
+//! per-profile metadata index (profile hash, byte range, and every
+//! scalar metadata field), so [`StoreReader::load_where`] can skip whole
+//! shards a metadata predicate excludes without even opening them.
+//!
+//! ## Commit protocol
+//!
+//! 1. New shard files are written under names unique to the new
+//!    generation (`shard-<gen>-<idx>.tks`). They are invisible to
+//!    readers until a manifest references them, so a crash mid-write
+//!    leaves only an orphan.
+//! 2. The manifest is written to a dot-temp file, synced, then renamed
+//!    to `MANIFEST-<gen>` — the atomic commit point.
+//! 3. Only after the rename are generations older than the retention
+//!    window garbage-collected; the previous generation stays readable
+//!    until the new one is durable.
+//!
+//! Every writer crash point is enumerable and injectable
+//! ([`StoreOptions::crash_after`]); the crash-point matrix test aborts
+//! the writer at each one and asserts [`Store::recover`] always yields
+//! exactly one complete generation — never a mix.
+//!
+//! ## Verification and recovery
+//!
+//! [`Store::fsck`] deep-verifies every generation (manifest self-CRC,
+//! shard digests, per-record CRCs) and classifies what it finds into the
+//! same typed [`DiagKind`]s the lenient ingest path uses
+//! ([`DiagKind::TornShard`], [`DiagKind::ChecksumMismatch`],
+//! [`DiagKind::StaleManifest`]). [`Store::recover`] rolls the store back
+//! to the newest fully-verifiable generation, or — when no generation
+//! verifies — salvages every intact record into a fresh generation.
+
+use crate::ingest::{DiagKind, Diagnostic, IngestReport};
+use crate::json::Json;
+use crate::parallel::{parallel_map_catch, JobFailure};
+use crate::profile::{json_to_value, value_to_json, Profile, ProfileError};
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::fmt;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use thicket_dataframe::Value;
+
+/// Magic prefix of every shard file.
+pub const SHARD_MAGIC: &[u8; 4] = b"TKS1";
+/// Magic prefix of every manifest file (followed by 8 hex CRC chars).
+pub const MANIFEST_MAGIC: &[u8; 4] = b"TKM1";
+/// Manifest format tag carried in the JSON body.
+pub const MANIFEST_FORMAT: &str = "thicket-store-1";
+
+// ---------------------------------------------------------------------
+// CRC32C (Castagnoli), table-driven software implementation.
+// ---------------------------------------------------------------------
+
+const fn crc32c_table() -> [u32; 256] {
+    // Reflected Castagnoli polynomial.
+    const POLY: u32 = 0x82f6_3b78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = crc32c_table();
+
+/// CRC-32C (Castagnoli) of `bytes` — the checksum guarding shard
+/// records and manifest bodies. Catches any single-bit flip.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Errors, options, reports.
+// ---------------------------------------------------------------------
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Structural corruption that the requested operation cannot work
+    /// around (recover can usually do better — see [`Store::recover`]).
+    Corrupt(String),
+    /// No verifiable generation exists in the directory.
+    NoGeneration(String),
+    /// A profile failed to (de)serialize.
+    Profile(Box<ProfileError>),
+    /// The crash-point harness aborted the writer (fault injection
+    /// only; never produced by a real write).
+    InjectedCrash {
+        /// Which enumerated crash point fired.
+        point: usize,
+        /// The writer step the point models.
+        label: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            StoreError::NoGeneration(m) => write!(f, "no usable generation: {m}"),
+            StoreError::Profile(e) => write!(f, "store profile: {e}"),
+            StoreError::InjectedCrash { point, label } => {
+                write!(f, "injected crash at point {point} ({label})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ProfileError> for StoreError {
+    fn from(e: ProfileError) -> Self {
+        StoreError::Profile(Box::new(e))
+    }
+}
+
+/// Writer knobs.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Target payload bytes per shard; a shard closes once it holds at
+    /// least this many payload bytes (every shard holds ≥ 1 record).
+    pub shard_bytes: usize,
+    /// How many generations *before* the new one to retain after a
+    /// commit (`1` keeps the previous generation as a fallback; `0`
+    /// garbage-collects everything but the new generation).
+    pub keep_generations: usize,
+    /// Fault injection: abort the writer when the crash point with this
+    /// index is reached, leaving the directory exactly as a crash at
+    /// that step would. `None` for normal operation. The total number
+    /// of points a write passes is reported in
+    /// [`WriteReport::crash_points`].
+    pub crash_after: Option<usize>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            shard_bytes: 256 * 1024,
+            keep_generations: 1,
+            crash_after: None,
+        }
+    }
+}
+
+/// What a successful [`Store::save`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReport {
+    /// The generation this write committed.
+    pub generation: u64,
+    /// Number of shard files written.
+    pub shards: usize,
+    /// Number of profiles stored.
+    pub profiles: usize,
+    /// Number of enumerated crash points the write passed through (the
+    /// valid `crash_after` range for this input is `0..crash_points`).
+    pub crash_points: usize,
+}
+
+/// Integrity status of one generation, from [`Store::fsck`].
+#[derive(Debug, Clone)]
+pub struct GenCheck {
+    /// Generation number.
+    pub generation: u64,
+    /// Manifest file name.
+    pub manifest: String,
+    /// True when the manifest verifies and every referenced shard and
+    /// record checks out.
+    pub intact: bool,
+    /// Classified findings (empty iff `intact`).
+    pub findings: Vec<Diagnostic>,
+}
+
+/// What [`Store::fsck`] found.
+#[derive(Debug, Clone)]
+pub struct FsckReport {
+    /// Every generation present, newest first.
+    pub generations: Vec<GenCheck>,
+    /// Shard files referenced by no manifest (e.g. left by a writer
+    /// that crashed before its commit point).
+    pub orphan_shards: Vec<String>,
+    /// Leftover temporary files.
+    pub temps: Vec<String>,
+    /// Newest generation that is fully intact, if any.
+    pub newest_intact: Option<u64>,
+}
+
+impl FsckReport {
+    /// True when the newest generation is intact and nothing else is
+    /// lying around (no broken generations, orphans, or temps).
+    pub fn is_clean(&self) -> bool {
+        self.orphan_shards.is_empty()
+            && self.temps.is_empty()
+            && self.generations.iter().all(|g| g.intact)
+            && self
+                .generations
+                .first()
+                .is_some_and(|g| Some(g.generation) == self.newest_intact)
+    }
+
+    /// All findings across generations, newest generation first.
+    pub fn findings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.generations.iter().flat_map(|g| g.findings.iter())
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fsck: {} generation(s), newest intact: {}",
+            self.generations.len(),
+            match self.newest_intact {
+                Some(g) => g.to_string(),
+                None => "none".into(),
+            }
+        )?;
+        for g in &self.generations {
+            writeln!(
+                f,
+                "  gen {} ({}): {}",
+                g.generation,
+                g.manifest,
+                if g.intact { "intact" } else { "BROKEN" }
+            )?;
+            for d in &g.findings {
+                writeln!(f, "    {d}")?;
+            }
+        }
+        for o in &self.orphan_shards {
+            writeln!(f, "  orphan shard: {o}")?;
+        }
+        for t in &self.temps {
+            writeln!(f, "  temp file: {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`Store::recover`] did.
+#[derive(Debug, Clone)]
+pub struct RecoverReport {
+    /// The generation the store serves after recovery.
+    pub generation: u64,
+    /// Records salvaged out of broken shards into a fresh generation
+    /// (0 when an intact generation could simply be restored).
+    pub salvaged: usize,
+    /// Files deleted during recovery (broken manifests, unreferenced or
+    /// corrupt shards, temps).
+    pub removed: Vec<String>,
+    /// One typed diagnostic per record/manifest that could not be
+    /// carried into the recovered generation.
+    pub report: IngestReport,
+}
+
+// ---------------------------------------------------------------------
+// Manifest model.
+// ---------------------------------------------------------------------
+
+/// One shard as the manifest describes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// File name (relative to the store directory).
+    pub file: String,
+    /// Total file length in bytes (magic included).
+    pub bytes: u64,
+    /// CRC32C of the whole file.
+    pub crc: u32,
+    /// Number of records.
+    pub records: usize,
+}
+
+/// One profile as the manifest indexes it: identity, byte range, and
+/// the scalar metadata fields a [`StoreReader::load_where`] predicate
+/// can filter on without touching the shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// Deterministic profile identity ([`Profile::profile_hash`]).
+    pub hash: i64,
+    /// Index into [`Manifest::shards`].
+    pub shard: usize,
+    /// Byte offset of the record *payload* within the shard file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC32C of the payload.
+    pub crc: u32,
+    /// Scalar metadata fields, in profile insertion order.
+    pub meta: Vec<(String, Value)>,
+}
+
+impl StoreEntry {
+    /// Metadata lookup by key.
+    pub fn meta(&self, key: &str) -> Option<&Value> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed, self-CRC-verified manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Generation number.
+    pub generation: u64,
+    /// Shard descriptors, index-addressed by [`StoreEntry::shard`].
+    pub shards: Vec<ShardInfo>,
+    /// Per-profile index, in storage order.
+    pub profiles: Vec<StoreEntry>,
+}
+
+impl Manifest {
+    fn to_file_bytes(&self) -> Vec<u8> {
+        let shards = Json::Arr(
+            self.shards
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("file".into(), Json::Str(s.file.clone())),
+                        ("bytes".into(), Json::Num(s.bytes as f64)),
+                        ("crc".into(), Json::Num(s.crc as f64)),
+                        ("records".into(), Json::Num(s.records as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let profiles = Json::Arr(
+            self.profiles
+                .iter()
+                .map(|p| {
+                    let meta = Json::Obj(
+                        p.meta
+                            .iter()
+                            .map(|(k, v)| (k.clone(), value_to_json(v)))
+                            .collect(),
+                    );
+                    Json::Obj(vec![
+                        // Full-range i64: goes through a decimal string
+                        // so it survives the JSON f64 round trip.
+                        ("hash".into(), Json::Str(p.hash.to_string())),
+                        ("shard".into(), Json::Num(p.shard as f64)),
+                        ("offset".into(), Json::Num(p.offset as f64)),
+                        ("len".into(), Json::Num(p.len as f64)),
+                        ("crc".into(), Json::Num(p.crc as f64)),
+                        ("meta".into(), meta),
+                    ])
+                })
+                .collect(),
+        );
+        let body = Json::Obj(vec![
+            ("format".into(), Json::Str(MANIFEST_FORMAT.into())),
+            ("generation".into(), Json::Num(self.generation as f64)),
+            ("shards".into(), shards),
+            ("profiles".into(), profiles),
+        ])
+        .to_string_compact();
+        let mut out = Vec::with_capacity(body.len() + 13);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(format!("{:08x}", crc32c(body.as_bytes())).as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(body.as_bytes());
+        out
+    }
+
+    /// Parse and self-verify a manifest file's bytes.
+    fn from_file_bytes(bytes: &[u8]) -> Result<Manifest, String> {
+        if bytes.len() < 13 || &bytes[..4] != MANIFEST_MAGIC {
+            return Err("bad manifest magic".into());
+        }
+        let hex = std::str::from_utf8(&bytes[4..12]).map_err(|_| "bad CRC header")?;
+        let want = u32::from_str_radix(hex, 16).map_err(|_| "bad CRC header")?;
+        if bytes[12] != b'\n' {
+            return Err("bad manifest header".into());
+        }
+        let body = &bytes[13..];
+        let got = crc32c(body);
+        if got != want {
+            return Err(format!("manifest body CRC {got:08x} != header {want:08x}"));
+        }
+        let text = std::str::from_utf8(body).map_err(|_| "manifest body not UTF-8")?;
+        let doc = Json::parse(text).map_err(|e| format!("manifest JSON: {e}"))?;
+        if doc.get("format").and_then(Json::as_str) != Some(MANIFEST_FORMAT) {
+            return Err("unsupported manifest format".into());
+        }
+        let generation = doc
+            .get("generation")
+            .and_then(Json::as_i64)
+            .filter(|&g| g > 0)
+            .ok_or("missing generation")? as u64;
+        let shards = doc
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or("missing shards")?
+            .iter()
+            .map(|s| {
+                Some(ShardInfo {
+                    file: s.get("file")?.as_str()?.to_string(),
+                    bytes: s.get("bytes")?.as_i64().filter(|&v| v >= 0)? as u64,
+                    crc: s.get("crc")?.as_i64().filter(|&v| v >= 0)? as u32,
+                    records: s.get("records")?.as_i64().filter(|&v| v >= 0)? as usize,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or("malformed shard entry")?;
+        let profiles = doc
+            .get("profiles")
+            .and_then(Json::as_arr)
+            .ok_or("missing profiles")?
+            .iter()
+            .map(|p| {
+                let meta = p
+                    .get("meta")?
+                    .as_obj()?
+                    .iter()
+                    .map(|(k, v)| (k.clone(), json_to_value(v)))
+                    .collect();
+                Some(StoreEntry {
+                    hash: p.get("hash")?.as_str()?.parse::<i64>().ok()?,
+                    shard: p.get("shard")?.as_i64().filter(|&v| v >= 0)? as usize,
+                    offset: p.get("offset")?.as_i64().filter(|&v| v >= 0)? as u64,
+                    len: p.get("len")?.as_i64().filter(|&v| v >= 0)? as u32,
+                    crc: p.get("crc")?.as_i64().filter(|&v| v >= 0)? as u32,
+                    meta,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or("malformed profile entry")?;
+        for p in &profiles {
+            if p.shard >= shards.len() {
+                return Err(format!("profile references shard {} of {}", p.shard, shards.len()));
+            }
+        }
+        Ok(Manifest {
+            generation,
+            shards,
+            profiles,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directory naming.
+// ---------------------------------------------------------------------
+
+fn manifest_name(gen: u64) -> String {
+    format!("MANIFEST-{gen:06}")
+}
+
+fn shard_name(gen: u64, idx: usize) -> String {
+    format!("shard-{gen:06}-{idx:04}.tks")
+}
+
+/// `MANIFEST-<gen>` → gen.
+fn parse_manifest_name(name: &str) -> Option<u64> {
+    name.strip_prefix("MANIFEST-")?.parse().ok()
+}
+
+/// `shard-<gen>-<idx>.tks` → (gen, idx).
+fn parse_shard_name(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("shard-")?.strip_suffix(".tks")?;
+    let (g, i) = rest.split_once('-')?;
+    Some((g.parse().ok()?, i.parse().ok()?))
+}
+
+fn list_dir(dir: &Path) -> io::Result<Vec<String>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .filter(|e| e.path().is_file())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Manifest generations present, ascending.
+fn list_generations(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut gens: Vec<u64> = list_dir(dir)?
+        .iter()
+        .filter_map(|n| parse_manifest_name(n))
+        .collect();
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+// ---------------------------------------------------------------------
+// Writer with enumerable crash points.
+// ---------------------------------------------------------------------
+
+/// Counts the writer's enumerated crash points and aborts at the
+/// injected one. Each `tick` is a distinct "the process died exactly
+/// here" scenario.
+struct CrashClock {
+    next: usize,
+    trigger: Option<usize>,
+}
+
+impl CrashClock {
+    fn tick(&mut self, label: &'static str) -> Result<(), StoreError> {
+        let point = self.next;
+        self.next += 1;
+        if self.trigger == Some(point) {
+            Err(StoreError::InjectedCrash { point, label })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn sync_file(path: &Path) -> io::Result<()> {
+    std::fs::OpenOptions::new().read(true).open(path)?.sync_all()
+}
+
+/// The store facade: save / open / fsck / recover on a directory.
+pub struct Store;
+
+impl Store {
+    /// Write `profiles` as a new generation with default options.
+    pub fn save(dir: impl AsRef<Path>, profiles: &[Profile]) -> Result<WriteReport, StoreError> {
+        Store::save_opts(dir, profiles, &StoreOptions::default())
+    }
+
+    /// Write `profiles` as a new generation.
+    ///
+    /// The write follows the commit protocol documented at the module
+    /// level; with [`StoreOptions::crash_after`] set it aborts at the
+    /// chosen crash point, leaving the directory exactly as a crash at
+    /// that step would have.
+    pub fn save_opts(
+        dir: impl AsRef<Path>,
+        profiles: &[Profile],
+        opts: &StoreOptions,
+    ) -> Result<WriteReport, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut clock = CrashClock {
+            next: 0,
+            trigger: opts.crash_after,
+        };
+        // Point 0: crash before anything is written.
+        clock.tick("begin")?;
+
+        let gen = list_generations(dir)?.last().copied().unwrap_or(0) + 1;
+
+        // Encode payloads and pack them into shards greedily: a shard
+        // closes once it carries >= shard_bytes of payload.
+        let payloads: Vec<Vec<u8>> = profiles
+            .iter()
+            .map(|p| p.to_string_pretty().into_bytes())
+            .collect();
+        let mut shards: Vec<Vec<usize>> = Vec::new();
+        let mut open: Vec<usize> = Vec::new();
+        let mut open_bytes = 0usize;
+        for (i, pl) in payloads.iter().enumerate() {
+            open.push(i);
+            open_bytes += pl.len();
+            if open_bytes >= opts.shard_bytes {
+                shards.push(std::mem::take(&mut open));
+                open_bytes = 0;
+            }
+        }
+        if !open.is_empty() {
+            shards.push(open);
+        }
+
+        // Write shard files (final names — invisible until the manifest
+        // lands). Two crash points per shard: mid-write (a torn file)
+        // and after the full write.
+        let mut shard_infos = Vec::with_capacity(shards.len());
+        let mut entries = vec![
+            StoreEntry {
+                hash: 0,
+                shard: 0,
+                offset: 0,
+                len: 0,
+                crc: 0,
+                meta: Vec::new(),
+            };
+            profiles.len()
+        ];
+        for (si, members) in shards.iter().enumerate() {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(SHARD_MAGIC);
+            for &pi in members {
+                let pl = &payloads[pi];
+                let crc = crc32c(pl);
+                let e = &mut entries[pi];
+                e.hash = profiles[pi].profile_hash();
+                e.shard = si;
+                e.offset = (bytes.len() + 8) as u64;
+                e.len = pl.len() as u32;
+                e.crc = crc;
+                e.meta = profiles[pi]
+                    .metadata_iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect();
+                bytes.extend_from_slice(&(pl.len() as u32).to_le_bytes());
+                bytes.extend_from_slice(&crc.to_le_bytes());
+                bytes.extend_from_slice(pl);
+            }
+            let path = dir.join(shard_name(gen, si));
+            // Model a crash mid-write: only a prefix reached the disk.
+            std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+            clock.tick("mid-shard-write")?;
+            std::fs::write(&path, &bytes)?;
+            sync_file(&path)?;
+            clock.tick("shard-written")?;
+            shard_infos.push(ShardInfo {
+                file: shard_name(gen, si),
+                bytes: bytes.len() as u64,
+                crc: crc32c(&bytes),
+                records: members.len(),
+            });
+        }
+
+        // Manifest: dot-temp, sync, rename (the commit point).
+        let manifest = Manifest {
+            generation: gen,
+            shards: shard_infos,
+            profiles: entries,
+        };
+        let bytes = manifest.to_file_bytes();
+        let tmp = dir.join(format!(".{}.tmp", manifest_name(gen)));
+        std::fs::write(&tmp, &bytes[..bytes.len() / 2])?;
+        clock.tick("mid-manifest-write")?;
+        std::fs::write(&tmp, &bytes)?;
+        sync_file(&tmp)?;
+        clock.tick("manifest-written")?;
+        std::fs::rename(&tmp, dir.join(manifest_name(gen)))?;
+        clock.tick("manifest-committed")?;
+
+        // GC generations outside the retention window — manifests
+        // first (a shardless manifest is unambiguously broken; a
+        // manifestless shard is unambiguously an orphan).
+        let cutoff = gen.saturating_sub(opts.keep_generations as u64);
+        for name in list_dir(dir)? {
+            if parse_manifest_name(&name).is_some_and(|g| g < cutoff) {
+                std::fs::remove_file(dir.join(&name))?;
+            }
+        }
+        clock.tick("gc-manifests")?;
+        for name in list_dir(dir)? {
+            if parse_shard_name(&name).is_some_and(|(g, _)| g < cutoff) {
+                std::fs::remove_file(dir.join(&name))?;
+            }
+        }
+
+        Ok(WriteReport {
+            generation: gen,
+            shards: shards.len(),
+            profiles: profiles.len(),
+            crash_points: clock.next,
+        })
+    }
+
+    /// Open the newest generation whose manifest self-verifies.
+    ///
+    /// Verification here is manifest-level only (cheap); record CRCs
+    /// are checked as records are read, and [`Store::fsck`] deep-checks
+    /// everything.
+    pub fn open(dir: impl AsRef<Path>) -> Result<StoreReader, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut gens = list_generations(&dir)?;
+        gens.reverse();
+        if gens.is_empty() {
+            return Err(StoreError::NoGeneration(format!(
+                "no manifest in {}",
+                dir.display()
+            )));
+        }
+        for gen in gens {
+            let bytes = std::fs::read(dir.join(manifest_name(gen)))?;
+            if let Ok(m) = Manifest::from_file_bytes(&bytes) {
+                if m.generation == gen {
+                    return Ok(StoreReader {
+                        dir,
+                        manifest: m,
+                        bytes_read: Cell::new(0),
+                    });
+                }
+            }
+        }
+        Err(StoreError::NoGeneration(format!(
+            "no manifest in {} verifies (run Store::recover)",
+            dir.display()
+        )))
+    }
+
+    /// Deep-verify every generation and classify all corruption.
+    pub fn fsck(dir: impl AsRef<Path>) -> Result<FsckReport, StoreError> {
+        let dir = dir.as_ref();
+        let names = list_dir(dir)?;
+        let mut gens: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_manifest_name(n))
+            .collect();
+        gens.sort_unstable();
+        gens.reverse();
+
+        let mut generations = Vec::with_capacity(gens.len());
+        let mut referenced: HashSet<String> = HashSet::new();
+        for gen in gens {
+            let mname = manifest_name(gen);
+            let mut findings = Vec::new();
+            match std::fs::read(dir.join(&mname))
+                .map_err(|e| e.to_string())
+                .and_then(|b| Manifest::from_file_bytes(&b))
+            {
+                Err(why) => findings.push(Diagnostic {
+                    source: mname.clone(),
+                    kind: DiagKind::StaleManifest {
+                        manifest: format!("{mname}: {why}"),
+                    },
+                }),
+                Ok(m) => {
+                    if m.generation != gen {
+                        findings.push(Diagnostic {
+                            source: mname.clone(),
+                            kind: DiagKind::StaleManifest {
+                                manifest: format!(
+                                    "{mname}: body claims generation {}",
+                                    m.generation
+                                ),
+                            },
+                        });
+                    }
+                    for (si, info) in m.shards.iter().enumerate() {
+                        referenced.insert(info.file.clone());
+                        findings.extend(check_shard(dir, info, entry_crcs(&m, si)));
+                    }
+                }
+            }
+            let intact = findings.is_empty();
+            generations.push(GenCheck {
+                generation: gen,
+                manifest: mname,
+                intact,
+                findings,
+            });
+        }
+
+        let orphan_shards: Vec<String> = names
+            .iter()
+            .filter(|n| parse_shard_name(n).is_some() && !referenced.contains(*n))
+            .cloned()
+            .collect();
+        let temps: Vec<String> = names
+            .iter()
+            .filter(|n| n.starts_with('.') && n.ends_with(".tmp"))
+            .cloned()
+            .collect();
+        let newest_intact = generations
+            .iter()
+            .filter(|g| g.intact)
+            .map(|g| g.generation)
+            .max();
+        Ok(FsckReport {
+            generations,
+            orphan_shards,
+            temps,
+            newest_intact,
+        })
+    }
+
+    /// Repair the directory to a consistent state:
+    ///
+    /// * If some generation is fully intact, the newest such generation
+    ///   becomes the store's sole content set — broken manifests, their
+    ///   exclusive shards, orphans, and temps are deleted (older intact
+    ///   generations within retention are kept untouched).
+    /// * If **no** generation verifies, every CRC-intact record
+    ///   reachable from any manifest or shard file is salvaged into a
+    ///   fresh generation (deduplicated by profile hash, first
+    ///   occurrence in shard order wins), and every record that could
+    ///   not be salvaged is reported as a typed diagnostic.
+    ///
+    /// Either way the resulting directory passes [`Store::fsck`]
+    /// cleanly and [`Store::open`] serves exactly one complete
+    /// generation.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<RecoverReport, StoreError> {
+        let dir = dir.as_ref();
+        let fsck = Store::fsck(dir)?;
+        let mut removed = Vec::new();
+        let mut diagnostics = Vec::new();
+
+        let remove = |d: &Path, name: &str, removed: &mut Vec<String>| {
+            if std::fs::remove_file(d.join(name)).is_ok() {
+                removed.push(name.to_string());
+            }
+        };
+
+        for t in &fsck.temps {
+            remove(dir, t, &mut removed);
+        }
+
+        if let Some(keep) = fsck.newest_intact {
+            // Roll back to the newest intact generation: drop every
+            // broken generation's files and all orphans. Older intact
+            // generations stay (they are the retention window).
+            let mut kept_shards: HashSet<String> = HashSet::new();
+            let mut kept_profiles = 0usize;
+            for g in fsck.generations.iter().filter(|g| g.intact) {
+                if let Ok(bytes) = std::fs::read(dir.join(&g.manifest)) {
+                    if let Ok(m) = Manifest::from_file_bytes(&bytes) {
+                        if g.generation == keep {
+                            kept_profiles = m.profiles.len();
+                        }
+                        kept_shards.extend(m.shards.iter().map(|s| s.file.clone()));
+                    }
+                }
+            }
+            for g in fsck.generations.iter().filter(|g| !g.intact) {
+                diagnostics.extend(g.findings.iter().cloned());
+                remove(dir, &g.manifest, &mut removed);
+            }
+            for name in list_dir(dir)? {
+                if parse_shard_name(&name).is_some() && !kept_shards.contains(&name) {
+                    remove(dir, &name, &mut removed);
+                }
+            }
+            let attempted = kept_profiles + diagnostics.len();
+            return Ok(RecoverReport {
+                generation: keep,
+                salvaged: 0,
+                removed,
+                report: IngestReport {
+                    attempted,
+                    loaded: kept_profiles,
+                    diagnostics,
+                },
+            });
+        }
+
+        // No generation verifies: salvage every intact record from
+        // every shard file present, newest generation's shards first so
+        // its copy of a profile wins the hash dedupe.
+        let mut shard_files: Vec<(u64, usize, String)> = list_dir(dir)?
+            .into_iter()
+            .filter_map(|n| parse_shard_name(&n).map(|(g, i)| (g, i, n)))
+            .collect();
+        shard_files.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut seen: HashSet<i64> = HashSet::new();
+        let mut salvaged: Vec<Profile> = Vec::new();
+        for (_, _, name) in &shard_files {
+            let bytes = std::fs::read(dir.join(name))?;
+            let (records, finding) = walk_shard(&bytes, name);
+            for (ri, payload) in records {
+                match Profile::parse(std::str::from_utf8(payload).unwrap_or("")) {
+                    Ok(p) => {
+                        if seen.insert(p.profile_hash()) {
+                            salvaged.push(p);
+                        }
+                        // A hash-duplicate across generations is the
+                        // same profile's older copy, not a fault: no
+                        // diagnostic.
+                    }
+                    Err(e) => diagnostics.push(Diagnostic {
+                        source: format!("{name}#{ri}"),
+                        kind: DiagKind::from_profile_error(&e),
+                    }),
+                }
+            }
+            if let Some(d) = finding {
+                diagnostics.push(d);
+            }
+        }
+        for g in &fsck.generations {
+            diagnostics.extend(
+                g.findings
+                    .iter()
+                    .filter(|d| matches!(d.kind, DiagKind::StaleManifest { .. }))
+                    .cloned(),
+            );
+        }
+        if salvaged.is_empty() {
+            return Err(StoreError::NoGeneration(format!(
+                "nothing salvageable in {}",
+                dir.display()
+            )));
+        }
+
+        // Rewrite the survivors as a fresh generation, then drop every
+        // older file.
+        let old_files: Vec<String> = list_dir(dir)?
+            .into_iter()
+            .filter(|n| parse_shard_name(n).is_some() || parse_manifest_name(n).is_some())
+            .collect();
+        let report = Store::save_opts(dir, &salvaged, &StoreOptions::default())?;
+        for name in old_files {
+            remove(dir, &name, &mut removed);
+        }
+        let salvaged_count = salvaged.len();
+        Ok(RecoverReport {
+            generation: report.generation,
+            salvaged: salvaged_count,
+            removed,
+            report: IngestReport {
+                attempted: salvaged_count + diagnostics.len(),
+                loaded: salvaged_count,
+                diagnostics,
+            },
+        })
+    }
+}
+
+/// Expected `(record index, crc)` pairs of shard `si` in manifest
+/// order, for cross-checking during fsck.
+fn entry_crcs(m: &Manifest, si: usize) -> Vec<u32> {
+    let mut with_offsets: Vec<(u64, u32)> = m
+        .profiles
+        .iter()
+        .filter(|e| e.shard == si)
+        .map(|e| (e.offset, e.crc))
+        .collect();
+    with_offsets.sort_unstable_by_key(|(off, _)| *off);
+    with_offsets.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Walk a shard byte image, returning every CRC-intact record as
+/// `(index, payload)` plus at most one classified finding for the first
+/// structural problem (torn tail or checksum mismatch).
+///
+/// The walk is resilient: a record with a bad CRC does not stop it
+/// (framing is still trusted as long as lengths stay in bounds), so
+/// later intact records remain salvageable.
+fn walk_shard<'a>(bytes: &'a [u8], name: &str) -> (Vec<(usize, &'a [u8])>, Option<Diagnostic>) {
+    let mut out = Vec::new();
+    if bytes.len() < 4 || &bytes[..4] != SHARD_MAGIC {
+        return (
+            out,
+            Some(Diagnostic {
+                source: name.to_string(),
+                kind: DiagKind::ChecksumMismatch {
+                    shard: name.to_string(),
+                    record: 0,
+                },
+            }),
+        );
+    }
+    let mut pos = 4usize;
+    let mut ri = 0usize;
+    let mut finding = None;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            finding = finding.or(Some(Diagnostic {
+                source: format!("{name}#{ri}"),
+                kind: DiagKind::TornShard {
+                    shard: name.to_string(),
+                },
+            }));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if bytes.len() - pos - 8 < len {
+            finding = finding.or(Some(Diagnostic {
+                source: format!("{name}#{ri}"),
+                kind: DiagKind::TornShard {
+                    shard: name.to_string(),
+                },
+            }));
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32c(payload) == crc {
+            out.push((ri, payload));
+        } else {
+            finding = finding.or(Some(Diagnostic {
+                source: format!("{name}#{ri}"),
+                kind: DiagKind::ChecksumMismatch {
+                    shard: name.to_string(),
+                    record: ri,
+                },
+            }));
+        }
+        pos += 8 + len;
+        ri += 1;
+    }
+    (out, finding)
+}
+
+/// Deep-check one shard against its manifest descriptor.
+fn check_shard(dir: &Path, info: &ShardInfo, expected_crcs: Vec<u32>) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let bytes = match std::fs::read(dir.join(&info.file)) {
+        Ok(b) => b,
+        Err(e) => {
+            findings.push(Diagnostic {
+                source: info.file.clone(),
+                kind: DiagKind::Io(format!("{}: {e}", info.file)),
+            });
+            return findings;
+        }
+    };
+    if crc32c(&bytes) == info.crc && bytes.len() as u64 == info.bytes {
+        return findings; // whole-file digest matches: all records fine.
+    }
+    // Digest mismatch: walk the records to classify precisely.
+    let (intact, finding) = walk_shard(&bytes, &info.file);
+    if let Some(d) = finding {
+        findings.push(d);
+    }
+    // A record whose payload CRC matches its *frame* but disagrees with
+    // the manifest (or extra/missing records) still breaks the digest:
+    // classify against the manifest's expectations.
+    if findings.is_empty() {
+        if intact.len() != expected_crcs.len() || bytes.len() as u64 != info.bytes {
+            findings.push(Diagnostic {
+                source: info.file.clone(),
+                kind: DiagKind::StaleManifest {
+                    manifest: format!(
+                        "{}: shard holds {} intact records, manifest expects {}",
+                        info.file,
+                        intact.len(),
+                        expected_crcs.len()
+                    ),
+                },
+            });
+        } else {
+            // Same framing, different bytes → some record's content and
+            // CRC were rewritten together; surface as checksum trouble.
+            findings.push(Diagnostic {
+                source: info.file.clone(),
+                kind: DiagKind::ChecksumMismatch {
+                    shard: info.file.clone(),
+                    record: 0,
+                },
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Reader with metadata pushdown.
+// ---------------------------------------------------------------------
+
+/// A read handle on one verified generation.
+///
+/// All loads are lenient in the ingest sense: corrupt records surface
+/// as typed diagnostics in an [`IngestReport`], byte-identical for any
+/// worker-thread count, and the healthy subset is returned.
+pub struct StoreReader {
+    dir: PathBuf,
+    manifest: Manifest,
+    /// Shard bytes read so far (headers + payloads + magics), for
+    /// pushdown accounting.
+    bytes_read: Cell<u64>,
+}
+
+impl StoreReader {
+    /// The generation this reader serves.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// The manifest's per-profile index, in storage order.
+    pub fn entries(&self) -> &[StoreEntry] {
+        &self.manifest.profiles
+    }
+
+    /// The manifest (shard descriptors included).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Total shard bytes this reader has read so far. Metadata-pushdown
+    /// reads parse strictly fewer bytes than a full load whenever the
+    /// predicate excludes anything.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+
+    /// Load every profile.
+    pub fn load_all(&self) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_where(|_| true)
+    }
+
+    /// Load the profiles whose manifest entry satisfies `pred`,
+    /// without touching shards the predicate excludes entirely, and
+    /// reading only the selected byte ranges of shards it partially
+    /// selects.
+    pub fn load_where(
+        &self,
+        pred: impl FnMut(&StoreEntry) -> bool,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_where_threads(pred, crate::parallel::default_threads(self.manifest.profiles.len()))
+    }
+
+    /// [`StoreReader::load_where`] with an explicit worker count for
+    /// the payload-parse fan-out. Results and diagnostics are
+    /// byte-identical for any `threads ≥ 1`.
+    pub fn load_where_threads(
+        &self,
+        mut pred: impl FnMut(&StoreEntry) -> bool,
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        // Selection against the metadata index only — no shard I/O.
+        let selected: Vec<usize> = self
+            .manifest
+            .profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred(e))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Read the selected ranges, shard by shard, in storage order.
+        let mut raw: Vec<(usize, Result<Vec<u8>, Diagnostic>)> = Vec::with_capacity(selected.len());
+        for si in 0..self.manifest.shards.len() {
+            let members: Vec<usize> = selected
+                .iter()
+                .copied()
+                .filter(|&i| self.manifest.profiles[i].shard == si)
+                .collect();
+            if members.is_empty() {
+                continue; // whole shard skipped: not even opened.
+            }
+            self.read_shard_members(si, &members, &mut raw)?;
+        }
+
+        // Parse payloads in parallel; order is already deterministic.
+        let jobs: Vec<(usize, Vec<u8>)> = raw
+            .iter()
+            .filter_map(|(i, r)| r.as_ref().ok().map(|b| (*i, b.clone())))
+            .collect();
+        let parsed = parallel_map_catch(&jobs, threads, |(_, bytes)| {
+            Profile::parse(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| ProfileError::Malformed("record is not UTF-8".into()))?,
+            )
+        });
+
+        let mut profiles = Vec::with_capacity(jobs.len());
+        let mut diagnostics = Vec::new();
+        let mut parsed_iter = jobs.iter().zip(parsed);
+        for (i, r) in &raw {
+            let entry = &self.manifest.profiles[*i];
+            let record_source = format!(
+                "{}#{}",
+                self.manifest.shards[entry.shard].file,
+                record_index_of(&self.manifest, *i)
+            );
+            match r {
+                Err(d) => diagnostics.push(d.clone()),
+                Ok(_) => {
+                    let ((_, _), result) = parsed_iter.next().expect("job per ok record");
+                    match result {
+                        Ok(p) => profiles.push(p),
+                        Err(JobFailure::Error(e)) => diagnostics.push(Diagnostic {
+                            source: record_source,
+                            kind: DiagKind::from_profile_error(&e),
+                        }),
+                        Err(JobFailure::Panic(m)) => diagnostics.push(Diagnostic {
+                            source: record_source,
+                            kind: DiagKind::WorkerPanic(m),
+                        }),
+                    }
+                }
+            }
+        }
+        let report = IngestReport {
+            attempted: selected.len(),
+            loaded: profiles.len(),
+            diagnostics,
+        };
+        Ok((profiles, report))
+    }
+
+    /// Read the framed records for `members` (entry indices, all in
+    /// shard `si`), verifying framing and CRC as we go. Pushes one
+    /// `(entry index, payload-or-diagnostic)` per member, in member
+    /// order.
+    fn read_shard_members(
+        &self,
+        si: usize,
+        members: &[usize],
+        out: &mut Vec<(usize, Result<Vec<u8>, Diagnostic>)>,
+    ) -> Result<(), StoreError> {
+        let info = &self.manifest.shards[si];
+        let path = self.dir.join(&info.file);
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                // The whole shard is unreadable: every member gets the
+                // same classified diagnostic.
+                for &i in members {
+                    out.push((
+                        i,
+                        Err(Diagnostic {
+                            source: info.file.clone(),
+                            kind: DiagKind::Io(format!("{}: {e}", info.file)),
+                        }),
+                    ));
+                }
+                return Ok(());
+            }
+        };
+        let file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        for &i in members {
+            let entry = &self.manifest.profiles[i];
+            let ri = record_index_of(&self.manifest, i);
+            let source = format!("{}#{ri}", info.file);
+            // Framing extends past EOF → the shard is torn.
+            if entry.offset + entry.len as u64 > file_len || entry.offset < 8 {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source,
+                        kind: DiagKind::TornShard {
+                            shard: info.file.clone(),
+                        },
+                    }),
+                ));
+                continue;
+            }
+            let mut header = [0u8; 8];
+            let mut payload = vec![0u8; entry.len as usize];
+            let read = (|| -> io::Result<()> {
+                file.seek(SeekFrom::Start(entry.offset - 8))?;
+                file.read_exact(&mut header)?;
+                file.read_exact(&mut payload)?;
+                Ok(())
+            })();
+            self.bytes_read
+                .set(self.bytes_read.get() + 8 + entry.len as u64);
+            if let Err(e) = read {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source,
+                        kind: DiagKind::Io(format!("{}: {e}", info.file)),
+                    }),
+                ));
+                continue;
+            }
+            let framed_len = u32::from_le_bytes(header[..4].try_into().unwrap());
+            let framed_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+            let ok = framed_len == entry.len
+                && framed_crc == entry.crc
+                && crc32c(&payload) == entry.crc;
+            if ok {
+                out.push((i, Ok(payload)));
+            } else {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source,
+                        kind: DiagKind::ChecksumMismatch {
+                            shard: info.file.clone(),
+                            record: ri,
+                        },
+                    }),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Zero-based record index of entry `i` within its shard (entries are
+/// stored in offset order per shard).
+fn record_index_of(m: &Manifest, i: usize) -> usize {
+    let e = &m.profiles[i];
+    m.profiles
+        .iter()
+        .filter(|o| o.shard == e.shard && o.offset < e.offset)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rajaperf::{simulate_cpu_run, CpuRunConfig};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("thicket-store-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn runs(n: u64) -> Vec<Profile> {
+        (0..n)
+            .map(|seed| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = seed;
+                simulate_cpu_run(&cfg)
+            })
+            .collect()
+    }
+
+    fn hashes(ps: &[Profile]) -> Vec<i64> {
+        let mut h: Vec<i64> = ps.iter().map(|p| p.profile_hash()).collect();
+        h.sort_unstable();
+        h
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 / common test vectors for CRC-32C.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+    }
+
+    #[test]
+    fn save_open_roundtrip() {
+        let dir = tmp("roundtrip");
+        let profiles = runs(6);
+        let report = Store::save(&dir, &profiles).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.profiles, 6);
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.generation(), 1);
+        assert_eq!(reader.entries().len(), 6);
+        let (loaded, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean(), "{rep}");
+        assert_eq!(hashes(&loaded), hashes(&profiles));
+        // fsck of a fresh store is clean.
+        let fsck = Store::fsck(&dir).unwrap();
+        assert!(fsck.is_clean(), "{fsck}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn small_shard_target_splits_shards() {
+        let dir = tmp("split");
+        let profiles = runs(8);
+        let opts = StoreOptions {
+            shard_bytes: 1, // every record closes its shard
+            ..StoreOptions::default()
+        };
+        let report = Store::save_opts(&dir, &profiles, &opts).unwrap();
+        assert_eq!(report.shards, 8);
+        let reader = Store::open(&dir).unwrap();
+        let (loaded, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(hashes(&loaded), hashes(&profiles));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn second_save_bumps_generation_and_retains_previous() {
+        let dir = tmp("generations");
+        let first = runs(3);
+        let second = runs(5);
+        Store::save(&dir, &first).unwrap();
+        let r2 = Store::save(&dir, &second).unwrap();
+        assert_eq!(r2.generation, 2);
+        // Newest generation wins.
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.generation(), 2);
+        let (loaded, _) = reader.load_all().unwrap();
+        assert_eq!(hashes(&loaded), hashes(&second));
+        // Previous generation's manifest is retained (keep_generations = 1).
+        assert!(dir.join(manifest_name(1)).exists());
+        // A third save garbage-collects generation 1.
+        Store::save(&dir, &first).unwrap();
+        assert!(!dir.join(manifest_name(1)).exists());
+        assert!(dir.join(manifest_name(2)).exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_where_pushdown_reads_fewer_bytes() {
+        let dir = tmp("pushdown");
+        let profiles = runs(8);
+        let opts = StoreOptions {
+            shard_bytes: 1,
+            ..StoreOptions::default()
+        };
+        Store::save_opts(&dir, &profiles, &opts).unwrap();
+
+        let full = Store::open(&dir).unwrap();
+        let (all, _) = full.load_all().unwrap();
+        let full_bytes = full.bytes_read();
+
+        let filtered = Store::open(&dir).unwrap();
+        let want = Value::from(2i64);
+        let (subset, rep) = filtered
+            .load_where(|e| e.meta("seed").is_none_or(|v| *v == want))
+            .unwrap();
+        assert!(rep.is_clean());
+        assert!(filtered.bytes_read() < full_bytes);
+        assert!(subset.len() < all.len() || subset.is_empty() == all.is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_self_check() {
+        let m = Manifest {
+            generation: 7,
+            shards: vec![ShardInfo {
+                file: shard_name(7, 0),
+                bytes: 100,
+                crc: 42,
+                records: 1,
+            }],
+            profiles: vec![StoreEntry {
+                hash: i64::MIN + 3,
+                shard: 0,
+                offset: 12,
+                len: 88,
+                crc: 7,
+                meta: vec![
+                    ("cluster".into(), Value::from("quartz")),
+                    ("size".into(), Value::Int(1 << 60)),
+                ],
+            }],
+        };
+        let bytes = m.to_file_bytes();
+        let back = Manifest::from_file_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        // Any body mutation breaks the self-CRC.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x20;
+        assert!(Manifest::from_file_bytes(&bad).is_err());
+        // Truncation breaks it too.
+        assert!(Manifest::from_file_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn crash_points_are_enumerable() {
+        let dir = tmp("points");
+        let report = Store::save(&dir, &runs(3)).unwrap();
+        assert!(report.crash_points >= 7, "{}", report.crash_points);
+        // Asking for a crash beyond the last point is a clean write.
+        let dir2 = tmp("points-beyond");
+        let opts = StoreOptions {
+            crash_after: Some(report.crash_points + 10),
+            ..StoreOptions::default()
+        };
+        Store::save_opts(&dir2, &runs(3), &opts).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+        std::fs::remove_dir_all(dir2).ok();
+    }
+
+    #[test]
+    fn crash_before_commit_preserves_old_generation() {
+        let dir = tmp("crash-precommit");
+        let old = runs(3);
+        Store::save(&dir, &old).unwrap();
+        // Crash at point 1 = mid-shard-write of the new generation.
+        let opts = StoreOptions {
+            crash_after: Some(1),
+            ..StoreOptions::default()
+        };
+        let err = Store::save_opts(&dir, &runs(5), &opts).unwrap_err();
+        assert!(matches!(err, StoreError::InjectedCrash { .. }), "{err}");
+        // The torn new shard is an orphan; fsck flags it, open still
+        // serves generation 1, recover cleans it.
+        let fsck = Store::fsck(&dir).unwrap();
+        assert!(!fsck.is_clean());
+        assert_eq!(fsck.newest_intact, Some(1));
+        let (loaded, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(hashes(&loaded), hashes(&old));
+        let rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.generation, 1);
+        assert!(Store::fsck(&dir).unwrap().is_clean());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_store_dir_errors() {
+        let dir = tmp("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StoreError::NoGeneration(_))
+        ));
+        assert!(Store::recover(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn zero_profile_store_roundtrips() {
+        let dir = tmp("zero");
+        let report = Store::save(&dir, &[]).unwrap();
+        assert_eq!(report.profiles, 0);
+        let (loaded, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+        assert!(loaded.is_empty());
+        assert!(rep.is_clean());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

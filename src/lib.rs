@@ -61,7 +61,7 @@ pub mod prelude {
     pub use thicket_perfsim::{
         load_ensemble, load_ensemble_lenient, marbl_ensemble, save_ensemble, simulate_cpu_run,
         simulate_gpu_run, Collector, CpuRunConfig, GpuRunConfig, IngestReport, MarblCluster,
-        MarblConfig, Profile, Strictness,
+        MarblConfig, Profile, Store, StoreEntry, StoreOptions, Strictness,
     };
     pub use thicket_query::{pred, Query};
 }

@@ -1,0 +1,205 @@
+//! Crash-safety acceptance for the sharded ensemble store: the writer
+//! crash-point matrix (a recovered store always serves exactly one
+//! generation, never a mix), the store-level fault matrix
+//! (inject → fsck classifies → recover → clean reload), metadata
+//! pushdown (strictly fewer bytes, same thicket), and thread-count
+//! invariance of the diagnostics.
+
+use thicket::prelude::*;
+use thicket_perfsim::faults::{inject, FaultKind};
+use thicket_perfsim::StoreError;
+
+fn runs(seeds: std::ops::Range<u64>) -> Vec<Profile> {
+    seeds
+        .map(|seed| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = seed;
+            simulate_cpu_run(&cfg)
+        })
+        .collect()
+}
+
+fn hash_set(ps: &[Profile]) -> std::collections::BTreeSet<i64> {
+    ps.iter().map(|p| p.profile_hash()).collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("thicket-storerec-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small shards so every write exercises multiple shard files (and
+/// therefore multiple crash points and CRC scopes).
+fn opts() -> StoreOptions {
+    StoreOptions {
+        shard_bytes: 1,
+        ..StoreOptions::default()
+    }
+}
+
+/// Abort the writer at every enumerable crash point; after recovery the
+/// store must serve exactly the old batch or exactly the new batch —
+/// never a mix, never a loss.
+#[test]
+fn crash_point_matrix_recovers_to_exactly_one_generation() {
+    let old_batch = runs(0..3);
+    let new_batch = runs(10..13);
+    let old_hashes = hash_set(&old_batch);
+    let new_hashes = hash_set(&new_batch);
+
+    // Probe a clean two-generation write to count the crash points of
+    // the second save.
+    let probe = tmp("probe");
+    Store::save_opts(&probe, &old_batch, &opts()).unwrap();
+    let clean = Store::save_opts(&probe, &new_batch, &opts()).unwrap();
+    std::fs::remove_dir_all(&probe).ok();
+    assert!(clean.crash_points >= 7, "points: {}", clean.crash_points);
+
+    for point in 0..clean.crash_points {
+        let dir = tmp(&format!("matrix-{point}"));
+        Store::save_opts(&dir, &old_batch, &opts()).unwrap();
+        let crash_opts = StoreOptions {
+            crash_after: Some(point),
+            ..opts()
+        };
+        let err = Store::save_opts(&dir, &new_batch, &crash_opts).unwrap_err();
+        assert!(
+            matches!(err, StoreError::InjectedCrash { .. }),
+            "point {point}: {err}"
+        );
+
+        let rec = Store::recover(&dir).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        let (profiles, report) = reader.load_all().unwrap();
+        assert!(report.is_clean(), "point {point}: {report}");
+        let got = hash_set(&profiles);
+        assert!(
+            got == old_hashes || got == new_hashes,
+            "point {point}: recovered generation {} is a mix: {got:?}",
+            rec.generation
+        );
+        // Recovery converges: a second pass finds nothing to fix.
+        assert!(Store::fsck(&dir).unwrap().is_clean(), "point {point}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// Every store-level fault kind: inject → fsck classifies the damage
+/// with its pinned diagnostic → recover → the store reloads clean.
+#[test]
+fn store_fault_matrix_classify_recover_reload() {
+    for (i, kind) in FaultKind::STORE.iter().enumerate() {
+        let dir = tmp(&format!("fault-{i}"));
+        let profiles = runs(0..4);
+        Store::save_opts(&dir, &profiles, &opts()).unwrap();
+
+        inject(&dir, *kind, 9).unwrap();
+        let fsck = Store::fsck(&dir).unwrap();
+        assert!(!fsck.is_clean(), "{kind:?} left the store clean");
+        assert!(
+            fsck.findings().any(|d| kind.matches(&d.kind)),
+            "{kind:?} not classified: {fsck}"
+        );
+
+        let rec = Store::recover(&dir).unwrap();
+        assert!(Store::fsck(&dir).unwrap().is_clean(), "{kind:?}: {rec:?}");
+        let (reloaded, report) = Store::open(&dir).unwrap().load_all().unwrap();
+        assert!(report.is_clean(), "{kind:?}: {report}");
+        // A stale manifest loses no records (the shards are intact);
+        // shard damage loses at most the record it hit.
+        let lost = profiles.len() - reloaded.len();
+        assert!(lost <= 1, "{kind:?} lost {lost} records");
+        if *kind == FaultKind::StaleManifest {
+            assert_eq!(hash_set(&reloaded), hash_set(&profiles), "{kind:?}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// Metadata pushdown parses strictly fewer bytes than a full load and
+/// the filtered thicket equals filtering the same profiles after a
+/// full load.
+#[test]
+fn pushdown_reads_fewer_bytes_and_matches_filter_after_load() {
+    let dir = tmp("pushdown");
+    let profiles = runs(0..8);
+    Store::save_opts(&dir, &profiles, &opts()).unwrap();
+    let keep = |seed: i64| seed < 3;
+
+    let full = Store::open(&dir).unwrap();
+    let (all, _) = full.load_all().unwrap();
+    let full_bytes = full.bytes_read();
+    assert_eq!(all.len(), 8);
+
+    let filtered = Store::open(&dir).unwrap();
+    let (subset, report) = filtered
+        .load_where(|e| matches!(e.meta("seed"), Some(Value::Int(s)) if keep(*s)))
+        .unwrap();
+    assert!(report.is_clean());
+    assert_eq!(subset.len(), 3);
+    assert!(
+        filtered.bytes_read() < full_bytes,
+        "pushdown read {} bytes, full load {}",
+        filtered.bytes_read(),
+        full_bytes
+    );
+
+    // The pushdown thicket equals the filter-after-full-load thicket.
+    let (tk_push, rep_push) = thicket::core::Thicket::from_store_filtered(&dir, |e| {
+        matches!(e.meta("seed"), Some(Value::Int(s)) if keep(*s))
+    })
+    .unwrap();
+    assert!(rep_push.is_clean(), "{rep_push}");
+    let post: Vec<Profile> = all
+        .into_iter()
+        .filter(|p| {
+            matches!(p.metadata("seed"), Some(Value::Int(s)) if keep(*s))
+        })
+        .collect();
+    let tk_post = Thicket::from_profiles(&post).unwrap();
+    assert_eq!(tk_push.profiles(), tk_post.profiles());
+    assert_eq!(tk_push.perf_data(), tk_post.perf_data());
+    assert_eq!(tk_push.metadata(), tk_post.metadata());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// `Thicket::from_store` on a clean store composes every stored
+/// profile; its report chains the store read and the build.
+#[test]
+fn from_store_composes_full_ensemble() {
+    let dir = tmp("fromstore");
+    let profiles = runs(0..5);
+    Store::save_opts(&dir, &profiles, &opts()).unwrap();
+    let (tk, report) = thicket::core::Thicket::from_store(&dir).unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.attempted, 5);
+    assert_eq!(tk.profiles().len(), 5);
+    assert_eq!(report.summary(), "ingest: 5/5 loaded, 0 dropped");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Store-load diagnostics are byte-identical for any worker-thread
+/// count, even when records are corrupt.
+#[test]
+fn corrupt_store_reports_identical_across_thread_counts() {
+    let dir = tmp("threads");
+    let profiles = runs(0..6);
+    Store::save_opts(&dir, &profiles, &opts()).unwrap();
+    inject(&dir, FaultKind::BitRot, 5).unwrap();
+
+    let baseline_reader = Store::open(&dir).unwrap();
+    let (base_profiles, baseline) = baseline_reader.load_where_threads(|_| true, 1).unwrap();
+    assert_eq!(baseline.dropped(), 1, "{baseline}");
+    for threads in [2, 8] {
+        let reader = Store::open(&dir).unwrap();
+        let (got_profiles, got) = reader.load_where_threads(|_| true, threads).unwrap();
+        assert_eq!(baseline, got, "report differs at threads={threads}");
+        assert_eq!(
+            hash_set(&base_profiles),
+            hash_set(&got_profiles),
+            "profiles differ at threads={threads}"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -9,6 +9,11 @@ cargo test -q
 # diagnostics, never a panic (cheap: binaries already built above).
 cargo test -q --test fault_tolerance
 cargo test -q -p thicket-perfsim --test faults
+# Store crash-safety smoke: write a sharded store, inject each store
+# fault, fsck classifies, recover, reload clean — plus the writer
+# crash-point matrix and the single-bit-flip CRC property.
+cargo test -q --test store_recovery
+cargo test -q -p thicket-perfsim --test store_props
 # Benches must at least compile (they are not run here: tier-1 stays fast).
 cargo bench -p thicket-bench --no-run
 # All targets: library code AND tests/benches/bins lint-clean.
