@@ -19,7 +19,13 @@ fn bench_ingest(c: &mut Criterion) {
             BenchmarkId::new("serial", n),
             &input,
             |b, (profiles, ids)| {
-                b.iter(|| Thicket::from_profiles_indexed_threads(profiles, ids, 1).unwrap());
+                b.iter(|| {
+                    Thicket::loader(profiles)
+                        .profile_ids(ids)
+                        .threads(1)
+                        .load()
+                        .unwrap()
+                });
             },
         );
         group.bench_with_input(
@@ -30,7 +36,13 @@ fn bench_ingest(c: &mut Criterion) {
                 // the bench always measures it (overhead there, speedup
                 // on multicore) instead of silently re-running serial.
                 let threads = default_threads(profiles.len()).max(2);
-                b.iter(|| Thicket::from_profiles_indexed_threads(profiles, ids, threads).unwrap());
+                b.iter(|| {
+                    Thicket::loader(profiles)
+                        .profile_ids(ids)
+                        .threads(threads)
+                        .load()
+                        .unwrap()
+                });
             },
         );
     }
@@ -71,7 +83,7 @@ fn bench_join(c: &mut Criterion) {
 /// at equal profile counts, plus the metadata-pushdown read that skips
 /// whole shards (the predicate selects 10 of n profiles).
 fn bench_store(c: &mut Criterion) {
-    use thicket_perfsim::{load_ensemble, save_ensemble, Store};
+    use thicket_perfsim::{load_dir, save_ensemble, MetaPred, Store, Strictness};
 
     let mut group = c.benchmark_group("store");
     group.sample_size(10);
@@ -85,19 +97,73 @@ fn bench_store(c: &mut Criterion) {
         Store::save(&store_dir, &profiles).unwrap();
 
         group.bench_with_input(BenchmarkId::new("load_ensemble", n), &json_dir, |b, dir| {
-            b.iter(|| load_ensemble(dir).unwrap());
+            b.iter(|| load_dir(dir, None, Strictness::FailFast).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("load_all", n), &store_dir, |b, dir| {
             b.iter(|| Store::open(dir).unwrap().load_all().unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("load_where", n), &store_dir, |b, dir| {
+        group.bench_with_input(BenchmarkId::new("load_matching", n), &store_dir, |b, dir| {
             b.iter(|| {
                 Store::open(dir)
                     .unwrap()
-                    .load_where(|e| matches!(e.meta("seed"), Some(Value::Int(s)) if *s < 10))
+                    .load_matching(&MetaPred::lt("seed", 10i64))
                     .unwrap()
             });
         });
+    }
+
+    // Write-path maintenance at a fixed scale: append a small batch on
+    // top of an existing generation (no rewrite of old shards) vs
+    // re-saving everything, and compacting a fragmented store.
+    {
+        let base = data::quartz_runs(200, 1_048_576);
+        let batch = data::quartz_runs_seeded(10, 1_048_576, 10_000);
+        group.bench_function("append_10_onto_200", |b| {
+            let dir = std::env::temp_dir().join("thicket-bench-append");
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                Store::save(&dir, &base).unwrap();
+                Store::append(&dir, &batch).unwrap()
+            });
+        });
+        group.bench_function("compact_200_fragmented", |b| {
+            let dir = std::env::temp_dir().join("thicket-bench-compact");
+            let frag = thicket_perfsim::StoreOptions {
+                shard_bytes: 1, // one shard per profile: worst-case fragmentation
+                ..thicket_perfsim::StoreOptions::default()
+            };
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                Store::save_opts(&dir, &base, &frag).unwrap();
+                Store::compact(&dir).unwrap()
+            });
+        });
+    }
+
+    // Pushdown at 2,000 profiles: selection cost and bytes actually
+    // read, v2 columnar manifest vs the v1 row manifest.
+    {
+        let profiles = data::quartz_runs(2000, 1_048_576);
+        for (label, format) in [
+            ("pushdown_2000_v2", thicket_perfsim::ManifestVersion::V2),
+            ("pushdown_2000_v1", thicket_perfsim::ManifestVersion::V1),
+        ] {
+            let dir = std::env::temp_dir().join(format!("thicket-bench-{label}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = thicket_perfsim::StoreOptions {
+                format,
+                ..thicket_perfsim::StoreOptions::default()
+            };
+            Store::save_opts(&dir, &profiles, &opts).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, 2000), &dir, |b, dir| {
+                b.iter(|| {
+                    Store::open(dir)
+                        .unwrap()
+                        .load_matching(&MetaPred::lt("seed", 10i64))
+                        .unwrap()
+                });
+            });
+        }
     }
     group.finish();
 }

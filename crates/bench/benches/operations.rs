@@ -13,7 +13,7 @@ fn bench_compose(c: &mut Criterion) {
     for &n in &[10u64, 50, 200] {
         let profiles = data::quartz_runs(n, 1_048_576);
         group.bench_with_input(BenchmarkId::from_parameter(n), &profiles, |b, profiles| {
-            b.iter(|| Thicket::from_profiles(profiles).unwrap());
+            b.iter(|| Thicket::loader(profiles).load().unwrap().0);
         });
     }
     group.finish();
@@ -21,7 +21,7 @@ fn bench_compose(c: &mut Criterion) {
 
 fn bench_filter_metadata(c: &mut Criterion) {
     let profiles = data::quartz_runs(100, 1_048_576);
-    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let tk = Thicket::loader(&profiles).load().unwrap().0;
     c.bench_function("filter_metadata_100", |b| {
         b.iter(|| tk.filter_metadata(|r| r.get("seed").as_i64().unwrap_or(0) % 2 == 0));
     });
@@ -34,7 +34,7 @@ fn bench_groupby(c: &mut Criterion) {
         .filter(|p| p.metadata("variant").unwrap().as_str() != Some("CUDA"))
         .cloned()
         .collect();
-    let tk = Thicket::from_profiles(&cpu_only).unwrap();
+    let tk = Thicket::loader(&cpu_only).load().unwrap().0;
     c.bench_function("groupby_compiler_size_400", |b| {
         b.iter(|| {
             tk.groupby(&[ColKey::new("compiler"), ColKey::new("problem size")])
@@ -45,7 +45,7 @@ fn bench_groupby(c: &mut Criterion) {
 
 fn bench_query(c: &mut Criterion) {
     let profiles = data::quartz_runs(50, 1_048_576);
-    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let tk = Thicket::loader(&profiles).load().unwrap().0;
     let q = Query::builder()
         .any("*")
         .node(".", pred::name_starts_with("Stream_"))
@@ -57,7 +57,7 @@ fn bench_query(c: &mut Criterion) {
 
 fn bench_stats(c: &mut Criterion) {
     let profiles = data::quartz_runs(100, 1_048_576);
-    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let tk = Thicket::loader(&profiles).load().unwrap().0;
     c.bench_function("compute_stats_100", |b| {
         b.iter(|| {
             let mut t = tk.clone();

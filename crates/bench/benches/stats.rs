@@ -10,7 +10,7 @@ use thicket_dataframe::{AggFn, ColKey, GroupBy, Value};
 fn thicket_of(n: u64) -> Thicket {
     let profiles = data::quartz_runs(n, 1_048_576);
     let ids: Vec<Value> = (0..profiles.len() as i64).map(Value::Int).collect();
-    Thicket::from_profiles_indexed(&profiles, &ids).unwrap()
+    Thicket::loader(&profiles).profile_ids(&ids).load().unwrap().0
 }
 
 fn bench_stats(c: &mut Criterion) {

@@ -136,7 +136,14 @@ pub fn figure13_profiles() -> Vec<Profile> {
 
 /// A small Quartz ensemble: `runs` repetitions at one configuration.
 pub fn quartz_runs(runs: u64, problem_size: u64) -> Vec<Profile> {
-    (0..runs)
+    quartz_runs_seeded(runs, problem_size, 0)
+}
+
+/// [`quartz_runs`] starting at an arbitrary base seed, so a second
+/// batch is disjoint from the first (append benchmarks need profiles
+/// the store does not already hold).
+pub fn quartz_runs_seeded(runs: u64, problem_size: u64, base_seed: u64) -> Vec<Profile> {
+    (base_seed..base_seed + runs)
         .map(|seed| {
             let mut cfg = CpuRunConfig::quartz_default();
             cfg.problem_size = problem_size;
@@ -158,11 +165,11 @@ pub fn cpu_by_size_thicket() -> Thicket {
             simulate_cpu_run(&cfg)
         })
         .collect();
-    Thicket::from_profiles_indexed(
-        &profiles,
-        &SIZES.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>(),
-    )
-    .expect("compose")
+    Thicket::loader(&profiles)
+        .profile_ids(&SIZES.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>())
+        .load()
+        .expect("compose")
+        .0
 }
 
 /// One Lassen CUDA profile per problem size, indexed by size.
@@ -176,11 +183,11 @@ pub fn gpu_by_size_thicket() -> Thicket {
             simulate_gpu_run(&cfg)
         })
         .collect();
-    Thicket::from_profiles_indexed(
-        &profiles,
-        &SIZES.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>(),
-    )
-    .expect("compose")
+    Thicket::loader(&profiles)
+        .profile_ids(&SIZES.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>())
+        .load()
+        .expect("compose")
+        .0
 }
 
 /// The MARBL study ensemble (Figure 16): both clusters × six node counts

@@ -71,11 +71,11 @@ pub fn fig02() -> FigureReport {
         }
         p
     };
-    let mut tk = Thicket::from_profiles_indexed(
-        &[make_profile(1), make_profile(2)],
-        &[Value::Int(1), Value::Int(2)],
-    )
-    .expect("toy thicket");
+    let mut tk = Thicket::loader(&[make_profile(1), make_profile(2)])
+        .profile_ids(&[Value::Int(1), Value::Int(2)])
+        .load()
+        .expect("toy thicket")
+        .0;
     tk.compute_stats_all(AggFn::Mean).expect("stats");
 
     let mut text = String::new();
@@ -97,7 +97,7 @@ pub fn fig02() -> FigureReport {
 
 /// Figure 3: the entity-relationship keys linking the three components.
 pub fn fig03() -> FigureReport {
-    let tk = Thicket::from_profiles(&data::quartz_runs(2, 1_048_576)).expect("thicket");
+    let tk = Thicket::loader(&data::quartz_runs(2, 1_048_576)).load().expect("thicket").0;
     let mut text = String::new();
     text.push_str("component keys (bold/fixed in the paper's ER diagram):\n");
     text.push_str(&format!(
@@ -178,7 +178,7 @@ fn figure5_thicket() -> Thicket {
         cfg.seed = i as u64;
         profiles.push(simulate_cpu_run(&cfg));
     }
-    Thicket::from_profiles(&profiles).expect("figure 5 thicket")
+    Thicket::loader(&profiles).load().expect("figure 5 thicket").0
 }
 
 /// Figure 5: the metadata table of four RAJA profiles on two clusters.
@@ -267,11 +267,11 @@ pub fn fig08() -> FigureReport {
     b128.block_size = 128;
     let mut b256 = GpuRunConfig::lassen_default();
     b256.block_size = 256;
-    let tk = Thicket::from_profiles_indexed(
-        &[simulate_gpu_run(&b128), simulate_gpu_run(&b256)],
-        &[Value::Int(128), Value::Int(256)],
-    )
-    .expect("CUDA thicket");
+    let tk = Thicket::loader(&[simulate_gpu_run(&b128), simulate_gpu_run(&b256)])
+        .profile_ids(&[Value::Int(128), Value::Int(256)])
+        .load()
+        .expect("CUDA thicket")
+        .0;
 
     let query = Query::builder()
         .node(".", pred::name_eq("Base_CUDA"))
@@ -296,7 +296,7 @@ pub fn fig08() -> FigureReport {
 
 /// Figure 9: aggregated std statistics and `filter_stats`.
 pub fn fig09() -> FigureReport {
-    let mut tk = Thicket::from_profiles(&data::quartz_runs(10, 4_194_304)).expect("ensemble");
+    let mut tk = Thicket::loader(&data::quartz_runs(10, 4_194_304)).load().expect("ensemble").0;
     tk.compute_stats(&[
         (ColKey::new("Retiring"), vec![AggFn::Std]),
         (ColKey::new("Backend bound"), vec![AggFn::Std]),
@@ -343,11 +343,11 @@ pub fn fig10() -> FigureReport {
         cfg.seed = 90 + opt as u64;
         profiles.push(simulate_cpu_run(&cfg));
     }
-    let tk = Thicket::from_profiles_indexed(
-        &profiles,
-        &(0..4i64).map(Value::Int).collect::<Vec<_>>(),
-    )
-    .expect("opt thicket");
+    let tk = Thicket::loader(&profiles)
+        .profile_ids(&(0..4i64).map(Value::Int).collect::<Vec<_>>())
+        .load()
+        .expect("opt thicket")
+        .0;
 
     let kernels = ["Stream_ADD", "Stream_COPY", "Stream_DOT", "Stream_MUL", "Stream_TRIAD"];
     let mut rows = Vec::new();
@@ -429,7 +429,7 @@ pub fn fig10() -> FigureReport {
 /// Figure 11: Extra-P models of `M_solver->Mult` on CTS and AWS.
 pub fn fig11() -> FigureReport {
     let profiles = data::marbl_study();
-    let tk = Thicket::from_profiles(&profiles).expect("marbl thicket");
+    let tk = Thicket::loader(&profiles).load().expect("marbl thicket").0;
     let mut text = String::new();
     let mut svgs = Vec::new();
     for (arch, label) in [("CTS1", "CTS"), ("C5n.18xlarge", "AWS")] {
@@ -479,7 +479,7 @@ pub fn fig11() -> FigureReport {
 
 /// Figure 12: heatmap of std metrics plus histograms of the outliers.
 pub fn fig12() -> FigureReport {
-    let mut tk = Thicket::from_profiles(&data::quartz_runs(10, 4_194_304)).expect("ensemble");
+    let mut tk = Thicket::loader(&data::quartz_runs(10, 4_194_304)).load().expect("ensemble").0;
     tk.compute_stats(&[
         (ColKey::new("Retiring"), vec![AggFn::Std]),
         (ColKey::new("Backend bound"), vec![AggFn::Std]),
@@ -716,7 +716,7 @@ pub fn fig15() -> FigureReport {
 /// Figure 16: the MARBL configuration table.
 pub fn fig16() -> FigureReport {
     let profiles = data::marbl_study();
-    let tk = Thicket::from_profiles(&profiles).expect("marbl thicket");
+    let tk = Thicket::loader(&profiles).load().expect("marbl thicket").0;
     let mut text = format!(
         "{:<14} {:<40} {:<8} {:<22} {:<22} {:<28} {:>9}\n",
         "cluster", "ccompiler", "mpi", "version", "numhosts", "mpi.world.size", "#profiles"
@@ -760,7 +760,7 @@ fn sub_unique(meta: &thicket_dataframe::DataFrame, col: &str) -> Vec<i64> {
 /// Figure 17: MARBL node-to-node strong scaling with ideal lines.
 pub fn fig17() -> FigureReport {
     let profiles = data::marbl_study();
-    let tk = Thicket::from_profiles(&profiles).expect("marbl thicket");
+    let tk = Thicket::loader(&profiles).load().expect("marbl thicket").0;
     let nodes = [1u32, 2, 4, 8, 16, 32];
     let mut text = format!(
         "{:<26} {:>6} {:>14} {:>12}\n",
@@ -819,7 +819,7 @@ pub fn fig17() -> FigureReport {
 /// Figure 18: the metadata scatter plots and parallel coordinate plot.
 pub fn fig18() -> FigureReport {
     let profiles = data::marbl_study();
-    let tk = Thicket::from_profiles(&profiles).expect("marbl thicket");
+    let tk = Thicket::loader(&profiles).load().expect("marbl thicket").0;
     let meta = tk.metadata();
     let step = tk.find_node("timeStepLoop").expect("timeStepLoop");
 

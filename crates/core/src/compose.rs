@@ -225,7 +225,7 @@ mod tests {
                 simulate_cpu_run(&cfg)
             })
             .collect();
-        Thicket::from_profiles(&profiles)
+        Thicket::loader(&profiles).load()
             .unwrap()
             .reindex_profiles_by(&ColKey::new("problem size"))
             .unwrap()
@@ -240,7 +240,7 @@ mod tests {
                 simulate_gpu_run(&cfg)
             })
             .collect();
-        Thicket::from_profiles(&profiles)
+        Thicket::loader(&profiles).load()
             .unwrap()
             .reindex_profiles_by(&ColKey::new("problem size"))
             .unwrap()
@@ -274,7 +274,7 @@ mod tests {
                 simulate_cpu_run(&cfg)
             })
             .collect();
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         // Both runs share the same problem size.
         assert!(tk.reindex_profiles_by(&ColKey::new("problem size")).is_err());
     }

@@ -356,9 +356,9 @@ mod tests {
             .map(|run| profile_with_structure(run, run % 2 == 0))
             .collect();
         let ids: Vec<Value> = (0..4i64).map(Value::Int).collect();
-        let full = Thicket::from_profiles_indexed(&profiles, &ids).unwrap();
+        let full = Thicket::loader(&profiles).profile_ids(&ids).load().unwrap().0;
 
-        let mut grown = Thicket::from_profiles_indexed(&profiles[..2], &ids[..2]).unwrap();
+        let mut grown = Thicket::loader(&profiles[..2]).profile_ids(&ids[..2]).load().unwrap().0;
         grown.extend(&profiles[2..], &ids[2..]).unwrap();
         assert_eq!(grown.perf_data(), full.perf_data());
         assert_eq!(grown.metadata(), full.metadata());
@@ -366,9 +366,9 @@ mod tests {
         assert!(grown.statsframe().is_empty());
 
         // Thread count does not change the result.
-        let mut one = Thicket::from_profiles_indexed(&profiles[..2], &ids[..2]).unwrap();
+        let mut one = Thicket::loader(&profiles[..2]).profile_ids(&ids[..2]).load().unwrap().0;
         one.extend_threads(&profiles[2..], &ids[2..], 1).unwrap();
-        let mut eight = Thicket::from_profiles_indexed(&profiles[..2], &ids[..2]).unwrap();
+        let mut eight = Thicket::loader(&profiles[..2]).profile_ids(&ids[..2]).load().unwrap().0;
         eight.extend_threads(&profiles[2..], &ids[2..], 8).unwrap();
         assert_eq!(one.perf_data(), eight.perf_data());
         assert_eq!(one.metadata(), eight.metadata());

@@ -25,9 +25,10 @@
 //!     cfg.seed = seed;
 //!     profiles.push(simulate_cpu_run(&cfg));
 //! }
-//! let tk = Thicket::from_profiles(&profiles).unwrap();
+//! let (tk, report) = Thicket::loader(&profiles).load().unwrap();
 //! assert_eq!(tk.profiles().len(), 4);
 //! assert_eq!(tk.metadata().len(), 4);
+//! assert!(report.is_clean());
 //! ```
 
 #![warn(missing_docs)]
@@ -35,6 +36,7 @@
 mod compose;
 mod display;
 mod extend;
+mod loader;
 mod model_glue;
 mod ops;
 mod order;
@@ -43,6 +45,9 @@ mod rowconcat;
 mod stats;
 mod thicket;
 mod treetable;
+
+pub use loader::{LoadSource, Loader};
+pub use thicket_perfsim::{IngestReport, MetaPred, Strictness};
 
 pub use compose::{concat_thickets, concat_thickets_threads, NodeMatch};
 pub use rowconcat::{concat_thickets_rows, concat_thickets_rows_threads};

@@ -1,0 +1,357 @@
+//! The unified ingest builder: one front door for every way a
+//! [`Thicket`] gets built.
+//!
+//! The legacy surface grew combinatorially — ten `Thicket::from_profiles*`
+//! variants, four `load_ensemble*` free functions, and the
+//! `from_store*`/`load_where*` families — one name per (source ×
+//! strictness × threads × index) combination. [`Loader`] collapses all
+//! of them behind a single builder:
+//!
+//! ```
+//! use thicket_core::Thicket;
+//! use thicket_perfsim::{simulate_cpu_run, CpuRunConfig};
+//!
+//! let profiles: Vec<_> = (0..4)
+//!     .map(|seed| {
+//!         let mut cfg = CpuRunConfig::quartz_default();
+//!         cfg.seed = seed;
+//!         simulate_cpu_run(&cfg)
+//!     })
+//!     .collect();
+//! let (tk, report) = Thicket::loader(&profiles).load().unwrap();
+//! assert_eq!(tk.profiles().len(), 4);
+//! assert!(report.is_clean());
+//! ```
+//!
+//! Sources are in-memory profile slices, loose-JSON ensemble
+//! directories, or sharded store directories ([`LoadSource`]). The same
+//! knobs apply to each: [`Loader::threads`] pins the worker count
+//! (default: auto), [`Loader::strictness`] picks fail-fast vs lenient
+//! ingest, and [`Loader::filter`] pushes a typed
+//! [`MetaPred`](thicket_perfsim::MetaPred) down to the source — for
+//! store sources that means columnar manifest selection *before* any
+//! shard I/O:
+//!
+//! ```no_run
+//! use thicket_core::{LoadSource, Thicket};
+//! use thicket_perfsim::MetaPred;
+//!
+//! let pred = MetaPred::eq("cluster", "quartz").and(MetaPred::ge("problem_size", 1024i64));
+//! let (tk, report) = Thicket::loader(LoadSource::store("runs.tks"))
+//!     .filter(pred)
+//!     .load()
+//!     .unwrap();
+//! # let _ = (tk, report);
+//! ```
+//!
+//! Every deprecated entry point is now a thin wrapper over this
+//! builder; the `builder_equiv` integration suite proves each wrapper
+//! bit-identical to its builder spelling.
+
+use std::path::{Path, PathBuf};
+use thicket_dataframe::Value;
+use thicket_perfsim::{
+    default_threads, load_dir, IngestReport, MetaPred, Profile, Strictness, StoreEntry,
+};
+
+use crate::thicket::{Thicket, ThicketError};
+
+/// Where a [`Loader`] reads its profiles from.
+///
+/// Constructed via `From` for in-memory slices (so
+/// `Thicket::loader(&profiles)` just works) or the
+/// [`LoadSource::ensemble`] / [`LoadSource::store`] path constructors.
+pub enum LoadSource<'a> {
+    /// Profiles already in memory.
+    Profiles(&'a [Profile]),
+    /// A loose-JSON ensemble directory
+    /// ([`thicket_perfsim::ensemble`]).
+    Ensemble(PathBuf),
+    /// A sharded, checksummed store directory
+    /// ([`thicket_perfsim::store`]).
+    Store(PathBuf),
+}
+
+impl LoadSource<'_> {
+    /// A loose-JSON ensemble directory source.
+    pub fn ensemble(dir: impl AsRef<Path>) -> LoadSource<'static> {
+        LoadSource::Ensemble(dir.as_ref().to_path_buf())
+    }
+
+    /// A sharded store directory source.
+    pub fn store(dir: impl AsRef<Path>) -> LoadSource<'static> {
+        LoadSource::Store(dir.as_ref().to_path_buf())
+    }
+}
+
+impl<'a> From<&'a [Profile]> for LoadSource<'a> {
+    fn from(profiles: &'a [Profile]) -> Self {
+        LoadSource::Profiles(profiles)
+    }
+}
+
+impl<'a> From<&'a Vec<Profile>> for LoadSource<'a> {
+    fn from(profiles: &'a Vec<Profile>) -> Self {
+        LoadSource::Profiles(profiles)
+    }
+}
+
+impl<'a, const N: usize> From<&'a [Profile; N]> for LoadSource<'a> {
+    fn from(profiles: &'a [Profile; N]) -> Self {
+        LoadSource::Profiles(profiles)
+    }
+}
+
+/// The two predicate shapes a loader can carry: a typed [`MetaPred`]
+/// (pushed down to columnar selection on store sources) or a legacy
+/// entry closure (store sources only; forces full metadata
+/// materialization).
+enum Filter<'a> {
+    Pred(MetaPred),
+    Entries(Box<dyn FnMut(&StoreEntry) -> bool + 'a>),
+}
+
+/// Builder for every thicket ingest path; constructed by
+/// [`Thicket::loader`].
+pub struct Loader<'a> {
+    source: LoadSource<'a>,
+    threads: Option<usize>,
+    strictness: Strictness,
+    filter: Option<Filter<'a>>,
+    profile_ids: Option<&'a [Value]>,
+}
+
+impl Thicket {
+    /// Start building a thicket from `source` (an in-memory profile
+    /// slice, [`LoadSource::ensemble`], or [`LoadSource::store`]).
+    ///
+    /// Defaults: auto worker count, [`Strictness::FailFast`], no
+    /// filter, profile ids from [`Profile::profile_hash`].
+    pub fn loader<'a>(source: impl Into<LoadSource<'a>>) -> Loader<'a> {
+        Loader {
+            source: source.into(),
+            threads: None,
+            strictness: Strictness::FailFast,
+            filter: None,
+            profile_ids: None,
+        }
+    }
+}
+
+impl<'a> Loader<'a> {
+    /// Pin the worker count for the load and row-assembly fan-outs.
+    /// The result is bit-identical for any `threads ≥ 1`; the default
+    /// scales with the input size ([`default_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Choose fail-fast (default) or lenient ingest. Lenient drops
+    /// unhealthy sources with typed diagnostics in the returned
+    /// [`IngestReport`]; fail-fast turns the first problem into an
+    /// error — for store sources, *any* load diagnostic is fatal.
+    pub fn strictness(mut self, strictness: Strictness) -> Self {
+        self.strictness = strictness;
+        self
+    }
+
+    /// Keep only profiles matching a typed [`MetaPred`]. On store
+    /// sources the predicate is pushed down to the columnar manifest
+    /// index, so non-matching shards are never opened and metadata
+    /// keys the predicate doesn't name are never parsed; on profile
+    /// and ensemble sources it is evaluated against each profile's
+    /// metadata after load.
+    pub fn filter(mut self, pred: MetaPred) -> Self {
+        self.filter = Some(Filter::Pred(pred));
+        self
+    }
+
+    /// Keep only store entries matching a closure (store sources
+    /// only). This is the escape hatch behind the deprecated
+    /// `from_store_filtered*` shims: unlike [`Loader::filter`] it
+    /// materializes every entry's metadata, so prefer a typed
+    /// [`MetaPred`] wherever one can express the selection.
+    pub fn filter_entries(mut self, pred: impl FnMut(&StoreEntry) -> bool + 'a) -> Self {
+        self.filter = Some(Filter::Entries(Box::new(pred)));
+        self
+    }
+
+    /// Supply study-relevant profile index values (in-memory profile
+    /// sources only; must be unique and match the slice length). The
+    /// default indices are the deterministic metadata hashes.
+    pub fn profile_ids(mut self, ids: &'a [Value]) -> Self {
+        self.profile_ids = Some(ids);
+        self
+    }
+
+    /// Run the load: read the source, apply the filter, compose the
+    /// thicket. Returns the thicket plus an [`IngestReport`] covering
+    /// both the read and the composition; the report is clean for
+    /// fail-fast loads that return `Ok`.
+    pub fn load(self) -> Result<(Thicket, IngestReport), ThicketError> {
+        let Loader {
+            source,
+            threads,
+            strictness,
+            mut filter,
+            profile_ids,
+        } = self;
+
+        if profile_ids.is_some() && !matches!(source, LoadSource::Profiles(_)) {
+            return Err(ThicketError::Invalid(
+                "profile_ids applies only to in-memory profile sources; \
+                 ensemble and store loads index by profile hash"
+                    .into(),
+            ));
+        }
+
+        match source {
+            LoadSource::Profiles(profiles) => {
+                use std::borrow::Cow;
+                let (kept, kept_ids): (Cow<'_, [Profile]>, Option<Cow<'_, [Value]>>) = match filter
+                {
+                    None => (Cow::Borrowed(profiles), profile_ids.map(Cow::Borrowed)),
+                    Some(Filter::Pred(pred)) => {
+                        if let Some(ids) = profile_ids {
+                            if ids.len() != profiles.len() {
+                                return Err(ThicketError::Invalid(format!(
+                                    "{} profiles but {} profile ids",
+                                    profiles.len(),
+                                    ids.len()
+                                )));
+                            }
+                            let (kept, kept_ids): (Vec<_>, Vec<_>) = profiles
+                                .iter()
+                                .zip(ids.iter())
+                                .filter(|(p, _)| pred.matches_profile(p))
+                                .map(|(p, id)| (p.clone(), id.clone()))
+                                .unzip();
+                            (Cow::Owned(kept), Some(Cow::Owned(kept_ids)))
+                        } else {
+                            (
+                                Cow::Owned(
+                                    profiles
+                                        .iter()
+                                        .filter(|p| pred.matches_profile(p))
+                                        .cloned()
+                                        .collect(),
+                                ),
+                                None,
+                            )
+                        }
+                    }
+                    Some(Filter::Entries(_)) => {
+                        return Err(ThicketError::Invalid(
+                            "entry closures apply only to store sources; \
+                             use `filter` with a `MetaPred`"
+                                .into(),
+                        ));
+                    }
+                };
+                let ids = match kept_ids {
+                    Some(ids) => ids,
+                    None => Cow::Owned(hash_ids(&kept)),
+                };
+                let threads = threads.unwrap_or_else(|| default_threads(kept.len()));
+                compose(&kept, &ids, threads, strictness, None)
+            }
+
+            LoadSource::Ensemble(dir) => {
+                let (loaded, read) = load_dir(&dir, threads, strictness)?;
+                let profiles = apply_profile_filter(loaded, &mut filter)?;
+                let ids = hash_ids(&profiles);
+                let threads = threads.unwrap_or_else(|| default_threads(profiles.len()));
+                compose(&profiles, &ids, threads, strictness, Some(read))
+            }
+
+            LoadSource::Store(dir) => {
+                let reader = thicket_perfsim::Store::open(&dir)?;
+                let threads =
+                    threads.unwrap_or_else(|| default_threads(reader.manifest().profiles.len()));
+                let (profiles, read) = match filter {
+                    None => reader.load_matching_threads(&MetaPred::True, threads)?,
+                    Some(Filter::Pred(pred)) => reader.load_matching_threads(&pred, threads)?,
+                    Some(Filter::Entries(pred)) => reader.load_entries_where(pred, threads)?,
+                };
+                if matches!(strictness, Strictness::FailFast) && !read.is_clean() {
+                    return Err(ThicketError::Invalid(format!(
+                        "store load failed under fail-fast strictness ({})",
+                        read.summary()
+                    )));
+                }
+                if let Strictness::Lenient { max_errors } = strictness {
+                    if read.diagnostics.len() > max_errors {
+                        return Err(ThicketError::Invalid(format!(
+                            "store load exceeded the lenient error budget of {max_errors} ({})",
+                            read.summary()
+                        )));
+                    }
+                }
+                let ids = hash_ids(&profiles);
+                compose(&profiles, &ids, threads, strictness, Some(read))
+            }
+        }
+    }
+}
+
+/// Default profile index values: the deterministic metadata hashes.
+fn hash_ids(profiles: &[Profile]) -> Vec<Value> {
+    profiles
+        .iter()
+        .map(|p| Value::Int(p.profile_hash()))
+        .collect()
+}
+
+/// Evaluate a typed filter against loaded profiles (ensemble sources);
+/// entry closures only make sense against a store manifest.
+fn apply_profile_filter(
+    profiles: Vec<Profile>,
+    filter: &mut Option<Filter<'_>>,
+) -> Result<Vec<Profile>, ThicketError> {
+    match filter {
+        None => Ok(profiles),
+        Some(Filter::Pred(pred)) => Ok(profiles
+            .into_iter()
+            .filter(|p| pred.matches_profile(p))
+            .collect()),
+        Some(Filter::Entries(_)) => Err(ThicketError::Invalid(
+            "entry closures apply only to store sources; use `filter` with a `MetaPred`".into(),
+        )),
+    }
+}
+
+/// Compose loaded profiles under the requested strictness, absorbing
+/// the read-phase report (if any) so `attempted` counts sources and
+/// `loaded` counts survivors of both phases.
+fn compose(
+    profiles: &[Profile],
+    ids: &[Value],
+    threads: usize,
+    strictness: Strictness,
+    read: Option<IngestReport>,
+) -> Result<(Thicket, IngestReport), ThicketError> {
+    let build = match strictness {
+        Strictness::FailFast => {
+            let tk = Thicket::build_indexed_threads(profiles, ids, threads)?;
+            (
+                tk,
+                IngestReport {
+                    attempted: profiles.len(),
+                    loaded: profiles.len(),
+                    diagnostics: Vec::new(),
+                },
+            )
+        }
+        Strictness::Lenient { .. } => {
+            Thicket::build_indexed_lenient_threads(profiles, ids, threads)?
+        }
+    };
+    match read {
+        None => Ok(build),
+        Some(mut report) => {
+            report.absorb(build.1);
+            Ok((build.0, report))
+        }
+    }
+}

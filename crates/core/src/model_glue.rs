@@ -81,7 +81,7 @@ mod tests {
 
     fn marbl_thicket(cluster: MarblCluster) -> Thicket {
         let profiles = marbl_ensemble(&[1, 2, 4, 8, 16, 32], 5);
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         tk.filter_metadata(|r| r.str("arch").as_deref() == Some(cluster.arch()))
     }
 
@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn too_few_scales_yields_no_models() {
         let profiles = marbl_ensemble(&[4], 5); // one rank count only
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         let models = model_metric(
             &tk,
             &ColKey::new("avg#inclusive#sum#time.duration"),

@@ -149,7 +149,7 @@ mod tests {
                 profiles.push(simulate_cpu_run(&cfg));
             }
         }
-        Thicket::from_profiles(&profiles).unwrap()
+        Thicket::loader(&profiles).load().unwrap().0
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod tests {
                 simulate_cpu_run(&cfg)
             })
             .collect();
-        Thicket::from_profiles(&profiles).unwrap()
+        Thicket::loader(&profiles).load().unwrap().0
     }
 
     #[test]

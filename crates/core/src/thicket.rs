@@ -34,6 +34,9 @@ pub enum ThicketError {
     },
     /// The sharded on-disk store could not be opened or read.
     Store(thicket_perfsim::StoreError),
+    /// An ensemble directory could not be read under fail-fast
+    /// strictness (the first bad profile aborts the load).
+    Profile(Box<thicket_perfsim::ProfileError>),
 }
 
 impl fmt::Display for ThicketError {
@@ -45,6 +48,7 @@ impl fmt::Display for ThicketError {
                 write!(f, "worker panicked on {source}: {message}")
             }
             ThicketError::Store(e) => write!(f, "store: {e}"),
+            ThicketError::Profile(e) => write!(f, "profile: {e}"),
         }
     }
 }
@@ -60,6 +64,12 @@ impl From<DfError> for ThicketError {
 impl From<thicket_perfsim::StoreError> for ThicketError {
     fn from(e: thicket_perfsim::StoreError) -> Self {
         ThicketError::Store(e)
+    }
+}
+
+impl From<thicket_perfsim::ProfileError> for ThicketError {
+    fn from(e: thicket_perfsim::ProfileError) -> Self {
+        ThicketError::Profile(Box::new(e))
     }
 }
 
@@ -82,12 +92,9 @@ impl Thicket {
     /// Profile indices are the deterministic metadata hashes
     /// ([`Profile::profile_hash`]); use [`Thicket::from_profiles_indexed`]
     /// to supply study-relevant indices (e.g. the problem size).
+    #[deprecated(since = "0.5.0", note = "use `Thicket::loader(profiles).load()`")]
     pub fn from_profiles(profiles: &[Profile]) -> Result<Thicket, ThicketError> {
-        let ids: Vec<Value> = profiles
-            .iter()
-            .map(|p| Value::Int(p.profile_hash()))
-            .collect();
-        Self::from_profiles_indexed(profiles, &ids)
+        Thicket::loader(profiles).load().map(|(tk, _)| tk)
     }
 
     /// Compose profiles with caller-chosen profile index values.
@@ -95,15 +102,18 @@ impl Thicket {
     /// Per-profile row assembly fans out over worker threads (see
     /// [`Thicket::from_profiles_indexed_threads`] to pick the count);
     /// the result is bit-identical regardless of thread count.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(profiles).profile_ids(ids).load()`"
+    )]
     pub fn from_profiles_indexed(
         profiles: &[Profile],
         profile_ids: &[Value],
     ) -> Result<Thicket, ThicketError> {
-        Self::from_profiles_indexed_threads(
-            profiles,
-            profile_ids,
-            thicket_perfsim::default_threads(profiles.len()),
-        )
+        Thicket::loader(profiles)
+            .profile_ids(profile_ids)
+            .load()
+            .map(|(tk, _)| tk)
     }
 
     /// [`Thicket::from_profiles_indexed`] with an explicit worker count.
@@ -112,7 +122,27 @@ impl Thicket {
     /// on `threads` workers; the per-profile batches are then merged into
     /// the frame serially in input order, so the output is deterministic
     /// for any `threads ≥ 1`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(profiles).profile_ids(ids).threads(n).load()`"
+    )]
     pub fn from_profiles_indexed_threads(
+        profiles: &[Profile],
+        profile_ids: &[Value],
+        threads: usize,
+    ) -> Result<Thicket, ThicketError> {
+        Thicket::loader(profiles)
+            .profile_ids(profile_ids)
+            .threads(threads)
+            .load()
+            .map(|(tk, _)| tk)
+    }
+
+    /// Strict build engine shared by the deprecated entry points and
+    /// [`crate::Loader`]: compose `profiles` under caller-chosen index
+    /// values on `threads` workers, failing on the first unhealthy
+    /// input. Bit-identical for any `threads ≥ 1`.
+    pub(crate) fn build_indexed_threads(
         profiles: &[Profile],
         profile_ids: &[Value],
         threads: usize,
@@ -187,27 +217,32 @@ impl Thicket {
     /// [`IngestReport`] with one typed diagnostic per dropped profile,
     /// identical for any worker-thread count. Errs only when *no*
     /// profile survives.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(profiles).strictness(Strictness::lenient()).load()`"
+    )]
     pub fn from_profiles_lenient(
         profiles: &[Profile],
     ) -> Result<(Thicket, IngestReport), ThicketError> {
-        let ids: Vec<Value> = profiles
-            .iter()
-            .map(|p| Value::Int(p.profile_hash()))
-            .collect();
-        Self::from_profiles_indexed_lenient(profiles, &ids)
+        Thicket::loader(profiles)
+            .strictness(thicket_perfsim::Strictness::lenient())
+            .load()
     }
 
     /// [`Thicket::from_profiles_lenient`] with caller-chosen profile
     /// index values.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(profiles).profile_ids(ids).strictness(Strictness::lenient()).load()`"
+    )]
     pub fn from_profiles_indexed_lenient(
         profiles: &[Profile],
         profile_ids: &[Value],
     ) -> Result<(Thicket, IngestReport), ThicketError> {
-        Self::from_profiles_indexed_lenient_threads(
-            profiles,
-            profile_ids,
-            thicket_perfsim::default_threads(profiles.len()),
-        )
+        Thicket::loader(profiles)
+            .profile_ids(profile_ids)
+            .strictness(thicket_perfsim::Strictness::lenient())
+            .load()
     }
 
     /// [`Thicket::from_profiles_indexed_lenient`] with an explicit
@@ -220,7 +255,26 @@ impl Thicket {
     /// build retries on the surviving subset, so a deterministic panic
     /// converges (each round removes at least one profile) and the
     /// report is identical for any `threads ≥ 1`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(profiles).profile_ids(ids).strictness(Strictness::lenient()).threads(n).load()`"
+    )]
     pub fn from_profiles_indexed_lenient_threads(
+        profiles: &[Profile],
+        profile_ids: &[Value],
+        threads: usize,
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        Thicket::loader(profiles)
+            .profile_ids(profile_ids)
+            .strictness(thicket_perfsim::Strictness::lenient())
+            .threads(threads)
+            .load()
+    }
+
+    /// Lenient build engine shared by the deprecated entry points and
+    /// [`crate::Loader`]: unhealthy profiles are dropped with typed
+    /// diagnostics; errs only when no profile survives.
+    pub(crate) fn build_indexed_lenient_threads(
         profiles: &[Profile],
         profile_ids: &[Value],
         threads: usize,
@@ -363,8 +417,14 @@ impl Thicket {
     /// any composition diagnostics; the report is byte-identical for
     /// any worker-thread count. Errs only when the store itself cannot
     /// be opened or no profile survives.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(LoadSource::store(dir)).strictness(Strictness::lenient()).load()`"
+    )]
     pub fn from_store(dir: impl AsRef<Path>) -> Result<(Thicket, IngestReport), ThicketError> {
-        Self::from_store_filtered(dir, |_| true)
+        Thicket::loader(crate::LoadSource::store(dir.as_ref()))
+            .strictness(thicket_perfsim::Strictness::lenient())
+            .load()
     }
 
     /// [`Thicket::from_store`] with metadata pushdown: `pred` is
@@ -376,41 +436,37 @@ impl Thicket {
     /// The resulting thicket equals filtering the same profiles after
     /// a full load — it just parses strictly fewer bytes whenever the
     /// predicate excludes anything.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(LoadSource::store(dir)).filter(pred).load()` with a typed `MetaPred`"
+    )]
     pub fn from_store_filtered(
         dir: impl AsRef<Path>,
         pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
     ) -> Result<(Thicket, IngestReport), ThicketError> {
-        let reader = thicket_perfsim::Store::open(&dir)?;
-        let threads = thicket_perfsim::default_threads(reader.entries().len());
-        Self::compose_store_load(&reader, pred, threads)
+        Thicket::loader(crate::LoadSource::store(dir.as_ref()))
+            .strictness(thicket_perfsim::Strictness::lenient())
+            .filter_entries(pred)
+            .load()
     }
 
     /// [`Thicket::from_store_filtered`] with an explicit worker count
     /// for both the payload-parse and row-assembly fan-outs. The
     /// thicket and report are identical for any `threads ≥ 1`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Thicket::loader(LoadSource::store(dir)).filter(pred).threads(n).load()`"
+    )]
     pub fn from_store_filtered_threads(
         dir: impl AsRef<Path>,
         pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
         threads: usize,
     ) -> Result<(Thicket, IngestReport), ThicketError> {
-        let reader = thicket_perfsim::Store::open(&dir)?;
-        Self::compose_store_load(&reader, pred, threads)
-    }
-
-    fn compose_store_load(
-        reader: &thicket_perfsim::StoreReader,
-        pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
-        threads: usize,
-    ) -> Result<(Thicket, IngestReport), ThicketError> {
-        let (profiles, mut report) = reader.load_where_threads(pred, threads)?;
-        let ids: Vec<Value> = profiles
-            .iter()
-            .map(|p| Value::Int(p.profile_hash()))
-            .collect();
-        let (thicket, build) =
-            Self::from_profiles_indexed_lenient_threads(&profiles, &ids, threads)?;
-        report.absorb(build);
-        Ok((thicket, report))
+        Thicket::loader(crate::LoadSource::store(dir.as_ref()))
+            .strictness(thicket_perfsim::Strictness::lenient())
+            .filter_entries(pred)
+            .threads(threads)
+            .load()
     }
 
     /// Assemble a thicket from raw components (used by composition and

@@ -1,0 +1,254 @@
+//! Every deprecated ingest entry point is a thin wrapper over
+//! `Thicket::loader`; this suite proves each one returns bit-identical
+//! results to its builder spelling — same dataframes, same profile
+//! indices, same ingest reports — so callers can migrate mechanically.
+
+#![allow(deprecated)]
+
+use thicket_core::{LoadSource, MetaPred, Strictness, Thicket};
+use thicket_dataframe::Value;
+use thicket_perfsim::{
+    load_dir, load_ensemble, load_ensemble_lenient, load_ensemble_opts, load_ensemble_threads,
+    save_ensemble, simulate_cpu_run, CpuRunConfig, IngestReport, Profile, Store, StoreOptions,
+};
+
+fn runs(seeds: std::ops::Range<u64>) -> Vec<Profile> {
+    seeds
+        .map(|seed| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = seed;
+            simulate_cpu_run(&cfg)
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("thicket-bldeq-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Thicket equality: `Graph` has no `PartialEq`, so compare every
+/// table plus the profile index order (tables pin cell values, the
+/// profile list pins composition order).
+fn assert_same_thicket(a: &Thicket, b: &Thicket) {
+    assert_eq!(a.profiles(), b.profiles());
+    assert_eq!(a.perf_data(), b.perf_data());
+    assert_eq!(a.metadata(), b.metadata());
+    assert_eq!(a.statsframe(), b.statsframe());
+}
+
+fn assert_same_profiles(a: &[Profile], b: &[Profile]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_string_pretty(), y.to_string_pretty());
+    }
+}
+
+fn assert_same_report(a: &IngestReport, b: &IngestReport) {
+    assert_eq!(a, b);
+}
+
+#[test]
+fn from_profiles_equals_builder() {
+    let profiles = runs(0..4);
+    let legacy = Thicket::from_profiles(&profiles).unwrap();
+    let (built, report) = Thicket::loader(&profiles).load().unwrap();
+    assert_same_thicket(&legacy, &built);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn from_profiles_indexed_equals_builder() {
+    let profiles = runs(0..4);
+    let ids: Vec<Value> = (0..4).map(Value::Int).collect();
+    let legacy = Thicket::from_profiles_indexed(&profiles, &ids).unwrap();
+    let (built, _) = Thicket::loader(&profiles).profile_ids(&ids).load().unwrap();
+    assert_same_thicket(&legacy, &built);
+}
+
+#[test]
+fn from_profiles_indexed_threads_equals_builder() {
+    let profiles = runs(0..4);
+    let ids: Vec<Value> = (0..4).map(Value::Int).collect();
+    for threads in [1, 3] {
+        let legacy = Thicket::from_profiles_indexed_threads(&profiles, &ids, threads).unwrap();
+        let (built, _) = Thicket::loader(&profiles)
+            .profile_ids(&ids)
+            .threads(threads)
+            .load()
+            .unwrap();
+        assert_same_thicket(&legacy, &built);
+    }
+}
+
+#[test]
+fn from_profiles_lenient_equals_builder() {
+    // A duplicated profile forces a diagnostic through the lenient path.
+    let mut profiles = runs(0..3);
+    profiles.push(profiles[0].clone());
+    let (legacy, legacy_report) = Thicket::from_profiles_lenient(&profiles).unwrap();
+    let (built, built_report) = Thicket::loader(&profiles)
+        .strictness(Strictness::lenient())
+        .load()
+        .unwrap();
+    assert_same_thicket(&legacy, &built);
+    assert_same_report(&legacy_report, &built_report);
+    assert_eq!(legacy_report.dropped(), 1);
+}
+
+#[test]
+fn from_profiles_indexed_lenient_equals_builder() {
+    let profiles = runs(0..4);
+    let ids: Vec<Value> = (10..14).map(Value::Int).collect();
+    let (legacy, legacy_report) = Thicket::from_profiles_indexed_lenient(&profiles, &ids).unwrap();
+    let (built, built_report) = Thicket::loader(&profiles)
+        .profile_ids(&ids)
+        .strictness(Strictness::lenient())
+        .load()
+        .unwrap();
+    assert_same_thicket(&legacy, &built);
+    assert_same_report(&legacy_report, &built_report);
+}
+
+#[test]
+fn from_profiles_indexed_lenient_threads_equals_builder() {
+    let profiles = runs(0..4);
+    let ids: Vec<Value> = (10..14).map(Value::Int).collect();
+    for threads in [1, 4] {
+        let (legacy, legacy_report) =
+            Thicket::from_profiles_indexed_lenient_threads(&profiles, &ids, threads).unwrap();
+        let (built, built_report) = Thicket::loader(&profiles)
+            .profile_ids(&ids)
+            .strictness(Strictness::lenient())
+            .threads(threads)
+            .load()
+            .unwrap();
+        assert_same_thicket(&legacy, &built);
+        assert_same_report(&legacy_report, &built_report);
+    }
+}
+
+#[test]
+fn load_ensemble_family_equals_load_dir() {
+    let dir = tmp("ensemble");
+    let profiles = runs(0..4);
+    save_ensemble(&dir, &profiles).unwrap();
+
+    let legacy = load_ensemble(&dir).unwrap();
+    let (unified, report) = load_dir(&dir, None, Strictness::FailFast).unwrap();
+    assert_same_profiles(&legacy, &unified);
+    assert!(report.is_clean());
+
+    let legacy = load_ensemble_threads(&dir, 2).unwrap();
+    let (unified, _) = load_dir(&dir, Some(2), Strictness::FailFast).unwrap();
+    assert_same_profiles(&legacy, &unified);
+
+    let (legacy, legacy_report) = load_ensemble_lenient(&dir).unwrap();
+    let (unified, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
+    assert_same_profiles(&legacy, &unified);
+    assert_same_report(&legacy_report, &report);
+
+    let strictness = Strictness::Lenient { max_errors: 2 };
+    let (legacy, legacy_report) = load_ensemble_opts(&dir, 3, strictness).unwrap();
+    let (unified, report) = load_dir(&dir, Some(3), strictness).unwrap();
+    assert_same_profiles(&legacy, &unified);
+    assert_same_report(&legacy_report, &report);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn from_store_equals_builder() {
+    let dir = tmp("store");
+    Store::save_opts(&dir, &runs(0..5), &StoreOptions::default()).unwrap();
+    let (legacy, legacy_report) = Thicket::from_store(&dir).unwrap();
+    let (built, built_report) = Thicket::loader(LoadSource::store(&dir))
+        .strictness(Strictness::lenient())
+        .load()
+        .unwrap();
+    assert_same_thicket(&legacy, &built);
+    assert_same_report(&legacy_report, &built_report);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn from_store_filtered_equals_builder_closure_and_metapred() {
+    let dir = tmp("store-filtered");
+    Store::save_opts(&dir, &runs(0..6), &StoreOptions::default()).unwrap();
+
+    // Closure spelling (the deprecated wrapper's exact shape) …
+    let (legacy, legacy_report) = Thicket::from_store_filtered(&dir, |e| {
+        matches!(e.meta("seed"), Some(Value::Int(s)) if *s < 3)
+    })
+    .unwrap();
+    let (built_closure, closure_report) = Thicket::loader(LoadSource::store(&dir))
+        .strictness(Strictness::lenient())
+        .filter_entries(|e| matches!(e.meta("seed"), Some(Value::Int(s)) if *s < 3))
+        .load()
+        .unwrap();
+    assert_same_thicket(&legacy, &built_closure);
+    assert_same_report(&legacy_report, &closure_report);
+
+    // … and the typed pushdown spelling select the same thicket.
+    let (built_pred, pred_report) = Thicket::loader(LoadSource::store(&dir))
+        .strictness(Strictness::lenient())
+        .filter(MetaPred::lt("seed", 3i64))
+        .load()
+        .unwrap();
+    assert_same_thicket(&legacy, &built_pred);
+    assert_same_report(&legacy_report, &pred_report);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn from_store_filtered_threads_equals_builder() {
+    let dir = tmp("store-threads");
+    Store::save_opts(&dir, &runs(0..6), &StoreOptions::default()).unwrap();
+    for threads in [1, 4] {
+        let (legacy, legacy_report) = Thicket::from_store_filtered_threads(
+            &dir,
+            |e| matches!(e.meta("seed"), Some(Value::Int(s)) if *s >= 2),
+            threads,
+        )
+        .unwrap();
+        let (built, built_report) = Thicket::loader(LoadSource::store(&dir))
+            .strictness(Strictness::lenient())
+            .filter(MetaPred::ge("seed", 2i64))
+            .threads(threads)
+            .load()
+            .unwrap();
+        assert_same_thicket(&legacy, &built);
+        assert_same_report(&legacy_report, &built_report);
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn load_where_equals_load_matching() {
+    let dir = tmp("load-where");
+    Store::save_opts(&dir, &runs(0..6), &StoreOptions::default()).unwrap();
+
+    let reader = Store::open(&dir).unwrap();
+    let (legacy, legacy_report) = reader
+        .load_where(|e| matches!(e.meta("seed"), Some(Value::Int(s)) if *s < 4))
+        .unwrap();
+    let reader = Store::open(&dir).unwrap();
+    let (unified, report) = reader.load_matching(&MetaPred::lt("seed", 4i64)).unwrap();
+    assert_same_profiles(&legacy, &unified);
+    assert_same_report(&legacy_report, &report);
+
+    for threads in [1, 3] {
+        let reader = Store::open(&dir).unwrap();
+        let (legacy, legacy_report) = reader
+            .load_where_threads(|e| matches!(e.meta("seed"), Some(Value::Int(s)) if *s < 4), threads)
+            .unwrap();
+        let reader = Store::open(&dir).unwrap();
+        let (unified, report) = reader
+            .load_matching_threads(&MetaPred::lt("seed", 4i64), threads)
+            .unwrap();
+        assert_same_profiles(&legacy, &unified);
+        assert_same_report(&legacy_report, &report);
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

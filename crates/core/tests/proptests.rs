@@ -30,9 +30,9 @@ proptest! {
         seeds.sort_unstable();
         let profiles = profiles_for(&seeds);
         let ids: Vec<Value> = (0..profiles.len() as i64).map(Value::Int).collect();
-        let serial = Thicket::from_profiles_indexed_threads(&profiles, &ids, 1).unwrap();
+        let serial = Thicket::loader(&profiles).profile_ids(&ids).threads(1).load().unwrap().0;
         for threads in [2usize, 8] {
-            let par = Thicket::from_profiles_indexed_threads(&profiles, &ids, threads).unwrap();
+            let par = Thicket::loader(&profiles).profile_ids(&ids).threads(threads).load().unwrap().0;
             prop_assert_eq!(serial.perf_data(), par.perf_data(), "perf mismatch at {} threads", threads);
             prop_assert_eq!(serial.metadata(), par.metadata(), "metadata mismatch at {} threads", threads);
             prop_assert_eq!(serial.graph().len(), par.graph().len());
@@ -47,7 +47,7 @@ proptest! {
         seeds.sort_unstable();
         let thickets: Vec<Thicket> = profiles_for(&seeds)
             .iter()
-            .map(|p| Thicket::from_profiles(std::slice::from_ref(p)).unwrap())
+            .map(|p| Thicket::loader(std::slice::from_ref(p)).load().unwrap().0)
             .collect();
         let refs: Vec<&Thicket> = thickets.iter().collect();
         let serial = concat_thickets_rows_threads(&refs, 1).unwrap();

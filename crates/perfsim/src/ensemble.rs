@@ -1,11 +1,13 @@
 //! Ensemble I/O: whole directories of profiles, the unit the paper's
 //! workflow moves between collection (steps 1–2) and analysis (step 3).
 //!
-//! Loads come in two contracts (see [`crate::ingest::Strictness`]): the
-//! strict [`load_ensemble`] family fails fast on the first unhealthy
-//! file (identified by path, deterministic for any thread count), while
-//! [`load_ensemble_lenient`] returns the healthy subset plus a
-//! per-file [`IngestReport`].
+//! [`load_dir`] is the single directory-load engine; both contracts of
+//! [`crate::ingest::Strictness`] run through it (`FailFast` aborts on
+//! the first unhealthy file, identified by path and deterministic for
+//! any thread count; `Lenient` returns the healthy subset plus a
+//! per-file [`IngestReport`]). The old `load_ensemble*` entry points
+//! remain as deprecated wrappers; new code should reach ensembles
+//! through `Thicket::loader` in `thicket-core`.
 
 use crate::ingest::{DiagKind, Diagnostic, IngestReport, Strictness};
 use crate::parallel::{parallel_map_catch, try_parallel_map, JobFailure};
@@ -77,60 +79,59 @@ pub fn save_ensemble(
 /// Load every `*.json` profile in `dir`, sorted by filename for
 /// determinism. Non-profile files fail loudly (the collection directory
 /// is expected to be clean); the error names the offending path.
-///
-/// Parsing fans out over worker threads (see [`load_ensemble_threads`]
-/// to pick the count); the returned order is always filename order.
+#[deprecated(note = "use `load_dir(dir, None, Strictness::FailFast)` or `Thicket::loader`")]
 pub fn load_ensemble(dir: impl AsRef<Path>) -> Result<Vec<Profile>, ProfileError> {
-    let paths = ensemble_paths(dir)?;
-    load_paths(&paths, crate::parallel::default_threads(paths.len()))
+    load_dir(dir, None, Strictness::FailFast).map(|(profiles, _)| profiles)
 }
 
-/// [`load_ensemble`] with an explicit worker count. The result is
-/// identical for any `threads ≥ 1`: paths are sorted before the fan-out
-/// and the error, if any, is always the one for the first unhealthy
-/// path in filename order (remaining work is cancelled).
+/// [`load_ensemble`] with an explicit worker count.
+#[deprecated(note = "use `load_dir(dir, Some(threads), Strictness::FailFast)` or `Thicket::loader`")]
 pub fn load_ensemble_threads(
     dir: impl AsRef<Path>,
     threads: usize,
 ) -> Result<Vec<Profile>, ProfileError> {
-    let paths = ensemble_paths(dir)?;
-    load_paths(&paths, threads)
+    load_dir(dir, Some(threads), Strictness::FailFast).map(|(profiles, _)| profiles)
 }
 
-/// Lenient directory load: every `*.json` file is attempted; unhealthy
-/// files become typed [`Diagnostic`]s instead of failing the whole
-/// load. Returns the healthy profiles (filename order) plus the
-/// [`IngestReport`].
-///
-/// Beyond per-file health, the lenient contract also enforces what a
-/// downstream thicket build needs: a file whose profile *hash*
-/// duplicates an earlier file's is dropped with a
-/// [`DiagKind::DuplicateProfile`] diagnostic (the strict loader keeps
-/// duplicates and leaves the choice of profile ids to the caller).
+/// Lenient directory load: healthy profiles plus a typed report.
+#[deprecated(note = "use `load_dir(dir, None, Strictness::lenient())` or `Thicket::loader`")]
 pub fn load_ensemble_lenient(
     dir: impl AsRef<Path>,
 ) -> Result<(Vec<Profile>, IngestReport), ProfileError> {
-    let paths = ensemble_paths(&dir)?;
-    load_ensemble_opts(
-        dir,
-        crate::parallel::default_threads(paths.len()),
-        Strictness::lenient(),
-    )
+    load_dir(dir, None, Strictness::lenient())
 }
 
-/// Directory load with an explicit worker count and [`Strictness`]
-/// contract — the general entry point behind [`load_ensemble`] (which
-/// is `FailFast`) and [`load_ensemble_lenient`].
-///
-/// Under `Lenient { max_errors }`, exceeding the error budget aborts
-/// with a hard error. The report's diagnostics are in filename order
-/// and byte-identical for any `threads ≥ 1`.
+/// Directory load with an explicit worker count and strictness.
+#[deprecated(note = "use `load_dir` or `Thicket::loader`")]
 pub fn load_ensemble_opts(
     dir: impl AsRef<Path>,
     threads: usize,
     strictness: Strictness,
 ) -> Result<(Vec<Profile>, IngestReport), ProfileError> {
+    load_dir(dir, Some(threads), strictness)
+}
+
+/// The directory-load engine: every `*.json` profile in `dir`, sorted
+/// by filename for determinism, parsed on `threads` workers (`None` →
+/// a count fitted to the file count). Results and diagnostics are
+/// byte-identical for any thread count.
+///
+/// Under [`Strictness::FailFast`] the first unhealthy file in filename
+/// order fails the load with its path (remaining work is cancelled)
+/// and the report is empty-diagnostic. Under `Lenient { max_errors }`
+/// unhealthy files become typed [`Diagnostic`]s (exceeding the budget
+/// aborts with a hard error), and a file whose profile *hash*
+/// duplicates an earlier file's is dropped with a
+/// [`DiagKind::DuplicateProfile`] diagnostic — what a downstream
+/// thicket build needs (the strict contract keeps duplicates and
+/// leaves the choice of profile ids to the caller).
+pub fn load_dir(
+    dir: impl AsRef<Path>,
+    threads: Option<usize>,
+    strictness: Strictness,
+) -> Result<(Vec<Profile>, IngestReport), ProfileError> {
     let paths = ensemble_paths(&dir)?;
+    let threads = threads.unwrap_or_else(|| crate::parallel::default_threads(paths.len()));
     match strictness {
         Strictness::FailFast => {
             let profiles = load_paths(&paths, threads)?;
@@ -228,6 +229,10 @@ mod tests {
         dir
     }
 
+    fn load_strict(dir: impl AsRef<Path>) -> Result<Vec<Profile>, ProfileError> {
+        load_dir(dir, None, Strictness::FailFast).map(|(profiles, _)| profiles)
+    }
+
     #[test]
     fn roundtrip_preserves_profiles() {
         let dir = tmp("roundtrip");
@@ -240,7 +245,7 @@ mod tests {
             .collect();
         let paths = save_ensemble(&dir, &profiles).unwrap();
         assert_eq!(paths.len(), 4);
-        let loaded = load_ensemble(&dir).unwrap();
+        let loaded = load_strict(&dir).unwrap();
         assert_eq!(loaded.len(), 4);
         let mut orig: Vec<i64> = profiles.iter().map(|p| p.profile_hash()).collect();
         let mut back: Vec<i64> = loaded.iter().map(|p| p.profile_hash()).collect();
@@ -257,7 +262,7 @@ mod tests {
         let paths = save_ensemble(&dir, &[p.clone(), p]).unwrap();
         assert_eq!(paths.len(), 2);
         assert_ne!(paths[0], paths[1]);
-        assert_eq!(load_ensemble(&dir).unwrap().len(), 2);
+        assert_eq!(load_strict(&dir).unwrap().len(), 2);
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -266,7 +271,7 @@ mod tests {
         let dir = tmp("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("bad.json"), "{oops").unwrap();
-        assert!(load_ensemble(&dir).is_err());
+        assert!(load_strict(&dir).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -276,14 +281,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("README.txt"), "notes").unwrap();
         save_ensemble(&dir, &[simulate_cpu_run(&CpuRunConfig::quartz_default())]).unwrap();
-        assert_eq!(load_ensemble(&dir).unwrap().len(), 1);
+        assert_eq!(load_strict(&dir).unwrap().len(), 1);
         std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]
     fn missing_dir_errors() {
-        assert!(load_ensemble("/nonexistent/thicket-dir").is_err());
-        assert!(load_ensemble_threads("/nonexistent/thicket-dir", 4).is_err());
+        assert!(load_strict("/nonexistent/thicket-dir").is_err());
+        assert!(load_dir("/nonexistent/thicket-dir", Some(4), Strictness::FailFast).map(|(p, _)| p).is_err());
     }
 
     #[test]
@@ -297,8 +302,8 @@ mod tests {
             })
             .collect();
         save_ensemble(&dir, &profiles).unwrap();
-        let one = load_ensemble_threads(&dir, 1).unwrap();
-        let eight = load_ensemble_threads(&dir, 8).unwrap();
+        let one = load_dir(&dir, Some(1), Strictness::FailFast).map(|(p, _)| p).unwrap();
+        let eight = load_dir(&dir, Some(8), Strictness::FailFast).map(|(p, _)| p).unwrap();
         let hashes = |ps: &[Profile]| ps.iter().map(|p| p.profile_hash()).collect::<Vec<_>>();
         assert_eq!(hashes(&one), hashes(&eight));
         assert_eq!(one.len(), 6);
@@ -312,7 +317,7 @@ mod tests {
         save_ensemble(&dir, &[simulate_cpu_run(&CpuRunConfig::quartz_default())]).unwrap();
         std::fs::write(dir.join("aa-bad.json"), "{truncated").unwrap();
         for threads in [1, 2, 8] {
-            let err = load_ensemble_threads(&dir, threads).unwrap_err();
+            let err = load_dir(&dir, Some(threads), Strictness::FailFast).map(|(p, _)| p).unwrap_err();
             assert_eq!(
                 err.path().map(|p| p.to_path_buf()),
                 Some(dir.join("aa-bad.json")),
@@ -334,7 +339,7 @@ mod tests {
             .collect();
         save_ensemble(&dir, &profiles).unwrap();
         std::fs::write(dir.join("aa-corrupt.json"), "{nope").unwrap();
-        let (loaded, report) = load_ensemble_lenient(&dir).unwrap();
+        let (loaded, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
         assert_eq!(loaded.len(), 3);
         assert_eq!(report.attempted, 4);
         assert_eq!(report.loaded, 3);
@@ -345,7 +350,7 @@ mod tests {
             crate::ingest::DiagKind::Parse { .. }
         ));
         // Strict load of the same dir fails.
-        assert!(load_ensemble(&dir).is_err());
+        assert!(load_strict(&dir).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -355,7 +360,7 @@ mod tests {
         let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
         // Two files, identical metadata → identical hash.
         save_ensemble(&dir, &[p.clone(), p]).unwrap();
-        let (loaded, report) = load_ensemble_lenient(&dir).unwrap();
+        let (loaded, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(report.diagnostics.len(), 1);
         match &report.diagnostics[0].kind {
@@ -366,7 +371,7 @@ mod tests {
             other => panic!("expected DuplicateProfile, got {other:?}"),
         }
         // Strict mode still tolerates duplicates (caller picks ids).
-        assert_eq!(load_ensemble(&dir).unwrap().len(), 2);
+        assert_eq!(load_strict(&dir).unwrap().len(), 2);
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -378,12 +383,12 @@ mod tests {
         std::fs::write(dir.join("bad1.json"), "{").unwrap();
         std::fs::write(dir.join("bad2.json"), "[").unwrap();
         // Budget of 2 tolerates both; budget of 1 aborts.
-        let ok = load_ensemble_opts(&dir, 2, Strictness::Lenient { max_errors: 2 });
+        let ok = load_dir(&dir, Some(2), Strictness::Lenient { max_errors: 2 });
         assert_eq!(ok.unwrap().1.dropped(), 2);
-        let err = load_ensemble_opts(&dir, 2, Strictness::Lenient { max_errors: 1 });
+        let err = load_dir(&dir, Some(2), Strictness::Lenient { max_errors: 1 });
         assert!(err.unwrap_err().to_string().contains("max_errors"));
         // FailFast through the opts entry point behaves like load_ensemble.
-        assert!(load_ensemble_opts(&dir, 2, Strictness::FailFast).is_err());
+        assert!(load_dir(&dir, Some(2), Strictness::FailFast).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -438,7 +443,7 @@ mod tests {
         )))
         .unwrap();
         assert!(save_ensemble(&dir, &profiles).is_err());
-        assert_eq!(load_ensemble(&dir).unwrap().len(), 3);
+        assert_eq!(load_strict(&dir).unwrap().len(), 3);
 
         // Rename failure mid-way (destination replaced by a directory
         // out from under us): the other destinations keep a valid copy
@@ -465,7 +470,7 @@ mod tests {
         let second = save_ensemble(&dir, &[p]).unwrap();
         assert_eq!(first, second);
         // Still exactly one profile (and no leftover temp files).
-        assert_eq!(load_ensemble(&dir).unwrap().len(), 1);
+        assert_eq!(load_strict(&dir).unwrap().len(), 1);
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())

@@ -17,7 +17,7 @@
 //! exercising the lenient-ingest paths are reproducible. Each
 //! [`FaultKind`] maps onto the typed diagnostic it must surface as
 //! ([`FaultKind::matches`]) — the integration suites drive every
-//! ensemble kind through [`crate::load_ensemble_lenient`] and every
+//! ensemble kind through [`crate::ensemble::load_dir`] and every
 //! store kind through [`crate::Store::fsck`] and assert the mapping.
 
 use crate::ingest::DiagKind;
@@ -474,7 +474,8 @@ fn member_mut<'a>(doc: &'a mut Json, key: &str) -> Result<&'a mut Json, String> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ensemble::{load_ensemble_lenient, save_ensemble};
+    use crate::ensemble::{load_dir, save_ensemble};
+    use crate::ingest::Strictness;
     use crate::rajaperf::{simulate_cpu_run, CpuRunConfig};
 
     fn fresh_dir(name: &str, n: u64) -> PathBuf {
@@ -518,7 +519,7 @@ mod tests {
         for (i, kind) in FaultKind::ENSEMBLE.iter().enumerate() {
             let dir = fresh_dir(&format!("kind-{i}"), 6);
             let path = inject(&dir, *kind, 7).unwrap();
-            let (profiles, report) = load_ensemble_lenient(&dir).unwrap();
+            let (profiles, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
             assert_eq!(
                 report.diagnostics.len(),
                 1,
@@ -626,7 +627,7 @@ mod tests {
         let dir = fresh_dir("trunc", 6);
         let path = inject(&dir, FaultKind::Truncate, 3).unwrap();
         let cut_len = std::fs::read(&path).unwrap().len();
-        let (_, report) = load_ensemble_lenient(&dir).unwrap();
+        let (_, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
         match &report.diagnostics[0].kind {
             DiagKind::Parse { offset, .. } => {
                 assert!(*offset <= cut_len, "offset {offset} beyond cut {cut_len}")

@@ -32,6 +32,7 @@ pub mod ingest;
 pub mod json;
 pub mod machine;
 pub mod marbl;
+pub mod metapred;
 pub mod noise;
 pub mod parallel;
 pub mod profile;
@@ -41,8 +42,9 @@ pub mod topdown;
 
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
 pub use collector::Collector;
+#[allow(deprecated)]
 pub use ensemble::{
-    load_ensemble, load_ensemble_lenient, load_ensemble_opts, load_ensemble_threads,
+    load_dir, load_ensemble, load_ensemble_lenient, load_ensemble_opts, load_ensemble_threads,
     save_ensemble,
 };
 pub use faults::{inject, inject_all, FaultKind};
@@ -55,10 +57,11 @@ pub use parallel::{
 pub use machine::{Compiler, CpuSpec, GpuSpec, NetworkSpec};
 pub use marbl::{marbl_ensemble, simulate_marbl_run, MarblCluster, MarblConfig};
 pub use noise::Noise;
+pub use metapred::{CmpOp, MetaPred};
 pub use profile::{Profile, ProfileError};
 pub use store::{
-    crc32c, FsckReport, Manifest, RecoverReport, Store, StoreEntry, StoreError, StoreOptions,
-    StoreReader, WriteReport,
+    crc32c, CompactReport, FsckReport, Manifest, ManifestVersion, MetaBlock, RecoverReport,
+    Store, StoreEntry, StoreError, StoreOptions, StoreReader, WriteReport,
 };
 pub use rajaperf::{
     simulate_cpu_run, simulate_gpu_run, suite, CpuRunConfig, GpuRunConfig, KernelSpec, Variant,

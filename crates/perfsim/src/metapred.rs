@@ -1,0 +1,333 @@
+//! Typed metadata predicates: the pushdown language shared by the
+//! sharded store, the ensemble loaders, and `Thicket`'s loader builder.
+//!
+//! A [`MetaPred`] names the metadata keys it reads, so an evaluator can
+//! fetch *only* those keys — the store's columnar metadata index
+//! ([`crate::store`]) decodes exactly the named key blocks and never
+//! materializes the rest. Closure predicates (`Fn(&StoreEntry) -> bool`)
+//! cannot make that promise, which is why the closure-based selection
+//! entry points are deprecated in favour of this AST.
+//!
+//! Evaluation is total and deterministic: a comparison against a key the
+//! profile does not carry is `false` (so [`MetaPred::Not`] of it is
+//! `true`), and value comparisons use [`Value`]'s total order (NaN is
+//! comparable, `Int`/`Float` compare numerically across types).
+
+use crate::profile::Profile;
+use std::collections::BTreeSet;
+use std::fmt;
+use thicket_dataframe::Value;
+
+/// An ordering comparison inside [`MetaPred::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A typed predicate over profile metadata.
+///
+/// Built with the constructor helpers ([`MetaPred::eq`],
+/// [`MetaPred::lt`], [`MetaPred::is_in`], …) and combined with
+/// [`MetaPred::and`]/[`MetaPred::or`]/[`MetaPred::not`]:
+///
+/// ```
+/// use thicket_perfsim::MetaPred;
+///
+/// // cluster == "quartz" && problem_size >= 1<<20
+/// let pred = MetaPred::eq("cluster", "quartz")
+///     .and(MetaPred::ge("problem_size", 1i64 << 20));
+/// assert_eq!(
+///     pred.keys().into_iter().collect::<Vec<_>>(),
+///     ["cluster", "problem_size"]
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaPred {
+    /// Matches every profile (the no-filter neutral element).
+    True,
+    /// Key present and equal to the value (`Int`/`Float` compare
+    /// numerically).
+    Eq(String, Value),
+    /// Key present and ordered against the value. Only like kinds are
+    /// comparable (numeric with numeric, string with string, bool with
+    /// bool); a cross-kind comparison is `false`.
+    Cmp(String, CmpOp, Value),
+    /// Key present and equal to any listed value.
+    In(String, Vec<Value>),
+    /// Every branch matches (empty ⇒ `true`).
+    And(Vec<MetaPred>),
+    /// Some branch matches (empty ⇒ `false`).
+    Or(Vec<MetaPred>),
+    /// The inner predicate does not match.
+    Not(Box<MetaPred>),
+}
+
+impl MetaPred {
+    /// `key == value`.
+    pub fn eq(key: impl Into<String>, value: impl Into<Value>) -> MetaPred {
+        MetaPred::Eq(key.into(), value.into())
+    }
+
+    /// `key < value`.
+    pub fn lt(key: impl Into<String>, value: impl Into<Value>) -> MetaPred {
+        MetaPred::Cmp(key.into(), CmpOp::Lt, value.into())
+    }
+
+    /// `key <= value`.
+    pub fn le(key: impl Into<String>, value: impl Into<Value>) -> MetaPred {
+        MetaPred::Cmp(key.into(), CmpOp::Le, value.into())
+    }
+
+    /// `key > value`.
+    pub fn gt(key: impl Into<String>, value: impl Into<Value>) -> MetaPred {
+        MetaPred::Cmp(key.into(), CmpOp::Gt, value.into())
+    }
+
+    /// `key >= value`.
+    pub fn ge(key: impl Into<String>, value: impl Into<Value>) -> MetaPred {
+        MetaPred::Cmp(key.into(), CmpOp::Ge, value.into())
+    }
+
+    /// `key ∈ values`.
+    pub fn is_in(
+        key: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> MetaPred {
+        MetaPred::In(key.into(), values.into_iter().map(Into::into).collect())
+    }
+
+    /// Conjunction (flattens nested [`MetaPred::And`]s).
+    pub fn and(self, other: MetaPred) -> MetaPred {
+        match (self, other) {
+            (MetaPred::True, b) => b,
+            (a, MetaPred::True) => a,
+            (MetaPred::And(mut v), MetaPred::And(w)) => {
+                v.extend(w);
+                MetaPred::And(v)
+            }
+            (MetaPred::And(mut v), b) => {
+                v.push(b);
+                MetaPred::And(v)
+            }
+            (a, b) => MetaPred::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction (flattens nested [`MetaPred::Or`]s).
+    pub fn or(self, other: MetaPred) -> MetaPred {
+        match (self, other) {
+            (MetaPred::Or(mut v), MetaPred::Or(w)) => {
+                v.extend(w);
+                MetaPred::Or(v)
+            }
+            (MetaPred::Or(mut v), b) => {
+                v.push(b);
+                MetaPred::Or(v)
+            }
+            (a, b) => MetaPred::Or(vec![a, b]),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> MetaPred {
+        MetaPred::Not(Box::new(self))
+    }
+
+    /// The metadata keys this predicate reads, deduplicated and sorted —
+    /// the exact set of columnar blocks a pushdown evaluator must
+    /// decode.
+    pub fn keys(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_keys(&mut out);
+        out
+    }
+
+    fn collect_keys<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            MetaPred::True => {}
+            MetaPred::Eq(k, _) | MetaPred::Cmp(k, _, _) | MetaPred::In(k, _) => {
+                out.insert(k.as_str());
+            }
+            MetaPred::And(v) | MetaPred::Or(v) => {
+                for p in v {
+                    p.collect_keys(out);
+                }
+            }
+            MetaPred::Not(p) => p.collect_keys(out),
+        }
+    }
+
+    /// Evaluate against any key → value lookup. A `None` lookup (key
+    /// absent) makes `Eq`/`Cmp`/`In` `false`.
+    pub fn eval_with<'a>(&self, lookup: &mut impl FnMut(&str) -> Option<&'a Value>) -> bool {
+        match self {
+            MetaPred::True => true,
+            MetaPred::Eq(k, want) => lookup(k).is_some_and(|v| v == want),
+            MetaPred::Cmp(k, op, want) => lookup(k).is_some_and(|v| cmp_matches(v, *op, want)),
+            MetaPred::In(k, set) => lookup(k).is_some_and(|v| set.iter().any(|w| v == w)),
+            MetaPred::And(branches) => branches.iter().all(|p| p.eval_with(lookup)),
+            MetaPred::Or(branches) => branches.iter().any(|p| p.eval_with(lookup)),
+            MetaPred::Not(p) => !p.eval_with(lookup),
+        }
+    }
+
+    /// Evaluate against an in-memory profile's metadata.
+    pub fn matches_profile(&self, profile: &Profile) -> bool {
+        self.eval_with(&mut |key| profile.metadata(key))
+    }
+}
+
+/// Comparable kinds only: numeric with numeric, string with string,
+/// bool with bool. Everything else (including `Null`) is incomparable
+/// and yields `false`.
+fn cmp_matches(have: &Value, op: CmpOp, want: &Value) -> bool {
+    let comparable = matches!(
+        (have, want),
+        (
+            Value::Int(_) | Value::Float(_),
+            Value::Int(_) | Value::Float(_)
+        ) | (Value::Str(_), Value::Str(_))
+            | (Value::Bool(_), Value::Bool(_))
+    );
+    if !comparable {
+        return false;
+    }
+    let ord = have.cmp(want);
+    match op {
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+impl fmt::Display for MetaPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaPred::True => f.write_str("true"),
+            MetaPred::Eq(k, v) => write!(f, "{k} == {v}"),
+            MetaPred::Cmp(k, op, v) => write!(f, "{k} {op} {v}"),
+            MetaPred::In(k, vs) => {
+                write!(f, "{k} in [")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            MetaPred::And(v) => join(f, v, " && "),
+            MetaPred::Or(v) => join(f, v, " || "),
+            MetaPred::Not(p) => write!(f, "!({p})"),
+        }
+    }
+}
+
+fn join(f: &mut fmt::Formatter<'_>, preds: &[MetaPred], sep: &str) -> fmt::Result {
+    f.write_str("(")?;
+    for (i, p) in preds.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        write!(f, "{p}")?;
+    }
+    f.write_str(")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup<'a>(pairs: &'a [(&'a str, Value)]) -> impl FnMut(&str) -> Option<&'a Value> + 'a {
+        move |k| pairs.iter().find(|(key, _)| *key == k).map(|(_, v)| v)
+    }
+
+    #[test]
+    fn missing_key_is_false_and_not_flips_it() {
+        let meta = [("cluster".to_string(), Value::from("quartz"))];
+        let pairs: Vec<(&str, Value)> = meta.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let eq = MetaPred::eq("nope", 1i64);
+        assert!(!eq.eval_with(&mut lookup(&pairs)));
+        assert!(eq.not().eval_with(&mut lookup(&pairs)));
+        assert!(!MetaPred::lt("nope", 1i64).eval_with(&mut lookup(&pairs)));
+    }
+
+    #[test]
+    fn numeric_promotion_and_kind_guard() {
+        let pairs = [("n", Value::Int(4)), ("s", Value::from("abc"))];
+        assert!(MetaPred::eq("n", 4.0).eval_with(&mut lookup(&pairs)));
+        assert!(MetaPred::lt("n", 4.5).eval_with(&mut lookup(&pairs)));
+        // Cross-kind comparison is false, not rank-ordered.
+        assert!(!MetaPred::gt("s", 0i64).eval_with(&mut lookup(&pairs)));
+        assert!(!MetaPred::lt("s", 0i64).eval_with(&mut lookup(&pairs)));
+        assert!(MetaPred::ge("s", "abc").eval_with(&mut lookup(&pairs)));
+    }
+
+    #[test]
+    fn combinators_flatten_and_short_circuit_truth_tables() {
+        let pairs = [("a", Value::Int(1)), ("b", Value::Int(2))];
+        let p = MetaPred::eq("a", 1i64)
+            .and(MetaPred::eq("b", 2i64))
+            .and(MetaPred::eq("a", 1i64));
+        assert!(matches!(&p, MetaPred::And(v) if v.len() == 3));
+        assert!(p.eval_with(&mut lookup(&pairs)));
+        let q = MetaPred::eq("a", 9i64).or(MetaPred::is_in("b", [1i64, 2]));
+        assert!(q.eval_with(&mut lookup(&pairs)));
+        assert!(MetaPred::And(vec![]).eval_with(&mut lookup(&pairs)));
+        assert!(!MetaPred::Or(vec![]).eval_with(&mut lookup(&pairs)));
+        // True is the and-neutral element.
+        assert_eq!(MetaPred::True.and(MetaPred::eq("a", 1i64)), MetaPred::eq("a", 1i64));
+    }
+
+    #[test]
+    fn keys_are_deduplicated_and_sorted() {
+        let p = MetaPred::eq("b", 1i64)
+            .and(MetaPred::lt("a", 2i64))
+            .and(MetaPred::is_in("b", [3i64]).not());
+        assert_eq!(p.keys().into_iter().collect::<Vec<_>>(), ["a", "b"]);
+        assert!(MetaPred::True.keys().is_empty());
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        let p = MetaPred::eq("cluster", "quartz")
+            .and(MetaPred::ge("size", 8i64).or(MetaPred::lt("size", 2i64)));
+        assert_eq!(
+            p.to_string(),
+            "(cluster == quartz && (size >= 8 || size < 2))"
+        );
+    }
+
+    #[test]
+    fn matches_profile_reads_profile_metadata() {
+        use thicket_graph::{Frame, Graph};
+        let mut g = Graph::new();
+        g.add_root(Frame::named("main"));
+        let mut p = Profile::new(g);
+        p.set_metadata("cluster", "quartz");
+        p.set_metadata("seed", 7i64);
+        assert!(MetaPred::eq("cluster", "quartz").matches_profile(&p));
+        assert!(MetaPred::le("seed", 7i64).matches_profile(&p));
+        assert!(!MetaPred::eq("seed", 8i64).matches_profile(&p));
+    }
+}

@@ -4,10 +4,16 @@
 //! Profiles are packed into fixed-size **shards**, each record framed as
 //! `[u32 len][u32 crc32c(payload)][payload]`, and committed under a
 //! generation-numbered **manifest** (`MANIFEST-<gen>`, written via
-//! temp-file + rename). The manifest carries per-shard digests plus a
-//! per-profile metadata index (profile hash, byte range, and every
-//! scalar metadata field), so [`StoreReader::load_where`] can skip whole
-//! shards a metadata predicate excludes without even opening them.
+//! temp-file + rename). The v2 manifest carries per-shard digests, the
+//! per-profile byte ranges, and a **columnar metadata index** — one
+//! [`MetaBlock`] per key (presence mask + lazily-parsed values) — so
+//! [`StoreReader::select`] over a typed [`MetaPred`] decodes only the
+//! keys the predicate names and [`StoreReader::load_matching`] skips
+//! whole shards the predicate excludes without even opening them.
+//! Readers auto-detect v1 (row-metadata) manifests; [`Store::append`]
+//! commits new profiles as a new generation that reuses existing
+//! shards, and [`Store::compact`] re-packs fragmented or salvaged
+//! shards (doubling as the v1 → v2 migrator).
 //!
 //! ## Commit protocol
 //!
@@ -38,21 +44,39 @@
 
 use crate::ingest::{DiagKind, Diagnostic, IngestReport};
 use crate::json::Json;
+use crate::metapred::MetaPred;
 use crate::parallel::{parallel_map_catch, JobFailure};
 use crate::profile::{json_to_value, value_to_json, Profile, ProfileError};
-use std::cell::Cell;
-use std::collections::HashSet;
+use std::cell::{Cell, OnceCell};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 use thicket_dataframe::Value;
 
 /// Magic prefix of every shard file.
 pub const SHARD_MAGIC: &[u8; 4] = b"TKS1";
 /// Magic prefix of every manifest file (followed by 8 hex CRC chars).
 pub const MANIFEST_MAGIC: &[u8; 4] = b"TKM1";
-/// Manifest format tag carried in the JSON body.
+/// Format tag of a v1 manifest body (per-profile metadata rows).
 pub const MANIFEST_FORMAT: &str = "thicket-store-1";
+/// Format tag of a v2 manifest body (columnar metadata index).
+pub const MANIFEST_FORMAT_V2: &str = "thicket-store-2";
+
+/// Which on-disk manifest format a writer emits. Readers auto-detect
+/// the version from the body's format tag; [`Store::compact`] migrates
+/// a v1 store to v2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ManifestVersion {
+    /// Row-oriented metadata: every [`StoreEntry`] carries its full
+    /// `Vec<(String, Value)>`.
+    V1,
+    /// Columnar metadata index: one [`MetaBlock`] per key (presence
+    /// mask + lazily-parsed value block), entries carry no metadata.
+    #[default]
+    V2,
+}
 
 // ---------------------------------------------------------------------
 // CRC32C (Castagnoli), table-driven software implementation.
@@ -158,6 +182,9 @@ pub struct StoreOptions {
     /// of points a write passes is reported in
     /// [`WriteReport::crash_points`].
     pub crash_after: Option<usize>,
+    /// Manifest format to write (v2 by default; v1 is kept writable so
+    /// migration can be exercised end to end).
+    pub format: ManifestVersion,
 }
 
 impl Default for StoreOptions {
@@ -166,22 +193,43 @@ impl Default for StoreOptions {
             shard_bytes: 256 * 1024,
             keep_generations: 1,
             crash_after: None,
+            format: ManifestVersion::V2,
         }
     }
 }
 
-/// What a successful [`Store::save`] did.
+/// What a successful [`Store::save`] or [`Store::append`] did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteReport {
     /// The generation this write committed.
     pub generation: u64,
     /// Number of shard files written.
     pub shards: usize,
-    /// Number of profiles stored.
+    /// Number of profiles the committed generation holds in total.
     pub profiles: usize,
+    /// How many of this call's input profiles were newly added (for
+    /// [`Store::save`] that is all of them; [`Store::append`] skips
+    /// profiles whose hash the store already holds).
+    pub appended: usize,
     /// Number of enumerated crash points the write passed through (the
     /// valid `crash_after` range for this input is `0..crash_points`).
     pub crash_points: usize,
+}
+
+/// What a successful [`Store::compact`] did.
+#[derive(Debug, Clone)]
+pub struct CompactReport {
+    /// The generation the compaction committed.
+    pub generation: u64,
+    /// Number of shard files the new generation uses.
+    pub shards: usize,
+    /// Number of profiles carried into the new generation.
+    pub profiles: usize,
+    /// Number of enumerated crash points the compaction passed through.
+    pub crash_points: usize,
+    /// One typed diagnostic per record that could not be carried over
+    /// (corrupt payloads are dropped, like [`Store::recover`] salvage).
+    pub report: IngestReport,
 }
 
 /// Integrity status of one generation, from [`Store::fsck`].
@@ -312,15 +360,181 @@ pub struct StoreEntry {
     pub len: u32,
     /// CRC32C of the payload.
     pub crc: u32,
-    /// Scalar metadata fields, in profile insertion order.
+    /// Scalar metadata fields, **sorted by key** (since v2; v1
+    /// manifests are re-sorted at parse time) so lookups are a binary
+    /// search instead of a per-call linear scan. Empty in a v2
+    /// manifest's raw entries — [`StoreReader::entries`] materializes
+    /// it from the columnar index on demand.
     pub meta: Vec<(String, Value)>,
 }
 
 impl StoreEntry {
-    /// Metadata lookup by key.
+    /// Metadata lookup by key (binary search; `meta` is key-sorted).
     pub fn meta(&self, key: &str) -> Option<&Value> {
-        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.meta
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.meta[i].1)
     }
+}
+
+/// One key's column in the v2 manifest's metadata index: a presence
+/// mask plus the key's values for the profiles that carry it, held as
+/// unparsed JSON text until first use. Selection against a predicate
+/// decodes only the blocks whose keys the predicate names.
+#[derive(Debug, Clone)]
+pub struct MetaBlock {
+    key: String,
+    /// `present[i]` ⇔ profile `i` carries this key.
+    present: Vec<bool>,
+    /// Compact JSON array of the present profiles' values, in profile
+    /// order — *not* parsed until [`MetaBlock::values`] is called.
+    raw: String,
+    /// Lazily decoded values, full profile length with `Value::Null`
+    /// in absent slots (the presence mask stays authoritative: an
+    /// absent key and a stored `Null` are distinguishable).
+    decoded: OnceLock<Result<Vec<Value>, String>>,
+}
+
+impl PartialEq for MetaBlock {
+    fn eq(&self, other: &Self) -> bool {
+        // The decode cache is derived state, not identity.
+        self.key == other.key && self.present == other.present && self.raw == other.raw
+    }
+}
+
+impl MetaBlock {
+    /// The metadata key this block indexes.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Whether profile `i` carries this key.
+    pub fn present_at(&self, i: usize) -> bool {
+        self.present.get(i).copied().unwrap_or(false)
+    }
+
+    /// True once this block's value text has been parsed — selection
+    /// must leave blocks for keys a predicate never names undecoded.
+    pub fn is_decoded(&self) -> bool {
+        self.decoded.get().is_some()
+    }
+
+    /// Decode (once) and return the full-length value column;
+    /// `Value::Null` fills absent slots.
+    pub fn values(&self) -> Result<&[Value], String> {
+        self.decoded
+            .get_or_init(|| {
+                let doc = Json::parse(&self.raw)
+                    .map_err(|e| format!("meta column {}: {e}", self.key))?;
+                let arr = doc
+                    .as_arr()
+                    .ok_or_else(|| format!("meta column {}: not an array", self.key))?;
+                let n_present = self.present.iter().filter(|&&p| p).count();
+                if arr.len() != n_present {
+                    return Err(format!(
+                        "meta column {}: {} values for {} present rows",
+                        self.key,
+                        arr.len(),
+                        n_present
+                    ));
+                }
+                let mut full = vec![Value::Null; self.present.len()];
+                let mut vals = arr.iter();
+                for (slot, &p) in full.iter_mut().zip(&self.present) {
+                    if p {
+                        *slot = json_to_value(vals.next().expect("counted above"));
+                    }
+                }
+                Ok(full)
+            })
+            .as_deref()
+            .map_err(|e| e.clone())
+    }
+}
+
+/// Build the sorted columnar index from per-profile key-sorted rows.
+/// The decode cache is pre-filled (the writer just had the values).
+fn build_columns(rows: &[Vec<(String, Value)>]) -> Vec<MetaBlock> {
+    let mut keys: BTreeSet<&str> = BTreeSet::new();
+    for row in rows {
+        for (k, _) in row {
+            keys.insert(k);
+        }
+    }
+    keys.into_iter()
+        .map(|key| {
+            let mut present = vec![false; rows.len()];
+            let mut vals = Vec::new();
+            let mut full = vec![Value::Null; rows.len()];
+            for (i, row) in rows.iter().enumerate() {
+                if let Ok(pos) = row.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+                    present[i] = true;
+                    vals.push(value_to_json(&row[pos].1));
+                    full[i] = row[pos].1.clone();
+                }
+            }
+            let decoded = OnceLock::new();
+            let _ = decoded.set(Ok(full));
+            MetaBlock {
+                key: key.to_string(),
+                present,
+                raw: Json::Arr(vals).to_string_compact(),
+                decoded,
+            }
+        })
+        .collect()
+}
+
+/// A profile's scalar metadata as a key-sorted row (the order
+/// [`StoreEntry::meta`]'s binary search requires).
+fn sorted_meta(p: &Profile) -> Vec<(String, Value)> {
+    let mut meta: Vec<(String, Value)> = p
+        .metadata_iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    meta.sort_by(|a, b| a.0.cmp(&b.0));
+    meta
+}
+
+/// Presence mask → lowercase hex, one byte per 8 profiles, LSB-first
+/// within each byte.
+fn mask_to_hex(present: &[bool]) -> String {
+    let mut out = String::with_capacity(present.len().div_ceil(8) * 2);
+    for chunk in present.chunks(8) {
+        let mut byte = 0u8;
+        for (bit, &p) in chunk.iter().enumerate() {
+            if p {
+                byte |= 1 << bit;
+            }
+        }
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Hex mask → presence vector of exactly `n` profiles. Rejects wrong
+/// lengths and stray set bits past `n`.
+fn mask_from_hex(hex: &str, n: usize) -> Result<Vec<bool>, String> {
+    let expect = n.div_ceil(8) * 2;
+    if hex.len() != expect {
+        return Err(format!("mask is {} hex chars, expected {expect}", hex.len()));
+    }
+    let mut present = Vec::with_capacity(n);
+    for (bi, pair) in hex.as_bytes().chunks(2).enumerate() {
+        let s = std::str::from_utf8(pair).map_err(|_| "mask not UTF-8".to_string())?;
+        let byte = u8::from_str_radix(s, 16).map_err(|_| "mask not hex".to_string())?;
+        for bit in 0..8 {
+            let i = bi * 8 + bit;
+            let set = byte & (1 << bit) != 0;
+            if i < n {
+                present.push(set);
+            } else if set {
+                return Err("mask has bits past the profile count".into());
+            }
+        }
+    }
+    Ok(present)
 }
 
 /// A parsed, self-CRC-verified manifest.
@@ -328,13 +542,72 @@ impl StoreEntry {
 pub struct Manifest {
     /// Generation number.
     pub generation: u64,
+    /// Which on-disk format the body used (auto-detected at parse).
+    pub version: ManifestVersion,
     /// Shard descriptors, index-addressed by [`StoreEntry::shard`].
     pub shards: Vec<ShardInfo>,
-    /// Per-profile index, in storage order.
+    /// Per-profile index, in storage order. Under
+    /// [`ManifestVersion::V2`] the entries carry no metadata (it lives
+    /// in [`Manifest::columns`]).
     pub profiles: Vec<StoreEntry>,
+    /// v2 columnar metadata index, one block per key, key-sorted.
+    /// Empty for v1.
+    pub columns: Vec<MetaBlock>,
 }
 
 impl Manifest {
+    /// The column indexing `key`, if any profile carries it (v2 only).
+    pub fn column(&self, key: &str) -> Option<&MetaBlock> {
+        self.columns
+            .binary_search_by(|b| b.key.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.columns[i])
+    }
+
+    /// Every profile's key-sorted metadata row: borrowed from the
+    /// entries (v1) or decoded out of every column (v2). Strict — a
+    /// column that fails to decode fails the whole call.
+    fn meta_rows(&self) -> Result<Vec<Vec<(String, Value)>>, String> {
+        match self.version {
+            ManifestVersion::V1 => Ok(self.profiles.iter().map(|e| e.meta.clone()).collect()),
+            ManifestVersion::V2 => {
+                let mut rows = vec![Vec::new(); self.profiles.len()];
+                for b in &self.columns {
+                    let vals = b.values()?;
+                    for (i, row) in rows.iter_mut().enumerate() {
+                        if b.present_at(i) {
+                            row.push((b.key.clone(), vals[i].clone()));
+                        }
+                    }
+                }
+                // Columns are key-sorted, so each row came out sorted.
+                Ok(rows)
+            }
+        }
+    }
+
+    /// [`Manifest::meta_rows`], but undecodable columns are skipped
+    /// instead of failing (for best-effort entry materialization; fsck
+    /// reports the damage).
+    fn meta_rows_lossy(&self) -> Vec<Vec<(String, Value)>> {
+        let mut rows = vec![Vec::new(); self.profiles.len()];
+        match self.version {
+            ManifestVersion::V1 => return self.profiles.iter().map(|e| e.meta.clone()).collect(),
+            ManifestVersion::V2 => {
+                for b in &self.columns {
+                    if let Ok(vals) = b.values() {
+                        for (i, row) in rows.iter_mut().enumerate() {
+                            if b.present_at(i) {
+                                row.push((b.key.clone(), vals[i].clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        rows
+    }
+
     fn to_file_bytes(&self) -> Vec<u8> {
         let shards = Json::Arr(
             self.shards
@@ -353,13 +626,7 @@ impl Manifest {
             self.profiles
                 .iter()
                 .map(|p| {
-                    let meta = Json::Obj(
-                        p.meta
-                            .iter()
-                            .map(|(k, v)| (k.clone(), value_to_json(v)))
-                            .collect(),
-                    );
-                    Json::Obj(vec![
+                    let mut fields = vec![
                         // Full-range i64: goes through a decimal string
                         // so it survives the JSON f64 round trip.
                         ("hash".into(), Json::Str(p.hash.to_string())),
@@ -367,18 +634,59 @@ impl Manifest {
                         ("offset".into(), Json::Num(p.offset as f64)),
                         ("len".into(), Json::Num(p.len as f64)),
                         ("crc".into(), Json::Num(p.crc as f64)),
-                        ("meta".into(), meta),
-                    ])
+                    ];
+                    if self.version == ManifestVersion::V1 {
+                        fields.push((
+                            "meta".into(),
+                            Json::Obj(
+                                p.meta
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), value_to_json(v)))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    Json::Obj(fields)
                 })
                 .collect(),
         );
-        let body = Json::Obj(vec![
-            ("format".into(), Json::Str(MANIFEST_FORMAT.into())),
+        let mut body_fields = vec![
+            (
+                "format".into(),
+                Json::Str(
+                    match self.version {
+                        ManifestVersion::V1 => MANIFEST_FORMAT,
+                        ManifestVersion::V2 => MANIFEST_FORMAT_V2,
+                    }
+                    .into(),
+                ),
+            ),
             ("generation".into(), Json::Num(self.generation as f64)),
             ("shards".into(), shards),
             ("profiles".into(), profiles),
-        ])
-        .to_string_compact();
+        ];
+        if self.version == ManifestVersion::V2 {
+            // Each column's values ship as a JSON *string* holding the
+            // compact array text: a reader that never references the
+            // key scans past one string token instead of parsing every
+            // value.
+            body_fields.push((
+                "columns".into(),
+                Json::Arr(
+                    self.columns
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("key".into(), Json::Str(b.key.clone())),
+                                ("mask".into(), Json::Str(mask_to_hex(&b.present))),
+                                ("values".into(), Json::Str(b.raw.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        let body = Json::Obj(body_fields).to_string_compact();
         let mut out = Vec::with_capacity(body.len() + 13);
         out.extend_from_slice(MANIFEST_MAGIC);
         out.extend_from_slice(format!("{:08x}", crc32c(body.as_bytes())).as_bytes());
@@ -387,7 +695,8 @@ impl Manifest {
         out
     }
 
-    /// Parse and self-verify a manifest file's bytes.
+    /// Parse and self-verify a manifest file's bytes, auto-detecting
+    /// the format version.
     fn from_file_bytes(bytes: &[u8]) -> Result<Manifest, String> {
         if bytes.len() < 13 || &bytes[..4] != MANIFEST_MAGIC {
             return Err("bad manifest magic".into());
@@ -404,9 +713,11 @@ impl Manifest {
         }
         let text = std::str::from_utf8(body).map_err(|_| "manifest body not UTF-8")?;
         let doc = Json::parse(text).map_err(|e| format!("manifest JSON: {e}"))?;
-        if doc.get("format").and_then(Json::as_str) != Some(MANIFEST_FORMAT) {
-            return Err("unsupported manifest format".into());
-        }
+        let version = match doc.get("format").and_then(Json::as_str) {
+            Some(MANIFEST_FORMAT) => ManifestVersion::V1,
+            Some(MANIFEST_FORMAT_V2) => ManifestVersion::V2,
+            _ => return Err("unsupported manifest format".into()),
+        };
         let generation = doc
             .get("generation")
             .and_then(Json::as_i64)
@@ -433,12 +744,18 @@ impl Manifest {
             .ok_or("missing profiles")?
             .iter()
             .map(|p| {
-                let meta = p
-                    .get("meta")?
-                    .as_obj()?
-                    .iter()
-                    .map(|(k, v)| (k.clone(), json_to_value(v)))
-                    .collect();
+                let mut meta: Vec<(String, Value)> = match version {
+                    ManifestVersion::V2 => Vec::new(),
+                    ManifestVersion::V1 => p
+                        .get("meta")?
+                        .as_obj()?
+                        .iter()
+                        .map(|(k, v)| (k.clone(), json_to_value(v)))
+                        .collect(),
+                };
+                // v1 rows were written in profile insertion order;
+                // StoreEntry::meta binary-searches, so sort on entry.
+                meta.sort_by(|a, b| a.0.cmp(&b.0));
                 Some(StoreEntry {
                     hash: p.get("hash")?.as_str()?.parse::<i64>().ok()?,
                     shard: p.get("shard")?.as_i64().filter(|&v| v >= 0)? as usize,
@@ -455,10 +772,31 @@ impl Manifest {
                 return Err(format!("profile references shard {} of {}", p.shard, shards.len()));
             }
         }
+        let mut columns = match version {
+            ManifestVersion::V1 => Vec::new(),
+            ManifestVersion::V2 => doc
+                .get("columns")
+                .and_then(Json::as_arr)
+                .ok_or("missing columns")?
+                .iter()
+                .map(|c| {
+                    Some(MetaBlock {
+                        key: c.get("key")?.as_str()?.to_string(),
+                        present: mask_from_hex(c.get("mask")?.as_str()?, profiles.len()).ok()?,
+                        raw: c.get("values")?.as_str()?.to_string(),
+                        decoded: OnceLock::new(),
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed meta column")?,
+        };
+        columns.sort_by(|a, b| a.key.cmp(&b.key));
         Ok(Manifest {
             generation,
+            version,
             shards,
             profiles,
+            columns,
         })
     }
 }
@@ -536,6 +874,147 @@ fn sync_file(path: &Path) -> io::Result<()> {
     std::fs::OpenOptions::new().read(true).open(path)?.sync_all()
 }
 
+/// Where one payload landed: shard index *within this write's packs*,
+/// plus frame coordinates.
+#[derive(Debug, Clone, Copy, Default)]
+struct Placement {
+    shard: usize,
+    offset: u64,
+    len: u32,
+    crc: u32,
+}
+
+/// Greedy packing: a shard closes once it carries ≥ `shard_bytes` of
+/// payload (every shard holds ≥ 1 record). Returns payload indices per
+/// shard.
+fn pack_shards(payloads: &[Vec<u8>], shard_bytes: usize) -> Vec<Vec<usize>> {
+    let mut shards: Vec<Vec<usize>> = Vec::new();
+    let mut open: Vec<usize> = Vec::new();
+    let mut open_bytes = 0usize;
+    for (i, pl) in payloads.iter().enumerate() {
+        open.push(i);
+        open_bytes += pl.len();
+        if open_bytes >= shard_bytes {
+            shards.push(std::mem::take(&mut open));
+            open_bytes = 0;
+        }
+    }
+    if !open.is_empty() {
+        shards.push(open);
+    }
+    shards
+}
+
+/// Write the packed shard files under generation `gen` (final names —
+/// invisible until a manifest references them). Two crash points per
+/// shard: mid-write (a torn file) and after the full write.
+fn write_shards(
+    dir: &Path,
+    gen: u64,
+    payloads: &[Vec<u8>],
+    packs: &[Vec<usize>],
+    clock: &mut CrashClock,
+) -> Result<(Vec<ShardInfo>, Vec<Placement>), StoreError> {
+    let mut infos = Vec::with_capacity(packs.len());
+    let mut placements = vec![Placement::default(); payloads.len()];
+    for (si, members) in packs.iter().enumerate() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SHARD_MAGIC);
+        for &pi in members {
+            let pl = &payloads[pi];
+            let crc = crc32c(pl);
+            placements[pi] = Placement {
+                shard: si,
+                offset: (bytes.len() + 8) as u64,
+                len: pl.len() as u32,
+                crc,
+            };
+            bytes.extend_from_slice(&(pl.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc.to_le_bytes());
+            bytes.extend_from_slice(pl);
+        }
+        let path = dir.join(shard_name(gen, si));
+        // Model a crash mid-write: only a prefix reached the disk.
+        std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+        clock.tick("mid-shard-write")?;
+        std::fs::write(&path, &bytes)?;
+        sync_file(&path)?;
+        clock.tick("shard-written")?;
+        infos.push(ShardInfo {
+            file: shard_name(gen, si),
+            bytes: bytes.len() as u64,
+            crc: crc32c(&bytes),
+            records: members.len(),
+        });
+    }
+    Ok((infos, placements))
+}
+
+/// Manifest commit: dot-temp, sync, rename (the atomic commit point).
+fn commit_manifest(dir: &Path, manifest: &Manifest, clock: &mut CrashClock) -> Result<(), StoreError> {
+    let gen = manifest.generation;
+    let bytes = manifest.to_file_bytes();
+    let tmp = dir.join(format!(".{}.tmp", manifest_name(gen)));
+    std::fs::write(&tmp, &bytes[..bytes.len() / 2])?;
+    clock.tick("mid-manifest-write")?;
+    std::fs::write(&tmp, &bytes)?;
+    sync_file(&tmp)?;
+    clock.tick("manifest-written")?;
+    std::fs::rename(&tmp, dir.join(manifest_name(gen)))?;
+    clock.tick("manifest-committed")?;
+    Ok(())
+}
+
+/// GC generations before `cutoff` — manifests first (a shardless
+/// manifest is unambiguously broken; a manifestless shard is
+/// unambiguously an orphan). Shards are then deleted **by reference**,
+/// not by generation number: an appended generation's manifest keeps
+/// referencing older shard files, which must survive the GC of the
+/// manifest that originally wrote them.
+fn gc_generations(dir: &Path, cutoff: u64, clock: &mut CrashClock) -> Result<(), StoreError> {
+    for name in list_dir(dir)? {
+        if parse_manifest_name(&name).is_some_and(|g| g < cutoff) {
+            std::fs::remove_file(dir.join(&name))?;
+        }
+    }
+    clock.tick("gc-manifests")?;
+    let mut referenced: HashSet<String> = HashSet::new();
+    for name in list_dir(dir)? {
+        if parse_manifest_name(&name).is_some() {
+            if let Ok(bytes) = std::fs::read(dir.join(&name)) {
+                if let Ok(m) = Manifest::from_file_bytes(&bytes) {
+                    referenced.extend(m.shards.iter().map(|s| s.file.clone()));
+                }
+            }
+        }
+    }
+    for name in list_dir(dir)? {
+        if parse_shard_name(&name).is_some_and(|(g, _)| g < cutoff) && !referenced.contains(&name) {
+            std::fs::remove_file(dir.join(&name))?;
+        }
+    }
+    Ok(())
+}
+
+/// Read-only probe for the newest self-verifying manifest, counting
+/// every manifest byte read along the way (for
+/// [`StoreReader::bytes_read`] accounting).
+fn newest_manifest(dir: &Path) -> Result<Option<(Manifest, u64)>, StoreError> {
+    let mut gens = list_generations(dir)?;
+    gens.reverse();
+    let mut bytes_total = 0u64;
+    for gen in gens {
+        let bytes = std::fs::read(dir.join(manifest_name(gen)))?;
+        bytes_total += bytes.len() as u64;
+        if let Ok(m) = Manifest::from_file_bytes(&bytes) {
+            if m.generation == gen {
+                return Ok(Some((m, bytes_total)));
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// The store facade: save / open / fsck / recover on a directory.
 pub struct Store;
 
@@ -566,115 +1045,252 @@ impl Store {
         clock.tick("begin")?;
 
         let gen = list_generations(dir)?.last().copied().unwrap_or(0) + 1;
-
-        // Encode payloads and pack them into shards greedily: a shard
-        // closes once it carries >= shard_bytes of payload.
         let payloads: Vec<Vec<u8>> = profiles
             .iter()
             .map(|p| p.to_string_pretty().into_bytes())
             .collect();
-        let mut shards: Vec<Vec<usize>> = Vec::new();
-        let mut open: Vec<usize> = Vec::new();
-        let mut open_bytes = 0usize;
-        for (i, pl) in payloads.iter().enumerate() {
-            open.push(i);
-            open_bytes += pl.len();
-            if open_bytes >= opts.shard_bytes {
-                shards.push(std::mem::take(&mut open));
-                open_bytes = 0;
-            }
-        }
-        if !open.is_empty() {
-            shards.push(open);
-        }
+        let packs = pack_shards(&payloads, opts.shard_bytes);
+        let (shard_infos, placements) = write_shards(dir, gen, &payloads, &packs, &mut clock)?;
 
-        // Write shard files (final names — invisible until the manifest
-        // lands). Two crash points per shard: mid-write (a torn file)
-        // and after the full write.
-        let mut shard_infos = Vec::with_capacity(shards.len());
-        let mut entries = vec![
-            StoreEntry {
-                hash: 0,
-                shard: 0,
-                offset: 0,
-                len: 0,
-                crc: 0,
-                meta: Vec::new(),
-            };
-            profiles.len()
-        ];
-        for (si, members) in shards.iter().enumerate() {
-            let mut bytes = Vec::new();
-            bytes.extend_from_slice(SHARD_MAGIC);
-            for &pi in members {
-                let pl = &payloads[pi];
-                let crc = crc32c(pl);
-                let e = &mut entries[pi];
-                e.hash = profiles[pi].profile_hash();
-                e.shard = si;
-                e.offset = (bytes.len() + 8) as u64;
-                e.len = pl.len() as u32;
-                e.crc = crc;
-                e.meta = profiles[pi]
-                    .metadata_iter()
-                    .map(|(k, v)| (k.to_string(), v.clone()))
-                    .collect();
-                bytes.extend_from_slice(&(pl.len() as u32).to_le_bytes());
-                bytes.extend_from_slice(&crc.to_le_bytes());
-                bytes.extend_from_slice(pl);
-            }
-            let path = dir.join(shard_name(gen, si));
-            // Model a crash mid-write: only a prefix reached the disk.
-            std::fs::write(&path, &bytes[..bytes.len() / 2])?;
-            clock.tick("mid-shard-write")?;
-            std::fs::write(&path, &bytes)?;
-            sync_file(&path)?;
-            clock.tick("shard-written")?;
-            shard_infos.push(ShardInfo {
-                file: shard_name(gen, si),
-                bytes: bytes.len() as u64,
-                crc: crc32c(&bytes),
-                records: members.len(),
-            });
-        }
-
-        // Manifest: dot-temp, sync, rename (the commit point).
+        let rows: Vec<Vec<(String, Value)>> = profiles.iter().map(sorted_meta).collect();
+        let entries: Vec<StoreEntry> = profiles
+            .iter()
+            .zip(&placements)
+            .zip(&rows)
+            .map(|((p, pl), row)| StoreEntry {
+                hash: p.profile_hash(),
+                shard: pl.shard,
+                offset: pl.offset,
+                len: pl.len,
+                crc: pl.crc,
+                meta: row.clone(),
+            })
+            .collect();
+        let columns = match opts.format {
+            ManifestVersion::V1 => Vec::new(),
+            ManifestVersion::V2 => build_columns(&rows),
+        };
         let manifest = Manifest {
             generation: gen,
+            version: opts.format,
             shards: shard_infos,
             profiles: entries,
+            columns,
         };
-        let bytes = manifest.to_file_bytes();
-        let tmp = dir.join(format!(".{}.tmp", manifest_name(gen)));
-        std::fs::write(&tmp, &bytes[..bytes.len() / 2])?;
-        clock.tick("mid-manifest-write")?;
-        std::fs::write(&tmp, &bytes)?;
-        sync_file(&tmp)?;
-        clock.tick("manifest-written")?;
-        std::fs::rename(&tmp, dir.join(manifest_name(gen)))?;
-        clock.tick("manifest-committed")?;
-
-        // GC generations outside the retention window — manifests
-        // first (a shardless manifest is unambiguously broken; a
-        // manifestless shard is unambiguously an orphan).
-        let cutoff = gen.saturating_sub(opts.keep_generations as u64);
-        for name in list_dir(dir)? {
-            if parse_manifest_name(&name).is_some_and(|g| g < cutoff) {
-                std::fs::remove_file(dir.join(&name))?;
-            }
-        }
-        clock.tick("gc-manifests")?;
-        for name in list_dir(dir)? {
-            if parse_shard_name(&name).is_some_and(|(g, _)| g < cutoff) {
-                std::fs::remove_file(dir.join(&name))?;
-            }
-        }
+        commit_manifest(dir, &manifest, &mut clock)?;
+        gc_generations(dir, gen.saturating_sub(opts.keep_generations as u64), &mut clock)?;
 
         Ok(WriteReport {
             generation: gen,
-            shards: shards.len(),
+            shards: packs.len(),
             profiles: profiles.len(),
+            appended: profiles.len(),
             crash_points: clock.next,
+        })
+    }
+
+    /// [`Store::append`] with default options.
+    pub fn append(dir: impl AsRef<Path>, profiles: &[Profile]) -> Result<WriteReport, StoreError> {
+        Store::append_opts(dir, profiles, &StoreOptions::default())
+    }
+
+    /// Commit `profiles` **on top of** the newest verified generation
+    /// as a new generation that reuses the existing shard files —
+    /// nothing already stored is rewritten. Profiles whose hash the
+    /// store already holds (and in-batch duplicates) are skipped;
+    /// [`WriteReport::appended`] counts what was actually added.
+    ///
+    /// The write follows the same stage-then-rename protocol as
+    /// [`Store::save`]: new shards land under the new generation's
+    /// names, the new manifest (old shards + old entries + the new
+    /// ones) is renamed into place, and only then are out-of-retention
+    /// generations GC'd — by reference, so shard files the new manifest
+    /// still points at survive their original manifest's collection.
+    /// On an empty directory this is exactly [`Store::save_opts`].
+    pub fn append_opts(
+        dir: impl AsRef<Path>,
+        profiles: &[Profile],
+        opts: &StoreOptions,
+    ) -> Result<WriteReport, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        // Read-only probe (no crash point: nothing has mutated yet).
+        let Some((base, _)) = newest_manifest(dir)? else {
+            return Store::save_opts(dir, profiles, opts);
+        };
+        let base_rows = base.meta_rows().map_err(StoreError::Corrupt)?;
+        let mut clock = CrashClock {
+            next: 0,
+            trigger: opts.crash_after,
+        };
+        clock.tick("begin")?;
+
+        let gen = list_generations(dir)?
+            .last()
+            .copied()
+            .unwrap_or(0)
+            .max(base.generation)
+            + 1;
+        let mut seen: HashSet<i64> = base.profiles.iter().map(|e| e.hash).collect();
+        let fresh: Vec<&Profile> = profiles
+            .iter()
+            .filter(|p| seen.insert(p.profile_hash()))
+            .collect();
+        let payloads: Vec<Vec<u8>> = fresh
+            .iter()
+            .map(|p| p.to_string_pretty().into_bytes())
+            .collect();
+        let packs = pack_shards(&payloads, opts.shard_bytes);
+        let (new_infos, placements) = write_shards(dir, gen, &payloads, &packs, &mut clock)?;
+
+        let shard_base = base.shards.len();
+        let fresh_rows: Vec<Vec<(String, Value)>> =
+            fresh.iter().map(|p| sorted_meta(p)).collect();
+        let mut entries = base.profiles.clone();
+        for (i, e) in entries.iter_mut().enumerate() {
+            e.meta = base_rows[i].clone();
+        }
+        entries.extend(fresh.iter().zip(&placements).zip(&fresh_rows).map(
+            |((p, pl), row)| StoreEntry {
+                hash: p.profile_hash(),
+                shard: shard_base + pl.shard,
+                offset: pl.offset,
+                len: pl.len,
+                crc: pl.crc,
+                meta: row.clone(),
+            },
+        ));
+        let all_rows: Vec<Vec<(String, Value)>> =
+            base_rows.into_iter().chain(fresh_rows).collect();
+        let columns = match opts.format {
+            ManifestVersion::V1 => Vec::new(),
+            ManifestVersion::V2 => build_columns(&all_rows),
+        };
+        let mut shards = base.shards.clone();
+        shards.extend(new_infos);
+        let manifest = Manifest {
+            generation: gen,
+            version: opts.format,
+            shards,
+            profiles: entries,
+            columns,
+        };
+        let total = manifest.profiles.len();
+        commit_manifest(dir, &manifest, &mut clock)?;
+        gc_generations(dir, gen.saturating_sub(opts.keep_generations as u64), &mut clock)?;
+
+        Ok(WriteReport {
+            generation: gen,
+            shards: packs.len(),
+            profiles: total,
+            appended: fresh.len(),
+            crash_points: clock.next,
+        })
+    }
+
+    /// [`Store::compact`] with default options.
+    pub fn compact(dir: impl AsRef<Path>) -> Result<CompactReport, StoreError> {
+        Store::compact_opts(dir, &StoreOptions::default())
+    }
+
+    /// Rewrite the newest verified generation into freshly-packed full
+    /// shards ([`StoreOptions::shard_bytes`]) — the answer to
+    /// fragmentation from repeated appends or salvages. Record payloads
+    /// are carried over byte-for-byte (CRC-verified, never reparsed);
+    /// corrupt records are dropped with typed diagnostics like
+    /// [`Store::recover`] salvage. The rewrite runs under the same
+    /// stage-then-rename protocol with the same enumerable crash
+    /// points, so an interruption leaves the previous generation
+    /// serving.
+    ///
+    /// Because the output manifest defaults to
+    /// [`ManifestVersion::V2`], `compact` doubles as the v1 → v2
+    /// migrator. With `keep_generations = 1` the pre-compaction
+    /// generation (and its shards) survives until the next commit;
+    /// set it to 0 to reclaim the space immediately.
+    pub fn compact_opts(
+        dir: impl AsRef<Path>,
+        opts: &StoreOptions,
+    ) -> Result<CompactReport, StoreError> {
+        let dir = dir.as_ref();
+        // Read-only phase: load the newest generation's records and
+        // metadata before the first crash point (reads never mutate).
+        let reader = Store::open(dir)?;
+        let base = reader.manifest();
+        let rows = base.meta_rows().map_err(StoreError::Corrupt)?;
+        let mut raw: Vec<(usize, Result<Vec<u8>, Diagnostic>)> =
+            Vec::with_capacity(base.profiles.len());
+        for si in 0..base.shards.len() {
+            let members: Vec<usize> = (0..base.profiles.len())
+                .filter(|&i| base.profiles[i].shard == si)
+                .collect();
+            if !members.is_empty() {
+                reader.read_shard_members(si, &members, &mut raw)?;
+            }
+        }
+        let mut diagnostics = Vec::new();
+        let mut kept: Vec<usize> = Vec::with_capacity(raw.len());
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(raw.len());
+        for (i, r) in raw {
+            match r {
+                Ok(bytes) => {
+                    kept.push(i);
+                    payloads.push(bytes);
+                }
+                Err(d) => diagnostics.push(d),
+            }
+        }
+
+        let mut clock = CrashClock {
+            next: 0,
+            trigger: opts.crash_after,
+        };
+        clock.tick("begin")?;
+        let gen = list_generations(dir)?.last().copied().unwrap_or(0) + 1;
+        let packs = pack_shards(&payloads, opts.shard_bytes);
+        let (shard_infos, placements) = write_shards(dir, gen, &payloads, &packs, &mut clock)?;
+
+        let kept_rows: Vec<Vec<(String, Value)>> =
+            kept.iter().map(|&i| rows[i].clone()).collect();
+        let entries: Vec<StoreEntry> = kept
+            .iter()
+            .zip(&placements)
+            .zip(&kept_rows)
+            .map(|((&i, pl), row)| StoreEntry {
+                hash: base.profiles[i].hash,
+                shard: pl.shard,
+                offset: pl.offset,
+                len: pl.len,
+                crc: pl.crc,
+                meta: row.clone(),
+            })
+            .collect();
+        let columns = match opts.format {
+            ManifestVersion::V1 => Vec::new(),
+            ManifestVersion::V2 => build_columns(&kept_rows),
+        };
+        let manifest = Manifest {
+            generation: gen,
+            version: opts.format,
+            shards: shard_infos,
+            profiles: entries,
+            columns,
+        };
+        let attempted = base.profiles.len();
+        let loaded = manifest.profiles.len();
+        commit_manifest(dir, &manifest, &mut clock)?;
+        gc_generations(dir, gen.saturating_sub(opts.keep_generations as u64), &mut clock)?;
+
+        Ok(CompactReport {
+            generation: gen,
+            shards: packs.len(),
+            profiles: loaded,
+            crash_points: clock.next,
+            report: IngestReport {
+                attempted,
+                loaded,
+                diagnostics,
+            },
         })
     }
 
@@ -685,30 +1301,27 @@ impl Store {
     /// everything.
     pub fn open(dir: impl AsRef<Path>) -> Result<StoreReader, StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        let mut gens = list_generations(&dir)?;
-        gens.reverse();
-        if gens.is_empty() {
+        if list_generations(&dir)?.is_empty() {
             return Err(StoreError::NoGeneration(format!(
                 "no manifest in {}",
                 dir.display()
             )));
         }
-        for gen in gens {
-            let bytes = std::fs::read(dir.join(manifest_name(gen)))?;
-            if let Ok(m) = Manifest::from_file_bytes(&bytes) {
-                if m.generation == gen {
-                    return Ok(StoreReader {
-                        dir,
-                        manifest: m,
-                        bytes_read: Cell::new(0),
-                    });
-                }
-            }
+        match newest_manifest(&dir)? {
+            // bytes_read starts at the manifest bytes consumed while
+            // probing: pushdown accounting reflects true I/O, not just
+            // shard payloads.
+            Some((m, manifest_bytes)) => Ok(StoreReader {
+                dir,
+                manifest: m,
+                bytes_read: Cell::new(manifest_bytes),
+                materialized: OnceCell::new(),
+            }),
+            None => Err(StoreError::NoGeneration(format!(
+                "no manifest in {} verifies (run Store::recover)",
+                dir.display()
+            ))),
         }
-        Err(StoreError::NoGeneration(format!(
-            "no manifest in {} verifies (run Store::recover)",
-            dir.display()
-        )))
     }
 
     /// Deep-verify every generation and classify all corruption.
@@ -752,6 +1365,18 @@ impl Store {
                     for (si, info) in m.shards.iter().enumerate() {
                         referenced.insert(info.file.clone());
                         findings.extend(check_shard(dir, info, entry_crcs(&m, si)));
+                    }
+                    // Deep-verify the v2 columnar index: every block
+                    // must decode and agree with its presence mask.
+                    for b in &m.columns {
+                        if let Err(why) = b.values() {
+                            findings.push(Diagnostic {
+                                source: mname.clone(),
+                                kind: DiagKind::StaleManifest {
+                                    manifest: format!("{mname}: {why}"),
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -1069,9 +1694,12 @@ fn check_shard(dir: &Path, info: &ShardInfo, expected_crcs: Vec<u32>) -> Vec<Dia
 pub struct StoreReader {
     dir: PathBuf,
     manifest: Manifest,
-    /// Shard bytes read so far (headers + payloads + magics), for
-    /// pushdown accounting.
+    /// Bytes read so far (manifest probing + shard headers, payloads,
+    /// and magics), for pushdown accounting.
     bytes_read: Cell<u64>,
+    /// v2 entries with metadata materialized out of the columnar index
+    /// (built on first [`StoreReader::entries`] call).
+    materialized: OnceCell<Vec<StoreEntry>>,
 }
 
 impl StoreReader {
@@ -1080,9 +1708,27 @@ impl StoreReader {
         self.manifest.generation
     }
 
-    /// The manifest's per-profile index, in storage order.
+    /// The manifest's per-profile index, in storage order, with
+    /// metadata populated. For a v2 manifest this decodes **every**
+    /// column on first call (cached) — typed selection via
+    /// [`StoreReader::select`] decodes only the predicate's keys, so
+    /// prefer [`MetaPred`] on hot paths.
     pub fn entries(&self) -> &[StoreEntry] {
-        &self.manifest.profiles
+        if self.manifest.version == ManifestVersion::V1 {
+            return &self.manifest.profiles;
+        }
+        self.materialized.get_or_init(|| {
+            let rows = self.manifest.meta_rows_lossy();
+            self.manifest
+                .profiles
+                .iter()
+                .zip(rows)
+                .map(|(e, meta)| StoreEntry {
+                    meta,
+                    ..e.clone()
+                })
+                .collect()
+        })
     }
 
     /// The manifest (shard descriptors included).
@@ -1090,47 +1736,136 @@ impl StoreReader {
         &self.manifest
     }
 
-    /// Total shard bytes this reader has read so far. Metadata-pushdown
-    /// reads parse strictly fewer bytes than a full load whenever the
-    /// predicate excludes anything.
+    /// Total bytes this reader has read so far — manifest bytes from
+    /// [`Store::open`] plus shard I/O. Metadata-pushdown reads do
+    /// strictly less I/O than a full load whenever the predicate
+    /// excludes anything.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.get()
     }
 
-    /// Load every profile.
-    pub fn load_all(&self) -> Result<(Vec<Profile>, IngestReport), StoreError> {
-        self.load_where(|_| true)
+    /// Entry indices (storage order) matching a typed predicate,
+    /// without any shard I/O. On a v2 manifest only the columns for
+    /// [`MetaPred::keys`] are decoded — non-referenced metadata is
+    /// never parsed. A named column that fails to decode is
+    /// [`StoreError::Corrupt`] (fsck classifies the damage).
+    pub fn select(&self, pred: &MetaPred) -> Result<Vec<usize>, StoreError> {
+        let n = self.manifest.profiles.len();
+        match self.manifest.version {
+            ManifestVersion::V1 => Ok((0..n)
+                .filter(|&i| {
+                    let e = &self.manifest.profiles[i];
+                    pred.eval_with(&mut |k| e.meta(k))
+                })
+                .collect()),
+            ManifestVersion::V2 => {
+                let mut cols: HashMap<&str, (&MetaBlock, &[Value])> = HashMap::new();
+                for key in pred.keys() {
+                    if let Some(b) = self.manifest.column(key) {
+                        let vals = b.values().map_err(StoreError::Corrupt)?;
+                        cols.insert(key, (b, vals));
+                    }
+                    // A key no profile carries simply never matches:
+                    // same semantics as a row whose meta lacks it.
+                }
+                Ok((0..n)
+                    .filter(|&i| {
+                        pred.eval_with(&mut |k| {
+                            cols.get(k).and_then(|(b, vals)| {
+                                if b.present_at(i) {
+                                    Some(&vals[i])
+                                } else {
+                                    None
+                                }
+                            })
+                        })
+                    })
+                    .collect())
+            }
+        }
     }
 
-    /// Load the profiles whose manifest entry satisfies `pred`,
-    /// without touching shards the predicate excludes entirely, and
-    /// reading only the selected byte ranges of shards it partially
-    /// selects.
+    /// Load every profile.
+    pub fn load_all(&self) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_matching(&MetaPred::True)
+    }
+
+    /// Load the profiles matching a typed predicate: columnar
+    /// selection ([`StoreReader::select`]) followed by range reads
+    /// that skip shards the predicate excludes entirely.
+    pub fn load_matching(
+        &self,
+        pred: &MetaPred,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_matching_threads(pred, crate::parallel::default_threads(self.manifest.profiles.len()))
+    }
+
+    /// [`StoreReader::load_matching`] with an explicit worker count
+    /// for the payload-parse fan-out. Results and diagnostics are
+    /// byte-identical for any `threads ≥ 1`.
+    pub fn load_matching_threads(
+        &self,
+        pred: &MetaPred,
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        let selected = self.select(pred)?;
+        self.load_selected(&selected, threads)
+    }
+
+    /// Load the profiles whose manifest entry satisfies a closure.
+    #[deprecated(
+        note = "closure predicates force full metadata materialization; use `load_matching` \
+                with a typed `MetaPred`, or `Thicket::loader`"
+    )]
     pub fn load_where(
         &self,
         pred: impl FnMut(&StoreEntry) -> bool,
     ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
-        self.load_where_threads(pred, crate::parallel::default_threads(self.manifest.profiles.len()))
+        let threads = crate::parallel::default_threads(self.manifest.profiles.len());
+        self.load_entries_where(pred, threads)
     }
 
-    /// [`StoreReader::load_where`] with an explicit worker count for
-    /// the payload-parse fan-out. Results and diagnostics are
-    /// byte-identical for any `threads ≥ 1`.
+    /// [`StoreReader::load_where`] with an explicit worker count.
+    #[deprecated(
+        note = "closure predicates force full metadata materialization; use \
+                `load_matching_threads` with a typed `MetaPred`, or `Thicket::loader`"
+    )]
     pub fn load_where_threads(
+        &self,
+        pred: impl FnMut(&StoreEntry) -> bool,
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_entries_where(pred, threads)
+    }
+
+    /// Closure selection over materialized entries: the engine behind
+    /// the deprecated `load_where*` shims and the loader builder's
+    /// entry-closure escape hatch. Unlike [`StoreReader::load_matching`]
+    /// this materializes every entry's metadata before evaluating
+    /// `pred`; prefer a typed [`MetaPred`] wherever one can express the
+    /// selection.
+    pub fn load_entries_where(
         &self,
         mut pred: impl FnMut(&StoreEntry) -> bool,
         threads: usize,
     ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
-        // Selection against the metadata index only — no shard I/O.
         let selected: Vec<usize> = self
-            .manifest
-            .profiles
+            .entries()
             .iter()
             .enumerate()
             .filter(|(_, e)| pred(e))
             .map(|(i, _)| i)
             .collect();
+        self.load_selected(&selected, threads)
+    }
 
+    /// Read, verify, and parse the records at `selected` entry indices
+    /// (storage order), skipping shards with no selected member.
+    fn load_selected(
+        &self,
+        selected: &[usize],
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
         // Read the selected ranges, shard by shard, in storage order.
         let mut raw: Vec<(usize, Result<Vec<u8>, Diagnostic>)> = Vec::with_capacity(selected.len());
         for si in 0..self.manifest.shards.len() {
@@ -1388,7 +2123,7 @@ mod tests {
     }
 
     #[test]
-    fn load_where_pushdown_reads_fewer_bytes() {
+    fn load_matching_pushdown_reads_fewer_bytes() {
         let dir = tmp("pushdown");
         let profiles = runs(8);
         let opts = StoreOptions {
@@ -1397,18 +2132,72 @@ mod tests {
         };
         Store::save_opts(&dir, &profiles, &opts).unwrap();
 
+        // Both sides pay the same manifest bytes (counted since the
+        // bytes_read fix), so shard skipping still shows through.
         let full = Store::open(&dir).unwrap();
         let (all, _) = full.load_all().unwrap();
         let full_bytes = full.bytes_read();
 
         let filtered = Store::open(&dir).unwrap();
-        let want = Value::from(2i64);
         let (subset, rep) = filtered
-            .load_where(|e| e.meta("seed").is_none_or(|v| *v == want))
+            .load_matching(&MetaPred::eq("seed", 2i64))
             .unwrap();
         assert!(rep.is_clean());
         assert!(filtered.bytes_read() < full_bytes);
-        assert!(subset.len() < all.len() || subset.is_empty() == all.is_empty());
+        assert_eq!(subset.len(), 1);
+        assert!(all.len() > subset.len());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn select_decodes_only_named_columns() {
+        let dir = tmp("lazy-columns");
+        Store::save(&dir, &runs(6)).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.manifest().version, ManifestVersion::V2);
+        assert!(
+            reader.manifest().columns.len() > 2,
+            "quartz runs carry several metadata keys"
+        );
+        let idx = reader.select(&MetaPred::lt("seed", 3i64)).unwrap();
+        assert_eq!(idx, vec![0, 1, 2]);
+        for b in &reader.manifest().columns {
+            assert_eq!(
+                b.is_decoded(),
+                b.key() == "seed",
+                "column {} decode state after a seed-only selection",
+                b.key()
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn columnar_selection_matches_row_selection() {
+        let dir = tmp("col-vs-row");
+        let profiles = runs(7);
+        Store::save(&dir, &profiles).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        let preds = [
+            MetaPred::True,
+            MetaPred::eq("cluster", "quartz"),
+            MetaPred::eq("seed", 3i64).not(),
+            MetaPred::is_in("seed", [1i64, 5, 99]),
+            MetaPred::ge("seed", 2i64).and(MetaPred::lt("seed", 6i64)),
+            MetaPred::eq("no-such-key", 1i64),
+            MetaPred::eq("no-such-key", 1i64).not(),
+        ];
+        for pred in &preds {
+            let columnar = reader.select(pred).unwrap();
+            let by_rows: Vec<usize> = reader
+                .entries()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| pred.eval_with(&mut |k| e.meta(k)))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(columnar, by_rows, "pred: {pred}");
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -1416,6 +2205,7 @@ mod tests {
     fn manifest_roundtrip_and_self_check() {
         let m = Manifest {
             generation: 7,
+            version: ManifestVersion::V1,
             shards: vec![ShardInfo {
                 file: shard_name(7, 0),
                 bytes: 100,
@@ -1433,6 +2223,7 @@ mod tests {
                     ("size".into(), Value::Int(1 << 60)),
                 ],
             }],
+            columns: Vec::new(),
         };
         let bytes = m.to_file_bytes();
         let back = Manifest::from_file_bytes(&bytes).unwrap();
@@ -1444,6 +2235,180 @@ mod tests {
         assert!(Manifest::from_file_bytes(&bad).is_err());
         // Truncation breaks it too.
         assert!(Manifest::from_file_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn v2_manifest_roundtrips_columns_and_masks() {
+        let rows = vec![
+            vec![
+                ("cluster".to_string(), Value::from("quartz")),
+                ("size".to_string(), Value::Int(1 << 60)),
+            ],
+            vec![("cluster".to_string(), Value::from("lassen"))],
+        ];
+        let m = Manifest {
+            generation: 3,
+            version: ManifestVersion::V2,
+            shards: vec![ShardInfo {
+                file: shard_name(3, 0),
+                bytes: 64,
+                crc: 9,
+                records: 2,
+            }],
+            profiles: (0..2)
+                .map(|i| StoreEntry {
+                    hash: i as i64,
+                    shard: 0,
+                    offset: 12 + i as u64,
+                    len: 4,
+                    crc: 1,
+                    meta: Vec::new(),
+                })
+                .collect(),
+            columns: build_columns(&rows),
+        };
+        let bytes = m.to_file_bytes();
+        let back = Manifest::from_file_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.version, ManifestVersion::V2);
+        // Parsed columns start undecoded; decode recovers the values
+        // and the presence mask distinguishes absent from Null.
+        let size = back.column("size").unwrap();
+        assert!(!size.is_decoded());
+        assert_eq!(size.values().unwrap(), &[Value::Int(1 << 60), Value::Null]);
+        assert!(size.present_at(0) && !size.present_at(1));
+        assert!(back.column("cluster").unwrap().present_at(1));
+        assert!(back.column("nope").is_none());
+        // meta_rows reconstructs the per-profile rows, key-sorted.
+        assert_eq!(back.meta_rows().unwrap(), rows);
+    }
+
+    #[test]
+    fn mask_hex_roundtrip_and_strictness() {
+        for n in [0usize, 1, 7, 8, 9, 17] {
+            let present: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let hex = mask_to_hex(&present);
+            assert_eq!(mask_from_hex(&hex, n).unwrap(), present);
+        }
+        assert!(mask_from_hex("ff", 4).is_err(), "stray high bits");
+        assert!(mask_from_hex("0f", 9).is_err(), "too short");
+        assert!(mask_from_hex("zz", 8).is_err(), "not hex");
+    }
+
+    #[test]
+    fn append_reuses_shards_and_skips_duplicates() {
+        let dir = tmp("append");
+        let first = runs(3);
+        let more = runs(5); // seeds 0..5 — first three duplicate the store
+        let r1 = Store::save(&dir, &first).unwrap();
+        let r2 = Store::append(&dir, &more).unwrap();
+        assert_eq!(r2.generation, 2);
+        assert_eq!(r2.appended, 2, "3 of 5 already stored");
+        assert_eq!(r2.profiles, 5);
+        // Generation 1's shard files are still the ones serving the old
+        // profiles: nothing was rewritten.
+        assert!(dir.join(shard_name(1, 0)).exists());
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.generation(), 2);
+        let (loaded, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean(), "{rep}");
+        assert_eq!(hashes(&loaded), hashes(&more));
+        assert!(Store::fsck(&dir).unwrap().is_clean());
+        // Appending only duplicates commits a no-op generation.
+        let r3 = Store::append(&dir, &first).unwrap();
+        assert_eq!(r3.appended, 0);
+        assert_eq!(r3.profiles, 5);
+        assert_eq!(r3.shards, 0);
+        // A typed predicate still selects across old + new entries.
+        let reader = Store::open(&dir).unwrap();
+        let (subset, _) = reader.load_matching(&MetaPred::ge("seed", 3i64)).unwrap();
+        assert_eq!(subset.len(), 2);
+        // Once gen 1 leaves the retention window, its shards survive
+        // while still referenced by the live manifest.
+        assert!(!dir.join(manifest_name(1)).exists());
+        assert!(dir.join(shard_name(1, 0)).exists());
+        assert_eq!(r1.profiles, 3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn append_to_empty_dir_is_save() {
+        let dir = tmp("append-empty");
+        let report = Store::append(&dir, &runs(2)).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.appended, 2);
+        let (loaded, _) = Store::open(&dir).unwrap().load_all().unwrap();
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compact_repacks_fragmented_shards() {
+        let dir = tmp("compact");
+        let profiles = runs(8);
+        let fragmented = StoreOptions {
+            shard_bytes: 1, // every record its own shard
+            ..StoreOptions::default()
+        };
+        let r = Store::save_opts(&dir, &profiles, &fragmented).unwrap();
+        assert_eq!(r.shards, 8);
+        let c = Store::compact(&dir).unwrap();
+        assert_eq!(c.shards, 1, "default shard size swallows all 8");
+        assert_eq!(c.profiles, 8);
+        assert!(c.report.is_clean(), "{}", c.report);
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.generation(), c.generation);
+        let (loaded, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(hashes(&loaded), hashes(&profiles));
+        assert!(Store::fsck(&dir).unwrap().is_clean());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compact_migrates_v1_to_v2() {
+        let dir = tmp("migrate");
+        let profiles = runs(4);
+        let v1 = StoreOptions {
+            format: ManifestVersion::V1,
+            ..StoreOptions::default()
+        };
+        Store::save_opts(&dir, &profiles, &v1).unwrap();
+        // A v1 store loads unchanged through the auto-detecting reader.
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.manifest().version, ManifestVersion::V1);
+        let (loaded, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(hashes(&loaded), hashes(&profiles));
+        let idx = reader.select(&MetaPred::eq("seed", 1i64)).unwrap();
+        assert_eq!(idx.len(), 1);
+        // Compaction rewrites it as v2 with an intact columnar index.
+        Store::compact(&dir).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.manifest().version, ManifestVersion::V2);
+        assert!(reader.manifest().column("seed").is_some());
+        let (migrated, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(hashes(&migrated), hashes(&profiles));
+        assert!(Store::fsck(&dir).unwrap().is_clean());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn store_entry_meta_is_key_sorted_binary_search() {
+        let dir = tmp("meta-sorted");
+        Store::save(&dir, &runs(1)).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        let e = &reader.entries()[0];
+        let keys: Vec<&str> = e.meta.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "meta rows must be key-sorted");
+        for (k, v) in &e.meta {
+            assert_eq!(e.meta(k), Some(v));
+        }
+        assert_eq!(e.meta("zzz-no-such-key"), None);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

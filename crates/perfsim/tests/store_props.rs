@@ -100,3 +100,88 @@ proptest! {
         std::fs::remove_dir_all(dir).ok();
     }
 }
+
+// ---------------------------------------------------------------------
+// Columnar selection ≡ row selection for arbitrary predicates.
+
+use thicket_dataframe::Value;
+use thicket_perfsim::{CmpOp, MetaPred};
+
+/// Keys that exist in the simulated profiles' metadata plus one that
+/// never does (missing-key semantics must agree too).
+fn key_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("seed".to_string()),
+        Just("cluster".to_string()),
+        Just("problem size".to_string()),
+        Just("no-such-key".to_string()),
+    ]
+}
+
+/// Values spanning the kinds the evaluator distinguishes: ints in and
+/// out of the stored range, floats (numeric promotion), strings, bools.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1i64..6).prop_map(Value::Int),
+        (-1.0f64..6.0).prop_map(Value::Float),
+        prop_oneof![
+            Just(Value::from("quartz")),
+            Just(Value::from("lassen")),
+        ],
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Arbitrary predicate ASTs: leaves over the key/value pools, combined
+/// with And/Or/Not up to depth 3.
+fn pred_strategy() -> impl Strategy<Value = MetaPred> {
+    let leaf = prop_oneof![
+        Just(MetaPred::True),
+        (key_strategy(), value_strategy()).prop_map(|(k, v)| MetaPred::eq(k, v)),
+        (key_strategy(), cmp_strategy(), value_strategy())
+            .prop_map(|(k, op, v)| MetaPred::Cmp(k, op, v)),
+        (key_strategy(), proptest::collection::vec(value_strategy(), 0..3))
+            .prop_map(|(k, vs)| MetaPred::is_in(k, vs)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(MetaPred::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(MetaPred::Or),
+            inner.prop_map(|p| p.not()),
+        ]
+    })
+}
+
+proptest! {
+    /// The v2 columnar index path (`StoreReader::select`, which decodes
+    /// only the key blocks the predicate names) selects exactly the
+    /// rows that evaluating the predicate against each materialized
+    /// manifest entry selects — for arbitrary predicate shapes.
+    #[test]
+    fn columnar_selection_equals_row_selection(pred in pred_strategy()) {
+        let (base, _) = base_store();
+        let reader = Store::open(base).unwrap();
+
+        let columnar = reader.select(&pred).unwrap();
+        let by_rows: Vec<usize> = reader
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred.eval_with(&mut |k| e.meta(k)))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(
+            columnar, by_rows,
+            "columnar and row selection disagree for {}", pred
+        );
+    }
+}

@@ -13,7 +13,7 @@ fn main() {
     // Figure 16's configurations: both clusters, 1..32 nodes, 5 runs each.
     let nodes = [1u32, 2, 4, 8, 16, 32];
     let profiles = marbl_ensemble(&nodes, 5);
-    let tk = Thicket::from_profiles(&profiles).expect("compose ensemble");
+    let tk = Thicket::loader(&profiles).load().expect("compose ensemble").0;
     println!("{tk}");
 
     // ---- Figure 17: node-to-node strong scaling of timeStepLoop --------

@@ -33,12 +33,14 @@ fn main() {
 
     // Build one thicket per architecture and re-index profiles by the
     // problem size so the two ensembles share a secondary index.
-    let cpu = Thicket::from_profiles(&cpu_profiles)
+    let cpu = Thicket::loader(&cpu_profiles).load()
         .unwrap()
+        .0
         .reindex_profiles_by(&ColKey::new("problem size"))
         .unwrap();
-    let gpu = Thicket::from_profiles(&gpu_profiles)
+    let gpu = Thicket::loader(&gpu_profiles).load()
         .unwrap()
+        .0
         .reindex_profiles_by(&ColKey::new("problem size"))
         .unwrap();
 

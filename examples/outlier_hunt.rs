@@ -32,11 +32,11 @@ fn main() {
         }
     }
 
-    let tk = Thicket::from_profiles_indexed(
-        &profiles,
-        &(0..20i64).map(Value::Int).collect::<Vec<_>>(),
-    )
-    .expect("compose");
+    let tk = Thicket::loader(&profiles)
+        .profile_ids(&(0..20i64).map(Value::Int).collect::<Vec<_>>())
+        .load()
+        .expect("compose")
+        .0;
 
     // Node × profile matrix of exclusive times.
     let (node_names, profile_labels, matrix) = tk

@@ -16,11 +16,11 @@ fn main() {
     let mut b256 = GpuRunConfig::lassen_default();
     b256.block_size = 256;
     let profiles = vec![simulate_gpu_run(&b128), simulate_gpu_run(&b256)];
-    let tk = Thicket::from_profiles_indexed(
-        &profiles,
-        &[Value::Int(128), Value::Int(256)],
-    )
-    .expect("compose");
+    let tk = Thicket::loader(&profiles)
+        .profile_ids(&[Value::Int(128), Value::Int(256)])
+        .load()
+        .expect("compose")
+        .0;
 
     println!("call tree before the query (time (gpu), block-128 profile):");
     print!("{}", tk.tree(&ColKey::new("time (gpu)"), &Value::Int(128)));

@@ -25,7 +25,7 @@ fn main() {
     }
 
     // --- Step 3: load the ensemble into a thicket object.
-    let mut tk = Thicket::from_profiles(&profiles).expect("compose profiles");
+    let mut tk = Thicket::loader(&profiles).load().expect("compose profiles").0;
     println!("{tk}");
 
     // --- Step 4: EDA. Start from the metadata overview…

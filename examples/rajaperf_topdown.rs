@@ -22,11 +22,11 @@ fn main() {
         cfg.seed = size;
         profiles.push(simulate_cpu_run(&cfg));
     }
-    let tk = Thicket::from_profiles_indexed(
-        &profiles,
-        &sizes.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>(),
-    )
-    .expect("compose");
+    let tk = Thicket::loader(&profiles)
+        .profile_ids(&sizes.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>())
+        .load()
+        .expect("compose")
+        .0;
 
     println!("top-down boundedness by kernel and problem size:");
     println!("{:<28} {:>9}  {:>8}  {:>8}", "kernel", "size", "retiring", "backend");
@@ -50,11 +50,11 @@ fn main() {
         cfg.seed = 100 + opt as u64;
         opt_profiles.push(simulate_cpu_run(&cfg));
     }
-    let opt_tk = Thicket::from_profiles_indexed(
-        &opt_profiles,
-        &(0..4).map(Value::Int).collect::<Vec<_>>(),
-    )
-    .expect("compose");
+    let opt_tk = Thicket::loader(&opt_profiles)
+        .profile_ids(&(0..4).map(Value::Int).collect::<Vec<_>>())
+        .load()
+        .expect("compose")
+        .0;
 
     // Query out the Stream kernels (the paper uses the query language).
     let q = Query::builder()

@@ -41,7 +41,7 @@ fn main() {
         .iter()
         .map(|p| Profile::load(p).expect("load profile"))
         .collect();
-    let mut tk = Thicket::from_profiles(&profiles).expect("compose");
+    let mut tk = Thicket::loader(&profiles).load().expect("compose").0;
     println!("{tk}");
 
     tk.compute_stats(&[(ColKey::new("time (inc)"), vec![AggFn::Mean, AggFn::Std])])

@@ -16,7 +16,7 @@
 use std::process::ExitCode;
 use thicket::prelude::*;
 use thicket_dataframe::AggFn;
-use thicket_perfsim::load_ensemble;
+use thicket_perfsim::{load_dir, Strictness};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,11 +34,14 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let dir = args.first().ok_or("missing profile directory")?;
-    let profiles = load_ensemble(dir).map_err(|e| format!("loading {dir}: {e}"))?;
+    let (profiles, _) = load_dir(dir, None, Strictness::FailFast).map_err(|e| format!("loading {dir}: {e}"))?;
     if profiles.is_empty() {
         return Err(format!("no profiles found in {dir}"));
     }
-    let mut tk = Thicket::from_profiles(&profiles).map_err(|e| e.to_string())?;
+    let mut tk = Thicket::loader(&profiles)
+        .load()
+        .map_err(|e| e.to_string())?
+        .0;
 
     let command = args.get(1).map(String::as_str).unwrap_or("summary");
     match command {

@@ -35,7 +35,7 @@
 //!     .collect();
 //!
 //! // 2. Compose them into a thicket and aggregate across runs.
-//! let mut tk = Thicket::from_profiles(&profiles).unwrap();
+//! let mut tk = Thicket::loader(&profiles).load().unwrap().0;
 //! tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Mean, AggFn::Std])])
 //!     .unwrap();
 //! assert!(tk.statsframe().has_column(&ColKey::new("time (exc)_std")));
@@ -53,15 +53,17 @@ pub use thicket_viz as viz;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use thicket_core::{concat_thickets, model_metric, NodeMatch, Thicket};
+    pub use thicket_core::{concat_thickets, model_metric, LoadSource, Loader, NodeMatch, Thicket};
     pub use thicket_dataframe::{AggFn, ColKey, DataFrame, Index, JoinHow, Value};
     pub use thicket_graph::{Frame, Graph, GraphUnion, NodeId};
     pub use thicket_learn::{dbscan, kmeans, pca, silhouette_score, KMeansConfig, StandardScaler};
     pub use thicket_model::{fit_model, fit_model2};
+    #[allow(deprecated)]
+    pub use thicket_perfsim::{load_ensemble, load_ensemble_lenient};
     pub use thicket_perfsim::{
-        load_ensemble, load_ensemble_lenient, marbl_ensemble, save_ensemble, simulate_cpu_run,
-        simulate_gpu_run, Collector, CpuRunConfig, GpuRunConfig, IngestReport, MarblCluster,
-        MarblConfig, Profile, Store, StoreEntry, StoreOptions, Strictness,
+        load_dir, marbl_ensemble, save_ensemble, simulate_cpu_run, simulate_gpu_run, Collector,
+        CpuRunConfig, GpuRunConfig, IngestReport, MarblCluster, MarblConfig, MetaPred, Profile,
+        Store, StoreEntry, StoreOptions, Strictness,
     };
     pub use thicket_query::{pred, Query};
 }

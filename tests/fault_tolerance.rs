@@ -6,7 +6,7 @@
 
 use thicket::prelude::*;
 use thicket_perfsim::faults::{inject, inject_all, FaultKind};
-use thicket_perfsim::{load_ensemble_opts, DiagKind};
+use thicket_perfsim::{load_dir, DiagKind};
 
 fn campaign_dir(name: &str, n: u64) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("thicket-ft-{name}"));
@@ -32,7 +32,7 @@ fn corrupt_campaign_still_yields_a_workable_thicket() {
         .filter(|(k, _)| !matches!(k, FaultKind::DuplicateProfile | FaultKind::Unreadable))
         .count();
 
-    let (profiles, report) = load_ensemble_lenient(&dir).unwrap();
+    let (profiles, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
     assert_eq!(profiles.len(), 10 - corrupted);
     assert_eq!(report.dropped(), faults.len());
     // The report renders a human-readable account.
@@ -40,7 +40,7 @@ fn corrupt_campaign_still_yields_a_workable_thicket() {
     assert!(rendered.contains(&format!("{} dropped", faults.len())), "{rendered}");
 
     // The healthy subset composes and aggregates normally.
-    let (mut tk, build_report) = Thicket::from_profiles_lenient(&profiles).unwrap();
+    let (mut tk, build_report) = Thicket::loader(&profiles).strictness(Strictness::lenient()).load().unwrap();
     assert!(build_report.is_clean());
     assert_eq!(tk.profiles().len(), profiles.len());
     tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Mean])])
@@ -55,10 +55,10 @@ fn corrupt_campaign_still_yields_a_workable_thicket() {
 fn lenient_pipeline_is_thread_count_invariant() {
     let dir = campaign_dir("invariant", 9);
     inject_all(&dir, 2).unwrap();
-    let baseline = load_ensemble_opts(&dir, 1, thicket_perfsim::Strictness::lenient()).unwrap();
+    let baseline = load_dir(&dir, Some(1), Strictness::lenient()).unwrap();
     for threads in [2, 8] {
         let got =
-            load_ensemble_opts(&dir, threads, thicket_perfsim::Strictness::lenient()).unwrap();
+            load_dir(&dir, Some(threads), Strictness::lenient()).unwrap();
         assert_eq!(baseline.1, got.1, "report differs at threads={threads}");
         assert_eq!(
             baseline.0.len(),
@@ -75,7 +75,7 @@ fn lenient_pipeline_is_thread_count_invariant() {
 fn strict_mode_error_names_the_corrupt_file() {
     let dir = campaign_dir("strictpath", 6);
     let victim = inject(&dir, FaultKind::Truncate, 1).unwrap();
-    let err = load_ensemble(&dir).map(|_| ()).unwrap_err();
+    let err = load_dir(&dir, None, Strictness::FailFast).map(|_| ()).unwrap_err();
     assert!(
         err.to_string().contains(&victim.display().to_string()),
         "error {err} does not name {}",
@@ -93,7 +93,7 @@ fn every_fault_kind_maps_to_its_diagnostic() {
     for (i, kind) in FaultKind::ENSEMBLE.iter().enumerate() {
         let dir = campaign_dir(&format!("matrix-{i}"), 6);
         inject(&dir, *kind, 9).unwrap();
-        let (profiles, report) = load_ensemble_lenient(&dir).unwrap();
+        let (profiles, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
         assert_eq!(report.dropped(), 1, "{kind:?}");
         assert!(
             kind.matches(&report.diagnostics[0].kind),
@@ -102,7 +102,7 @@ fn every_fault_kind_maps_to_its_diagnostic() {
         );
         assert!(!profiles.is_empty());
         // The lenient thicket build accepts whatever survived.
-        let (tk, r) = Thicket::from_profiles_lenient(&profiles).unwrap();
+        let (tk, r) = Thicket::loader(&profiles).strictness(Strictness::lenient()).load().unwrap();
         assert!(r.is_clean());
         assert_eq!(tk.profiles().len(), profiles.len());
         std::fs::remove_dir_all(dir).ok();
@@ -115,7 +115,7 @@ fn every_fault_kind_maps_to_its_diagnostic() {
 fn duplicate_diagnostic_points_at_first_occurrence() {
     let dir = campaign_dir("dup", 6);
     inject(&dir, FaultKind::DuplicateProfile, 0).unwrap();
-    let (_, report) = load_ensemble_lenient(&dir).unwrap();
+    let (_, report) = load_dir(&dir, None, Strictness::lenient()).unwrap();
     match &report.diagnostics[0].kind {
         DiagKind::DuplicateProfile { first } => {
             assert!(first.ends_with(".json"), "first occurrence is a path: {first}")

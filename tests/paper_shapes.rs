@@ -21,11 +21,11 @@ fn fig10_stream_clusters() {
         cfg.seed = 40 + opt as u64;
         profiles.push(simulate_cpu_run(&cfg));
     }
-    let tk = Thicket::from_profiles_indexed(
-        &profiles,
-        &(0..4i64).map(Value::Int).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let tk = Thicket::loader(&profiles)
+        .profile_ids(&(0..4i64).map(Value::Int).collect::<Vec<_>>())
+        .load()
+        .unwrap()
+        .0;
 
     let kernels = ["Stream_ADD", "Stream_COPY", "Stream_DOT", "Stream_MUL", "Stream_TRIAD"];
     let mut labels_by_row: Vec<(String, i64)> = Vec::new();
@@ -77,7 +77,7 @@ fn fig10_stream_clusters() {
 #[test]
 fn fig11_extrap_models() {
     let profiles = marbl_ensemble(&[1, 2, 4, 8, 16, 32], 5);
-    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let tk = Thicket::loader(&profiles).load().unwrap().0;
     let mut evals = Vec::new();
     for arch in ["CTS1", "C5n.18xlarge"] {
         let sub = tk.filter_metadata(|r| r.str("arch").as_deref() == Some(arch));
@@ -108,11 +108,11 @@ fn fig14_topdown_shapes() {
         cfg.seed = size;
         by_size.push(simulate_cpu_run(&cfg));
     }
-    let tk = Thicket::from_profiles_indexed(
-        &by_size,
-        &sizes.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let tk = Thicket::loader(&by_size)
+        .profile_ids(&sizes.iter().map(|&s| Value::Int(s as i64)).collect::<Vec<_>>())
+        .load()
+        .unwrap()
+        .0;
 
     let ret = |kernel: &str, size: u64| {
         let n = tk.find_node(kernel).unwrap();
@@ -206,7 +206,7 @@ fn fig17_strong_scaling() {
 #[test]
 fn fig18_metadata_relationships() {
     let profiles = marbl_ensemble(&[1, 2, 4, 8, 16, 32], 3);
-    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let tk = Thicket::loader(&profiles).load().unwrap().0;
     let meta = tk.metadata();
     let ranks: Vec<f64> = (0..meta.len())
         .filter_map(|i| meta.row(i).f64("mpi.world.size"))
@@ -243,7 +243,7 @@ fn fig09_12_stats_and_histograms() {
             simulate_cpu_run(&cfg)
         })
         .collect();
-    let mut tk = Thicket::from_profiles(&profiles).unwrap();
+    let mut tk = Thicket::loader(&profiles).load().unwrap().0;
     tk.compute_stats(&[
         (ColKey::new("Retiring"), vec![AggFn::Std]),
         (ColKey::new("Backend bound"), vec![AggFn::Std]),

@@ -30,7 +30,7 @@ fn full_workflow_via_disk() {
 
     // Step 3: load into a thicket.
     let profiles: Vec<Profile> = paths.iter().map(|p| Profile::load(p).unwrap()).collect();
-    let mut tk = Thicket::from_profiles(&profiles).unwrap();
+    let mut tk = Thicket::loader(&profiles).load().unwrap().0;
     assert_eq!(tk.profiles().len(), 4);
 
     // Step 4: EDA.
@@ -66,7 +66,7 @@ fn real_measurements_compose() {
         p.set_metadata("run", run as i64);
         profiles.push(p);
     }
-    let mut tk = Thicket::from_profiles(&profiles).unwrap();
+    let mut tk = Thicket::loader(&profiles).load().unwrap().0;
     assert_eq!(tk.profiles().len(), 3);
     // Identical call trees collapse into one graph.
     assert_eq!(tk.graph().len(), 7);
@@ -86,7 +86,7 @@ fn query_preserves_metric_values() {
             simulate_cpu_run(&cfg)
         })
         .collect();
-    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let tk = Thicket::loader(&profiles).load().unwrap().0;
     let q = Query::builder()
         .any("*")
         .node(".", pred::name_eq("Apps_VOL3D"))
@@ -108,7 +108,7 @@ fn query_preserves_metric_values() {
 #[test]
 fn compose_and_derive_speedup() {
     let sizes = [1_048_576u64, 4_194_304];
-    let cpu = Thicket::from_profiles(
+    let cpu = Thicket::loader(
         &sizes
             .iter()
             .map(|&s| {
@@ -118,10 +118,12 @@ fn compose_and_derive_speedup() {
             })
             .collect::<Vec<_>>(),
     )
+    .load()
     .unwrap()
+    .0
     .reindex_profiles_by(&ColKey::new("problem size"))
     .unwrap();
-    let gpu = Thicket::from_profiles(
+    let gpu = Thicket::loader(
         &sizes
             .iter()
             .map(|&s| {
@@ -131,7 +133,9 @@ fn compose_and_derive_speedup() {
             })
             .collect::<Vec<_>>(),
     )
+    .load()
     .unwrap()
+    .0
     .reindex_profiles_by(&ColKey::new("problem size"))
     .unwrap();
 
@@ -178,7 +182,7 @@ fn compose_and_derive_speedup() {
 #[test]
 fn marbl_modeling_end_to_end() {
     let profiles = marbl_ensemble(&[1, 2, 4, 8, 16], 3);
-    let tk = Thicket::from_profiles(&profiles).unwrap();
+    let tk = Thicket::loader(&profiles).load().unwrap().0;
     let cts = tk.filter_metadata(|r| r.str("arch").as_deref() == Some("CTS1"));
     let models = model_metric(
         &cts,
@@ -195,7 +199,7 @@ fn marbl_modeling_end_to_end() {
 #[test]
 fn failure_modes() {
     // Empty ensemble.
-    assert!(Thicket::from_profiles(&[]).is_err());
+    assert!(Thicket::loader(&[]).load().is_err());
 
     // Corrupt profile file.
     let dir = std::env::temp_dir().join("thicket-it-corrupt");
@@ -207,7 +211,7 @@ fn failure_modes() {
 
     // Composing thickets with clashing labels.
     let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
-    let tk = Thicket::from_profiles(std::slice::from_ref(&p)).unwrap();
+    let tk = Thicket::loader(std::slice::from_ref(&p)).load().unwrap().0;
     assert!(concat_thickets(&[("X", &tk), ("X", &tk)], NodeMatch::Name).is_err());
 }
 
@@ -220,7 +224,7 @@ fn nan_metrics_contained() {
     let mut cfg = CpuRunConfig::quartz_default();
     cfg.seed = 1;
     let p2 = simulate_cpu_run(&cfg);
-    let mut tk = Thicket::from_profiles(&[p1, p2]).unwrap();
+    let mut tk = Thicket::loader(&[p1, p2]).load().unwrap().0;
     tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Max])]).unwrap();
     // Other nodes unaffected.
     let vol = tk.find_node("Apps_VOL3D").unwrap();

@@ -125,7 +125,6 @@ fn pushdown_reads_fewer_bytes_and_matches_filter_after_load() {
     let dir = tmp("pushdown");
     let profiles = runs(0..8);
     Store::save_opts(&dir, &profiles, &opts()).unwrap();
-    let keep = |seed: i64| seed < 3;
 
     let full = Store::open(&dir).unwrap();
     let (all, _) = full.load_all().unwrap();
@@ -134,7 +133,7 @@ fn pushdown_reads_fewer_bytes_and_matches_filter_after_load() {
 
     let filtered = Store::open(&dir).unwrap();
     let (subset, report) = filtered
-        .load_where(|e| matches!(e.meta("seed"), Some(Value::Int(s)) if keep(*s)))
+        .load_matching(&MetaPred::lt("seed", 3i64))
         .unwrap();
     assert!(report.is_clean());
     assert_eq!(subset.len(), 3);
@@ -146,32 +145,36 @@ fn pushdown_reads_fewer_bytes_and_matches_filter_after_load() {
     );
 
     // The pushdown thicket equals the filter-after-full-load thicket.
-    let (tk_push, rep_push) = thicket::core::Thicket::from_store_filtered(&dir, |e| {
-        matches!(e.meta("seed"), Some(Value::Int(s)) if keep(*s))
-    })
+    let (tk_push, rep_push) = thicket::core::Thicket::loader(LoadSource::store(&dir))
+    .filter(MetaPred::lt("seed", 3i64))
+    .strictness(Strictness::lenient())
+    .load()
     .unwrap();
     assert!(rep_push.is_clean(), "{rep_push}");
     let post: Vec<Profile> = all
         .into_iter()
         .filter(|p| {
-            matches!(p.metadata("seed"), Some(Value::Int(s)) if keep(*s))
+            matches!(p.metadata("seed"), Some(Value::Int(s)) if *s < 3)
         })
         .collect();
-    let tk_post = Thicket::from_profiles(&post).unwrap();
+    let tk_post = Thicket::loader(&post).load().unwrap().0;
     assert_eq!(tk_push.profiles(), tk_post.profiles());
     assert_eq!(tk_push.perf_data(), tk_post.perf_data());
     assert_eq!(tk_push.metadata(), tk_post.metadata());
     std::fs::remove_dir_all(dir).ok();
 }
 
-/// `Thicket::from_store` on a clean store composes every stored
+/// A lenient store load on a clean store composes every stored
 /// profile; its report chains the store read and the build.
 #[test]
 fn from_store_composes_full_ensemble() {
     let dir = tmp("fromstore");
     let profiles = runs(0..5);
     Store::save_opts(&dir, &profiles, &opts()).unwrap();
-    let (tk, report) = thicket::core::Thicket::from_store(&dir).unwrap();
+    let (tk, report) = thicket::core::Thicket::loader(LoadSource::store(&dir))
+        .strictness(Strictness::lenient())
+        .load()
+        .unwrap();
     assert!(report.is_clean(), "{report}");
     assert_eq!(report.attempted, 5);
     assert_eq!(tk.profiles().len(), 5);
@@ -189,11 +192,11 @@ fn corrupt_store_reports_identical_across_thread_counts() {
     inject(&dir, FaultKind::BitRot, 5).unwrap();
 
     let baseline_reader = Store::open(&dir).unwrap();
-    let (base_profiles, baseline) = baseline_reader.load_where_threads(|_| true, 1).unwrap();
+    let (base_profiles, baseline) = baseline_reader.load_matching_threads(&MetaPred::True, 1).unwrap();
     assert_eq!(baseline.dropped(), 1, "{baseline}");
     for threads in [2, 8] {
         let reader = Store::open(&dir).unwrap();
-        let (got_profiles, got) = reader.load_where_threads(|_| true, threads).unwrap();
+        let (got_profiles, got) = reader.load_matching_threads(&MetaPred::True, threads).unwrap();
         assert_eq!(baseline, got, "report differs at threads={threads}");
         assert_eq!(
             hash_set(&base_profiles),
@@ -201,5 +204,140 @@ fn corrupt_store_reports_identical_across_thread_counts() {
             "profiles differ at threads={threads}"
         );
     }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Abort `Store::append` at every enumerable crash point; recovery
+/// must serve exactly the base batch or exactly the committed
+/// base-plus-appended set — never a mix, never a loss of committed
+/// profiles.
+#[test]
+fn append_crash_point_matrix_recovers_to_exactly_one_generation() {
+    let base_batch = runs(0..3);
+    let new_batch = runs(20..23);
+    let base_hashes = hash_set(&base_batch);
+    let union_hashes: std::collections::BTreeSet<i64> =
+        base_hashes.iter().copied().chain(hash_set(&new_batch)).collect();
+
+    // Probe a clean append to enumerate its crash points.
+    let probe = tmp("append-probe");
+    Store::save_opts(&probe, &base_batch, &opts()).unwrap();
+    let clean = Store::append_opts(&probe, &new_batch, &opts()).unwrap();
+    std::fs::remove_dir_all(&probe).ok();
+    assert_eq!(clean.appended, 3);
+    assert!(clean.crash_points >= 7, "points: {}", clean.crash_points);
+
+    for point in 0..clean.crash_points {
+        let dir = tmp(&format!("append-matrix-{point}"));
+        Store::save_opts(&dir, &base_batch, &opts()).unwrap();
+        let crash_opts = StoreOptions {
+            crash_after: Some(point),
+            ..opts()
+        };
+        let err = Store::append_opts(&dir, &new_batch, &crash_opts).unwrap_err();
+        assert!(
+            matches!(err, thicket_perfsim::StoreError::InjectedCrash { .. }),
+            "point {point}: {err}"
+        );
+
+        let rec = Store::recover(&dir).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        let (profiles, report) = reader.load_all().unwrap();
+        assert!(report.is_clean(), "point {point}: {report}");
+        let got = hash_set(&profiles);
+        assert!(
+            got == base_hashes || got == union_hashes,
+            "point {point}: recovered generation {} is a mix: {got:?}",
+            rec.generation
+        );
+        assert!(Store::fsck(&dir).unwrap().is_clean(), "point {point}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// Abort `Store::compact` at every enumerable crash point; the profile
+/// set is invariant under compaction, so recovery must always serve
+/// exactly the pre-compaction profiles, fsck-clean.
+#[test]
+fn compact_crash_point_matrix_never_loses_a_profile() {
+    let profiles = runs(0..5);
+    let hashes = hash_set(&profiles);
+
+    let probe = tmp("compact-probe");
+    Store::save_opts(&probe, &profiles, &opts()).unwrap();
+    // Repack the 1-byte-budget shards (one per profile) into one full
+    // shard per generation.
+    let clean = Store::compact_opts(&probe, &StoreOptions::default()).unwrap();
+    std::fs::remove_dir_all(&probe).ok();
+    assert_eq!(clean.profiles, 5);
+    assert!(clean.shards < 5, "compaction did not repack: {}", clean.shards);
+    assert!(clean.crash_points >= 5, "points: {}", clean.crash_points);
+
+    for point in 0..clean.crash_points {
+        let dir = tmp(&format!("compact-matrix-{point}"));
+        Store::save_opts(&dir, &profiles, &opts()).unwrap();
+        let crash_opts = StoreOptions {
+            crash_after: Some(point),
+            ..StoreOptions::default()
+        };
+        let err = Store::compact_opts(&dir, &crash_opts).unwrap_err();
+        assert!(
+            matches!(err, thicket_perfsim::StoreError::InjectedCrash { .. }),
+            "point {point}: {err}"
+        );
+
+        Store::recover(&dir).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        let (reloaded, report) = reader.load_all().unwrap();
+        assert!(report.is_clean(), "point {point}: {report}");
+        assert_eq!(
+            hash_set(&reloaded),
+            hashes,
+            "point {point}: compaction crash lost or mixed profiles"
+        );
+        assert!(Store::fsck(&dir).unwrap().is_clean(), "point {point}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// A v1-format store loads unchanged through the unified loader, and
+/// `Store::compact` migrates it to the v2 columnar manifest with the
+/// same profiles and working pushdown.
+#[test]
+fn v1_store_loads_unchanged_and_compact_migrates_to_v2() {
+    use thicket_perfsim::ManifestVersion;
+
+    let dir = tmp("v1-migrate");
+    let profiles = runs(0..4);
+    let v1_opts = StoreOptions {
+        format: ManifestVersion::V1,
+        ..opts()
+    };
+    Store::save_opts(&dir, &profiles, &v1_opts).unwrap();
+    assert_eq!(Store::open(&dir).unwrap().manifest().version, ManifestVersion::V1);
+
+    // v1 loads through the same unified front door, pushdown included.
+    let (tk_v1, report) = thicket::core::Thicket::loader(LoadSource::store(&dir))
+        .filter(MetaPred::lt("seed", 2i64))
+        .strictness(Strictness::lenient())
+        .load()
+        .unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(tk_v1.profiles().len(), 2);
+
+    let migrated = Store::compact(&dir).unwrap();
+    assert_eq!(migrated.profiles, 4);
+    let reader = Store::open(&dir).unwrap();
+    assert_eq!(reader.manifest().version, ManifestVersion::V2);
+
+    let (tk_v2, report) = thicket::core::Thicket::loader(LoadSource::store(&dir))
+        .filter(MetaPred::lt("seed", 2i64))
+        .strictness(Strictness::lenient())
+        .load()
+        .unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(tk_v1.profiles(), tk_v2.profiles());
+    assert_eq!(tk_v1.perf_data(), tk_v2.perf_data());
+    assert_eq!(tk_v1.metadata(), tk_v2.metadata());
     std::fs::remove_dir_all(dir).ok();
 }

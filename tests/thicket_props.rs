@@ -50,7 +50,7 @@ proptest! {
     /// conserved exactly.
     #[test]
     fn composition_conserves_rows(profiles in ensemble_strategy()) {
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         let max_rows: usize = profiles
             .iter()
             .map(|p| p.graph().ids().filter(|&id| !p.node_metrics(id).is_empty()).count())
@@ -69,7 +69,7 @@ proptest! {
     /// groupby partitions the profile set exactly.
     #[test]
     fn groupby_partitions_profiles(profiles in ensemble_strategy()) {
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         let groups = tk.groupby(&[ColKey::new("cfg")]).unwrap();
         let total: usize = groups.iter().map(|(_, t)| t.profiles().len()).sum();
         prop_assert_eq!(total, tk.profiles().len());
@@ -84,7 +84,7 @@ proptest! {
     /// filter_metadata(p) ∪ filter_metadata(!p) recovers all profiles.
     #[test]
     fn filter_complement(profiles in ensemble_strategy()) {
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         let yes = tk.filter_metadata(|r| r.str("cfg").as_deref() == Some("c0"));
         let no = tk.filter_metadata(|r| r.str("cfg").as_deref() != Some("c0"));
         prop_assert_eq!(yes.profiles().len() + no.profiles().len(), tk.profiles().len());
@@ -97,7 +97,7 @@ proptest! {
     /// A query that matches every node preserves all perf rows.
     #[test]
     fn universal_query_preserves_rows(profiles in ensemble_strategy()) {
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         let q = Query::builder().any("+").build();
         let all = tk.query(&q).unwrap();
         prop_assert_eq!(all.perf_data().len(), tk.perf_data().len());
@@ -107,7 +107,7 @@ proptest! {
     /// squash never loses perf rows, and every surviving node is measured.
     #[test]
     fn squash_invariants(profiles in ensemble_strategy()) {
-        let tk = Thicket::from_profiles(&profiles).unwrap();
+        let tk = Thicket::loader(&profiles).load().unwrap().0;
         let sq = tk.squash();
         prop_assert_eq!(sq.perf_data().len(), tk.perf_data().len());
         let measured: std::collections::HashSet<Value> = sq
@@ -124,7 +124,7 @@ proptest! {
     /// mean lies within [min, max] per node.
     #[test]
     fn stats_bounds(profiles in ensemble_strategy()) {
-        let mut tk = Thicket::from_profiles(&profiles).unwrap();
+        let mut tk = Thicket::loader(&profiles).load().unwrap().0;
         tk.compute_stats(&[(ColKey::new("time"),
             vec![AggFn::Mean, AggFn::Min, AggFn::Max])]).unwrap();
         let measured: std::collections::HashSet<Value> = tk
@@ -154,9 +154,9 @@ proptest! {
                 .as_nanos()
         ));
         let _ = save_ensemble(&dir, &profiles).unwrap();
-        let loaded = load_ensemble(&dir).unwrap();
-        let a = Thicket::from_profiles(&profiles).unwrap();
-        let b = Thicket::from_profiles(&loaded).unwrap();
+        let (loaded, _) = load_dir(&dir, None, Strictness::FailFast).unwrap();
+        let a = Thicket::loader(&profiles).load().unwrap().0;
+        let b = Thicket::loader(&loaded).load().unwrap().0;
         prop_assert_eq!(a.perf_data().len(), b.perf_data().len());
         prop_assert_eq!(a.graph().len(), b.graph().len());
         let mut pa = a.profiles();

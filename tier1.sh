@@ -14,6 +14,11 @@ cargo test -q -p thicket-perfsim --test faults
 # crash-point matrix and the single-bit-flip CRC property.
 cargo test -q --test store_recovery
 cargo test -q -p thicket-perfsim --test store_props
+# Doc examples (the loader-builder docs especially) must compile and run.
+cargo test -q --doc
+# Deprecation-shim smoke: every legacy ingest entry point must stay
+# bit-identical to its builder spelling.
+cargo test -q -p thicket-core --test builder_equiv
 # Benches must at least compile (they are not run here: tier-1 stays fast).
 cargo bench -p thicket-bench --no-run
 # All targets: library code AND tests/benches/bins lint-clean.
