@@ -1,5 +1,5 @@
 //! Criterion benchmarks for the ingest fast path: serial vs parallel
-//! `from_profiles` row assembly, and the pairwise-chain vs single-pass
+//! loader row assembly, and the pairwise-chain vs single-pass
 //! k-way join kernel, at 10/100/560-profile scale (560 is the Figure 13
 //! study size).
 
@@ -79,6 +79,33 @@ fn bench_join(c: &mut Criterion) {
     group.finish();
 }
 
+/// v2 (JSON payloads) vs v3 (binary columnar payloads) on the shard
+/// hot path: the same ensemble saved under both formats, timed through
+/// the identical `load_all` read path. The only variable is the
+/// per-record decode.
+fn bench_payload_format(c: &mut Criterion) {
+    use thicket_perfsim::{ManifestVersion, Store, StoreOptions};
+
+    let mut group = c.benchmark_group("payload_format");
+    group.sample_size(10);
+    for &n in &[560u64, 2000] {
+        let profiles = data::quartz_runs(n, 1_048_576);
+        for (name, version) in [("v2", ManifestVersion::V2), ("v3", ManifestVersion::V3)] {
+            let dir = std::env::temp_dir().join(format!("thicket-bench-fmt-{name}-{n}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = StoreOptions {
+                format: version,
+                ..StoreOptions::default()
+            };
+            Store::save_opts(&dir, &profiles, &opts).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &dir, |b, dir| {
+                b.iter(|| Store::open(dir).unwrap().load_all().unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Sharded-store read path vs the JSON ensemble directory: full loads
 /// at equal profile counts, plus the metadata-pushdown read that skips
 /// whole shards (the predicate selects 10 of n profiles).
@@ -96,7 +123,7 @@ fn bench_store(c: &mut Criterion) {
         save_ensemble(&json_dir, &profiles).unwrap();
         Store::save(&store_dir, &profiles).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("load_ensemble", n), &json_dir, |b, dir| {
+        group.bench_with_input(BenchmarkId::new("load_dir", n), &json_dir, |b, dir| {
             b.iter(|| load_dir(dir, None, Strictness::FailFast).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("load_all", n), &store_dir, |b, dir| {
@@ -168,5 +195,5 @@ fn bench_store(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_join, bench_store);
+criterion_group!(benches, bench_ingest, bench_join, bench_payload_format, bench_store);
 criterion_main!(benches);

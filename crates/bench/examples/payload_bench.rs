@@ -1,0 +1,128 @@
+//! PERF.md workload driver: medians for the canonical store-format and
+//! ingest experiments, printed as ready-to-paste markdown.
+//!
+//! ```sh
+//! cargo run -p thicket-bench --release --example payload_bench
+//! ```
+//!
+//! Workloads (one change per experiment):
+//!
+//! * **W1 — store load, v2 vs v3**: the same 2,000-profile RAJAPerf
+//!   ensemble saved under v2 (JSON payloads) and v3 (binary columnar
+//!   payloads), timed through the identical `load_all` path. The only
+//!   variable is the per-record decode.
+//! * **W2 — pushdown read**: same stores, `seed < 10` predicate (10 of
+//!   2,000 kept), plus the `bytes_read` accounting for each.
+//! * **W3 — threaded ingest**: thicket assembly from 560 in-memory
+//!   profiles at 1/2/4/8 worker threads (the multicore scaling curve;
+//!   on a single-core host this measures the fan-out overhead floor).
+
+use std::time::Instant;
+use thicket_core::Thicket;
+use thicket_dataframe::Value;
+use thicket_perfsim::{ManifestVersion, MetaPred, Store, StoreOptions};
+
+const RUNS: usize = 5;
+
+/// Median wall-clock milliseconds over [`RUNS`] runs of `f`.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+    eprintln!("generating {n} profiles...");
+    let profiles = thicket_bench::data::quartz_runs(n, 1_048_576);
+
+    println!("## Store payload format: v2 (JSON) vs v3 (binary), {n} profiles\n");
+    let mut dirs = Vec::new();
+    let mut store_bytes = Vec::new();
+    for (name, version) in [("v2", ManifestVersion::V2), ("v3", ManifestVersion::V3)] {
+        let dir = std::env::temp_dir().join(format!("thicket-payloadbench-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StoreOptions {
+            format: version,
+            ..StoreOptions::default()
+        };
+        let t = Instant::now();
+        Store::save_opts(&dir, &profiles, &opts).unwrap();
+        let save_ms = t.elapsed().as_secs_f64() * 1e3;
+        let bytes: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        println!("- {name}: save {save_ms:.0} ms, {:.1} MiB on disk", bytes as f64 / (1 << 20) as f64);
+        dirs.push((name, dir));
+        store_bytes.push(bytes);
+    }
+    println!();
+    println!("| workload | v2 median | v3 median | speedup |");
+    println!("|---|---|---|---|");
+
+    let mut full = Vec::new();
+    let mut push = Vec::new();
+    let mut push_bytes = Vec::new();
+    for (_, dir) in &dirs {
+        full.push(median_ms(|| {
+            let (p, rep) = Store::open(dir).unwrap().load_all().unwrap();
+            assert!(rep.is_clean());
+            assert_eq!(p.len() as u64, n);
+        }));
+        let reader = Store::open(dir).unwrap();
+        let (kept, _) = reader.load_matching(&MetaPred::lt("seed", 10i64)).unwrap();
+        assert_eq!(kept.len(), 10);
+        push_bytes.push(reader.bytes_read());
+        push.push(median_ms(|| {
+            let (p, _) = Store::open(dir).unwrap().load_matching(&MetaPred::lt("seed", 10i64)).unwrap();
+            assert_eq!(p.len(), 10);
+        }));
+    }
+    println!(
+        "| full load ({n} profiles) | {:.0} ms | {:.0} ms | {:.2}x |",
+        full[0], full[1], full[0] / full[1]
+    );
+    println!(
+        "| pushdown load (10 of {n}) | {:.1} ms | {:.1} ms | {:.2}x |",
+        push[0], push[1], push[0] / push[1]
+    );
+    println!(
+        "\npushdown bytes_read: v2 {} / v3 {}; store size: v2 {:.1} MiB / v3 {:.1} MiB ({:.2}x)\n",
+        push_bytes[0],
+        push_bytes[1],
+        store_bytes[0] as f64 / (1 << 20) as f64,
+        store_bytes[1] as f64 / (1 << 20) as f64,
+        store_bytes[0] as f64 / store_bytes[1] as f64,
+    );
+    for (_, dir) in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    let m = 560u64.min(n);
+    let ingest: Vec<_> = profiles[..m as usize].to_vec();
+    let ids: Vec<Value> = (0..m as i64).map(Value::Int).collect();
+    println!("## Threaded ingest, {m} in-memory profiles → thicket\n");
+    println!("| threads | median |");
+    println!("|---|---|");
+    for threads in [1usize, 2, 4, 8] {
+        let ms = median_ms(|| {
+            Thicket::loader(&ingest[..])
+                .profile_ids(&ids)
+                .threads(threads)
+                .load()
+                .unwrap();
+        });
+        println!("| {threads} | {ms:.0} ms |");
+    }
+    eprintln!("done");
+}

@@ -227,6 +227,7 @@ mod tests {
             .collect();
         Thicket::loader(&profiles).load()
             .unwrap()
+            .0
             .reindex_profiles_by(&ColKey::new("problem size"))
             .unwrap()
     }
@@ -242,6 +243,7 @@ mod tests {
             .collect();
         Thicket::loader(&profiles).load()
             .unwrap()
+            .0
             .reindex_profiles_by(&ColKey::new("problem size"))
             .unwrap()
     }

@@ -13,14 +13,14 @@ use thicket_query::Query;
 
 impl Thicket {
     /// Ingest additional profiles into this thicket in place — the
-    /// incremental counterpart of [`Thicket::from_profiles_indexed`].
+    /// incremental counterpart of a full [`crate::Loader`] build.
     ///
     /// The existing performance data is *not* rebuilt from its source
     /// profiles: it rides into the merge as one pre-typed column batch,
     /// re-keyed through the graph union, alongside one freshly
     /// assembled batch per new profile. The result equals rebuilding
     /// from the full profile set whenever the existing thicket was
-    /// itself built by `from_profiles*`.
+    /// itself built by [`crate::Loader`].
     ///
     /// Aggregated statistics are cleared: they described the old
     /// ensemble.
@@ -270,13 +270,24 @@ mod tests {
         p
     }
 
+    fn build(profiles: &[Profile]) -> Thicket {
+        Thicket::loader(profiles).load().map(|(tk, _)| tk).unwrap()
+    }
+
+    fn build_indexed(profiles: &[Profile], ids: &[Value]) -> Thicket {
+        Thicket::loader(profiles)
+            .profile_ids(ids)
+            .load()
+            .map(|(tk, _)| tk)
+            .unwrap()
+    }
+
     #[test]
     fn squash_drops_unmeasured_nodes() {
-        let tk = Thicket::from_profiles(&[
+        let tk = build(&[
             profile_with_structure(1, false),
             profile_with_structure(2, false),
-        ])
-        .unwrap();
+        ]);
         assert_eq!(tk.graph().len(), 3);
         let squashed = tk.squash();
         // Only `kernel` carries metrics.
@@ -291,7 +302,7 @@ mod tests {
 
     #[test]
     fn squash_preserves_measured_ancestry() {
-        let tk = Thicket::from_profiles(&[profile_with_structure(1, true)]).unwrap();
+        let tk = build(&[profile_with_structure(1, true)]);
         let squashed = tk.squash();
         assert_eq!(squashed.graph().len(), 2);
         let kernel = squashed.find_node("kernel").unwrap();
@@ -305,11 +316,10 @@ mod tests {
     #[test]
     fn intersect_nodes_keeps_common_only() {
         // Profile 2 has an extra measured node (wrapper).
-        let tk = Thicket::from_profiles(&[
+        let tk = build(&[
             profile_with_structure(1, false),
             profile_with_structure(2, true),
-        ])
-        .unwrap();
+        ]);
         let common = tk.intersect_nodes();
         // Only `kernel` is measured in both profiles.
         assert_eq!(common.graph().len(), 1);
@@ -318,7 +328,7 @@ mod tests {
 
     #[test]
     fn query_str_end_to_end() {
-        let tk = Thicket::from_profiles(&[profile_with_structure(1, true)]).unwrap();
+        let tk = build(&[profile_with_structure(1, true)]);
         let hit = tk.query_str(r#"("*") -> (".", name == "kernel")"#).unwrap();
         assert!(hit.find_node("kernel").is_some());
         assert!(tk.query_str("((((").is_err());
@@ -326,11 +336,10 @@ mod tests {
 
     #[test]
     fn csv_exports() {
-        let mut tk = Thicket::from_profiles(&[
+        let mut tk = build(&[
             profile_with_structure(1, false),
             profile_with_structure(2, false),
-        ])
-        .unwrap();
+        ]);
         tk.compute_stats_all(thicket_dataframe::AggFn::Mean).unwrap();
         let perf = tk.perf_csv();
         assert!(perf.lines().next().unwrap().starts_with("node,profile"));
@@ -343,8 +352,8 @@ mod tests {
 
     #[test]
     fn graph_diff_between_thickets() {
-        let a = Thicket::from_profiles(&[profile_with_structure(1, false)]).unwrap();
-        let b = Thicket::from_profiles(&[profile_with_structure(2, false)]).unwrap();
+        let a = build(&[profile_with_structure(1, false)]);
+        let b = build(&[profile_with_structure(2, false)]);
         let d = a.graph_diff(&b);
         assert!(d.is_identical());
         assert_eq!(d.similarity(), 1.0);
@@ -387,7 +396,7 @@ mod tests {
         divergent.set_metric(kernel, "time", 2.0);
         divergent.set_metric(extra, "time", 7.0);
 
-        let mut tk = Thicket::from_profiles_indexed(&[base], &[Value::Int(0)]).unwrap();
+        let mut tk = build_indexed(&[base], &[Value::Int(0)]);
         assert_eq!(tk.graph().len(), 3);
         tk.extend(&[divergent], &[Value::Int(1)]).unwrap();
         assert_eq!(tk.graph().len(), 4);
@@ -403,9 +412,7 @@ mod tests {
 
     #[test]
     fn extend_validates_ids_and_handles_empty() {
-        let mut tk =
-            Thicket::from_profiles_indexed(&[profile_with_structure(1, false)], &[Value::Int(0)])
-                .unwrap();
+        let mut tk = build_indexed(&[profile_with_structure(1, false)], &[Value::Int(0)]);
         // Colliding with an existing profile id.
         assert!(tk
             .extend(&[profile_with_structure(2, false)], &[Value::Int(0)])
@@ -430,11 +437,10 @@ mod tests {
 
     #[test]
     fn profile_totals_sum_metrics() {
-        let tk = Thicket::from_profiles_indexed(
+        let tk = build_indexed(
             &[profile_with_structure(1, true), profile_with_structure(2, true)],
             &[Value::Int(1), Value::Int(2)],
-        )
-        .unwrap();
+        );
         let totals = tk.profile_totals(&ColKey::new("time")).unwrap();
         assert_eq!(totals.len(), 2);
         assert!((totals[0].1 - 1.1).abs() < 1e-12);

@@ -93,11 +93,11 @@ mod tests {
                 simulate_cpu_run(&cfg)
             })
             .collect();
-        Thicket::from_profiles_indexed(
-            &profiles,
-            &(0..3i64).map(Value::Int).collect::<Vec<_>>(),
-        )
-        .unwrap()
+        Thicket::loader(&profiles[..])
+            .profile_ids(&(0..3i64).map(Value::Int).collect::<Vec<_>>())
+            .load()
+            .map(|(tk, _)| tk)
+            .unwrap()
     }
 
     #[test]

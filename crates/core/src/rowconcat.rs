@@ -115,7 +115,10 @@ mod tests {
     fn cpu(seed: u64) -> Thicket {
         let mut cfg = CpuRunConfig::quartz_default();
         cfg.seed = seed;
-        Thicket::from_profiles(&[simulate_cpu_run(&cfg)]).unwrap()
+        Thicket::loader(&[simulate_cpu_run(&cfg)][..])
+            .load()
+            .map(|(tk, _)| tk)
+            .unwrap()
     }
 
     #[test]
@@ -144,7 +147,10 @@ mod tests {
     fn mixed_tools_null_fill() {
         let cpu_tk = cpu(1);
         let gpu_tk =
-            Thicket::from_profiles(&[simulate_gpu_run(&GpuRunConfig::lassen_default())]).unwrap();
+            Thicket::loader(&[simulate_gpu_run(&GpuRunConfig::lassen_default())][..])
+            .load()
+            .map(|(tk, _)| tk)
+            .unwrap();
         let pooled = concat_thickets_rows(&[&cpu_tk, &gpu_tk]).unwrap();
         assert_eq!(pooled.profiles().len(), 2);
         // Graph is the union of the two shapes.

@@ -3,7 +3,6 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
 use thicket_dataframe::{
     merge_fragments, ColKey, Column, ColumnFragments, DataFrame, DfError, FrameBuilder, Index,
     Value,
@@ -87,61 +86,10 @@ pub struct Thicket {
 }
 
 impl Thicket {
-    /// Compose an ensemble of profiles into one thicket (paper §3.2.1).
-    ///
-    /// Profile indices are the deterministic metadata hashes
-    /// ([`Profile::profile_hash`]); use [`Thicket::from_profiles_indexed`]
-    /// to supply study-relevant indices (e.g. the problem size).
-    #[deprecated(since = "0.5.0", note = "use `Thicket::loader(profiles).load()`")]
-    pub fn from_profiles(profiles: &[Profile]) -> Result<Thicket, ThicketError> {
-        Thicket::loader(profiles).load().map(|(tk, _)| tk)
-    }
-
-    /// Compose profiles with caller-chosen profile index values.
-    ///
-    /// Per-profile row assembly fans out over worker threads (see
-    /// [`Thicket::from_profiles_indexed_threads`] to pick the count);
-    /// the result is bit-identical regardless of thread count.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(profiles).profile_ids(ids).load()`"
-    )]
-    pub fn from_profiles_indexed(
-        profiles: &[Profile],
-        profile_ids: &[Value],
-    ) -> Result<Thicket, ThicketError> {
-        Thicket::loader(profiles)
-            .profile_ids(profile_ids)
-            .load()
-            .map(|(tk, _)| tk)
-    }
-
-    /// [`Thicket::from_profiles_indexed`] with an explicit worker count.
-    ///
-    /// Each profile's `(node, metrics)` rows are assembled independently
-    /// on `threads` workers; the per-profile batches are then merged into
-    /// the frame serially in input order, so the output is deterministic
-    /// for any `threads ≥ 1`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(profiles).profile_ids(ids).threads(n).load()`"
-    )]
-    pub fn from_profiles_indexed_threads(
-        profiles: &[Profile],
-        profile_ids: &[Value],
-        threads: usize,
-    ) -> Result<Thicket, ThicketError> {
-        Thicket::loader(profiles)
-            .profile_ids(profile_ids)
-            .threads(threads)
-            .load()
-            .map(|(tk, _)| tk)
-    }
-
-    /// Strict build engine shared by the deprecated entry points and
-    /// [`crate::Loader`]: compose `profiles` under caller-chosen index
-    /// values on `threads` workers, failing on the first unhealthy
-    /// input. Bit-identical for any `threads ≥ 1`.
+    /// Strict build engine behind [`crate::Loader`]: compose `profiles`
+    /// under caller-chosen index values on `threads` workers, failing
+    /// on the first unhealthy input. Bit-identical for any
+    /// `threads ≥ 1`.
     pub(crate) fn build_indexed_threads(
         profiles: &[Profile],
         profile_ids: &[Value],
@@ -209,71 +157,17 @@ impl Thicket {
         })
     }
 
-    /// Lenient counterpart of [`Thicket::from_profiles`]: unhealthy
+    /// Lenient build engine behind [`crate::Loader`]: unhealthy
     /// profiles (duplicate ids, non-finite metrics, panicking assembly
-    /// workers) are dropped and reported instead of failing the build.
+    /// workers) are dropped with typed diagnostics instead of failing
+    /// the build; errs only when no profile survives.
     ///
-    /// Returns the thicket over the healthy subset plus an
-    /// [`IngestReport`] with one typed diagnostic per dropped profile,
-    /// identical for any worker-thread count. Errs only when *no*
-    /// profile survives.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(profiles).strictness(Strictness::lenient()).load()`"
-    )]
-    pub fn from_profiles_lenient(
-        profiles: &[Profile],
-    ) -> Result<(Thicket, IngestReport), ThicketError> {
-        Thicket::loader(profiles)
-            .strictness(thicket_perfsim::Strictness::lenient())
-            .load()
-    }
-
-    /// [`Thicket::from_profiles_lenient`] with caller-chosen profile
-    /// index values.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(profiles).profile_ids(ids).strictness(Strictness::lenient()).load()`"
-    )]
-    pub fn from_profiles_indexed_lenient(
-        profiles: &[Profile],
-        profile_ids: &[Value],
-    ) -> Result<(Thicket, IngestReport), ThicketError> {
-        Thicket::loader(profiles)
-            .profile_ids(profile_ids)
-            .strictness(thicket_perfsim::Strictness::lenient())
-            .load()
-    }
-
-    /// [`Thicket::from_profiles_indexed_lenient`] with an explicit
-    /// worker count.
-    ///
-    /// Pre-validation (duplicate ids, non-finite metrics) runs serially
-    /// in input order; row assembly fans out with per-profile panic
-    /// capture. A panicking profile is dropped with a
-    /// [`thicket_perfsim::DiagKind::WorkerPanic`] diagnostic and the
-    /// build retries on the surviving subset, so a deterministic panic
-    /// converges (each round removes at least one profile) and the
-    /// report is identical for any `threads ≥ 1`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(profiles).profile_ids(ids).strictness(Strictness::lenient()).threads(n).load()`"
-    )]
-    pub fn from_profiles_indexed_lenient_threads(
-        profiles: &[Profile],
-        profile_ids: &[Value],
-        threads: usize,
-    ) -> Result<(Thicket, IngestReport), ThicketError> {
-        Thicket::loader(profiles)
-            .profile_ids(profile_ids)
-            .strictness(thicket_perfsim::Strictness::lenient())
-            .threads(threads)
-            .load()
-    }
-
-    /// Lenient build engine shared by the deprecated entry points and
-    /// [`crate::Loader`]: unhealthy profiles are dropped with typed
-    /// diagnostics; errs only when no profile survives.
+    /// Pre-validation runs serially in input order; row assembly fans
+    /// out with per-profile panic capture. A panicking profile is
+    /// dropped with a [`thicket_perfsim::DiagKind::WorkerPanic`]
+    /// diagnostic and the build retries on the surviving subset, so a
+    /// deterministic panic converges and the report is identical for
+    /// any `threads ≥ 1`.
     pub(crate) fn build_indexed_lenient_threads(
         profiles: &[Profile],
         profile_ids: &[Value],
@@ -406,67 +300,6 @@ impl Thicket {
                 report,
             ));
         }
-    }
-
-    /// Build a thicket straight from a sharded on-disk store
-    /// ([`thicket_perfsim::Store`]): open the newest verified
-    /// generation, load every record, and compose the healthy subset.
-    ///
-    /// Corrupt records surface as typed diagnostics in the returned
-    /// [`IngestReport`] (checksum mismatches, torn shards) alongside
-    /// any composition diagnostics; the report is byte-identical for
-    /// any worker-thread count. Errs only when the store itself cannot
-    /// be opened or no profile survives.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(LoadSource::store(dir)).strictness(Strictness::lenient()).load()`"
-    )]
-    pub fn from_store(dir: impl AsRef<Path>) -> Result<(Thicket, IngestReport), ThicketError> {
-        Thicket::loader(crate::LoadSource::store(dir.as_ref()))
-            .strictness(thicket_perfsim::Strictness::lenient())
-            .load()
-    }
-
-    /// [`Thicket::from_store`] with metadata pushdown: `pred` is
-    /// evaluated against each profile's manifest index entry
-    /// ([`thicket_perfsim::StoreEntry`]) *before* any shard I/O, so
-    /// shards with no selected record are never opened and partially
-    /// selected shards are read only in the selected byte ranges.
-    ///
-    /// The resulting thicket equals filtering the same profiles after
-    /// a full load — it just parses strictly fewer bytes whenever the
-    /// predicate excludes anything.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(LoadSource::store(dir)).filter(pred).load()` with a typed `MetaPred`"
-    )]
-    pub fn from_store_filtered(
-        dir: impl AsRef<Path>,
-        pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
-    ) -> Result<(Thicket, IngestReport), ThicketError> {
-        Thicket::loader(crate::LoadSource::store(dir.as_ref()))
-            .strictness(thicket_perfsim::Strictness::lenient())
-            .filter_entries(pred)
-            .load()
-    }
-
-    /// [`Thicket::from_store_filtered`] with an explicit worker count
-    /// for both the payload-parse and row-assembly fan-outs. The
-    /// thicket and report are identical for any `threads ≥ 1`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `Thicket::loader(LoadSource::store(dir)).filter(pred).threads(n).load()`"
-    )]
-    pub fn from_store_filtered_threads(
-        dir: impl AsRef<Path>,
-        pred: impl FnMut(&thicket_perfsim::StoreEntry) -> bool,
-        threads: usize,
-    ) -> Result<(Thicket, IngestReport), ThicketError> {
-        Thicket::loader(crate::LoadSource::store(dir.as_ref()))
-            .strictness(thicket_perfsim::Strictness::lenient())
-            .filter_entries(pred)
-            .threads(threads)
-            .load()
     }
 
     /// Assemble a thicket from raw components (used by composition and
@@ -712,7 +545,7 @@ fn first_non_finite(p: &Profile) -> Option<(usize, String)> {
         p.node_metrics(id)
             .iter()
             .find(|(_, v)| !v.is_finite())
-            .map(|(k, _)| (id.index(), k.clone()))
+            .map(|(k, _)| (id.index(), k.to_string()))
     })
 }
 
@@ -730,11 +563,11 @@ fn assemble_fragment(
     // profile's own metric map; only genuinely merged duplicates pay for
     // an owned sum map.
     enum Metrics<'a> {
-        Borrowed(&'a std::collections::BTreeMap<String, f64>),
-        Owned(std::collections::BTreeMap<String, f64>),
+        Borrowed(&'a std::collections::BTreeMap<std::sync::Arc<str>, f64>),
+        Owned(std::collections::BTreeMap<std::sync::Arc<str>, f64>),
     }
     impl Metrics<'_> {
-        fn map(&self) -> &std::collections::BTreeMap<String, f64> {
+        fn map(&self) -> &std::collections::BTreeMap<std::sync::Arc<str>, f64> {
             match self {
                 Metrics::Borrowed(m) => m,
                 Metrics::Owned(m) => m,
@@ -781,8 +614,8 @@ fn assemble_fragment(
     for (node, metrics) in &rows {
         frag.push_key(vec![Value::Int(*node), pid.clone()])?;
         for k in metrics.map().keys() {
-            if seen.insert(k.as_str()) {
-                names.push(k.as_str());
+            if seen.insert(k.as_ref()) {
+                names.push(k.as_ref());
             }
         }
     }
@@ -843,6 +676,40 @@ impl fmt::Display for Thicket {
 mod tests {
     use super::*;
     use thicket_graph::Frame;
+    use thicket_perfsim::Strictness;
+
+    /// Loader-builder spellings of the historical constructors, so the
+    /// tests read as tersely as the old API.
+    fn build(profiles: &[Profile]) -> Result<Thicket, ThicketError> {
+        Thicket::loader(profiles).load().map(|(tk, _)| tk)
+    }
+
+    fn build_indexed(profiles: &[Profile], ids: &[Value]) -> Result<Thicket, ThicketError> {
+        Thicket::loader(profiles)
+            .profile_ids(ids)
+            .load()
+            .map(|(tk, _)| tk)
+    }
+
+    fn build_lenient(profiles: &[Profile]) -> Result<(Thicket, IngestReport), ThicketError> {
+        Thicket::loader(profiles)
+            .strictness(Strictness::lenient())
+            .load()
+    }
+
+    fn build_indexed_lenient(
+        profiles: &[Profile],
+        ids: &[Value],
+        threads: Option<usize>,
+    ) -> Result<(Thicket, IngestReport), ThicketError> {
+        let mut loader = Thicket::loader(profiles)
+            .profile_ids(ids)
+            .strictness(Strictness::lenient());
+        if let Some(t) = threads {
+            loader = loader.threads(t);
+        }
+        loader.load()
+    }
 
     fn profile(run: i64, extra_node: bool) -> Profile {
         let mut g = Graph::new();
@@ -864,7 +731,7 @@ mod tests {
 
     #[test]
     fn construction_shapes() {
-        let tk = Thicket::from_profiles(&[profile(1, false), profile(2, false)]).unwrap();
+        let tk = build(&[profile(1, false), profile(2, false)]).unwrap();
         assert_eq!(tk.graph().len(), 3);
         assert_eq!(tk.metadata().len(), 2);
         assert_eq!(tk.perf_data().len(), 6);
@@ -874,7 +741,7 @@ mod tests {
 
     #[test]
     fn divergent_trees_union_with_nulls() {
-        let tk = Thicket::from_profiles(&[profile(1, false), profile(2, true)]).unwrap();
+        let tk = build(&[profile(1, false), profile(2, true)]).unwrap();
         assert_eq!(tk.graph().len(), 4); // MAIN FOO BAR BAZ
         // BAZ has a row only for profile 2: 3 + 4 = 7 rows.
         assert_eq!(tk.perf_data().len(), 7);
@@ -882,7 +749,7 @@ mod tests {
 
     #[test]
     fn custom_profile_index() {
-        let tk = Thicket::from_profiles_indexed(
+        let tk = build_indexed(
             &[profile(1, false), profile(2, false)],
             &[Value::Int(1048576), Value::Int(4194304)],
         )
@@ -892,14 +759,14 @@ mod tests {
 
     #[test]
     fn invalid_inputs() {
-        assert!(Thicket::from_profiles(&[]).is_err());
-        assert!(Thicket::from_profiles_indexed(
+        assert!(build(&[]).is_err());
+        assert!(build_indexed(
             &[profile(1, false)],
             &[Value::Int(1), Value::Int(2)]
         )
         .is_err());
         // Duplicate ids rejected.
-        assert!(Thicket::from_profiles_indexed(
+        assert!(build_indexed(
             &[profile(1, false), profile(2, false)],
             &[Value::Int(5), Value::Int(5)]
         )
@@ -908,7 +775,7 @@ mod tests {
 
     #[test]
     fn metric_lookup() {
-        let tk = Thicket::from_profiles_indexed(
+        let tk = build_indexed(
             &[profile(1, false), profile(3, false)],
             &[Value::Int(10), Value::Int(30)],
         )
@@ -923,7 +790,7 @@ mod tests {
 
     #[test]
     fn named_tables_show_node_names() {
-        let tk = Thicket::from_profiles(&[profile(1, false)]).unwrap();
+        let tk = build(&[profile(1, false)]).unwrap();
         let named = tk.perf_data_named();
         let first = named.index().key(0);
         assert_eq!(first[0], Value::from("MAIN"));
@@ -931,7 +798,7 @@ mod tests {
 
     #[test]
     fn tree_rendering() {
-        let tk = Thicket::from_profiles_indexed(&[profile(1, false)], &[Value::Int(7)]).unwrap();
+        let tk = build_indexed(&[profile(1, false)], &[Value::Int(7)]).unwrap();
         let s = tk.tree(&ColKey::new("time"), &Value::Int(7));
         assert!(s.contains("MAIN"));
         assert!(s.contains("├─") || s.contains("└─"));
@@ -940,7 +807,7 @@ mod tests {
 
     #[test]
     fn to_samples_drops_nulls() {
-        let tk = Thicket::from_profiles(&[profile(1, false), profile(2, true)]).unwrap();
+        let tk = build(&[profile(1, false), profile(2, true)]).unwrap();
         let (samples, keys) = tk.to_samples(&[ColKey::new("time")]).unwrap();
         assert_eq!(samples.len(), 7);
         assert_eq!(keys.len(), 7);
@@ -949,7 +816,7 @@ mod tests {
 
     #[test]
     fn derived_column() {
-        let mut tk = Thicket::from_profiles(&[profile(2, false)]).unwrap();
+        let mut tk = build(&[profile(2, false)]).unwrap();
         tk.add_derived_column("time2x", |r| {
             Value::Float(r.f64("time").unwrap_or(f64::NAN) * 2.0)
         })
@@ -961,8 +828,8 @@ mod tests {
     #[test]
     fn lenient_matches_strict_on_healthy_input() {
         let profiles = [profile(1, false), profile(2, true)];
-        let strict = Thicket::from_profiles(&profiles).unwrap();
-        let (lenient, report) = Thicket::from_profiles_lenient(&profiles).unwrap();
+        let strict = build(&profiles).unwrap();
+        let (lenient, report) = build_lenient(&profiles).unwrap();
         assert!(report.is_clean());
         assert_eq!(report.attempted, 2);
         assert_eq!(report.loaded, 2);
@@ -980,8 +847,7 @@ mod tests {
         let mut reports = Vec::new();
         for threads in [1, 2, 8] {
             let (tk, report) =
-                Thicket::from_profiles_indexed_lenient_threads(&profiles, &ids, threads)
-                    .unwrap();
+                build_indexed_lenient(&profiles, &ids, Some(threads)).unwrap();
             assert_eq!(tk.profiles(), vec![Value::Int(10)], "threads={threads}");
             assert_eq!(report.loaded, 1);
             assert_eq!(report.dropped(), 2);
@@ -1005,14 +871,14 @@ mod tests {
         let mut bad = profile(3, false);
         let main = bad.graph().find_by_name("MAIN").unwrap();
         bad.set_metric(main, "time", f64::NAN);
-        let r = Thicket::from_profiles_indexed_lenient(&[bad], &[Value::Int(9)]);
+        let r = build_indexed_lenient(&[bad], &[Value::Int(9)], None);
         assert!(r.is_err(), "sole poisoned profile must hard-error");
-        assert!(Thicket::from_profiles_lenient(&[]).is_err());
+        assert!(build_lenient(&[]).is_err());
     }
 
     #[test]
     fn metadata_column_map() {
-        let tk = Thicket::from_profiles_indexed(
+        let tk = build_indexed(
             &[profile(1, false), profile(2, false)],
             &[Value::Int(1), Value::Int(2)],
         )

@@ -123,11 +123,11 @@ mod tests {
                 simulate_cpu_run(&cfg)
             })
             .collect();
-        Thicket::from_profiles_indexed(
-            &profiles,
-            &[Value::Int(10), Value::Int(20)],
-        )
-        .unwrap()
+        Thicket::loader(&profiles[..])
+            .profile_ids(&[Value::Int(10), Value::Int(20)])
+            .load()
+            .map(|(tk, _)| tk)
+            .unwrap()
     }
 
     #[test]

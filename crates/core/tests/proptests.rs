@@ -21,7 +21,7 @@ fn profiles_for(seeds: &[u64]) -> Vec<thicket_perfsim::Profile> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// `from_profiles_indexed_threads` produces the same thicket —
+    /// The threaded loader build produces the same thicket —
     /// every frame, every cell, same row order — for threads ∈ {1, 2, 8}
     /// over random ensembles.
     #[test]

@@ -9,12 +9,19 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use thicket_dataframe::Value;
+use std::sync::Arc;
+use thicket_dataframe::{intern, Value};
 
 /// An ordered attribute map identifying a call-tree node.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Keys are interner-shared `Arc<str>`: attribute names repeat across
+/// every node of every profile in an ensemble ("name", "type", …), so
+/// frames hold refcounts into the global intern table instead of one
+/// owned `String` per node. Ordering and lookup are by string contents,
+/// exactly as with owned keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Frame {
-    attrs: BTreeMap<String, Value>,
+    attrs: BTreeMap<Arc<str>, Value>,
 }
 
 impl Frame {
@@ -22,7 +29,7 @@ impl Frame {
     /// source regions).
     pub fn named(name: impl AsRef<str>) -> Self {
         let mut attrs = BTreeMap::new();
-        attrs.insert("name".to_string(), Value::from(name.as_ref()));
+        attrs.insert(intern("name"), Value::from(name.as_ref()));
         Frame { attrs }
     }
 
@@ -31,14 +38,16 @@ impl Frame {
     pub fn with_type(name: impl AsRef<str>, node_type: impl AsRef<str>) -> Self {
         let mut f = Frame::named(name);
         f.attrs
-            .insert("type".to_string(), Value::from(node_type.as_ref()));
+            .insert(intern("type"), Value::from(node_type.as_ref()));
         f
     }
 
-    /// Build from arbitrary attributes.
-    pub fn from_attrs(attrs: impl IntoIterator<Item = (String, Value)>) -> Self {
+    /// Build from arbitrary attributes. Pre-interned `Arc<str>` keys
+    /// are adopted as-is (the profile-decode hot path); `String` /
+    /// `&str` keys convert per entry.
+    pub fn from_attrs<K: Into<Arc<str>>>(attrs: impl IntoIterator<Item = (K, Value)>) -> Self {
         Frame {
-            attrs: attrs.into_iter().collect(),
+            attrs: attrs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
         }
     }
 
@@ -48,7 +57,7 @@ impl Frame {
     }
 
     /// Set (or replace) an attribute, returning self for chaining.
-    pub fn set(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn set(mut self, key: impl Into<Arc<str>>, value: impl Into<Value>) -> Self {
         self.attrs.insert(key.into(), value.into());
         self
     }
@@ -68,7 +77,7 @@ impl Frame {
 
     /// Iterate attributes in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+        self.attrs.iter().map(|(k, v)| (k.as_ref(), v))
     }
 
     /// Number of attributes.

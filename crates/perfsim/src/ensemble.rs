@@ -5,9 +5,9 @@
 //! [`crate::ingest::Strictness`] run through it (`FailFast` aborts on
 //! the first unhealthy file, identified by path and deterministic for
 //! any thread count; `Lenient` returns the healthy subset plus a
-//! per-file [`IngestReport`]). The old `load_ensemble*` entry points
-//! remain as deprecated wrappers; new code should reach ensembles
-//! through `Thicket::loader` in `thicket-core`.
+//! per-file [`IngestReport`]). Most code should reach ensembles
+//! through `Thicket::loader` in `thicket-core`, which drives this
+//! engine.
 
 use crate::ingest::{DiagKind, Diagnostic, IngestReport, Strictness};
 use crate::parallel::{parallel_map_catch, try_parallel_map, JobFailure};
@@ -74,41 +74,6 @@ pub fn save_ensemble(
         out.push(path.clone());
     }
     Ok(out)
-}
-
-/// Load every `*.json` profile in `dir`, sorted by filename for
-/// determinism. Non-profile files fail loudly (the collection directory
-/// is expected to be clean); the error names the offending path.
-#[deprecated(note = "use `load_dir(dir, None, Strictness::FailFast)` or `Thicket::loader`")]
-pub fn load_ensemble(dir: impl AsRef<Path>) -> Result<Vec<Profile>, ProfileError> {
-    load_dir(dir, None, Strictness::FailFast).map(|(profiles, _)| profiles)
-}
-
-/// [`load_ensemble`] with an explicit worker count.
-#[deprecated(note = "use `load_dir(dir, Some(threads), Strictness::FailFast)` or `Thicket::loader`")]
-pub fn load_ensemble_threads(
-    dir: impl AsRef<Path>,
-    threads: usize,
-) -> Result<Vec<Profile>, ProfileError> {
-    load_dir(dir, Some(threads), Strictness::FailFast).map(|(profiles, _)| profiles)
-}
-
-/// Lenient directory load: healthy profiles plus a typed report.
-#[deprecated(note = "use `load_dir(dir, None, Strictness::lenient())` or `Thicket::loader`")]
-pub fn load_ensemble_lenient(
-    dir: impl AsRef<Path>,
-) -> Result<(Vec<Profile>, IngestReport), ProfileError> {
-    load_dir(dir, None, Strictness::lenient())
-}
-
-/// Directory load with an explicit worker count and strictness.
-#[deprecated(note = "use `load_dir` or `Thicket::loader`")]
-pub fn load_ensemble_opts(
-    dir: impl AsRef<Path>,
-    threads: usize,
-    strictness: Strictness,
-) -> Result<(Vec<Profile>, IngestReport), ProfileError> {
-    load_dir(dir, Some(threads), strictness)
 }
 
 /// The directory-load engine: every `*.json` profile in `dir`, sorted

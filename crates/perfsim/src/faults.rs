@@ -10,7 +10,13 @@
 //! empty call trees (instrumentation produced nothing). For
 //! [`crate::store`] directories there are three more: torn shards
 //! (crash mid-append), bit rot inside a shard record, and a stale
-//! (unverifiable) newest manifest.
+//! (unverifiable) newest manifest. v3 stores add four *payload*
+//! corruptors ([`FaultKind::STORE_V3`]) that re-frame the record after
+//! corrupting it — frame CRC, manifest entry, shard digest, and
+//! manifest self-CRC all recomputed — so every checksum verifies and
+//! the damage reaches the binary payload decoder itself: a truncation
+//! mid-metric-column, a flipped column CRC, a mismatched column entry
+//! count, and an out-of-range name-table index.
 //!
 //! Every corruptor is a pure function of `(directory contents, seed)`:
 //! the same seed always corrupts the same victim the same way, so tests
@@ -53,12 +59,26 @@ pub enum FaultKind {
     /// Corrupt the newest store manifest so it no longer verifies
     /// (torn or rotted commit record). Store directories only.
     StaleManifest,
+    /// Truncate a v3 record's payload in the middle of a metric
+    /// column's data block, re-framing the record so every checksum
+    /// still verifies. v3 store directories only.
+    TruncatedColumn,
+    /// Flip one bit in the CRC32C a v3 payload stores for one metric
+    /// column (re-framed). v3 store directories only.
+    ColumnCrcRot,
+    /// Bump a v3 metric column's declared entry count so the declared
+    /// and actual data lengths disagree (re-framed). v3 store
+    /// directories only.
+    ColumnCountMismatch,
+    /// Point a v3 metric column's name at a name-table slot past the
+    /// end of the table (re-framed). v3 store directories only.
+    NameIndexOutOfRange,
 }
 
 impl FaultKind {
     /// Every fault kind, ensemble-directory kinds first, then the
     /// store-directory kinds.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 14] = [
         FaultKind::Truncate,
         FaultKind::FlipByte,
         FaultKind::DropMetrics,
@@ -69,6 +89,10 @@ impl FaultKind {
         FaultKind::TornShard,
         FaultKind::BitRot,
         FaultKind::StaleManifest,
+        FaultKind::TruncatedColumn,
+        FaultKind::ColumnCrcRot,
+        FaultKind::ColumnCountMismatch,
+        FaultKind::NameIndexOutOfRange,
     ];
 
     /// The kinds that apply to a loose-JSON ensemble directory, in the
@@ -91,13 +115,29 @@ impl FaultKind {
         FaultKind::StaleManifest,
     ];
 
+    /// The kinds that corrupt a v3 record's *payload* and re-frame it
+    /// (every checksum recomputed), so the damage is only detectable by
+    /// actually decoding — the deep half of `Store::fsck` and the load
+    /// path's decoder hardening.
+    pub const STORE_V3: [FaultKind; 4] = [
+        FaultKind::TruncatedColumn,
+        FaultKind::ColumnCrcRot,
+        FaultKind::ColumnCountMismatch,
+        FaultKind::NameIndexOutOfRange,
+    ];
+
     /// True for the kinds that corrupt a sharded store rather than a
     /// loose-JSON directory.
     pub fn is_store_fault(&self) -> bool {
         matches!(
             self,
             FaultKind::TornShard | FaultKind::BitRot | FaultKind::StaleManifest
-        )
+        ) || self.is_v3_payload_fault()
+    }
+
+    /// True for the [`FaultKind::STORE_V3`] payload corruptors.
+    pub fn is_v3_payload_fault(&self) -> bool {
+        FaultKind::STORE_V3.contains(self)
     }
 
     /// Does `diag` have the type this fault must surface as?
@@ -113,6 +153,17 @@ impl FaultKind {
             (FaultKind::TornShard, DiagKind::TornShard { .. }) => true,
             (FaultKind::BitRot, DiagKind::ChecksumMismatch { .. }) => true,
             (FaultKind::StaleManifest, DiagKind::StaleManifest { .. }) => true,
+            // The payload corruptors surface from the binary decoder.
+            (FaultKind::TruncatedColumn, DiagKind::Schema(m)) => {
+                m.contains("metric column") || m.contains("truncated")
+            }
+            (FaultKind::ColumnCrcRot, DiagKind::Schema(m)) => m.contains("checksum mismatch"),
+            (FaultKind::ColumnCountMismatch, DiagKind::Schema(m)) => {
+                m.contains("metric column") || m.contains("trailing")
+            }
+            (FaultKind::NameIndexOutOfRange, DiagKind::Schema(m)) => {
+                m.contains("name index") && m.contains("out of range")
+            }
             _ => false,
         }
     }
@@ -194,6 +245,9 @@ pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<P
         let path = dir.join(format!("zz-unreadable-{seed}.json"));
         std::fs::create_dir_all(&path)?;
         return Ok(path);
+    }
+    if kind.is_v3_payload_fault() {
+        return corrupt_v3_record(dir, kind, seed);
     }
     if kind == FaultKind::StaleManifest {
         let pool = manifest_pool(dir)?;
@@ -298,6 +352,93 @@ fn inject_all_store(dir: &Path, seed: u64) -> io::Result<Vec<(FaultKind, PathBuf
             inject(dir, FaultKind::StaleManifest, seed)?,
         ),
     ])
+}
+
+/// Corrupt one v3 record's payload and re-frame it so every checksum
+/// still verifies: new frame header, updated manifest entry (len +
+/// CRC), shifted offsets for any record behind it, refreshed shard
+/// digest, and a rewritten (self-CRC'd) manifest. The damage survives
+/// every structural check and reaches the payload decoder.
+fn corrupt_v3_record(dir: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
+    use crate::binprofile::{metric_column_spans, PROFILE_MAGIC};
+    use crate::store::{crc32c, Manifest, RECORD_HEADER_BYTES};
+
+    let pool = manifest_pool(dir)?;
+    let mpath = pool
+        .last()
+        .ok_or_else(|| io::Error::other(format!("no manifest in {}", dir.display())))?;
+    let mut manifest = Manifest::from_file_bytes(&std::fs::read(mpath)?)
+        .map_err(io::Error::other)?;
+    if manifest.profiles.is_empty() {
+        return Err(io::Error::other("store has no records to corrupt"));
+    }
+    let vi = (seed % manifest.profiles.len() as u64) as usize;
+    let entry = manifest.profiles[vi].clone();
+    let shard_path = dir.join(&manifest.shards[entry.shard].file);
+    let bytes = std::fs::read(&shard_path)?;
+    let start = entry.offset as usize;
+    let end = start + entry.len as usize;
+    let payload = bytes
+        .get(start..end)
+        .ok_or_else(|| io::Error::other("manifest entry range exceeds shard"))?;
+    if !payload.starts_with(PROFILE_MAGIC) {
+        return Err(io::Error::other(
+            "victim record is not a v3 binary payload (TKP3)",
+        ));
+    }
+    let spans = metric_column_spans(payload)
+        .map_err(|e| io::Error::other(format!("victim payload does not walk: {e}")))?;
+    if spans.is_empty() {
+        return Err(io::Error::other("victim record has no metric columns"));
+    }
+    let span = &spans[(seed % spans.len() as u64) as usize];
+    let mut poisoned = payload.to_vec();
+    match kind {
+        FaultKind::TruncatedColumn => {
+            poisoned.truncate(span.data.start + span.data.len() / 2);
+        }
+        FaultKind::ColumnCrcRot => {
+            poisoned[span.crc_at] ^= 1 << (seed % 8);
+        }
+        FaultKind::ColumnCountMismatch => {
+            // Bump the *last* column's count: with nothing behind it,
+            // the declared entries cannot fit the remaining bytes.
+            let last = spans.last().unwrap();
+            let at = last.count_at;
+            let m = u32::from_le_bytes(poisoned[at..at + 4].try_into().unwrap());
+            poisoned[at..at + 4].copy_from_slice(&(m + 1).to_le_bytes());
+        }
+        FaultKind::NameIndexOutOfRange => {
+            poisoned[span.name_idx_at..span.name_idx_at + 4]
+                .copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+        _ => return Err(io::Error::other(format!("{kind:?} is not a v3 payload fault"))),
+    }
+
+    // Re-frame: splice the poisoned payload in with a fresh header.
+    let mut out = Vec::with_capacity(bytes.len());
+    out.extend_from_slice(&bytes[..start - RECORD_HEADER_BYTES]);
+    out.extend_from_slice(&(poisoned.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32c(&poisoned).to_le_bytes());
+    out.extend_from_slice(&poisoned);
+    out.extend_from_slice(&bytes[end..]);
+
+    // Manifest fixups: the entry itself, offsets of records behind it
+    // in the same shard, and the shard digest.
+    let delta = poisoned.len() as i64 - entry.len as i64;
+    manifest.profiles[vi].len = poisoned.len() as u32;
+    manifest.profiles[vi].crc = crc32c(&poisoned);
+    for e in manifest.profiles.iter_mut() {
+        if e.shard == entry.shard && e.offset > entry.offset {
+            e.offset = (e.offset as i64 + delta) as u64;
+        }
+    }
+    let info = &mut manifest.shards[entry.shard];
+    info.bytes = out.len() as u64;
+    info.crc = crc32c(&out);
+    std::fs::write(&shard_path, &out)?;
+    std::fs::write(mpath, manifest.to_file_bytes())?;
+    Ok(shard_path)
 }
 
 /// Corrupt one file in place (or derive a sibling file for
@@ -442,6 +583,12 @@ fn apply(victim: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
             }
             std::fs::write(victim, &bytes[..bytes.len() / 2])?;
             Ok(victim.to_path_buf())
+        }
+        FaultKind::TruncatedColumn
+        | FaultKind::ColumnCrcRot
+        | FaultKind::ColumnCountMismatch
+        | FaultKind::NameIndexOutOfRange => {
+            Err(io::Error::other("v3 payload faults are store-level (use inject)"))
         }
     }
 }
@@ -610,6 +757,28 @@ mod tests {
         assert!(rep.is_clean());
         assert!(crate::Store::fsck(&dir).unwrap().is_clean());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v3_payload_faults_pass_structural_checks_but_fail_deep_fsck() {
+        for (i, kind) in FaultKind::STORE_V3.iter().enumerate() {
+            let dir = fresh_store(&format!("v3-{i}"), 4);
+            inject(&dir, *kind, 11).unwrap();
+            // Every digest was recomputed, so the store still opens and
+            // the manifest verifies...
+            let reader = crate::Store::open(&dir).unwrap();
+            assert_eq!(reader.entries().len(), 4, "{kind:?}");
+            // ...but deep fsck runs each payload through the decoder
+            // and classifies the damage at the poisoned record.
+            let fsck = crate::Store::fsck(&dir).unwrap();
+            assert!(!fsck.is_clean(), "{kind:?} left a clean store");
+            let findings: Vec<_> = fsck.findings().collect();
+            assert!(
+                findings.iter().any(|d| kind.matches(&d.kind)),
+                "{kind:?} produced findings {findings:?}"
+            );
+            std::fs::remove_dir_all(dir).ok();
+        }
     }
 
     #[test]

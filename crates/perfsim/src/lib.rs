@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binprofile;
 pub mod calitxt;
 pub mod collector;
 pub mod engine;
@@ -40,13 +41,10 @@ pub mod rajaperf;
 pub mod store;
 pub mod topdown;
 
+pub use binprofile::{decode_profile, encode_profile, PROFILE_MAGIC};
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
 pub use collector::Collector;
-#[allow(deprecated)]
-pub use ensemble::{
-    load_dir, load_ensemble, load_ensemble_lenient, load_ensemble_opts, load_ensemble_threads,
-    save_ensemble,
-};
+pub use ensemble::{load_dir, save_ensemble};
 pub use faults::{inject, inject_all, FaultKind};
 pub use ingest::{DiagKind, Diagnostic, IngestReport, Strictness};
 pub use json::Json;

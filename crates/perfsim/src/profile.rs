@@ -6,10 +6,17 @@ use crate::json::{Json, JsonError};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use thicket_dataframe::Value;
+use std::sync::Arc;
+use thicket_dataframe::{intern, Value};
 use thicket_graph::{Frame, Graph, NodeId};
 
 /// A single run's profile: metadata + call tree + per-node metrics.
+///
+/// Metric maps are keyed by interner-shared `Arc<str>`: an ensemble
+/// measures the same handful of metric names on every node of every
+/// run, so per-node maps hold refcounts into the global intern table
+/// instead of an owned `String` per (node, metric) pair. Ordering and
+/// lookup are by string contents, exactly as with owned keys.
 #[derive(Debug, Clone)]
 pub struct Profile {
     /// Run metadata (build settings, execution context), insertion-ordered.
@@ -17,7 +24,7 @@ pub struct Profile {
     /// The call tree (or DAG).
     graph: Graph,
     /// Per-node metric maps, indexed by `NodeId::index()`.
-    metrics: Vec<BTreeMap<String, f64>>,
+    metrics: Vec<BTreeMap<Arc<str>, f64>>,
 }
 
 /// Errors from profile construction and I/O.
@@ -144,9 +151,10 @@ impl Profile {
         self.metadata.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Set one metric value on one node.
-    pub fn set_metric(&mut self, node: NodeId, metric: impl Into<String>, value: f64) {
-        self.metrics[node.index()].insert(metric.into(), value);
+    /// Set one metric value on one node. The name is interned so
+    /// repeated sets across nodes and profiles share one allocation.
+    pub fn set_metric(&mut self, node: NodeId, metric: impl AsRef<str>, value: f64) {
+        self.metrics[node.index()].insert(intern(metric.as_ref()), value);
     }
 
     /// Metric lookup.
@@ -155,7 +163,7 @@ impl Profile {
     }
 
     /// All metrics of one node, name-ordered.
-    pub fn node_metrics(&self, node: NodeId) -> &BTreeMap<String, f64> {
+    pub fn node_metrics(&self, node: NodeId) -> &BTreeMap<Arc<str>, f64> {
         &self.metrics[node.index()]
     }
 
@@ -164,7 +172,7 @@ impl Profile {
         let mut names: Vec<String> = self
             .metrics
             .iter()
-            .flat_map(|m| m.keys().cloned())
+            .flat_map(|m| m.keys().map(|k| k.to_string()))
             .collect();
         names.sort();
         names.dedup();
@@ -219,7 +227,7 @@ impl Profile {
                     let metrics = Json::Obj(
                         self.metrics[i]
                             .iter()
-                            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                            .map(|(k, v)| (k.to_string(), Json::Num(*v)))
                             .collect(),
                     );
                     Json::Obj(vec![
@@ -272,11 +280,6 @@ impl Profile {
         }
 
         // Parse node shells first.
-        struct Shell {
-            frame: Frame,
-            children: Vec<usize>,
-            metrics: BTreeMap<String, f64>,
-        }
         let mut shells = Vec::with_capacity(n);
         for (i, nj) in nodes.iter().enumerate() {
             let frame_obj = nj
@@ -317,7 +320,7 @@ impl Profile {
                         metric: k.clone(),
                     });
                 }
-                metrics.insert(k.clone(), f);
+                metrics.insert(intern(k), f);
             }
             shells.push(Shell {
                 frame,
@@ -326,9 +329,6 @@ impl Profile {
             });
         }
 
-        // Determine which nodes are roots vs children, validate forest
-        // shape, and rebuild through Graph's constructor API in an order
-        // that preserves indices (parents must precede children).
         let root_idxs: Vec<usize> = roots
             .iter()
             .map(|r| {
@@ -338,60 +338,14 @@ impl Profile {
                     .ok_or_else(|| ProfileError::Malformed("bad root index".into()))
             })
             .collect::<Result<_, _>>()?;
-        let mut first_parent: Vec<Option<usize>> = vec![None; n];
-        let mut extra_edges: Vec<(usize, usize)> = Vec::new();
-        for (p, shell) in shells.iter().enumerate() {
-            for &c in &shell.children {
-                if first_parent[c].is_none() {
-                    first_parent[c] = Some(p);
-                } else {
-                    extra_edges.push((p, c));
-                }
-            }
-        }
-        for (i, fp) in first_parent.iter().enumerate() {
-            let is_root = root_idxs.contains(&i);
-            if is_root && fp.is_some() {
-                return Err(ProfileError::Malformed(format!(
-                    "node {i} is both a root and a child"
-                )));
-            }
-            if !is_root && fp.is_none() {
-                return Err(ProfileError::Malformed(format!("node {i} is unreachable")));
-            }
-            if let Some(p) = fp {
-                if *p >= i {
-                    return Err(ProfileError::Malformed(format!(
-                        "node {i}: parent {p} does not precede child (non-topological order)"
-                    )));
-                }
-            }
-        }
-
-        let mut graph = Graph::new();
-        let mut ids: Vec<NodeId> = Vec::with_capacity(n);
-        for (i, shell) in shells.iter().enumerate() {
-            let id = match first_parent[i] {
-                None => graph.add_root(shell.frame.clone()),
-                Some(p) => graph.add_child(ids[p], shell.frame.clone()),
-            };
-            debug_assert_eq!(id.index(), i);
-            ids.push(id);
-        }
-        for (p, c) in extra_edges {
-            graph.add_edge(ids[p], ids[c]);
-        }
-
-        let mut profile = Profile::new(graph);
-        for (i, shell) in shells.into_iter().enumerate() {
-            profile.metrics[i] = shell.metrics;
-        }
-        if let Some(meta) = doc.get("metadata").and_then(Json::as_obj) {
-            for (k, v) in meta {
-                profile.metadata.push((k.clone(), json_to_value(v)));
-            }
-        }
-        Ok(profile)
+        let metadata = match doc.get("metadata").and_then(Json::as_obj) {
+            Some(meta) => meta
+                .iter()
+                .map(|(k, v)| (k.clone(), json_to_value(v)))
+                .collect(),
+            None => Vec::new(),
+        };
+        assemble_profile(shells, &root_idxs, metadata)
     }
 
     /// Serialize to a string.
@@ -415,6 +369,81 @@ impl Profile {
         let text = std::fs::read_to_string(path)?;
         Profile::parse(&text)
     }
+}
+
+/// A parsed-but-unassembled node, shared by the JSON and binary payload
+/// decoders so both enforce identical forest-shape validation.
+pub(crate) struct Shell {
+    pub(crate) frame: Frame,
+    pub(crate) children: Vec<usize>,
+    pub(crate) metrics: BTreeMap<Arc<str>, f64>,
+}
+
+/// Determine which nodes are roots vs children, validate forest shape
+/// (root/child exclusivity, reachability, topological parent order),
+/// and rebuild through Graph's constructor API in an order that
+/// preserves indices (parents must precede children). Child and root
+/// indices must already be `< shells.len()`.
+pub(crate) fn assemble_profile(
+    mut shells: Vec<Shell>,
+    root_idxs: &[usize],
+    metadata: Vec<(String, Value)>,
+) -> Result<Profile, ProfileError> {
+    let n = shells.len();
+    let mut first_parent: Vec<Option<usize>> = vec![None; n];
+    let mut extra_edges: Vec<(usize, usize)> = Vec::new();
+    for (p, shell) in shells.iter().enumerate() {
+        for &c in &shell.children {
+            if first_parent[c].is_none() {
+                first_parent[c] = Some(p);
+            } else {
+                extra_edges.push((p, c));
+            }
+        }
+    }
+    for (i, fp) in first_parent.iter().enumerate() {
+        let is_root = root_idxs.contains(&i);
+        if is_root && fp.is_some() {
+            return Err(ProfileError::Malformed(format!(
+                "node {i} is both a root and a child"
+            )));
+        }
+        if !is_root && fp.is_none() {
+            return Err(ProfileError::Malformed(format!("node {i} is unreachable")));
+        }
+        if let Some(p) = fp {
+            if *p >= i {
+                return Err(ProfileError::Malformed(format!(
+                    "node {i}: parent {p} does not precede child (non-topological order)"
+                )));
+            }
+        }
+    }
+
+    let mut graph = Graph::new();
+    let mut ids: Vec<NodeId> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Move the frame out rather than clone: a frame is a
+        // BTreeMap<String, Value>, and this runs once per node on the
+        // ingest hot path.
+        let frame = std::mem::take(&mut shells[i].frame);
+        let id = match first_parent[i] {
+            None => graph.add_root(frame),
+            Some(p) => graph.add_child(ids[p], frame),
+        };
+        debug_assert_eq!(id.index(), i);
+        ids.push(id);
+    }
+    for (p, c) in extra_edges {
+        graph.add_edge(ids[p], ids[c]);
+    }
+
+    let mut profile = Profile::new(graph);
+    for (i, shell) in shells.into_iter().enumerate() {
+        profile.metrics[i] = shell.metrics;
+    }
+    profile.metadata = metadata;
+    Ok(profile)
 }
 
 /// Map a Value into its JSON encoding. Integers beyond 2⁵³ are wrapped as

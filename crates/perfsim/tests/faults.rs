@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use thicket_perfsim::faults::{inject_all, FaultKind};
 use thicket_perfsim::{
-    load_ensemble, load_ensemble_opts, save_ensemble, simulate_cpu_run, CpuRunConfig, DiagKind,
+    load_dir, save_ensemble, simulate_cpu_run, CpuRunConfig, DiagKind, Store, StoreOptions,
     Strictness,
 };
 
@@ -43,7 +43,7 @@ fn mixed_health_dir_loads_healthy_subset_identically_across_threads() {
     let mut reports = Vec::new();
     for threads in [1, 2, 8] {
         let (profiles, report) =
-            load_ensemble_opts(&dir, threads, Strictness::lenient()).unwrap();
+            load_dir(&dir, Some(threads), Strictness::lenient()).unwrap();
         assert_eq!(profiles.len(), expected_profiles, "threads={threads}");
         assert_eq!(report.dropped(), expected_diags, "threads={threads}");
         assert_eq!(report.loaded, expected_profiles);
@@ -79,7 +79,7 @@ fn mixed_health_dir_loads_healthy_subset_identically_across_threads() {
 fn strict_mode_identifies_offending_path_without_panicking() {
     let (dir, faults) = corrupted_dir("strict", 3);
     for threads in [1, 2, 8] {
-        let err = load_ensemble(&dir).map(|_| ()).unwrap_err();
+        let err = load_dir(&dir, None, Strictness::FailFast).map(|_| ()).unwrap_err();
         let msg = err.to_string();
         // The failing source is named; which fault wins is path order,
         // but it must be one of the injected ones.
@@ -94,8 +94,8 @@ fn strict_mode_identifies_offending_path_without_panicking() {
 #[test]
 fn fail_fast_strictness_matches_strict_loader() {
     let (dir, _) = corrupted_dir("failfast", 5);
-    let strict = load_ensemble(&dir).map(|_| ()).unwrap_err();
-    let opts = load_ensemble_opts(&dir, 2, Strictness::FailFast)
+    let strict = load_dir(&dir, None, Strictness::FailFast).map(|_| ()).unwrap_err();
+    let opts = load_dir(&dir, Some(2), Strictness::FailFast)
         .map(|_| ())
         .unwrap_err();
     assert_eq!(strict.to_string(), opts.to_string());
@@ -106,12 +106,12 @@ fn fail_fast_strictness_matches_strict_loader() {
 fn max_errors_budget_escalates_to_hard_error() {
     let (dir, faults) = corrupted_dir("budget", 7);
     // Budget below the fault count: hard error.
-    let r = load_ensemble_opts(&dir, 2, Strictness::Lenient { max_errors: 2 });
+    let r = load_dir(&dir, Some(2), Strictness::Lenient { max_errors: 2 });
     assert!(r.is_err(), "{} faults must blow a budget of 2", faults.len());
     // Budget at the fault count: fine.
-    let r = load_ensemble_opts(
+    let r = load_dir(
         &dir,
-        2,
+        Some(2),
         Strictness::Lenient {
             max_errors: faults.len(),
         },
@@ -123,7 +123,7 @@ fn max_errors_budget_escalates_to_hard_error() {
 #[test]
 fn diagnostics_are_path_ordered() {
     let (dir, _) = corrupted_dir("order", 13);
-    let (_, report) = load_ensemble_opts(&dir, 8, Strictness::lenient()).unwrap();
+    let (_, report) = load_dir(&dir, Some(8), Strictness::lenient()).unwrap();
     let sources: Vec<&String> = report.diagnostics.iter().map(|d| &d.source).collect();
     let mut sorted = sources.clone();
     sorted.sort();
@@ -134,4 +134,69 @@ fn diagnostics_are_path_ordered() {
         .iter()
         .any(|d| matches!(d.kind, DiagKind::Parse { .. })));
     std::fs::remove_dir_all(dir).ok();
+}
+
+/// A v3 store with one record per shard: plenty of distinct victims.
+fn v3_store(name: &str, n: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("thicket-faults-v3-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let profiles: Vec<_> = (0..n)
+        .map(|s| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = s;
+            simulate_cpu_run(&cfg)
+        })
+        .collect();
+    let opts = StoreOptions {
+        shard_bytes: 1,
+        ..StoreOptions::default()
+    };
+    Store::save_opts(&dir, &profiles, &opts).unwrap();
+    dir
+}
+
+/// The v3 payload corruptors re-frame the record so every checksum
+/// verifies; the damage must still classify under deep fsck, drop
+/// exactly the poisoned record (typed) on a lenient load, and recover
+/// into one clean generation holding the healthy remainder.
+#[test]
+fn v3_payload_faults_classify_end_to_end() {
+    use thicket_perfsim::faults::inject;
+
+    for (i, kind) in FaultKind::STORE_V3.iter().enumerate() {
+        let dir = v3_store(&format!("kind-{i}"), 4);
+        inject(&dir, *kind, 9).unwrap();
+
+        // Deep fsck decodes every payload and pins the poisoned record.
+        let fsck = Store::fsck(&dir).unwrap();
+        assert!(!fsck.is_clean(), "{kind:?} left a clean store");
+        assert!(
+            fsck.findings().any(|d| kind.matches(&d.kind)),
+            "{kind:?} not classified: {fsck}"
+        );
+
+        // A lenient load survives: three healthy profiles, one typed
+        // diagnostic, no panic and no over-allocation.
+        let (profiles, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+        assert_eq!(profiles.len(), 3, "{kind:?}");
+        assert_eq!(rep.dropped(), 1, "{kind:?}: {rep}");
+        assert!(
+            rep.diagnostics.iter().any(|d| kind.matches(&d.kind)),
+            "{kind:?} surfaced as {rep}"
+        );
+
+        // Recovery salvages the healthy records into a clean store.
+        let rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.salvaged, 3, "{kind:?}");
+        assert!(
+            rec.report.diagnostics.iter().any(|d| kind.matches(&d.kind)),
+            "{kind:?} lost in recovery: {}",
+            rec.report
+        );
+        assert!(Store::fsck(&dir).unwrap().is_clean(), "{kind:?}");
+        let (reloaded, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+        assert_eq!(reloaded.len(), 3, "{kind:?}");
+        assert!(rep.is_clean(), "{kind:?}: {rep}");
+        std::fs::remove_dir_all(dir).ok();
+    }
 }

@@ -1,6 +1,9 @@
 //! Property tests for the sharded store: a single flipped bit anywhere
 //! in any shard file is always caught — fsck reports the damage, and
-//! the reader never serves a silently-wrong profile.
+//! the reader never serves a silently-wrong profile. A manifest whose
+//! declared record lengths/offsets are rewritten to arbitrary (possibly
+//! huge) values never over-allocates or panics, and recovery always
+//! restores one complete generation.
 
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -183,5 +186,160 @@ proptest! {
             columnar, by_rows,
             "columnar and row selection disagree for {}", pred
         );
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// Corrupt declared lengths: the headline hardening property.
+
+use thicket_perfsim::{crc32c, Json};
+
+/// Rewrite one numeric field of one `profiles` entry in the newest
+/// manifest, recomputing the manifest's self-CRC so the reader has to
+/// confront the lie instead of rejecting the file wholesale.
+fn rewrite_manifest_entry(dir: &PathBuf, entry_sel: u32, field: &str, value: f64) {
+    let mut manifests: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("MANIFEST-"))
+        })
+        .collect();
+    manifests.sort();
+    let mpath = manifests.last().unwrap().clone();
+    let bytes = std::fs::read(&mpath).unwrap();
+    let body = std::str::from_utf8(&bytes[13..]).unwrap();
+    let mut doc = Json::parse(body).unwrap();
+    {
+        let Json::Obj(members) = &mut doc else { panic!("manifest body not an object") };
+        let profiles = members
+            .iter_mut()
+            .find(|(k, _)| k == "profiles")
+            .map(|(_, v)| v)
+            .unwrap();
+        let Json::Arr(entries) = profiles else { panic!("profiles not an array") };
+        let victim = entry_sel as usize % entries.len();
+        let e = &mut entries[victim];
+        let Json::Obj(fields) = e else { panic!("entry not an object") };
+        let slot = fields
+            .iter_mut()
+            .find(|(k, _)| k == field)
+            .map(|(_, v)| v)
+            .unwrap();
+        *slot = Json::Num(value);
+    }
+    let new_body = doc.to_string_compact();
+    let mut out = Vec::with_capacity(new_body.len() + 13);
+    out.extend_from_slice(&bytes[..4]);
+    out.extend_from_slice(format!("{:08x}", crc32c(new_body.as_bytes())).as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(new_body.as_bytes());
+    std::fs::write(&mpath, &out).unwrap();
+}
+
+proptest! {
+    /// Whatever record length (or offset) the manifest declares —
+    /// including multi-gigabyte lies the file cannot possibly hold —
+    /// the reader validates it against the real file size *before*
+    /// allocating or slicing: every outcome is a typed error or
+    /// diagnostic, never an OOM, panic, or silently-wrong profile, and
+    /// `Store::recover` always restores exactly one complete
+    /// generation holding every original record.
+    #[test]
+    fn corrupt_declared_lengths_never_allocate_or_panic(
+        entry_sel in any::<u32>(),
+        lie in any::<u32>(),
+        target_offset in any::<bool>(),
+    ) {
+        let (base, original_hashes) = base_store();
+        let dir = scratch_copy(base);
+        let field = if target_offset { "offset" } else { "len" };
+        rewrite_manifest_entry(&dir, entry_sel, field, lie as f64);
+
+        // Opening + loading never panics; whatever loads is one of the
+        // originals and every missing record carries a diagnostic.
+        match Store::open(&dir) {
+            Ok(reader) => {
+                let (profiles, report) = reader.load_all().unwrap();
+                prop_assert_eq!(
+                    profiles.len() + report.diagnostics.len(),
+                    original_hashes.len(),
+                    "unaccounted records: {}", report
+                );
+                for p in &profiles {
+                    prop_assert!(original_hashes.contains(&p.profile_hash()));
+                }
+            }
+            Err(e) => {
+                // Typed rejection (the parse-time range validation).
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+        // fsck classifies without panicking, and recovery restores one
+        // complete generation: the shard bytes were never touched, so
+        // every original record comes back.
+        let _ = Store::fsck(&dir).unwrap();
+        let rec = Store::recover(&dir).unwrap();
+        prop_assert!(Store::fsck(&dir).unwrap().is_clean(), "recover left dirt: {:?}", rec);
+        let (restored, report) = Store::open(&dir).unwrap().load_all().unwrap();
+        prop_assert!(report.is_clean(), "{}", report);
+        let mut got: Vec<i64> = restored.iter().map(|p| p.profile_hash()).collect();
+        got.sort_unstable();
+        let mut want = original_hashes.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// v2 (JSON payloads) and v3 (binary payloads) loads are bit-identical.
+
+use thicket_perfsim::ManifestVersion;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same ensemble saved under v2 (JSON payloads) and v3 (binary
+    /// payloads) loads back bit-identically: every profile's canonical
+    /// JSON rendering — metadata, frames, edges, metrics — matches
+    /// byte for byte.
+    #[test]
+    fn v2_and_v3_payloads_decode_bit_identically(
+        seeds in proptest::collection::hash_set(0u64..32, 1..5),
+    ) {
+        let mut seeds: Vec<u64> = seeds.into_iter().collect();
+        seeds.sort_unstable();
+        let profiles: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let mut cfg = CpuRunConfig::quartz_default();
+                cfg.seed = s;
+                simulate_cpu_run(&cfg)
+            })
+            .collect();
+        let tag: String = seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("-");
+        let mut dirs = Vec::new();
+        let mut rendered = Vec::new();
+        for (name, version) in [("v2", ManifestVersion::V2), ("v3", ManifestVersion::V3)] {
+            let dir = std::env::temp_dir().join(format!("thicket-storeprops-eq-{name}-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = StoreOptions { format: version, ..StoreOptions::default() };
+            Store::save_opts(&dir, &profiles, &opts).unwrap();
+            let (loaded, report) = Store::open(&dir).unwrap().load_all().unwrap();
+            prop_assert!(report.is_clean(), "{name}: {report}");
+            rendered.push(
+                loaded.iter().map(|p| p.to_string_pretty()).collect::<Vec<_>>(),
+            );
+            dirs.push(dir);
+        }
+        prop_assert_eq!(&rendered[0], &rendered[1], "v2 and v3 loads diverge");
+        for d in dirs {
+            std::fs::remove_dir_all(d).ok();
+        }
     }
 }

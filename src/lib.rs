@@ -58,8 +58,6 @@ pub mod prelude {
     pub use thicket_graph::{Frame, Graph, GraphUnion, NodeId};
     pub use thicket_learn::{dbscan, kmeans, pca, silhouette_score, KMeansConfig, StandardScaler};
     pub use thicket_model::{fit_model, fit_model2};
-    #[allow(deprecated)]
-    pub use thicket_perfsim::{load_ensemble, load_ensemble_lenient};
     pub use thicket_perfsim::{
         load_dir, marbl_ensemble, save_ensemble, simulate_cpu_run, simulate_gpu_run, Collector,
         CpuRunConfig, GpuRunConfig, IngestReport, MarblCluster, MarblConfig, MetaPred, Profile,

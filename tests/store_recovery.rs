@@ -300,44 +300,48 @@ fn compact_crash_point_matrix_never_loses_a_profile() {
     }
 }
 
-/// A v1-format store loads unchanged through the unified loader, and
-/// `Store::compact` migrates it to the v2 columnar manifest with the
-/// same profiles and working pushdown.
+/// Older-format stores (v1 row manifests, v2 columnar manifests with
+/// JSON payloads) load unchanged through the unified loader, and
+/// `Store::compact` migrates each to the v3 binary-payload format with
+/// the same profiles and working pushdown.
 #[test]
-fn v1_store_loads_unchanged_and_compact_migrates_to_v2() {
+fn old_format_stores_load_unchanged_and_compact_migrates_to_v3() {
     use thicket_perfsim::ManifestVersion;
 
-    let dir = tmp("v1-migrate");
-    let profiles = runs(0..4);
-    let v1_opts = StoreOptions {
-        format: ManifestVersion::V1,
-        ..opts()
-    };
-    Store::save_opts(&dir, &profiles, &v1_opts).unwrap();
-    assert_eq!(Store::open(&dir).unwrap().manifest().version, ManifestVersion::V1);
+    for old in [ManifestVersion::V1, ManifestVersion::V2] {
+        let dir = tmp(&format!("{old:?}-migrate"));
+        let profiles = runs(0..4);
+        let old_opts = StoreOptions {
+            format: old,
+            ..opts()
+        };
+        Store::save_opts(&dir, &profiles, &old_opts).unwrap();
+        assert_eq!(Store::open(&dir).unwrap().manifest().version, old);
 
-    // v1 loads through the same unified front door, pushdown included.
-    let (tk_v1, report) = thicket::core::Thicket::loader(LoadSource::store(&dir))
-        .filter(MetaPred::lt("seed", 2i64))
-        .strictness(Strictness::lenient())
-        .load()
-        .unwrap();
-    assert!(report.is_clean(), "{report}");
-    assert_eq!(tk_v1.profiles().len(), 2);
+        // The old format loads through the same unified front door,
+        // pushdown included.
+        let (tk_old, report) = thicket::core::Thicket::loader(LoadSource::store(&dir))
+            .filter(MetaPred::lt("seed", 2i64))
+            .strictness(Strictness::lenient())
+            .load()
+            .unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(tk_old.profiles().len(), 2);
 
-    let migrated = Store::compact(&dir).unwrap();
-    assert_eq!(migrated.profiles, 4);
-    let reader = Store::open(&dir).unwrap();
-    assert_eq!(reader.manifest().version, ManifestVersion::V2);
+        let migrated = Store::compact(&dir).unwrap();
+        assert_eq!(migrated.profiles, 4, "{old:?}");
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.manifest().version, ManifestVersion::V3);
 
-    let (tk_v2, report) = thicket::core::Thicket::loader(LoadSource::store(&dir))
-        .filter(MetaPred::lt("seed", 2i64))
-        .strictness(Strictness::lenient())
-        .load()
-        .unwrap();
-    assert!(report.is_clean(), "{report}");
-    assert_eq!(tk_v1.profiles(), tk_v2.profiles());
-    assert_eq!(tk_v1.perf_data(), tk_v2.perf_data());
-    assert_eq!(tk_v1.metadata(), tk_v2.metadata());
-    std::fs::remove_dir_all(dir).ok();
+        let (tk_v3, report) = thicket::core::Thicket::loader(LoadSource::store(&dir))
+            .filter(MetaPred::lt("seed", 2i64))
+            .strictness(Strictness::lenient())
+            .load()
+            .unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(tk_old.profiles(), tk_v3.profiles());
+        assert_eq!(tk_old.perf_data(), tk_v3.perf_data());
+        assert_eq!(tk_old.metadata(), tk_v3.metadata());
+        std::fs::remove_dir_all(dir).ok();
+    }
 }

@@ -16,9 +16,11 @@ cargo test -q --test store_recovery
 cargo test -q -p thicket-perfsim --test store_props
 # Doc examples (the loader-builder docs especially) must compile and run.
 cargo test -q --doc
-# Deprecation-shim smoke: every legacy ingest entry point must stay
-# bit-identical to its builder spelling.
-cargo test -q -p thicket-core --test builder_equiv
+# v3 fault-injection smoke + writer/append crash-point matrices under
+# --release: optimized builds must hit the same typed-diagnostic paths
+# (bounds checks and CRC verification are not debug-only behavior).
+cargo test -q --release -p thicket-perfsim --test faults v3_
+cargo test -q --release --test store_recovery crash_point
 # Benches must at least compile (they are not run here: tier-1 stays fast).
 cargo bench -p thicket-bench --no-run
 # All targets: library code AND tests/benches/bins lint-clean.
