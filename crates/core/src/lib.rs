@@ -47,7 +47,8 @@ mod thicket;
 mod treetable;
 
 pub use loader::{LoadSource, Loader};
-pub use thicket_perfsim::{IngestReport, MetaPred, Strictness};
+pub use thicket_perfsim::{FilterPlan, IngestReport, MetaPred, Strictness};
+pub use thicket_dataframe::{Bitmap, PredExpr, PredOp, StrMatch};
 
 pub use compose::{concat_thickets, concat_thickets_threads, NodeMatch};
 pub use rowconcat::{concat_thickets_rows, concat_thickets_rows_threads};

@@ -48,13 +48,14 @@
 //! builder; the `builder_equiv` integration suite proves each wrapper
 //! bit-identical to its builder spelling.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use thicket_dataframe::Value;
+use thicket_dataframe::{PredExpr, Value};
 use thicket_perfsim::{
-    default_threads, load_dir, IngestReport, MetaPred, Profile, Strictness, StoreEntry,
+    default_threads, load_dir, FilterPlan, IngestReport, MetaPred, Profile, Strictness, StoreEntry,
 };
 
-use crate::thicket::{Thicket, ThicketError};
+use crate::thicket::{Thicket, ThicketError, PROFILE_LEVEL};
 
 /// Where a [`Loader`] reads its profiles from.
 ///
@@ -102,12 +103,15 @@ impl<'a, const N: usize> From<&'a [Profile; N]> for LoadSource<'a> {
     }
 }
 
-/// The two predicate shapes a loader can carry: a typed [`MetaPred`]
-/// (pushed down to columnar selection on store sources) or a legacy
-/// entry closure (store sources only; forces full metadata
+/// The predicate shapes a loader can carry: a typed [`MetaPred`]
+/// (pushed down to columnar selection on store sources), a compiled
+/// predicate-engine [`PredExpr`] (planned: metadata conjuncts push
+/// below the read, performance-frame conjuncts run after composition),
+/// or a legacy entry closure (store sources only; forces full metadata
 /// materialization).
 enum Filter<'a> {
     Pred(MetaPred),
+    Expr(PredExpr),
     Entries(Box<dyn FnMut(&StoreEntry) -> bool + 'a>),
 }
 
@@ -167,6 +171,24 @@ impl<'a> Loader<'a> {
         self
     }
 
+    /// Keep only profiles matching a compiled predicate-engine
+    /// [`PredExpr`] — the same AST that [`MetaPred::to_expr`],
+    /// the query dialect's `parse_pred`, and the frame filters
+    /// compile into. Unlike [`Loader::filter`] the expression may also
+    /// reference performance-frame fields: a planner splits the
+    /// top-level conjunction, pushes every conjunct whose fields the
+    /// source's metadata can answer *below* the read (columnar
+    /// manifest selection on store sources — non-matching shards are
+    /// never opened), and applies the remainder after composition with
+    /// exists-row semantics over the performance frame (a profile
+    /// survives if at least one of its rows satisfies the conjunct;
+    /// fields resolve to perf columns, then index levels, then profile
+    /// metadata). The split is recorded in [`IngestReport::pushdown`].
+    pub fn filter_expr(mut self, expr: PredExpr) -> Self {
+        self.filter = Some(Filter::Expr(expr));
+        self
+    }
+
     /// Keep only store entries matching a closure (store sources
     /// only). This is the escape hatch behind the deprecated
     /// `from_store_filtered*` shims: unlike [`Loader::filter`] it
@@ -194,7 +216,7 @@ impl<'a> Loader<'a> {
             source,
             threads,
             strictness,
-            mut filter,
+            filter,
             profile_ids,
         } = self;
 
@@ -206,12 +228,51 @@ impl<'a> Loader<'a> {
             ));
         }
 
-        match source {
+        // Planner state: which conjuncts were pushed below the source
+        // read (recorded in the report) and which remain to run after
+        // composition with exists-row semantics.
+        let mut plan: Option<FilterPlan> = None;
+        let mut residual: Vec<PredExpr> = Vec::new();
+
+        let (tk, mut report) = match source {
             LoadSource::Profiles(profiles) => {
                 use std::borrow::Cow;
                 let (kept, kept_ids): (Cow<'_, [Profile]>, Option<Cow<'_, [Value]>>) = match filter
                 {
                     None => (Cow::Borrowed(profiles), profile_ids.map(Cow::Borrowed)),
+                    Some(Filter::Expr(expr)) => {
+                        let keys = profile_meta_keys(profiles.iter());
+                        let (pushed, res, p) = plan_conjuncts(&expr, &keys);
+                        plan = Some(p);
+                        residual = res;
+                        if let Some(ids) = profile_ids {
+                            if ids.len() != profiles.len() {
+                                return Err(ThicketError::Invalid(format!(
+                                    "{} profiles but {} profile ids",
+                                    profiles.len(),
+                                    ids.len()
+                                )));
+                            }
+                            let (kept, kept_ids): (Vec<_>, Vec<_>) = profiles
+                                .iter()
+                                .zip(ids.iter())
+                                .filter(|(p, _)| expr_matches_profile(&pushed, p))
+                                .map(|(p, id)| (p.clone(), id.clone()))
+                                .unzip();
+                            (Cow::Owned(kept), Some(Cow::Owned(kept_ids)))
+                        } else {
+                            (
+                                Cow::Owned(
+                                    profiles
+                                        .iter()
+                                        .filter(|p| expr_matches_profile(&pushed, p))
+                                        .cloned()
+                                        .collect(),
+                                ),
+                                None,
+                            )
+                        }
+                    }
                     Some(Filter::Pred(pred)) => {
                         if let Some(ids) = profile_ids {
                             if ids.len() != profiles.len() {
@@ -259,7 +320,19 @@ impl<'a> Loader<'a> {
 
             LoadSource::Ensemble(dir) => {
                 let (loaded, read) = load_dir(&dir, threads, strictness)?;
-                let profiles = apply_profile_filter(loaded, &mut filter)?;
+                let profiles = match filter {
+                    Some(Filter::Expr(expr)) => {
+                        let keys = profile_meta_keys(loaded.iter());
+                        let (pushed, res, p) = plan_conjuncts(&expr, &keys);
+                        plan = Some(p);
+                        residual = res;
+                        loaded
+                            .into_iter()
+                            .filter(|p| expr_matches_profile(&pushed, p))
+                            .collect()
+                    }
+                    mut other => apply_profile_filter(loaded, &mut other)?,
+                };
                 let ids = hash_ids(&profiles);
                 let threads = threads.unwrap_or_else(|| default_threads(profiles.len()));
                 compose(&profiles, &ids, threads, strictness, Some(read))
@@ -272,6 +345,12 @@ impl<'a> Loader<'a> {
                 let (profiles, read) = match filter {
                     None => reader.load_matching_threads(&MetaPred::True, threads)?,
                     Some(Filter::Pred(pred)) => reader.load_matching_threads(&pred, threads)?,
+                    Some(Filter::Expr(expr)) => {
+                        let (pushed, res, p) = plan_conjuncts(&expr, &reader.meta_keys());
+                        plan = Some(p);
+                        residual = res;
+                        reader.load_matching_expr(&pushed, threads)?
+                    }
                     Some(Filter::Entries(pred)) => reader.load_entries_where(pred, threads)?,
                 };
                 if matches!(strictness, Strictness::FailFast) && !read.is_clean() {
@@ -291,8 +370,109 @@ impl<'a> Loader<'a> {
                 let ids = hash_ids(&profiles);
                 compose(&profiles, &ids, threads, strictness, Some(read))
             }
+        }?;
+
+        if plan.is_some() {
+            report.pushdown = plan;
+        }
+        let mut tk = tk;
+        for conjunct in &residual {
+            tk = residual_filter(&tk, conjunct)?;
+        }
+        Ok((tk, report))
+    }
+}
+
+/// Union of metadata keys across profiles: what an in-memory or
+/// ensemble source can answer before composition.
+fn profile_meta_keys<'p>(profiles: impl Iterator<Item = &'p Profile>) -> BTreeSet<String> {
+    profiles
+        .flat_map(|p| p.metadata_iter().map(|(k, _)| k.to_string()))
+        .collect()
+}
+
+/// Scalar engine evaluation of an expression against one profile's
+/// metadata (missing key ⇒ false, like every other engine surface).
+fn expr_matches_profile(expr: &PredExpr, p: &Profile) -> bool {
+    expr.eval_lookup(&mut |k| p.metadata(k).cloned())
+}
+
+/// The planner: split `expr`'s top-level conjunction into the part the
+/// source can answer from metadata alone (every field of the conjunct
+/// is in `keys`) and the residual conjuncts that need the composed
+/// performance frame, plus the [`FilterPlan`] describing the split.
+fn plan_conjuncts(
+    expr: &PredExpr,
+    keys: &BTreeSet<String>,
+) -> (PredExpr, Vec<PredExpr>, FilterPlan) {
+    let mut pushed = Vec::new();
+    let mut residual = Vec::new();
+    for c in expr.conjuncts() {
+        if c.fields().iter().all(|f| keys.contains(*f)) {
+            pushed.push(c.clone());
+        } else {
+            residual.push(c.clone());
         }
     }
+    let plan = FilterPlan {
+        pushed: pushed.iter().map(|c| c.to_string()).collect(),
+        residual: residual.iter().map(|c| c.to_string()).collect(),
+    };
+    (PredExpr::and(pushed), residual, plan)
+}
+
+/// Apply one residual conjunct with exists-row semantics: keep exactly
+/// the profiles having at least one perf-data row that satisfies it.
+/// Fields resolve to perf columns, then index levels, then profile
+/// metadata columns (gathered per row; a null metadata cell is absent).
+fn residual_filter(tk: &Thicket, conjunct: &PredExpr) -> Result<Thicket, ThicketError> {
+    let perf = tk.perf_data();
+    let prof_of_row = perf.index().level_values(PROFILE_LEVEL)?;
+    let mut src = perf.bind_source(conjunct);
+    let unbound: Vec<&str> = conjunct
+        .fields()
+        .into_iter()
+        .filter(|f| !src.is_bound(f))
+        .collect();
+    if !unbound.is_empty() {
+        let meta = tk.metadata();
+        let meta_row: HashMap<&Value, usize> = meta
+            .index()
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (&k[0], i))
+            .collect();
+        let rows: Vec<Option<usize>> = prof_of_row
+            .iter()
+            .map(|p| meta_row.get(p).copied())
+            .collect();
+        for field in unbound {
+            let Ok(col) = meta.column_named(field) else {
+                continue; // unanswerable anywhere: matches no rows
+            };
+            let mut values = Vec::with_capacity(perf.len());
+            let mut present = Vec::with_capacity(perf.len());
+            for r in &rows {
+                let v = match r {
+                    Some(i) => col.get(*i),
+                    None => Value::Null,
+                };
+                present.push(!v.is_null());
+                values.push(v);
+            }
+            src.bind_masked(field, values, present);
+        }
+    }
+    let hits = conjunct.eval(&src);
+    let mut seen = HashSet::new();
+    let mut keep = Vec::new();
+    for i in hits.positions() {
+        if seen.insert(prof_of_row[i].clone()) {
+            keep.push(prof_of_row[i].clone());
+        }
+    }
+    Ok(tk.filter_profiles(&keep))
 }
 
 /// Default profile index values: the deterministic metadata hashes.
@@ -318,6 +498,9 @@ fn apply_profile_filter(
         Some(Filter::Entries(_)) => Err(ThicketError::Invalid(
             "entry closures apply only to store sources; use `filter` with a `MetaPred`".into(),
         )),
+        // Expression filters are planned (and consumed) before reaching
+        // this legacy path.
+        Some(Filter::Expr(_)) => unreachable!("expression filters are planned at the source"),
     }
 }
 
@@ -340,6 +523,7 @@ fn compose(
                     attempted: profiles.len(),
                     loaded: profiles.len(),
                     diagnostics: Vec::new(),
+                    pushdown: None,
                 },
             )
         }

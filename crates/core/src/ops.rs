@@ -5,7 +5,7 @@
 
 use crate::thicket::{Thicket, ThicketError, NODE_LEVEL, PROFILE_LEVEL};
 use std::collections::HashSet;
-use thicket_dataframe::{ColKey, DataFrame, GroupBy, Index, RowRef, Value};
+use thicket_dataframe::{ColKey, DataFrame, GroupBy, Index, PredExpr, RowRef, Value};
 use thicket_query::Query;
 
 impl Thicket {
@@ -26,6 +26,23 @@ impl Thicket {
         self.with_profiles(&keep, metadata)
     }
 
+    /// [`Thicket::filter_metadata`] with a typed [`PredExpr`]: the same
+    /// expression AST the store pushdown and the query dialect compile
+    /// into, evaluated by the vectorized engine directly over the
+    /// metadata frame's columnar storage. Fields resolve to metadata
+    /// columns first, then index levels; a field the frame doesn't
+    /// have matches no rows.
+    pub fn filter_metadata_where(&self, expr: &PredExpr) -> Thicket {
+        let metadata = self.metadata.filter_expr(expr);
+        let keep: HashSet<Value> = metadata
+            .index()
+            .keys()
+            .iter()
+            .map(|k| k[0].clone())
+            .collect();
+        self.with_profiles(&keep, metadata)
+    }
+
     /// Keep an explicit set of profile index values.
     pub fn filter_profiles(&self, profiles: &[Value]) -> Thicket {
         let keep: HashSet<Value> = profiles.iter().cloned().collect();
@@ -34,9 +51,11 @@ impl Thicket {
     }
 
     fn with_profiles(&self, keep: &HashSet<Value>, metadata: DataFrame) -> Thicket {
-        let perf_data = self
-            .perf_data
-            .filter(|r| keep.contains(&r.level(PROFILE_LEVEL)));
+        // One `In` over the profile index level, evaluated by the
+        // vectorized engine — the same path metadata filters and store
+        // pushdown use.
+        let keep_expr = PredExpr::is_in(PROFILE_LEVEL, keep.iter().cloned());
+        let perf_data = self.perf_data.filter_expr(&keep_expr);
         Thicket {
             graph: self.graph.clone(),
             perf_data,
@@ -128,6 +147,30 @@ impl Thicket {
             statsframe,
         }
     }
+
+    /// [`Thicket::filter_stats`] with a typed [`PredExpr`], evaluated
+    /// against the *named* statsframe ([`Thicket::statsframe_named`]) so
+    /// predicates can compare the `node` level against call-site names.
+    /// Requires [`crate::Thicket::compute_stats`] to have run.
+    pub fn filter_stats_where(&self, expr: &PredExpr) -> Thicket {
+        let named = self.statsframe_named();
+        let kept_rows = named.select_rows(expr).positions();
+        let statsframe = self.statsframe.take(&kept_rows);
+        let keep: Vec<Value> = statsframe
+            .index()
+            .keys()
+            .iter()
+            .map(|k| k[0].clone())
+            .collect();
+        let keep_expr = PredExpr::is_in(NODE_LEVEL, keep);
+        let perf_data = self.perf_data.filter_expr(&keep_expr);
+        Thicket {
+            graph: self.graph.clone(),
+            perf_data,
+            metadata: self.metadata.clone(),
+            statsframe,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +215,62 @@ mod tests {
         let none = tk.filter_metadata(|_| false);
         assert_eq!(none.metadata().len(), 0);
         assert_eq!(none.perf_data().len(), 0);
+    }
+
+    #[test]
+    fn filter_metadata_where_agrees_with_closure() {
+        let tk = sample();
+        let by_expr = tk.filter_metadata_where(&PredExpr::eq("compiler", "clang-9.0.0"));
+        let by_closure = tk.filter_metadata(|r| {
+            r.str("compiler").as_deref() == Some("clang-9.0.0")
+        });
+        assert_eq!(by_expr.profiles(), by_closure.profiles());
+        assert_eq!(by_expr.metadata().len(), 2);
+        assert_eq!(by_expr.perf_data().len(), by_closure.perf_data().len());
+    }
+
+    #[test]
+    fn filter_metadata_where_compound() {
+        let tk = sample();
+        let expr = PredExpr::and([
+            PredExpr::eq("compiler", "clang-9.0.0"),
+            PredExpr::gt("problem size", 2_000_000i64),
+        ]);
+        let one = tk.filter_metadata_where(&expr);
+        assert_eq!(one.metadata().len(), 1);
+        assert_eq!(one.profiles().len(), 1);
+        // A field no frame has matches nothing.
+        let none = tk.filter_metadata_where(&PredExpr::eq("nope", 1i64));
+        assert_eq!(none.metadata().len(), 0);
+        assert_eq!(none.perf_data().len(), 0);
+    }
+
+    #[test]
+    fn filter_stats_where_matches_closure_filter() {
+        let mut tk = sample();
+        tk.compute_stats(&[(ColKey::new("time (exc)"), vec![AggFn::Std])])
+            .unwrap();
+        let expr = PredExpr::is_in(
+            NODE_LEVEL,
+            ["Apps_VOL3D", "Apps_NODAL_ACCUMULATION_3D"],
+        );
+        let filtered = tk.filter_stats_where(&expr);
+        assert_eq!(filtered.statsframe().len(), 2);
+        assert_eq!(filtered.perf_data().len(), 8);
+        let closure = tk.filter_stats(|r| {
+            let name = tk.node_name(&r.level(NODE_LEVEL));
+            name == "Apps_VOL3D" || name == "Apps_NODAL_ACCUMULATION_3D"
+        });
+        assert_eq!(
+            filtered.statsframe().index().keys(),
+            closure.statsframe().index().keys()
+        );
+        // Predicates over stats columns agree with the closure
+        // spelling (null std cells are absent ⇒ false on both paths).
+        let by_expr = tk.filter_stats_where(&PredExpr::ge("time (exc)_std", 0.0));
+        let by_closure =
+            tk.filter_stats(|r| r.f64("time (exc)_std").is_some_and(|v| v >= 0.0));
+        assert_eq!(by_expr.statsframe().len(), by_closure.statsframe().len());
     }
 
     #[test]

@@ -289,6 +289,7 @@ impl Thicket {
                 attempted: profiles.len(),
                 loaded: healthy.len(),
                 diagnostics: diagnostics.into_iter().map(|(_, d)| d).collect(),
+                pushdown: None,
             };
             return Ok((
                 Thicket {

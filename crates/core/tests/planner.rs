@@ -1,0 +1,165 @@
+//! Loader planner tests: a [`PredExpr`] filter splits into metadata
+//! conjuncts pushed below the source read and perf-frame conjuncts
+//! applied after composition with exists-row semantics, with the split
+//! recorded in [`IngestReport::pushdown`].
+
+use thicket_core::{LoadSource, PredExpr, Thicket};
+use thicket_dataframe::ColKey;
+use thicket_perfsim::{simulate_cpu_run, Compiler, CpuRunConfig, MetaPred, Profile, Store};
+
+/// Six profiles: 2 compilers × 3 seeds, one problem size.
+fn sample_profiles() -> Vec<Profile> {
+    let mut profiles = Vec::new();
+    for (ci, compiler) in [Compiler::clang9(), Compiler::xl16()].iter().enumerate() {
+        for seed in 0..3u64 {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.compiler = compiler.clone();
+            cfg.seed = ci as u64 * 3 + seed;
+            profiles.push(simulate_cpu_run(&cfg));
+        }
+    }
+    profiles
+}
+
+fn temp_store(tag: &str, profiles: &[Profile]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("thicket-planner-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::save(&dir, profiles).unwrap();
+    dir
+}
+
+#[test]
+fn metadata_only_expr_fully_pushes_on_store() {
+    let profiles = sample_profiles();
+    let dir = temp_store("push", &profiles);
+
+    let expr = PredExpr::eq("compiler", "clang-9.0.0");
+    let (by_expr, report) = Thicket::loader(LoadSource::store(&dir))
+        .filter_expr(expr)
+        .load()
+        .unwrap();
+    let (by_pred, _) = Thicket::loader(LoadSource::store(&dir))
+        .filter(MetaPred::eq("compiler", "clang-9.0.0"))
+        .load()
+        .unwrap();
+
+    assert_eq!(by_expr.metadata(), by_pred.metadata());
+    assert_eq!(by_expr.perf_data(), by_pred.perf_data());
+    assert_eq!(by_expr.profiles().len(), 3);
+
+    let plan = report.pushdown.expect("expr loads record a plan");
+    assert!(plan.fully_pushed(), "no residual expected: {plan}");
+    assert_eq!(plan.pushed.len(), 1);
+    assert!(plan.pushed[0].contains("compiler"));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn mixed_expr_splits_into_pushed_and_residual() {
+    let profiles = sample_profiles();
+    let dir = temp_store("mixed", &profiles);
+
+    // "time (exc)" lives in the perf frame, not the store metadata:
+    // the planner must keep it above the read. Every profile has some
+    // positive exclusive time, so the residual keeps all survivors of
+    // the pushed conjunct.
+    let expr = PredExpr::and([
+        PredExpr::eq("compiler", "clang-9.0.0"),
+        PredExpr::gt("time (exc)", 0.0),
+    ]);
+    let (tk, report) = Thicket::loader(LoadSource::store(&dir))
+        .filter_expr(expr)
+        .load()
+        .unwrap();
+
+    assert_eq!(tk.profiles().len(), 3);
+    let plan = report.pushdown.expect("plan recorded");
+    assert_eq!(plan.pushed.len(), 1, "{plan}");
+    assert_eq!(plan.residual.len(), 1, "{plan}");
+    assert!(plan.pushed[0].contains("compiler"));
+    assert!(plan.residual[0].contains("time (exc)"));
+
+    // An unsatisfiable frame conjunct empties the thicket through the
+    // same plan shape.
+    let none = Thicket::loader(LoadSource::store(&dir))
+        .filter_expr(PredExpr::and([
+            PredExpr::eq("compiler", "clang-9.0.0"),
+            PredExpr::gt("time (exc)", f64::MAX),
+        ]))
+        .load()
+        .unwrap()
+        .0;
+    assert_eq!(none.profiles().len(), 0);
+    assert_eq!(none.perf_data().len(), 0);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn residual_uses_exists_row_semantics() {
+    let profiles = sample_profiles();
+    let (full, _) = Thicket::loader(&profiles).load().unwrap();
+
+    // Pick a threshold between the per-profile maxima of a metric so
+    // the filter is selective but not empty.
+    let metric = ColKey::new("time (exc)");
+    let mut maxima: Vec<f64> = full
+        .profiles()
+        .iter()
+        .map(|p| {
+            let sub = full.filter_profiles(std::slice::from_ref(p));
+            sub.perf_data()
+                .column(&metric)
+                .unwrap()
+                .numeric_values()
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    maxima.sort_by(f64::total_cmp);
+    let threshold = maxima[maxima.len() / 2];
+    let expect: usize = maxima.iter().filter(|m| **m > threshold).count();
+    assert!(expect > 0 && expect < maxima.len());
+
+    let (tk, report) = Thicket::loader(&profiles)
+        .filter_expr(PredExpr::gt("time (exc)", threshold))
+        .load()
+        .unwrap();
+    assert_eq!(tk.profiles().len(), expect);
+    let plan = report.pushdown.unwrap();
+    assert!(plan.pushed.is_empty());
+    assert_eq!(plan.residual.len(), 1);
+}
+
+#[test]
+fn profile_source_expr_matches_metapred_filter() {
+    let profiles = sample_profiles();
+    let (by_expr, report) = Thicket::loader(&profiles)
+        .filter_expr(PredExpr::eq("compiler", "xlc-16.1.1.12"))
+        .load()
+        .unwrap();
+    let (by_pred, _) = Thicket::loader(&profiles)
+        .filter(MetaPred::eq("compiler", "xlc-16.1.1.12"))
+        .load()
+        .unwrap();
+    assert_eq!(by_expr.metadata(), by_pred.metadata());
+    assert_eq!(by_expr.perf_data(), by_pred.perf_data());
+    assert!(report.pushdown.unwrap().fully_pushed());
+}
+
+#[test]
+fn dialect_predicate_flows_to_the_loader() {
+    let profiles = sample_profiles();
+    let dir = temp_store("dialect", &profiles);
+
+    let expr = thicket_query::parse_pred(r#"compiler startswith "clang""#).unwrap();
+    let (tk, report) = Thicket::loader(LoadSource::store(&dir))
+        .filter_expr(expr)
+        .load()
+        .unwrap();
+    assert_eq!(tk.profiles().len(), 3);
+    assert!(report.pushdown.is_some());
+
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -58,3 +58,42 @@ proptest! {
         }
     }
 }
+
+use thicket_core::PredExpr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Planned `filter_expr` loads are thread-count invariant: the
+    /// pushdown split, the vectorized selection, and the residual
+    /// exists-row pass give bit-identical thickets and identical plans
+    /// at threads 1, 2, and 8.
+    #[test]
+    fn filter_expr_thread_invariant(
+        seeds in proptest::collection::hash_set(0u64..64, 2..6),
+        threshold in 0.0f64..0.05,
+    ) {
+        let mut seeds: Vec<u64> = seeds.into_iter().collect();
+        seeds.sort_unstable();
+        let profiles = profiles_for(&seeds);
+        let expr = PredExpr::and([
+            PredExpr::eq("cluster", "quartz"),
+            PredExpr::gt("time (exc)", threshold),
+        ]);
+        let (serial, serial_report) = Thicket::loader(&profiles)
+            .threads(1)
+            .filter_expr(expr.clone())
+            .load()
+            .unwrap();
+        for threads in [2usize, 8] {
+            let (par, report) = Thicket::loader(&profiles)
+                .threads(threads)
+                .filter_expr(expr.clone())
+                .load()
+                .unwrap();
+            prop_assert_eq!(serial.perf_data(), par.perf_data(), "perf mismatch at {} threads", threads);
+            prop_assert_eq!(serial.metadata(), par.metadata(), "metadata mismatch at {} threads", threads);
+            prop_assert_eq!(&serial_report.pushdown, &report.pushdown);
+        }
+    }
+}

@@ -437,6 +437,17 @@ impl Column {
         Column { data, valid }
     }
 
+    /// Borrow the typed backing storage (for the vectorized predicate
+    /// evaluator, which loops over the monomorphic `Vec`s directly).
+    pub(crate) fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Borrow the validity mask (`None` = every cell valid).
+    pub(crate) fn valid_mask(&self) -> Option<&[bool]> {
+        self.valid.as_deref()
+    }
+
     /// Cast a numeric column to float (no-op for float columns).
     pub fn cast_float(&self) -> Result<Column> {
         match self.dtype() {

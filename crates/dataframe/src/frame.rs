@@ -1,8 +1,10 @@
 //! The [`DataFrame`]: a multi-indexed, column-oriented table.
 
+use crate::bitmap::Bitmap;
 use crate::colkey::ColKey;
 use crate::column::{Column, ColumnBuilder, ConcatPart};
 use crate::error::{DfError, Result};
+use crate::expr::{BoundSource, PredExpr};
 use crate::index::{Index, Key};
 use crate::value::{DType, Value};
 use std::collections::HashMap;
@@ -226,6 +228,36 @@ impl DataFrame {
             .filter(|&i| pred(RowRef { df: self, row: i }))
             .collect();
         self.take(&rows)
+    }
+
+    /// Bind the fields a [`PredExpr`] reads against this frame: a uniquely
+    /// named column binds its typed storage; otherwise an index level of
+    /// that name is materialized. Fields that resolve to neither (missing,
+    /// or group-ambiguous column names) stay unbound and match no rows.
+    pub fn bind_source(&self, expr: &PredExpr) -> BoundSource<'_> {
+        let mut src = BoundSource::new(self.len());
+        for field in expr.fields() {
+            if let Ok(col) = self.column_named(field) {
+                src.bind_column(field, col);
+            } else if let Ok(values) = self.index.level_values(field) {
+                src.bind_values(field, values);
+            }
+        }
+        src
+    }
+
+    /// Filter rows with the vectorized predicate engine. Fields resolve to
+    /// columns first, then index levels (see [`DataFrame::bind_source`]);
+    /// a field the frame doesn't have matches no rows.
+    pub fn filter_expr(&self, expr: &PredExpr) -> DataFrame {
+        let src = self.bind_source(expr);
+        self.take(&expr.eval(&src).positions())
+    }
+
+    /// The selection bitmap a [`PredExpr`] produces over this frame,
+    /// without materializing the filtered frame.
+    pub fn select_rows(&self, expr: &PredExpr) -> Bitmap {
+        expr.eval(&self.bind_source(expr))
     }
 
     /// First `n` rows.

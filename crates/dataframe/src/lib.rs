@@ -33,11 +33,13 @@
 
 mod agg;
 mod arith;
+mod bitmap;
 mod colkey;
 mod csv;
 mod column;
 mod display;
 mod error;
+mod expr;
 mod frame;
 mod groupby;
 mod index;
@@ -47,7 +49,9 @@ mod join;
 mod value;
 
 pub use agg::AggFn;
+pub use bitmap::Bitmap;
 pub use colkey::ColKey;
+pub use expr::{BoundSource, FieldView, PredExpr, PredOp, PredSource, StrMatch};
 pub use column::{Column, ColumnBuilder, ColumnData};
 pub use csv::from_csv;
 pub use display::{render, to_csv};

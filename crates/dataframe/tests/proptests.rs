@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use thicket_dataframe::{
-    join, join_many, join_many_pairwise, merge_fragments, AggFn, ColKey, Column, ColumnFragments,
-    DataFrame, FrameBuilder, GroupBy, Index, JoinHow, Value,
+    join, join_many, join_many_pairwise, merge_fragments, AggFn, BoundSource, ColKey, Column,
+    ColumnFragments, DataFrame, FrameBuilder, GroupBy, Index, JoinHow, PredExpr, PredOp, StrMatch,
+    Value,
 };
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -294,5 +295,192 @@ proptest! {
             df.column(&ColKey::new("i")).unwrap().iter().collect::<Vec<_>>(),
             back.column(&ColKey::new("i")).unwrap().iter().collect::<Vec<_>>()
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predicate engine: the vectorized evaluator over typed columns must
+// agree bit-for-bit with the independent row-wise reference evaluator
+// for arbitrary expression ASTs over frames with arbitrary null masks —
+// kind-mismatched comparisons, all-null columns, and fields the frame
+// doesn't carry included.
+
+/// A comparison value of any kind, in and out of the stored ranges.
+fn pred_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-6i64..6).prop_map(Value::Int),
+        (-6.0f64..6.0).prop_map(Value::Float),
+        prop_oneof![Just(f64::NAN), Just(f64::INFINITY)].prop_map(Value::Float),
+        "[a-c]{0,3}".prop_map(|s| Value::from(s.as_str())),
+    ]
+}
+
+fn pred_op() -> impl Strategy<Value = PredOp> {
+    prop_oneof![
+        Just(PredOp::Eq),
+        Just(PredOp::Ne),
+        Just(PredOp::Lt),
+        Just(PredOp::Le),
+        Just(PredOp::Gt),
+        Just(PredOp::Ge),
+    ]
+}
+
+fn str_op() -> impl Strategy<Value = StrMatch> {
+    prop_oneof![
+        Just(StrMatch::StartsWith),
+        Just(StrMatch::EndsWith),
+        Just(StrMatch::Contains),
+    ]
+}
+
+/// Fields covering every column dtype, an all-null column, and a name
+/// the frame doesn't have.
+fn pred_field() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("i".to_string()),
+        Just("f".to_string()),
+        Just("s".to_string()),
+        Just("b".to_string()),
+        Just("nul".to_string()),
+        Just("missing".to_string()),
+    ]
+}
+
+/// Arbitrary expression ASTs up to depth 3. `In` draws up to 12 values
+/// to exercise both the linear probe and the hash-set path.
+fn expr_strategy() -> impl Strategy<Value = PredExpr> {
+    let leaf = prop_oneof![
+        Just(PredExpr::True),
+        (pred_field(), pred_op(), pred_value()).prop_map(|(field, op, value)| {
+            PredExpr::Cmp { field, op, value }
+        }),
+        (pred_field(), str_op(), "[a-c]{0,2}").prop_map(|(field, op, needle)| {
+            PredExpr::Str { field, op, needle }
+        }),
+        (pred_field(), proptest::collection::vec(pred_value(), 0..12))
+            .prop_map(|(field, values)| PredExpr::In { field, values }),
+    ];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(PredExpr::And),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(PredExpr::Or),
+            inner.prop_map(|e| PredExpr::Not(Box::new(e))),
+        ]
+    })
+}
+
+type NullableRow = (Option<i64>, Option<f64>, Option<String>, Option<bool>);
+
+fn nullable_rows() -> impl Strategy<Value = Vec<NullableRow>> {
+    let opt_i = prop_oneof![Just(None), (-5i64..5).prop_map(Some)];
+    let opt_f = prop_oneof![Just(None), (-5.0f64..5.0).prop_map(Some)];
+    let opt_s = prop_oneof![Just(None), "[a-c]{0,3}".prop_map(Some)];
+    let opt_b = prop_oneof![Just(None), any::<bool>().prop_map(Some)];
+    proptest::collection::vec((opt_i, opt_f, opt_s, opt_b), 0..40)
+}
+
+fn nullable_frame(rows: &[NullableRow]) -> DataFrame {
+    let keys: Vec<i64> = (0..rows.len() as i64).collect();
+    let mut df = DataFrame::new(Index::single("k", keys));
+    let cell = |o: Option<Value>| o.unwrap_or(Value::Null);
+    df.insert(
+        "i",
+        Column::from_values(rows.iter().map(|r| cell(r.0.map(Value::Int)))).unwrap(),
+    )
+    .unwrap();
+    df.insert(
+        "f",
+        Column::from_values(rows.iter().map(|r| cell(r.1.map(Value::Float)))).unwrap(),
+    )
+    .unwrap();
+    df.insert(
+        "s",
+        Column::from_values(
+            rows.iter()
+                .map(|r| cell(r.2.as_deref().map(Value::from))),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    df.insert(
+        "b",
+        Column::from_values(rows.iter().map(|r| cell(r.3.map(Value::Bool)))).unwrap(),
+    )
+    .unwrap();
+    df.insert(
+        "nul",
+        Column::from_values(rows.iter().map(|_| Value::Null)).unwrap(),
+    )
+    .unwrap();
+    df
+}
+
+proptest! {
+    /// Vectorized ≡ row-wise over random frames, null masks, and ASTs.
+    #[test]
+    fn vectorized_matches_rowwise_on_columns(
+        rows in nullable_rows(),
+        expr in expr_strategy(),
+    ) {
+        let df = nullable_frame(&rows);
+        let src = df.bind_source(&expr);
+        let fast = expr.eval(&src);
+        let slow = expr.eval_rowwise(&src);
+        prop_assert_eq!(
+            fast.positions(), slow.positions(),
+            "engines disagree for {} over {} rows", expr, rows.len()
+        );
+        // filter_expr keeps exactly the selected rows, in order.
+        prop_assert_eq!(df.filter_expr(&expr).len(), df.select_rows(&expr).count_ones());
+    }
+
+    /// Vectorized ≡ row-wise over `Value`-slice views with explicit
+    /// presence masks (the store's MetaBlock shape) — a stored `Null`
+    /// that is *present* behaves differently from an absent cell, and
+    /// both evaluators must agree on it.
+    #[test]
+    fn vectorized_matches_rowwise_on_value_views(
+        cells in proptest::collection::vec((pred_value(), any::<bool>()), 0..40),
+        expr in expr_strategy(),
+    ) {
+        let values: Vec<Value> = cells.iter().map(|(v, _)| v.clone()).collect();
+        let present: Vec<bool> = cells.iter().map(|(_, p)| *p).collect();
+        let mut src = BoundSource::new(cells.len());
+        for field in ["i", "f", "s", "b", "nul"] {
+            src.bind_masked(field, values.clone(), present.clone());
+        }
+        let fast = expr.eval(&src);
+        let slow = expr.eval_rowwise(&src);
+        prop_assert_eq!(
+            fast.positions(), slow.positions(),
+            "engines disagree for {} over a masked value view", expr
+        );
+    }
+
+    /// The scalar lookup evaluator agrees with the row-wise one on
+    /// every row (it is the store-v1 / profile-metadata path).
+    #[test]
+    fn lookup_matches_rowwise(
+        rows in nullable_rows(),
+        expr in expr_strategy(),
+    ) {
+        let df = nullable_frame(&rows);
+        let src = df.bind_source(&expr);
+        for row in 0..df.len() {
+            let by_lookup = expr.eval_lookup(&mut |key| {
+                df.column_named(key).ok().and_then(|c| {
+                    let v = c.get(row);
+                    if v.is_null() { None } else { Some(v) }
+                }).or_else(|| df.index().get(row, key).ok())
+            });
+            prop_assert_eq!(
+                by_lookup,
+                expr.eval_row(&src, row),
+                "lookup and row-wise disagree at row {} for {}", row, expr
+            );
+        }
     }
 }

@@ -104,6 +104,7 @@ pub fn load_dir(
                 attempted: paths.len(),
                 loaded: profiles.len(),
                 diagnostics: Vec::new(),
+                pushdown: None,
             };
             Ok((profiles, report))
         }
@@ -153,6 +154,7 @@ pub fn load_dir(
                 attempted: paths.len(),
                 loaded: profiles.len(),
                 diagnostics,
+                pushdown: None,
             };
             Ok((profiles, report))
         }

@@ -178,6 +178,42 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// How the loader's planner split a filter around the store read: which
+/// conjuncts were pushed below it (evaluated on the columnar metadata
+/// index, skipping shards) and which remained for post-compose
+/// evaluation over the performance frame.
+///
+/// Conjuncts are recorded in their predicate-display form (e.g.
+/// `cluster == quartz`), in original order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FilterPlan {
+    /// Conjuncts evaluated below the store read (metadata-only fields).
+    pub pushed: Vec<String>,
+    /// Conjuncts evaluated after composition (perf-frame fields, or
+    /// mixed/negated subtrees the planner cannot prove metadata-only).
+    pub residual: Vec<String>,
+}
+
+impl FilterPlan {
+    /// True when every conjunct was pushed below the store read.
+    pub fn fully_pushed(&self) -> bool {
+        self.residual.is_empty()
+    }
+}
+
+impl fmt::Display for FilterPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pushdown: {} pushed [{}], {} residual [{}]",
+            self.pushed.len(),
+            self.pushed.join("; "),
+            self.residual.len(),
+            self.residual.join("; ")
+        )
+    }
+}
+
 /// The outcome of a lenient ingest: how many sources were attempted,
 /// how many made it, and one [`Diagnostic`] per source that did not.
 ///
@@ -192,6 +228,10 @@ pub struct IngestReport {
     pub loaded: usize,
     /// One entry per dropped source, in source order.
     pub diagnostics: Vec<Diagnostic>,
+    /// When the load carried a predicate through the loader's planner:
+    /// how it was split around the store read. `None` for unfiltered
+    /// loads and legacy entry points that bypass the planner.
+    pub pushdown: Option<FilterPlan>,
 }
 
 impl IngestReport {
@@ -244,6 +284,9 @@ impl IngestReport {
     pub fn absorb(&mut self, later: IngestReport) {
         self.loaded = later.loaded;
         self.diagnostics.extend(later.diagnostics);
+        if self.pushdown.is_none() {
+            self.pushdown = later.pushdown;
+        }
     }
 }
 
@@ -297,6 +340,7 @@ mod tests {
                     message: "unterminated object".into(),
                 },
             }],
+            pushdown: None,
         };
         assert!(!report.is_clean());
         assert_eq!(report.dropped(), 1);
@@ -333,6 +377,7 @@ mod tests {
                     },
                 },
             ],
+            pushdown: None,
         };
         assert_eq!(
             report.summary(),
@@ -356,6 +401,7 @@ mod tests {
                     record: 0,
                 },
             }],
+            pushdown: None,
         };
         let build = IngestReport {
             attempted: 4,
@@ -366,6 +412,7 @@ mod tests {
                     first: "profile 1".into(),
                 },
             }],
+            pushdown: None,
         };
         read.absorb(build);
         assert_eq!(read.attempted, 5);

@@ -46,7 +46,7 @@ pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
 pub use collector::Collector;
 pub use ensemble::{load_dir, save_ensemble};
 pub use faults::{inject, inject_all, FaultKind};
-pub use ingest::{DiagKind, Diagnostic, IngestReport, Strictness};
+pub use ingest::{DiagKind, Diagnostic, FilterPlan, IngestReport, Strictness};
 pub use json::Json;
 pub use parallel::{
     default_threads, parallel_map, parallel_map_catch, simulate_cpu_ensemble,

@@ -16,7 +16,7 @@
 use crate::profile::Profile;
 use std::collections::BTreeSet;
 use std::fmt;
-use thicket_dataframe::Value;
+use thicket_dataframe::{PredExpr, PredOp, Value};
 
 /// An ordering comparison inside [`MetaPred::Cmp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +193,41 @@ impl MetaPred {
     /// Evaluate against an in-memory profile's metadata.
     pub fn matches_profile(&self, profile: &Profile) -> bool {
         self.eval_with(&mut |key| profile.metadata(key))
+    }
+
+    /// Compile into the unified predicate engine's [`PredExpr`] AST.
+    ///
+    /// The mapping is exact: both sides share missing-key-is-false,
+    /// `Value`-equality `Eq`, kind-guarded ordering, and the
+    /// `And([]) == true` / `Or([]) == false` conventions, so
+    /// `p.matches_profile(x) == p.to_expr().eval_lookup(...)` for every
+    /// predicate and profile (proptested in `tests/store_props.rs`).
+    pub fn to_expr(&self) -> PredExpr {
+        match self {
+            MetaPred::True => PredExpr::True,
+            MetaPred::Eq(k, v) => PredExpr::Cmp {
+                field: k.clone(),
+                op: PredOp::Eq,
+                value: v.clone(),
+            },
+            MetaPred::Cmp(k, op, v) => PredExpr::Cmp {
+                field: k.clone(),
+                op: match op {
+                    CmpOp::Lt => PredOp::Lt,
+                    CmpOp::Le => PredOp::Le,
+                    CmpOp::Gt => PredOp::Gt,
+                    CmpOp::Ge => PredOp::Ge,
+                },
+                value: v.clone(),
+            },
+            MetaPred::In(k, vs) => PredExpr::In {
+                field: k.clone(),
+                values: vs.clone(),
+            },
+            MetaPred::And(v) => PredExpr::And(v.iter().map(MetaPred::to_expr).collect()),
+            MetaPred::Or(v) => PredExpr::Or(v.iter().map(MetaPred::to_expr).collect()),
+            MetaPred::Not(p) => PredExpr::Not(Box::new(p.to_expr())),
+        }
     }
 }
 

@@ -57,12 +57,12 @@ use crate::metapred::MetaPred;
 use crate::parallel::{parallel_map_catch, JobFailure};
 use crate::profile::{json_to_value, value_to_json, Profile, ProfileError};
 use std::cell::{Cell, OnceCell};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
-use thicket_dataframe::Value;
+use thicket_dataframe::{BoundSource, PredExpr, Value};
 
 /// Magic prefix of every shard file.
 pub const SHARD_MAGIC: &[u8; 4] = b"TKS1";
@@ -481,6 +481,12 @@ impl MetaBlock {
     /// Whether profile `i` carries this key.
     pub fn present_at(&self, i: usize) -> bool {
         self.present.get(i).copied().unwrap_or(false)
+    }
+
+    /// The full presence mask, one flag per profile in storage order —
+    /// the predicate engine binds this directly as a columnar view.
+    pub fn present(&self) -> &[bool] {
+        &self.present
     }
 
     /// True once this block's value text has been parsed — selection
@@ -1416,6 +1422,7 @@ impl Store {
                 attempted,
                 loaded,
                 diagnostics,
+                pushdown: None,
             },
         })
     }
@@ -1603,6 +1610,7 @@ impl Store {
                     attempted,
                     loaded: kept_profiles,
                     diagnostics,
+                    pushdown: None,
                 },
             });
         }
@@ -1675,6 +1683,7 @@ impl Store {
                 attempted: salvaged_count + diagnostics.len(),
                 loaded: salvaged_count,
                 diagnostics,
+                pushdown: None,
             },
         })
     }
@@ -1903,6 +1912,26 @@ impl StoreReader {
         &self.manifest
     }
 
+    /// Every metadata key this store can answer predicates about
+    /// without shard I/O: the columnar index keys (v2/v3), or the
+    /// union of per-entry keys (v1). The loader's planner uses this to
+    /// decide which conjuncts push below the read.
+    pub fn meta_keys(&self) -> BTreeSet<String> {
+        if self.manifest.version.columnar() {
+            self.manifest
+                .columns
+                .iter()
+                .map(|b| b.key.clone())
+                .collect()
+        } else {
+            self.manifest
+                .profiles
+                .iter()
+                .flat_map(|e| e.meta.iter().map(|(k, _)| k.clone()))
+                .collect()
+        }
+    }
+
     /// Total bytes this reader has read so far — manifest bytes from
     /// [`Store::open`] plus shard I/O. Sparse selections are charged
     /// per record frame (`RECORD_HEADER_BYTES` + payload); dense
@@ -1919,37 +1948,34 @@ impl StoreReader {
     /// never parsed. A named column that fails to decode is
     /// [`StoreError::Corrupt`] (fsck classifies the damage).
     pub fn select(&self, pred: &MetaPred) -> Result<Vec<usize>, StoreError> {
+        self.select_expr(&pred.to_expr())
+    }
+
+    /// [`StoreReader::select`] for an already-compiled [`PredExpr`] —
+    /// the unified engine's entry point. On a columnar manifest each
+    /// named key binds its `MetaBlock` (values + presence mask) straight
+    /// into the vectorized evaluator; unreferenced columns stay
+    /// undecoded. A v1 manifest falls back to a per-entry scalar walk.
+    pub fn select_expr(&self, expr: &PredExpr) -> Result<Vec<usize>, StoreError> {
         let n = self.manifest.profiles.len();
         if !self.manifest.version.columnar() {
             return Ok((0..n)
                 .filter(|&i| {
                     let e = &self.manifest.profiles[i];
-                    pred.eval_with(&mut |k| e.meta(k))
+                    expr.eval_lookup(&mut |k| e.meta(k).cloned())
                 })
                 .collect());
         }
-        let mut cols: HashMap<&str, (&MetaBlock, &[Value])> = HashMap::new();
-        for key in pred.keys() {
+        let mut src = BoundSource::new(n);
+        for key in expr.fields() {
             if let Some(b) = self.manifest.column(key) {
                 let vals = b.values().map_err(StoreError::Corrupt)?;
-                cols.insert(key, (b, vals));
+                src.bind_slice(key, vals, Some(b.present()));
             }
             // A key no profile carries simply never matches:
             // same semantics as a row whose meta lacks it.
         }
-        Ok((0..n)
-            .filter(|&i| {
-                pred.eval_with(&mut |k| {
-                    cols.get(k).and_then(|(b, vals)| {
-                        if b.present_at(i) {
-                            Some(&vals[i])
-                        } else {
-                            None
-                        }
-                    })
-                })
-            })
-            .collect())
+        Ok(expr.eval(&src).positions())
     }
 
     /// Load every profile.
@@ -1976,6 +2002,18 @@ impl StoreReader {
         threads: usize,
     ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
         let selected = self.select(pred)?;
+        self.load_selected(&selected, threads)
+    }
+
+    /// Load the profiles matching a compiled [`PredExpr`]: vectorized
+    /// columnar selection ([`StoreReader::select_expr`]) followed by
+    /// range reads that skip shards the predicate excludes entirely.
+    pub fn load_matching_expr(
+        &self,
+        expr: &PredExpr,
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        let selected = self.select_expr(expr)?;
         self.load_selected(&selected, threads)
     }
 
@@ -2066,6 +2104,7 @@ impl StoreReader {
             attempted: selected.len(),
             loaded: profiles.len(),
             diagnostics,
+            pushdown: None,
         };
         Ok((profiles, report))
     }

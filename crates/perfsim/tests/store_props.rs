@@ -343,3 +343,37 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// `MetaPred::to_expr` preserves semantics exactly: both engine
+    /// paths — vectorized columnar selection and the scalar lookup
+    /// walk — match the legacy `eval_with` row walk for arbitrary
+    /// predicate shapes.
+    #[test]
+    fn to_expr_preserves_metapred_semantics(pred in pred_strategy()) {
+        let (base, _) = base_store();
+        let reader = Store::open(base).unwrap();
+        let expr = pred.to_expr();
+
+        let by_engine = reader.select_expr(&expr).unwrap();
+        let legacy: Vec<usize> = reader
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred.eval_with(&mut |k| e.meta(k)))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(
+            by_engine, legacy,
+            "engine selection diverges from legacy for {}", pred
+        );
+
+        for e in reader.entries() {
+            prop_assert_eq!(
+                expr.eval_lookup(&mut |k| e.meta(k).cloned()),
+                pred.eval_with(&mut |k| e.meta(k)),
+                "scalar engine diverges from legacy for {}", pred
+            );
+        }
+    }
+}

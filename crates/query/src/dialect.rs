@@ -16,10 +16,9 @@
 //! on the left of an operator; literals are double-quoted strings,
 //! numbers, `true`, or `false`.
 
-use crate::{pred, Predicate, Query, QueryBuilder, QueryError};
+use crate::{pred, Query, QueryBuilder};
 use std::fmt;
-use std::sync::Arc;
-use thicket_dataframe::Value;
+use thicket_dataframe::{PredExpr, Value};
 
 /// Errors from parsing the string dialect.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,15 +36,6 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
-
-impl From<QueryError> for ParseError {
-    fn from(e: QueryError) -> Self {
-        ParseError {
-            offset: 0,
-            message: e.to_string(),
-        }
-    }
-}
 
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
@@ -190,15 +180,19 @@ struct Parser {
 
 impl Parser {
     fn err_at(&self, message: impl Into<String>) -> ParseError {
-        let offset = self
-            .tokens
-            .get(self.pos)
-            .map(|(o, _)| *o)
-            .unwrap_or_else(|| self.tokens.last().map(|(o, _)| *o + 1).unwrap_or(0));
         ParseError {
-            offset,
+            offset: self.offset_at(self.pos),
             message: message.into(),
         }
+    }
+
+    /// Byte offset of token `pos` (or just past the last token at end of
+    /// input) — every error this parser raises points at a real byte.
+    fn offset_at(&self, pos: usize) -> usize {
+        self.tokens
+            .get(pos)
+            .map(|(o, _)| *o)
+            .unwrap_or_else(|| self.tokens.last().map(|(o, _)| *o + 1).unwrap_or(0))
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -234,12 +228,19 @@ impl Parser {
         if self.pos != self.tokens.len() {
             return Err(self.err_at("trailing tokens after query"));
         }
-        Ok(builder.try_build()?)
+        // Unreachable in practice (at least one group parsed above), but
+        // keep the offset honest rather than fabricating byte 0.
+        let end = self.offset_at(self.pos);
+        builder.try_build().map_err(|e| ParseError {
+            offset: end,
+            message: e.to_string(),
+        })
     }
 
     /// group := "(" quant ( "," expr )? ")"
     fn group(&mut self, builder: QueryBuilder) -> Result<QueryBuilder, ParseError> {
         self.expect(&Token::LParen)?;
+        let quant_offset = self.offset_at(self.pos);
         let quant = match self.next() {
             Some(Token::Str(s)) | Some(Token::Ident(s)) => s,
             Some(Token::Num(n)) if n == n.trunc() && n >= 0.0 => format!("{}", n as u64),
@@ -247,47 +248,46 @@ impl Parser {
         };
         let predicate = if self.peek() == Some(&Token::Comma) {
             self.pos += 1;
-            self.expr()?
+            pred::expr(self.expr()?)
         } else {
             pred::any()
         };
         self.expect(&Token::RParen)?;
-        builder
-            .try_node(&quant, predicate)
-            .map_err(|e| ParseError {
-                offset: 0,
-                message: e.to_string(),
-            })
+        // A bad quantifier token points at the token itself, not byte 0.
+        builder.try_node(&quant, predicate).map_err(|e| ParseError {
+            offset: quant_offset,
+            message: e.to_string(),
+        })
     }
 
     /// expr := term ( "or" term )*
-    fn expr(&mut self) -> Result<Predicate, ParseError> {
+    fn expr(&mut self) -> Result<PredExpr, ParseError> {
         let mut acc = self.term()?;
         while matches!(self.peek(), Some(Token::Ident(w)) if w == "or") {
             self.pos += 1;
             let rhs = self.term()?;
-            acc = pred::or(acc, rhs);
+            acc = PredExpr::or([acc, rhs]);
         }
         Ok(acc)
     }
 
     /// term := factor ( "and" factor )*
-    fn term(&mut self) -> Result<Predicate, ParseError> {
+    fn term(&mut self) -> Result<PredExpr, ParseError> {
         let mut acc = self.factor()?;
         while matches!(self.peek(), Some(Token::Ident(w)) if w == "and") {
             self.pos += 1;
             let rhs = self.factor()?;
-            acc = pred::and(acc, rhs);
+            acc = PredExpr::and([acc, rhs]);
         }
         Ok(acc)
     }
 
     /// factor := "not" factor | "(" expr ")" | comparison
-    fn factor(&mut self) -> Result<Predicate, ParseError> {
+    fn factor(&mut self) -> Result<PredExpr, ParseError> {
         match self.peek() {
             Some(Token::Ident(w)) if w == "not" => {
                 self.pos += 1;
-                Ok(pred::not(self.factor()?))
+                Ok(PredExpr::not(self.factor()?))
             }
             Some(Token::LParen) => {
                 self.pos += 1;
@@ -300,11 +300,12 @@ impl Parser {
     }
 
     /// comparison := IDENT op value
-    fn comparison(&mut self) -> Result<Predicate, ParseError> {
+    fn comparison(&mut self) -> Result<PredExpr, ParseError> {
         let key = match self.next() {
             Some(Token::Ident(k)) => k,
             other => return Err(self.err_at(format!("expected attribute name, found {other:?}"))),
         };
+        let op_offset = self.offset_at(self.pos);
         let op = match self.next() {
             Some(Token::Op(op)) => op,
             Some(Token::Ident(w))
@@ -321,50 +322,33 @@ impl Parser {
             Some(Token::Ident(w)) if w == "false" => Value::Bool(false),
             other => return Err(self.err_at(format!("expected literal, found {other:?}"))),
         };
-        build_comparison(&key, &op, value).map_err(|m| self.err_at(m))
+        build_comparison(&key, &op, value).map_err(|m| ParseError {
+            offset: op_offset,
+            message: m,
+        })
     }
 }
 
-fn build_comparison(key: &str, op: &str, value: Value) -> Result<Predicate, String> {
-    let key = key.to_string();
-    let get = move |node: &thicket_graph::Node, key: &str| -> Option<Value> {
-        if key == "name" {
-            Some(Value::from(node.name()))
-        } else {
-            node.frame().get(key).cloned()
-        }
-    };
+/// Compile one `key op value` comparison into the unified [`PredExpr`]
+/// AST. Ordering comparisons are kind-guarded by the engine (a cross-kind
+/// `name >= 5` is `false`, not rank-ordered — see the engine docs).
+fn build_comparison(key: &str, op: &str, value: Value) -> Result<PredExpr, String> {
     match op {
-        "==" => Ok(Arc::new(move |n| get(n, &key) == Some(value.clone()))),
-        "!=" => Ok(Arc::new(move |n| {
-            get(n, &key).map(|v| v != value).unwrap_or(false)
-        })),
-        "<" | "<=" | ">" | ">=" => {
-            let op = op.to_string();
-            Ok(Arc::new(move |n| {
-                let Some(v) = get(n, &key) else { return false };
-                match op.as_str() {
-                    "<" => v < value,
-                    "<=" => v <= value,
-                    ">" => v > value,
-                    _ => v >= value,
-                }
-            }))
-        }
+        "==" => Ok(PredExpr::eq(key, value)),
+        "!=" => Ok(PredExpr::ne(key, value)),
+        "<" => Ok(PredExpr::lt(key, value)),
+        "<=" => Ok(PredExpr::le(key, value)),
+        ">" => Ok(PredExpr::gt(key, value)),
+        ">=" => Ok(PredExpr::ge(key, value)),
         "startswith" | "endswith" | "contains" => {
             let Some(needle) = value.as_str().map(str::to_owned) else {
                 return Err(format!("{op} needs a string literal"));
             };
-            let op = op.to_string();
-            Ok(Arc::new(move |n| {
-                let Some(v) = get(n, &key) else { return false };
-                let Some(s) = v.as_str() else { return false };
-                match op.as_str() {
-                    "startswith" => s.starts_with(&needle),
-                    "endswith" => s.ends_with(&needle),
-                    _ => s.contains(&needle),
-                }
-            }))
+            Ok(match op {
+                "startswith" => PredExpr::starts_with(key, needle),
+                "endswith" => PredExpr::ends_with(key, needle),
+                _ => PredExpr::contains(key, needle),
+            })
         }
         other => Err(format!("unknown operator {other:?}")),
     }
@@ -381,6 +365,29 @@ impl Query {
         .tokens()?;
         Parser { tokens, pos: 0 }.query()
     }
+}
+
+/// Parse a bare predicate expression of the string dialect (no
+/// quantifiers or `->`), e.g. `cluster == "quartz" and problem_size >= 30`,
+/// into the unified [`PredExpr`] AST.
+///
+/// This is how a human-written filter string reaches the predicate
+/// engine: hand the result to `Thicket::loader(...).filter_expr(...)`
+/// (metadata conjuncts are pushed below the store read), to
+/// `DataFrame::filter_expr`, or wrap it with [`pred::expr`] for call-path
+/// queries.
+pub fn parse_pred(input: &str) -> Result<PredExpr, ParseError> {
+    let tokens = Lexer {
+        bytes: input.as_bytes(),
+        pos: 0,
+    }
+    .tokens()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err_at("trailing tokens after predicate"));
+    }
+    Ok(e)
 }
 
 #[cfg(test)]
@@ -511,6 +518,34 @@ mod tests {
         ] {
             assert!(Query::parse(bad).is_err(), "should fail: {bad}");
         }
+    }
+
+    #[test]
+    fn errors_carry_real_byte_offsets() {
+        // Bad quantifier: offset points at the quantifier token, not 0.
+        let e = Query::parse(r#"("?x")"#).unwrap_err();
+        assert_eq!(e.offset, 1, "{e}");
+        // String-op on a non-string literal: offset points at the operator.
+        let input = r#"(".", name startswith 5)"#;
+        let e = Query::parse(input).unwrap_err();
+        assert_eq!(e.offset, input.find("startswith").unwrap(), "{e}");
+        // Trailing garbage after a bare predicate.
+        let e = super::parse_pred(r#"a == 1 b"#).unwrap_err();
+        assert_eq!(e.offset, 7, "{e}");
+    }
+
+    #[test]
+    fn parse_pred_builds_engine_ast() {
+        use thicket_dataframe::PredExpr;
+        let e = super::parse_pred(r#"cluster == "quartz" and problem_size >= 30 and not name contains "x""#)
+            .unwrap();
+        assert_eq!(e.conjuncts().len(), 3);
+        assert_eq!(
+            e.fields().into_iter().collect::<Vec<_>>(),
+            vec!["cluster", "name", "problem_size"]
+        );
+        // Numbers lex as floats; equality still matches ints numerically.
+        assert!(matches!(e.conjuncts()[1], PredExpr::Cmp { .. }));
     }
 
     #[test]

@@ -34,7 +34,7 @@
 
 mod dialect;
 
-pub use dialect::ParseError;
+pub use dialect::{parse_pred, ParseError};
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -159,6 +159,24 @@ pub mod pred {
     /// Negation of a predicate.
     pub fn not(a: Predicate) -> Predicate {
         Arc::new(move |n| !a(n))
+    }
+
+    /// Compile a [`PredExpr`](thicket_dataframe::PredExpr) from the
+    /// unified predicate engine into a node predicate: the field `name`
+    /// reads the node's name, any other field reads the frame attribute
+    /// of that key (missing attribute ⇒ the leaf is `false`). This is the
+    /// bridge the string dialect uses, so builder-made and parsed
+    /// predicates share one set of comparison semantics.
+    pub fn expr(e: thicket_dataframe::PredExpr) -> Predicate {
+        Arc::new(move |n| {
+            e.eval_lookup(&mut |key| {
+                if key == "name" {
+                    Some(Value::from(n.name()))
+                } else {
+                    n.frame().get(key).cloned()
+                }
+            })
+        })
     }
 }
 

@@ -143,3 +143,55 @@ proptest! {
         prop_assert_eq!(hits, expect);
     }
 }
+
+// ---------------------------------------------------------------------
+// Dialect-compiled predicates agree with the legacy closure helpers.
+
+use thicket_query::parse_pred;
+
+/// Index-selectable (dialect source, legacy closure) pairs covering
+/// every comparison the dialect compiles into the engine AST.
+fn dialect_case(i: u8) -> (&'static str, Predicate) {
+    match i % 6 {
+        0 => (r#"name == "f0""#, pred::name_eq("f0")),
+        1 => (r#"name startswith "f""#, pred::name_starts_with("f")),
+        2 => (r#"name endswith "1""#, pred::name_ends_with("1")),
+        3 => (r#"name contains "2""#, pred::name_contains("2")),
+        4 => (r#"name != "f3""#, pred::not(pred::name_eq("f3"))),
+        _ => (r#"name == "f4""#, pred::name_eq("f4")),
+    }
+}
+
+proptest! {
+    /// Parsing a dialect predicate and evaluating the compiled
+    /// [`PredExpr`] on every node of a random tree gives exactly the
+    /// answers of the handwritten legacy closures — including under
+    /// `&&` / `||` / `!` composition.
+    #[test]
+    fn dialect_compiles_to_legacy_semantics(
+        parents in proptest::collection::vec(any::<usize>(), 1..14),
+        names in proptest::collection::vec(any::<u8>(), 1..6),
+        a in any::<u8>(),
+        b in any::<u8>(),
+        shape in 0u8..4,
+    ) {
+        let g = tree_from(&parents, &names);
+        let (src_a, legacy_a) = dialect_case(a);
+        let (src_b, legacy_b) = dialect_case(b);
+        let (source, legacy): (String, Predicate) = match shape {
+            0 => (src_a.to_string(), legacy_a),
+            1 => (format!("{src_a} and {src_b}"), pred::and(legacy_a, legacy_b)),
+            2 => (format!("{src_a} or {src_b}"), pred::or(legacy_a, legacy_b)),
+            _ => (format!("not ({src_a})"), pred::not(legacy_a)),
+        };
+        let compiled = pred::expr(parse_pred(&source).unwrap());
+        for id in g.preorder() {
+            let node = g.node(id);
+            prop_assert_eq!(
+                compiled(node),
+                legacy(node),
+                "dialect `{}` diverges at node {}", source, node.name()
+            );
+        }
+    }
+}

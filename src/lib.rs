@@ -53,7 +53,9 @@ pub use thicket_viz as viz;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use thicket_core::{concat_thickets, model_metric, LoadSource, Loader, NodeMatch, Thicket};
+    pub use thicket_core::{
+        concat_thickets, model_metric, LoadSource, Loader, NodeMatch, PredExpr, Thicket,
+    };
     pub use thicket_dataframe::{AggFn, ColKey, DataFrame, Index, JoinHow, Value};
     pub use thicket_graph::{Frame, Graph, GraphUnion, NodeId};
     pub use thicket_learn::{dbscan, kmeans, pca, silhouette_score, KMeansConfig, StandardScaler};
@@ -63,5 +65,5 @@ pub mod prelude {
         CpuRunConfig, GpuRunConfig, IngestReport, MarblCluster, MarblConfig, MetaPred, Profile,
         Store, StoreEntry, StoreOptions, Strictness,
     };
-    pub use thicket_query::{pred, Query};
+    pub use thicket_query::{parse_pred, pred, Query};
 }

@@ -21,6 +21,19 @@ cargo test -q --doc
 # (bounds checks and CRC verification are not debug-only behavior).
 cargo test -q --release -p thicket-perfsim --test faults v3_
 cargo test -q --release --test store_recovery crash_point
+# Predicate-engine equivalence properties: vectorized bitmap evaluation
+# must agree with the row-wise reference on random frames/null masks/ASTs,
+# compiled MetaPred/dialect predicates with their legacy semantics, and
+# loader results must be thread-count invariant (1/2/8).
+cargo test -q -p thicket-dataframe --test proptests
+cargo test -q -p thicket-query --test proptests
+cargo test -q -p thicket-core --test planner
+cargo test -q -p thicket-core --test proptests filter_expr_thread_invariant
+# W4 smoke under --release: the predicate workload end-to-end (row-walk
+# vs vectorized vs planner pushdown) on a small 60-profile store — this
+# exercises select_expr, load_matching_expr, and the residual path on
+# optimized builds, not the recorded PERF.md numbers.
+cargo run -q -p thicket-bench --release --example payload_bench -- 60 w4
 # Benches must at least compile (they are not run here: tier-1 stays fast).
 cargo bench -p thicket-bench --no-run
 # All targets: library code AND tests/benches/bins lint-clean.
