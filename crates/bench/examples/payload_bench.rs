@@ -23,6 +23,10 @@
 //!   metadata (selection only) and over the composed perf frame, plus
 //!   the end-to-end planner split (metadata conjunct pushed below the
 //!   shard read, frame conjunct applied post-compose) vs a full load.
+//! * **W5 — snapshot pinning**: the W1 full load and the W2-style
+//!   pushdown read through a plain reader vs a generation-pinned
+//!   snapshot (`Store::open_pinned`: lease file + held shard handles).
+//!   The only variable is the pinning layer; it must be ~free.
 
 use std::time::Instant;
 use thicket_core::{LoadSource, Thicket};
@@ -70,6 +74,9 @@ fn main() {
         threaded_ingest_workload(&profiles, n, nproc);
     }
     predicate_engine_workload(&profiles, n);
+    if !w4_only {
+        pinning_workload(&profiles, n);
+    }
     eprintln!("done");
 }
 
@@ -303,5 +310,64 @@ fn predicate_engine_workload(profiles: &[thicket_perfsim::Profile], n: u64) {
         full_ms / planned_ms
     );
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// W5: pinned vs unpinned reads. `Snapshot` derefs to `StoreReader`,
+/// so both columns time the identical load path — the delta is the
+/// lease write + handle pinning at open, amortized over the read.
+fn pinning_workload(profiles: &[thicket_perfsim::Profile], n: u64) {
+    let meta_cut = (n / 10).max(1) as i64;
+    println!("## W5: snapshot pinning, {n}-profile v3 store (pinned vs unpinned)\n");
+    let dir = std::env::temp_dir().join("thicket-payloadbench-w5");
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::save_opts(
+        &dir,
+        profiles,
+        &StoreOptions {
+            format: ManifestVersion::V3,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+
+    let expr = PredExpr::lt("seed", meta_cut);
+    let expect = meta_cut.min(n as i64) as usize;
+    let full_plain = median_ms(|| {
+        let (p, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(p.len() as u64, n);
+    });
+    let full_pinned = median_ms(|| {
+        let (p, rep) = Store::open_pinned(&dir).unwrap().load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(p.len() as u64, n);
+    });
+    let push_plain = median_ms(|| {
+        let (p, _) = Store::open(&dir)
+            .unwrap()
+            .load_matching_expr(&expr, 1)
+            .unwrap();
+        assert_eq!(p.len(), expect);
+    });
+    let push_pinned = median_ms(|| {
+        let (p, _) = Store::open_pinned(&dir)
+            .unwrap()
+            .load_matching_expr(&expr, 1)
+            .unwrap();
+        assert_eq!(p.len(), expect);
+    });
+
+    println!("| workload | unpinned | pinned | overhead |");
+    println!("|---|---|---|---|");
+    println!(
+        "| full load ({n} profiles) | {full_plain:.1} ms | {full_pinned:.1} ms | {:+.1}% |",
+        (full_pinned / full_plain - 1.0) * 1e2
+    );
+    println!(
+        "| pushdown load ({expect} of {n}) | {push_plain:.2} ms | {push_pinned:.2} ms | {:+.1}% |",
+        (push_pinned / push_plain - 1.0) * 1e2
+    );
+    println!();
     std::fs::remove_dir_all(&dir).ok();
 }

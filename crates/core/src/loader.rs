@@ -123,6 +123,7 @@ pub struct Loader<'a> {
     strictness: Strictness,
     filter: Option<Filter<'a>>,
     profile_ids: Option<&'a [Value]>,
+    pinned: bool,
 }
 
 impl Thicket {
@@ -138,6 +139,7 @@ impl Thicket {
             strictness: Strictness::FailFast,
             filter: None,
             profile_ids: None,
+            pinned: true,
         }
     }
 }
@@ -207,6 +209,17 @@ impl<'a> Loader<'a> {
         self
     }
 
+    /// Pin store reads (store sources only; default `true`): the load
+    /// opens a generation-pinned snapshot — shard handles held open, a
+    /// GC lease registered — so a concurrent append, compaction, or
+    /// garbage collection can never tear the read. Costs one lease
+    /// file write per load; pass `false` to read unpinned (safe when
+    /// nothing else writes the store).
+    pub fn pinned(mut self, pinned: bool) -> Self {
+        self.pinned = pinned;
+        self
+    }
+
     /// Run the load: read the source, apply the filter, compose the
     /// thicket. Returns the thicket plus an [`IngestReport`] covering
     /// both the read and the composition; the report is clean for
@@ -218,6 +231,7 @@ impl<'a> Loader<'a> {
             strictness,
             filter,
             profile_ids,
+            pinned,
         } = self;
 
         if profile_ids.is_some() && !matches!(source, LoadSource::Profiles(_)) {
@@ -339,7 +353,18 @@ impl<'a> Loader<'a> {
             }
 
             LoadSource::Store(dir) => {
-                let reader = thicket_perfsim::Store::open(&dir)?;
+                // Deferred-init bindings: both arms produce a
+                // `&StoreReader` (the snapshot derefs to one) without
+                // boxing; whichever binding is unused is never touched.
+                let pinned_snap;
+                let opened;
+                let reader: &thicket_perfsim::StoreReader = if pinned {
+                    pinned_snap = thicket_perfsim::Store::open_pinned(&dir)?;
+                    &pinned_snap
+                } else {
+                    opened = thicket_perfsim::Store::open(&dir)?;
+                    &opened
+                };
                 let threads =
                     threads.unwrap_or_else(|| default_threads(reader.manifest().profiles.len()));
                 let (profiles, read) = match filter {

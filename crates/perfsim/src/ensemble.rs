@@ -433,7 +433,7 @@ mod tests {
     fn resave_replaces_instead_of_accumulating() {
         let dir = tmp("resave");
         let p = simulate_cpu_run(&CpuRunConfig::quartz_default());
-        let first = save_ensemble(&dir, &[p.clone()]).unwrap();
+        let first = save_ensemble(&dir, std::slice::from_ref(&p)).unwrap();
         let second = save_ensemble(&dir, &[p]).unwrap();
         assert_eq!(first, second);
         // Still exactly one profile (and no leftover temp files).

@@ -18,6 +18,13 @@
 //! mid-metric-column, a flipped column CRC, a mismatched column entry
 //! count, and an out-of-range name-table index.
 //!
+//! Coordination files get their own pair
+//! ([`FaultKind::COORDINATION`]): a garbage-bodied commit `LOCK` and an
+//! abandoned `pin-*` reader lease, both aged past every ttl — the
+//! droppings of processes that died mid-commit or mid-read. They harm
+//! liveness, not data, and must classify as
+//! [`DiagKind::StaleLock`] / [`DiagKind::StaleLease`].
+//!
 //! Every corruptor is a pure function of `(directory contents, seed)`:
 //! the same seed always corrupts the same victim the same way, so tests
 //! exercising the lenient-ingest paths are reproducible. Each
@@ -25,6 +32,12 @@
 //! ([`FaultKind::matches`]) — the integration suites drive every
 //! ensemble kind through [`crate::ensemble::load_dir`] and every
 //! store kind through [`crate::Store::fsck`] and assert the mapping.
+//!
+//! For *live* contention (not just post-mortem wreckage),
+//! [`ChaosSchedule`] turns a seed into a deterministic infinite stream
+//! of writer operations — appends, compactions, and writer crashes at
+//! seed-chosen crash points — that the concurrency suites replay
+//! against a store while readers hammer it.
 
 use crate::ingest::DiagKind;
 use crate::json::Json;
@@ -73,12 +86,20 @@ pub enum FaultKind {
     /// Point a v3 metric column's name at a name-table slot past the
     /// end of the table (re-framed). v3 store directories only.
     NameIndexOutOfRange,
+    /// Fill the store's commit `LOCK` file with garbage and age it past
+    /// any takeover ttl (a writer that died mid-lock-write long ago).
+    /// Store directories only.
+    LockGarbage,
+    /// Plant a well-formed `pin-*` lease name owned by pid 0 (never
+    /// alive) with a garbage body and an epoch-old heartbeat — the
+    /// abandoned pin of a long-dead reader. Store directories only.
+    LeaseGarbage,
 }
 
 impl FaultKind {
     /// Every fault kind, ensemble-directory kinds first, then the
     /// store-directory kinds.
-    pub const ALL: [FaultKind; 14] = [
+    pub const ALL: [FaultKind; 16] = [
         FaultKind::Truncate,
         FaultKind::FlipByte,
         FaultKind::DropMetrics,
@@ -93,6 +114,8 @@ impl FaultKind {
         FaultKind::ColumnCrcRot,
         FaultKind::ColumnCountMismatch,
         FaultKind::NameIndexOutOfRange,
+        FaultKind::LockGarbage,
+        FaultKind::LeaseGarbage,
     ];
 
     /// The kinds that apply to a loose-JSON ensemble directory, in the
@@ -126,6 +149,15 @@ impl FaultKind {
         FaultKind::NameIndexOutOfRange,
     ];
 
+    /// The kinds that plant abandoned *coordination* files (commit
+    /// locks, reader leases) in a store directory — they never damage
+    /// data, only liveness, so they are classified by
+    /// [`crate::Store::fsck`] and reaped by [`crate::Store::recover`]
+    /// without any salvage. Not part of [`FaultKind::STORE`]: the
+    /// store-damage suites zip against that array's exact contents.
+    pub const COORDINATION: [FaultKind; 2] =
+        [FaultKind::LockGarbage, FaultKind::LeaseGarbage];
+
     /// True for the kinds that corrupt a sharded store rather than a
     /// loose-JSON directory.
     pub fn is_store_fault(&self) -> bool {
@@ -133,6 +165,12 @@ impl FaultKind {
             self,
             FaultKind::TornShard | FaultKind::BitRot | FaultKind::StaleManifest
         ) || self.is_v3_payload_fault()
+            || self.is_coordination_fault()
+    }
+
+    /// True for the [`FaultKind::COORDINATION`] kinds.
+    pub fn is_coordination_fault(&self) -> bool {
+        FaultKind::COORDINATION.contains(self)
     }
 
     /// True for the [`FaultKind::STORE_V3`] payload corruptors.
@@ -153,6 +191,8 @@ impl FaultKind {
             (FaultKind::TornShard, DiagKind::TornShard { .. }) => true,
             (FaultKind::BitRot, DiagKind::ChecksumMismatch { .. }) => true,
             (FaultKind::StaleManifest, DiagKind::StaleManifest { .. }) => true,
+            (FaultKind::LockGarbage, DiagKind::StaleLock { .. }) => true,
+            (FaultKind::LeaseGarbage, DiagKind::StaleLease { .. }) => true,
             // The payload corruptors surface from the binary decoder.
             (FaultKind::TruncatedColumn, DiagKind::Schema(m)) => {
                 m.contains("metric column") || m.contains("truncated")
@@ -248,6 +288,9 @@ pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<P
     }
     if kind.is_v3_payload_fault() {
         return corrupt_v3_record(dir, kind, seed);
+    }
+    if kind.is_coordination_fault() {
+        return corrupt_coordination(dir, kind, seed);
     }
     if kind == FaultKind::StaleManifest {
         let pool = manifest_pool(dir)?;
@@ -352,6 +395,36 @@ fn inject_all_store(dir: &Path, seed: u64) -> io::Result<Vec<(FaultKind, PathBuf
             inject(dir, FaultKind::StaleManifest, seed)?,
         ),
     ])
+}
+
+/// Plant an abandoned coordination file: a garbage-bodied `LOCK` or a
+/// pid-0 `pin-*` lease, both with an epoch-old mtime so every ttl has
+/// long expired. Writers must take the lock over, GC must reap the
+/// lease, and fsck must classify both as typed findings — no salvage,
+/// no panic.
+fn corrupt_coordination(dir: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
+    // Seed-derived garbage: not UTF-8, not the lock grammar.
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut garbage = Vec::with_capacity(24);
+    for _ in 0..24 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        garbage.push((state >> 56) as u8 | 0x80);
+    }
+    let path = match kind {
+        FaultKind::LockGarbage => dir.join("LOCK"),
+        FaultKind::LeaseGarbage => {
+            // Well-formed lease name, owner pid 0: pid 0 is never alive,
+            // so the lease is stale no matter how the body reads.
+            dir.join(format!("pin-{:06}-0-{:016x}", seed % 1_000_000, seed))
+        }
+        _ => unreachable!("not a coordination fault"),
+    };
+    std::fs::write(&path, &garbage)?;
+    let f = std::fs::OpenOptions::new().append(true).open(&path)?;
+    f.set_modified(std::time::UNIX_EPOCH)?;
+    Ok(path)
 }
 
 /// Corrupt one v3 record's payload and re-frame it so every checksum
@@ -590,6 +663,9 @@ fn apply(victim: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
         | FaultKind::NameIndexOutOfRange => {
             Err(io::Error::other("v3 payload faults are store-level (use inject)"))
         }
+        FaultKind::LockGarbage | FaultKind::LeaseGarbage => {
+            Err(io::Error::other("coordination faults are store-level (use inject)"))
+        }
     }
 }
 
@@ -616,6 +692,86 @@ fn member_mut<'a>(doc: &'a mut Json, key: &str) -> Result<&'a mut Json, String> 
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing member {key:?}"))
+}
+
+// ---------------------------------------------------------------------
+// Live-contention chaos schedules.
+// ---------------------------------------------------------------------
+
+/// One writer operation in a [`ChaosSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOp {
+    /// Append a batch of this many fresh profiles.
+    Append {
+        /// Batch size (1..=3).
+        profiles: usize,
+    },
+    /// Compact the store.
+    Compact,
+    /// Append with [`crate::StoreOptions::crash_after`] set to `point`
+    /// — the writer dies at that crash point (or commits normally when
+    /// `point` exceeds the write's crash-point count, which is itself a
+    /// useful case: a "crash" that turns out to be a success).
+    CrashedAppend {
+        /// Crash point index to inject.
+        point: usize,
+    },
+    /// Compact with a crash injected at `point` (same semantics as
+    /// [`ChaosOp::CrashedAppend`]).
+    CrashedCompact {
+        /// Crash point index to inject.
+        point: usize,
+    },
+}
+
+/// A deterministic, infinite, seed-driven stream of [`ChaosOp`]s —
+/// the writer half of a live-contention test. Roughly: 45% appends,
+/// 20% compactions, 25% crashed appends, 10% crashed compactions,
+/// crash points spread over `0..12` (clamp or mod by the write's
+/// actual [`crate::WriteReport::crash_points`] if exactness matters).
+///
+/// The same seed yields the same schedule on every platform: the
+/// generator is the xorshift64* PRNG used elsewhere in this crate.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    state: u64,
+}
+
+impl ChaosSchedule {
+    /// Schedule for `seed` (any value; 0 is remapped internally).
+    pub fn new(seed: u64) -> ChaosSchedule {
+        // SplitMix64 finalizer: whiten the seed, never zero.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ChaosSchedule { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl Iterator for ChaosSchedule {
+    type Item = ChaosOp;
+
+    fn next(&mut self) -> Option<ChaosOp> {
+        let r = self.next_u64();
+        let roll = r % 100;
+        let point = ((r >> 32) % 12) as usize;
+        let profiles = ((r >> 16) % 3) as usize + 1;
+        Some(match roll {
+            0..=44 => ChaosOp::Append { profiles },
+            45..=64 => ChaosOp::Compact,
+            65..=89 => ChaosOp::CrashedAppend { point },
+            _ => ChaosOp::CrashedCompact { point },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -789,6 +945,73 @@ mod tests {
         crate::Store::save(&dir, &[p]).unwrap();
         assert!(inject_all(&dir, 0).is_err());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn coordination_faults_classify_and_reap() {
+        for (i, kind) in FaultKind::COORDINATION.iter().enumerate() {
+            let dir = fresh_store(&format!("coord-{i}"), 3);
+            inject(&dir, *kind, 29).unwrap();
+            // Every generation is still intact — the damage is pure
+            // coordination wreckage...
+            let fsck = crate::Store::fsck(&dir).unwrap();
+            assert!(!fsck.is_clean(), "{kind:?} left a clean store");
+            assert!(fsck.generations.iter().all(|g| g.intact), "{kind:?}");
+            assert!(
+                fsck.coordination.iter().any(|d| kind.matches(&d.kind)),
+                "{kind:?} produced {:?}",
+                fsck.coordination
+            );
+            // ...which readers shrug off, writers take over, and
+            // recover reaps without touching a single record.
+            let before = crate::Store::open(&dir).unwrap().entries().len();
+            let rec = crate::Store::recover(&dir).unwrap();
+            assert_eq!(rec.salvaged, 0, "{kind:?}");
+            assert!(!rec.removed.is_empty(), "{kind:?} reaped nothing");
+            assert!(crate::Store::fsck(&dir).unwrap().is_clean(), "{kind:?}");
+            let after = crate::Store::open(&dir).unwrap().entries().len();
+            assert_eq!(before, after, "{kind:?} lost records");
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn garbage_lock_does_not_wedge_writers() {
+        let dir = fresh_store("lock-takeover", 3);
+        inject(&dir, FaultKind::LockGarbage, 5).unwrap();
+        // The epoch-old garbage lock is past every ttl: an append takes
+        // it over instead of waiting out the timeout.
+        let p = simulate_cpu_run(&CpuRunConfig {
+            seed: 99,
+            ..CpuRunConfig::quartz_default()
+        });
+        let rep = crate::Store::append(&dir, &[p]).unwrap();
+        assert_eq!(rep.appended, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_and_mixed() {
+        let a: Vec<ChaosOp> = ChaosSchedule::new(7).take(200).collect();
+        let b: Vec<ChaosOp> = ChaosSchedule::new(7).take(200).collect();
+        assert_eq!(a, b);
+        let c: Vec<ChaosOp> = ChaosSchedule::new(8).take(200).collect();
+        assert_ne!(a, c, "different seeds, same schedule");
+        // All four op shapes appear in a 200-op window.
+        assert!(a.iter().any(|o| matches!(o, ChaosOp::Append { .. })));
+        assert!(a.iter().any(|o| matches!(o, ChaosOp::Compact)));
+        assert!(a.iter().any(|o| matches!(o, ChaosOp::CrashedAppend { .. })));
+        assert!(a.iter().any(|o| matches!(o, ChaosOp::CrashedCompact { .. })));
+        // Batch sizes and crash points stay in their documented ranges.
+        for op in &a {
+            match op {
+                ChaosOp::Append { profiles } => assert!((1..=3).contains(profiles)),
+                ChaosOp::CrashedAppend { point } | ChaosOp::CrashedCompact { point } => {
+                    assert!(*point < 12)
+                }
+                ChaosOp::Compact => {}
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,18 @@ pub enum DiagKind {
         /// Manifest file name that failed verification.
         manifest: String,
     },
+    /// A store commit lock whose owner is gone (dead pid, or an
+    /// unreadable body past its ttl) — a writer crashed mid-commit.
+    StaleLock {
+        /// Lock file name (always `LOCK` today).
+        lock: String,
+    },
+    /// A reader lease whose owner died or stopped heartbeating — it no
+    /// longer pins its generation against garbage collection.
+    StaleLease {
+        /// Lease (`pin-*`) file name.
+        lease: String,
+    },
 }
 
 impl DiagKind {
@@ -140,6 +152,8 @@ impl fmt::Display for DiagKind {
             DiagKind::StaleManifest { manifest } => {
                 write!(f, "stale manifest {manifest}")
             }
+            DiagKind::StaleLock { lock } => write!(f, "stale lock {lock}"),
+            DiagKind::StaleLease { lease } => write!(f, "stale lease {lease}"),
         }
     }
 }
@@ -158,6 +172,8 @@ impl DiagKind {
             DiagKind::ChecksumMismatch { .. } => "checksum-mismatch",
             DiagKind::TornShard { .. } => "torn-shard",
             DiagKind::StaleManifest { .. } => "stale-manifest",
+            DiagKind::StaleLock { .. } => "stale-lock",
+            DiagKind::StaleLease { .. } => "stale-lease",
         }
     }
 }

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod binprofile;
 pub mod calitxt;
 pub mod collector;
@@ -45,21 +46,23 @@ pub use binprofile::{decode_profile, encode_profile, PROFILE_MAGIC};
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
 pub use collector::Collector;
 pub use ensemble::{load_dir, save_ensemble};
-pub use faults::{inject, inject_all, FaultKind};
+pub use faults::{inject, inject_all, ChaosOp, ChaosSchedule, FaultKind};
 pub use ingest::{DiagKind, Diagnostic, FilterPlan, IngestReport, Strictness};
 pub use json::Json;
 pub use parallel::{
-    default_threads, parallel_map, parallel_map_catch, simulate_cpu_ensemble,
-    simulate_gpu_ensemble, try_parallel_map, JobError, JobFailure,
+    contend, default_threads, parallel_map, parallel_map_catch, simulate_cpu_ensemble,
+    simulate_gpu_ensemble, try_parallel_map, ContendResults, ContendTask, JobError, JobFailure,
 };
 pub use machine::{Compiler, CpuSpec, GpuSpec, NetworkSpec};
 pub use marbl::{marbl_ensemble, simulate_marbl_run, MarblCluster, MarblConfig};
 pub use noise::Noise;
 pub use metapred::{CmpOp, MetaPred};
 pub use profile::{Profile, ProfileError};
+pub use backoff::Backoff;
 pub use store::{
-    crc32c, CompactReport, FsckReport, Manifest, ManifestVersion, MetaBlock, RecoverReport,
-    Store, StoreEntry, StoreError, StoreOptions, StoreReader, WriteReport,
+    crc32c, AppendMode, CompactReport, FsckReport, Manifest, ManifestVersion, MetaBlock,
+    RecoverReport, Snapshot, Store, StoreEntry, StoreError, StoreOptions, StoreReader,
+    WriteReport,
 };
 pub use rajaperf::{
     simulate_cpu_run, simulate_gpu_run, suite, CpuRunConfig, GpuRunConfig, KernelSpec, Variant,

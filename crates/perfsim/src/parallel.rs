@@ -283,6 +283,62 @@ pub fn default_threads(n: usize) -> usize {
         .min(n.max(1))
 }
 
+/// A task [`contend`] runs: receives the shared stop flag (set once
+/// every driver has finished) and returns its result.
+pub type ContendTask<'env, R> = Box<dyn FnOnce(&AtomicBool) -> R + Send + 'env>;
+
+/// One group's results from [`contend`]: per task, its return value or
+/// the panic message it died with.
+pub type ContendResults<R> = Vec<Result<R, String>>;
+
+/// Run a live-contention scenario: `drivers` (finite work — e.g. an
+/// appender committing N generations) race against `followers`
+/// (open-ended work — e.g. readers looping until told to stop), all on
+/// their own OS threads.
+///
+/// Every task gets the shared stop flag. Drivers usually ignore it;
+/// followers should loop `while !stop.load(Ordering::Relaxed)`. The
+/// flag is set (with `Release` ordering) after the last driver joins,
+/// then the followers are joined — so followers always observe the
+/// complete driver run, and the harness never hangs on an infinite
+/// follower loop.
+///
+/// Panics are contained per task: each result is `Err(message)` if the
+/// task panicked, so one reader blowing up surfaces as an assertable
+/// failure instead of tearing down the harness mid-scenario.
+pub fn contend<'env, R: Send + 'env>(
+    drivers: Vec<ContendTask<'env, R>>,
+    followers: Vec<ContendTask<'env, R>>,
+) -> (ContendResults<R>, ContendResults<R>) {
+    let stop = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        let follower_handles: Vec<_> = followers
+            .into_iter()
+            .map(|task| {
+                let stop = &stop;
+                scope.spawn(move |_| catch_unwind(AssertUnwindSafe(|| task(stop))))
+            })
+            .collect();
+        let driver_handles: Vec<_> = drivers
+            .into_iter()
+            .map(|task| {
+                let stop = &stop;
+                scope.spawn(move |_| catch_unwind(AssertUnwindSafe(|| task(stop))))
+            })
+            .collect();
+        let finish = |h: crossbeam::thread::ScopedJoinHandle<'_, Result<R, Box<dyn Any + Send>>>| {
+            h.join()
+                .expect("task runs under catch_unwind")
+                .map_err(|p| panic_message(p.as_ref()))
+        };
+        let driver_results: Vec<_> = driver_handles.into_iter().map(finish).collect();
+        stop.store(true, Ordering::Release);
+        let follower_results: Vec<_> = follower_handles.into_iter().map(finish).collect();
+        (driver_results, follower_results)
+    })
+    .expect("tasks run under catch_unwind")
+}
+
 /// Run `job` over every item on `threads` workers, preserving order.
 pub fn generate_parallel<T, F>(items: &[T], threads: usize, job: F) -> Vec<Profile>
 where
@@ -314,6 +370,41 @@ mod tests {
                 cfg
             })
             .collect()
+    }
+
+    #[test]
+    fn contend_stops_followers_and_contains_panics() {
+        use std::sync::atomic::AtomicU64;
+        let driver_sum = AtomicU64::new(0);
+        let follower_spins = AtomicU64::new(0);
+        let drivers: Vec<ContendTask<'_, u64>> = (0..3u64)
+            .map(|i| {
+                let sum = &driver_sum;
+                Box::new(move |_: &AtomicBool| {
+                    sum.fetch_add(i + 1, Ordering::Relaxed);
+                    i
+                }) as ContendTask<'_, u64>
+            })
+            .collect();
+        let followers: Vec<ContendTask<'_, u64>> = vec![
+            Box::new(|stop: &AtomicBool| {
+                let mut n = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    follower_spins.fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                    std::thread::yield_now();
+                }
+                n
+            }),
+            Box::new(|_: &AtomicBool| panic!("reader exploded")),
+        ];
+        let (d, f) = contend(drivers, followers);
+        assert_eq!(driver_sum.load(Ordering::Relaxed), 6);
+        assert!(d.iter().all(|r| r.is_ok()));
+        // The looping follower terminated (the harness doesn't hang)...
+        assert!(f[0].is_ok());
+        // ...and the panicking one surfaced as a message, not an abort.
+        assert_eq!(f[1].as_ref().unwrap_err(), "reader exploded");
     }
 
     #[test]

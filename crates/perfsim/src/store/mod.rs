@@ -1,0 +1,662 @@
+//! Crash-safe sharded ensemble store: the indexed on-disk layer beyond
+//! the loose-JSON-directory loader in [`crate::ensemble`].
+//!
+//! Profiles are packed into fixed-size **shards**, each record framed as
+//! `[u32 len][u32 crc32c(payload)][payload]`, and committed under a
+//! generation-numbered **manifest** (`MANIFEST-<gen>`, written via
+//! temp-file + rename). The v2 manifest carries per-shard digests, the
+//! per-profile byte ranges, and a **columnar metadata index** — one
+//! [`MetaBlock`] per key (presence mask + lazily-parsed values) — so
+//! [`StoreReader::select`] over a typed [`MetaPred`](crate::metapred::MetaPred) decodes only the
+//! keys the predicate names and [`StoreReader::load_matching`] skips
+//! whole shards the predicate excludes without even opening them.
+//! Readers auto-detect v1 (row-metadata) manifests; [`Store::append`]
+//! commits new profiles as a new generation that reuses existing
+//! shards, and [`Store::compact`] re-packs fragmented or salvaged
+//! shards (doubling as the v1/v2 → v3 migrator).
+//!
+//! The v3 format keeps the v2 manifest body but switches record
+//! payloads from JSON documents to the `TKP3` binary profile encoding
+//! ([`crate::binprofile`]): name-table-interned strings plus columnar
+//! metric arrays, decoded by a bounds-checked cursor instead of a parse
+//! tree. Payload encoding is detected per record (binary payloads lead
+//! with the `TKP3` magic, JSON with `{`), so shards written by
+//! different format generations — e.g. a v3 append reusing v2 shards —
+//! stay readable record by record.
+//!
+//! ## Commit protocol
+//!
+//! 1. New shard files are written under names unique to the new
+//!    generation (`shard-<gen>-<idx>.tks`). They are invisible to
+//!    readers until a manifest references them, so a crash mid-write
+//!    leaves only an orphan.
+//! 2. The manifest is written to a dot-temp file, synced, then renamed
+//!    to `MANIFEST-<gen>` — the atomic commit point.
+//! 3. Only after the rename are generations older than the retention
+//!    window garbage-collected; the previous generation stays readable
+//!    until the new one is durable.
+//!
+//! Every writer crash point is enumerable and injectable
+//! ([`StoreOptions::crash_after`]); the crash-point matrix test aborts
+//! the writer at each one and asserts [`Store::recover`] always yields
+//! exactly one complete generation — never a mix.
+//!
+//! ## Concurrency model
+//!
+//! The store is MVCC by construction — generations are immutable once
+//! their manifest renames into place — and three mechanisms make that
+//! safe to exploit from many threads *and* many processes:
+//!
+//! * **Commit lock.** `save`/`append`/`compact` serialize on an
+//!   advisory `LOCK` file (owner pid + token inside, O_EXCL create).
+//!   Contenders wait with seeded, jittered exponential [`Backoff`](crate::backoff::Backoff) up
+//!   to [`StoreOptions::lock_timeout`], then surface
+//!   [`StoreError::Busy`]. Locks whose owner pid is dead — or whose
+//!   body is garbage and older than [`StoreOptions::lock_ttl`] — are
+//!   taken over; a parseable lock with a live owner never is.
+//! * **Optimistic rebase.** `append` stages (encodes) its batch before
+//!   taking the lock and re-reads the newest manifest after: a
+//!   generation that landed in between simply becomes the new base, so
+//!   a lost update is impossible. Compare-and-swap semantics are
+//!   available via [`StoreOptions::expected_generation`]
+//!   ([`StoreError::Conflict`] when the base moved).
+//! * **Snapshot pinning.** [`StoreReader::pin`] turns a reader into a
+//!   [`Snapshot`] that holds every shard file handle open (an unlinked
+//!   file keeps serving reads) and registers a lease file
+//!   (`pin-<gen>-<pid>-<token>`, heartbeat = mtime). GC skips
+//!   generations with a live lease and reaps leases whose owner died
+//!   or stopped heartbeating.
+//!
+//! `fsync` placement: shard files and the manifest temp are synced
+//! before the commit rename; lock and lease files are not load-bearing
+//! for durability (they only coordinate) and are written best-effort.
+//!
+//! ## Verification and recovery
+//!
+//! [`Store::fsck`] deep-verifies every generation (manifest self-CRC,
+//! shard digests, per-record CRCs) and classifies what it finds into the
+//! same typed [`DiagKind`](crate::ingest::DiagKind)s the lenient ingest path uses
+//! ([`DiagKind::TornShard`](crate::ingest::DiagKind::TornShard), [`DiagKind::ChecksumMismatch`](crate::ingest::DiagKind::ChecksumMismatch),
+//! [`DiagKind::StaleManifest`](crate::ingest::DiagKind::StaleManifest)) — plus stale coordination files
+//! ([`DiagKind::StaleLock`](crate::ingest::DiagKind::StaleLock), [`DiagKind::StaleLease`](crate::ingest::DiagKind::StaleLease)).
+//! [`Store::recover`] rolls the store back to the newest
+//! fully-verifiable generation, or — when no generation verifies —
+//! salvages every intact record into a fresh generation; stale
+//! coordination files are reaped either way, live ones left untouched.
+
+mod crc;
+mod layout;
+mod lease;
+mod lock;
+mod manifest;
+mod reader;
+mod verify;
+mod writer;
+
+#[cfg(test)]
+mod tests;
+
+pub use crc::crc32c;
+pub use manifest::{Manifest, MetaBlock, ShardInfo, StoreEntry};
+pub use reader::{Snapshot, StoreReader};
+
+use crate::ingest::{Diagnostic, IngestReport};
+use crate::profile::{Profile, ProfileError};
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// Magic prefix of every shard file.
+pub const SHARD_MAGIC: &[u8; 4] = b"TKS1";
+/// Magic prefix of every manifest file (followed by 8 hex CRC chars).
+pub const MANIFEST_MAGIC: &[u8; 4] = b"TKM1";
+/// Format tag of a v1 manifest body (per-profile metadata rows).
+pub const MANIFEST_FORMAT: &str = "thicket-store-1";
+/// Format tag of a v2 manifest body (columnar metadata index).
+pub const MANIFEST_FORMAT_V2: &str = "thicket-store-2";
+/// Format tag of a v3 manifest body (columnar metadata index + binary
+/// `TKP3` record payloads).
+pub const MANIFEST_FORMAT_V3: &str = "thicket-store-3";
+
+/// Bytes of framing ahead of every record payload: `[u32 len][u32 crc]`.
+/// Derived from the frame layout so reader accounting, writer
+/// placement, and the salvage walk can never drift apart.
+pub const RECORD_HEADER_BYTES: usize = size_of::<u32>() + size_of::<u32>();
+
+/// Which on-disk manifest format a writer emits. Readers auto-detect
+/// the version from the body's format tag; [`Store::compact`] migrates
+/// older stores to the newest format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ManifestVersion {
+    /// Row-oriented metadata: every [`StoreEntry`] carries its full
+    /// `Vec<(String, Value)>`.
+    V1,
+    /// Columnar metadata index: one [`MetaBlock`] per key (presence
+    /// mask + lazily-parsed value block), entries carry no metadata.
+    V2,
+    /// v2 manifest body, but record payloads use the binary `TKP3`
+    /// profile encoding ([`crate::binprofile`]) instead of JSON.
+    #[default]
+    V3,
+}
+
+impl ManifestVersion {
+    /// Does this version index metadata columnarly (v2 and later)?
+    pub fn columnar(self) -> bool {
+        !matches!(self, ManifestVersion::V1)
+    }
+}
+// ---------------------------------------------------------------------
+// Errors, options, reports.
+// ---------------------------------------------------------------------
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Structural corruption that the requested operation cannot work
+    /// around (recover can usually do better — see [`Store::recover`]).
+    Corrupt(String),
+    /// No verifiable generation exists in the directory.
+    NoGeneration(String),
+    /// A profile failed to (de)serialize.
+    Profile(Box<ProfileError>),
+    /// The commit lock stayed held by a live owner for the whole
+    /// acquisition window ([`StoreOptions::lock_timeout`]). The store
+    /// is untouched; retry later.
+    Busy {
+        /// How long the writer waited before giving up.
+        waited: Duration,
+    },
+    /// [`StoreOptions::expected_generation`] compare-and-swap failed:
+    /// another writer committed first. The store is untouched; re-read
+    /// and retry (or drop the expectation to let the append rebase).
+    Conflict {
+        /// The generation the caller expected to commit on top of.
+        expected: u64,
+        /// The newest generation actually present (0 = empty store).
+        found: u64,
+    },
+    /// The crash-point harness aborted the writer (fault injection
+    /// only; never produced by a real write).
+    InjectedCrash {
+        /// Which enumerated crash point fired.
+        point: usize,
+        /// The writer step the point models.
+        label: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            StoreError::NoGeneration(m) => write!(f, "no usable generation: {m}"),
+            StoreError::Profile(e) => write!(f, "store profile: {e}"),
+            StoreError::Busy { waited } => {
+                write!(f, "store busy: commit lock held for {waited:?}")
+            }
+            StoreError::Conflict { expected, found } => write!(
+                f,
+                "commit conflict: expected generation {expected}, found {found}"
+            ),
+            StoreError::InjectedCrash { point, label } => {
+                write!(f, "injected crash at point {point} ({label})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ProfileError> for StoreError {
+    fn from(e: ProfileError) -> Self {
+        StoreError::Profile(Box::new(e))
+    }
+}
+
+/// How [`Store::append`] treats a profile whose hash the store already
+/// holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AppendMode {
+    /// Skip it: the stored copy wins, [`WriteReport::appended`] does
+    /// not count it. (The historical behavior.)
+    #[default]
+    Skip,
+    /// Replace it: the incoming profile takes over the stored entry's
+    /// slot (replace-by-profile-id); [`WriteReport::replaced`] counts
+    /// these. The superseded record's bytes stay in their shard until
+    /// the next [`Store::compact`].
+    Upsert,
+}
+
+/// Writer knobs.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Target payload bytes per shard; a shard closes once it holds at
+    /// least this many payload bytes (every shard holds ≥ 1 record).
+    pub shard_bytes: usize,
+    /// How many generations *before* the new one to retain after a
+    /// commit (`1` keeps the previous generation as a fallback; `0`
+    /// garbage-collects everything but the new generation).
+    pub keep_generations: usize,
+    /// Fault injection: abort the writer when the crash point with this
+    /// index is reached, leaving the directory exactly as a crash at
+    /// that step would. `None` for normal operation. The total number
+    /// of points a write passes is reported in
+    /// [`WriteReport::crash_points`].
+    pub crash_after: Option<usize>,
+    /// Manifest format to write (v3 by default; v1 and v2 are kept
+    /// writable so migration can be exercised end to end).
+    pub format: ManifestVersion,
+    /// Duplicate-hash policy for [`Store::append`].
+    pub append_mode: AppendMode,
+    /// Compare-and-swap: with `Some(g)`, [`Store::append`] commits only
+    /// if the newest generation under the lock is exactly `g` (0 for an
+    /// empty store), surfacing [`StoreError::Conflict`] otherwise.
+    /// `None` (default) lets the append rebase onto whatever is newest.
+    pub expected_generation: Option<u64>,
+    /// How long a writer waits for the commit lock before returning
+    /// [`StoreError::Busy`].
+    pub lock_timeout: Duration,
+    /// Age past which an *unparseable* lock file counts as abandoned
+    /// (a parseable lock with a live owner is never taken over).
+    pub lock_ttl: Duration,
+    /// Heartbeat window for reader leases: a lease whose mtime is older
+    /// than this (or whose owner pid is dead) no longer pins its
+    /// generation against GC.
+    pub lease_ttl: Duration,
+    /// Seed for the contention [`Backoff`](crate::backoff::Backoff) jitter (mixed with a
+    /// per-acquisition token, so a shared seed still decorrelates).
+    pub backoff_seed: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            shard_bytes: 256 * 1024,
+            keep_generations: 1,
+            crash_after: None,
+            format: ManifestVersion::V3,
+            append_mode: AppendMode::Skip,
+            expected_generation: None,
+            lock_timeout: Duration::from_secs(30),
+            lock_ttl: Duration::from_secs(10),
+            lease_ttl: Duration::from_secs(30),
+            backoff_seed: 0,
+        }
+    }
+}
+
+/// What a successful [`Store::save`] or [`Store::append`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReport {
+    /// The generation this write committed.
+    pub generation: u64,
+    /// Number of shard files written.
+    pub shards: usize,
+    /// Number of profiles the committed generation holds in total.
+    pub profiles: usize,
+    /// How many of this call's input profiles were newly added (for
+    /// [`Store::save`] that is all of them; [`Store::append`] skips
+    /// or replaces profiles whose hash the store already holds).
+    pub appended: usize,
+    /// How many stored profiles this call replaced in place
+    /// ([`AppendMode::Upsert`] only; always 0 under
+    /// [`AppendMode::Skip`]).
+    pub replaced: usize,
+    /// Number of enumerated crash points the write passed through (the
+    /// valid `crash_after` range for this input is `0..crash_points`).
+    pub crash_points: usize,
+}
+
+/// What a successful [`Store::compact`] did.
+#[derive(Debug, Clone)]
+pub struct CompactReport {
+    /// The generation the compaction committed.
+    pub generation: u64,
+    /// Number of shard files the new generation uses.
+    pub shards: usize,
+    /// Number of profiles carried into the new generation.
+    pub profiles: usize,
+    /// Number of enumerated crash points the compaction passed through.
+    pub crash_points: usize,
+    /// One typed diagnostic per record that could not be carried over
+    /// (corrupt payloads are dropped, like [`Store::recover`] salvage).
+    pub report: IngestReport,
+}
+
+/// Integrity status of one generation, from [`Store::fsck`].
+#[derive(Debug, Clone)]
+pub struct GenCheck {
+    /// Generation number.
+    pub generation: u64,
+    /// Manifest file name.
+    pub manifest: String,
+    /// True when the manifest verifies and every referenced shard and
+    /// record checks out.
+    pub intact: bool,
+    /// Classified findings (empty iff `intact`).
+    pub findings: Vec<Diagnostic>,
+}
+
+/// What [`Store::fsck`] found.
+#[derive(Debug, Clone)]
+pub struct FsckReport {
+    /// Every generation present, newest first.
+    pub generations: Vec<GenCheck>,
+    /// Shard files referenced by no manifest (e.g. left by a writer
+    /// that crashed before its commit point).
+    pub orphan_shards: Vec<String>,
+    /// Leftover temporary files.
+    pub temps: Vec<String>,
+    /// Stale coordination files: a `LOCK` whose owner is gone, or
+    /// `pin-*` leases whose owner died / stopped heartbeating. Typed
+    /// as [`DiagKind::StaleLock`](crate::ingest::DiagKind::StaleLock) / [`DiagKind::StaleLease`](crate::ingest::DiagKind::StaleLease);
+    /// [`Store::recover`] reaps them.
+    pub coordination: Vec<Diagnostic>,
+    /// A live commit lock, if one is held right now (description of
+    /// the owner). Not a finding: writers hold this during every
+    /// commit.
+    pub live_lock: Option<String>,
+    /// Live reader lease files. Not findings: pinned snapshots hold
+    /// these for as long as they live.
+    pub live_leases: Vec<String>,
+    /// Newest generation that is fully intact, if any.
+    pub newest_intact: Option<u64>,
+}
+
+impl FsckReport {
+    /// True when the newest generation is intact and nothing else is
+    /// lying around (no broken generations, orphans, temps, or stale
+    /// coordination files). Live locks/leases do not count against
+    /// cleanliness — a healthy concurrent store has them all the time.
+    pub fn is_clean(&self) -> bool {
+        self.orphan_shards.is_empty()
+            && self.temps.is_empty()
+            && self.coordination.is_empty()
+            && self.generations.iter().all(|g| g.intact)
+            && self
+                .generations
+                .first()
+                .is_some_and(|g| Some(g.generation) == self.newest_intact)
+    }
+
+    /// All findings: per-generation damage (newest generation first),
+    /// then stale coordination files.
+    pub fn findings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.generations
+            .iter()
+            .flat_map(|g| g.findings.iter())
+            .chain(self.coordination.iter())
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fsck: {} generation(s), newest intact: {}",
+            self.generations.len(),
+            match self.newest_intact {
+                Some(g) => g.to_string(),
+                None => "none".into(),
+            }
+        )?;
+        for g in &self.generations {
+            writeln!(
+                f,
+                "  gen {} ({}): {}",
+                g.generation,
+                g.manifest,
+                if g.intact { "intact" } else { "BROKEN" }
+            )?;
+            for d in &g.findings {
+                writeln!(f, "    {d}")?;
+            }
+        }
+        for o in &self.orphan_shards {
+            writeln!(f, "  orphan shard: {o}")?;
+        }
+        for t in &self.temps {
+            writeln!(f, "  temp file: {t}")?;
+        }
+        for d in &self.coordination {
+            writeln!(f, "  {d}")?;
+        }
+        if let Some(owner) = &self.live_lock {
+            writeln!(f, "  live lock: {owner}")?;
+        }
+        for l in &self.live_leases {
+            writeln!(f, "  live lease: {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`Store::recover`] did.
+#[derive(Debug, Clone)]
+pub struct RecoverReport {
+    /// The generation the store serves after recovery.
+    pub generation: u64,
+    /// Records salvaged out of broken shards into a fresh generation
+    /// (0 when an intact generation could simply be restored).
+    pub salvaged: usize,
+    /// Files deleted during recovery (broken manifests, unreferenced or
+    /// corrupt shards, temps, stale coordination files).
+    pub removed: Vec<String>,
+    /// One typed diagnostic per record/manifest that could not be
+    /// carried into the recovered generation.
+    pub report: IngestReport,
+}
+
+// ---------------------------------------------------------------------
+// The facade.
+// ---------------------------------------------------------------------
+
+/// The store facade: save / append / compact / open / fsck / recover on
+/// a directory. Every mutating operation runs under the cross-process
+/// commit lock (see the module docs' concurrency model).
+pub struct Store;
+
+impl Store {
+    /// Write `profiles` as a new generation with default options.
+    pub fn save(dir: impl AsRef<Path>, profiles: &[Profile]) -> Result<WriteReport, StoreError> {
+        Store::save_opts(dir, profiles, &StoreOptions::default())
+    }
+
+    /// Write `profiles` as a new generation.
+    ///
+    /// The write follows the commit protocol documented at the module
+    /// level; with [`StoreOptions::crash_after`] set it aborts at the
+    /// chosen crash point, leaving the directory exactly as a crash at
+    /// that step would have.
+    pub fn save_opts(
+        dir: impl AsRef<Path>,
+        profiles: &[Profile],
+        opts: &StoreOptions,
+    ) -> Result<WriteReport, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        // Stage (encode) outside the lock; only I/O runs inside it.
+        let staged = writer::stage(profiles, opts.format);
+        let refs: Vec<&writer::Staged> = staged.iter().collect();
+        let lock = lock::CommitLock::acquire(dir, opts)?;
+        lock.seal(writer::save_locked(dir, &refs, opts))
+    }
+
+    /// [`Store::append`] with default options.
+    pub fn append(dir: impl AsRef<Path>, profiles: &[Profile]) -> Result<WriteReport, StoreError> {
+        Store::append_opts(dir, profiles, &StoreOptions::default())
+    }
+
+    /// Commit `profiles` **on top of** the newest verified generation
+    /// as a new generation that reuses the existing shard files —
+    /// nothing already stored is rewritten. Profiles whose hash the
+    /// store already holds (and in-batch duplicates) are skipped — or,
+    /// under [`AppendMode::Upsert`], replace the stored copy in place;
+    /// [`WriteReport::appended`] / [`WriteReport::replaced`] count what
+    /// actually happened.
+    ///
+    /// The batch is staged (encoded) before the commit lock is taken
+    /// and the base manifest re-read after — the optimistic rebase: a
+    /// generation committed by someone else in between simply becomes
+    /// the new base. Set [`StoreOptions::expected_generation`] for
+    /// compare-and-swap semantics instead.
+    ///
+    /// The write follows the same stage-then-rename protocol as
+    /// [`Store::save`]: new shards land under the new generation's
+    /// names, the new manifest (old shards + old entries + the new
+    /// ones) is renamed into place, and only then are out-of-retention
+    /// generations GC'd — by reference, so shard files the new manifest
+    /// still points at survive their original manifest's collection.
+    /// On an empty directory this is exactly [`Store::save_opts`].
+    pub fn append_opts(
+        dir: impl AsRef<Path>,
+        profiles: &[Profile],
+        opts: &StoreOptions,
+    ) -> Result<WriteReport, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let staged = writer::stage(profiles, opts.format);
+        let lock = lock::CommitLock::acquire(dir, opts)?;
+        lock.seal(writer::append_locked(dir, &staged, opts))
+    }
+
+    /// [`Store::compact`] with default options.
+    pub fn compact(dir: impl AsRef<Path>) -> Result<CompactReport, StoreError> {
+        Store::compact_opts(dir, &StoreOptions::default())
+    }
+
+    /// Rewrite the newest verified generation into freshly-packed full
+    /// shards ([`StoreOptions::shard_bytes`]) — the answer to
+    /// fragmentation from repeated appends or salvages. Record payloads
+    /// already in the target format's encoding are carried over
+    /// byte-for-byte (CRC-verified, never reparsed); payloads in the
+    /// *other* encoding (JSON under a v3 target, binary under v1/v2)
+    /// are transcoded, which is what makes `compact` the format
+    /// migrator. Corrupt records are dropped with typed diagnostics
+    /// like [`Store::recover`] salvage. The rewrite runs under the same
+    /// stage-then-rename protocol with the same enumerable crash
+    /// points, so an interruption leaves the previous generation
+    /// serving. The commit lock is held across the *whole* operation —
+    /// read phase included — so the generation being rewritten cannot
+    /// be superseded or collected mid-rewrite.
+    ///
+    /// Because the output manifest defaults to
+    /// [`ManifestVersion::V3`], `compact` doubles as the v1/v2 → v3
+    /// migrator (and, with an explicit v2 target, the downgrade path).
+    /// With `keep_generations = 1` the pre-compaction generation (and
+    /// its shards) survives until the next commit; set it to 0 to
+    /// reclaim the space immediately.
+    pub fn compact_opts(
+        dir: impl AsRef<Path>,
+        opts: &StoreOptions,
+    ) -> Result<CompactReport, StoreError> {
+        let dir = dir.as_ref();
+        let lock = lock::CommitLock::acquire(dir, opts)?;
+        lock.seal(writer::compact_locked(dir, opts))
+    }
+
+    /// Open the newest generation whose manifest self-verifies.
+    ///
+    /// Verification here is manifest-level only (cheap); record CRCs
+    /// are checked as records are read, and [`Store::fsck`] deep-checks
+    /// everything. The returned reader holds no handles and no lease:
+    /// under concurrent GC, prefer [`Store::open_pinned`] (or
+    /// [`StoreReader::pin`]).
+    pub fn open(dir: impl AsRef<Path>) -> Result<StoreReader, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        if layout::list_generations(&dir)?.is_empty() {
+            return Err(StoreError::NoGeneration(format!(
+                "no manifest in {}",
+                dir.display()
+            )));
+        }
+        match writer::newest_manifest(&dir)? {
+            // bytes_read starts at the manifest bytes consumed while
+            // probing: pushdown accounting reflects true I/O, not just
+            // shard payloads.
+            Some((m, manifest_bytes)) => Ok(StoreReader::new(dir, m, manifest_bytes)),
+            None => Err(StoreError::NoGeneration(format!(
+                "no manifest in {} verifies (run Store::recover)",
+                dir.display()
+            ))),
+        }
+    }
+
+    /// Open the newest generation as a pinned [`Snapshot`] with default
+    /// options: see [`Store::open_pinned_opts`].
+    pub fn open_pinned(dir: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+        Store::open_pinned_opts(dir, &StoreOptions::default())
+    }
+
+    /// Open the newest generation as a pinned [`Snapshot`]: shard
+    /// handles held open and a GC lease registered, so concurrent
+    /// appends, compactions, and GC (this process or another) can never
+    /// tear the snapshot's reads. The open-then-pin race against a
+    /// concurrent collection is retried internally with [`Backoff`](crate::backoff::Backoff);
+    /// each retry re-opens whatever generation is newest.
+    pub fn open_pinned_opts(
+        dir: impl AsRef<Path>,
+        opts: &StoreOptions,
+    ) -> Result<Snapshot, StoreError> {
+        reader::open_pinned(dir.as_ref(), opts)
+    }
+
+    /// Deep-verify every generation and classify all corruption —
+    /// including stale coordination files (orphaned `LOCK` / `pin-*`
+    /// leases) — with default options.
+    pub fn fsck(dir: impl AsRef<Path>) -> Result<FsckReport, StoreError> {
+        Store::fsck_opts(dir, &StoreOptions::default())
+    }
+
+    /// [`Store::fsck`] with explicit options
+    /// ([`StoreOptions::lock_ttl`] / [`StoreOptions::lease_ttl`] govern
+    /// when coordination files count as stale).
+    pub fn fsck_opts(
+        dir: impl AsRef<Path>,
+        opts: &StoreOptions,
+    ) -> Result<FsckReport, StoreError> {
+        verify::fsck(dir.as_ref(), opts)
+    }
+
+    /// Repair the directory to a consistent state:
+    ///
+    /// * If some generation is fully intact, the newest such generation
+    ///   becomes the store's sole content set — broken manifests, their
+    ///   exclusive shards, orphans, and temps are deleted (older intact
+    ///   generations within retention are kept untouched).
+    /// * If **no** generation verifies, every CRC-intact record
+    ///   reachable from any manifest or shard file is salvaged into a
+    ///   fresh generation (deduplicated by profile hash, first
+    ///   occurrence in shard order wins), and every record that could
+    ///   not be salvaged is reported as a typed diagnostic.
+    ///
+    /// Stale coordination files (a dead writer's `LOCK`, expired
+    /// `pin-*` leases) are reaped either way; live ones are left
+    /// untouched. The resulting directory passes [`Store::fsck`]
+    /// cleanly and [`Store::open`] serves exactly one complete
+    /// generation.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<RecoverReport, StoreError> {
+        Store::recover_opts(dir, &StoreOptions::default())
+    }
+
+    /// [`Store::recover`] with explicit options (coordination-file
+    /// ttls, lock acquisition windows for the salvage rewrite).
+    pub fn recover_opts(
+        dir: impl AsRef<Path>,
+        opts: &StoreOptions,
+    ) -> Result<RecoverReport, StoreError> {
+        verify::recover(dir.as_ref(), opts)
+    }
+}

@@ -1,0 +1,675 @@
+// ---------------------------------------------------------------------
+// Reader with metadata pushdown, plus generation-pinned snapshots.
+// ---------------------------------------------------------------------
+
+use super::crc::crc32c;
+use super::layout::manifest_name;
+use super::lease::{self, LeaseCore};
+use super::manifest::{Manifest, StoreEntry};
+use super::{ManifestVersion, Store, StoreError, StoreOptions, RECORD_HEADER_BYTES};
+use crate::backoff::Backoff;
+use crate::ingest::{DiagKind, Diagnostic, IngestReport};
+use crate::metapred::MetaPred;
+use crate::parallel::{parallel_map_catch, JobFailure};
+use crate::profile::Profile;
+use std::cell::{Cell, OnceCell};
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use thicket_dataframe::{BoundSource, PredExpr};
+
+/// A read handle on one verified generation.
+///
+/// All loads are lenient in the ingest sense: corrupt records surface
+/// as typed diagnostics in an [`IngestReport`], byte-identical for any
+/// worker-thread count, and the healthy subset is returned.
+pub struct StoreReader {
+    dir: PathBuf,
+    manifest: Manifest,
+    /// Bytes read so far (manifest probing + shard headers, payloads,
+    /// and magics), for pushdown accounting.
+    bytes_read: Cell<u64>,
+    /// v2 entries with metadata materialized out of the columnar index
+    /// (built on first [`StoreReader::entries`] call).
+    materialized: OnceCell<Vec<StoreEntry>>,
+    /// Open handles on every shard file, in shard order — present once
+    /// the reader is pinned. An unlinked-but-open file keeps serving
+    /// reads, so GC by any process cannot tear a pinned load.
+    handles: Option<Vec<File>>,
+}
+
+impl StoreReader {
+    pub(crate) fn new(dir: PathBuf, manifest: Manifest, manifest_bytes: u64) -> StoreReader {
+        StoreReader {
+            dir,
+            manifest,
+            bytes_read: Cell::new(manifest_bytes),
+            materialized: OnceCell::new(),
+            handles: None,
+        }
+    }
+
+    /// Pin this reader's generation with default [`StoreOptions`]: see
+    /// [`StoreReader::pin_opts`].
+    pub fn pin(self) -> Result<Snapshot, StoreError> {
+        self.pin_opts(&StoreOptions::default())
+    }
+
+    /// Turn this reader into a generation-pinned [`Snapshot`].
+    ///
+    /// Pinning does two things, in this order:
+    ///
+    /// 1. registers a **lease** (`pin-<gen>-<pid>-<token>` file) that
+    ///    tells every GC — this process or another — to keep the
+    ///    generation's files;
+    /// 2. opens a **handle** on every shard file, so even a GC that
+    ///    never saw the lease (it scanned just before the file
+    ///    appeared) cannot tear reads: an unlinked-but-open file keeps
+    ///    serving.
+    ///
+    /// If the generation was collected in the window between
+    /// [`Store::open`] and the handle opens, the pin fails with a
+    /// retryable [`StoreError::NoGeneration`] — [`Store::open_pinned`]
+    /// wraps the open-pin-retry loop. On read-only media (where no
+    /// lease file can be written, but no GC can run either) the
+    /// snapshot degrades to handle-only pinning.
+    pub fn pin_opts(mut self, opts: &StoreOptions) -> Result<Snapshot, StoreError> {
+        let gen = self.manifest.generation;
+        let lease = lease::acquire(&self.dir, gen, opts.lease_ttl)?;
+        let mut handles = Vec::with_capacity(self.manifest.shards.len());
+        for info in &self.manifest.shards {
+            match File::open(self.dir.join(&info.file)) {
+                Ok(f) => handles.push(f),
+                Err(e) => {
+                    return Err(StoreError::NoGeneration(format!(
+                        "generation {gen} was collected while pinning ({}: {e}); \
+                         reopen and retry",
+                        info.file
+                    )));
+                }
+            }
+        }
+        // The manifest itself must still exist *after* the lease and
+        // handles are in place — if it does, either GC saw our lease
+        // (generation protected) or GC already passed (handles protect
+        // us); if it does not, we raced a collection and must retry.
+        if !self.dir.join(manifest_name(gen)).exists() {
+            return Err(StoreError::NoGeneration(format!(
+                "generation {gen} was collected while pinning; reopen and retry"
+            )));
+        }
+        self.handles = Some(handles);
+        Ok(Snapshot {
+            reader: self,
+            lease,
+        })
+    }
+    /// The generation this reader serves.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// The manifest's per-profile index, in storage order, with
+    /// metadata populated. For a v2 manifest this decodes **every**
+    /// column on first call (cached) — typed selection via
+    /// [`StoreReader::select`] decodes only the predicate's keys, so
+    /// prefer [`MetaPred`] on hot paths.
+    pub fn entries(&self) -> &[StoreEntry] {
+        if self.manifest.version == ManifestVersion::V1 {
+            return &self.manifest.profiles;
+        }
+        self.materialized.get_or_init(|| {
+            let rows = self.manifest.meta_rows_lossy();
+            self.manifest
+                .profiles
+                .iter()
+                .zip(rows)
+                .map(|(e, meta)| StoreEntry {
+                    meta,
+                    ..e.clone()
+                })
+                .collect()
+        })
+    }
+
+    /// The manifest (shard descriptors included).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Every metadata key this store can answer predicates about
+    /// without shard I/O: the columnar index keys (v2/v3), or the
+    /// union of per-entry keys (v1). The loader's planner uses this to
+    /// decide which conjuncts push below the read.
+    pub fn meta_keys(&self) -> BTreeSet<String> {
+        if self.manifest.version.columnar() {
+            self.manifest
+                .columns
+                .iter()
+                .map(|b| b.key().to_string())
+                .collect()
+        } else {
+            self.manifest
+                .profiles
+                .iter()
+                .flat_map(|e| e.meta.iter().map(|(k, _)| k.clone()))
+                .collect()
+        }
+    }
+
+    /// Total bytes this reader has read so far — manifest bytes from
+    /// [`Store::open`] plus shard I/O. Sparse selections are charged
+    /// per record frame (`RECORD_HEADER_BYTES` + payload); dense
+    /// selections bulk-read whole shard files and are charged the file
+    /// size. Metadata-pushdown reads do strictly less I/O than a full
+    /// load whenever the predicate excludes enough.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+
+    /// Entry indices (storage order) matching a typed predicate,
+    /// without any shard I/O. On a v2 manifest only the columns for
+    /// [`MetaPred::keys`] are decoded — non-referenced metadata is
+    /// never parsed. A named column that fails to decode is
+    /// [`StoreError::Corrupt`] (fsck classifies the damage).
+    pub fn select(&self, pred: &MetaPred) -> Result<Vec<usize>, StoreError> {
+        self.select_expr(&pred.to_expr())
+    }
+
+    /// [`StoreReader::select`] for an already-compiled [`PredExpr`] —
+    /// the unified engine's entry point. On a columnar manifest each
+    /// named key binds its `MetaBlock` (values + presence mask) straight
+    /// into the vectorized evaluator; unreferenced columns stay
+    /// undecoded. A v1 manifest falls back to a per-entry scalar walk.
+    pub fn select_expr(&self, expr: &PredExpr) -> Result<Vec<usize>, StoreError> {
+        let n = self.manifest.profiles.len();
+        if !self.manifest.version.columnar() {
+            return Ok((0..n)
+                .filter(|&i| {
+                    let e = &self.manifest.profiles[i];
+                    expr.eval_lookup(&mut |k| e.meta(k).cloned())
+                })
+                .collect());
+        }
+        let mut src = BoundSource::new(n);
+        for key in expr.fields() {
+            if let Some(b) = self.manifest.column(key) {
+                let vals = b.values().map_err(StoreError::Corrupt)?;
+                src.bind_slice(key, vals, Some(b.present()));
+            }
+            // A key no profile carries simply never matches:
+            // same semantics as a row whose meta lacks it.
+        }
+        Ok(expr.eval(&src).positions())
+    }
+
+    /// Load every profile.
+    pub fn load_all(&self) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_matching(&MetaPred::True)
+    }
+
+    /// Load the profiles matching a typed predicate: columnar
+    /// selection ([`StoreReader::select`]) followed by range reads
+    /// that skip shards the predicate excludes entirely.
+    pub fn load_matching(
+        &self,
+        pred: &MetaPred,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_matching_threads(pred, crate::parallel::default_threads(self.manifest.profiles.len()))
+    }
+
+    /// [`StoreReader::load_matching`] with an explicit worker count
+    /// for the payload-parse fan-out. Results and diagnostics are
+    /// byte-identical for any `threads ≥ 1`.
+    pub fn load_matching_threads(
+        &self,
+        pred: &MetaPred,
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        let selected = self.select(pred)?;
+        self.load_selected(&selected, threads)
+    }
+
+    /// Load the profiles matching a compiled [`PredExpr`]: vectorized
+    /// columnar selection ([`StoreReader::select_expr`]) followed by
+    /// range reads that skip shards the predicate excludes entirely.
+    pub fn load_matching_expr(
+        &self,
+        expr: &PredExpr,
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        let selected = self.select_expr(expr)?;
+        self.load_selected(&selected, threads)
+    }
+
+    /// Closure selection over materialized entries: the engine behind
+    /// the loader builder's entry-closure escape hatch. Unlike
+    /// [`StoreReader::load_matching`]
+    /// this materializes every entry's metadata before evaluating
+    /// `pred`; prefer a typed [`MetaPred`] wherever one can express the
+    /// selection.
+    pub fn load_entries_where(
+        &self,
+        mut pred: impl FnMut(&StoreEntry) -> bool,
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        let selected: Vec<usize> = self
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred(e))
+            .map(|(i, _)| i)
+            .collect();
+        self.load_selected(&selected, threads)
+    }
+
+    /// Read, verify, and parse the records at `selected` entry indices
+    /// (storage order), skipping shards with no selected member.
+    fn load_selected(
+        &self,
+        selected: &[usize],
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        // Read the selected ranges, shard by shard, in storage order.
+        let mut raw: Vec<(usize, Result<PayloadSlice, Diagnostic>)> =
+            Vec::with_capacity(selected.len());
+        for si in 0..self.manifest.shards.len() {
+            let members: Vec<usize> = selected
+                .iter()
+                .copied()
+                .filter(|&i| self.manifest.profiles[i].shard == si)
+                .collect();
+            if members.is_empty() {
+                continue; // whole shard skipped: not even opened.
+            }
+            self.read_shard_members(si, &members, &mut raw)?;
+        }
+
+        // Partition into decode jobs (payloads move, never copy — a
+        // bulk-read shard is shared by all its records through the Arc)
+        // and an ordered skeleton that remembers where failures sit.
+        let mut order: Vec<(usize, Option<Diagnostic>)> = Vec::with_capacity(raw.len());
+        let mut jobs: Vec<(usize, PayloadSlice)> = Vec::with_capacity(raw.len());
+        for (i, r) in raw {
+            match r {
+                Ok(p) => {
+                    jobs.push((i, p));
+                    order.push((i, None));
+                }
+                Err(d) => order.push((i, Some(d))),
+            }
+        }
+        // Per-record encoding dispatch: binary `TKP3` payloads decode
+        // through the bounds-checked cursor, anything else through the
+        // JSON parser — shards may mix encodings across generations.
+        let parsed = parallel_map_catch(&jobs, threads, |(_, payload)| {
+            crate::binprofile::decode_payload(payload.as_slice())
+        });
+
+        let mut profiles = Vec::with_capacity(jobs.len());
+        let mut diagnostics = Vec::new();
+        let mut parsed_iter = parsed.into_iter();
+        for (i, d) in order {
+            match d {
+                Some(d) => diagnostics.push(d),
+                None => match parsed_iter.next().expect("job per ok record") {
+                    Ok(p) => profiles.push(p),
+                    Err(JobFailure::Error(e)) => diagnostics.push(Diagnostic {
+                        source: record_source(&self.manifest, i),
+                        kind: DiagKind::from_profile_error(&e),
+                    }),
+                    Err(JobFailure::Panic(m)) => diagnostics.push(Diagnostic {
+                        source: record_source(&self.manifest, i),
+                        kind: DiagKind::WorkerPanic(m),
+                    }),
+                },
+            }
+        }
+        let report = IngestReport {
+            attempted: selected.len(),
+            loaded: profiles.len(),
+            diagnostics,
+            pushdown: None,
+        };
+        Ok((profiles, report))
+    }
+
+    /// Read the framed records for `members` (entry indices, all in
+    /// shard `si`), verifying framing and CRC as we go. Pushes one
+    /// `(entry index, payload-or-diagnostic)` per member, in member
+    /// order.
+    ///
+    /// Dense selections (members cover at least half the shard's bytes)
+    /// read the whole file once and hand every record an `Arc` slice of
+    /// that buffer; sparse selections seek to each record's frame so
+    /// skipped records cost no I/O. `bytes_read` reflects whichever
+    /// actually happened.
+    pub(crate) fn read_shard_members(
+        &self,
+        si: usize,
+        members: &[usize],
+        out: &mut Vec<(usize, Result<PayloadSlice, Diagnostic>)>,
+    ) -> Result<(), StoreError> {
+        let info = &self.manifest.shards[si];
+        let path = self.dir.join(&info.file);
+        let member_frame_bytes: u64 = members
+            .iter()
+            .map(|&i| RECORD_HEADER_BYTES as u64 + self.manifest.profiles[i].len as u64)
+            .sum();
+        if member_frame_bytes.saturating_mul(2) >= info.bytes {
+            return self.read_shard_bulk(si, members, out);
+        }
+        // A pinned reader seeks on its held handle (`impl Seek/Read for
+        // &File`), so reads survive the file being unlinked underneath.
+        let owned;
+        let mut file: &File = match self.handles.as_ref().map(|hs| &hs[si]) {
+            Some(f) => f,
+            None => match File::open(&path) {
+                Ok(f) => {
+                    owned = f;
+                    &owned
+                }
+                Err(e) => {
+                    // The whole shard is unreadable: every member gets
+                    // the same classified diagnostic.
+                    for &i in members {
+                        out.push((
+                            i,
+                            Err(Diagnostic {
+                                source: info.file.clone(),
+                                kind: DiagKind::Io(format!("{}: {e}", info.file)),
+                            }),
+                        ));
+                    }
+                    return Ok(());
+                }
+            },
+        };
+        let file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        for &i in members {
+            let entry = &self.manifest.profiles[i];
+            // Framing extends past EOF → the shard is torn. Manifest
+            // parsing already bounds every entry against its shard's
+            // *declared* size; this re-checks against the file's
+            // *actual* size (overflow-proof) before the length is used
+            // to allocate, so a truncated file or a stale manifest can
+            // never trigger an oversized read.
+            let payload_end = entry.offset.checked_add(entry.len as u64);
+            if payload_end.is_none()
+                || payload_end.unwrap() > file_len
+                || entry.offset < RECORD_HEADER_BYTES as u64
+            {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source: record_source(&self.manifest, i),
+                        kind: DiagKind::TornShard {
+                            shard: info.file.clone(),
+                        },
+                    }),
+                ));
+                continue;
+            }
+            let mut header = [0u8; RECORD_HEADER_BYTES];
+            let mut payload = vec![0u8; entry.len as usize];
+            let read = (|| -> io::Result<()> {
+                file.seek(SeekFrom::Start(entry.offset - RECORD_HEADER_BYTES as u64))?;
+                file.read_exact(&mut header)?;
+                file.read_exact(&mut payload)?;
+                Ok(())
+            })();
+            self.bytes_read
+                .set(self.bytes_read.get() + (RECORD_HEADER_BYTES + entry.len as usize) as u64);
+            if let Err(e) = read {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source: record_source(&self.manifest, i),
+                        kind: DiagKind::Io(format!("{}: {e}", info.file)),
+                    }),
+                ));
+                continue;
+            }
+            let framed_len = u32::from_le_bytes(header[..4].try_into().unwrap());
+            let framed_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+            let ok = framed_len == entry.len
+                && framed_crc == entry.crc
+                && crc32c(&payload) == entry.crc;
+            if ok {
+                out.push((i, Ok(PayloadSlice::owned(payload))));
+            } else {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source: record_source(&self.manifest, i),
+                        kind: DiagKind::ChecksumMismatch {
+                            shard: info.file.clone(),
+                            record: record_index_of(&self.manifest, i),
+                        },
+                    }),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Dense-selection counterpart of [`Self::read_shard_members`]: one
+    /// `fs::read` for the whole shard, then every member validates its
+    /// frame against a shared `Arc` of that buffer. No seeks, no
+    /// per-record allocation.
+    fn read_shard_bulk(
+        &self,
+        si: usize,
+        members: &[usize],
+        out: &mut Vec<(usize, Result<PayloadSlice, Diagnostic>)>,
+    ) -> Result<(), StoreError> {
+        let info = &self.manifest.shards[si];
+        let whole = match self.handles.as_ref().map(|hs| &hs[si]) {
+            // Pinned: rewind the held handle and drain it — works even
+            // after the file is unlinked.
+            Some(mut f) => f
+                .seek(SeekFrom::Start(0))
+                .and_then(|_| {
+                    let mut buf = Vec::with_capacity(info.bytes as usize);
+                    f.read_to_end(&mut buf).map(|_| buf)
+                }),
+            None => std::fs::read(self.dir.join(&info.file)),
+        };
+        let bytes = match whole {
+            Ok(b) => Arc::new(b),
+            Err(e) => {
+                for &i in members {
+                    out.push((
+                        i,
+                        Err(Diagnostic {
+                            source: info.file.clone(),
+                            kind: DiagKind::Io(format!("{}: {e}", info.file)),
+                        }),
+                    ));
+                }
+                return Ok(());
+            }
+        };
+        self.bytes_read
+            .set(self.bytes_read.get() + bytes.len() as u64);
+        let file_len = bytes.len() as u64;
+        for &i in members {
+            let entry = &self.manifest.profiles[i];
+            // Same torn-shard guard as the seek path: every declared
+            // range is proven inside the actual file before slicing.
+            let payload_end = entry.offset.checked_add(entry.len as u64);
+            if payload_end.is_none()
+                || payload_end.unwrap() > file_len
+                || entry.offset < RECORD_HEADER_BYTES as u64
+            {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source: record_source(&self.manifest, i),
+                        kind: DiagKind::TornShard {
+                            shard: info.file.clone(),
+                        },
+                    }),
+                ));
+                continue;
+            }
+            let start = entry.offset as usize;
+            let header = &bytes[start - RECORD_HEADER_BYTES..start];
+            let payload = &bytes[start..start + entry.len as usize];
+            let framed_len = u32::from_le_bytes(header[..4].try_into().unwrap());
+            let framed_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+            let ok = framed_len == entry.len
+                && framed_crc == entry.crc
+                && crc32c(payload) == entry.crc;
+            if ok {
+                out.push((
+                    i,
+                    Ok(PayloadSlice::shared(
+                        Arc::clone(&bytes),
+                        start..start + entry.len as usize,
+                    )),
+                ));
+            } else {
+                out.push((
+                    i,
+                    Err(Diagnostic {
+                        source: record_source(&self.manifest, i),
+                        kind: DiagKind::ChecksumMismatch {
+                            shard: info.file.clone(),
+                            record: record_index_of(&self.manifest, i),
+                        },
+                    }),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A record payload: either its own buffer (sparse seek reads) or a
+/// range of a whole-shard read shared by every record in the shard
+/// (dense bulk reads). Decoders borrow the slice either way — nothing
+/// is copied between disk and the parser.
+pub(crate) struct PayloadSlice {
+    bytes: Arc<Vec<u8>>,
+    range: std::ops::Range<usize>,
+}
+
+impl PayloadSlice {
+    fn owned(bytes: Vec<u8>) -> Self {
+        let range = 0..bytes.len();
+        PayloadSlice {
+            bytes: Arc::new(bytes),
+            range,
+        }
+    }
+
+    fn shared(bytes: Arc<Vec<u8>>, range: std::ops::Range<usize>) -> Self {
+        PayloadSlice { bytes, range }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.bytes[self.range.clone()]
+    }
+}
+
+/// `shard-file#record-index` label for a record-scoped diagnostic.
+/// Walks the manifest, so only call it on the error path.
+fn record_source(m: &Manifest, i: usize) -> String {
+    format!(
+        "{}#{}",
+        m.shards[m.profiles[i].shard].file,
+        record_index_of(m, i)
+    )
+}
+
+/// Zero-based record index of entry `i` within its shard (entries are
+/// stored in offset order per shard).
+pub(crate) fn record_index_of(m: &Manifest, i: usize) -> usize {
+    let e = &m.profiles[i];
+    m.profiles
+        .iter()
+        .filter(|o| o.shard == e.shard && o.offset < e.offset)
+        .count()
+}
+
+// ---------------------------------------------------------------------
+// Pinned snapshots.
+// ---------------------------------------------------------------------
+
+/// A generation-pinned [`StoreReader`]: shard handles held open (reads
+/// survive unlink) and a GC lease registered (GC skips the generation
+/// while the snapshot lives). Created by [`StoreReader::pin`] /
+/// [`Store::open_pinned`]; derefs to [`StoreReader`], so every load
+/// and select method is available unchanged.
+///
+/// In-process snapshots of the same (directory, generation) share one
+/// lease file via a refcount; dropping the last snapshot removes it.
+/// Using the snapshot heartbeats the lease (re-touches its mtime) so
+/// long-lived pins are not mistaken for leaks by other processes' GC.
+pub struct Snapshot {
+    reader: StoreReader,
+    /// `None` on read-only media: no lease file could be written, but
+    /// no GC can run there either, so handles alone suffice.
+    lease: Option<Arc<LeaseCore>>,
+}
+
+impl Snapshot {
+    /// Whether a lease file backs this snapshot (false only on
+    /// read-only media, where the pin degrades to handle-only).
+    pub fn leased(&self) -> bool {
+        self.lease.is_some()
+    }
+
+    /// The lease file's name in the store directory, if one exists.
+    pub fn lease_file(&self) -> Option<String> {
+        self.lease.as_ref().map(|l| l.file_name().to_string())
+    }
+
+    /// Unpin: keep the reader (and its open shard handles — already-
+    /// possible reads stay possible) but drop the lease, letting GC
+    /// collect the generation's directory entries.
+    pub fn into_reader(self) -> StoreReader {
+        self.reader
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = StoreReader;
+
+    fn deref(&self) -> &StoreReader {
+        if let Some(lease) = &self.lease {
+            lease.maybe_heartbeat();
+        }
+        &self.reader
+    }
+}
+
+/// Open + pin with a bounded retry loop: the window between reading
+/// the newest manifest and opening its shard handles can race a
+/// concurrent GC (surfacing as a retryable
+/// [`StoreError::NoGeneration`]); every retry re-opens whatever
+/// generation is newest *now*. Non-retryable errors return
+/// immediately.
+pub(crate) fn open_pinned(dir: &Path, opts: &StoreOptions) -> Result<Snapshot, StoreError> {
+    let mut backoff = Backoff::new(
+        std::time::Duration::from_micros(100),
+        std::time::Duration::from_millis(20),
+        opts.backoff_seed,
+    );
+    let mut last = None;
+    for attempt in 0..32 {
+        if attempt > 0 {
+            std::thread::sleep(backoff.next_delay());
+        }
+        match Store::open(dir).and_then(|r| r.pin_opts(opts)) {
+            Ok(snap) => return Ok(snap),
+            Err(e @ StoreError::NoGeneration(_)) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("32 attempts recorded an error"))
+}

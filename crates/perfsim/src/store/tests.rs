@@ -1,0 +1,784 @@
+use super::layout::{manifest_name, shard_name};
+use super::manifest::{build_columns, mask_from_hex, mask_to_hex};
+use super::*;
+use crate::metapred::MetaPred;
+use crate::rajaperf::{simulate_cpu_run, CpuRunConfig};
+use std::path::PathBuf;
+use thicket_dataframe::Value;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("thicket-store-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn runs(n: u64) -> Vec<Profile> {
+    (0..n)
+        .map(|seed| {
+            let mut cfg = CpuRunConfig::quartz_default();
+            cfg.seed = seed;
+            simulate_cpu_run(&cfg)
+        })
+        .collect()
+}
+
+fn hashes(ps: &[Profile]) -> Vec<i64> {
+    let mut h: Vec<i64> = ps.iter().map(|p| p.profile_hash()).collect();
+    h.sort_unstable();
+    h
+}
+
+#[test]
+fn crc32c_known_vectors() {
+    // RFC 3720 / common test vectors for CRC-32C.
+    assert_eq!(crc32c(b""), 0);
+    assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+    assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+}
+
+#[test]
+fn save_open_roundtrip() {
+    let dir = tmp("roundtrip");
+    let profiles = runs(6);
+    let report = Store::save(&dir, &profiles).unwrap();
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.profiles, 6);
+    let reader = Store::open(&dir).unwrap();
+    assert_eq!(reader.generation(), 1);
+    assert_eq!(reader.entries().len(), 6);
+    let (loaded, rep) = reader.load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(hashes(&loaded), hashes(&profiles));
+    // fsck of a fresh store is clean.
+    let fsck = Store::fsck(&dir).unwrap();
+    assert!(fsck.is_clean(), "{fsck}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn small_shard_target_splits_shards() {
+    let dir = tmp("split");
+    let profiles = runs(8);
+    let opts = StoreOptions {
+        shard_bytes: 1, // every record closes its shard
+        ..StoreOptions::default()
+    };
+    let report = Store::save_opts(&dir, &profiles, &opts).unwrap();
+    assert_eq!(report.shards, 8);
+    let reader = Store::open(&dir).unwrap();
+    let (loaded, rep) = reader.load_all().unwrap();
+    assert!(rep.is_clean());
+    assert_eq!(hashes(&loaded), hashes(&profiles));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn second_save_bumps_generation_and_retains_previous() {
+    let dir = tmp("generations");
+    let first = runs(3);
+    let second = runs(5);
+    Store::save(&dir, &first).unwrap();
+    let r2 = Store::save(&dir, &second).unwrap();
+    assert_eq!(r2.generation, 2);
+    // Newest generation wins.
+    let reader = Store::open(&dir).unwrap();
+    assert_eq!(reader.generation(), 2);
+    let (loaded, _) = reader.load_all().unwrap();
+    assert_eq!(hashes(&loaded), hashes(&second));
+    // Previous generation's manifest is retained (keep_generations = 1).
+    assert!(dir.join(manifest_name(1)).exists());
+    // A third save garbage-collects generation 1.
+    Store::save(&dir, &first).unwrap();
+    assert!(!dir.join(manifest_name(1)).exists());
+    assert!(dir.join(manifest_name(2)).exists());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn load_matching_pushdown_reads_fewer_bytes() {
+    let dir = tmp("pushdown");
+    let profiles = runs(8);
+    let opts = StoreOptions {
+        shard_bytes: 1,
+        ..StoreOptions::default()
+    };
+    Store::save_opts(&dir, &profiles, &opts).unwrap();
+
+    // Both sides pay the same manifest bytes (counted since the
+    // bytes_read fix), so shard skipping still shows through.
+    let full = Store::open(&dir).unwrap();
+    let (all, _) = full.load_all().unwrap();
+    let full_bytes = full.bytes_read();
+
+    let filtered = Store::open(&dir).unwrap();
+    let (subset, rep) = filtered
+        .load_matching(&MetaPred::eq("seed", 2i64))
+        .unwrap();
+    assert!(rep.is_clean());
+    assert!(filtered.bytes_read() < full_bytes);
+    assert_eq!(subset.len(), 1);
+    assert!(all.len() > subset.len());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn bytes_read_is_exact_frame_accounting() {
+    // One record per shard, so each shard's cost is its single
+    // record's frame: header + payload.
+    let dir = tmp("bytes-exact");
+    let opts = StoreOptions {
+        shard_bytes: 1,
+        ..StoreOptions::default()
+    };
+    Store::save_opts(&dir, &runs(4), &opts).unwrap();
+
+    let reader = Store::open(&dir).unwrap();
+    let manifest_bytes = std::fs::metadata(dir.join(manifest_name(reader.manifest().generation)))
+        .unwrap()
+        .len();
+    assert_eq!(
+        reader.bytes_read(),
+        manifest_bytes,
+        "opening costs exactly the manifest file"
+    );
+
+    // A full load is dense in every shard, so each shard is one
+    // whole-file bulk read: the cost is exactly the sum of on-disk
+    // shard sizes, which the manifest's declared sizes must match.
+    let (all, rep) = reader.load_all().unwrap();
+    assert!(rep.is_clean());
+    assert_eq!(all.len(), 4);
+    let shard_bytes_total: u64 = reader
+        .manifest()
+        .shards
+        .iter()
+        .map(|info| {
+            let on_disk = std::fs::metadata(dir.join(&info.file)).unwrap().len();
+            assert_eq!(on_disk, info.bytes, "{}", info.file);
+            info.bytes
+        })
+        .sum();
+    assert_eq!(reader.bytes_read(), manifest_bytes + shard_bytes_total);
+
+    // Pushdown on one-record shards: the selected shard is dense
+    // (its one record is most of the file), so the cost is that
+    // shard's file size; skipped shards are never opened.
+    let filtered = Store::open(&dir).unwrap();
+    let (subset, rep) = filtered.load_matching(&MetaPred::eq("seed", 2i64)).unwrap();
+    assert!(rep.is_clean());
+    assert_eq!(subset.len(), 1);
+    let entry = filtered
+        .entries()
+        .iter()
+        .find(|e| e.meta("seed") == Some(&Value::Int(2)))
+        .cloned()
+        .unwrap();
+    let selected_shard = filtered.manifest().shards[entry.shard].bytes;
+    assert_eq!(filtered.bytes_read(), manifest_bytes + selected_shard);
+    std::fs::remove_dir_all(dir).ok();
+
+    // Pushdown inside a multi-record shard takes the sparse seek
+    // path: the charge is exactly the selected record's frame
+    // (header + payload), derived from the layout constant.
+    let dir = tmp("bytes-exact-sparse");
+    Store::save_opts(&dir, &runs(8), &StoreOptions::default()).unwrap();
+    let sparse = Store::open(&dir).unwrap();
+    assert_eq!(sparse.manifest().shards.len(), 1, "one shared shard");
+    let manifest_bytes = std::fs::metadata(dir.join(manifest_name(sparse.manifest().generation)))
+        .unwrap()
+        .len();
+    let (subset, rep) = sparse.load_matching(&MetaPred::eq("seed", 2i64)).unwrap();
+    assert!(rep.is_clean());
+    assert_eq!(subset.len(), 1);
+    let entry = sparse
+        .entries()
+        .iter()
+        .find(|e| e.meta("seed") == Some(&Value::Int(2)))
+        .cloned()
+        .unwrap();
+    assert_eq!(
+        sparse.bytes_read(),
+        manifest_bytes + (RECORD_HEADER_BYTES as u64 + entry.len as u64)
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn select_decodes_only_named_columns() {
+    let dir = tmp("lazy-columns");
+    Store::save(&dir, &runs(6)).unwrap();
+    let reader = Store::open(&dir).unwrap();
+    assert_eq!(reader.manifest().version, ManifestVersion::V3);
+    assert!(
+        reader.manifest().columns.len() > 2,
+        "quartz runs carry several metadata keys"
+    );
+    let idx = reader.select(&MetaPred::lt("seed", 3i64)).unwrap();
+    assert_eq!(idx, vec![0, 1, 2]);
+    for b in &reader.manifest().columns {
+        assert_eq!(
+            b.is_decoded(),
+            b.key() == "seed",
+            "column {} decode state after a seed-only selection",
+            b.key()
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn columnar_selection_matches_row_selection() {
+    let dir = tmp("col-vs-row");
+    let profiles = runs(7);
+    Store::save(&dir, &profiles).unwrap();
+    let reader = Store::open(&dir).unwrap();
+    let preds = [
+        MetaPred::True,
+        MetaPred::eq("cluster", "quartz"),
+        MetaPred::eq("seed", 3i64).not(),
+        MetaPred::is_in("seed", [1i64, 5, 99]),
+        MetaPred::ge("seed", 2i64).and(MetaPred::lt("seed", 6i64)),
+        MetaPred::eq("no-such-key", 1i64),
+        MetaPred::eq("no-such-key", 1i64).not(),
+    ];
+    for pred in &preds {
+        let columnar = reader.select(pred).unwrap();
+        let by_rows: Vec<usize> = reader
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred.eval_with(&mut |k| e.meta(k)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(columnar, by_rows, "pred: {pred}");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn manifest_roundtrip_and_self_check() {
+    let m = Manifest {
+        generation: 7,
+        version: ManifestVersion::V1,
+        shards: vec![ShardInfo {
+            file: shard_name(7, 0),
+            bytes: 100,
+            crc: 42,
+            records: 1,
+        }],
+        profiles: vec![StoreEntry {
+            hash: i64::MIN + 3,
+            shard: 0,
+            offset: 12,
+            len: 88,
+            crc: 7,
+            meta: vec![
+                ("cluster".into(), Value::from("quartz")),
+                ("size".into(), Value::Int(1 << 60)),
+            ],
+        }],
+        columns: Vec::new(),
+    };
+    let bytes = m.to_file_bytes();
+    let back = Manifest::from_file_bytes(&bytes).unwrap();
+    assert_eq!(back, m);
+    // Any body mutation breaks the self-CRC.
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x20;
+    assert!(Manifest::from_file_bytes(&bad).is_err());
+    // Truncation breaks it too.
+    assert!(Manifest::from_file_bytes(&bytes[..bytes.len() / 2]).is_err());
+}
+
+#[test]
+fn v2_manifest_roundtrips_columns_and_masks() {
+    let rows = vec![
+        vec![
+            ("cluster".to_string(), Value::from("quartz")),
+            ("size".to_string(), Value::Int(1 << 60)),
+        ],
+        vec![("cluster".to_string(), Value::from("lassen"))],
+    ];
+    let m = Manifest {
+        generation: 3,
+        version: ManifestVersion::V2,
+        shards: vec![ShardInfo {
+            file: shard_name(3, 0),
+            bytes: 64,
+            crc: 9,
+            records: 2,
+        }],
+        profiles: (0..2)
+            .map(|i| StoreEntry {
+                hash: i as i64,
+                shard: 0,
+                offset: 12 + i as u64,
+                len: 4,
+                crc: 1,
+                meta: Vec::new(),
+            })
+            .collect(),
+        columns: build_columns(&rows),
+    };
+    let bytes = m.to_file_bytes();
+    let back = Manifest::from_file_bytes(&bytes).unwrap();
+    assert_eq!(back, m);
+    assert_eq!(back.version, ManifestVersion::V2);
+    // Parsed columns start undecoded; decode recovers the values
+    // and the presence mask distinguishes absent from Null.
+    let size = back.column("size").unwrap();
+    assert!(!size.is_decoded());
+    assert_eq!(size.values().unwrap(), &[Value::Int(1 << 60), Value::Null]);
+    assert!(size.present_at(0) && !size.present_at(1));
+    assert!(back.column("cluster").unwrap().present_at(1));
+    assert!(back.column("nope").is_none());
+    // meta_rows reconstructs the per-profile rows, key-sorted.
+    assert_eq!(back.meta_rows().unwrap(), rows);
+}
+
+#[test]
+fn mask_hex_roundtrip_and_strictness() {
+    for n in [0usize, 1, 7, 8, 9, 17] {
+        let present: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let hex = mask_to_hex(&present);
+        assert_eq!(mask_from_hex(&hex, n).unwrap(), present);
+    }
+    assert!(mask_from_hex("ff", 4).is_err(), "stray high bits");
+    assert!(mask_from_hex("0f", 9).is_err(), "too short");
+    assert!(mask_from_hex("zz", 8).is_err(), "not hex");
+}
+
+#[test]
+fn append_reuses_shards_and_skips_duplicates() {
+    let dir = tmp("append");
+    let first = runs(3);
+    let more = runs(5); // seeds 0..5 — first three duplicate the store
+    let r1 = Store::save(&dir, &first).unwrap();
+    let r2 = Store::append(&dir, &more).unwrap();
+    assert_eq!(r2.generation, 2);
+    assert_eq!(r2.appended, 2, "3 of 5 already stored");
+    assert_eq!(r2.profiles, 5);
+    // Generation 1's shard files are still the ones serving the old
+    // profiles: nothing was rewritten.
+    assert!(dir.join(shard_name(1, 0)).exists());
+    let reader = Store::open(&dir).unwrap();
+    assert_eq!(reader.generation(), 2);
+    let (loaded, rep) = reader.load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(hashes(&loaded), hashes(&more));
+    assert!(Store::fsck(&dir).unwrap().is_clean());
+    // Appending only duplicates commits a no-op generation.
+    let r3 = Store::append(&dir, &first).unwrap();
+    assert_eq!(r3.appended, 0);
+    assert_eq!(r3.profiles, 5);
+    assert_eq!(r3.shards, 0);
+    // A typed predicate still selects across old + new entries.
+    let reader = Store::open(&dir).unwrap();
+    let (subset, _) = reader.load_matching(&MetaPred::ge("seed", 3i64)).unwrap();
+    assert_eq!(subset.len(), 2);
+    // Once gen 1 leaves the retention window, its shards survive
+    // while still referenced by the live manifest.
+    assert!(!dir.join(manifest_name(1)).exists());
+    assert!(dir.join(shard_name(1, 0)).exists());
+    assert_eq!(r1.profiles, 3);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn append_to_empty_dir_is_save() {
+    let dir = tmp("append-empty");
+    let report = Store::append(&dir, &runs(2)).unwrap();
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.appended, 2);
+    let (loaded, _) = Store::open(&dir).unwrap().load_all().unwrap();
+    assert_eq!(loaded.len(), 2);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn compact_repacks_fragmented_shards() {
+    let dir = tmp("compact");
+    let profiles = runs(8);
+    let fragmented = StoreOptions {
+        shard_bytes: 1, // every record its own shard
+        ..StoreOptions::default()
+    };
+    let r = Store::save_opts(&dir, &profiles, &fragmented).unwrap();
+    assert_eq!(r.shards, 8);
+    let c = Store::compact(&dir).unwrap();
+    assert_eq!(c.shards, 1, "default shard size swallows all 8");
+    assert_eq!(c.profiles, 8);
+    assert!(c.report.is_clean(), "{}", c.report);
+    let reader = Store::open(&dir).unwrap();
+    assert_eq!(reader.generation(), c.generation);
+    let (loaded, rep) = reader.load_all().unwrap();
+    assert!(rep.is_clean());
+    assert_eq!(hashes(&loaded), hashes(&profiles));
+    assert!(Store::fsck(&dir).unwrap().is_clean());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn compact_migrates_old_formats_to_v3() {
+    for old in [ManifestVersion::V1, ManifestVersion::V2] {
+        let dir = tmp(&format!("migrate-{old:?}"));
+        let profiles = runs(4);
+        let old_opts = StoreOptions {
+            format: old,
+            ..StoreOptions::default()
+        };
+        Store::save_opts(&dir, &profiles, &old_opts).unwrap();
+        // The old format loads unchanged through the auto-detecting
+        // reader.
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.manifest().version, old);
+        let (loaded, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(hashes(&loaded), hashes(&profiles));
+        if old.columnar() {
+            let idx = reader.select(&MetaPred::eq("seed", 1i64)).unwrap();
+            assert_eq!(idx.len(), 1);
+        }
+        // Compaction rewrites it as v3 — binary record payloads
+        // under an intact columnar index.
+        Store::compact(&dir).unwrap();
+        let reader = Store::open(&dir).unwrap();
+        assert_eq!(reader.manifest().version, ManifestVersion::V3);
+        assert!(reader.manifest().column("seed").is_some());
+        let (migrated, rep) = reader.load_all().unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(hashes(&migrated), hashes(&profiles));
+        assert!(Store::fsck(&dir).unwrap().is_clean());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn store_entry_meta_is_key_sorted_binary_search() {
+    let dir = tmp("meta-sorted");
+    Store::save(&dir, &runs(1)).unwrap();
+    let reader = Store::open(&dir).unwrap();
+    let e = &reader.entries()[0];
+    let keys: Vec<&str> = e.meta.iter().map(|(k, _)| k.as_str()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "meta rows must be key-sorted");
+    for (k, v) in &e.meta {
+        assert_eq!(e.meta(k), Some(v));
+    }
+    assert_eq!(e.meta("zzz-no-such-key"), None);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn crash_points_are_enumerable() {
+    let dir = tmp("points");
+    let report = Store::save(&dir, &runs(3)).unwrap();
+    assert!(report.crash_points >= 7, "{}", report.crash_points);
+    // Asking for a crash beyond the last point is a clean write.
+    let dir2 = tmp("points-beyond");
+    let opts = StoreOptions {
+        crash_after: Some(report.crash_points + 10),
+        ..StoreOptions::default()
+    };
+    Store::save_opts(&dir2, &runs(3), &opts).unwrap();
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::remove_dir_all(dir2).ok();
+}
+
+#[test]
+fn crash_before_commit_preserves_old_generation() {
+    let dir = tmp("crash-precommit");
+    let old = runs(3);
+    Store::save(&dir, &old).unwrap();
+    // Crash at point 1 = mid-shard-write of the new generation.
+    let opts = StoreOptions {
+        crash_after: Some(1),
+        ..StoreOptions::default()
+    };
+    let err = Store::save_opts(&dir, &runs(5), &opts).unwrap_err();
+    assert!(matches!(err, StoreError::InjectedCrash { .. }), "{err}");
+    // The torn new shard is an orphan; fsck flags it, open still
+    // serves generation 1, recover cleans it.
+    let fsck = Store::fsck(&dir).unwrap();
+    assert!(!fsck.is_clean());
+    assert_eq!(fsck.newest_intact, Some(1));
+    let (loaded, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+    assert!(rep.is_clean());
+    assert_eq!(hashes(&loaded), hashes(&old));
+    let rec = Store::recover(&dir).unwrap();
+    assert_eq!(rec.generation, 1);
+    assert!(Store::fsck(&dir).unwrap().is_clean());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn empty_store_dir_errors() {
+    let dir = tmp("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    assert!(matches!(
+        Store::open(&dir),
+        Err(StoreError::NoGeneration(_))
+    ));
+    assert!(Store::recover(&dir).is_err());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn zero_profile_store_roundtrips() {
+    let dir = tmp("zero");
+    let report = Store::save(&dir, &[]).unwrap();
+    assert_eq!(report.profiles, 0);
+    let (loaded, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+    assert!(loaded.is_empty());
+    assert!(rep.is_clean());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn upsert_replaces_by_profile_id() {
+    let dir = tmp("upsert");
+    let mut profiles = runs(4);
+    Store::save(&dir, &profiles).unwrap();
+    // Same metadata (same profile hash), different measurements.
+    let node = profiles[1].graph().roots()[0];
+    profiles[1].set_metric(node, "time (exc)", 123_456.0);
+    let updated = profiles[1].clone();
+    // Skip mode ignores the duplicate hash entirely...
+    let rep = Store::append(&dir, std::slice::from_ref(&updated)).unwrap();
+    assert_eq!((rep.appended, rep.replaced), (0, 0));
+    // ...upsert replaces the stored copy in place.
+    let opts = StoreOptions {
+        append_mode: AppendMode::Upsert,
+        ..StoreOptions::default()
+    };
+    let rep = Store::append_opts(&dir, std::slice::from_ref(&updated), &opts).unwrap();
+    assert_eq!((rep.appended, rep.replaced), (0, 1));
+    assert_eq!(rep.profiles, 4);
+    let reader = Store::open(&dir).unwrap();
+    let (loaded, lr) = reader.load_all().unwrap();
+    assert!(lr.is_clean(), "{lr}");
+    assert_eq!(loaded.len(), 4);
+    let got = loaded
+        .iter()
+        .find(|p| p.profile_hash() == updated.profile_hash())
+        .expect("updated profile present");
+    let n = got.graph().roots()[0];
+    assert_eq!(got.metric(n, "time (exc)"), Some(123_456.0));
+    // A mixed batch: one fresh profile, one replacement.
+    let mut batch = runs(6);
+    let fresh = batch.pop().unwrap();
+    let mut repl = profiles[2].clone();
+    let n2 = repl.graph().roots()[0];
+    repl.set_metric(n2, "time (exc)", 9.0);
+    let rep = Store::append_opts(&dir, &[fresh, repl], &opts).unwrap();
+    assert_eq!((rep.appended, rep.replaced), (1, 1));
+    assert_eq!(rep.profiles, 5);
+    // The superseded bytes are reclaimed by compaction, not the append.
+    Store::compact(&dir).unwrap();
+    let (after, _) = Store::open(&dir).unwrap().load_all().unwrap();
+    assert_eq!(after.len(), 5);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn append_cas_surfaces_conflict() {
+    let dir = tmp("cas");
+    let profiles = runs(3);
+    Store::save(&dir, &profiles[..2]).unwrap(); // generation 1
+    // CAS against a stale expectation fails typed, touching nothing.
+    let opts = StoreOptions {
+        expected_generation: Some(7),
+        ..StoreOptions::default()
+    };
+    match Store::append_opts(&dir, &profiles[2..], &opts) {
+        Err(StoreError::Conflict { expected: 7, found: 1 }) => {}
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+    assert_eq!(Store::open(&dir).unwrap().generation(), 1);
+    // The right expectation commits.
+    let opts = StoreOptions {
+        expected_generation: Some(1),
+        ..StoreOptions::default()
+    };
+    let rep = Store::append_opts(&dir, &profiles[2..], &opts).unwrap();
+    assert_eq!(rep.generation, 2);
+    assert_eq!(rep.appended, 1);
+    // CAS against an empty store expects generation 0.
+    let empty = tmp("cas-empty");
+    let opts = StoreOptions {
+        expected_generation: Some(3),
+        ..StoreOptions::default()
+    };
+    match Store::append_opts(&empty, &profiles[..1], &opts) {
+        Err(StoreError::Conflict { expected: 3, found: 0 }) => {}
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::remove_dir_all(empty).ok();
+}
+
+#[test]
+fn live_foreign_lock_surfaces_busy() {
+    let dir = tmp("busy");
+    let profiles = runs(2);
+    Store::save(&dir, &profiles).unwrap();
+    // A parseable lock owned by *this* (live) process but a token we
+    // don't hold: exactly what another thread's in-flight commit looks
+    // like. Never taken over — the writer must wait, then report Busy.
+    std::fs::write(
+        dir.join("LOCK"),
+        format!("pid {}\ntoken {:016x}\n", std::process::id(), 0xdead_beef_u64),
+    )
+    .unwrap();
+    let opts = StoreOptions {
+        lock_timeout: std::time::Duration::from_millis(50),
+        ..StoreOptions::default()
+    };
+    let t0 = std::time::Instant::now();
+    match Store::append_opts(&dir, &runs(1), &opts) {
+        Err(StoreError::Busy { waited }) => {
+            assert!(waited >= std::time::Duration::from_millis(50));
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(50));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // The foreign lock is untouched by the failed acquisition.
+    assert!(dir.join("LOCK").exists());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn dead_owner_lock_is_taken_over() {
+    let dir = tmp("takeover");
+    let profiles = runs(2);
+    Store::save(&dir, &profiles).unwrap();
+    // pid 0 is never alive: a parseable lock from a dead writer.
+    std::fs::write(dir.join("LOCK"), "pid 0\ntoken 0000000000000001\n").unwrap();
+    let rep = Store::append(&dir, &runs(3)[2..]).unwrap();
+    assert_eq!(rep.appended, 1);
+    // The takeover left no residue and the lock was released after.
+    assert!(!dir.join("LOCK").exists());
+    assert!(Store::fsck(&dir).unwrap().is_clean());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn pin_name_roundtrip_and_rejects() {
+    use super::layout::{parse_pin_name, pin_name};
+    let name = pin_name(42, 1234, 0xabcd_ef01_2345_6789);
+    assert_eq!(parse_pin_name(&name), Some((42, 1234, 0xabcd_ef01_2345_6789)));
+    assert_eq!(parse_pin_name("pin-000042-1234-deadbeef"), None); // short token
+    assert_eq!(parse_pin_name("pin-xx-1-0000000000000000"), None);
+    assert_eq!(parse_pin_name("LOCK"), None);
+    assert_eq!(parse_pin_name("shard-000001-0000.tks"), None);
+}
+
+#[test]
+fn pinned_snapshot_survives_generation_collection() {
+    let dir = tmp("pin-gc");
+    let profiles = runs(5);
+    Store::save(&dir, &profiles).unwrap();
+    let snap = Store::open_pinned(&dir).unwrap();
+    assert!(snap.leased());
+    let lease = snap.lease_file().unwrap().to_string();
+    assert!(dir.join(&lease).exists());
+    // keep_generations 0 would normally collect generation 1 on the
+    // next commit — the live lease must hold it.
+    let opts = StoreOptions {
+        keep_generations: 0,
+        ..StoreOptions::default()
+    };
+    Store::append_opts(&dir, &runs(7)[5..], &opts).unwrap();
+    Store::compact_opts(&dir, &opts).unwrap();
+    let (loaded, rep) = snap.load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(hashes(&loaded), hashes(&profiles), "snapshot tore");
+    // Dropping the pin releases the lease; the next commit collects.
+    drop(snap);
+    assert!(!dir.join(&lease).exists(), "lease not cleaned up");
+    Store::append_opts(&dir, &runs(8)[7..], &opts).unwrap();
+    let gens: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("MANIFEST-"))
+        .collect();
+    assert_eq!(gens.len(), 1, "unpinned generations survived GC");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn pinned_snapshot_survives_unlinked_files() {
+    let dir = tmp("pin-unlink");
+    let profiles = runs(4);
+    Store::save(&dir, &profiles).unwrap();
+    let snap = Store::open_pinned(&dir).unwrap();
+    // Simulate a hostile GC: unlink every shard and manifest under the
+    // snapshot. Open handles keep the data readable on POSIX.
+    for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("shard-") || name.starts_with("MANIFEST-") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+    let (loaded, rep) = snap.load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(hashes(&loaded), hashes(&profiles));
+    // Selection and filtered loads ride the same handles.
+    let (subset, _) = snap.load_matching(&MetaPred::ge("seed", 2i64)).unwrap();
+    assert_eq!(subset.len(), 2);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn shared_in_process_leases_refcount_one_file() {
+    let dir = tmp("pin-shared");
+    Store::save(&dir, &runs(3)).unwrap();
+    let a = Store::open_pinned(&dir).unwrap();
+    let b = Store::open_pinned(&dir).unwrap();
+    // Same directory, same generation: one lease file serves both.
+    assert_eq!(a.lease_file(), b.lease_file());
+    let lease = a.lease_file().unwrap().to_string();
+    drop(a);
+    assert!(dir.join(&lease).exists(), "lease dropped while a pin lives");
+    drop(b);
+    assert!(!dir.join(&lease).exists(), "last pin did not clean up");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn injected_crash_leaves_stale_lock_not_live_lock() {
+    let dir = tmp("crash-lock");
+    Store::save(&dir, &runs(2)).unwrap();
+    // Crash the writer mid-append: the commit lock must be left in a
+    // state a *later* writer can take over immediately, even though
+    // this (live) process is the owner of record.
+    let opts = StoreOptions {
+        crash_after: Some(1),
+        ..StoreOptions::default()
+    };
+    match Store::append_opts(&dir, &runs(3)[2..], &opts) {
+        Err(StoreError::InjectedCrash { .. }) => {}
+        other => panic!("expected InjectedCrash, got {other:?}"),
+    }
+    assert!(dir.join("LOCK").exists(), "crashed writer removed its lock");
+    // fsck classifies it as stale (not live), recover reaps it, and a
+    // follow-up append needs no timeout wait.
+    let fsck = Store::fsck(&dir).unwrap();
+    assert!(
+        fsck.coordination
+            .iter()
+            .any(|d| matches!(d.kind, crate::ingest::DiagKind::StaleLock { .. })),
+        "crashed lock not classified: {fsck}"
+    );
+    let t0 = std::time::Instant::now();
+    let rep = Store::append(&dir, &runs(3)[2..]).unwrap();
+    assert_eq!(rep.appended, 1);
+    assert!(
+        t0.elapsed() < StoreOptions::default().lock_timeout,
+        "takeover waited out a timeout"
+    );
+    assert!(Store::fsck(&dir).unwrap().is_clean());
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,572 @@
+// ---------------------------------------------------------------------
+// Writer with enumerable crash points.
+// ---------------------------------------------------------------------
+//
+// The `*_locked` functions here are the commit critical sections: the
+// facade in `mod.rs` stages what it can outside the lock (payload
+// encoding dominates append CPU and needs no directory state), then
+// acquires the commit lock and calls in. Everything from the first
+// `CrashClock` tick to the last GC step runs under the lock, so the
+// enumerable crash-point sequence is exactly the single-writer one —
+// taking the lock adds no points.
+
+use super::crc::crc32c;
+use super::layout::{
+    list_dir, list_generations, manifest_name, parse_manifest_name, parse_shard_name, shard_name,
+};
+use super::lease;
+use super::manifest::{build_columns, sorted_meta, Manifest, ShardInfo, StoreEntry};
+use super::reader::{record_index_of, PayloadSlice};
+use super::{
+    AppendMode, CompactReport, ManifestVersion, Store, StoreError, StoreOptions, WriteReport,
+    RECORD_HEADER_BYTES, SHARD_MAGIC,
+};
+use crate::ingest::{DiagKind, Diagnostic, IngestReport};
+use crate::profile::Profile;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+use thicket_dataframe::Value;
+
+/// Counts the writer's enumerated crash points and aborts at the
+/// injected one. Each `tick` is a distinct "the process died exactly
+/// here" scenario.
+pub(crate) struct CrashClock {
+    pub(crate) next: usize,
+    pub(crate) trigger: Option<usize>,
+}
+
+impl CrashClock {
+    pub(crate) fn tick(&mut self, label: &'static str) -> Result<(), StoreError> {
+        let point = self.next;
+        self.next += 1;
+        if self.trigger == Some(point) {
+            Err(StoreError::InjectedCrash { point, label })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn sync_file(path: &Path) -> io::Result<()> {
+    std::fs::OpenOptions::new().read(true).open(path)?.sync_all()
+}
+
+/// Where one payload landed: shard index *within this write's packs*,
+/// plus frame coordinates.
+#[derive(Debug, Clone, Copy, Default)]
+struct Placement {
+    shard: usize,
+    offset: u64,
+    len: u32,
+    crc: u32,
+}
+
+/// Encode one profile as a record payload in the target format's
+/// encoding: binary `TKP3` for v3, a JSON document otherwise.
+pub(crate) fn encode_payload(p: &Profile, format: ManifestVersion) -> Vec<u8> {
+    match format {
+        ManifestVersion::V3 => crate::binprofile::encode_profile(p),
+        _ => p.to_string_pretty().into_bytes(),
+    }
+}
+
+/// One profile fully prepared for commit — hash, sorted metadata row,
+/// and encoded payload — so the commit lock is held only for I/O, not
+/// for encoding.
+pub(crate) struct Staged {
+    pub(crate) hash: i64,
+    pub(crate) row: Vec<(String, Value)>,
+    pub(crate) payload: Vec<u8>,
+}
+
+pub(crate) fn stage(profiles: &[Profile], format: ManifestVersion) -> Vec<Staged> {
+    profiles
+        .iter()
+        .map(|p| Staged {
+            hash: p.profile_hash(),
+            row: sorted_meta(p),
+            payload: encode_payload(p, format),
+        })
+        .collect()
+}
+
+/// Greedy packing: a shard closes once it carries ≥ `shard_bytes` of
+/// payload (every shard holds ≥ 1 record). Returns payload indices per
+/// shard.
+fn pack_shards(payloads: &[&[u8]], shard_bytes: usize) -> Vec<Vec<usize>> {
+    let mut shards: Vec<Vec<usize>> = Vec::new();
+    let mut open: Vec<usize> = Vec::new();
+    let mut open_bytes = 0usize;
+    for (i, pl) in payloads.iter().enumerate() {
+        open.push(i);
+        open_bytes += pl.len();
+        if open_bytes >= shard_bytes {
+            shards.push(std::mem::take(&mut open));
+            open_bytes = 0;
+        }
+    }
+    if !open.is_empty() {
+        shards.push(open);
+    }
+    shards
+}
+
+/// Write the packed shard files under generation `gen` (final names —
+/// invisible until a manifest references them). Two crash points per
+/// shard: mid-write (a torn file) and after the full write.
+fn write_shards(
+    dir: &Path,
+    gen: u64,
+    payloads: &[&[u8]],
+    packs: &[Vec<usize>],
+    clock: &mut CrashClock,
+) -> Result<(Vec<ShardInfo>, Vec<Placement>), StoreError> {
+    let mut infos = Vec::with_capacity(packs.len());
+    let mut placements = vec![Placement::default(); payloads.len()];
+    for (si, members) in packs.iter().enumerate() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SHARD_MAGIC);
+        for &pi in members {
+            let pl = payloads[pi];
+            let crc = crc32c(pl);
+            placements[pi] = Placement {
+                shard: si,
+                offset: (bytes.len() + RECORD_HEADER_BYTES) as u64,
+                len: pl.len() as u32,
+                crc,
+            };
+            bytes.extend_from_slice(&(pl.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc.to_le_bytes());
+            bytes.extend_from_slice(pl);
+        }
+        let path = dir.join(shard_name(gen, si));
+        // Model a crash mid-write: only a prefix reached the disk.
+        std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+        clock.tick("mid-shard-write")?;
+        std::fs::write(&path, &bytes)?;
+        sync_file(&path)?;
+        clock.tick("shard-written")?;
+        infos.push(ShardInfo {
+            file: shard_name(gen, si),
+            bytes: bytes.len() as u64,
+            crc: crc32c(&bytes),
+            records: members.len(),
+        });
+    }
+    Ok((infos, placements))
+}
+
+/// Manifest commit: dot-temp, sync, rename (the atomic commit point).
+fn commit_manifest(dir: &Path, manifest: &Manifest, clock: &mut CrashClock) -> Result<(), StoreError> {
+    let gen = manifest.generation;
+    let bytes = manifest.to_file_bytes();
+    let tmp = dir.join(format!(".{}.tmp", manifest_name(gen)));
+    std::fs::write(&tmp, &bytes[..bytes.len() / 2])?;
+    clock.tick("mid-manifest-write")?;
+    std::fs::write(&tmp, &bytes)?;
+    sync_file(&tmp)?;
+    clock.tick("manifest-written")?;
+    std::fs::rename(&tmp, dir.join(manifest_name(gen)))?;
+    clock.tick("manifest-committed")?;
+    Ok(())
+}
+
+/// Remove a file, tolerating a concurrent removal (another process's
+/// GC or a lease owner dropping its own pin).
+fn remove_quiet(dir: &Path, name: &str) -> Result<(), StoreError> {
+    match std::fs::remove_file(dir.join(name)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+/// GC generations before `cutoff` — manifests first (a shardless
+/// manifest is unambiguously broken; a manifestless shard is
+/// unambiguously an orphan). Shards are then deleted **by reference**,
+/// not by generation number: an appended generation's manifest keeps
+/// referencing older shard files, which must survive the GC of the
+/// manifest that originally wrote them.
+///
+/// Generations holding a live reader lease are skipped entirely (their
+/// manifest survives, so their shards stay referenced); stale lease
+/// files — dead owner pid or heartbeat past `lease_ttl` — are reaped
+/// along the way.
+fn gc_generations(
+    dir: &Path,
+    cutoff: u64,
+    lease_ttl: Duration,
+    clock: &mut CrashClock,
+) -> Result<(), StoreError> {
+    let names = list_dir(dir)?;
+    let leases = lease::scan(dir, &names, lease_ttl);
+    for name in &names {
+        if parse_manifest_name(name).is_some_and(|g| g < cutoff && !leases.pinned.contains(&g)) {
+            remove_quiet(dir, name)?;
+        }
+    }
+    clock.tick("gc-manifests")?;
+    // Reaping stale pins is idempotent housekeeping: no crash point.
+    for name in &leases.stale {
+        remove_quiet(dir, name)?;
+    }
+    let mut referenced: HashSet<String> = HashSet::new();
+    for name in list_dir(dir)? {
+        if parse_manifest_name(&name).is_some() {
+            if let Ok(bytes) = std::fs::read(dir.join(&name)) {
+                if let Ok(m) = Manifest::from_file_bytes(&bytes) {
+                    referenced.extend(m.shards.iter().map(|s| s.file.clone()));
+                }
+            }
+        }
+    }
+    for name in list_dir(dir)? {
+        if parse_shard_name(&name).is_some_and(|(g, _)| g < cutoff) && !referenced.contains(&name) {
+            remove_quiet(dir, &name)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read-only probe for the newest self-verifying manifest, counting
+/// every manifest byte read along the way (for
+/// [`super::StoreReader::bytes_read`] accounting).
+///
+/// A manifest listed a moment ago can be GC'd before we read it — that
+/// is only legal when a newer generation just committed, so on a
+/// vanished read the listing is retried (bounded; each retry means
+/// another writer made progress, and the newest manifest is never
+/// deleted).
+pub(crate) fn newest_manifest(dir: &Path) -> Result<Option<(Manifest, u64)>, StoreError> {
+    let mut bytes_total = 0u64;
+    for _pass in 0..16 {
+        let mut gens = list_generations(dir)?;
+        gens.reverse();
+        let mut vanished = false;
+        for gen in gens {
+            let bytes = match std::fs::read(dir.join(manifest_name(gen))) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    vanished = true;
+                    continue;
+                }
+                Err(e) => return Err(StoreError::Io(e)),
+            };
+            bytes_total += bytes.len() as u64;
+            if let Ok(m) = Manifest::from_file_bytes(&bytes) {
+                if m.generation == gen {
+                    return Ok(Some((m, bytes_total)));
+                }
+            }
+        }
+        if !vanished {
+            return Ok(None);
+        }
+    }
+    Ok(None)
+}
+
+/// [`Store::save_opts`]'s critical section: write `staged` as a fresh
+/// generation. Caller holds the commit lock.
+pub(crate) fn save_locked(
+    dir: &Path,
+    staged: &[&Staged],
+    opts: &StoreOptions,
+) -> Result<WriteReport, StoreError> {
+    let mut clock = CrashClock {
+        next: 0,
+        trigger: opts.crash_after,
+    };
+    // Point 0: crash before anything is written.
+    clock.tick("begin")?;
+
+    let gen = list_generations(dir)?.last().copied().unwrap_or(0) + 1;
+    let payloads: Vec<&[u8]> = staged.iter().map(|s| s.payload.as_slice()).collect();
+    let packs = pack_shards(&payloads, opts.shard_bytes);
+    let (shard_infos, placements) = write_shards(dir, gen, &payloads, &packs, &mut clock)?;
+
+    let rows: Vec<Vec<(String, Value)>> = staged.iter().map(|s| s.row.clone()).collect();
+    let entries: Vec<StoreEntry> = staged
+        .iter()
+        .zip(&placements)
+        .zip(&rows)
+        .map(|((s, pl), row)| StoreEntry {
+            hash: s.hash,
+            shard: pl.shard,
+            offset: pl.offset,
+            len: pl.len,
+            crc: pl.crc,
+            meta: row.clone(),
+        })
+        .collect();
+    let columns = if opts.format.columnar() {
+        build_columns(&rows)
+    } else {
+        Vec::new()
+    };
+    let manifest = Manifest {
+        generation: gen,
+        version: opts.format,
+        shards: shard_infos,
+        profiles: entries,
+        columns,
+    };
+    commit_manifest(dir, &manifest, &mut clock)?;
+    gc_generations(
+        dir,
+        gen.saturating_sub(opts.keep_generations as u64),
+        opts.lease_ttl,
+        &mut clock,
+    )?;
+
+    Ok(WriteReport {
+        generation: gen,
+        shards: packs.len(),
+        profiles: staged.len(),
+        appended: staged.len(),
+        replaced: 0,
+        crash_points: clock.next,
+    })
+}
+
+/// [`Store::append_opts`]'s critical section. Caller holds the commit
+/// lock; the base manifest is (re-)read *here*, under the lock — that
+/// re-read is the optimistic rebase: a generation committed after the
+/// caller staged its batch simply becomes the new base, and lost
+/// updates are impossible by construction. With
+/// [`StoreOptions::expected_generation`] set, a moved base is instead
+/// surfaced as [`StoreError::Conflict`].
+pub(crate) fn append_locked(
+    dir: &Path,
+    staged: &[Staged],
+    opts: &StoreOptions,
+) -> Result<WriteReport, StoreError> {
+    let base = newest_manifest(dir)?;
+    if let Some(expected) = opts.expected_generation {
+        let found = base.as_ref().map(|(m, _)| m.generation).unwrap_or(0);
+        if found != expected {
+            return Err(StoreError::Conflict { expected, found });
+        }
+    }
+    let Some((base, _)) = base else {
+        // Empty directory: an append is exactly a save.
+        let all: Vec<&Staged> = staged.iter().collect();
+        return save_locked(dir, &all, opts);
+    };
+    let base_rows = base.meta_rows().map_err(StoreError::Corrupt)?;
+    let mut clock = CrashClock {
+        next: 0,
+        trigger: opts.crash_after,
+    };
+    clock.tick("begin")?;
+
+    let gen = list_generations(dir)?
+        .last()
+        .copied()
+        .unwrap_or(0)
+        .max(base.generation)
+        + 1;
+    let base_index: HashMap<i64, usize> = base
+        .profiles
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.hash, i))
+        .collect();
+    // In-batch duplicates: first occurrence wins in both modes. Against
+    // the base, Skip drops known hashes; Upsert rewrites them.
+    let mut batch_seen: HashSet<i64> = HashSet::new();
+    let writing: Vec<&Staged> = staged
+        .iter()
+        .filter(|s| {
+            batch_seen.insert(s.hash)
+                && (opts.append_mode == AppendMode::Upsert || !base_index.contains_key(&s.hash))
+        })
+        .collect();
+    let payloads: Vec<&[u8]> = writing.iter().map(|s| s.payload.as_slice()).collect();
+    let packs = pack_shards(&payloads, opts.shard_bytes);
+    let (new_infos, placements) = write_shards(dir, gen, &payloads, &packs, &mut clock)?;
+
+    let shard_base = base.shards.len();
+    let mut rows = base_rows;
+    let mut entries = base.profiles.clone();
+    for (i, e) in entries.iter_mut().enumerate() {
+        e.meta = rows[i].clone();
+    }
+    let mut appended = 0usize;
+    let mut replaced = 0usize;
+    for (j, s) in writing.iter().enumerate() {
+        let pl = &placements[j];
+        let entry = StoreEntry {
+            hash: s.hash,
+            shard: shard_base + pl.shard,
+            offset: pl.offset,
+            len: pl.len,
+            crc: pl.crc,
+            meta: s.row.clone(),
+        };
+        match base_index.get(&s.hash) {
+            // Upsert: the entry is replaced in place (load order keeps
+            // the original slot); the superseded record's bytes stay in
+            // their shard until the next compact.
+            Some(&bi) => {
+                rows[bi] = s.row.clone();
+                entries[bi] = entry;
+                replaced += 1;
+            }
+            None => {
+                rows.push(s.row.clone());
+                entries.push(entry);
+                appended += 1;
+            }
+        }
+    }
+    let columns = if opts.format.columnar() {
+        build_columns(&rows)
+    } else {
+        Vec::new()
+    };
+    let mut shards = base.shards.clone();
+    shards.extend(new_infos);
+    let manifest = Manifest {
+        generation: gen,
+        version: opts.format,
+        shards,
+        profiles: entries,
+        columns,
+    };
+    let total = manifest.profiles.len();
+    commit_manifest(dir, &manifest, &mut clock)?;
+    gc_generations(
+        dir,
+        gen.saturating_sub(opts.keep_generations as u64),
+        opts.lease_ttl,
+        &mut clock,
+    )?;
+
+    Ok(WriteReport {
+        generation: gen,
+        shards: packs.len(),
+        profiles: total,
+        appended,
+        replaced,
+        crash_points: clock.next,
+    })
+}
+
+/// [`Store::compact_opts`]'s critical section. Caller holds the commit
+/// lock — including over the read phase, so the generation being
+/// rewritten cannot be GC'd or superseded mid-rewrite.
+pub(crate) fn compact_locked(dir: &Path, opts: &StoreOptions) -> Result<CompactReport, StoreError> {
+    // Read phase: load the newest generation's records and metadata
+    // before the first crash point (reads never mutate).
+    let reader = Store::open(dir)?;
+    let base = reader.manifest();
+    let rows = base.meta_rows().map_err(StoreError::Corrupt)?;
+    let mut raw: Vec<(usize, Result<PayloadSlice, Diagnostic>)> =
+        Vec::with_capacity(base.profiles.len());
+    for si in 0..base.shards.len() {
+        let members: Vec<usize> = (0..base.profiles.len())
+            .filter(|&i| base.profiles[i].shard == si)
+            .collect();
+        if !members.is_empty() {
+            reader.read_shard_members(si, &members, &mut raw)?;
+        }
+    }
+    let mut diagnostics = Vec::new();
+    let mut kept: Vec<usize> = Vec::with_capacity(raw.len());
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(raw.len());
+    let want_binary = opts.format == ManifestVersion::V3;
+    for (i, r) in raw {
+        match r {
+            // A payload already in the target encoding is carried
+            // byte-for-byte; one in the other encoding is
+            // transcoded (the migration path). A record that fails
+            // to transcode is dropped with a typed diagnostic, like
+            // salvage.
+            Ok(payload) => {
+                let bytes = payload.as_slice();
+                if crate::binprofile::is_binary_payload(bytes) == want_binary {
+                    kept.push(i);
+                    payloads.push(bytes.to_vec());
+                    continue;
+                }
+                match crate::binprofile::decode_payload(bytes) {
+                    Ok(p) => {
+                        kept.push(i);
+                        payloads.push(encode_payload(&p, opts.format));
+                    }
+                    Err(e) => diagnostics.push(Diagnostic {
+                        source: format!(
+                            "{}#{}",
+                            base.shards[base.profiles[i].shard].file,
+                            record_index_of(base, i)
+                        ),
+                        kind: DiagKind::from_profile_error(&e),
+                    }),
+                }
+            }
+            Err(d) => diagnostics.push(d),
+        }
+    }
+
+    let mut clock = CrashClock {
+        next: 0,
+        trigger: opts.crash_after,
+    };
+    clock.tick("begin")?;
+    let gen = list_generations(dir)?.last().copied().unwrap_or(0) + 1;
+    let payload_slices: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+    let packs = pack_shards(&payload_slices, opts.shard_bytes);
+    let (shard_infos, placements) = write_shards(dir, gen, &payload_slices, &packs, &mut clock)?;
+
+    let kept_rows: Vec<Vec<(String, Value)>> = kept.iter().map(|&i| rows[i].clone()).collect();
+    let entries: Vec<StoreEntry> = kept
+        .iter()
+        .zip(&placements)
+        .zip(&kept_rows)
+        .map(|((&i, pl), row)| StoreEntry {
+            hash: base.profiles[i].hash,
+            shard: pl.shard,
+            offset: pl.offset,
+            len: pl.len,
+            crc: pl.crc,
+            meta: row.clone(),
+        })
+        .collect();
+    let columns = if opts.format.columnar() {
+        build_columns(&kept_rows)
+    } else {
+        Vec::new()
+    };
+    let manifest = Manifest {
+        generation: gen,
+        version: opts.format,
+        shards: shard_infos,
+        profiles: entries,
+        columns,
+    };
+    let attempted = base.profiles.len();
+    let loaded = manifest.profiles.len();
+    commit_manifest(dir, &manifest, &mut clock)?;
+    gc_generations(
+        dir,
+        gen.saturating_sub(opts.keep_generations as u64),
+        opts.lease_ttl,
+        &mut clock,
+    )?;
+
+    Ok(CompactReport {
+        generation: gen,
+        shards: packs.len(),
+        profiles: loaded,
+        crash_points: clock.next,
+        report: IngestReport {
+            attempted,
+            loaded,
+            diagnostics,
+            pushdown: None,
+        },
+    })
+}

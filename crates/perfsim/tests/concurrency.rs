@@ -1,0 +1,400 @@
+//! Live-contention suite: N readers × an appender × a compactor, one
+//! process or several, against one store directory.
+//!
+//! The invariants under test are the concurrency model's load-bearing
+//! promises (see `store/mod.rs`):
+//!
+//! * every reader always observes **exactly one complete generation**
+//!   — a contiguous prefix of the appended profiles, never a mix of
+//!   two commits, never a torn record;
+//! * GC never collects a generation a live snapshot has pinned, even
+//!   at `keep_generations: 0`;
+//! * a writer killed with SIGKILL mid-commit leaves a store that
+//!   `recover` returns to exactly one complete generation;
+//! * the seeded chaos schedule (appends, compactions, injected writer
+//!   crashes) linearizes: after every op the store serves either the
+//!   pre-op or the post-op contents, nothing in between.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use thicket_perfsim::{
+    contend, simulate_cpu_run, ChaosOp, ChaosSchedule, ContendTask, CpuRunConfig, Profile, Store,
+    StoreError, StoreOptions,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("thicket-concurrency-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(seed: u64) -> Profile {
+    let mut cfg = CpuRunConfig::quartz_default();
+    cfg.seed = seed;
+    simulate_cpu_run(&cfg)
+}
+
+/// Seeds observed in a loaded ensemble, sorted.
+fn seeds(profiles: &[Profile]) -> Vec<i64> {
+    let mut out: Vec<i64> = profiles
+        .iter()
+        .map(|p| match p.metadata("seed") {
+            Some(v) => v.as_i64().expect("seed is an int"),
+            None => panic!("profile without a seed"),
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Assert `profiles` are exactly the runs with seeds `0..n` for some
+/// `n >= floor` — one complete generation, never a mix of two commits.
+fn assert_contiguous_prefix(profiles: &[Profile], floor: usize) -> usize {
+    let s = seeds(profiles);
+    let expect: Vec<i64> = (0..s.len() as i64).collect();
+    assert_eq!(s, expect, "observed seed set is not a contiguous prefix");
+    assert!(
+        s.len() >= floor,
+        "observed {} profiles, store never shrinks below {floor}",
+        s.len()
+    );
+    s.len()
+}
+
+/// The acceptance matrix: 8 reader threads loop pinned loads while an
+/// appender commits 30 generations and a compactor ~25 more, all at
+/// `keep_generations: 0` — the most hostile GC setting. Zero torn
+/// reads, zero `NoGeneration` errors, and the final store holds every
+/// appended profile.
+#[test]
+fn readers_never_tear_under_append_and_compact() {
+    const READERS: usize = 8;
+    const SEED_PROFILES: u64 = 4;
+    const APPENDS: u64 = 30;
+    const COMPACTS: usize = 25;
+
+    let dir = tmp("matrix");
+    let opts = StoreOptions {
+        keep_generations: 0,
+        ..StoreOptions::default()
+    };
+    let initial: Vec<Profile> = (0..SEED_PROFILES).map(run).collect();
+    Store::save_opts(&dir, &initial, &opts).unwrap();
+
+    let commits = AtomicUsize::new(1);
+    let dir_ref = &dir;
+    let opts_ref = &opts;
+    let commits_ref = &commits;
+
+    let appender: ContendTask<'_, usize> = Box::new(move |_: &AtomicBool| {
+        for i in 0..APPENDS {
+            let p = run(SEED_PROFILES + i);
+            let rep = Store::append_opts(dir_ref, &[p], opts_ref).expect("append");
+            assert_eq!(rep.appended, 1);
+            commits_ref.fetch_add(1, Ordering::Relaxed);
+        }
+        APPENDS as usize
+    });
+    let compactor: ContendTask<'_, usize> = Box::new(move |_: &AtomicBool| {
+        let mut done = 0;
+        while done < COMPACTS {
+            Store::compact_opts(dir_ref, opts_ref).expect("compact");
+            commits_ref.fetch_add(1, Ordering::Relaxed);
+            done += 1;
+        }
+        done
+    });
+    let readers: Vec<ContendTask<'_, usize>> = (0..READERS)
+        .map(|_| {
+            Box::new(move |stop: &AtomicBool| {
+                let mut iterations = 0usize;
+                let mut watermark = SEED_PROFILES as usize;
+                while !stop.load(Ordering::Relaxed) {
+                    // open_pinned retries the open/GC race internally;
+                    // any error escaping here is a failed invariant.
+                    let snap = Store::open_pinned(dir_ref).expect("open_pinned");
+                    let (profiles, rep) = snap.load_all().expect("pinned load");
+                    assert!(rep.is_clean(), "torn read: {rep}");
+                    // Monotone within one reader: commits are ordered.
+                    watermark = assert_contiguous_prefix(&profiles, watermark);
+                    iterations += 1;
+                }
+                iterations
+            }) as ContendTask<'_, usize>
+        })
+        .collect();
+
+    let mut drivers = vec![appender, compactor];
+    // Interleave order: drivers vec order is spawn order only.
+    drivers.rotate_left(1);
+    let (driver_results, reader_results) = contend(drivers, readers);
+
+    for r in &driver_results {
+        r.as_ref().expect("driver panicked");
+    }
+    let total_reads: usize = reader_results
+        .iter()
+        .map(|r| *r.as_ref().expect("reader panicked"))
+        .sum();
+    assert!(total_reads > 0, "readers never completed a single load");
+    assert!(
+        commits.load(Ordering::Relaxed) >= 50,
+        "matrix did not reach 50 commits"
+    );
+
+    // Quiesced: everything appended is present, exactly once, and the
+    // hostile GC left a clean single-generation store plus no leaked
+    // coordination files.
+    let (final_profiles, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(
+        assert_contiguous_prefix(&final_profiles, 0),
+        (SEED_PROFILES + APPENDS) as usize
+    );
+    let fsck = Store::fsck(&dir).unwrap();
+    assert!(fsck.is_clean(), "{fsck}");
+    assert!(fsck.live_leases.is_empty(), "leaked leases: {fsck}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// GC at `keep_generations: 0` must skip a generation a live snapshot
+/// pinned — and collect it promptly once the pin drops.
+#[test]
+fn gc_respects_live_pins_across_many_commits() {
+    let dir = tmp("pin-hold");
+    let opts = StoreOptions {
+        keep_generations: 0,
+        ..StoreOptions::default()
+    };
+    let initial: Vec<Profile> = (0..3).map(run).collect();
+    Store::save_opts(&dir, &initial, &opts).unwrap();
+    let snap = Store::open_pinned(&dir).unwrap();
+    assert!(snap.leased());
+    for i in 0..10 {
+        Store::append_opts(&dir, &[run(3 + i)], &opts).unwrap();
+    }
+    // Ten hostile commits later the pinned generation still reads.
+    let (held, rep) = snap.load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(assert_contiguous_prefix(&held, 3), 3);
+    assert!(
+        dir.join(snap.lease_file().unwrap()).exists(),
+        "lease file vanished under a live pin"
+    );
+    drop(snap);
+    // With the pin gone the next commit sweeps the old generation.
+    Store::append_opts(&dir, &[run(13)], &opts).unwrap();
+    let manifests = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("MANIFEST-"))
+        .count();
+    assert_eq!(manifests, 1, "released generations survived GC");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A stale lease (dead owner pid) must not hold GC hostage: the next
+/// commit collects the generation and reaps the lease file.
+#[test]
+fn dead_owner_lease_is_reaped_by_gc() {
+    let dir = tmp("lease-reap");
+    let opts = StoreOptions {
+        keep_generations: 0,
+        ..StoreOptions::default()
+    };
+    Store::save_opts(&dir, &[run(0)], &opts).unwrap();
+    // A well-formed lease owned by pid 0 (never alive) pinning gen 1.
+    let stale = dir.join("pin-000001-0-00000000deadbeef");
+    std::fs::write(&stale, b"lease\n").unwrap();
+    Store::append_opts(&dir, &[run(1)], &opts).unwrap();
+    assert!(!stale.exists(), "stale lease survived GC");
+    let manifests = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("MANIFEST-"))
+        .count();
+    assert_eq!(manifests, 1, "stale lease pinned a generation");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Replay a seeded chaos schedule — appends, compactions, and writer
+/// crashes at seed-chosen points — and assert linearizability: after
+/// every op (plus `recover` after a crash) the store serves either the
+/// pre-op or the post-op contents, and fsck comes back clean.
+#[test]
+fn chaos_schedule_linearizes() {
+    let dir = tmp("chaos");
+    let mut committed: Vec<i64> = Vec::new();
+    let mut next_seed = 0u64;
+    let mut fresh = |n: usize| -> Vec<Profile> {
+        (0..n)
+            .map(|_| {
+                let p = run(next_seed);
+                next_seed += 1;
+                p
+            })
+            .collect()
+    };
+
+    let observe = |dir: &Path| -> Vec<i64> {
+        let (profiles, rep) = Store::open(dir).unwrap().load_all().unwrap();
+        assert!(rep.is_clean(), "{rep}");
+        let mut h: Vec<i64> = profiles.iter().map(|p| p.profile_hash()).collect();
+        h.sort_unstable();
+        h
+    };
+    let sorted = |v: &[i64]| {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        s
+    };
+
+    for (i, op) in ChaosSchedule::new(0xC0FFEE).take(40).enumerate() {
+        match op {
+            ChaosOp::Append { profiles } => {
+                let batch = fresh(profiles);
+                let rep = Store::append(&dir, &batch).expect("append");
+                assert_eq!(rep.appended, batch.len(), "op {i}");
+                committed.extend(batch.iter().map(|p| p.profile_hash()));
+            }
+            ChaosOp::Compact => {
+                if committed.is_empty() {
+                    continue;
+                }
+                Store::compact(&dir).expect("compact");
+            }
+            ChaosOp::CrashedAppend { point } => {
+                let batch = fresh(1);
+                let hash = batch[0].profile_hash();
+                let opts = StoreOptions {
+                    crash_after: Some(point),
+                    ..StoreOptions::default()
+                };
+                match Store::append_opts(&dir, &batch, &opts) {
+                    Ok(rep) => {
+                        // Point past this write's crash count: a normal
+                        // commit.
+                        assert_eq!(rep.appended, 1, "op {i}");
+                        committed.push(hash);
+                    }
+                    Err(StoreError::InjectedCrash { .. }) => {
+                        Store::recover(&dir).expect("recover after crash");
+                        let seen = observe(&dir);
+                        let mut with = committed.clone();
+                        with.push(hash);
+                        let with = sorted(&with);
+                        let without = sorted(&committed);
+                        assert!(
+                            seen == with || seen == without,
+                            "op {i}: crashed append left a mixed state"
+                        );
+                        committed = seen;
+                    }
+                    Err(e) => panic!("op {i}: {e}"),
+                }
+            }
+            ChaosOp::CrashedCompact { point } => {
+                if committed.is_empty() {
+                    continue;
+                }
+                let opts = StoreOptions {
+                    crash_after: Some(point),
+                    ..StoreOptions::default()
+                };
+                match Store::compact_opts(&dir, &opts) {
+                    Ok(_) => {}
+                    Err(StoreError::InjectedCrash { .. }) => {
+                        Store::recover(&dir).expect("recover after crash");
+                    }
+                    Err(e) => panic!("op {i}: {e}"),
+                }
+                // Compaction never changes contents, crashed or not.
+                assert_eq!(
+                    observe(&dir),
+                    sorted(&committed),
+                    "op {i}: compact changed contents"
+                );
+            }
+        }
+        if !committed.is_empty() {
+            assert_eq!(observe(&dir), sorted(&committed), "op {i}");
+        }
+    }
+    assert!(!committed.is_empty(), "schedule never committed anything");
+    // The wreckage of 40 chaotic ops still recovers to a clean store.
+    Store::recover(&dir).unwrap();
+    assert!(Store::fsck(&dir).unwrap().is_clean());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Subprocess body for [`kill_nine_mid_commit_recovers`]: an unbounded
+/// append loop, run only when `THICKET_CHILD_DIR` is set. The parent
+/// SIGKILLs this process mid-commit.
+#[test]
+fn child_writer_loop() {
+    let Ok(dir) = std::env::var("THICKET_CHILD_DIR") else {
+        return; // Normal test runs: nothing to do.
+    };
+    let dir = PathBuf::from(dir);
+    let mut seed = 1u64;
+    loop {
+        // keep_generations 1 mirrors production defaults; the parent
+        // kills us long before seed wraps.
+        let _ = Store::append(&dir, &[run(seed)]);
+        seed += 1;
+    }
+}
+
+/// Kill -9 a writer subprocess mid-commit: the survivors (`recover`,
+/// then any reader) must find exactly one complete generation, a clean
+/// fsck, and a contiguous prefix of the child's appends.
+#[test]
+fn kill_nine_mid_commit_recovers() {
+    let dir = tmp("kill9");
+    Store::save(&dir, &[run(0)]).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["child_writer_loop", "--exact", "--nocapture"])
+        .env("THICKET_CHILD_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child writer");
+
+    // Let the child commit a few generations, then kill it cold. The
+    // deadline guards against a wedged child turning into a hung test.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let gen = Store::open(&dir).map(|r| r.generation()).unwrap_or(0);
+        if gen >= 4 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child made no progress (generation {gen})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    // The child may have died holding the LOCK or mid-shard-write;
+    // recover must reap the wreckage without losing a committed record.
+    let rec = Store::recover(&dir).unwrap();
+    assert!(rec.generation >= 4);
+    let fsck = Store::fsck(&dir).unwrap();
+    assert!(fsck.is_clean(), "{fsck}");
+    let (profiles, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_contiguous_prefix(&profiles, 1);
+    // And the store is fully writable afterwards — no zombie locks.
+    let t0 = Instant::now();
+    Store::append(&dir, &[run(10_000)]).unwrap();
+    assert!(
+        t0.elapsed() < StoreOptions::default().lock_timeout,
+        "post-kill append waited out a lock timeout"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

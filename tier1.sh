@@ -29,6 +29,11 @@ cargo test -q -p thicket-dataframe --test proptests
 cargo test -q -p thicket-query --test proptests
 cargo test -q -p thicket-core --test planner
 cargo test -q -p thicket-core --test proptests filter_expr_thread_invariant
+# Concurrency smoke under --release: the live-contention matrix (readers
+# × appender × compactor with GC on), the chaos-schedule linearization
+# check, and the kill-9 subprocess recovery test — timing-sensitive
+# paths that only mean something on optimized builds.
+cargo test -q --release -p thicket-perfsim --test concurrency
 # W4 smoke under --release: the predicate workload end-to-end (row-walk
 # vs vectorized vs planner pushdown) on a small 60-profile store — this
 # exercises select_expr, load_matching_expr, and the residual path on
