@@ -65,6 +65,13 @@ use crate::thicket::{Thicket, ThicketError, PROFILE_LEVEL};
 pub enum LoadSource<'a> {
     /// Profiles already in memory.
     Profiles(&'a [Profile]),
+    /// Profiles the loader takes ownership of. This is the wire-client
+    /// plumbing: `ThicketClient::load_matching` hands back owned
+    /// profiles with no slice to borrow from, and
+    /// `Thicket::loader(profiles)` must work without the caller keeping
+    /// a binding alive. Semantically identical to
+    /// [`LoadSource::Profiles`].
+    Owned(Vec<Profile>),
     /// A loose-JSON ensemble directory
     /// ([`thicket_perfsim::ensemble`]).
     Ensemble(PathBuf),
@@ -100,6 +107,12 @@ impl<'a> From<&'a Vec<Profile>> for LoadSource<'a> {
 impl<'a, const N: usize> From<&'a [Profile; N]> for LoadSource<'a> {
     fn from(profiles: &'a [Profile; N]) -> Self {
         LoadSource::Profiles(profiles)
+    }
+}
+
+impl From<Vec<Profile>> for LoadSource<'static> {
+    fn from(profiles: Vec<Profile>) -> Self {
+        LoadSource::Owned(profiles)
     }
 }
 
@@ -234,6 +247,18 @@ impl<'a> Loader<'a> {
             pinned,
         } = self;
 
+        // An owned source is a borrowed source whose backing storage we
+        // carry ourselves: normalize it here so every downstream match
+        // arm sees exactly one in-memory shape.
+        let owned_backing: Vec<Profile>;
+        let source = match source {
+            LoadSource::Owned(profiles) => {
+                owned_backing = profiles;
+                LoadSource::Profiles(&owned_backing)
+            }
+            other => other,
+        };
+
         if profile_ids.is_some() && !matches!(source, LoadSource::Profiles(_)) {
             return Err(ThicketError::Invalid(
                 "profile_ids applies only to in-memory profile sources; \
@@ -249,6 +274,8 @@ impl<'a> Loader<'a> {
         let mut residual: Vec<PredExpr> = Vec::new();
 
         let (tk, mut report) = match source {
+            // Normalized away above; the compiler cannot see that.
+            LoadSource::Owned(_) => unreachable!("Owned normalized to Profiles"),
             LoadSource::Profiles(profiles) => {
                 use std::borrow::Cow;
                 let (kept, kept_ids): (Cow<'_, [Profile]>, Option<Cow<'_, [Value]>>) = match filter

@@ -163,3 +163,28 @@ fn dialect_predicate_flows_to_the_loader() {
 
     std::fs::remove_dir_all(dir).ok();
 }
+
+/// The owned-profiles source (the wire-client plumbing:
+/// `Thicket::loader(client.load_matching(..))` with no binding to
+/// borrow from) composes bit-identically to the borrowed source, with
+/// the same planner split.
+#[test]
+fn owned_source_matches_borrowed_source() {
+    let profiles = sample_profiles();
+    let expr = PredExpr::eq("compiler", "clang-9.0.0");
+    let (borrowed, rb) = Thicket::loader(&profiles)
+        .filter_expr(expr.clone())
+        .load()
+        .unwrap();
+    let (owned, ro) = Thicket::loader(profiles.clone())
+        .filter_expr(expr)
+        .load()
+        .unwrap();
+    assert_eq!(owned.perf_data().to_string(), borrowed.perf_data().to_string());
+    assert_eq!(owned.metadata().to_string(), borrowed.metadata().to_string());
+    assert_eq!(format!("{:?}", ro.pushdown), format!("{:?}", rb.pushdown));
+    // LoadSource::Owned is also constructible via plain From.
+    let via_from: LoadSource<'static> = profiles.into();
+    let (tk, _) = Thicket::loader(via_from).load().unwrap();
+    assert_eq!(tk.profiles().len(), 6);
+}

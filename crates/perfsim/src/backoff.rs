@@ -14,20 +14,31 @@
 //! always produces the same delay sequence: contention tests are
 //! reproducible, and callers that want per-contender decorrelation mix
 //! a per-contender token into the seed.
+//!
+//! Retry loops that answer to a *request budget* (the service client
+//! retrying `Overloaded`, a caller with an end-to-end deadline) use
+//! [`Backoff::with_deadline`]: every delay is clamped to the remaining
+//! budget and the iterator ends — returns `None` — once the budget is
+//! spent, so the total sleep across all retries can never exceed the
+//! deadline.
 
 use std::time::Duration;
 
-/// An infinite iterator of jittered, exponentially-growing delays.
+/// An iterator of jittered, exponentially-growing delays.
 ///
-/// See the module docs for the delay law. The iterator never ends
-/// (`next` always returns `Some`); callers bound it with their own
-/// deadline or attempt budget.
+/// See the module docs for the delay law. By default the iterator never
+/// ends (`next` always returns `Some`); callers bound it with their own
+/// attempt budget — or with [`Backoff::with_deadline`], which makes the
+/// iterator finite: delays clamp to the remaining budget and `next`
+/// returns `None` once it is spent.
 #[derive(Debug, Clone)]
 pub struct Backoff {
     base: Duration,
     cap: Duration,
     attempt: u32,
     state: u64,
+    /// Remaining sleep budget; `None` = unbounded (the default).
+    budget: Option<Duration>,
 }
 
 impl Backoff {
@@ -48,7 +59,25 @@ impl Backoff {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 (z ^ (z >> 31)) | 1
             },
+            budget: None,
         }
+    }
+
+    /// Bound the *total* sleep this backoff will ever hand out by
+    /// `deadline`: each delay is clamped to the remaining budget and
+    /// deducted from it, and once the budget hits zero the iterator
+    /// ends (`next` returns `None`; [`Backoff::next_delay`] returns
+    /// `Duration::ZERO`). A retry loop driven by the iterator therefore
+    /// respects the caller's request budget instead of overshooting it
+    /// on the last sleep.
+    pub fn with_deadline(mut self, deadline: Duration) -> Backoff {
+        self.budget = Some(deadline);
+        self
+    }
+
+    /// Remaining sleep budget, or `None` for an unbounded backoff.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.budget
     }
 
     /// How many delays have been handed out so far.
@@ -78,7 +107,11 @@ impl Backoff {
     }
 
     /// The next delay: uniform in `[slot/2, slot]` for the current
-    /// attempt, then the attempt counter advances.
+    /// attempt, then the attempt counter advances. Under
+    /// [`Backoff::with_deadline`] the delay is clamped to (and deducted
+    /// from) the remaining budget; an exhausted budget yields
+    /// `Duration::ZERO` forever — use the iterator form to observe
+    /// exhaustion as `None`.
     pub fn next_delay(&mut self) -> Duration {
         let slot = self.slot(self.attempt).as_nanos() as u64;
         self.attempt = self.attempt.saturating_add(1);
@@ -88,7 +121,15 @@ impl Backoff {
         } else {
             self.next_u64() % (slot - half + 1)
         };
-        Duration::from_nanos(half + jitter)
+        let raw = Duration::from_nanos(half + jitter);
+        match &mut self.budget {
+            None => raw,
+            Some(rem) => {
+                let clamped = raw.min(*rem);
+                *rem -= clamped;
+                clamped
+            }
+        }
     }
 }
 
@@ -96,6 +137,9 @@ impl Iterator for Backoff {
     type Item = Duration;
 
     fn next(&mut self) -> Option<Duration> {
+        if self.budget == Some(Duration::ZERO) {
+            return None;
+        }
         Some(self.next_delay())
     }
 }
@@ -173,6 +217,69 @@ mod tests {
                     "attempt {attempt}: {d:?} below half-slot of {slot:?}"
                 );
             }
+        }
+
+        /// Under `with_deadline` the *total* sleep across the whole
+        /// (now finite) iterator never exceeds the deadline, for
+        /// arbitrary bases, caps, budgets, and seeds — the client-retry
+        /// budget law. The iterator also terminates: every non-zero
+        /// delay eats budget, and exponential growth guarantees
+        /// non-zero delays for any non-zero base.
+        #[test]
+        fn deadline_bounds_total_sleep(
+            base_ns in 1u64..2_000_000_000,
+            cap_ns in 1u64..10_000_000_000,
+            budget_ns in 0u64..30_000_000_000,
+            seed in any::<u64>(),
+        ) {
+            let deadline = Duration::from_nanos(budget_ns);
+            let backoff = Backoff::new(
+                Duration::from_nanos(base_ns),
+                Duration::from_nanos(cap_ns),
+                seed,
+            )
+            .with_deadline(deadline);
+            let mut total = Duration::ZERO;
+            let mut ended = false;
+            // Way more than enough iterations: each is at least
+            // base/2 ns once the slot is non-zero.
+            let mut it = backoff;
+            for _ in 0..100_000 {
+                match it.next() {
+                    Some(d) => total += d,
+                    None => {
+                        ended = true;
+                        break;
+                    }
+                }
+            }
+            prop_assert!(ended, "budgeted backoff never exhausted");
+            prop_assert!(
+                total <= deadline,
+                "slept {total:?} past deadline {deadline:?}"
+            );
+            // Exhaustion is sticky: no delay is ever handed out again.
+            prop_assert_eq!(it.next(), None);
+            prop_assert_eq!(it.next_delay(), Duration::ZERO);
+        }
+
+        /// A budgeted backoff hands out the same delays as an
+        /// unbudgeted one with the same seed, until the clamp bites —
+        /// the deadline only ever *shortens* the tail.
+        #[test]
+        fn deadline_prefix_matches_unbounded(seed in any::<u64>()) {
+            let base = Duration::from_micros(50);
+            let cap = Duration::from_millis(10);
+            let bound: Vec<Duration> = Backoff::new(base, cap, seed)
+                .with_deadline(Duration::from_millis(20))
+                .collect();
+            prop_assert!(!bound.is_empty());
+            let free: Vec<Duration> =
+                Backoff::new(base, cap, seed).take(bound.len()).collect();
+            for (i, d) in bound.iter().enumerate().take(bound.len() - 1) {
+                prop_assert_eq!(*d, free[i], "delay {i} diverged before the clamp");
+            }
+            prop_assert!(*bound.last().unwrap() <= free[bound.len() - 1]);
         }
 
         /// The iterator protocol matches `next_delay` exactly.

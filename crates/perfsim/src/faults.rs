@@ -33,6 +33,13 @@
 //! ensemble kind through [`crate::ensemble::load_dir`] and every
 //! store kind through [`crate::Store::fsck`] and assert the mapping.
 //!
+//! The service layer gets a *wire* family ([`FaultKind::WIRE`]): torn
+//! frames, oversized declared lengths, slow-loris writers, mid-request
+//! connection kills, and a SIGKILL of the daemon itself. These are live
+//! faults — misbehaving clients and dying processes, not bytes on disk
+//! — so [`inject`] rejects them; the `thicket-serve` chaos suite drives
+//! each against a running server.
+//!
 //! For *live* contention (not just post-mortem wreckage),
 //! [`ChaosSchedule`] turns a seed into a deterministic infinite stream
 //! of writer operations — appends, compactions, and writer crashes at
@@ -94,12 +101,38 @@ pub enum FaultKind {
     /// alive) with a garbage body and an epoch-old heartbeat — the
     /// abandoned pin of a long-dead reader. Store directories only.
     LeaseGarbage,
+    /// Wire: a frame whose header promises more payload bytes than the
+    /// sender ever writes (client died mid-request). The service must
+    /// end the connection cleanly — never block forever, never leak a
+    /// pin lease. Live-connection fault: driven by the `thicket-serve`
+    /// chaos suite, not by [`inject`].
+    TornFrame,
+    /// Wire: a frame header declaring a length past the server's
+    /// configured cap. Must be rejected *before* any allocation with a
+    /// typed `FrameTooLarge` response. Live-connection fault.
+    OversizedFrame,
+    /// Wire: a client that trickles its request one byte at a time,
+    /// slower than the per-request deadline (slow-loris). The server
+    /// must time the read out and free the worker. Live-connection
+    /// fault.
+    SlowLoris,
+    /// Wire: the client vanishes (socket killed) after sending a valid
+    /// request but before reading the response. The server's response
+    /// write fails; the request's pin must still be released.
+    /// Live-connection fault.
+    ConnectionKill,
+    /// Wire: the daemon itself is killed with SIGKILL while a request
+    /// holds a pin lease. The lease file survives with a dead owner
+    /// pid; fsck must classify it [`DiagKind::StaleLease`] and the next
+    /// commit's GC must reap it with zero records lost. Subprocess
+    /// fault: driven by the `thicket-serve` chaos suite.
+    DaemonKill,
 }
 
 impl FaultKind {
-    /// Every fault kind, ensemble-directory kinds first, then the
-    /// store-directory kinds.
-    pub const ALL: [FaultKind; 16] = [
+    /// Every fault kind: ensemble-directory kinds first, then the
+    /// store-directory kinds, then the live wire kinds.
+    pub const ALL: [FaultKind; 21] = [
         FaultKind::Truncate,
         FaultKind::FlipByte,
         FaultKind::DropMetrics,
@@ -116,6 +149,11 @@ impl FaultKind {
         FaultKind::NameIndexOutOfRange,
         FaultKind::LockGarbage,
         FaultKind::LeaseGarbage,
+        FaultKind::TornFrame,
+        FaultKind::OversizedFrame,
+        FaultKind::SlowLoris,
+        FaultKind::ConnectionKill,
+        FaultKind::DaemonKill,
     ];
 
     /// The kinds that apply to a loose-JSON ensemble directory, in the
@@ -158,6 +196,23 @@ impl FaultKind {
     pub const COORDINATION: [FaultKind; 2] =
         [FaultKind::LockGarbage, FaultKind::LeaseGarbage];
 
+    /// The kinds that attack the *service* over its wire protocol
+    /// rather than the directory: torn and oversized frames, a
+    /// slow-loris writer, a mid-request connection kill, and a SIGKILL
+    /// of the daemon itself. They are live faults — a misbehaving
+    /// client or a dying process, not bytes on disk — so [`inject`]
+    /// rejects them; the `thicket-serve` chaos suite drives each one
+    /// against a running server and asserts the documented outcome
+    /// (typed response or clean disconnect, zero leaked pin leases,
+    /// one complete generation after recovery).
+    pub const WIRE: [FaultKind; 5] = [
+        FaultKind::TornFrame,
+        FaultKind::OversizedFrame,
+        FaultKind::SlowLoris,
+        FaultKind::ConnectionKill,
+        FaultKind::DaemonKill,
+    ];
+
     /// True for the kinds that corrupt a sharded store rather than a
     /// loose-JSON directory.
     pub fn is_store_fault(&self) -> bool {
@@ -171,6 +226,11 @@ impl FaultKind {
     /// True for the [`FaultKind::COORDINATION`] kinds.
     pub fn is_coordination_fault(&self) -> bool {
         FaultKind::COORDINATION.contains(self)
+    }
+
+    /// True for the [`FaultKind::WIRE`] live service faults.
+    pub fn is_wire_fault(&self) -> bool {
+        FaultKind::WIRE.contains(self)
     }
 
     /// True for the [`FaultKind::STORE_V3`] payload corruptors.
@@ -204,6 +264,12 @@ impl FaultKind {
             (FaultKind::NameIndexOutOfRange, DiagKind::Schema(m)) => {
                 m.contains("name index") && m.contains("out of range")
             }
+            // A kill-9'd daemon's only on-disk dropping is the pin
+            // lease its in-flight request held. The other wire faults
+            // never reach the disk at all — their contract is a typed
+            // wire response or a clean disconnect, asserted by the
+            // serve chaos suite, so no DiagKind matches them.
+            (FaultKind::DaemonKill, DiagKind::StaleLease { .. }) => true,
             _ => false,
         }
     }
@@ -291,6 +357,12 @@ pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<P
     }
     if kind.is_coordination_fault() {
         return corrupt_coordination(dir, kind, seed);
+    }
+    if kind.is_wire_fault() {
+        return Err(io::Error::other(format!(
+            "{kind:?} is a live wire fault (driven against a running \
+             thicketd by the serve chaos suite, not injectable on disk)"
+        )));
     }
     if kind == FaultKind::StaleManifest {
         let pool = manifest_pool(dir)?;
@@ -665,6 +737,13 @@ fn apply(victim: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
         }
         FaultKind::LockGarbage | FaultKind::LeaseGarbage => {
             Err(io::Error::other("coordination faults are store-level (use inject)"))
+        }
+        FaultKind::TornFrame
+        | FaultKind::OversizedFrame
+        | FaultKind::SlowLoris
+        | FaultKind::ConnectionKill
+        | FaultKind::DaemonKill => {
+            Err(io::Error::other("wire faults are live (serve chaos suite)"))
         }
     }
 }

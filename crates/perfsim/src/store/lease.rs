@@ -49,6 +49,17 @@ fn read_only_medium(e: &io::Error) -> bool {
     e.kind() == io::ErrorKind::PermissionDenied || e.raw_os_error() == Some(30)
 }
 
+/// Fault-injection seam for the read-only-medium path: with
+/// `THICKET_FAULT_EROFS` set in the environment, every lease-file write
+/// fails with EROFS exactly as a read-only mount would make it fail.
+/// Tests run as root cannot provoke the real thing with permission bits
+/// (root bypasses them), and mounting a filesystem inside a unit test
+/// is worse — so, per this repo's injection discipline, the fault is a
+/// seam. The classification path ([`read_only_medium`]) still runs.
+fn erofs_injected() -> Option<io::Error> {
+    std::env::var_os("THICKET_FAULT_EROFS").map(|_| io::Error::from_raw_os_error(30))
+}
+
 /// Acquire (or share) a lease on `gen` in `dir`. `Ok(None)` means the
 /// directory is read-only: no lease can exist, and no GC can run
 /// there either, so handle-only pinning is safe.
@@ -65,7 +76,11 @@ pub(crate) fn acquire(
         return Ok(Some(existing));
     }
     let name = pin_name(gen, std::process::id(), fresh_token());
-    match std::fs::write(dir.join(&name), b"thicket reader lease\n") {
+    let wrote = match erofs_injected() {
+        Some(e) => Err(e),
+        None => std::fs::write(dir.join(&name), b"thicket reader lease\n"),
+    };
+    match wrote {
         Ok(()) => {}
         Err(e) if read_only_medium(&e) => return Ok(None),
         Err(e) => return Err(StoreError::Io(e)),

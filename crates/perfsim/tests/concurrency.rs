@@ -398,3 +398,80 @@ fn kill_nine_mid_commit_recovers() {
     );
     std::fs::remove_dir_all(dir).ok();
 }
+
+/// Subprocess body for [`kill_nine_pinned_server_lease_is_reaped`]: a
+/// long-lived "daemon" shape — open a pinned snapshot and sit on it,
+/// the way `thicketd` holds a pin for a request in flight. Run only
+/// when `THICKET_PIN_DIR` is set; the parent SIGKILLs this process
+/// while the pin is live.
+#[test]
+fn child_pinned_reader_loop() {
+    let Ok(dir) = std::env::var("THICKET_PIN_DIR") else {
+        return; // Normal test runs: nothing to do.
+    };
+    let snap = Store::open_pinned(PathBuf::from(dir)).expect("child pins");
+    assert!(snap.leased());
+    loop {
+        // Keep the snapshot (and its lease file) alive until SIGKILL.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Kill -9 a *pinned reader* (the daemon shape): its lease file stays
+/// behind with a dead owner pid. fsck must report it as a typed
+/// `StaleLease` finding, and the next commit's GC must reap it — with
+/// zero records lost and exactly one complete newest generation.
+#[test]
+fn kill_nine_pinned_server_lease_is_reaped() {
+    let dir = tmp("kill9-pin");
+    let initial: Vec<Profile> = (0..3).map(run).collect();
+    Store::save(&dir, &initial).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["child_pinned_reader_loop", "--exact", "--nocapture"])
+        .env("THICKET_PIN_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child reader");
+
+    // Wait until the child's lease file exists, then kill it cold.
+    let pin_count = |d: &Path| {
+        std::fs::read_dir(d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("pin-"))
+            .count()
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while pin_count(&dir) == 0 {
+        assert!(Instant::now() < deadline, "child never pinned");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    // The orphan lease is visible and typed: not clean, exactly one
+    // StaleLease coordination finding, no live leases.
+    let fsck = Store::fsck(&dir).unwrap();
+    assert!(!fsck.is_clean(), "orphan lease went unreported: {fsck}");
+    assert!(fsck.live_leases.is_empty(), "dead pid counted as live");
+    let stale_leases = fsck
+        .coordination
+        .iter()
+        .filter(|d| matches!(d.kind, thicket_perfsim::DiagKind::StaleLease { .. }))
+        .count();
+    assert_eq!(stale_leases, 1, "expected one StaleLease finding: {fsck}");
+
+    // GC rides on commits: the next append reaps the dead daemon's
+    // lease. Nothing else may be lost.
+    Store::append(&dir, &[run(3)]).unwrap();
+    assert_eq!(pin_count(&dir), 0, "stale lease survived the commit GC");
+    let fsck = Store::fsck(&dir).unwrap();
+    assert!(fsck.is_clean(), "{fsck}");
+    let (profiles, rep) = Store::open(&dir).unwrap().load_all().unwrap();
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(assert_contiguous_prefix(&profiles, 4), 4);
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,265 @@
+//! The wire frame: a 4-byte big-endian length prefix followed by that
+//! many bytes of UTF-8 JSON.
+//!
+//! Two rules make the codec robust against hostile or broken peers,
+//! mirroring the discipline `binprofile`'s `Cursor` applies to shard
+//! payloads:
+//!
+//! 1. **The declared length is checked against a cap *before* any
+//!    allocation.** A peer declaring a 4 GiB frame costs four bytes of
+//!    read and one typed [`FrameError::Oversized`], never a 4 GiB
+//!    `Vec`.
+//! 2. **A frame, once started, must finish within a deadline.** The
+//!    reader distinguishes an *idle* socket (no frame in progress —
+//!    [`FrameError::IdleTimeout`], the server's cue to poll its
+//!    shutdown flag) from a *slow* peer trickling bytes mid-frame
+//!    ([`FrameError::SlowPeer`], the slow-loris cut) and from a peer
+//!    that hung up mid-frame ([`FrameError::Torn`]).
+//!
+//! Timeouts ride on the socket's own `set_read_timeout`; the reader
+//! treats `WouldBlock`/`TimedOut` as ticks of that clock.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Default cap on a declared frame length (8 MiB): comfortably above
+/// any response the 2,000-profile reference store produces, far below
+/// anything that could pressure the allocator.
+pub const DEFAULT_MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Why a frame read failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The declared length exceeds the configured cap. No allocation
+    /// was made.
+    Oversized {
+        /// Length the peer declared.
+        declared: u64,
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
+    /// The peer hung up mid-frame (EOF after the frame started).
+    Torn {
+        /// Bytes received of the current section.
+        got: usize,
+        /// Bytes the section needed.
+        want: usize,
+    },
+    /// The peer is trickling bytes: the frame did not complete within
+    /// the frame deadline (slow-loris defense).
+    SlowPeer {
+        /// Wall time since the frame's first byte.
+        elapsed: Duration,
+    },
+    /// The socket's read timeout fired with no frame in progress. Not
+    /// a protocol violation — the caller decides whether to keep
+    /// waiting (and typically polls its shutdown flag first).
+    IdleTimeout,
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { declared, cap } => {
+                write!(f, "declared frame length {declared} exceeds cap {cap}")
+            }
+            FrameError::Torn { got, want } => {
+                write!(f, "peer hung up mid-frame ({got}/{want} bytes)")
+            }
+            FrameError::SlowPeer { elapsed } => {
+                write!(f, "frame incomplete after {elapsed:?} (slow peer)")
+            }
+            FrameError::IdleTimeout => write!(f, "idle read timeout"),
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame: length prefix, payload, flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Fill `buf` from `r`, treating socket read timeouts as clock ticks
+/// against `deadline` (measured from `start`). `None` deadline start
+/// means "no frame in progress yet": a timeout there surfaces as
+/// [`FrameError::IdleTimeout`] instead.
+fn read_exact_deadline(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    started: &mut Option<Instant>,
+    deadline: Duration,
+) -> Result<bool, FrameError> {
+    let want = buf.len();
+    let mut got = 0usize;
+    while got < want {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && started.is_none() {
+                    return Ok(false); // clean EOF at a frame boundary
+                }
+                return Err(FrameError::Torn { got, want });
+            }
+            Ok(n) => {
+                started.get_or_insert_with(Instant::now);
+                got += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => match *started {
+                None => return Err(FrameError::IdleTimeout),
+                Some(t0) => {
+                    let elapsed = t0.elapsed();
+                    if elapsed > deadline {
+                        return Err(FrameError::SlowPeer { elapsed });
+                    }
+                }
+            },
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. `Ok(None)` is a clean disconnect at a frame
+/// boundary. The declared length is validated against `cap` before the
+/// payload buffer is allocated; `frame_deadline` bounds the wall time
+/// from the frame's first byte to its last.
+pub fn read_frame(
+    r: &mut impl Read,
+    cap: usize,
+    frame_deadline: Duration,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut started: Option<Instant> = None;
+    let mut len_buf = [0u8; 4];
+    if !read_exact_deadline(r, &mut len_buf, &mut started, frame_deadline)? {
+        return Ok(None);
+    }
+    let declared = u64::from(u32::from_be_bytes(len_buf));
+    if declared > cap as u64 {
+        return Err(FrameError::Oversized { declared, cap });
+    }
+    // Only now, with the length proven sane, allocate.
+    let mut payload = vec![0u8; declared as usize];
+    if !read_exact_deadline(r, &mut payload, &mut started, frame_deadline)? {
+        return Err(FrameError::Torn { got: 0, want: declared as usize });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trip() {
+        let wire = framed(b"{\"op\":\"status\"}");
+        let mut r = Cursor::new(wire);
+        let got = read_frame(&mut r, DEFAULT_MAX_FRAME, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, b"{\"op\":\"status\"}");
+        // Clean EOF at the boundary: None, not an error.
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME, Duration::from_secs(1))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_is_rejected_before_allocation() {
+        // Declare 3 GiB; supply nothing. If the reader allocated
+        // first, this test would OOM long before failing.
+        let wire = (3u32 << 30).to_be_bytes().to_vec();
+        let err = read_frame(&mut Cursor::new(wire), 1024, Duration::from_secs(1)).unwrap_err();
+        match err {
+            FrameError::Oversized { declared, cap } => {
+                assert_eq!(declared, 3 << 30);
+                assert_eq!(cap, 1024);
+            }
+            other => panic!("expected Oversized, got {other}"),
+        }
+    }
+
+    #[test]
+    fn torn_length_and_torn_payload() {
+        // Two of four length bytes.
+        let err =
+            read_frame(&mut Cursor::new(vec![0, 0]), 1024, Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, FrameError::Torn { got: 2, want: 4 }), "{err}");
+        // Full length, half the payload.
+        let mut wire = framed(b"abcdef");
+        wire.truncate(4 + 3);
+        let err = read_frame(&mut Cursor::new(wire), 1024, Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, FrameError::Torn { got: 3, want: 6 }), "{err}");
+    }
+
+    /// A reader that yields timeouts between single bytes: the
+    /// slow-loris shape, without sockets.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        timeouts_between: u32,
+        pending: u32,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending > 0 {
+                self.pending -= 1;
+                std::thread::sleep(Duration::from_millis(2));
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.pending = self.timeouts_between;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn slow_peer_is_cut_by_the_frame_deadline() {
+        let mut r = Trickle {
+            data: framed(&[b'x'; 64]),
+            pos: 0,
+            timeouts_between: 3,
+            pending: 0,
+        };
+        let err = read_frame(&mut r, 1024, Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, FrameError::SlowPeer { .. }), "{err}");
+    }
+
+    #[test]
+    fn idle_timeout_is_not_slow_peer() {
+        struct AlwaysTimeout;
+        impl Read for AlwaysTimeout {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"))
+            }
+        }
+        let err =
+            read_frame(&mut AlwaysTimeout, 1024, Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, FrameError::IdleTimeout), "{err}");
+    }
+}

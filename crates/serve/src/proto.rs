@@ -1,0 +1,491 @@
+//! Request/response vocabulary for the `thicketd` wire protocol.
+//!
+//! Every frame payload is one JSON object through the hardened
+//! [`thicket_perfsim::json`] codec. Requests carry an `"op"`
+//! discriminator; responses carry either `"ok"` (success shape) or
+//! `"err"` (typed failure). Predicates and call-path queries travel as
+//! their *dialect strings* (`cluster == "quartz" and problem_size >=
+//! 30`, `(".", name == "X") -> ("*")`) and are parsed server-side —
+//! the wire never carries a serialized AST, so the protocol surface
+//! stays exactly as wide as the two parsers the repo already hardens.
+
+use thicket_perfsim::{Json, Profile};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Load the profiles matching a dialect predicate (`None` = all),
+    /// straight off a pinned snapshot.
+    LoadMatching {
+        /// Dialect predicate string, e.g. `cluster == "quartz"`.
+        pred: Option<String>,
+    },
+    /// Apply a call-path query (string dialect) to the thicket
+    /// composed from the matching profiles; returns the surviving
+    /// call-tree node names.
+    Query {
+        /// Call-path query, e.g. `(".", name == "X") -> ("*")`.
+        query: String,
+        /// Optional dialect predicate narrowing the ensemble first.
+        pred: Option<String>,
+    },
+    /// Per-node aggregate statistics of one metric across the matching
+    /// profiles.
+    NodeStats {
+        /// Metric name, e.g. `time (exc)`.
+        metric: String,
+        /// Optional dialect predicate narrowing the ensemble first.
+        pred: Option<String>,
+    },
+    /// Store and server status.
+    Status,
+    /// Debug op (only with `enable_debug_ops`): hold the worker — and
+    /// a pinned snapshot, modeling a long-running query — for `ms`
+    /// milliseconds. Exists to make overload, deadline, drain, and
+    /// daemon-kill tests deterministic.
+    DebugSleep {
+        /// How long the worker sleeps.
+        ms: u64,
+    },
+    /// Debug op (only with `enable_debug_ops`): panic inside the
+    /// worker, exercising the per-request isolation path.
+    DebugPanic,
+}
+
+/// One row of a [`Response::Stats`] result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStat {
+    /// Call-tree node name.
+    pub node: String,
+    /// Number of (profile, node) observations.
+    pub count: u64,
+    /// Mean of the metric over the observations.
+    pub mean: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+/// The `status` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusInfo {
+    /// Newest store generation the server reads.
+    pub generation: u64,
+    /// Profiles in that generation.
+    pub profiles: usize,
+    /// Requests served since start.
+    pub served: u64,
+    /// Connections shed with `Overloaded` since start.
+    pub shed: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+}
+
+/// Typed failures a server can answer with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded work queue is full; retry after the hinted delay.
+    Overloaded {
+        /// Server's retry hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The store's commit/lease coordination timed out underneath the
+    /// request ([`thicket_perfsim::StoreError::Busy`]).
+    Busy {
+        /// How long the store waited before giving up, in ms.
+        waited_ms: u64,
+    },
+    /// The request exceeded its server-side deadline.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// The request was malformed (bad JSON, unknown op, bad dialect
+    /// string, oversized frame, disabled debug op).
+    BadRequest(String),
+    /// The request failed inside the server (including an isolated
+    /// worker panic); the connection stays usable.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded (retry after {retry_after_ms} ms)")
+            }
+            ServeError::Busy { waited_ms } => {
+                write!(f, "store busy (waited {waited_ms} ms)")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::BadRequest(d) => write!(f, "bad request: {d}"),
+            ServeError::Internal(d) => write!(f, "internal error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Whether a client retry can reasonably succeed (transient
+    /// contention, not a malformed request).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. } | ServeError::Busy { .. } | ServeError::ShuttingDown
+        )
+    }
+}
+
+/// A server response. (No `PartialEq`: [`Profile`] compares by
+/// content hash, not structural equality — tests compare the wire
+/// JSON instead.)
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Matching profiles, plus the pinned generation they came from.
+    Profiles {
+        /// Generation the snapshot pinned.
+        generation: u64,
+        /// The matching profiles.
+        profiles: Vec<Profile>,
+    },
+    /// Call-path query result: surviving node names, plus how many
+    /// perf-data rows survived with them.
+    Nodes {
+        /// Distinct node names on matching paths, traversal order.
+        nodes: Vec<String>,
+        /// Perf-data rows in the queried thicket.
+        rows: usize,
+    },
+    /// Per-node statistics of one metric.
+    Stats {
+        /// The metric the stats describe.
+        metric: String,
+        /// One row per node name, store order.
+        rows: Vec<NodeStat>,
+    },
+    /// Status payload.
+    Status(StatusInfo),
+    /// Acknowledgement carrying no data (debug ops).
+    Done,
+    /// A typed failure.
+    Error(ServeError),
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn opt_str(v: &Option<String>) -> Json {
+    match v {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+fn get_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn get_opt_str(doc: &Json, key: &str) -> Result<Option<String>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("field {key:?} must be a string or null")),
+    }
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("missing non-negative integer field {key:?}"))
+}
+
+fn get_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field {key:?}"))
+}
+
+impl Request {
+    /// Serialize to the wire JSON shape.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::LoadMatching { pred } => obj(vec![
+                ("op", Json::Str("load_matching".into())),
+                ("pred", opt_str(pred)),
+            ]),
+            Request::Query { query, pred } => obj(vec![
+                ("op", Json::Str("query".into())),
+                ("query", Json::Str(query.clone())),
+                ("pred", opt_str(pred)),
+            ]),
+            Request::NodeStats { metric, pred } => obj(vec![
+                ("op", Json::Str("node_stats".into())),
+                ("metric", Json::Str(metric.clone())),
+                ("pred", opt_str(pred)),
+            ]),
+            Request::Status => obj(vec![("op", Json::Str("status".into()))]),
+            Request::DebugSleep { ms } => obj(vec![
+                ("op", Json::Str("debug_sleep".into())),
+                ("ms", num(*ms)),
+            ]),
+            Request::DebugPanic => obj(vec![("op", Json::Str("debug_panic".into()))]),
+        }
+    }
+
+    /// Parse from the wire JSON shape.
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        let op = get_str(doc, "op")?;
+        match op.as_str() {
+            "load_matching" => Ok(Request::LoadMatching { pred: get_opt_str(doc, "pred")? }),
+            "query" => Ok(Request::Query {
+                query: get_str(doc, "query")?,
+                pred: get_opt_str(doc, "pred")?,
+            }),
+            "node_stats" => Ok(Request::NodeStats {
+                metric: get_str(doc, "metric")?,
+                pred: get_opt_str(doc, "pred")?,
+            }),
+            "status" => Ok(Request::Status),
+            "debug_sleep" => Ok(Request::DebugSleep { ms: get_u64(doc, "ms")? }),
+            "debug_panic" => Ok(Request::DebugPanic),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+impl Response {
+    /// Serialize to the wire JSON shape.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Profiles { generation, profiles } => obj(vec![
+                ("ok", Json::Str("profiles".into())),
+                ("generation", num(*generation)),
+                (
+                    "profiles",
+                    Json::Arr(profiles.iter().map(Profile::to_json).collect()),
+                ),
+            ]),
+            Response::Nodes { nodes, rows } => obj(vec![
+                ("ok", Json::Str("nodes".into())),
+                ("rows", num(*rows as u64)),
+                (
+                    "nodes",
+                    Json::Arr(nodes.iter().map(|n| Json::Str(n.clone())).collect()),
+                ),
+            ]),
+            Response::Stats { metric, rows } => obj(vec![
+                ("ok", Json::Str("stats".into())),
+                ("metric", Json::Str(metric.clone())),
+                (
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                obj(vec![
+                                    ("node", Json::Str(r.node.clone())),
+                                    ("count", num(r.count)),
+                                    ("mean", Json::Num(r.mean)),
+                                    ("min", Json::Num(r.min)),
+                                    ("max", Json::Num(r.max)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Status(s) => obj(vec![
+                ("ok", Json::Str("status".into())),
+                ("generation", num(s.generation)),
+                ("profiles", num(s.profiles as u64)),
+                ("served", num(s.served)),
+                ("shed", num(s.shed)),
+                ("uptime_ms", num(s.uptime_ms)),
+            ]),
+            Response::Done => obj(vec![("ok", Json::Str("done".into()))]),
+            Response::Error(e) => match e {
+                ServeError::Overloaded { retry_after_ms } => obj(vec![
+                    ("err", Json::Str("overloaded".into())),
+                    ("retry_after_ms", num(*retry_after_ms)),
+                ]),
+                ServeError::Busy { waited_ms } => obj(vec![
+                    ("err", Json::Str("busy".into())),
+                    ("waited_ms", num(*waited_ms)),
+                ]),
+                ServeError::DeadlineExceeded => {
+                    obj(vec![("err", Json::Str("deadline".into()))])
+                }
+                ServeError::ShuttingDown => {
+                    obj(vec![("err", Json::Str("shutting_down".into()))])
+                }
+                ServeError::BadRequest(d) => obj(vec![
+                    ("err", Json::Str("bad_request".into())),
+                    ("detail", Json::Str(d.clone())),
+                ]),
+                ServeError::Internal(d) => obj(vec![
+                    ("err", Json::Str("internal".into())),
+                    ("detail", Json::Str(d.clone())),
+                ]),
+            },
+        }
+    }
+
+    /// Parse from the wire JSON shape.
+    pub fn from_json(doc: &Json) -> Result<Response, String> {
+        if let Some(err) = doc.get("err").and_then(Json::as_str) {
+            let e = match err {
+                "overloaded" => ServeError::Overloaded {
+                    retry_after_ms: get_u64(doc, "retry_after_ms")?,
+                },
+                "busy" => ServeError::Busy { waited_ms: get_u64(doc, "waited_ms")? },
+                "deadline" => ServeError::DeadlineExceeded,
+                "shutting_down" => ServeError::ShuttingDown,
+                "bad_request" => ServeError::BadRequest(get_str(doc, "detail")?),
+                "internal" => ServeError::Internal(get_str(doc, "detail")?),
+                other => return Err(format!("unknown error kind {other:?}")),
+            };
+            return Ok(Response::Error(e));
+        }
+        let ok = get_str(doc, "ok")?;
+        match ok.as_str() {
+            "profiles" => {
+                let arr = doc
+                    .get("profiles")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing profiles array")?;
+                let profiles = arr
+                    .iter()
+                    .map(Profile::from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("profile decode: {e}"))?;
+                Ok(Response::Profiles { generation: get_u64(doc, "generation")?, profiles })
+            }
+            "nodes" => {
+                let arr = doc
+                    .get("nodes")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing nodes array")?;
+                let nodes = arr
+                    .iter()
+                    .map(|n| n.as_str().map(str::to_string).ok_or("non-string node name"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Nodes { nodes, rows: get_u64(doc, "rows")? as usize })
+            }
+            "stats" => {
+                let arr = doc
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing rows array")?;
+                let rows = arr
+                    .iter()
+                    .map(|r| {
+                        Ok(NodeStat {
+                            node: get_str(r, "node")?,
+                            count: get_u64(r, "count")?,
+                            mean: get_f64(r, "mean")?,
+                            min: get_f64(r, "min")?,
+                            max: get_f64(r, "max")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Stats { metric: get_str(doc, "metric")?, rows })
+            }
+            "status" => Ok(Response::Status(StatusInfo {
+                generation: get_u64(doc, "generation")?,
+                profiles: get_u64(doc, "profiles")? as usize,
+                served: get_u64(doc, "served")?,
+                shed: get_u64(doc, "shed")?,
+                uptime_ms: get_u64(doc, "uptime_ms")?,
+            })),
+            "done" => Ok(Response::Done),
+            other => Err(format!("unknown ok kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        let text = req.to_json().to_string_compact();
+        let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(req, back, "request round trip through {text}");
+    }
+
+    fn round_trip_resp(resp: Response) {
+        let text = resp.to_json().to_string_compact();
+        let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(resp.to_json(), back.to_json(), "response round trip through {text}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::LoadMatching { pred: None });
+        round_trip_req(Request::LoadMatching {
+            pred: Some("cluster == \"quartz\" and problem_size >= 30".into()),
+        });
+        round_trip_req(Request::Query {
+            query: "(\".\", name == \"Stream\") -> (\"*\")".into(),
+            pred: Some("tuning == \"block_128\"".into()),
+        });
+        round_trip_req(Request::NodeStats { metric: "time (exc)".into(), pred: None });
+        round_trip_req(Request::Status);
+        round_trip_req(Request::DebugSleep { ms: 250 });
+        round_trip_req(Request::DebugPanic);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::Nodes {
+            nodes: vec!["Stream".into(), "Stream_MUL".into()],
+            rows: 12,
+        });
+        round_trip_resp(Response::Stats {
+            metric: "time (exc)".into(),
+            rows: vec![NodeStat {
+                node: "Stream_MUL".into(),
+                count: 4,
+                mean: 0.5,
+                min: 0.25,
+                max: 1.0,
+            }],
+        });
+        round_trip_resp(Response::Status(StatusInfo {
+            generation: 3,
+            profiles: 2000,
+            served: 17,
+            shed: 2,
+            uptime_ms: 1234,
+        }));
+        round_trip_resp(Response::Done);
+        for e in [
+            ServeError::Overloaded { retry_after_ms: 50 },
+            ServeError::Busy { waited_ms: 120 },
+            ServeError::DeadlineExceeded,
+            ServeError::ShuttingDown,
+            ServeError::BadRequest("no such op".into()),
+            ServeError::Internal("worker panicked".into()),
+        ] {
+            round_trip_resp(Response::Error(e));
+        }
+    }
+
+    #[test]
+    fn unknown_ops_are_typed_errors() {
+        let doc = Json::parse("{\"op\": \"drop_tables\"}").unwrap();
+        assert!(Request::from_json(&doc).unwrap_err().contains("unknown op"));
+        let doc = Json::parse("{\"neither\": true}").unwrap();
+        assert!(Request::from_json(&doc).is_err());
+    }
+}

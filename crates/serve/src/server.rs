@@ -1,0 +1,493 @@
+//! The `thicketd` server: accept loop, bounded work queue, worker
+//! pool, and the per-request pin lifecycle.
+//!
+//! Robustness invariants, in the order the request path enforces them:
+//!
+//! * **Bounded queueing.** Accepted connections enter a
+//!   `sync_channel` of fixed depth. A full queue sheds the connection
+//!   with a typed [`ServeError::Overloaded`] frame (carrying a retry
+//!   hint) instead of queueing unboundedly — the client backs off, the
+//!   server never falls behind silently.
+//! * **One pin per request.** Every data-touching request opens a
+//!   generation-pinned snapshot ([`Store::open_pinned_opts`]) *inside*
+//!   the request scope and releases it on every exit path: success,
+//!   typed error, deadline, client disconnect, and worker panic (the
+//!   snapshot lives inside the `catch_unwind` closure, so an unwind
+//!   drops it before the panic is even caught).
+//! * **Per-request deadlines.** The clock starts when the request
+//!   frame completes; stages check it between pin, select, and load.
+//!   A blown deadline is a typed [`ServeError::DeadlineExceeded`], and
+//!   the connection stays usable.
+//! * **Panic isolation.** Request execution runs under
+//!   `catch_unwind`, the same discipline as
+//!   [`thicket_perfsim::parallel_map_catch`]: one poisoned request
+//!   answers [`ServeError::Internal`]; the worker, the connection, and
+//!   every other request keep going.
+//! * **Graceful drain.** [`Server::shutdown`] stops the accept loop,
+//!   lets workers finish (and answer) everything already queued or
+//!   in flight, then joins them. In-flight pins are released by the
+//!   normal request epilogue; nothing is abandoned.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use thicket_core::Thicket;
+use thicket_perfsim::{default_threads, Json, Profile, Store, StoreError, StoreOptions};
+use thicket_query::parse_pred;
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::proto::{NodeStat, Request, Response, ServeError, StatusInfo};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Depth of the bounded accept→worker queue; a full queue sheds.
+    pub queue_depth: usize,
+    /// Cap on a declared frame length (bytes), checked pre-allocation.
+    pub max_frame: usize,
+    /// Per-request deadline, measured from the completed request frame.
+    pub request_deadline: Duration,
+    /// Retry hint attached to `Overloaded` responses.
+    pub retry_after: Duration,
+    /// Socket read timeout: the tick at which idle workers poll the
+    /// shutdown flag.
+    pub idle_timeout: Duration,
+    /// Wall-time budget for one frame, first byte to last (the
+    /// slow-loris cut).
+    pub frame_deadline: Duration,
+    /// Enable `debug_sleep` / `debug_panic` (tests only; off by
+    /// default so production servers reject them as bad requests).
+    pub enable_debug_ops: bool,
+    /// Store knobs the per-request pins use (lease ttl, lock timeout).
+    pub store: StoreOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_depth: 32,
+            max_frame: DEFAULT_MAX_FRAME,
+            request_deadline: Duration::from_secs(10),
+            retry_after: Duration::from_millis(50),
+            idle_timeout: Duration::from_millis(200),
+            frame_deadline: Duration::from_secs(2),
+            enable_debug_ops: false,
+            store: StoreOptions::default(),
+        }
+    }
+}
+
+/// Counters shared by the accept loop, the workers, and `status`.
+struct ServerStats {
+    served: AtomicU64,
+    shed: AtomicU64,
+    started: Instant,
+}
+
+/// A running `thicketd` instance; dropping it without
+/// [`Server::shutdown`] aborts the threads non-gracefully at process
+/// exit (tests should always shut down).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+}
+
+/// Everything a worker needs to execute requests.
+struct Engine {
+    store_dir: PathBuf,
+    opts: ServeOptions,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// serving the store at `store_dir`.
+    pub fn bind(
+        store_dir: impl Into<PathBuf>,
+        addr: &str,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats {
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(opts.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let engine = Arc::new(Engine {
+            store_dir: store_dir.into(),
+            opts: opts.clone(),
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
+        });
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let retry_after = opts.retry_after;
+            std::thread::spawn(move || accept_loop(listener, tx, shutdown, stats, retry_after))
+        };
+
+        let workers = (0..opts.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || worker_loop(rx, engine))
+            })
+            .collect();
+
+        Ok(Server { addr: local, shutdown, accept: Some(accept), workers, stats })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.stats.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with `Overloaded` so far.
+    pub fn shed(&self) -> u64 {
+        self.stats.shed.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join every thread. Returns once the last worker has
+    /// exited — at which point every per-request pin is released.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    retry_after: Duration,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                    // Shed: answer with a typed Overloaded frame on the
+                    // accept thread (tiny write) and hang up.
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    shed_connection(stream, retry_after);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Dropping tx closes the queue: workers drain what is already
+    // inside and then exit.
+}
+
+fn shed_connection(mut stream: TcpStream, retry_after: Duration) {
+    let resp = Response::Error(ServeError::Overloaded {
+        retry_after_ms: retry_after.as_millis() as u64,
+    });
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    if write_frame(&mut stream, resp.to_json().to_string_compact().as_bytes()).is_err() {
+        return;
+    }
+    // The client's request bytes are still unread in our receive buffer
+    // (shedding never reads them); closing a socket with unread data
+    // sends RST, which can destroy the Overloaded frame before the
+    // client reads it. Signal end-of-responses, then drain the request
+    // until the client's EOF so the eventual close is graceful.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, engine: Arc<Engine>) {
+    loop {
+        // Hold the lock only for the recv itself.
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => engine.handle_connection(stream),
+            // Channel closed and drained: the accept loop is gone and
+            // nothing is queued — the drain is complete.
+            Err(_) => return,
+        }
+    }
+}
+
+impl Engine {
+    /// Serve one (possibly persistent) connection: frames in, frames
+    /// out, until the peer hangs up, violates the protocol, or the
+    /// server drains.
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.opts.idle_timeout));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_nodelay(true);
+        loop {
+            let payload =
+                match read_frame(&mut stream, self.opts.max_frame, self.opts.frame_deadline) {
+                    Ok(Some(p)) => p,
+                    // Clean disconnect at a frame boundary.
+                    Ok(None) => return,
+                    Err(FrameError::IdleTimeout) => {
+                        // No request in progress: close if draining,
+                        // otherwise keep waiting.
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(e @ FrameError::Oversized { .. }) => {
+                        // Typed refusal, then hang up: the stream
+                        // position is unrecoverable past a bad length.
+                        self.respond(
+                            &mut stream,
+                            Response::Error(ServeError::BadRequest(e.to_string())),
+                        );
+                        return;
+                    }
+                    // Torn frame, slow-loris, hard I/O error: nothing
+                    // sane can be written back.
+                    Err(_) => return,
+                };
+
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.respond(&mut stream, Response::Error(ServeError::ShuttingDown));
+                return;
+            }
+
+            let response = match parse_request(&payload) {
+                Err(detail) => Response::Error(ServeError::BadRequest(detail)),
+                Ok(request) => {
+                    let deadline = Instant::now() + self.opts.request_deadline;
+                    // The snapshot (pin) is created inside this
+                    // closure, so a panicking request drops it during
+                    // unwind — before catch_unwind even reports.
+                    match catch_unwind(AssertUnwindSafe(|| self.execute(request, deadline))) {
+                        Ok(resp) => {
+                            self.stats.served.fetch_add(1, Ordering::Relaxed);
+                            resp
+                        }
+                        Err(_) => Response::Error(ServeError::Internal(
+                            "request worker panicked; request isolated, pin released".into(),
+                        )),
+                    }
+                }
+            };
+            if !self.respond(&mut stream, response) {
+                return;
+            }
+        }
+    }
+
+    /// Write one response frame; false means the connection is dead.
+    fn respond(&self, stream: &mut TcpStream, response: Response) -> bool {
+        write_frame(stream, response.to_json().to_string_compact().as_bytes()).is_ok()
+    }
+
+    fn execute(&self, request: Request, deadline: Instant) -> Response {
+        match self.execute_inner(request, deadline) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn execute_inner(&self, request: Request, deadline: Instant) -> Result<Response, ServeError> {
+        match request {
+            Request::Status => {
+                let snap = self.pin()?;
+                check_deadline(deadline)?;
+                Ok(Response::Status(StatusInfo {
+                    generation: snap.generation(),
+                    profiles: snap.manifest().profiles.len(),
+                    served: self.stats.served.load(Ordering::Relaxed),
+                    shed: self.stats.shed.load(Ordering::Relaxed),
+                    uptime_ms: self.stats.started.elapsed().as_millis() as u64,
+                }))
+            }
+            Request::LoadMatching { pred } => {
+                let snap = self.pin()?;
+                check_deadline(deadline)?;
+                let profiles = load_matching(&snap, pred.as_deref(), deadline)?;
+                Ok(Response::Profiles { generation: snap.generation(), profiles })
+            }
+            Request::Query { query, pred } => {
+                let snap = self.pin()?;
+                check_deadline(deadline)?;
+                let profiles = load_matching(&snap, pred.as_deref(), deadline)?;
+                drop(snap); // pin released before the CPU-bound compose
+                check_deadline(deadline)?;
+                let (tk, _) = Thicket::loader(profiles)
+                    .load()
+                    .map_err(|e| ServeError::Internal(format!("compose: {e}")))?;
+                check_deadline(deadline)?;
+                let queried = tk
+                    .query_str(&query)
+                    .map_err(|e| ServeError::BadRequest(format!("query: {e}")))?;
+                let graph = queried.graph();
+                let nodes = graph.ids().map(|id| graph.node(id).name().to_string()).collect();
+                Ok(Response::Nodes { nodes, rows: queried.perf_data().len() })
+            }
+            Request::NodeStats { metric, pred } => {
+                let snap = self.pin()?;
+                check_deadline(deadline)?;
+                let profiles = load_matching(&snap, pred.as_deref(), deadline)?;
+                drop(snap);
+                check_deadline(deadline)?;
+                Ok(Response::Stats { rows: node_stats(&profiles, &metric), metric })
+            }
+            Request::DebugSleep { ms } => {
+                self.debug_op("debug_sleep")?;
+                // Pin while sleeping: the op models a long-running
+                // query holding its snapshot, which is exactly what
+                // drain and daemon-kill tests need to observe.
+                let _snap = self.pin()?;
+                // Sleep in slices so the deadline stays honest even
+                // mid-sleep; keep going through a drain (in-flight
+                // work finishes during shutdown by design).
+                let until = Instant::now() + Duration::from_millis(ms);
+                while Instant::now() < until {
+                    check_deadline(deadline)?;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Ok(Response::Done)
+            }
+            Request::DebugPanic => {
+                self.debug_op("debug_panic")?;
+                panic!("injected debug panic (worker isolation test)");
+            }
+        }
+    }
+
+    fn debug_op(&self, name: &str) -> Result<(), ServeError> {
+        if self.opts.enable_debug_ops {
+            Ok(())
+        } else {
+            Err(ServeError::BadRequest(format!("{name} requires enable_debug_ops")))
+        }
+    }
+
+    /// Pin a snapshot for the current request, mapping store
+    /// contention to the typed `Busy` response.
+    fn pin(&self) -> Result<thicket_perfsim::Snapshot, ServeError> {
+        Store::open_pinned_opts(&self.store_dir, &self.opts.store).map_err(store_error)
+    }
+}
+
+fn parse_request(payload: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    let doc = Json::parse(text).map_err(|e| format!("frame is not JSON: {e}"))?;
+    Request::from_json(&doc)
+}
+
+fn check_deadline(deadline: Instant) -> Result<(), ServeError> {
+    if Instant::now() >= deadline {
+        Err(ServeError::DeadlineExceeded)
+    } else {
+        Ok(())
+    }
+}
+
+fn store_error(e: StoreError) -> ServeError {
+    match e {
+        StoreError::Busy { waited } => {
+            ServeError::Busy { waited_ms: waited.as_millis() as u64 }
+        }
+        other => ServeError::Internal(format!("store: {other}")),
+    }
+}
+
+/// Load the profiles matching an optional dialect predicate off a
+/// pinned snapshot, with a deadline check between selection and the
+/// payload reads.
+fn load_matching(
+    snap: &thicket_perfsim::Snapshot,
+    pred: Option<&str>,
+    deadline: Instant,
+) -> Result<Vec<Profile>, ServeError> {
+    let expr = match pred {
+        None => None,
+        Some(text) => Some(
+            parse_pred(text).map_err(|e| ServeError::BadRequest(format!("predicate: {e}")))?,
+        ),
+    };
+    check_deadline(deadline)?;
+    let n = snap.manifest().profiles.len();
+    let threads = default_threads(n);
+    let (profiles, report) = match expr {
+        Some(expr) => snap.load_matching_expr(&expr, threads).map_err(store_error)?,
+        None => snap.load_all().map_err(store_error)?,
+    };
+    if !report.is_clean() {
+        return Err(ServeError::Internal(format!("store load: {}", report.summary())));
+    }
+    check_deadline(deadline)?;
+    Ok(profiles)
+}
+
+/// Per-node aggregate stats of `metric` across `profiles`: count,
+/// mean, min, max keyed by node name, first-seen order.
+fn node_stats(profiles: &[Profile], metric: &str) -> Vec<NodeStat> {
+    let mut order: Vec<String> = Vec::new();
+    let mut agg: std::collections::HashMap<String, (u64, f64, f64, f64)> =
+        std::collections::HashMap::new();
+    for p in profiles {
+        let graph = p.graph();
+        for id in graph.ids() {
+            let Some(v) = p.metric(id, metric) else { continue };
+            let name = graph.node(id).name();
+            let entry = agg.entry(name.to_string()).or_insert_with(|| {
+                order.push(name.to_string());
+                (0, 0.0, f64::INFINITY, f64::NEG_INFINITY)
+            });
+            entry.0 += 1;
+            entry.1 += v;
+            entry.2 = entry.2.min(v);
+            entry.3 = entry.3.max(v);
+        }
+    }
+    order
+        .into_iter()
+        .map(|node| {
+            let (count, sum, min, max) = agg[&node];
+            NodeStat { node, count, mean: sum / count as f64, min, max }
+        })
+        .collect()
+}

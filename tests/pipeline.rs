@@ -109,7 +109,7 @@ fn query_preserves_metric_values() {
 fn compose_and_derive_speedup() {
     let sizes = [1_048_576u64, 4_194_304];
     let cpu = Thicket::loader(
-        &sizes
+        sizes
             .iter()
             .map(|&s| {
                 let mut cfg = CpuRunConfig::quartz_default();
@@ -124,7 +124,7 @@ fn compose_and_derive_speedup() {
     .reindex_profiles_by(&ColKey::new("problem size"))
     .unwrap();
     let gpu = Thicket::loader(
-        &sizes
+        sizes
             .iter()
             .map(|&s| {
                 let mut cfg = GpuRunConfig::lassen_default();

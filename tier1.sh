@@ -39,6 +39,34 @@ cargo test -q --release -p thicket-perfsim --test concurrency
 # exercises select_expr, load_matching_expr, and the residual path on
 # optimized builds, not the recorded PERF.md numbers.
 cargo run -q -p thicket-bench --release --example payload_bench -- 60 w4
+# Service layer: protocol/service suites, then the wire chaos schedule
+# (torn frames, oversized lengths, slow-loris, connection kills, one
+# kill-9 of the daemon) under --release — recovery timing only means
+# something on optimized builds.
+cargo test -q -p thicket-serve
+cargo test -q --release -p thicket-serve --test chaos
+# Live daemon smoke under --release: seed a store, start thicketd on an
+# ephemeral port, one filtered query + one call-path query through the
+# client verbs, SIGTERM, assert a clean drain and zero leftover leases.
+SMOKE_DIR=$(mktemp -d)
+./target/release/thicketd seed "$SMOKE_DIR/store" --profiles 12 > /dev/null
+./target/release/thicketd serve "$SMOKE_DIR/store" > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "tier1: thicketd never published an address"; exit 1; }
+./target/release/thicketd query "$ADDR" 'seed >= 6' | grep -q '6 matching profiles'
+./target/release/thicketd callpath "$ADDR" '("*", name contains "Stream")' | grep -q 'Stream_MUL'
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" # non-zero exit here = the drain was not clean
+grep -q 'drained after' "$SMOKE_DIR/serve.log"
+LEFTOVER=$(find "$SMOKE_DIR/store" -name 'pin-*' | wc -l)
+[ "$LEFTOVER" -eq 0 ] || { echo "tier1: thicketd left $LEFTOVER lease files"; exit 1; }
+rm -rf "$SMOKE_DIR"
 # Benches must at least compile (they are not run here: tier-1 stays fast).
 cargo bench -p thicket-bench --no-run
 # All targets: library code AND tests/benches/bins lint-clean.
