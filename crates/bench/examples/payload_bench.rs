@@ -262,24 +262,24 @@ fn predicate_engine_workload(profiles: &[thicket_perfsim::Profile], n: u64) {
         rw_frame / vec_frame
     );
 
-    // --- end-to-end planner split: full load + post-filter vs
-    // `filter_expr` pushing the metadata conjunct below the shard read.
+    // --- end-to-end planner split: full load + post-filter vs a
+    // planned filter pushing the metadata conjunct below the shard read.
     let mixed = PredExpr::and([
         PredExpr::lt("seed", meta_cut),
         PredExpr::gt("time (exc)", threshold),
     ]);
     let (planned, report) = Thicket::loader(LoadSource::store(&dir))
-        .filter_expr(mixed.clone())
+        .filter(mixed.clone())
         .load()
         .unwrap();
-    let plan = report.pushdown.expect("filter_expr records a plan");
+    let plan = report.pushdown.expect("planned filters record a plan");
     let full_ms = median_ms(|| {
         let (tk, _) = Thicket::loader(LoadSource::store(&dir)).load().unwrap();
         assert_eq!(tk.profiles().len() as u64, n);
     });
     let planned_ms = median_ms(|| {
         let (tk, _) = Thicket::loader(LoadSource::store(&dir))
-            .filter_expr(mixed.clone())
+            .filter(mixed.clone())
             .load()
             .unwrap();
         assert_eq!(tk.profiles().len(), planned.profiles().len());

@@ -89,35 +89,11 @@ impl Thicket {
                 ])
             })
             .collect::<Result<_, ThicketError>>()?;
-        let mut frags = Vec::with_capacity(profiles.len() + 1);
-        let mut base = ColumnFragments::with_keys([NODE_LEVEL, PROFILE_LEVEL], keys)?;
-        for (k, c) in self.perf_data.columns() {
-            base.push_column(k.clone(), c.clone())?;
-        }
-        frags.push(base);
-
-        // One typed batch per new profile, assembled on the workers.
-        frags.extend(profile_fragments(
-            profiles,
-            &union.mappings[1..],
-            profile_ids,
-            threads,
-        )?);
-        let perf_data =
-            crate::order::sort_frame_by_index_threads(&merge_fragments(&frags)?, threads);
-
-        // Metadata: existing rows as a fragment, new rows per profile.
-        let meta_keys: Vec<Key> = self
-            .metadata
-            .index()
-            .keys()
-            .iter()
-            .map(|key| vec![key[0].clone()])
-            .collect();
-        let mut meta_base = ColumnFragments::with_keys([PROFILE_LEVEL], meta_keys)?;
-        for (k, c) in self.metadata.columns() {
-            meta_base.push_column(k.clone(), c.clone())?;
-        }
+        // One typed batch per new profile, assembled on the workers,
+        // and the new metadata rows — everything fallible that doesn't
+        // need to consume the existing frames happens first, so an
+        // error here leaves the thicket untouched.
+        let new_frags = profile_fragments(profiles, &union.mappings[1..], profile_ids, threads)?;
         let mut mb = FrameBuilder::new([PROFILE_LEVEL]);
         for (profile, pid) in profiles.iter().zip(profile_ids.iter()) {
             mb.push_row(
@@ -127,6 +103,39 @@ impl Thicket {
                     .map(|(k, v)| (ColKey::new(k), v.clone())),
             )?;
         }
+        let meta_keys: Vec<Key> = self
+            .metadata
+            .index()
+            .keys()
+            .iter()
+            .map(|key| vec![key[0].clone()])
+            .collect();
+
+        // Existing perf rows as one pre-typed fragment batch. The
+        // columns are *moved* in ([`ColumnFragments::absorb`]), not
+        // cloned: a streaming load extends once per chunk, and cloning
+        // the whole accumulated table each time would turn a linear
+        // ingest quadratic.
+        let mut frags = Vec::with_capacity(profiles.len() + 1);
+        let mut base = ColumnFragments::with_keys([NODE_LEVEL, PROFILE_LEVEL], keys)?;
+        let old_perf = std::mem::replace(
+            &mut self.perf_data,
+            DataFrame::new(Index::empty([NODE_LEVEL, PROFILE_LEVEL])),
+        );
+        base.absorb(old_perf)?;
+        frags.push(base);
+        frags.extend(new_frags);
+        let perf_data =
+            crate::order::sort_frame_by_index_threads(&merge_fragments(&frags)?, threads);
+
+        // Metadata: existing rows as a fragment (moved the same way),
+        // new rows per profile.
+        let mut meta_base = ColumnFragments::with_keys([PROFILE_LEVEL], meta_keys)?;
+        let old_meta = std::mem::replace(
+            &mut self.metadata,
+            DataFrame::new(Index::empty([PROFILE_LEVEL])),
+        );
+        meta_base.absorb(old_meta)?;
         let metadata = merge_fragments(&[meta_base, mb.finish_fragments()])?;
 
         self.graph = union.graph;

@@ -42,11 +42,18 @@ mod ops;
 mod order;
 mod pivot;
 mod rowconcat;
+mod source;
 mod stats;
 mod thicket;
+mod trace_agg;
 mod treetable;
 
 pub use loader::{LoadSource, Loader};
+pub use source::{
+    trace_to_store, EnsembleSource, OwnedSource, ProfileSource, SliceSource, StoreSource,
+    TraceSource,
+};
+pub use trace_agg::TraceAggregator;
 pub use thicket_perfsim::{FilterPlan, IngestReport, MetaPred, Strictness};
 pub use thicket_dataframe::{Bitmap, PredExpr, PredOp, StrMatch};
 

@@ -24,13 +24,21 @@
 //! ```
 //!
 //! Sources are in-memory profile slices, loose-JSON ensemble
-//! directories, or sharded store directories ([`LoadSource`]). The same
-//! knobs apply to each: [`Loader::threads`] pins the worker count
-//! (default: auto), [`Loader::strictness`] picks fail-fast vs lenient
-//! ingest, and [`Loader::filter`] pushes a typed
-//! [`MetaPred`](thicket_perfsim::MetaPred) down to the source — for
-//! store sources that means columnar manifest selection *before* any
-//! shard I/O:
+//! directories, sharded store directories, raw event traces, or any
+//! custom [`ProfileSource`] ([`LoadSource`]). Internally the loader
+//! consumes every source through the same pull-based chunk protocol
+//! ([`ProfileSource`]): the first chunk composes the thicket, every
+//! later chunk extends it, so a source larger than memory (a trace)
+//! streams through without ever materializing.
+//!
+//! The same knobs apply to each source: [`Loader::threads`] pins the
+//! worker count (default: auto), [`Loader::strictness`] picks fail-fast
+//! vs lenient ingest, and [`Loader::filter`] accepts **either** a typed
+//! [`MetaPred`](thicket_perfsim::MetaPred) or a compiled predicate-engine
+//! [`PredExpr`] — both flow through the same planner, which pushes
+//! metadata conjuncts below the source read (columnar manifest
+//! selection on store sources — non-matching shards are never opened)
+//! and applies the residual after composition:
 //!
 //! ```no_run
 //! use thicket_core::{LoadSource, Thicket};
@@ -44,24 +52,43 @@
 //! # let _ = (tk, report);
 //! ```
 //!
+//! Streaming a trace with time windows:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use thicket_core::{LoadSource, Thicket};
+//!
+//! let (tk, report) = Thicket::loader(
+//!     LoadSource::trace("run.trace").windows(Duration::from_millis(100)),
+//! )
+//! .load()
+//! .unwrap();
+//! # let _ = (tk, report);
+//! ```
+//!
 //! Every deprecated entry point is now a thin wrapper over this
 //! builder; the `builder_equiv` integration suite proves each wrapper
 //! bit-identical to its builder spelling.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use thicket_dataframe::{PredExpr, Value};
 use thicket_perfsim::{
-    default_threads, load_dir, FilterPlan, IngestReport, MetaPred, Profile, Strictness, StoreEntry,
+    default_threads, Diagnostic, FilterPlan, IngestReport, Profile, Strictness, StoreEntry,
 };
 
+use crate::source::{
+    profile_meta_keys, EnsembleSource, ProfileSource, StoreSource, TraceSource,
+};
 use crate::thicket::{Thicket, ThicketError, PROFILE_LEVEL};
 
 /// Where a [`Loader`] reads its profiles from.
 ///
 /// Constructed via `From` for in-memory slices (so
 /// `Thicket::loader(&profiles)` just works) or the
-/// [`LoadSource::ensemble`] / [`LoadSource::store`] path constructors.
+/// [`LoadSource::ensemble`] / [`LoadSource::store`] /
+/// [`LoadSource::trace`] / [`LoadSource::custom`] constructors.
 pub enum LoadSource<'a> {
     /// Profiles already in memory.
     Profiles(&'a [Profile]),
@@ -78,6 +105,20 @@ pub enum LoadSource<'a> {
     /// A sharded, checksummed store directory
     /// ([`thicket_perfsim::store`]).
     Store(PathBuf),
+    /// A raw event trace, streamed through a bounded-memory aggregator
+    /// ([`crate::TraceAggregator`]) into per-rank (and per-window)
+    /// profiles.
+    Trace {
+        /// The trace file path.
+        path: PathBuf,
+        /// Aggregation window; `None` folds the whole trace into one
+        /// profile per rank.
+        window: Option<Duration>,
+        /// Events read per pull (`None`: the [`TraceSource`] default).
+        chunk_events: Option<usize>,
+    },
+    /// Any custom [`ProfileSource`] implementation.
+    Custom(Box<dyn ProfileSource + 'a>),
 }
 
 impl LoadSource<'_> {
@@ -89,6 +130,65 @@ impl LoadSource<'_> {
     /// A sharded store directory source.
     pub fn store(dir: impl AsRef<Path>) -> LoadSource<'static> {
         LoadSource::Store(dir.as_ref().to_path_buf())
+    }
+
+    /// A raw event trace source: the trace streams through a
+    /// bounded-memory aggregator into one profile per rank (add
+    /// [`LoadSource::windows`] for one per rank per time window).
+    pub fn trace(path: impl AsRef<Path>) -> LoadSource<'static> {
+        LoadSource::Trace {
+            path: path.as_ref().to_path_buf(),
+            window: None,
+            chunk_events: None,
+        }
+    }
+
+    /// Cut the trace's time axis into windows of `window` length: each
+    /// rank emits one profile per window that saw activity, with
+    /// `window` / `window start (ns)` metadata for filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-trace source — windows are a
+    /// property of trace aggregation only.
+    pub fn windows(self, window: Duration) -> Self {
+        match self {
+            LoadSource::Trace {
+                path, chunk_events, ..
+            } => LoadSource::Trace {
+                path,
+                window: Some(window),
+                chunk_events,
+            },
+            _ => panic!("LoadSource::windows applies only to trace sources"),
+        }
+    }
+
+    /// Events read per pull for a trace source (smaller: lower peak
+    /// memory; larger: less parse overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-trace source.
+    pub fn chunk_events(self, n: usize) -> Self {
+        match self {
+            LoadSource::Trace { path, window, .. } => LoadSource::Trace {
+                path,
+                window,
+                chunk_events: Some(n),
+            },
+            _ => panic!("LoadSource::chunk_events applies only to trace sources"),
+        }
+    }
+}
+
+impl<'a> LoadSource<'a> {
+    /// Wrap a custom [`ProfileSource`] implementation (a socket, a
+    /// generator, a foreign format…). The loader drives it through the
+    /// same chunked build-then-extend protocol as every built-in
+    /// source.
+    pub fn custom(src: impl ProfileSource + 'a) -> LoadSource<'a> {
+        LoadSource::Custom(Box::new(src))
     }
 }
 
@@ -116,14 +216,12 @@ impl From<Vec<Profile>> for LoadSource<'static> {
     }
 }
 
-/// The predicate shapes a loader can carry: a typed [`MetaPred`]
-/// (pushed down to columnar selection on store sources), a compiled
-/// predicate-engine [`PredExpr`] (planned: metadata conjuncts push
-/// below the read, performance-frame conjuncts run after composition),
-/// or a legacy entry closure (store sources only; forces full metadata
-/// materialization).
+/// The predicate shapes a loader can carry: a compiled predicate-engine
+/// [`PredExpr`] (which a typed `MetaPred` converts into — metadata
+/// conjuncts push below the read, performance-frame conjuncts run after
+/// composition), or a legacy entry closure (store sources only; forces
+/// full metadata materialization).
 enum Filter<'a> {
-    Pred(MetaPred),
     Expr(PredExpr),
     Entries(Box<dyn FnMut(&StoreEntry) -> bool + 'a>),
 }
@@ -141,7 +239,8 @@ pub struct Loader<'a> {
 
 impl Thicket {
     /// Start building a thicket from `source` (an in-memory profile
-    /// slice, [`LoadSource::ensemble`], or [`LoadSource::store`]).
+    /// slice, [`LoadSource::ensemble`], [`LoadSource::store`],
+    /// [`LoadSource::trace`], or [`LoadSource::custom`]).
     ///
     /// Defaults: auto worker count, [`Strictness::FailFast`], no
     /// filter, profile ids from [`Profile::profile_hash`].
@@ -175,22 +274,13 @@ impl<'a> Loader<'a> {
         self
     }
 
-    /// Keep only profiles matching a typed [`MetaPred`]. On store
-    /// sources the predicate is pushed down to the columnar manifest
-    /// index, so non-matching shards are never opened and metadata
-    /// keys the predicate doesn't name are never parsed; on profile
-    /// and ensemble sources it is evaluated against each profile's
-    /// metadata after load.
-    pub fn filter(mut self, pred: MetaPred) -> Self {
-        self.filter = Some(Filter::Pred(pred));
-        self
-    }
-
-    /// Keep only profiles matching a compiled predicate-engine
-    /// [`PredExpr`] — the same AST that [`MetaPred::to_expr`],
-    /// the query dialect's `parse_pred`, and the frame filters
-    /// compile into. Unlike [`Loader::filter`] the expression may also
-    /// reference performance-frame fields: a planner splits the
+    /// Keep only profiles matching a predicate — a typed
+    /// [`MetaPred`](thicket_perfsim::MetaPred) or a compiled
+    /// predicate-engine [`PredExpr`]; both convert into the same AST
+    /// (the one [`MetaPred::to_expr`](thicket_perfsim::MetaPred::to_expr),
+    /// the query dialect's `parse_pred`, and the frame filters compile
+    /// into) and flow through one planner. The expression may also
+    /// reference performance-frame fields: the planner splits the
     /// top-level conjunction, pushes every conjunct whose fields the
     /// source's metadata can answer *below* the read (columnar
     /// manifest selection on store sources — non-matching shards are
@@ -199,16 +289,25 @@ impl<'a> Loader<'a> {
     /// survives if at least one of its rows satisfies the conjunct;
     /// fields resolve to perf columns, then index levels, then profile
     /// metadata). The split is recorded in [`IngestReport::pushdown`].
-    pub fn filter_expr(mut self, expr: PredExpr) -> Self {
-        self.filter = Some(Filter::Expr(expr));
+    pub fn filter(mut self, pred: impl Into<PredExpr>) -> Self {
+        self.filter = Some(Filter::Expr(pred.into()));
         self
+    }
+
+    /// Deprecated spelling of [`Loader::filter`], kept for one release
+    /// so existing callers migrate at leisure — `filter` now accepts
+    /// both predicate shapes directly.
+    #[deprecated(note = "use `filter` — it accepts both `MetaPred` and `PredExpr`")]
+    pub fn filter_expr(self, expr: PredExpr) -> Self {
+        self.filter(expr)
     }
 
     /// Keep only store entries matching a closure (store sources
     /// only). This is the escape hatch behind the deprecated
     /// `from_store_filtered*` shims: unlike [`Loader::filter`] it
     /// materializes every entry's metadata, so prefer a typed
-    /// [`MetaPred`] wherever one can express the selection.
+    /// [`MetaPred`](thicket_perfsim::MetaPred) wherever one can express
+    /// the selection.
     pub fn filter_entries(mut self, pred: impl FnMut(&StoreEntry) -> bool + 'a) -> Self {
         self.filter = Some(Filter::Entries(Box::new(pred)));
         self
@@ -237,6 +336,12 @@ impl<'a> Loader<'a> {
     /// thicket. Returns the thicket plus an [`IngestReport`] covering
     /// both the read and the composition; the report is clean for
     /// fail-fast loads that return `Ok`.
+    ///
+    /// Chunked sources (traces, [`StoreSource::chunk_size`], custom
+    /// sources) compose incrementally: the first chunk builds the
+    /// thicket, each later chunk is absorbed via `Thicket::extend` —
+    /// bit-identical to a whole-input build, but never holding more
+    /// than one chunk of source profiles.
     pub fn load(self) -> Result<(Thicket, IngestReport), ThicketError> {
         let Loader {
             source,
@@ -248,8 +353,8 @@ impl<'a> Loader<'a> {
         } = self;
 
         // An owned source is a borrowed source whose backing storage we
-        // carry ourselves: normalize it here so every downstream match
-        // arm sees exactly one in-memory shape.
+        // carry ourselves: normalize it here so the zero-clone in-memory
+        // fast path below serves both shapes.
         let owned_backing: Vec<Profile>;
         let source = match source {
             LoadSource::Owned(profiles) => {
@@ -262,185 +367,259 @@ impl<'a> Loader<'a> {
         if profile_ids.is_some() && !matches!(source, LoadSource::Profiles(_)) {
             return Err(ThicketError::Invalid(
                 "profile_ids applies only to in-memory profile sources; \
-                 ensemble and store loads index by profile hash"
+                 ensemble, store, and trace loads index by profile hash"
                     .into(),
             ));
         }
 
-        // Planner state: which conjuncts were pushed below the source
-        // read (recorded in the report) and which remain to run after
-        // composition with exists-row semantics.
-        let mut plan: Option<FilterPlan> = None;
-        let mut residual: Vec<PredExpr> = Vec::new();
+        // Split the filter into the shapes the paths below understand.
+        let (expr_filter, entries_filter) = match filter {
+            None => (None, None),
+            Some(Filter::Expr(expr)) => (Some(expr), None),
+            Some(Filter::Entries(pred)) => (None, Some(pred)),
+        };
+        if entries_filter.is_some() && !matches!(source, LoadSource::Store(_)) {
+            return Err(ThicketError::Invalid(
+                "entry closures apply only to store sources; \
+                 use `filter` with a `MetaPred`"
+                    .into(),
+            ));
+        }
 
-        let (tk, mut report) = match source {
+        match source {
             // Normalized away above; the compiler cannot see that.
             LoadSource::Owned(_) => unreachable!("Owned normalized to Profiles"),
+
+            // In-memory fast path: no adapter, no clone for unfiltered
+            // loads — the borrowed slice composes directly.
             LoadSource::Profiles(profiles) => {
-                use std::borrow::Cow;
-                let (kept, kept_ids): (Cow<'_, [Profile]>, Option<Cow<'_, [Value]>>) = match filter
-                {
-                    None => (Cow::Borrowed(profiles), profile_ids.map(Cow::Borrowed)),
-                    Some(Filter::Expr(expr)) => {
-                        let keys = profile_meta_keys(profiles.iter());
-                        let (pushed, res, p) = plan_conjuncts(&expr, &keys);
-                        plan = Some(p);
-                        residual = res;
-                        if let Some(ids) = profile_ids {
-                            if ids.len() != profiles.len() {
-                                return Err(ThicketError::Invalid(format!(
-                                    "{} profiles but {} profile ids",
-                                    profiles.len(),
-                                    ids.len()
-                                )));
-                            }
-                            let (kept, kept_ids): (Vec<_>, Vec<_>) = profiles
-                                .iter()
-                                .zip(ids.iter())
-                                .filter(|(p, _)| expr_matches_profile(&pushed, p))
-                                .map(|(p, id)| (p.clone(), id.clone()))
-                                .unzip();
-                            (Cow::Owned(kept), Some(Cow::Owned(kept_ids)))
-                        } else {
-                            (
-                                Cow::Owned(
-                                    profiles
-                                        .iter()
-                                        .filter(|p| expr_matches_profile(&pushed, p))
-                                        .cloned()
-                                        .collect(),
-                                ),
-                                None,
-                            )
-                        }
-                    }
-                    Some(Filter::Pred(pred)) => {
-                        if let Some(ids) = profile_ids {
-                            if ids.len() != profiles.len() {
-                                return Err(ThicketError::Invalid(format!(
-                                    "{} profiles but {} profile ids",
-                                    profiles.len(),
-                                    ids.len()
-                                )));
-                            }
-                            let (kept, kept_ids): (Vec<_>, Vec<_>) = profiles
-                                .iter()
-                                .zip(ids.iter())
-                                .filter(|(p, _)| pred.matches_profile(p))
-                                .map(|(p, id)| (p.clone(), id.clone()))
-                                .unzip();
-                            (Cow::Owned(kept), Some(Cow::Owned(kept_ids)))
-                        } else {
-                            (
-                                Cow::Owned(
-                                    profiles
-                                        .iter()
-                                        .filter(|p| pred.matches_profile(p))
-                                        .cloned()
-                                        .collect(),
-                                ),
-                                None,
-                            )
-                        }
-                    }
-                    Some(Filter::Entries(_)) => {
-                        return Err(ThicketError::Invalid(
-                            "entry closures apply only to store sources; \
-                             use `filter` with a `MetaPred`"
-                                .into(),
-                        ));
-                    }
-                };
-                let ids = match kept_ids {
-                    Some(ids) => ids,
-                    None => Cow::Owned(hash_ids(&kept)),
-                };
-                let threads = threads.unwrap_or_else(|| default_threads(kept.len()));
-                compose(&kept, &ids, threads, strictness, None)
+                load_in_memory(profiles, profile_ids, threads, strictness, expr_filter)
             }
 
-            LoadSource::Ensemble(dir) => {
-                let (loaded, read) = load_dir(&dir, threads, strictness)?;
-                let profiles = match filter {
-                    Some(Filter::Expr(expr)) => {
-                        let keys = profile_meta_keys(loaded.iter());
-                        let (pushed, res, p) = plan_conjuncts(&expr, &keys);
-                        plan = Some(p);
-                        residual = res;
-                        loaded
-                            .into_iter()
-                            .filter(|p| expr_matches_profile(&pushed, p))
-                            .collect()
-                    }
-                    mut other => apply_profile_filter(loaded, &mut other)?,
-                };
-                let ids = hash_ids(&profiles);
-                let threads = threads.unwrap_or_else(|| default_threads(profiles.len()));
-                compose(&profiles, &ids, threads, strictness, Some(read))
-            }
+            LoadSource::Ensemble(dir) => load_streaming(
+                Box::new(EnsembleSource::new(&dir, threads, strictness)),
+                threads,
+                strictness,
+                expr_filter,
+            ),
 
             LoadSource::Store(dir) => {
-                // Deferred-init bindings: both arms produce a
-                // `&StoreReader` (the snapshot derefs to one) without
-                // boxing; whichever binding is unused is never touched.
-                let pinned_snap;
-                let opened;
-                let reader: &thicket_perfsim::StoreReader = if pinned {
-                    pinned_snap = thicket_perfsim::Store::open_pinned(&dir)?;
-                    &pinned_snap
-                } else {
-                    opened = thicket_perfsim::Store::open(&dir)?;
-                    &opened
-                };
-                let threads =
-                    threads.unwrap_or_else(|| default_threads(reader.manifest().profiles.len()));
-                let (profiles, read) = match filter {
-                    None => reader.load_matching_threads(&MetaPred::True, threads)?,
-                    Some(Filter::Pred(pred)) => reader.load_matching_threads(&pred, threads)?,
-                    Some(Filter::Expr(expr)) => {
-                        let (pushed, res, p) = plan_conjuncts(&expr, &reader.meta_keys());
-                        plan = Some(p);
-                        residual = res;
-                        reader.load_matching_expr(&pushed, threads)?
-                    }
-                    Some(Filter::Entries(pred)) => reader.load_entries_where(pred, threads)?,
-                };
-                if matches!(strictness, Strictness::FailFast) && !read.is_clean() {
-                    return Err(ThicketError::Invalid(format!(
-                        "store load failed under fail-fast strictness ({})",
-                        read.summary()
-                    )));
+                let mut src = StoreSource::open(&dir, pinned, threads, strictness)?;
+                if let Some(pred) = entries_filter {
+                    src = src.entry_filter(pred);
                 }
-                if let Strictness::Lenient { max_errors } = strictness {
-                    if read.diagnostics.len() > max_errors {
-                        return Err(ThicketError::Invalid(format!(
-                            "store load exceeded the lenient error budget of {max_errors} ({})",
-                            read.summary()
-                        )));
-                    }
-                }
-                let ids = hash_ids(&profiles);
-                compose(&profiles, &ids, threads, strictness, Some(read))
+                load_streaming(Box::new(src), threads, strictness, expr_filter)
             }
-        }?;
 
-        if plan.is_some() {
-            report.pushdown = plan;
+            LoadSource::Trace {
+                path,
+                window,
+                chunk_events,
+            } => {
+                let mut src = TraceSource::open(&path, window, strictness)?;
+                if let Some(n) = chunk_events {
+                    src = src.chunk_events(n);
+                }
+                load_streaming(Box::new(src), threads, strictness, expr_filter)
+            }
+
+            LoadSource::Custom(src) => load_streaming(src, threads, strictness, expr_filter),
         }
-        let mut tk = tk;
-        for conjunct in &residual {
-            tk = residual_filter(&tk, conjunct)?;
-        }
-        Ok((tk, report))
     }
 }
 
-/// Union of metadata keys across profiles: what an in-memory or
-/// ensemble source can answer before composition.
-fn profile_meta_keys<'p>(profiles: impl Iterator<Item = &'p Profile>) -> BTreeSet<String> {
-    profiles
-        .flat_map(|p| p.metadata_iter().map(|(k, _)| k.to_string()))
-        .collect()
+/// The in-memory fast path: zero-clone composition of a borrowed slice
+/// when unfiltered, one filtered copy otherwise. Equivalent to driving
+/// a [`crate::SliceSource`] through [`load_streaming`], minus the
+/// defensive clone the trait's owned-chunk protocol requires.
+fn load_in_memory(
+    profiles: &[Profile],
+    profile_ids: Option<&[Value]>,
+    threads: Option<usize>,
+    strictness: Strictness,
+    filter: Option<PredExpr>,
+) -> Result<(Thicket, IngestReport), ThicketError> {
+    use std::borrow::Cow;
+
+    let mut plan: Option<FilterPlan> = None;
+    let mut residual: Vec<PredExpr> = Vec::new();
+    let (kept, kept_ids): (Cow<'_, [Profile]>, Option<Cow<'_, [Value]>>) = match filter {
+        None => (Cow::Borrowed(profiles), profile_ids.map(Cow::Borrowed)),
+        Some(expr) => {
+            let keys = profile_meta_keys(profiles.iter());
+            let (pushed, res, p) = plan_conjuncts(&expr, &keys);
+            plan = Some(p);
+            residual = res;
+            if let Some(ids) = profile_ids {
+                if ids.len() != profiles.len() {
+                    return Err(ThicketError::Invalid(format!(
+                        "{} profiles but {} profile ids",
+                        profiles.len(),
+                        ids.len()
+                    )));
+                }
+                let (kept, kept_ids): (Vec<_>, Vec<_>) = profiles
+                    .iter()
+                    .zip(ids.iter())
+                    .filter(|(p, _)| expr_matches_profile(&pushed, p))
+                    .map(|(p, id)| (p.clone(), id.clone()))
+                    .unzip();
+                (Cow::Owned(kept), Some(Cow::Owned(kept_ids)))
+            } else {
+                (
+                    Cow::Owned(
+                        profiles
+                            .iter()
+                            .filter(|p| expr_matches_profile(&pushed, p))
+                            .cloned()
+                            .collect(),
+                    ),
+                    None,
+                )
+            }
+        }
+    };
+    let ids = match kept_ids {
+        Some(ids) => ids,
+        None => Cow::Owned(hash_ids(&kept)),
+    };
+    let threads = threads.unwrap_or_else(|| default_threads(kept.len()));
+    let (tk, report) = compose(&kept, &ids, threads, strictness, None)?;
+    finalize(tk, report, plan, &residual)
+}
+
+/// Drive any [`ProfileSource`] through the chunked build-then-extend
+/// protocol: plan the filter against the source's metadata keys, pull
+/// chunks (applying the pushed predicate per chunk when the source
+/// declined it), compose the first chunk, extend with the rest, then
+/// merge read and composition accounting.
+fn load_streaming(
+    mut src: Box<dyn ProfileSource + '_>,
+    threads: Option<usize>,
+    strictness: Strictness,
+    filter: Option<PredExpr>,
+) -> Result<(Thicket, IngestReport), ThicketError> {
+    let mut plan: Option<FilterPlan> = None;
+    let mut residual: Vec<PredExpr> = Vec::new();
+    let mut chunk_pred: Option<PredExpr> = None;
+    let mut unplanned: Option<PredExpr> = None;
+
+    if let Some(expr) = filter {
+        match src.meta_keys() {
+            Some(keys) => {
+                let (pushed, res, p) = plan_conjuncts(&expr, &keys);
+                plan = Some(p);
+                residual = res;
+                if !src.push_filter(&pushed) {
+                    chunk_pred = Some(pushed);
+                }
+            }
+            // The source cannot enumerate its keys up front: buffer
+            // every chunk, then plan against the materialized profiles.
+            None => unplanned = Some(expr),
+        }
+    }
+
+    let mut tk: Option<Thicket> = None;
+    let mut attempted = 0usize;
+    let mut loaded = 0usize;
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut buffered: Vec<Profile> = Vec::new();
+
+    while let Some(mut chunk) = src.next_chunk()? {
+        if unplanned.is_some() {
+            buffered.append(&mut chunk);
+            continue;
+        }
+        if let Some(pred) = &chunk_pred {
+            chunk.retain(|p| expr_matches_profile(pred, p));
+        }
+        if chunk.is_empty() {
+            continue;
+        }
+        let ids = hash_ids(&chunk);
+        let threads_n = threads.unwrap_or_else(|| default_threads(chunk.len()));
+        match &mut tk {
+            None => {
+                let (built, r) = compose(&chunk, &ids, threads_n, strictness, None)?;
+                attempted += r.attempted;
+                loaded += r.loaded;
+                diagnostics.extend(r.diagnostics);
+                tk = Some(built);
+            }
+            Some(t) => {
+                // Extension chunks compose fail-fast: per-profile
+                // lenient isolation lives in the read phase (source
+                // diagnostics) and the first-chunk build.
+                t.extend_threads(&chunk, &ids, threads_n)?;
+                attempted += chunk.len();
+                loaded += chunk.len();
+            }
+        }
+    }
+
+    if let Some(expr) = unplanned {
+        let keys = profile_meta_keys(buffered.iter());
+        let (pushed, res, p) = plan_conjuncts(&expr, &keys);
+        plan = Some(p);
+        residual = res;
+        buffered.retain(|prof| expr_matches_profile(&pushed, prof));
+        let ids = hash_ids(&buffered);
+        let threads_n = threads.unwrap_or_else(|| default_threads(buffered.len()));
+        let (built, r) = compose(&buffered, &ids, threads_n, strictness, None)?;
+        attempted += r.attempted;
+        loaded += r.loaded;
+        diagnostics.extend(r.diagnostics);
+        tk = Some(built);
+    }
+
+    let read = src.take_report();
+    let build_report = IngestReport {
+        attempted,
+        loaded,
+        diagnostics,
+        pushdown: None,
+    };
+    match tk {
+        Some(tk) => {
+            // A trivial read report (no read phase of its own) means
+            // composition accounting stands alone — exactly the classic
+            // in-memory semantics. Otherwise chain read → compose the
+            // way the two-phase loads always have.
+            let report = if read.attempted == 0 && read.diagnostics.is_empty() {
+                build_report
+            } else {
+                let mut read = read;
+                read.absorb(build_report);
+                read
+            };
+            finalize(tk, report, plan, &residual)
+        }
+        // Nothing loaded at all: surface the canonical zero-profile
+        // error (fail-fast and lenient builds both refuse emptiness).
+        None => {
+            compose(&[], &[], 1, strictness, Some(read))?;
+            unreachable!("composing zero profiles always errors")
+        }
+    }
+}
+
+/// Record the pushdown plan and run residual conjuncts (exists-row
+/// semantics over the composed frame).
+fn finalize(
+    tk: Thicket,
+    mut report: IngestReport,
+    plan: Option<FilterPlan>,
+    residual: &[PredExpr],
+) -> Result<(Thicket, IngestReport), ThicketError> {
+    if plan.is_some() {
+        report.pushdown = plan;
+    }
+    let mut tk = tk;
+    for conjunct in residual {
+        tk = residual_filter(&tk, conjunct)?;
+    }
+    Ok((tk, report))
 }
 
 /// Scalar engine evaluation of an expression against one profile's
@@ -533,27 +712,6 @@ fn hash_ids(profiles: &[Profile]) -> Vec<Value> {
         .iter()
         .map(|p| Value::Int(p.profile_hash()))
         .collect()
-}
-
-/// Evaluate a typed filter against loaded profiles (ensemble sources);
-/// entry closures only make sense against a store manifest.
-fn apply_profile_filter(
-    profiles: Vec<Profile>,
-    filter: &mut Option<Filter<'_>>,
-) -> Result<Vec<Profile>, ThicketError> {
-    match filter {
-        None => Ok(profiles),
-        Some(Filter::Pred(pred)) => Ok(profiles
-            .into_iter()
-            .filter(|p| pred.matches_profile(p))
-            .collect()),
-        Some(Filter::Entries(_)) => Err(ThicketError::Invalid(
-            "entry closures apply only to store sources; use `filter` with a `MetaPred`".into(),
-        )),
-        // Expression filters are planned (and consumed) before reaching
-        // this legacy path.
-        Some(Filter::Expr(_)) => unreachable!("expression filters are planned at the source"),
-    }
 }
 
 /// Compose loaded profiles under the requested strictness, absorbing

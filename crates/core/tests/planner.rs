@@ -35,7 +35,7 @@ fn metadata_only_expr_fully_pushes_on_store() {
 
     let expr = PredExpr::eq("compiler", "clang-9.0.0");
     let (by_expr, report) = Thicket::loader(LoadSource::store(&dir))
-        .filter_expr(expr)
+        .filter(expr)
         .load()
         .unwrap();
     let (by_pred, _) = Thicket::loader(LoadSource::store(&dir))
@@ -69,7 +69,7 @@ fn mixed_expr_splits_into_pushed_and_residual() {
         PredExpr::gt("time (exc)", 0.0),
     ]);
     let (tk, report) = Thicket::loader(LoadSource::store(&dir))
-        .filter_expr(expr)
+        .filter(expr)
         .load()
         .unwrap();
 
@@ -83,7 +83,7 @@ fn mixed_expr_splits_into_pushed_and_residual() {
     // An unsatisfiable frame conjunct empties the thicket through the
     // same plan shape.
     let none = Thicket::loader(LoadSource::store(&dir))
-        .filter_expr(PredExpr::and([
+        .filter(PredExpr::and([
             PredExpr::eq("compiler", "clang-9.0.0"),
             PredExpr::gt("time (exc)", f64::MAX),
         ]))
@@ -123,7 +123,7 @@ fn residual_uses_exists_row_semantics() {
     assert!(expect > 0 && expect < maxima.len());
 
     let (tk, report) = Thicket::loader(&profiles)
-        .filter_expr(PredExpr::gt("time (exc)", threshold))
+        .filter(PredExpr::gt("time (exc)", threshold))
         .load()
         .unwrap();
     assert_eq!(tk.profiles().len(), expect);
@@ -136,7 +136,7 @@ fn residual_uses_exists_row_semantics() {
 fn profile_source_expr_matches_metapred_filter() {
     let profiles = sample_profiles();
     let (by_expr, report) = Thicket::loader(&profiles)
-        .filter_expr(PredExpr::eq("compiler", "xlc-16.1.1.12"))
+        .filter(PredExpr::eq("compiler", "xlc-16.1.1.12"))
         .load()
         .unwrap();
     let (by_pred, _) = Thicket::loader(&profiles)
@@ -155,7 +155,7 @@ fn dialect_predicate_flows_to_the_loader() {
 
     let expr = thicket_query::parse_pred(r#"compiler startswith "clang""#).unwrap();
     let (tk, report) = Thicket::loader(LoadSource::store(&dir))
-        .filter_expr(expr)
+        .filter(expr)
         .load()
         .unwrap();
     assert_eq!(tk.profiles().len(), 3);
@@ -173,11 +173,11 @@ fn owned_source_matches_borrowed_source() {
     let profiles = sample_profiles();
     let expr = PredExpr::eq("compiler", "clang-9.0.0");
     let (borrowed, rb) = Thicket::loader(&profiles)
-        .filter_expr(expr.clone())
+        .filter(expr.clone())
         .load()
         .unwrap();
     let (owned, ro) = Thicket::loader(profiles.clone())
-        .filter_expr(expr)
+        .filter(expr)
         .load()
         .unwrap();
     assert_eq!(owned.perf_data().to_string(), borrowed.perf_data().to_string());
@@ -187,4 +187,21 @@ fn owned_source_matches_borrowed_source() {
     let via_from: LoadSource<'static> = profiles.into();
     let (tk, _) = Thicket::loader(via_from).load().unwrap();
     assert_eq!(tk.profiles().len(), 6);
+}
+
+/// The deprecated `filter_expr` spelling stays a thin alias of
+/// `filter` for one release; both produce identical thickets and plans.
+#[test]
+#[allow(deprecated)]
+fn deprecated_filter_expr_aliases_filter() {
+    let profiles = sample_profiles();
+    let expr = PredExpr::eq("compiler", "clang-9.0.0");
+    let (via_alias, ra) = Thicket::loader(&profiles)
+        .filter_expr(expr.clone())
+        .load()
+        .unwrap();
+    let (via_filter, rf) = Thicket::loader(&profiles).filter(expr).load().unwrap();
+    assert_eq!(via_alias.perf_data(), via_filter.perf_data());
+    assert_eq!(via_alias.metadata(), via_filter.metadata());
+    assert_eq!(format!("{:?}", ra.pushdown), format!("{:?}", rf.pushdown));
 }

@@ -82,13 +82,13 @@ proptest! {
         ]);
         let (serial, serial_report) = Thicket::loader(&profiles)
             .threads(1)
-            .filter_expr(expr.clone())
+            .filter(expr.clone())
             .load()
             .unwrap();
         for threads in [2usize, 8] {
             let (par, report) = Thicket::loader(&profiles)
                 .threads(threads)
-                .filter_expr(expr.clone())
+                .filter(expr.clone())
                 .load()
                 .unwrap();
             prop_assert_eq!(serial.perf_data(), par.perf_data(), "perf mismatch at {} threads", threads);

@@ -127,12 +127,23 @@ pub enum FaultKind {
     /// commit's GC must reap it with zero records lost. Subprocess
     /// fault: driven by the `thicket-serve` chaos suite.
     DaemonKill,
+    /// Cut a `*.trace` file off in the middle of an event line (a
+    /// tracing process that died mid-write). Trace files only.
+    TornTrace,
+    /// Swap the timestamps of two consecutive events on one rank so
+    /// that rank's clock regresses (events reordered in flight). Trace
+    /// files only.
+    ShuffledEvents,
+    /// Delete one region-leave line so a rank's enter/leave events no
+    /// longer balance (a dropped event record). Trace files only.
+    UnbalancedTrace,
 }
 
 impl FaultKind {
     /// Every fault kind: ensemble-directory kinds first, then the
-    /// store-directory kinds, then the live wire kinds.
-    pub const ALL: [FaultKind; 21] = [
+    /// store-directory kinds, then the live wire kinds, then the trace
+    /// kinds.
+    pub const ALL: [FaultKind; 24] = [
         FaultKind::Truncate,
         FaultKind::FlipByte,
         FaultKind::DropMetrics,
@@ -154,6 +165,9 @@ impl FaultKind {
         FaultKind::SlowLoris,
         FaultKind::ConnectionKill,
         FaultKind::DaemonKill,
+        FaultKind::TornTrace,
+        FaultKind::ShuffledEvents,
+        FaultKind::UnbalancedTrace,
     ];
 
     /// The kinds that apply to a loose-JSON ensemble directory, in the
@@ -213,6 +227,18 @@ impl FaultKind {
         FaultKind::DaemonKill,
     ];
 
+    /// The kinds that corrupt a `*.trace` event stream: a torn tail
+    /// (crash mid-write), a per-rank clock regression (events
+    /// reordered), and a dropped leave (unbalanced nesting). They must
+    /// surface from the streaming aggregator as
+    /// [`DiagKind::TornTrace`] / [`DiagKind::OutOfOrderEvent`] /
+    /// [`DiagKind::UnbalancedStream`] — never a panic.
+    pub const TRACE: [FaultKind; 3] = [
+        FaultKind::TornTrace,
+        FaultKind::ShuffledEvents,
+        FaultKind::UnbalancedTrace,
+    ];
+
     /// True for the kinds that corrupt a sharded store rather than a
     /// loose-JSON directory.
     pub fn is_store_fault(&self) -> bool {
@@ -236,6 +262,11 @@ impl FaultKind {
     /// True for the [`FaultKind::STORE_V3`] payload corruptors.
     pub fn is_v3_payload_fault(&self) -> bool {
         FaultKind::STORE_V3.contains(self)
+    }
+
+    /// True for the [`FaultKind::TRACE`] event-stream corruptors.
+    pub fn is_trace_fault(&self) -> bool {
+        FaultKind::TRACE.contains(self)
     }
 
     /// Does `diag` have the type this fault must surface as?
@@ -270,6 +301,9 @@ impl FaultKind {
             // wire response or a clean disconnect, asserted by the
             // serve chaos suite, so no DiagKind matches them.
             (FaultKind::DaemonKill, DiagKind::StaleLease { .. }) => true,
+            (FaultKind::TornTrace, DiagKind::TornTrace { .. }) => true,
+            (FaultKind::ShuffledEvents, DiagKind::OutOfOrderEvent { .. }) => true,
+            (FaultKind::UnbalancedTrace, DiagKind::UnbalancedStream { .. }) => true,
             _ => false,
         }
     }
@@ -282,6 +316,18 @@ fn victim_pool(dir: &Path) -> io::Result<Vec<PathBuf>> {
         .into_iter()
         .map(|e| e.path())
         .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Sorted `*.trace` paths of `dir` (the trace victim pool).
+fn trace_pool(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "trace"))
         .collect();
     paths.sort();
     Ok(paths)
@@ -357,6 +403,17 @@ pub fn inject(dir: impl AsRef<Path>, kind: FaultKind, seed: u64) -> io::Result<P
     }
     if kind.is_coordination_fault() {
         return corrupt_coordination(dir, kind, seed);
+    }
+    if kind.is_trace_fault() {
+        let pool = trace_pool(dir)?;
+        if pool.is_empty() {
+            return Err(io::Error::other(format!(
+                "no trace files to corrupt in {}",
+                dir.display()
+            )));
+        }
+        let victim = &pool[(seed % pool.len() as u64) as usize];
+        return apply(victim, kind, seed);
     }
     if kind.is_wire_fault() {
         return Err(io::Error::other(format!(
@@ -745,7 +802,114 @@ fn apply(victim: &Path, kind: FaultKind, seed: u64) -> io::Result<PathBuf> {
         | FaultKind::DaemonKill => {
             Err(io::Error::other("wire faults are live (serve chaos suite)"))
         }
+        FaultKind::TornTrace => {
+            // Cut inside a seed-chosen event line: the file ends with a
+            // partial line and no newline, like a tracer killed
+            // mid-write.
+            let text = std::fs::read_to_string(victim)?;
+            let lines = event_line_spans(&text);
+            if lines.is_empty() {
+                return Err(io::Error::other("trace has no event lines to tear"));
+            }
+            let (start, end) = lines[(seed % lines.len() as u64) as usize];
+            // At least one byte into the line, strictly before its
+            // newline, so the tail is a recognizably partial line.
+            let cut = start + 1 + (seed as usize) % (end - start - 1).max(1);
+            std::fs::write(victim, &text.as_bytes()[..cut])?;
+            Ok(victim.to_path_buf())
+        }
+        FaultKind::ShuffledEvents => {
+            // Swap the timestamps of two consecutive events on one
+            // rank: its clock regresses at the second one.
+            let text = std::fs::read_to_string(victim)?;
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            let events: Vec<(usize, u32, u64)> = lines
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| parse_event_line(l).map(|(r, t)| (i, r, t)))
+                .collect();
+            // Consecutive same-rank pairs with strictly increasing time.
+            let pairs: Vec<(usize, usize)> = events
+                .iter()
+                .enumerate()
+                .filter_map(|(k, &(i, r, t))| {
+                    events[k + 1..]
+                        .iter()
+                        .find(|&&(_, r2, _)| r2 == r)
+                        .filter(|&&(_, _, t2)| t2 > t)
+                        .map(|&(j, _, _)| (i, j))
+                })
+                .collect();
+            if pairs.is_empty() {
+                return Err(io::Error::other(
+                    "trace has no increasing same-rank event pair to shuffle",
+                ));
+            }
+            let (i, j) = pairs[(seed % pairs.len() as u64) as usize];
+            let ti = parse_event_line(&lines[i]).unwrap().1;
+            let tj = parse_event_line(&lines[j]).unwrap().1;
+            lines[i] = swap_event_time(&lines[i], tj);
+            lines[j] = swap_event_time(&lines[j], ti);
+            std::fs::write(victim, lines.join("\n") + "\n")?;
+            Ok(victim.to_path_buf())
+        }
+        FaultKind::UnbalancedTrace => {
+            // Drop one leave line: that rank ends with an open region.
+            let text = std::fs::read_to_string(victim)?;
+            let lines: Vec<&str> = text.lines().collect();
+            let leaves: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.starts_with("L "))
+                .map(|(i, _)| i)
+                .collect();
+            if leaves.is_empty() {
+                return Err(io::Error::other("trace has no leave lines to drop"));
+            }
+            let drop = leaves[(seed % leaves.len() as u64) as usize];
+            let kept: Vec<&str> = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, l)| *l)
+                .collect();
+            std::fs::write(victim, kept.join("\n") + "\n")?;
+            Ok(victim.to_path_buf())
+        }
     }
+}
+
+/// `(start, end-with-newline)` byte spans of every `E `/`L ` line.
+fn event_line_spans(text: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0;
+    for line in text.split_inclusive('\n') {
+        let end = start + line.len();
+        if line.starts_with("E ") || line.starts_with("L ") {
+            spans.push((start, end));
+        }
+        start = end;
+    }
+    spans
+}
+
+/// `(rank, time_ns)` of an event line, if it is one.
+fn parse_event_line(line: &str) -> Option<(u32, u64)> {
+    let rest = line
+        .strip_prefix("E ")
+        .or_else(|| line.strip_prefix("L "))?;
+    let mut fields = rest.splitn(3, ' ');
+    let rank = fields.next()?.parse().ok()?;
+    let time = fields.next()?.parse().ok()?;
+    Some((rank, time))
+}
+
+/// Rewrite an event line's timestamp field.
+fn swap_event_time(line: &str, time_ns: u64) -> String {
+    let mut parts: Vec<&str> = line.splitn(4, ' ').collect();
+    let new = time_ns.to_string();
+    parts[2] = &new;
+    parts.join(" ")
 }
 
 /// Parse → mutate → rewrite one JSON file.

@@ -108,6 +108,32 @@ pub enum DiagKind {
         /// Lease (`pin-*`) file name.
         lease: String,
     },
+    /// A trace stream ends or breaks mid-line: a malformed event line,
+    /// a missing header, or a final line cut off before its newline (a
+    /// write torn by a crash).
+    TornTrace {
+        /// 1-based line number of the damage.
+        line: u64,
+        /// What the parser found there.
+        message: String,
+    },
+    /// A trace event's timestamp regresses on its rank's clock —
+    /// events were reordered in flight or the stream was stitched
+    /// badly. The rank is poisoned from this event on.
+    OutOfOrderEvent {
+        /// Rank whose clock regressed.
+        rank: u32,
+        /// Timestamp (ns) that moved backwards.
+        time_ns: u64,
+    },
+    /// A rank's enter/leave events do not balance: a leave with no
+    /// open region, or regions still open when the stream ends.
+    UnbalancedStream {
+        /// Rank with the unbalanced stream.
+        rank: u32,
+        /// What was unbalanced about it.
+        detail: String,
+    },
 }
 
 impl DiagKind {
@@ -154,6 +180,15 @@ impl fmt::Display for DiagKind {
             }
             DiagKind::StaleLock { lock } => write!(f, "stale lock {lock}"),
             DiagKind::StaleLease { lease } => write!(f, "stale lease {lease}"),
+            DiagKind::TornTrace { line, message } => {
+                write!(f, "torn trace at line {line}: {message}")
+            }
+            DiagKind::OutOfOrderEvent { rank, time_ns } => {
+                write!(f, "out-of-order event on rank {rank} (clock regressed at {time_ns} ns)")
+            }
+            DiagKind::UnbalancedStream { rank, detail } => {
+                write!(f, "unbalanced event stream on rank {rank}: {detail}")
+            }
         }
     }
 }
@@ -174,6 +209,9 @@ impl DiagKind {
             DiagKind::StaleManifest { .. } => "stale-manifest",
             DiagKind::StaleLock { .. } => "stale-lock",
             DiagKind::StaleLease { .. } => "stale-lease",
+            DiagKind::TornTrace { .. } => "torn-trace",
+            DiagKind::OutOfOrderEvent { .. } => "out-of-order-event",
+            DiagKind::UnbalancedStream { .. } => "unbalanced-stream",
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod profile;
 pub mod rajaperf;
 pub mod store;
 pub mod topdown;
+pub mod trace;
 
 pub use binprofile::{decode_profile, encode_profile, PROFILE_MAGIC};
 pub use calitxt::{from_cali_text, load_cali_text, save_cali_text, to_cali_text};
@@ -68,3 +69,7 @@ pub use rajaperf::{
     simulate_cpu_run, simulate_gpu_run, suite, CpuRunConfig, GpuRunConfig, KernelSpec, Variant,
 };
 pub use topdown::{top_down, TopDown};
+pub use trace::{
+    emit as emit_trace, emit_to_path as emit_trace_to_path, TraceConfig, TraceError, TraceEvent,
+    TraceEventKind, TraceReader, TraceWriter,
+};

@@ -231,6 +231,14 @@ impl MetaPred {
     }
 }
 
+/// [`MetaPred::to_expr`] as a conversion, so APIs can take
+/// `impl Into<PredExpr>` and accept either predicate shape.
+impl From<MetaPred> for PredExpr {
+    fn from(pred: MetaPred) -> PredExpr {
+        pred.to_expr()
+    }
+}
+
 /// Comparable kinds only: numeric with numeric, string with string,
 /// bool with bool. Everything else (including `Null`) is incomparable
 /// and yields `false`.

@@ -266,6 +266,19 @@ impl StoreReader {
         self.load_selected(&selected, threads)
     }
 
+    /// Load the profiles at `selected` entry indices (storage order,
+    /// as returned by [`StoreReader::select`] /
+    /// [`StoreReader::select_expr`]), skipping shards with no selected
+    /// member. This is the chunked-ingest primitive: select once, then
+    /// load the matching indices a bounded batch at a time.
+    pub fn load_indices(
+        &self,
+        selected: &[usize],
+        threads: usize,
+    ) -> Result<(Vec<Profile>, IngestReport), StoreError> {
+        self.load_selected(selected, threads)
+    }
+
     /// Read, verify, and parse the records at `selected` entry indices
     /// (storage order), skipping shards with no selected member.
     fn load_selected(

@@ -1,0 +1,810 @@
+//! Per-rank enter/leave event traces (the Pipit-style upstream of a
+//! thicket).
+//!
+//! Parallel runs do not produce call-tree profiles directly: they
+//! produce *traces* — timestamped region enter/leave events per rank,
+//! millions of them, far larger than the profiles they aggregate into.
+//! This module provides the trace side of that pipeline:
+//!
+//! * a line-oriented on-disk format (`TRACE1`) with run-level metadata
+//!   followed by a time-merged event stream;
+//! * [`TraceWriter`] / [`TraceReader`] over any `io::Write` /
+//!   `io::BufRead`, the reader pulling events in bounded chunks so a
+//!   trace never has to fit in memory;
+//! * an emitter ([`emit`]) that synthesizes traces from the RAJA-Perf
+//!   kernel models ([`crate::rajaperf`]) in O(ranks) memory: per-rank
+//!   lazy timelines merged through a binary heap, with seeded
+//!   per-kernel noise and per-rank imbalance.
+//!
+//! The streaming *aggregator* that folds these events back into
+//! call-tree profiles lives in `thicket-core` (it builds on the graph
+//! machinery there); the torn/out-of-order/unbalanced fault family for
+//! trace files lives in [`crate::faults`].
+//!
+//! # Format
+//!
+//! ```text
+//! TRACE1
+//! M ["cluster","quartz"]          # run metadata, JSON-encoded pair
+//! M ["problem size",1048576]
+//! E 0 1200 Base_Seq               # rank 0 enters Base_Seq at t=1200ns
+//! E 0 1210 Stream                 # region names may contain spaces
+//! L 0 80021                       # rank 0 leaves the open region
+//! ```
+//!
+//! Metadata lines must precede event lines. Event timestamps are
+//! nanoseconds on each rank's own clock and must be non-decreasing
+//! *per rank*; the file as a whole is merged in global time order by
+//! the emitter but readers only rely on the per-rank ordering. Every
+//! line ends with `\n` — a final line without one is a torn write.
+
+use crate::json::Json;
+use crate::noise::Noise;
+use crate::profile::{json_to_value, value_to_json};
+use crate::rajaperf::{cpu_kernel_time, suite, CpuRunConfig, KernelSpec};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use thicket_dataframe::Value;
+
+/// First line of every trace file.
+pub const TRACE_HEADER: &str = "TRACE1";
+
+/// What one event line says.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Enter a region with this name (nested under the rank's open
+    /// region, if any).
+    Enter(String),
+    /// Leave the rank's innermost open region.
+    Leave,
+}
+
+/// One parsed trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Emitting rank.
+    pub rank: u32,
+    /// Nanoseconds on the rank's clock; non-decreasing per rank.
+    pub time_ns: u64,
+    /// Enter or leave.
+    pub kind: TraceEventKind,
+}
+
+/// Why a trace could not be read further.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The stream is torn: a malformed line, a missing header, or a
+    /// final line without its newline (a write cut off mid-line).
+    Torn {
+        /// 1-based line number of the damage.
+        line: u64,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Torn { line, message } => {
+                write!(f, "torn trace at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+/// Streaming trace writer over any [`io::Write`].
+///
+/// Metadata lines must all be written before the first event line
+/// (matching the format); the writer enforces this.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    events: u64,
+    in_events: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start a trace: writes the `TRACE1` header line.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        writeln!(out, "{TRACE_HEADER}")?;
+        Ok(TraceWriter {
+            out,
+            events: 0,
+            in_events: false,
+        })
+    }
+
+    /// Write one run-metadata pair. Must precede every event line.
+    pub fn metadata(&mut self, key: &str, value: &Value) -> io::Result<()> {
+        if self.in_events {
+            return Err(io::Error::other(
+                "trace metadata lines must precede event lines",
+            ));
+        }
+        let pair = Json::Arr(vec![Json::Str(key.to_string()), value_to_json(value)]);
+        writeln!(self.out, "M {}", pair.to_string_compact())
+    }
+
+    /// Write a region-enter event.
+    pub fn enter(&mut self, rank: u32, time_ns: u64, name: &str) -> io::Result<()> {
+        self.in_events = true;
+        self.events += 1;
+        writeln!(self.out, "E {rank} {time_ns} {name}")
+    }
+
+    /// Write a region-leave event.
+    pub fn leave(&mut self, rank: u32, time_ns: u64) -> io::Result<()> {
+        self.in_events = true;
+        self.events += 1;
+        writeln!(self.out, "L {rank} {time_ns}")
+    }
+
+    /// Write an already-built [`TraceEvent`].
+    pub fn event(&mut self, ev: &TraceEvent) -> io::Result<()> {
+        match &ev.kind {
+            TraceEventKind::Enter(name) => self.enter(ev.rank, ev.time_ns, name),
+            TraceEventKind::Leave => self.leave(ev.rank, ev.time_ns),
+        }
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flush and hand back the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------
+
+/// Chunked trace reader over any [`io::BufRead`].
+///
+/// Construction parses the header and metadata block; events are then
+/// pulled in bounded batches with [`TraceReader::next_events`] — the
+/// whole trace is never materialized.
+#[derive(Debug)]
+pub struct TraceReader<R: BufRead> {
+    input: R,
+    metadata: Vec<(String, Value)>,
+    /// 1-based number of the last line read.
+    line: u64,
+    /// First event line, read while scanning past the metadata block.
+    pending: Option<String>,
+    /// A tear found mid-batch, deferred so the events parsed before it
+    /// are not thrown away with the error.
+    pending_err: Option<TraceError>,
+    eof: bool,
+}
+
+impl TraceReader<io::BufReader<std::fs::File>> {
+    /// Open a trace file for chunked reading.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let file = std::fs::File::open(path)?;
+        TraceReader::new(io::BufReader::new(file))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Parse the header and metadata block; events remain unread.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let mut line_no = 0u64;
+        let header = read_full_line(&mut input, &mut line_no)?;
+        match header {
+            Some(h) if h == TRACE_HEADER => {}
+            Some(h) => {
+                return Err(TraceError::Torn {
+                    line: 1,
+                    message: format!("expected {TRACE_HEADER} header, found {h:?}"),
+                })
+            }
+            None => {
+                return Err(TraceError::Torn {
+                    line: 1,
+                    message: "empty trace (missing header)".into(),
+                })
+            }
+        }
+        let mut metadata = Vec::new();
+        let mut pending = None;
+        let mut eof = false;
+        loop {
+            match read_full_line(&mut input, &mut line_no)? {
+                None => {
+                    eof = true;
+                    break;
+                }
+                Some(text) => {
+                    if let Some(rest) = text.strip_prefix("M ") {
+                        metadata.push(parse_meta_pair(rest, line_no)?);
+                    } else {
+                        pending = Some(text);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(TraceReader {
+            input,
+            metadata,
+            line: line_no,
+            pending,
+            pending_err: None,
+            eof,
+        })
+    }
+
+    /// Run-level metadata pairs, in file order.
+    pub fn metadata(&self) -> &[(String, Value)] {
+        &self.metadata
+    }
+
+    /// 1-based number of the last line consumed.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Read up to `max` events. An empty vector means end of trace.
+    ///
+    /// A tear discovered *mid-batch* is deferred: the events parsed
+    /// before it are returned normally and the error surfaces on the
+    /// next call. A torn tail therefore never destroys the healthy
+    /// events in front of it, regardless of where batch boundaries
+    /// fall — lenient ingest salvages everything up to the cut.
+    pub fn next_events(&mut self, max: usize) -> Result<Vec<TraceEvent>, TraceError> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(max.min(4096));
+        while out.len() < max {
+            let (text, line_no) = match self.pending.take() {
+                Some(text) => (text, self.line),
+                None => {
+                    if self.eof {
+                        break;
+                    }
+                    match read_full_line(&mut self.input, &mut self.line) {
+                        Ok(None) => {
+                            self.eof = true;
+                            break;
+                        }
+                        Ok(Some(text)) => (text, self.line),
+                        Err(e) => return self.defer_err(e, out),
+                    }
+                }
+            };
+            match parse_event(&text, line_no) {
+                Ok(ev) => out.push(ev),
+                Err(e) => return self.defer_err(e, out),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The stream is unrecoverable past a tear: stop reading, and hand
+    /// back either the error (nothing salvaged this batch) or the
+    /// salvaged events with the error queued for the next call.
+    fn defer_err(
+        &mut self,
+        e: TraceError,
+        out: Vec<TraceEvent>,
+    ) -> Result<Vec<TraceEvent>, TraceError> {
+        self.eof = true;
+        if out.is_empty() {
+            Err(e)
+        } else {
+            self.pending_err = Some(e);
+            Ok(out)
+        }
+    }
+}
+
+/// Read one `\n`-terminated line, stripping the terminator. A final
+/// fragment without its newline is a torn write; `Ok(None)` is a clean
+/// end of file.
+fn read_full_line<R: BufRead>(
+    input: &mut R,
+    line_no: &mut u64,
+) -> Result<Option<String>, TraceError> {
+    let mut buf = String::new();
+    let n = input.read_line(&mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    *line_no += 1;
+    match buf.pop() {
+        Some('\n') => Ok(Some(buf)),
+        _ => Err(TraceError::Torn {
+            line: *line_no,
+            message: "final line is missing its newline (write cut off mid-line)".into(),
+        }),
+    }
+}
+
+/// Parse the JSON `["key",value]` body of a metadata line.
+fn parse_meta_pair(body: &str, line: u64) -> Result<(String, Value), TraceError> {
+    let torn = |message: String| TraceError::Torn { line, message };
+    let doc = Json::parse(body)
+        .map_err(|e| torn(format!("metadata line is not valid JSON: {e}")))?;
+    let Json::Arr(items) = doc else {
+        return Err(torn("metadata line is not a [key, value] pair".into()));
+    };
+    let [key, value] = items.as_slice() else {
+        return Err(torn("metadata line is not a [key, value] pair".into()));
+    };
+    let Json::Str(key) = key else {
+        return Err(torn("metadata key is not a string".into()));
+    };
+    Ok((key.clone(), json_to_value(value)))
+}
+
+/// Parse one event line (`E <rank> <t> <name>` or `L <rank> <t>`).
+fn parse_event(text: &str, line: u64) -> Result<TraceEvent, TraceError> {
+    let torn = |message: String| TraceError::Torn { line, message };
+    let mut parts = text.splitn(2, ' ');
+    let tag = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("");
+    match tag {
+        "E" => {
+            let mut fields = rest.splitn(3, ' ');
+            let rank = parse_u32(fields.next(), "rank").map_err(&torn)?;
+            let time_ns = parse_u64(fields.next(), "time").map_err(&torn)?;
+            let name = fields
+                .next()
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| torn("enter event is missing its region name".into()))?;
+            Ok(TraceEvent {
+                rank,
+                time_ns,
+                kind: TraceEventKind::Enter(name.to_string()),
+            })
+        }
+        "L" => {
+            let mut fields = rest.splitn(3, ' ');
+            let rank = parse_u32(fields.next(), "rank").map_err(&torn)?;
+            let time_ns = parse_u64(fields.next(), "time").map_err(&torn)?;
+            if fields.next().is_some() {
+                return Err(torn("leave event carries trailing fields".into()));
+            }
+            Ok(TraceEvent {
+                rank,
+                time_ns,
+                kind: TraceEventKind::Leave,
+            })
+        }
+        other => Err(torn(format!("unknown line tag {other:?}"))),
+    }
+}
+
+fn parse_u32(field: Option<&str>, what: &str) -> Result<u32, String> {
+    field
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| format!("event {what} is not a u32 ({field:?})"))
+}
+
+fn parse_u64(field: Option<&str>, what: &str) -> Result<u64, String> {
+    field
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| format!("event {what} is not a u64 ({field:?})"))
+}
+
+// ---------------------------------------------------------------------
+// Emitter: RAJA-Perf kernel models → per-rank timelines → merged trace.
+// ---------------------------------------------------------------------
+
+/// Configuration for a synthesized trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// The run being traced: machine, compiler, problem size, seed —
+    /// kernel durations come from [`cpu_kernel_time`] on this config.
+    pub run: CpuRunConfig,
+    /// Number of ranks (independent per-rank timelines).
+    pub ranks: u32,
+    /// Suite passes per rank: each pass walks root → group → kernel
+    /// over the whole suite.
+    pub passes: u32,
+    /// Per-kernel-instance lognormal noise sigma.
+    pub noise_sigma: f64,
+    /// Per-rank lognormal imbalance sigma (one factor per rank,
+    /// applied to every duration on that rank).
+    pub imbalance_sigma: f64,
+    /// Gap between consecutive regions on a rank, in ns (gives interior
+    /// nodes nonzero exclusive time, like real instrumentation
+    /// overhead).
+    pub kernel_gap_ns: u64,
+    /// Idle gap between suite passes on a rank, in ns.
+    pub pass_gap_ns: u64,
+}
+
+impl TraceConfig {
+    /// A Quartz sequential-variant trace with mild noise/imbalance.
+    pub fn quartz(ranks: u32, passes: u32, seed: u64) -> Self {
+        let mut run = CpuRunConfig::quartz_default();
+        run.seed = seed;
+        TraceConfig {
+            run,
+            ranks,
+            passes,
+            noise_sigma: 0.02,
+            imbalance_sigma: 0.05,
+            kernel_gap_ns: 2_000,
+            pass_gap_ns: 50_000,
+        }
+    }
+
+    /// Exact number of events [`emit`] will write for this config.
+    pub fn events_total(&self) -> u64 {
+        let kernels = suite();
+        let mut groups: Vec<&str> = Vec::new();
+        for k in &kernels {
+            if !groups.contains(&k.group) {
+                groups.push(k.group);
+            }
+        }
+        2 * (1 + groups.len() as u64 + kernels.len() as u64)
+            * self.passes as u64
+            * self.ranks as u64
+    }
+
+    /// Run-level metadata recorded in the trace header: the same keys
+    /// [`crate::rajaperf::simulate_cpu_run`] stamps on its profiles,
+    /// plus the rank count.
+    pub fn metadata(&self) -> Vec<(String, Value)> {
+        let cfg = &self.run;
+        vec![
+            ("cluster".into(), Value::from(cfg.machine.cluster.as_str())),
+            ("systype".into(), Value::from(cfg.machine.systype.as_str())),
+            ("problem size".into(), Value::Int(cfg.problem_size as i64)),
+            ("compiler".into(), Value::from(cfg.compiler.name.as_str())),
+            (
+                "compiler optimization".into(),
+                Value::from(format!("-O{}", cfg.opt_level)),
+            ),
+            ("omp num threads".into(), Value::Int(cfg.threads as i64)),
+            ("raja version".into(), Value::from("2022.03.0")),
+            ("variant".into(), Value::from(cfg.variant.name())),
+            ("launchdate".into(), Value::from(cfg.launchdate.as_str())),
+            ("user".into(), Value::from(cfg.user.as_str())),
+            ("seed".into(), Value::Int(cfg.seed as i64)),
+            ("ranks".into(), Value::Int(self.ranks as i64)),
+        ]
+    }
+}
+
+/// The suite's groups in first-seen order, each with its kernel
+/// indices — the same shape `simulate_cpu_run` builds its tree in.
+fn group_order(kernels: &[KernelSpec]) -> Vec<(&'static str, Vec<usize>)> {
+    let mut groups: Vec<(&'static str, Vec<usize>)> = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        match groups.iter_mut().find(|(g, _)| *g == k.group) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((k.group, vec![i])),
+        }
+    }
+    groups
+}
+
+/// One rank's lazy timeline: a pass of events is generated at a time
+/// (≈ 38 events), so the emitter's working set is O(ranks), not
+/// O(events).
+struct RankStream {
+    rank: u32,
+    clock_ns: u64,
+    pass: u32,
+    buf: VecDeque<TraceEvent>,
+    noise: Noise,
+    rank_factor: f64,
+    /// Noiseless per-kernel duration in ns, from the roofline model.
+    kernel_base_ns: Vec<f64>,
+}
+
+impl RankStream {
+    fn new(cfg: &TraceConfig, rank: u32) -> RankStream {
+        let kernels = suite();
+        let kernel_base_ns = kernels
+            .iter()
+            .map(|k| cpu_kernel_time(k, &cfg.run).0 * 1e9)
+            .collect();
+        // Seed whitening per rank so rank streams are decorrelated but
+        // the whole trace is a pure function of the config.
+        let mut imbalance = Noise::new(cfg.run.seed ^ (0xace1_u64 << 32) ^ rank as u64);
+        RankStream {
+            rank,
+            clock_ns: 0,
+            pass: 0,
+            buf: VecDeque::new(),
+            noise: Noise::new(cfg.run.seed ^ 0x7ace_0000 ^ ((rank as u64) << 17)),
+            rank_factor: imbalance.lognormal(cfg.imbalance_sigma),
+            kernel_base_ns,
+        }
+    }
+
+    /// Generate the next pass into the buffer (no-op once all passes
+    /// are emitted).
+    fn refill(
+        &mut self,
+        cfg: &TraceConfig,
+        kernels: &[KernelSpec],
+        groups: &[(&'static str, Vec<usize>)],
+    ) {
+        if self.pass >= cfg.passes {
+            return;
+        }
+        let gap = cfg.kernel_gap_ns;
+        let mut t = self.clock_ns;
+        let rank = self.rank;
+        let enter = |buf: &mut VecDeque<TraceEvent>, t: u64, name: &str| {
+            buf.push_back(TraceEvent {
+                rank,
+                time_ns: t,
+                kind: TraceEventKind::Enter(name.to_string()),
+            });
+        };
+        let leave = |buf: &mut VecDeque<TraceEvent>, t: u64| {
+            buf.push_back(TraceEvent {
+                rank,
+                time_ns: t,
+                kind: TraceEventKind::Leave,
+            });
+        };
+        enter(&mut self.buf, t, cfg.run.variant.root_name());
+        t += gap;
+        for (gname, idxs) in groups {
+            enter(&mut self.buf, t, gname);
+            t += gap;
+            for &i in idxs {
+                let dur = self.kernel_base_ns[i]
+                    * self.noise.lognormal(cfg.noise_sigma)
+                    * self.rank_factor;
+                let dur_ns = (dur.max(1.0)) as u64;
+                enter(&mut self.buf, t, kernels[i].name);
+                t += dur_ns;
+                leave(&mut self.buf, t);
+                t += gap;
+            }
+            leave(&mut self.buf, t);
+            t += gap;
+        }
+        leave(&mut self.buf, t);
+        self.clock_ns = t + cfg.pass_gap_ns;
+        self.pass += 1;
+    }
+}
+
+/// Synthesize a trace onto `out`, merging the per-rank timelines in
+/// global time order (ties break by rank). Deterministic for a given
+/// config; returns the number of events written.
+pub fn emit<W: Write>(cfg: &TraceConfig, out: W) -> io::Result<u64> {
+    let mut w = TraceWriter::new(out)?;
+    for (k, v) in cfg.metadata() {
+        w.metadata(&k, &v)?;
+    }
+    let kernels = suite();
+    let groups = group_order(&kernels);
+    let mut streams: Vec<RankStream> = (0..cfg.ranks)
+        .map(|rank| RankStream::new(cfg, rank))
+        .collect();
+    // Min-heap over (next event time, rank): only ranks with a buffered
+    // event live in the heap, and each rank appears at most once.
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    for s in &mut streams {
+        s.refill(cfg, &kernels, &groups);
+        if let Some(e) = s.buf.front() {
+            heap.push(Reverse((e.time_ns, s.rank)));
+        }
+    }
+    while let Some(Reverse((_, rank))) = heap.pop() {
+        let s = &mut streams[rank as usize];
+        let ev = s.buf.pop_front().expect("heap entry implies buffered event");
+        w.event(&ev)?;
+        if s.buf.is_empty() {
+            s.refill(cfg, &kernels, &groups);
+        }
+        if let Some(e) = s.buf.front() {
+            heap.push(Reverse((e.time_ns, s.rank)));
+        }
+    }
+    let events = w.events_written();
+    w.into_inner()?;
+    Ok(events)
+}
+
+/// [`emit`] to a file path (buffered). Returns the event count.
+pub fn emit_to_path(cfg: &TraceConfig, path: impl AsRef<Path>) -> io::Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let events = emit(cfg, io::BufWriter::new(file))?;
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn small() -> TraceConfig {
+        let mut cfg = TraceConfig::quartz(3, 2, 7);
+        cfg.run.problem_size = 4096;
+        cfg
+    }
+
+    #[test]
+    fn roundtrip_preserves_events_and_metadata() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        w.metadata("cluster", &Value::from("quartz")).unwrap();
+        w.metadata("problem size", &Value::Int(42)).unwrap();
+        w.enter(0, 100, "main").unwrap();
+        w.enter(0, 110, "a region with spaces").unwrap();
+        w.leave(0, 250).unwrap();
+        w.leave(0, 300).unwrap();
+        let bytes = w.into_inner().unwrap();
+
+        let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(
+            r.metadata(),
+            &[
+                ("cluster".to_string(), Value::from("quartz")),
+                ("problem size".to_string(), Value::Int(42)),
+            ]
+        );
+        let events = r.next_events(10).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[1].kind,
+            TraceEventKind::Enter("a region with spaces".into())
+        );
+        assert_eq!(events[3], TraceEvent {
+            rank: 0,
+            time_ns: 300,
+            kind: TraceEventKind::Leave
+        });
+        assert!(r.next_events(10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metadata_after_events_is_refused() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        w.enter(0, 1, "main").unwrap();
+        assert!(w.metadata("cluster", &Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn chunked_reads_cover_the_stream_exactly() {
+        let cfg = small();
+        let mut bytes = Vec::new();
+        let total = emit(&cfg, &mut bytes).unwrap();
+        assert_eq!(total, cfg.events_total());
+
+        let mut whole = TraceReader::new(Cursor::new(bytes.clone())).unwrap();
+        let all = whole.next_events(usize::MAX).unwrap();
+        assert_eq!(all.len() as u64, total);
+
+        let mut chunked = TraceReader::new(Cursor::new(bytes)).unwrap();
+        let mut seen = Vec::new();
+        loop {
+            let chunk = chunked.next_events(17).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            seen.extend(chunk);
+        }
+        assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn emitter_is_deterministic_and_per_rank_monotone() {
+        let cfg = small();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        emit(&cfg, &mut a).unwrap();
+        emit(&cfg, &mut b).unwrap();
+        assert_eq!(a, b);
+
+        let mut r = TraceReader::new(Cursor::new(a)).unwrap();
+        let events = r.next_events(usize::MAX).unwrap();
+        // Per-rank times never regress; nesting is balanced per rank.
+        let mut last = vec![0u64; cfg.ranks as usize];
+        let mut depth = vec![0i64; cfg.ranks as usize];
+        let mut global_last = 0u64;
+        for e in &events {
+            let r = e.rank as usize;
+            assert!(e.time_ns >= last[r], "rank {r} time regressed");
+            assert!(e.time_ns >= global_last, "global merge order broken");
+            last[r] = e.time_ns;
+            global_last = e.time_ns;
+            match e.kind {
+                TraceEventKind::Enter(_) => depth[r] += 1,
+                TraceEventKind::Leave => {
+                    depth[r] -= 1;
+                    assert!(depth[r] >= 0, "rank {r} left more than it entered");
+                }
+            }
+        }
+        assert!(depth.iter().all(|d| *d == 0), "unbalanced rank stream");
+        // Different seeds give different traces.
+        let mut other = small();
+        other.run.seed = 8;
+        let mut c = Vec::new();
+        emit(&other, &mut c).unwrap();
+        let mut again = Vec::new();
+        emit(&small(), &mut again).unwrap();
+        assert_ne!(c, again);
+    }
+
+    #[test]
+    fn torn_tail_is_a_typed_error() {
+        let cfg = small();
+        let mut bytes = Vec::new();
+        emit(&cfg, &mut bytes).unwrap();
+        // Cut mid-line: the final fragment has no newline.
+        let cut = bytes.len() - 7;
+        let mut r = TraceReader::new(Cursor::new(&bytes[..cut])).unwrap();
+        let err = loop {
+            match r.next_events(64) {
+                Ok(chunk) if chunk.is_empty() => panic!("torn tail read cleanly"),
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TraceError::Torn { .. }), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_salvages_the_events_before_it() {
+        let cfg = small();
+        let mut bytes = Vec::new();
+        let total = emit(&cfg, &mut bytes).unwrap();
+        let cut = bytes.len() - 7;
+        // One huge batch that runs straight into the tear: every event
+        // before the cut comes back, the error arrives on the next call.
+        let mut r = TraceReader::new(Cursor::new(&bytes[..cut])).unwrap();
+        let salvaged = r.next_events(usize::MAX).unwrap();
+        assert!(salvaged.len() as u64 >= total - 2, "salvage lost events");
+        let err = r.next_events(usize::MAX).unwrap_err();
+        assert!(matches!(err, TraceError::Torn { .. }), "{err}");
+        // And the reader stays terminal after the deferred error.
+        assert!(r.next_events(64).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_header_is_torn_at_line_one() {
+        let err = TraceReader::new(Cursor::new(b"E 0 1 main\n".to_vec())).unwrap_err();
+        assert!(matches!(err, TraceError::Torn { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn emitter_metadata_round_trips_through_the_header() {
+        let cfg = small();
+        let mut bytes = Vec::new();
+        emit(&cfg, &mut bytes).unwrap();
+        let r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.metadata(), cfg.metadata().as_slice());
+        assert!(r
+            .metadata()
+            .iter()
+            .any(|(k, v)| k == "ranks" && *v == Value::Int(3)));
+    }
+}

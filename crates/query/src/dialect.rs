@@ -372,7 +372,7 @@ impl Query {
 /// into the unified [`PredExpr`] AST.
 ///
 /// This is how a human-written filter string reaches the predicate
-/// engine: hand the result to `Thicket::loader(...).filter_expr(...)`
+/// engine: hand the result to `Thicket::loader(...).filter(...)`
 /// (metadata conjuncts are pushed below the store read), to
 /// `DataFrame::filter_expr`, or wrap it with [`pred::expr`] for call-path
 /// queries.

@@ -12,8 +12,19 @@
 //! remaining wall budget so the bound still holds. Non-retryable
 //! failures (bad request, internal error, deadline) surface
 //! immediately.
+//!
+//! Connection discipline: the client keeps **one persistent framed
+//! connection** and reuses it across requests — the server's
+//! connection loop is built for exactly this, and skipping the
+//! per-request TCP handshake removes the dominant latency term for
+//! small requests. Any wire-level failure (I/O, torn frame, protocol
+//! violation) invalidates the cached connection; a *stale* reused
+//! connection (the server restarted or idled it out) is retried once
+//! on a fresh connection immediately, and anything beyond that falls
+//! back to the budgeted backoff above.
 
 use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use thicket_perfsim::{Backoff, Json, Profile};
@@ -90,28 +101,47 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// A client for one `thicketd` address. Connections are per-request;
-/// the client itself is cheap to clone and `Send`.
-#[derive(Debug, Clone)]
+/// A client for one `thicketd` address. Holds one persistent framed
+/// connection, established lazily and reused across requests; the
+/// client is `Send`, and a clone starts with its own connection slot
+/// (clones never serialize behind each other's in-flight requests).
+#[derive(Debug)]
 pub struct ThicketClient {
     addr: String,
     opts: ClientOptions,
+    /// The cached connection. `None` until the first request, and
+    /// again after any wire-level failure invalidates it.
+    conn: Arc<Mutex<Option<TcpStream>>>,
+}
+
+impl Clone for ThicketClient {
+    fn clone(&self) -> ThicketClient {
+        ThicketClient {
+            addr: self.addr.clone(),
+            opts: self.opts.clone(),
+            conn: Arc::new(Mutex::new(None)),
+        }
+    }
 }
 
 impl ThicketClient {
     /// A client with default options.
     pub fn new(addr: impl Into<String>) -> ThicketClient {
-        ThicketClient { addr: addr.into(), opts: ClientOptions::default() }
+        ThicketClient {
+            addr: addr.into(),
+            opts: ClientOptions::default(),
+            conn: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// A client with explicit options.
     pub fn with_options(addr: impl Into<String>, opts: ClientOptions) -> ThicketClient {
-        ThicketClient { addr: addr.into(), opts }
+        ThicketClient { addr: addr.into(), opts, conn: Arc::new(Mutex::new(None)) }
     }
 
-    /// One wire round trip, no retries.
-    fn attempt(&self, payload: &[u8]) -> Result<Response, ClientError> {
-        let mut stream = TcpStream::connect(&self.addr).map_err(ClientError::Io)?;
+    /// Dial and configure a fresh connection.
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(&self.addr).map_err(ClientError::Io)?;
         stream
             .set_read_timeout(Some(self.opts.read_timeout))
             .map_err(ClientError::Io)?;
@@ -119,8 +149,13 @@ impl ThicketClient {
             .set_write_timeout(Some(self.opts.read_timeout))
             .map_err(ClientError::Io)?;
         let _ = stream.set_nodelay(true);
-        write_frame(&mut stream, payload).map_err(ClientError::Io)?;
-        let frame = read_frame(&mut stream, self.opts.max_frame, self.opts.read_timeout)
+        Ok(stream)
+    }
+
+    /// One framed request/response exchange on an open connection.
+    fn round_trip(&self, stream: &mut TcpStream, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(stream, payload).map_err(ClientError::Io)?;
+        let frame = read_frame(stream, self.opts.max_frame, self.opts.read_timeout)
             .map_err(ClientError::Frame)?
             .ok_or_else(|| {
                 ClientError::Io(std::io::Error::new(
@@ -133,6 +168,36 @@ impl ThicketClient {
         let doc = Json::parse(text)
             .map_err(|e| ClientError::Protocol(format!("response not JSON: {e}")))?;
         Response::from_json(&doc).map_err(ClientError::Protocol)
+    }
+
+    /// One wire attempt, no backoff: reuse the cached connection (or
+    /// dial one), exchange frames, and keep the connection only on
+    /// success. A reused connection that fails with an I/O error is
+    /// most likely stale (the server restarted or closed it idle), so
+    /// that one case gets a single immediate redial — a genuine outage
+    /// fails the redial too and lands in the caller's backoff.
+    fn attempt(&self, payload: &[u8]) -> Result<Response, ClientError> {
+        let mut guard = self.conn.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let reused = guard.is_some();
+        let mut stream = match guard.take() {
+            Some(stream) => stream,
+            None => self.connect()?,
+        };
+        match self.round_trip(&mut stream, payload) {
+            Ok(resp) => {
+                *guard = Some(stream);
+                Ok(resp)
+            }
+            Err(ClientError::Io(_)) if reused => {
+                let mut fresh = self.connect()?;
+                let resp = self.round_trip(&mut fresh, payload)?;
+                *guard = Some(fresh);
+                Ok(resp)
+            }
+            // Any other wire-level failure: the stream position is
+            // unknowable, so the connection stays invalidated.
+            Err(e) => Err(e),
+        }
     }
 
     /// Send `request`, retrying transient failures under the budgeted

@@ -3,6 +3,10 @@
 //!
 //! Robustness invariants, in the order the request path enforces them:
 //!
+//! * **Event-driven accept.** The accept thread sits in blocking
+//!   `accept(2)` — no poll tick, no idle wakeups, no added connection
+//!   latency. Shutdown wakes it with a loopback connection (plus a
+//!   nonblocking-fd fallback) instead of waiting out a sleep.
 //! * **Bounded queueing.** Accepted connections enter a
 //!   `sync_channel` of fixed depth. A full queue sheds the connection
 //!   with a typed [`ServeError::Overloaded`] frame (carrying a retry
@@ -29,7 +33,7 @@
 //!   normal request epilogue; nothing is abandoned.
 
 use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -38,8 +42,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use thicket_core::Thicket;
-use thicket_perfsim::{default_threads, Json, Profile, Store, StoreError, StoreOptions};
+use thicket_core::{ProfileSource, StoreSource, Thicket, ThicketError};
+use thicket_perfsim::{
+    default_threads, Json, Profile, Store, StoreError, StoreOptions, Strictness,
+};
 use thicket_query::parse_pred;
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
@@ -61,6 +67,13 @@ pub struct ServeOptions {
     /// Socket read timeout: the tick at which idle workers poll the
     /// shutdown flag.
     pub idle_timeout: Duration,
+    /// Harvest a connection (close it, freeing its worker) after this
+    /// much continuous idleness between requests. With persistent
+    /// client connections a worker is held for a connection's
+    /// lifetime, so without a harvest `workers` idle clients would
+    /// starve everyone else; the client's reconnect-on-stale path
+    /// makes the close invisible to it.
+    pub idle_harvest: Duration,
     /// Wall-time budget for one frame, first byte to last (the
     /// slow-loris cut).
     pub frame_deadline: Duration,
@@ -80,6 +93,7 @@ impl Default for ServeOptions {
             request_deadline: Duration::from_secs(10),
             retry_after: Duration::from_millis(50),
             idle_timeout: Duration::from_millis(200),
+            idle_harvest: Duration::from_secs(5),
             frame_deadline: Duration::from_secs(2),
             enable_debug_ops: false,
             store: StoreOptions::default(),
@@ -103,6 +117,10 @@ pub struct Server {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
+    /// A dup of the listening socket, used only to flip the shared fd
+    /// nonblocking at shutdown — the fallback wake for the blocking
+    /// accept if the loopback wake connection cannot be made.
+    listener: Option<TcpListener>,
 }
 
 /// Everything a worker needs to execute requests.
@@ -122,8 +140,8 @@ impl Server {
         opts: ServeOptions,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let listener_dup = listener.try_clone().ok();
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats {
             served: AtomicU64::new(0),
@@ -154,7 +172,14 @@ impl Server {
             })
             .collect();
 
-        Ok(Server { addr: local, shutdown, accept: Some(accept), workers, stats })
+        Ok(Server {
+            addr: local,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            stats,
+            listener: listener_dup,
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -175,8 +200,18 @@ impl Server {
     /// Graceful shutdown: stop accepting, drain queued and in-flight
     /// requests, join every thread. Returns once the last worker has
     /// exited — at which point every per-request pin is released.
+    ///
+    /// The accept thread sits in blocking `accept(2)` (no poll tick),
+    /// so shutdown wakes it explicitly: flip the shared listening fd
+    /// nonblocking (a dup shares file status flags, so the blocked
+    /// accept returns `WouldBlock`), then make a throwaway loopback
+    /// connection for the common case where the fd dup failed.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(listener) = &self.listener {
+            let _ = listener.set_nonblocking(true);
+        }
+        let _ = TcpStream::connect_timeout(&wake_addr(self.addr), Duration::from_millis(200));
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -186,6 +221,25 @@ impl Server {
     }
 }
 
+/// Where shutdown's wake connection should aim: the bound address,
+/// with an unspecified IP (0.0.0.0 / ::) rewritten to loopback so the
+/// connect actually lands on this host's listener.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let mut addr = addr;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+/// The accept thread: blocking `accept(2)`, no poll tick. Between
+/// connections it burns zero CPU and adds zero latency — the kernel
+/// hands over each connection the moment it completes. Shutdown wakes
+/// it via [`Server::shutdown`]'s loopback connection (or the
+/// nonblocking-fd fallback), after which the flag check exits the loop.
 fn accept_loop(
     listener: TcpListener,
     tx: SyncSender<TcpStream>,
@@ -193,20 +247,35 @@ fn accept_loop(
     stats: Arc<ServerStats>,
     retry_after: Duration,
 ) {
-    while !shutdown.load(Ordering::SeqCst) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
         match listener.accept() {
-            Ok((stream, _)) => match tx.try_send(stream) {
-                Ok(()) => {}
-                Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
-                    // Shed: answer with a typed Overloaded frame on the
-                    // accept thread (tiny write) and hang up.
-                    stats.shed.fetch_add(1, Ordering::Relaxed);
-                    shed_connection(stream, retry_after);
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // The shutdown wake connection itself (or a client
+                    // racing the drain): hang up unanswered — the
+                    // client's retry policy treats it as transient.
+                    drop(stream);
+                    break;
                 }
-            },
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                        // Shed: answer with a typed Overloaded frame on
+                        // the accept thread (tiny write) and hang up.
+                        stats.shed.fetch_add(1, Ordering::Relaxed);
+                        shed_connection(stream, retry_after);
+                    }
+                }
             }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Only reachable after shutdown flipped the listener
+                // nonblocking; the flag check at the top exits.
+            }
+            // Transient accept failure (EMFILE, aborted handshake):
+            // brief pause so a persistent error cannot spin the thread.
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
@@ -260,16 +329,26 @@ impl Engine {
         let _ = stream.set_read_timeout(Some(self.opts.idle_timeout));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_nodelay(true);
+        let mut idle = Duration::ZERO;
         loop {
             let payload =
                 match read_frame(&mut stream, self.opts.max_frame, self.opts.frame_deadline) {
-                    Ok(Some(p)) => p,
+                    Ok(Some(p)) => {
+                        idle = Duration::ZERO;
+                        p
+                    }
                     // Clean disconnect at a frame boundary.
                     Ok(None) => return,
                     Err(FrameError::IdleTimeout) => {
-                        // No request in progress: close if draining,
+                        // No request in progress: close if draining or
+                        // if the peer has idled past the harvest budget
+                        // (frees this worker for queued connections);
                         // otherwise keep waiting.
                         if self.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        idle += self.opts.idle_timeout;
+                        if idle >= self.opts.idle_harvest {
                             return;
                         }
                         continue;
@@ -345,14 +424,15 @@ impl Engine {
             Request::LoadMatching { pred } => {
                 let snap = self.pin()?;
                 check_deadline(deadline)?;
-                let profiles = load_matching(&snap, pred.as_deref(), deadline)?;
-                Ok(Response::Profiles { generation: snap.generation(), profiles })
+                let (generation, profiles) = load_matching(snap, pred.as_deref(), deadline)?;
+                Ok(Response::Profiles { generation, profiles })
             }
             Request::Query { query, pred } => {
                 let snap = self.pin()?;
                 check_deadline(deadline)?;
-                let profiles = load_matching(&snap, pred.as_deref(), deadline)?;
-                drop(snap); // pin released before the CPU-bound compose
+                // load_matching consumes the snapshot, so the pin is
+                // released before the CPU-bound compose below.
+                let (_, profiles) = load_matching(snap, pred.as_deref(), deadline)?;
                 check_deadline(deadline)?;
                 let (tk, _) = Thicket::loader(profiles)
                     .load()
@@ -368,8 +448,7 @@ impl Engine {
             Request::NodeStats { metric, pred } => {
                 let snap = self.pin()?;
                 check_deadline(deadline)?;
-                let profiles = load_matching(&snap, pred.as_deref(), deadline)?;
-                drop(snap);
+                let (_, profiles) = load_matching(snap, pred.as_deref(), deadline)?;
                 check_deadline(deadline)?;
                 Ok(Response::Stats { rows: node_stats(&profiles, &metric), metric })
             }
@@ -435,13 +514,17 @@ fn store_error(e: StoreError) -> ServeError {
 }
 
 /// Load the profiles matching an optional dialect predicate off a
-/// pinned snapshot, with a deadline check between selection and the
-/// payload reads.
+/// pinned snapshot, routed through the same [`ProfileSource`] the
+/// loader uses for every store read: the snapshot becomes a
+/// [`StoreSource`], the predicate is pushed down to its columnar
+/// manifest selection, and chunks are pulled with a deadline check
+/// between each. Consumes the snapshot — the pin is released when the
+/// source is dropped, before this function returns.
 fn load_matching(
-    snap: &thicket_perfsim::Snapshot,
+    snap: thicket_perfsim::Snapshot,
     pred: Option<&str>,
     deadline: Instant,
-) -> Result<Vec<Profile>, ServeError> {
+) -> Result<(u64, Vec<Profile>), ServeError> {
     let expr = match pred {
         None => None,
         Some(text) => Some(
@@ -449,17 +532,31 @@ fn load_matching(
         ),
     };
     check_deadline(deadline)?;
-    let n = snap.manifest().profiles.len();
-    let threads = default_threads(n);
-    let (profiles, report) = match expr {
-        Some(expr) => snap.load_matching_expr(&expr, threads).map_err(store_error)?,
-        None => snap.load_all().map_err(store_error)?,
-    };
-    if !report.is_clean() {
-        return Err(ServeError::Internal(format!("store load: {}", report.summary())));
+    let generation = snap.generation();
+    let threads = default_threads(snap.manifest().profiles.len());
+    let mut src = StoreSource::from_snapshot(snap, Some(threads), Strictness::FailFast);
+    if let Some(expr) = &expr {
+        // A snapshot-backed source always claims the pushdown (no
+        // entry filter is set), so chunks arrive pre-selected.
+        let _ = src.push_filter(expr);
     }
-    check_deadline(deadline)?;
-    Ok(profiles)
+    let mut profiles = Vec::new();
+    while let Some(chunk) = src.next_chunk().map_err(load_error)? {
+        profiles.extend(chunk);
+        check_deadline(deadline)?;
+    }
+    Ok((generation, profiles))
+}
+
+/// Map a source-load failure to the wire: store contention stays the
+/// typed retryable `Busy`, anything else is internal.
+fn load_error(e: ThicketError) -> ServeError {
+    match e {
+        ThicketError::Store(StoreError::Busy { waited }) => {
+            ServeError::Busy { waited_ms: waited.as_millis() as u64 }
+        }
+        other => ServeError::Internal(format!("store load: {other}")),
+    }
 }
 
 /// Per-node aggregate stats of `metric` across `profiles`: count,

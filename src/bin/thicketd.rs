@@ -16,7 +16,7 @@
 //! exits 0.
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::time::Duration;
 
 use thicket_perfsim::{simulate_cpu_run, CpuRunConfig, Store};
@@ -25,20 +25,66 @@ use thicket_serve::{ServeOptions, Server, ThicketClient};
 /// SIGTERM/SIGINT latch, set from the signal handler.
 static TERM: AtomicBool = AtomicBool::new(false);
 
-extern "C" fn on_term(_sig: i32) {
-    TERM.store(true, Ordering::SeqCst);
+/// Write end of the self-pipe; the handler pokes it so the main
+/// thread's blocking read wakes immediately (no poll tick).
+static TERM_WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn pipe(fds: *mut i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
 }
 
-/// Install the shutdown handler via libc `signal(2)` — std links libc
-/// already, so no new dependency. SIGTERM = 15, SIGINT = 2 on every
-/// platform this repo targets.
-fn install_signal_handlers() {
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+    // Self-pipe trick: `write(2)` is async-signal-safe, and one byte
+    // into the pipe turns the latch into an event the blocked main
+    // thread observes immediately.
+    let fd = TERM_WAKE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        unsafe {
+            write(fd, [1u8].as_ptr(), 1);
+        }
+    }
+}
+
+/// Install the shutdown handler via libc `signal(2)` and create the
+/// self-pipe it signals through — std links libc already, so no new
+/// dependency. SIGTERM = 15, SIGINT = 2 on every platform this repo
+/// targets. Returns the read end of the pipe (or -1 if `pipe(2)`
+/// failed, in which case the wait falls back to polling the latch).
+fn install_signal_handlers() -> i32 {
+    let mut fds = [-1i32; 2];
+    let piped = unsafe { pipe(fds.as_mut_ptr()) } == 0;
+    if piped {
+        TERM_WAKE_FD.store(fds[1], Ordering::SeqCst);
     }
     unsafe {
         signal(15, on_term as extern "C" fn(i32) as usize);
         signal(2, on_term as extern "C" fn(i32) as usize);
+    }
+    if piped {
+        fds[0]
+    } else {
+        -1
+    }
+}
+
+/// Block until the TERM latch is set: a blocking read on the
+/// self-pipe's read end. The signal handler's write wakes the read;
+/// an `EINTR` return re-checks the latch and re-blocks. Without a
+/// pipe, degrade to the old 25 ms latch poll.
+fn wait_for_term(pipe_rd: i32) {
+    let mut buf = [0u8; 8];
+    while !TERM.load(Ordering::SeqCst) {
+        if pipe_rd < 0 {
+            std::thread::sleep(Duration::from_millis(25));
+            continue;
+        }
+        unsafe {
+            read(pipe_rd, buf.as_mut_ptr(), buf.len());
+        }
     }
 }
 
@@ -155,16 +201,14 @@ fn serve(args: &[String]) -> Result<(), String> {
     // typo'd path should fail at startup, not per-request.
     Store::open(dir).map_err(|e| format!("store {dir}: {e}"))?;
 
-    install_signal_handlers();
+    let pipe_rd = install_signal_handlers();
     let server = Server::bind(dir, addr, opts).map_err(|e| format!("bind {addr}: {e}"))?;
     // The smoke script scrapes this line for the ephemeral port.
     println!("listening on {}", server.addr());
     use std::io::Write;
     std::io::stdout().flush().ok();
 
-    while !TERM.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(25));
-    }
+    wait_for_term(pipe_rd);
     let served = server.served();
     server.shutdown();
     println!("drained after {served} requests; exiting");

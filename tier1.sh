@@ -39,6 +39,16 @@ cargo test -q --release -p thicket-perfsim --test concurrency
 # exercises select_expr, load_matching_expr, and the residual path on
 # optimized builds, not the recorded PERF.md numbers.
 cargo run -q -p thicket-bench --release --example payload_bench -- 60 w4
+# Streaming trace ingest: emitter/reader round-trips, the chunk-boundary
+# and thread invariance properties, and the trace fault family (torn /
+# out-of-order / unbalanced event streams → typed diagnostics).
+cargo test -q -p thicket-perfsim --lib trace
+cargo test -q -p thicket-core --test trace_stream
+# W7 bounded-memory smoke under --release: stream a trace ≥4× the RSS
+# budget through the LoadSource::trace pipeline in a fresh child process
+# and fail if its VmHWM reaches the budget — the O(depth × ranks)
+# memory claim is enforced, not just documented.
+cargo run -q -p thicket-bench --release --example trace_bench -- smoke
 # Service layer: protocol/service suites, then the wire chaos schedule
 # (torn frames, oversized lengths, slow-loris, connection kills, one
 # kill-9 of the daemon) under --release — recovery timing only means
